@@ -1,0 +1,23 @@
+//! # uot-baseline
+//!
+//! A MonetDB-style **operator-at-a-time** engine: the Fig. 11 comparator.
+//!
+//! MonetDB's relevant property in the paper's UoT framing is its data
+//! transfer mechanism: every operator materializes its *entire* output
+//! (full column vectors, "BATs") before the next operator starts — the
+//! maximal UoT with no block streaming and no inter-operator overlap. This
+//! engine interprets the **same physical plans** as `uot-core` (so the
+//! comparison isolates the execution model, not the plan), but:
+//!
+//! * each operator's input and output is one fully materialized columnar
+//!   table (a single giant column block), not a stream of fixed-size blocks;
+//! * operators run strictly one at a time, in plan order;
+//! * there is no work-order parallelism (classic un-mitosed MonetDB plans).
+//!
+//! Differences in absolute numbers vs. the real MonetDB are expected and
+//! documented in DESIGN.md; what the experiment needs is the behavior of the
+//! *transfer mechanism*.
+
+pub mod engine;
+
+pub use engine::{BaselineEngine, BaselineMetrics, BaselineResult};

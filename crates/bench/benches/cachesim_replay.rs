@@ -1,0 +1,28 @@
+//! Criterion benchmark of the cache simulator itself (replay throughput),
+//! keeping the Table VI harness honest about its own cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uot_cachesim::{Hierarchy, HierarchyConfig, TraceGen};
+
+fn bench_replay(c: &mut Criterion) {
+    let gen = TraceGen::new(128 * 1024, 141, 16 * 1024 * 1024);
+    let traces = [
+        ("select", gen.select_row_store()),
+        ("probe", gen.probe_hash()),
+    ];
+    let mut g = c.benchmark_group("cachesim_replay");
+    for (label, trace) in &traces {
+        for prefetch in [true, false] {
+            g.bench_function(format!("{label}_pf_{prefetch}"), |bench| {
+                bench.iter(|| {
+                    let mut h = Hierarchy::new(HierarchyConfig::haswell(prefetch));
+                    black_box(h.replay(trace).cycles)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks of the join primitives: hash-table build and
+//! probe at two hash-table sizes (the Fig. 9/10 scalability contrast) and
+//! the aggregate update loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use uot_core::hash_table::JoinHashTable;
+use uot_expr::{col, AggSpec};
+use uot_storage::{BlockFormat, DataType, HashKey, Schema, StorageBlock, Value};
+
+fn key_block(rows: i32, key_range: i32) -> StorageBlock {
+    let s = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Float64)]);
+    let mut b = StorageBlock::new(s, BlockFormat::Column, 1 << 22).unwrap();
+    for i in 0..rows {
+        b.append_row(&[Value::I32(i % key_range), Value::F64(i as f64)])
+            .unwrap();
+    }
+    b
+}
+
+fn bench_build(c: &mut Criterion) {
+    let b = key_block(8192, 8192);
+    c.bench_function("hash_build_8k_rows", |bench| {
+        bench.iter(|| {
+            let ht = JoinHashTable::new(b.schema().project(&[1]), 64);
+            ht.insert_block(&b, &[0], &[1]).unwrap();
+            black_box(ht.len())
+        })
+    });
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash_probe_8k_rows");
+    for (label, table_rows) in [("small_ht", 1024i32), ("large_ht", 262_144)] {
+        let build = key_block(table_rows, table_rows);
+        let ht = Arc::new(JoinHashTable::new(build.schema().project(&[1]), 64));
+        ht.insert_block(&build, &[0], &[1]).unwrap();
+        let probe = key_block(8192, table_rows);
+        g.bench_function(label, |bench| {
+            bench.iter(|| {
+                let mut acc = 0f64;
+                for r in 0..probe.num_rows() {
+                    let key = HashKey::from_row(&probe, r, &[0]).unwrap();
+                    ht.probe_key(&key, |p| acc += p.f64_at(0));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_aggregate_update(c: &mut Criterion) {
+    let b = key_block(8192, 4);
+    let spec = AggSpec::sum(col(1));
+    c.bench_function("agg_sum_update_8k", |bench| {
+        bench.iter(|| {
+            let mut st = spec.init_state(b.schema()).unwrap();
+            let data = spec.arg.as_ref().unwrap().eval_all(&b).unwrap();
+            st.update_column(&data).unwrap();
+            black_box(st.finalize())
+        })
+    });
+}
+
+criterion_group!(benches, bench_build, bench_probe, bench_aggregate_update);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmark of the headline comparison: one select → probe chain
+//! end-to-end at the two UoT extremes — the quantity Figs. 6/7 sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uot_core::{Engine, EngineConfig, Uot};
+use uot_tpch::{chain_specs, TpchConfig, TpchDb};
+
+fn bench_chain_uot(c: &mut Criterion) {
+    let db = TpchDb::generate(
+        TpchConfig::scale(0.005).with_block_bytes(32 * 1024),
+    );
+    let chains = chain_specs(&db).expect("chains build");
+    let chain = &chains[0]; // Q03
+    let mut g = c.benchmark_group("q03_chain");
+    g.sample_size(10);
+    for (label, uot) in [("uot_low", Uot::LOW), ("uot_table", Uot::HIGH)] {
+        let engine = Engine::new(
+            EngineConfig::parallel(4)
+                .with_block_bytes(32 * 1024)
+                .with_uot(uot),
+        );
+        g.bench_function(label, |bench| {
+            bench.iter(|| {
+                engine
+                    .execute(chain.plan.clone().with_uniform_uot(uot))
+                    .expect("chain runs")
+                    .num_rows()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chain_uot);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation: the temporary-block pool on vs off.
+//!
+//! Section VII-B3 of the paper attributes the cost of small blocks to
+//! "storage management and work order scheduling overheads"; the pool is
+//! the main storage-management lever, so this quantifies what it saves.
+
+use uot_bench::{block_sizes, make_db, mean_of_best, ms, runs, workers, ReportTable};
+use uot_core::{Engine, EngineConfig, Uot};
+use uot_storage::BlockFormat;
+use uot_tpch::{build_query, QueryId};
+
+fn main() {
+    let mut t = ReportTable::new(
+        "Ablation: block pool reuse on/off (Q03, low UoT)",
+        &["block size", "pool on (ms)", "pool off (ms)", "blocks created on", "blocks created off"],
+    );
+    for (label, bs) in block_sizes() {
+        let db = make_db(bs, BlockFormat::Column);
+        let plan = build_query(QueryId::Q3, &db).expect("plan builds");
+        let mut cells = vec![label.to_string()];
+        let mut created = Vec::new();
+        for reuse in [true, false] {
+            let cfg = EngineConfig {
+                pool_reuse: reuse,
+                block_bytes: bs,
+                default_uot: Uot::LOW,
+                mode: uot_core::ExecMode::Parallel { workers: workers() },
+                ..Default::default()
+            };
+            let engine = Engine::new(cfg);
+            let mut times = Vec::new();
+            let mut last_created = 0;
+            for _ in 0..runs() {
+                let r = engine.execute(plan.clone()).expect("query runs");
+                times.push(r.metrics.wall_time);
+                last_created = r.metrics.pool.created;
+            }
+            cells.push(ms(mean_of_best(&mut times, 3)));
+            created.push(last_created.to_string());
+        }
+        cells.extend(created);
+        t.row(cells);
+    }
+    t.emit();
+}

@@ -1,0 +1,42 @@
+//! Ablation: the full UoT spectrum (not just the paper's two extremes) on
+//! one chain and one full query — validating that the spectrum interpolates
+//! smoothly between "pipelining" and "blocking".
+
+use uot_bench::{engine_config, make_db, measure_query, ms, runs, workers, ReportTable};
+use uot_core::Uot;
+use uot_storage::BlockFormat;
+use uot_tpch::{build_query, chain_specs, QueryId};
+
+fn main() {
+    let bs = 32 * 1024;
+    let db = make_db(bs, BlockFormat::Column);
+    let chains = chain_specs(&db).expect("chains build");
+    let chain = &chains[0];
+    let q3 = build_query(QueryId::Q3, &db).expect("plan builds");
+
+    let mut t = ReportTable::new(
+        "Ablation: sweeping the UoT spectrum (32KB blocks)",
+        &["uot", "Q03 chain (ms)", "chain peak temp (KB)", "Q03 query (ms)"],
+    );
+    let spectrum = [
+        Uot::Blocks(1),
+        Uot::Blocks(2),
+        Uot::Blocks(4),
+        Uot::Blocks(8),
+        Uot::Blocks(16),
+        Uot::Blocks(64),
+        Uot::Table,
+    ];
+    for uot in spectrum {
+        let cfg = engine_config(bs, uot, workers());
+        let (tc, rc) = measure_query(&chain.plan, &cfg, runs());
+        let (tq, _) = measure_query(&q3, &cfg, runs());
+        t.row(vec![
+            uot.label(),
+            ms(tc),
+            (rc.metrics.peak_temp_bytes / 1024).to_string(),
+            ms(tq),
+        ]);
+    }
+    t.emit();
+}

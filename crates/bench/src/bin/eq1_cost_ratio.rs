@@ -1,0 +1,52 @@
+//! Table I / Eq. 1 and Section V-C: the analytical cost model.
+//!
+//! Prints the non-pipelining/pipelining extra-cost ratio of Eq. 1 across
+//! UoT sizes and thread counts, the `p1'` cache-pressure term, and the
+//! persistent-store variant where pipelining wins by orders of magnitude.
+
+use uot_bench::ReportTable;
+use uot_model::{CostParams, HardwareProfile, PersistentStoreParams};
+
+fn main() {
+    let mut t = ReportTable::new(
+        "Eq. 1: cost ratio (non-pipelining / pipelining), in-memory model",
+        &["UoT size", "T=1", "T=4", "T=8", "T=20", "p1' (T=20)"],
+    );
+    for (label, kb) in [
+        ("16KB", 16.0),
+        ("32KB", 32.0),
+        ("128KB", 128.0),
+        ("512KB", 512.0),
+        ("2MB", 2048.0),
+        ("8MB", 8192.0),
+    ] {
+        let mut cells = vec![label.to_string()];
+        for threads in [1usize, 4, 8, 20] {
+            let p = CostParams::derive(HardwareProfile::haswell(), kb * 1024.0, threads, 1000);
+            cells.push(format!("{:.2}", p.cost_ratio_eq1()));
+        }
+        let p20 = CostParams::derive(HardwareProfile::haswell(), kb * 1024.0, 20, 1000);
+        cells.push(format!("{:.2}", p20.p1_prime()));
+        t.row(cells);
+    }
+    t.emit();
+
+    let mut t = ReportTable::new(
+        "Section V-C: persistent-store model (1000 UoTs of 128KB, SSD)",
+        &["strategy", "extra cost"],
+    );
+    let p = PersistentStoreParams::ssd(128.0 * 1024.0, 1000);
+    t.row(vec![
+        "high UoT (write + read back)".into(),
+        format!("{:.1} ms", p.high_uot_extra_cost() / 1e6),
+    ]);
+    t.row(vec![
+        "low UoT (2 icache misses/UoT)".into(),
+        format!("{:.3} ms", p.low_uot_extra_cost() / 1e6),
+    ]);
+    t.row(vec![
+        "ratio".into(),
+        format!("{:.0}x", p.high_uot_extra_cost() / p.low_uot_extra_cost()),
+    ]);
+    t.emit();
+}

@@ -1,0 +1,35 @@
+//! Fig. 10: interaction of scalability, block size and UoT — per-task probe
+//! times for the better- and poor-scalability probes of Q07.
+//!
+//! Paper finding: the low-UoT configuration is more immune to the poor
+//! scalability of the large-hash-table probe, because its emergent DOP is
+//! lower (producer and consumer share the workers).
+
+use uot_bench::{block_sizes, engine_config, make_db, measure_query, runs, uot_extremes, us, workers, ReportTable};
+use uot_storage::BlockFormat;
+use uot_tpch::chain_specs;
+
+fn main() {
+    let mut table = ReportTable::new(
+        "Fig. 10: probe per-task time (µs) by scalability class, block size and UoT",
+        &["probe", "block size", "uot=low", "uot=high", "max DOP low", "max DOP high"],
+    );
+    for (bs_label, bs) in block_sizes() {
+        let db = make_db(bs, BlockFormat::Column);
+        let chains = chain_specs(&db).expect("chains build");
+        for name in ["Q07-small-ht", "Q07-large-ht"] {
+            let chain = chains.iter().find(|c| c.name == name).expect("chain");
+            let mut cells = vec![name.to_string(), bs_label.to_string()];
+            let mut dops = Vec::new();
+            for (_, uot) in uot_extremes() {
+                let cfg = engine_config(bs, uot, workers());
+                let (_, r) = measure_query(&chain.plan, &cfg, runs());
+                cells.push(us(r.metrics.ops[chain.probe_op].avg_task_time()));
+                dops.push(r.metrics.max_dop(chain.probe_op).to_string());
+            }
+            cells.extend(dops);
+            table.row(cells);
+        }
+    }
+    table.emit();
+}

@@ -1,0 +1,62 @@
+//! Fig. 11: the block-streaming UoT engine vs the MonetDB-style
+//! operator-at-a-time baseline on the TPC-H suite (same plans, same data).
+//!
+//! Paper caveat applies here too: the engines differ in more than the
+//! transfer mechanism (the baseline is single-threaded, like un-mitosed
+//! MonetDB plans), so treat this as the Fig. 11 comparison shape, not a
+//! benchmark of MonetDB itself.
+
+use uot_baseline::BaselineEngine;
+use uot_bench::{engine_config, make_db, measure_query, ms, runs, workers, ReportTable};
+use uot_core::Uot;
+use uot_storage::BlockFormat;
+use uot_tpch::{all_queries, build_query};
+
+fn main() {
+    let bs = 128 * 1024;
+    let db = make_db(bs, BlockFormat::Column);
+    let mut table = ReportTable::new(
+        "Fig. 11: UoT engine (low UoT) vs operator-at-a-time baseline (ms)",
+        &["query", "uot engine", "baseline", "baseline/uot", "peak temp uot (KB)", "peak baseline (KB)"],
+    );
+    let mut wins = 0usize;
+    let mut total = 0usize;
+    for q in all_queries() {
+        let plan = build_query(q, &db).expect("plan builds");
+        let cfg = engine_config(bs, Uot::LOW, workers());
+        let (t_uot, r_uot) = measure_query(&plan, &cfg, runs());
+        // Same protocol for the baseline.
+        let mut times: Vec<std::time::Duration> = (0..runs())
+            .map(|_| {
+                BaselineEngine::new()
+                    .execute(&plan)
+                    .expect("baseline runs")
+                    .metrics
+                    .wall_time
+            })
+            .collect();
+        let t_base = uot_bench::mean_of_best(&mut times, 3);
+        let r_base = BaselineEngine::new().execute(&plan).expect("baseline runs");
+        total += 1;
+        if t_uot < t_base {
+            wins += 1;
+        }
+        table.row(vec![
+            q.label(),
+            ms(t_uot),
+            ms(t_base),
+            format!("{:.2}", t_base.as_secs_f64() / t_uot.as_secs_f64().max(1e-12)),
+            (r_uot.metrics.peak_temp_bytes / 1024).to_string(),
+            (r_base.metrics.peak_bytes / 1024).to_string(),
+        ]);
+    }
+    table.row(vec![
+        format!("uot engine faster in {wins}/{total}"),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    table.emit();
+}

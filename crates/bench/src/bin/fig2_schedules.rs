@@ -1,0 +1,47 @@
+//! Fig. 2: how the UoT value reshapes the work-order schedule.
+//!
+//! Runs the same select → probe chain at a low and a high UoT with two
+//! workers and prints the realized schedule (operator id per worker per time
+//! bucket). Low UoT interleaves select (producer) and probe (consumer) work
+//! orders; high UoT degenerates to operator-at-a-time — exactly the
+//! paper's Fig. 2 shapes.
+
+use uot_bench::{engine_config, make_db, ReportTable};
+use uot_core::{Engine, Uot};
+use uot_storage::BlockFormat;
+use uot_tpch::chain_specs;
+
+fn main() {
+    let db = make_db(32 * 1024, BlockFormat::Column);
+    let chains = chain_specs(&db).expect("chains build");
+    let chain = &chains[0]; // Q03 select -> probe
+    let legend: String = chain
+        .plan
+        .ops()
+        .iter()
+        .enumerate()
+        .map(|(i, op)| format!("{i}={}", op.name))
+        .collect::<Vec<_>>()
+        .join(", ");
+
+    let mut table = ReportTable::new(
+        format!(
+            "Fig. 2: schedules under low vs high UoT (chars = operator ids; {})",
+            legend
+        ),
+        &["uot", "schedule"],
+    );
+    for (label, uot) in [("low(1 block)", Uot::LOW), ("high(table)", Uot::HIGH)] {
+        let cfg = engine_config(32 * 1024, uot, 2);
+        let r = Engine::new(cfg)
+            .execute(chain.plan.clone().with_uniform_uot(uot))
+            .expect("chain runs");
+        for (w, line) in r.metrics.schedule_text(72).lines().enumerate() {
+            table.row(vec![
+                if w == 0 { label.to_string() } else { String::new() },
+                line.to_string(),
+            ]);
+        }
+    }
+    table.emit();
+}

@@ -1,0 +1,46 @@
+//! Fig. 3: fraction of each query's operator time spent in its dominant and
+//! second-most-dominant operator (high UoT, column store).
+//!
+//! The paper's takeaway: for many queries one (often leaf) operator takes
+//! >50% of the time, so a small UoT cannot help much.
+
+use uot_bench::{engine_config, make_db, measure_query, runs, workers, ReportTable};
+use uot_core::Uot;
+use uot_storage::BlockFormat;
+use uot_tpch::{all_queries, build_query};
+
+fn main() {
+    let db = make_db(128 * 1024, BlockFormat::Column);
+    let mut table = ReportTable::new(
+        "Fig. 3: operator time distribution per query (high UoT, column store)",
+        &[
+            "query",
+            "dominant op",
+            "share %",
+            "2nd op",
+            "share %",
+            "dominant is leaf",
+        ],
+    );
+    for q in all_queries() {
+        let plan = build_query(q, &db).expect("plan builds");
+        let cfg = engine_config(128 * 1024, Uot::HIGH, workers());
+        let (_, r) = measure_query(&plan, &cfg, runs());
+        let dom = r.metrics.dominant_operators();
+        let leaf = |name: &str| name.contains("(lineitem)") || name.contains("(orders)")
+            || name.contains("(customer)") || name.contains("(part)")
+            || name.contains("(supplier)") || name.contains("(nation)")
+            || name.contains("(region)");
+        table.row(vec![
+            q.label(),
+            dom[0].1.clone(),
+            format!("{:.1}", dom[0].2 * 100.0),
+            dom.get(1).map(|d| d.1.clone()).unwrap_or_default(),
+            dom.get(1)
+                .map(|d| format!("{:.1}", d.2 * 100.0))
+                .unwrap_or_default(),
+            leaf(&dom[0].1).to_string(),
+        ]);
+    }
+    table.emit();
+}

@@ -1,0 +1,36 @@
+//! Fig. 5: per-task execution time of the probe operator (the first
+//! consumer in each chain) under low vs high UoT, across block sizes.
+//!
+//! Paper finding: low UoT benefits the probe (its input is hot in cache);
+//! the advantage shrinks as blocks grow.
+
+use uot_bench::{block_sizes, engine_config, make_db, measure_query, runs, us, workers, ReportTable};
+use uot_bench::uot_extremes;
+use uot_storage::BlockFormat;
+use uot_tpch::chain_specs;
+
+fn main() {
+    let mut table = ReportTable::new(
+        "Fig. 5: probe per-task execution time (µs)",
+        &["chain", "block size", "uot=low", "uot=high", "low/high"],
+    );
+    for (bs_label, bs) in block_sizes() {
+        let db = make_db(bs, BlockFormat::Column);
+        let chains = chain_specs(&db).expect("chains build");
+        for chain in &chains {
+            let mut cells = vec![chain.name.to_string(), bs_label.to_string()];
+            let mut vals = Vec::new();
+            for (_, uot) in uot_extremes() {
+                let cfg = engine_config(bs, uot, workers());
+                let (_, r) = measure_query(&chain.plan, &cfg, runs());
+                let avg = r.metrics.ops[chain.probe_op].avg_task_time();
+                vals.push(avg);
+                cells.push(us(avg));
+            }
+            let ratio = vals[0].as_secs_f64() / vals[1].as_secs_f64().max(1e-12);
+            cells.push(format!("{ratio:.2}"));
+            table.row(cells);
+        }
+    }
+    table.emit();
+}

@@ -1,0 +1,37 @@
+//! Fig. 6: execution time of the whole select → probe chain under low vs
+//! high UoT, across block sizes.
+//!
+//! Paper finding: even where the probe alone benefits from a low UoT, the
+//! chain-level gap is smaller (producers dominate), and it closes at large
+//! block sizes.
+
+use uot_bench::{block_sizes, engine_config, make_db, measure_query, ms, runs, uot_extremes, workers, ReportTable};
+use uot_storage::BlockFormat;
+use uot_tpch::chain_specs;
+
+fn main() {
+    let mut table = ReportTable::new(
+        "Fig. 6: operator-chain execution time (ms)",
+        &["chain", "block size", "uot=low", "uot=high", "low/high"],
+    );
+    for (bs_label, bs) in block_sizes() {
+        let db = make_db(bs, BlockFormat::Column);
+        let chains = chain_specs(&db).expect("chains build");
+        for chain in &chains {
+            let mut cells = vec![chain.name.to_string(), bs_label.to_string()];
+            let mut vals = Vec::new();
+            for (_, uot) in uot_extremes() {
+                let cfg = engine_config(bs, uot, workers());
+                let (t, _) = measure_query(&chain.plan, &cfg, runs());
+                vals.push(t);
+                cells.push(ms(t));
+            }
+            cells.push(format!(
+                "{:.2}",
+                vals[0].as_secs_f64() / vals[1].as_secs_f64().max(1e-12)
+            ));
+            table.row(cells);
+        }
+    }
+    table.emit();
+}

@@ -1,0 +1,37 @@
+//! Fig. 7: full query execution times under low vs high UoT across block
+//! sizes (column store).
+//!
+//! Paper finding: low UoT is slightly better at small blocks; the difference
+//! vanishes as the block size grows; performance improves with block size
+//! for both (storage-management overhead shrinks).
+
+use uot_bench::{block_sizes, engine_config, make_db, measure_query, ms, runs, uot_extremes, workers, ReportTable};
+use uot_storage::BlockFormat;
+use uot_tpch::{all_queries, build_query};
+
+fn main() {
+    let mut table = ReportTable::new(
+        "Fig. 7: query execution times (ms), column store",
+        &["query", "block size", "uot=low", "uot=high", "low/high"],
+    );
+    for (bs_label, bs) in block_sizes() {
+        let db = make_db(bs, BlockFormat::Column);
+        for q in all_queries() {
+            let plan = build_query(q, &db).expect("plan builds");
+            let mut cells = vec![q.label(), bs_label.to_string()];
+            let mut vals = Vec::new();
+            for (_, uot) in uot_extremes() {
+                let cfg = engine_config(bs, uot, workers());
+                let (t, _) = measure_query(&plan, &cfg, runs());
+                vals.push(t);
+                cells.push(ms(t));
+            }
+            cells.push(format!(
+                "{:.2}",
+                vals[0].as_secs_f64() / vals[1].as_secs_f64().max(1e-12)
+            ));
+            table.row(cells);
+        }
+    }
+    table.emit();
+}

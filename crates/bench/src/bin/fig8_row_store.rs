@@ -1,0 +1,43 @@
+//! Fig. 8: query execution times with **row-store** base tables at the
+//! largest block size, low vs high UoT.
+//!
+//! Paper findings: (1) the UoT still doesn't matter, and (2) queries are
+//! slower than on column-store tables (compare with the 512KB rows of
+//! Fig. 7) because scans drag unreferenced columns through the caches.
+
+use uot_bench::{engine_config, make_db, measure_query, ms, runs, uot_extremes, workers, ReportTable};
+use uot_storage::BlockFormat;
+use uot_tpch::{all_queries, build_query};
+
+fn main() {
+    let bs = 512 * 1024;
+    let row_db = make_db(bs, BlockFormat::Row);
+    let col_db = make_db(bs, BlockFormat::Column);
+    let mut table = ReportTable::new(
+        "Fig. 8: query times (ms), row-store base tables, 512KB blocks",
+        &["query", "uot=low", "uot=high", "column-store (low)", "row/column"],
+    );
+    for q in all_queries() {
+        let plan_row = build_query(q, &row_db).expect("plan builds");
+        let plan_col = build_query(q, &col_db).expect("plan builds");
+        let mut cells = vec![q.label()];
+        let mut row_low = None;
+        for (_, uot) in uot_extremes() {
+            let cfg = engine_config(bs, uot, workers());
+            let (t, _) = measure_query(&plan_row, &cfg, runs());
+            if row_low.is_none() {
+                row_low = Some(t);
+            }
+            cells.push(ms(t));
+        }
+        let cfg = engine_config(bs, uot_extremes()[0].1, workers());
+        let (t_col, _) = measure_query(&plan_col, &cfg, runs());
+        cells.push(ms(t_col));
+        cells.push(format!(
+            "{:.2}",
+            row_low.expect("set above").as_secs_f64() / t_col.as_secs_f64().max(1e-12)
+        ));
+        table.row(cells);
+    }
+    table.emit();
+}

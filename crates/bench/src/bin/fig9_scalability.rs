@@ -1,0 +1,56 @@
+//! Fig. 9: scalability of two probe operators with different hash-table
+//! sizes (the Q07 probes), DOP sweep vs ideal.
+//!
+//! Paper finding: the probe with the large (orders) hash table scales worse
+//! than the one with the small (supplier) table — cache pressure and
+//! storage-management contention grow with table size.
+
+use uot_bench::{engine_config, make_db, measure_query, runs, ReportTable};
+use uot_core::Uot;
+use uot_storage::BlockFormat;
+use uot_tpch::chain_specs;
+
+fn main() {
+    let bs = 32 * 1024;
+    let db = make_db(bs, BlockFormat::Column);
+    let chains = chain_specs(&db).expect("chains build");
+    // Sweep the DOP even beyond the physical core count: on small
+    // machines the extra workers timeshare, which shows up as flat or
+    // degrading speedup — the "poor scalability" regime of the paper.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let dops: Vec<usize> = vec![1, 2, 4, 8];
+    println!("(physical cores available: {cores})");
+
+    let mut table = ReportTable::new(
+        "Fig. 9: probe-operator speedup vs DOP (high UoT isolates the probe phase)",
+        &["probe", "DOP", "probe phase (ms)", "speedup", "ideal"],
+    );
+    for name in ["Q07-small-ht", "Q07-large-ht"] {
+        let chain = chains.iter().find(|c| c.name == name).expect("chain");
+        let mut base: Option<f64> = None;
+        for &dop in &dops {
+            // High UoT: the probe phase runs exclusively, so its wall-clock
+            // span is a clean scalability measurement.
+            let cfg = engine_config(bs, Uot::HIGH, dop);
+            let (_, r) = measure_query(&chain.plan, &cfg, runs());
+            let probe_tasks: Vec<_> = r
+                .metrics
+                .tasks
+                .iter()
+                .filter(|t| t.op == chain.probe_op)
+                .collect();
+            let start = probe_tasks.iter().map(|t| t.start).min().unwrap_or_default();
+            let end = probe_tasks.iter().map(|t| t.end).max().unwrap_or_default();
+            let span = (end - start).as_secs_f64() * 1e3;
+            let b = *base.get_or_insert(span);
+            table.row(vec![
+                name.to_string(),
+                dop.to_string(),
+                format!("{span:.2}"),
+                format!("{:.2}", b / span.max(1e-9)),
+                format!("{dop:.2}"),
+            ]);
+        }
+    }
+    table.emit();
+}

@@ -1,0 +1,7 @@
+//! Table V analogue: print the evaluation platform of this run.
+
+use uot_bench::PlatformInfo;
+
+fn main() {
+    PlatformInfo::collect().table().emit();
+}

@@ -1,0 +1,39 @@
+//! Tables III and IV: selectivity, projectivity and total memory reduction
+//! of the big-table selections, measured on the generated data.
+
+use uot_bench::{make_db, ReportTable};
+use uot_storage::BlockFormat;
+use uot_tpch::analysis::{average, lineitem_cases, measure, orders_cases};
+
+fn main() {
+    let db = make_db(128 * 1024, BlockFormat::Column);
+    for (title, cases) in [
+        ("Table III: memory reduction, input table lineitem", lineitem_cases()),
+        ("Table IV: memory reduction, input table orders", orders_cases()),
+    ] {
+        let mut t = ReportTable::new(
+            title,
+            &["Query", "Selectivity (%)", "Projectivity (%)", "Total (%)"],
+        );
+        let rows: Vec<_> = cases
+            .iter()
+            .map(|c| measure(&db, c).expect("measure"))
+            .collect();
+        for r in &rows {
+            t.row(vec![
+                r.query.clone(),
+                format!("{:.1}", r.selectivity_pct),
+                format!("{:.1}", r.projectivity_pct),
+                format!("{:.1}", r.total_pct),
+            ]);
+        }
+        let avg = average(&rows);
+        t.row(vec![
+            avg.query,
+            format!("{:.1}", avg.selectivity_pct),
+            format!("{:.1}", avg.projectivity_pct),
+            format!("{:.1}", avg.total_pct),
+        ]);
+        t.emit();
+    }
+}

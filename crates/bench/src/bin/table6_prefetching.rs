@@ -1,0 +1,40 @@
+//! Table VI: average task cost for select / build / probe with the
+//! prefetcher enabled vs disabled — reproduced on the cache simulator
+//! (the substitution for the MSR-0x1A4 hardware toggle; see DESIGN.md).
+//!
+//! Paper findings to look for: prefetching helps the (strided, row-store)
+//! select scan; it does not help — and can hurt — the build and probe,
+//! whose hash-table accesses are random.
+
+use uot_bench::ReportTable;
+use uot_cachesim::{Hierarchy, HierarchyConfig, TraceGen};
+
+fn main() {
+    let mut t = ReportTable::new(
+        "Table VI: simulated task cost (kilocycles/task) with prefetcher Yes/No",
+        &["block size", "op", "Yes", "No", "Yes/No"],
+    );
+    for (label, bs) in [("128KB", 128 * 1024u64), ("512KB", 512 * 1024), ("2MB", 2 * 1024 * 1024)] {
+        // Row-store geometry (the paper's Table VI setting): 141-byte
+        // lineitem tuples; hash table sized like an orders join table.
+        let gen = TraceGen::new(bs, 141, 64 * 1024 * 1024);
+        let traces = [
+            ("select", gen.select_row_store()),
+            ("build", gen.build_hash()),
+            ("probe", gen.probe_hash()),
+        ];
+        for (op, trace) in &traces {
+            let mut cells = vec![label.to_string(), op.to_string()];
+            let mut cycles = Vec::new();
+            for enabled in [true, false] {
+                let mut h = Hierarchy::new(HierarchyConfig::haswell(enabled));
+                let stats = h.replay(trace);
+                cycles.push(stats.cycles as f64);
+                cells.push(format!("{:.1}", stats.cycles as f64 / 1e3));
+            }
+            cells.push(format!("{:.2}", cycles[0] / cycles[1].max(1.0)));
+            t.row(cells);
+        }
+    }
+    t.emit();
+}

@@ -1,0 +1,302 @@
+//! One set-associative, LRU cache level.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Cache-line size in bytes (must divide `size_bytes`).
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+
+    /// A 32 KB, 8-way L1 with 64-byte lines.
+    pub fn l1_32k() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 8,
+        }
+    }
+
+    /// A 256 KB, 8-way L2.
+    pub fn l2_256k() -> Self {
+        CacheConfig {
+            size_bytes: 256 * 1024,
+            line_bytes: 64,
+            ways: 8,
+        }
+    }
+
+    /// A 25 MB, 20-way L3 (the paper's Haswell EP, scaled).
+    pub fn l3_25m() -> Self {
+        CacheConfig {
+            size_bytes: 25 * 1024 * 1024,
+            line_bytes: 64,
+            ways: 20,
+        }
+    }
+}
+
+/// Hit/miss counters for one level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses that hit.
+    pub hits: u64,
+    /// Demand accesses that missed.
+    pub misses: u64,
+    /// Lines installed by the prefetcher.
+    pub prefetch_fills: u64,
+    /// Demand hits on lines that were installed by a prefetch and had not
+    /// yet been touched by demand — "useful prefetches".
+    pub prefetch_hits: u64,
+    /// Prefetched lines evicted without ever being touched by demand —
+    /// pure wasted memory bandwidth.
+    pub wasted_prefetches: u64,
+}
+
+impl CacheStats {
+    /// Demand miss ratio in `[0, 1]`.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// One cache way: the cached line tag plus whether it is an untouched
+/// prefetch.
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    prefetched: bool,
+    /// LRU clock; larger = more recent.
+    lru: u64,
+}
+
+/// A set-associative LRU cache.
+#[derive(Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Way>,
+    n_sets: usize,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build a cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let n_sets = config.sets().max(1);
+        Cache {
+            sets: vec![
+                Way {
+                    tag: 0,
+                    valid: false,
+                    prefetched: false,
+                    lru: 0,
+                };
+                n_sets * config.ways
+            ],
+            n_sets,
+            clock: 0,
+            stats: CacheStats::default(),
+            config,
+        }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    #[inline]
+    fn line_of(&self, addr: u64) -> u64 {
+        addr / self.config.line_bytes as u64
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line % self.n_sets as u64) as usize;
+        set * self.config.ways..(set + 1) * self.config.ways
+    }
+
+    /// Demand access: returns `true` on hit. On miss, the line is installed
+    /// (the caller charges the next level).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let line = self.line_of(addr);
+        let range = self.set_range(line);
+        let clock = self.clock;
+        // Hit?
+        for w in &mut self.sets[range.clone()] {
+            if w.valid && w.tag == line {
+                w.lru = clock;
+                if w.prefetched {
+                    w.prefetched = false;
+                    self.stats.prefetch_hits += 1;
+                }
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        self.install(line, false);
+        false
+    }
+
+    /// Install a line without a demand access (prefetch fill). No-op if the
+    /// line is already resident. Returns `true` when a line was actually
+    /// installed (the caller charges memory bandwidth only for real fills —
+    /// redundant prefetches are dropped by the memory system for free).
+    pub fn prefetch_fill(&mut self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let range = self.set_range(line);
+        if self.sets[range].iter().any(|w| w.valid && w.tag == line) {
+            return false;
+        }
+        self.stats.prefetch_fills += 1;
+        self.install(line, true);
+        true
+    }
+
+    /// True when the line holding `addr` is resident (probe without side
+    /// effects).
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        self.sets[self.set_range(line)]
+            .iter()
+            .any(|w| w.valid && w.tag == line)
+    }
+
+    fn install(&mut self, line: u64, prefetched: bool) {
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(line);
+        let victim = self.sets[range]
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru } else { 0 })
+            .expect("ways >= 1");
+        if victim.valid && victim.prefetched {
+            // Evicting a prefetched line nobody touched: the bandwidth that
+            // fetched it was wasted.
+            self.stats.wasted_prefetches += 1;
+        }
+        victim.tag = line;
+        victim.valid = true;
+        victim.prefetched = prefetched;
+        victim.lru = clock;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512 B
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::l1_32k();
+        assert_eq!(c.sets(), 64);
+        assert_eq!(CacheConfig::l3_25m().sets(), 20480);
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+        let s = c.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 2);
+        assert!((s.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Set 0 holds lines 0, 4, 8, ... (line % 4 == 0). Two ways.
+        c.access(0); // line 0
+        c.access(4 * 64); // line 4
+        assert!(c.access(0)); // still resident, refreshes LRU
+        c.access(8 * 64); // line 8 evicts line 4 (LRU)
+        assert!(c.contains(0));
+        assert!(!c.contains(4 * 64));
+        assert!(c.contains(8 * 64));
+    }
+
+    #[test]
+    fn prefetch_fill_and_useful_prefetch_counting() {
+        let mut c = tiny();
+        c.prefetch_fill(128);
+        assert!(c.contains(128));
+        assert_eq!(c.stats().prefetch_fills, 1);
+        // Demand access on a prefetched line counts as hit + useful prefetch.
+        assert!(c.access(128));
+        assert_eq!(c.stats().prefetch_hits, 1);
+        // Second access is a plain hit.
+        assert!(c.access(128));
+        assert_eq!(c.stats().prefetch_hits, 1);
+        // Redundant prefetch fills are no-ops.
+        c.prefetch_fill(128);
+        assert_eq!(c.stats().prefetch_fills, 1);
+    }
+
+    #[test]
+    fn working_set_bigger_than_cache_thrashes() {
+        let mut c = tiny(); // 512 B
+        // 2 KB working set, sequential, twice: second pass still misses.
+        for pass in 0..2 {
+            for line in 0..32u64 {
+                let hit = c.access(line * 64);
+                if pass == 1 {
+                    assert!(!hit, "line {line} should have been evicted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_within_cache_hits_on_second_pass() {
+        let mut c = tiny();
+        for _ in 0..2 {
+            for line in 0..8u64 {
+                c.access(line * 64);
+            }
+        }
+        assert_eq!(c.stats().hits, 8);
+        assert_eq!(c.stats().misses, 8);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let c = tiny();
+        assert_eq!(c.stats().miss_ratio(), 0.0);
+    }
+}

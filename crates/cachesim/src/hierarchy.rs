@@ -1,0 +1,269 @@
+//! The three-level hierarchy: L1 → L2 → L3 → memory, with the prefetcher
+//! observing L1 demand misses and filling L2/L3 (the spatial prefetchers the
+//! paper toggles live next to L2 on Intel parts).
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::prefetch::{PrefetchConfig, StridePrefetcher};
+use crate::trace::Access;
+
+/// Full hierarchy configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyConfig {
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// L2 cache.
+    pub l2: CacheConfig,
+    /// Shared L3 cache.
+    pub l3: CacheConfig,
+    /// Latency of an L1 hit, in cycles.
+    pub l1_latency: u64,
+    /// Latency of an L2 hit.
+    pub l2_latency: u64,
+    /// Latency of an L3 hit.
+    pub l3_latency: u64,
+    /// Latency of a memory access.
+    pub mem_latency: u64,
+    /// Memory-bandwidth cost, in cycles, charged to the triggering access
+    /// for each prefetch fill that installs a new line (redundant prefetches
+    /// are free). Sequential code amortizes this against the ~200-cycle
+    /// misses its useful prefetches remove; random hash traffic triggers
+    /// next-line prefetches that install lines nobody will read — the
+    /// mechanism behind Table VI's "prefetching worsens the build and
+    /// probe".
+    pub prefetch_fill_cost: u64,
+    /// Prefetcher settings.
+    pub prefetch: PrefetchConfig,
+}
+
+impl HierarchyConfig {
+    /// Roughly the paper's Haswell EP platform.
+    pub fn haswell(prefetch_enabled: bool) -> Self {
+        HierarchyConfig {
+            l1: CacheConfig::l1_32k(),
+            l2: CacheConfig::l2_256k(),
+            l3: CacheConfig::l3_25m(),
+            l1_latency: 4,
+            l2_latency: 12,
+            l3_latency: 40,
+            mem_latency: 200,
+            prefetch_fill_cost: 45,
+            prefetch: PrefetchConfig {
+                enabled: prefetch_enabled,
+                // Conservative degree: Intel streamers throttle under mixed
+                // traffic; degree 2 keeps the overshoot fills bounded.
+                degree: 2,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Counters from one trace replay.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayStats {
+    /// Demand accesses replayed.
+    pub accesses: u64,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Per-level counters.
+    pub l1: CacheStats,
+    /// Per-level counters.
+    pub l2: CacheStats,
+    /// Per-level counters.
+    pub l3: CacheStats,
+    /// Prefetches issued.
+    pub prefetches: u64,
+}
+
+impl ReplayStats {
+    /// Average cycles per demand access.
+    pub fn cycles_per_access(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The simulated hierarchy.
+#[derive(Debug)]
+pub struct Hierarchy {
+    config: HierarchyConfig,
+    l1: Cache,
+    l2: Cache,
+    l3: Cache,
+    prefetcher: StridePrefetcher,
+    accesses: u64,
+    cycles: u64,
+}
+
+impl Hierarchy {
+    /// Fresh, cold hierarchy.
+    pub fn new(config: HierarchyConfig) -> Self {
+        Hierarchy {
+            l1: Cache::new(config.l1),
+            l2: Cache::new(config.l2),
+            l3: Cache::new(config.l3),
+            prefetcher: StridePrefetcher::new(config.prefetch),
+            accesses: 0,
+            cycles: 0,
+            config,
+        }
+    }
+
+    /// Replay one demand access; returns its cost in cycles.
+    pub fn access(&mut self, addr: u64) -> u64 {
+        self.accesses += 1;
+        let cost = if self.l1.access(addr) {
+            self.config.l1_latency
+        } else {
+            // L1 miss: the prefetcher trains on the miss stream. Fills that
+            // install new lines occupy memory bandwidth, charged here.
+            let line = self.config.l1.line_bytes as u64;
+            let mut fill_cost = 0;
+            for pf in self.prefetcher.observe(addr, line) {
+                let installed = self.l3.prefetch_fill(pf);
+                self.l2.prefetch_fill(pf);
+                if installed {
+                    fill_cost += self.config.prefetch_fill_cost;
+                }
+            }
+            self.cycles += fill_cost;
+            if self.l2.access(addr) {
+                self.config.l2_latency
+            } else if self.l3.access(addr) {
+                self.config.l3_latency
+            } else {
+                self.config.mem_latency
+            }
+        };
+        self.cycles += cost;
+        cost
+    }
+
+    /// Replay a whole trace.
+    pub fn replay(&mut self, trace: &[Access]) -> ReplayStats {
+        for a in trace {
+            self.access(a.addr);
+        }
+        self.stats()
+    }
+
+    /// Snapshot of all counters.
+    pub fn stats(&self) -> ReplayStats {
+        ReplayStats {
+            accesses: self.accesses,
+            cycles: self.cycles,
+            l1: self.l1.stats(),
+            l2: self.l2.stats(),
+            l3: self.l3.stats(),
+            prefetches: self.prefetcher.issued(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Access;
+
+    fn small_config(prefetch: bool) -> HierarchyConfig {
+        HierarchyConfig {
+            l1: CacheConfig {
+                size_bytes: 1024,
+                line_bytes: 64,
+                ways: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 8 * 1024,
+                line_bytes: 64,
+                ways: 4,
+            },
+            l3: CacheConfig {
+                size_bytes: 64 * 1024,
+                line_bytes: 64,
+                ways: 8,
+            },
+            l1_latency: 4,
+            l2_latency: 12,
+            l3_latency: 40,
+            mem_latency: 200,
+            prefetch_fill_cost: 45,
+            prefetch: PrefetchConfig {
+                enabled: prefetch,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn cold_then_warm_latencies() {
+        let mut h = Hierarchy::new(small_config(false));
+        assert_eq!(h.access(0), 200); // cold: memory
+        assert_eq!(h.access(0), 4); // L1 hit
+        assert_eq!(h.access(32), 4); // same line
+    }
+
+    #[test]
+    fn l2_and_l3_hits_after_l1_eviction() {
+        let mut h = Hierarchy::new(small_config(false));
+        // Touch enough lines to spill L1 (1 KB = 16 lines) but stay in L2.
+        for line in 0..64u64 {
+            h.access(line * 64);
+        }
+        // Line 0 evicted from L1 but resident in L2 -> 12 cycles.
+        assert_eq!(h.access(0), 12);
+    }
+
+    #[test]
+    fn prefetching_speeds_up_sequential_scans() {
+        let trace: Vec<Access> = (0..4096u64).map(|i| Access::read(i * 64)).collect();
+        let mut off = Hierarchy::new(small_config(false));
+        let s_off = off.replay(&trace);
+        let mut on = Hierarchy::new(small_config(true));
+        let s_on = on.replay(&trace);
+        assert!(s_on.prefetches > 0);
+        assert!(
+            s_on.cycles < s_off.cycles,
+            "prefetching must help a pure sequential scan: {} vs {}",
+            s_on.cycles,
+            s_off.cycles
+        );
+        // A healthy share of prefetches should be useful in a pure stream.
+        // (Issued counts include redundant prefetches of already-resident
+        // lines — with degree 4 each miss re-requests ~3 known lines — so
+        // the useful fraction is bounded by ~1/degree.)
+        assert!(s_on.l2.prefetch_hits + s_on.l3.prefetch_hits > s_on.prefetches / 8);
+    }
+
+    #[test]
+    fn prefetching_does_not_help_random_access() {
+        // Pseudo-random line walk over a region much larger than L3.
+        let mut addr = 12345u64;
+        let trace: Vec<Access> = (0..4096)
+            .map(|_| {
+                addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1);
+                Access::read((addr % (1 << 22)) & !63)
+            })
+            .collect();
+        let mut off = Hierarchy::new(small_config(false));
+        let s_off = off.replay(&trace);
+        let mut on = Hierarchy::new(small_config(true));
+        let s_on = on.replay(&trace);
+        // No stride to learn: few prefetches, and certainly no big win.
+        let ratio = s_on.cycles as f64 / s_off.cycles as f64;
+        assert!(ratio > 0.95, "random access should not benefit: {ratio}");
+    }
+
+    #[test]
+    fn replay_stats_accounting() {
+        let trace: Vec<Access> = (0..100u64).map(|i| Access::read(i * 64)).collect();
+        let mut h = Hierarchy::new(small_config(false));
+        let s = h.replay(&trace);
+        assert_eq!(s.accesses, 100);
+        assert_eq!(s.l1.hits + s.l1.misses, 100);
+        assert!(s.cycles_per_access() >= 4.0);
+        assert_eq!(ReplayStats::default().cycles_per_access(), 0.0);
+    }
+}

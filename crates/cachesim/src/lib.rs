@@ -1,0 +1,33 @@
+//! # uot-cachesim
+//!
+//! A trace-driven, three-level, set-associative cache-hierarchy simulator
+//! with a toggleable **stride prefetcher**.
+//!
+//! ## Why this exists
+//!
+//! Section IV-D / Table VI of the paper measures operator task times with the
+//! hardware prefetcher enabled vs. disabled via Intel's MSR `0x1A4` — which
+//! requires bare-metal root on specific CPUs. This crate substitutes a
+//! simulator that exercises the same code path the paper studies: the
+//! interaction of operator *access patterns* (sequential scans, random hash
+//! probes, mixed streams) with spatial prefetching. The `table6_prefetching`
+//! bench replays the select/build/probe traces of the engine's block
+//! geometry through this hierarchy with the prefetcher on and off.
+//!
+//! ## Pieces
+//!
+//! * [`cache`] — one set-associative LRU cache level.
+//! * [`prefetch`] — a stride-detecting, multi-line spatial prefetcher.
+//! * [`hierarchy`] — inclusive L1/L2/L3 + memory with per-level latencies.
+//! * [`trace`] — access-trace generators for the paper's three operators
+//!   (select scan, hash build, hash probe) in row/column layouts.
+
+pub mod cache;
+pub mod hierarchy;
+pub mod prefetch;
+pub mod trace;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{Hierarchy, HierarchyConfig, ReplayStats};
+pub use prefetch::{PrefetchConfig, StridePrefetcher};
+pub use trace::{Access, TraceGen};

@@ -1,0 +1,181 @@
+//! Access-trace generators for the paper's three operator kinds.
+//!
+//! The geometry mirrors the engine's storage layer: a storage block is a
+//! contiguous region of fixed-width tuples (row store) or per-column runs
+//! (column store); a hash table is a large region accessed at random. Traces
+//! are what Table VI's three rows (select / build / probe) look like to the
+//! memory system:
+//!
+//! * **select** — sequential pass over the block, touching one column
+//!   (strided in a row store, dense in a column store);
+//! * **build** — sequential pass over the input + a random *write* into the
+//!   hash-table region per tuple;
+//! * **probe** — sequential pass over the input + a random *read* chain in
+//!   the hash-table region per tuple.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Byte address.
+    pub addr: u64,
+    /// Write access (the simulator treats reads/writes alike for residency;
+    /// the flag documents the pattern).
+    pub write: bool,
+}
+
+impl Access {
+    /// A read of `addr`.
+    pub fn read(addr: u64) -> Self {
+        Access { addr, write: false }
+    }
+
+    /// A write of `addr`.
+    pub fn write(addr: u64) -> Self {
+        Access { addr, write: true }
+    }
+}
+
+/// Trace generator with the engine's block geometry.
+#[derive(Debug, Clone)]
+pub struct TraceGen {
+    /// Width of one tuple in bytes (row-store stride).
+    pub tuple_bytes: u64,
+    /// Bytes of the referenced column(s) per tuple.
+    pub referenced_bytes: u64,
+    /// Number of tuples per block.
+    pub tuples_per_block: u64,
+    /// Base address of the block region.
+    pub block_base: u64,
+    /// Base address of the hash-table region.
+    pub hash_table_base: u64,
+    /// Size of the hash-table region in bytes.
+    pub hash_table_bytes: u64,
+    /// RNG seed (traces are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl TraceGen {
+    /// Geometry for a block of `block_bytes` holding `tuple_bytes`-wide
+    /// tuples, with a hash table of `hash_table_bytes`.
+    pub fn new(block_bytes: u64, tuple_bytes: u64, hash_table_bytes: u64) -> Self {
+        TraceGen {
+            tuple_bytes,
+            referenced_bytes: 8,
+            tuples_per_block: block_bytes / tuple_bytes.max(1),
+            block_base: 1 << 30,
+            hash_table_base: 2 << 30,
+            hash_table_bytes,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Sequential scan of one column in **row-store** layout: one read per
+    /// tuple at stride `tuple_bytes` (the access pattern of Section VII-B6's
+    /// select row).
+    pub fn select_row_store(&self) -> Vec<Access> {
+        (0..self.tuples_per_block)
+            .map(|i| Access::read(self.block_base + i * self.tuple_bytes))
+            .collect()
+    }
+
+    /// Sequential scan of one column in **column-store** layout: dense reads
+    /// of `referenced_bytes` values.
+    pub fn select_column_store(&self) -> Vec<Access> {
+        (0..self.tuples_per_block)
+            .map(|i| Access::read(self.block_base + i * self.referenced_bytes))
+            .collect()
+    }
+
+    /// Build: sequential input read + one random hash-table write per tuple.
+    pub fn build_hash(&self) -> Vec<Access> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(2 * self.tuples_per_block as usize);
+        for i in 0..self.tuples_per_block {
+            out.push(Access::read(self.block_base + i * self.tuple_bytes));
+            let slot = rng.gen_range(0..self.hash_table_bytes.max(1)) & !63;
+            out.push(Access::write(self.hash_table_base + slot));
+        }
+        out
+    }
+
+    /// Probe: sequential input read + a short random read chain (bucket +
+    /// payload) in the hash-table region per tuple.
+    pub fn probe_hash(&self) -> Vec<Access> {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+        let mut out = Vec::with_capacity(3 * self.tuples_per_block as usize);
+        for i in 0..self.tuples_per_block {
+            out.push(Access::read(self.block_base + i * self.tuple_bytes));
+            let bucket = rng.gen_range(0..self.hash_table_bytes.max(1)) & !63;
+            out.push(Access::read(self.hash_table_base + bucket));
+            let payload = rng.gen_range(0..self.hash_table_bytes.max(1)) & !63;
+            out.push(Access::read(self.hash_table_base + payload));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen() -> TraceGen {
+        TraceGen::new(128 * 1024, 128, 16 * 1024 * 1024)
+    }
+
+    #[test]
+    fn select_row_store_is_strided() {
+        let g = gen();
+        let t = g.select_row_store();
+        assert_eq!(t.len(), 1024);
+        assert_eq!(t[1].addr - t[0].addr, 128);
+        assert!(t.iter().all(|a| !a.write));
+    }
+
+    #[test]
+    fn select_column_store_is_dense() {
+        let g = gen();
+        let t = g.select_column_store();
+        assert_eq!(t[1].addr - t[0].addr, 8);
+    }
+
+    #[test]
+    fn build_interleaves_writes_to_hash_region() {
+        let g = gen();
+        let t = g.build_hash();
+        assert_eq!(t.len(), 2048);
+        // Even entries: sequential input reads; odd entries: HT writes.
+        assert!(!t[0].write && t[1].write);
+        assert!(t[1].addr >= g.hash_table_base);
+        assert!(t[1].addr < g.hash_table_base + g.hash_table_bytes);
+    }
+
+    #[test]
+    fn probe_has_two_hash_reads_per_tuple() {
+        let g = gen();
+        let t = g.probe_hash();
+        assert_eq!(t.len(), 3 * 1024);
+        assert!(t.iter().all(|a| !a.write));
+        assert!(t[1].addr >= g.hash_table_base && t[2].addr >= g.hash_table_base);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let g = gen();
+        assert_eq!(g.build_hash(), g.build_hash());
+        assert_eq!(g.probe_hash(), g.probe_hash());
+        let mut g2 = gen();
+        g2.seed = 99;
+        assert_ne!(g2.build_hash(), g.build_hash());
+    }
+
+    #[test]
+    fn hash_addresses_are_line_aligned() {
+        let g = gen();
+        for a in g.probe_hash().iter().skip(1).step_by(3) {
+            assert_eq!((a.addr - g.hash_table_base) % 64, 0);
+        }
+    }
+}

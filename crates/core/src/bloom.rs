@@ -1,0 +1,185 @@
+//! Bloom filters for Lookahead Information Passing (LIP).
+//!
+//! The paper leans on Zhu et al.'s LIP work \[42\] in two places: LIP filters
+//! "can substantially bring down the selectivity, sometimes by an order of
+//! magnitude" (Section VI-C's technique to shrink `|σ(R)|`), and "LIP filters
+//! in Quickstep reduce the data movement across operators significantly"
+//! (the Fig. 11 discussion). This module provides the mechanism: every hash
+//! build can also populate a Bloom filter over its keys, and a downstream
+//! select can *probe the filters of joins it has not reached yet*, dropping
+//! doomed rows at the scan.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use uot_storage::{hash_key::FxBuildHasher, HashKey, StorageBlock};
+
+/// A concurrently-buildable blocked Bloom filter keyed by [`HashKey`]s.
+///
+/// Uses `k` derived probe positions from two independent 64-bit hashes
+/// (Kirsch-Mitzenmacher). Inserts are lock-free atomic ORs, so build work
+/// orders can populate the filter in parallel exactly like the hash table.
+#[derive(Debug)]
+pub struct BloomFilter {
+    words: Vec<AtomicU64>,
+    n_bits: u64,
+    hashes: u32,
+}
+
+fn hash2(key: &HashKey) -> (u64, u64) {
+    use std::hash::{BuildHasher, Hash, Hasher};
+    let b = FxBuildHasher::default();
+    let a = b.hash_one(key);
+    let mut h2 = b.build_hasher();
+    h2.write_u64(a ^ 0x9e37_79b9_7f4a_7c15);
+    key.hash(&mut h2);
+    (a, h2.finish() | 1) // odd second hash avoids degenerate stepping
+}
+
+impl BloomFilter {
+    /// Filter sized for `expected_keys` at roughly the target
+    /// false-positive rate (clamped to sane bounds).
+    pub fn with_capacity(expected_keys: usize, fp_rate: f64) -> Self {
+        let fp = fp_rate.clamp(1e-4, 0.5);
+        let n = expected_keys.max(16) as f64;
+        // classic sizing: m = -n ln p / (ln 2)^2 ; k = (m/n) ln 2
+        let m = (-n * fp.ln() / (2f64.ln().powi(2))).ceil() as u64;
+        let m = m.next_power_of_two().max(64);
+        let k = ((m as f64 / n) * 2f64.ln()).round().clamp(1.0, 8.0) as u32;
+        BloomFilter {
+            words: (0..m / 64).map(|_| AtomicU64::new(0)).collect(),
+            n_bits: m,
+            hashes: k,
+        }
+    }
+
+    /// Number of bits.
+    pub fn n_bits(&self) -> u64 {
+        self.n_bits
+    }
+
+    /// Number of probe positions per key.
+    pub fn n_hashes(&self) -> u32 {
+        self.hashes
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    #[inline]
+    fn positions(&self, key: &HashKey) -> impl Iterator<Item = u64> + '_ {
+        let (a, b) = hash2(key);
+        let mask = self.n_bits - 1;
+        (0..self.hashes as u64).map(move |i| (a.wrapping_add(i.wrapping_mul(b))) & mask)
+    }
+
+    /// Insert a key (thread-safe).
+    pub fn insert(&self, key: &HashKey) {
+        for pos in self.positions(key) {
+            self.words[(pos / 64) as usize].fetch_or(1 << (pos % 64), Ordering::Relaxed);
+        }
+    }
+
+    /// Insert every key of `block` built from `key_cols`.
+    pub fn insert_block(&self, block: &StorageBlock, key_cols: &[usize]) -> crate::Result<()> {
+        for row in 0..block.num_rows() {
+            self.insert(&HashKey::from_row(block, row, key_cols)?);
+        }
+        Ok(())
+    }
+
+    /// Membership test: `false` means *definitely absent*.
+    pub fn may_contain(&self, key: &HashKey) -> bool {
+        for pos in self.positions(key) {
+            if self.words[(pos / 64) as usize].load(Ordering::Relaxed) & (1 << (pos % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Fraction of set bits (diagnostic; high saturation means high false
+    /// positive rates).
+    pub fn saturation(&self) -> f64 {
+        let ones: u64 = self
+            .words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as u64)
+            .sum();
+        ones as f64 / self.n_bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use uot_storage::{BlockFormat, DataType, Schema, Value};
+
+    #[test]
+    fn no_false_negatives() {
+        let f = BloomFilter::with_capacity(1000, 0.01);
+        for i in 0..1000 {
+            f.insert(&HashKey::from_i64(i));
+        }
+        for i in 0..1000 {
+            assert!(f.may_contain(&HashKey::from_i64(i)), "lost key {i}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_bounded() {
+        let f = BloomFilter::with_capacity(1000, 0.01);
+        for i in 0..1000 {
+            f.insert(&HashKey::from_i64(i));
+        }
+        let fps = (1000..101_000)
+            .filter(|&i| f.may_contain(&HashKey::from_i64(i)))
+            .count();
+        let rate = fps as f64 / 100_000.0;
+        assert!(rate < 0.05, "false positive rate {rate}");
+        assert!(f.saturation() < 0.7);
+    }
+
+    #[test]
+    fn sizing_clamps() {
+        let f = BloomFilter::with_capacity(0, 2.0); // degenerate inputs
+        assert!(f.n_bits() >= 64);
+        assert!(f.n_hashes() >= 1);
+        assert!(f.memory_bytes() >= 8);
+        let f = BloomFilter::with_capacity(1_000_000, 1e-9);
+        assert!(f.n_hashes() <= 8);
+    }
+
+    #[test]
+    fn insert_block_covers_all_rows() {
+        let s = Schema::from_pairs(&[("k", DataType::Int32)]);
+        let mut b = StorageBlock::new(s, BlockFormat::Column, 4096).unwrap();
+        for i in 0..100 {
+            b.append_row(&[Value::I32(i * 3)]).unwrap();
+        }
+        let f = BloomFilter::with_capacity(100, 0.01);
+        f.insert_block(&b, &[0]).unwrap();
+        for i in 0..100 {
+            assert!(f.may_contain(&HashKey::from_i32(i * 3)));
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_are_lossless() {
+        let f = Arc::new(BloomFilter::with_capacity(4000, 0.01));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let f = f.clone();
+                s.spawn(move || {
+                    for i in (t * 1000)..((t + 1) * 1000) {
+                        f.insert(&HashKey::from_i64(i));
+                    }
+                });
+            }
+        });
+        for i in 0..4000 {
+            assert!(f.may_contain(&HashKey::from_i64(i)));
+        }
+    }
+}

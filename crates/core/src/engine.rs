@@ -1,0 +1,342 @@
+//! The engine facade: configuration, execution, results.
+
+use crate::metrics::QueryMetrics;
+use crate::plan::QueryPlan;
+use crate::scheduler::{run_parallel, run_serial, SchedulerConfig};
+use crate::state::ExecContext;
+use crate::uot::Uot;
+use crate::Result;
+use std::sync::Arc;
+use uot_storage::{BlockFormat, BlockPool, MemoryTracker, Schema, StorageBlock, Value};
+
+/// How work orders are driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One thread, deterministic work-order order. For tests and debugging.
+    Serial,
+    /// Scheduler thread plus `workers` worker threads (the Quickstep model).
+    Parallel {
+        /// Number of worker threads.
+        workers: usize,
+    },
+}
+
+/// Engine configuration. The fields mirror the experimental dimensions of
+/// Section IV of the paper: block size, storage format (of temporaries),
+/// UoT, and parallelism.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Size of temporary storage blocks in bytes.
+    pub block_bytes: usize,
+    /// Format of temporary blocks. The paper's Quickstep uses **row store
+    /// for temporary tables regardless of the base-table format**
+    /// (Section IV-B); that is the default here too.
+    pub temp_format: BlockFormat,
+    /// Default unit of transfer for every edge without an override.
+    pub default_uot: Uot,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Optional per-operator concurrency cap.
+    pub max_dop_per_op: Option<usize>,
+    /// Shards per join hash table (lock granularity of concurrent builds).
+    pub hash_table_shards: usize,
+    /// Whether the block pool reuses returned blocks (the `ablation_pool`
+    /// knob; `true` matches Quickstep).
+    pub pool_reuse: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            block_bytes: 128 * 1024,
+            temp_format: BlockFormat::Row,
+            default_uot: Uot::LOW,
+            mode: ExecMode::Parallel {
+                workers: std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4),
+            },
+            max_dop_per_op: None,
+            hash_table_shards: 64,
+            pool_reuse: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Serial configuration with sane defaults (tests, examples).
+    pub fn serial() -> Self {
+        EngineConfig {
+            mode: ExecMode::Serial,
+            ..Default::default()
+        }
+    }
+
+    /// Parallel configuration with `workers` threads.
+    pub fn parallel(workers: usize) -> Self {
+        EngineConfig {
+            mode: ExecMode::Parallel { workers },
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style setter for the block size.
+    pub fn with_block_bytes(mut self, bytes: usize) -> Self {
+        self.block_bytes = bytes;
+        self
+    }
+
+    /// Builder-style setter for the default UoT.
+    pub fn with_uot(mut self, uot: Uot) -> Self {
+        self.default_uot = uot;
+        self
+    }
+
+    /// Builder-style setter for the temporary-block format.
+    pub fn with_temp_format(mut self, format: BlockFormat) -> Self {
+        self.temp_format = format;
+        self
+    }
+}
+
+/// A materialized query result plus its execution metrics.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Result schema.
+    pub schema: Arc<Schema>,
+    /// Result blocks (in completion order — unordered unless the sink was a
+    /// sort).
+    pub blocks: Vec<Arc<StorageBlock>>,
+    /// Execution metrics.
+    pub metrics: QueryMetrics,
+}
+
+impl QueryResult {
+    /// Total result rows.
+    pub fn num_rows(&self) -> usize {
+        self.blocks.iter().map(|b| b.num_rows()).sum()
+    }
+
+    /// Materialize all rows in block order.
+    pub fn rows(&self) -> Vec<Vec<Value>> {
+        self.blocks.iter().flat_map(|b| b.all_rows()).collect()
+    }
+
+    /// Materialize all rows in a canonical total order — use this to compare
+    /// results across UoTs, block sizes, formats and executors.
+    pub fn sorted_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows = self.rows();
+        rows.sort_by(|a, b| crate::ops::aggregate::cmp_value_rows(a, b));
+        rows
+    }
+}
+
+/// The query engine: executes plans under an [`EngineConfig`].
+///
+/// Each execution gets a fresh [`BlockPool`] and [`MemoryTracker`], so
+/// `metrics.peak_temp_bytes` is exactly the query's own temporary footprint
+/// (pool blocks + join hash tables), the quantity Section VI of the paper
+/// analyzes.
+#[derive(Debug, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Execute `plan` and return the materialized result.
+    pub fn execute(&self, plan: QueryPlan) -> Result<QueryResult> {
+        let tracker = MemoryTracker::new();
+        let pool = BlockPool::new(tracker);
+        pool.set_reuse_enabled(self.config.pool_reuse);
+        let plan = Arc::new(plan);
+        let schema = plan.result_schema().clone();
+        let ctx = Arc::new(ExecContext::new(
+            plan,
+            pool,
+            self.config.temp_format,
+            self.config.block_bytes,
+            self.config.hash_table_shards,
+        )?);
+        let sched = SchedulerConfig {
+            workers: match self.config.mode {
+                ExecMode::Serial => 1,
+                ExecMode::Parallel { workers } => workers.max(1),
+            },
+            default_uot: self.config.default_uot,
+            max_dop_per_op: self.config.max_dop_per_op,
+        };
+        let (blocks, metrics) = match self.config.mode {
+            ExecMode::Serial => run_serial(ctx, sched)?,
+            ExecMode::Parallel { .. } => run_parallel(ctx, sched)?,
+        };
+        Ok(QueryResult {
+            schema,
+            blocks,
+            metrics,
+        })
+    }
+
+    /// Execute `plan` with a one-off UoT override on every edge.
+    pub fn execute_with_uot(&self, plan: QueryPlan, uot: Uot) -> Result<QueryResult> {
+        let mut cfg = self.config.clone();
+        cfg.default_uot = uot;
+        Engine::new(cfg).execute(plan.with_uniform_uot(uot))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{JoinType, PlanBuilder, SortKey, Source};
+    use uot_expr::{cmp, col, lit, AggSpec, CmpOp};
+    use uot_storage::{DataType, Table, TableBuilder};
+
+    fn table(name: &str, n: i32) -> Arc<Table> {
+        let s = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Float64)]);
+        let mut tb = TableBuilder::new(name, s, BlockFormat::Column, 96); // 8 rows/block
+        for i in 0..n {
+            tb.append(&[Value::I32(i), Value::F64(i as f64 * 2.0)]).unwrap();
+        }
+        Arc::new(tb.finish())
+    }
+
+    fn plan() -> QueryPlan {
+        let dim = table("dim", 20);
+        let fact = table("fact", 200);
+        let mut pb = PlanBuilder::new();
+        let b = pb
+            .build_hash(Source::Table(dim), vec![0], vec![1])
+            .unwrap();
+        let s = pb
+            .filter(Source::Table(fact), cmp(col(0), CmpOp::Lt, lit(100i32)))
+            .unwrap();
+        let p = pb
+            .probe(Source::Op(s), b, vec![0], vec![0], vec![0], JoinType::Inner)
+            .unwrap();
+        let a = pb
+            .aggregate(
+                Source::Op(p),
+                vec![],
+                vec![AggSpec::count_star(), AggSpec::sum(col(1))],
+                &["n", "s"],
+            )
+            .unwrap();
+        pb.build(a).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_serial() {
+        let engine = Engine::new(EngineConfig::serial());
+        let r = engine.execute(plan()).unwrap();
+        let rows = r.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::I64(20));
+        let expect: f64 = (0..20).map(|i| i as f64 * 2.0).sum();
+        assert_eq!(rows[0][1], Value::F64(expect));
+        assert!(r.metrics.wall_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn all_modes_and_uots_agree() {
+        let reference = Engine::new(EngineConfig::serial())
+            .execute(plan())
+            .unwrap()
+            .sorted_rows();
+        for mode in [ExecMode::Serial, ExecMode::Parallel { workers: 4 }] {
+            for uot in [Uot::Blocks(1), Uot::Blocks(3), Uot::Table] {
+                let cfg = EngineConfig {
+                    mode,
+                    default_uot: uot,
+                    ..Default::default()
+                };
+                let rows = Engine::new(cfg).execute(plan()).unwrap().sorted_rows();
+                assert_eq!(rows, reference, "{mode:?} {uot}");
+            }
+        }
+    }
+
+    #[test]
+    fn formats_and_block_sizes_agree() {
+        let reference = Engine::new(EngineConfig::serial())
+            .execute(plan())
+            .unwrap()
+            .sorted_rows();
+        for fmt in [BlockFormat::Row, BlockFormat::Column] {
+            for bytes in [256usize, 1024, 1 << 20] {
+                let cfg = EngineConfig::serial()
+                    .with_temp_format(fmt)
+                    .with_block_bytes(bytes);
+                let rows = Engine::new(cfg).execute(plan()).unwrap().sorted_rows();
+                assert_eq!(rows, reference, "{fmt:?} {bytes}");
+            }
+        }
+    }
+
+    #[test]
+    fn execute_with_uot_overrides() {
+        let engine = Engine::new(EngineConfig::serial());
+        let r = engine.execute_with_uot(plan(), Uot::Table).unwrap();
+        assert_eq!(r.rows().len(), 1);
+    }
+
+    #[test]
+    fn sorted_sink_preserves_order() {
+        let t = table("t", 50);
+        let mut pb = PlanBuilder::new();
+        let s = pb
+            .filter(Source::Table(t), cmp(col(0), CmpOp::Lt, lit(10i32)))
+            .unwrap();
+        let so = pb
+            .sort(Source::Op(s), vec![SortKey::desc(0)], Some(4))
+            .unwrap();
+        let plan = pb.build(so).unwrap();
+        let r = Engine::new(EngineConfig::parallel(4)).execute(plan).unwrap();
+        let ks: Vec<i32> = r.rows().iter().map(|row| row[0].as_i32()).collect();
+        assert_eq!(ks, vec![9, 8, 7, 6]);
+        assert_eq!(r.num_rows(), 4);
+    }
+
+    #[test]
+    fn metrics_capture_memory() {
+        let r = Engine::new(EngineConfig::serial()).execute(plan()).unwrap();
+        assert!(r.metrics.peak_temp_bytes > 0);
+        assert_eq!(r.metrics.hash_table_bytes.len(), 1);
+        assert!(r.metrics.hash_table_bytes[0].1 > 0);
+    }
+
+    #[test]
+    fn pool_reuse_ablation_runs() {
+        let cfg = EngineConfig {
+            pool_reuse: false,
+            mode: ExecMode::Serial,
+            ..Default::default()
+        };
+        let r = Engine::new(cfg).execute(plan()).unwrap();
+        assert_eq!(r.rows().len(), 1);
+        assert_eq!(r.metrics.pool.reused, 0);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = EngineConfig::serial()
+            .with_block_bytes(512)
+            .with_uot(Uot::Table)
+            .with_temp_format(BlockFormat::Column);
+        assert_eq!(c.block_bytes, 512);
+        assert_eq!(c.default_uot, Uot::Table);
+        assert_eq!(c.temp_format, BlockFormat::Column);
+        assert_eq!(c.mode, ExecMode::Serial);
+        let c = EngineConfig::parallel(7);
+        assert_eq!(c.mode, ExecMode::Parallel { workers: 7 });
+    }
+}

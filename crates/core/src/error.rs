@@ -1,0 +1,81 @@
+//! Error type for the engine.
+
+use std::fmt;
+use uot_expr::ExprError;
+use uot_storage::StorageError;
+
+/// Errors raised while building or executing query plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Storage-layer failure.
+    Storage(StorageError),
+    /// Expression-layer failure.
+    Expr(ExprError),
+    /// A plan referenced an operator id that does not exist (or is not
+    /// upstream of the referencing operator).
+    InvalidOperatorRef {
+        /// The offending reference.
+        referenced: usize,
+        /// The operator doing the referencing.
+        by: usize,
+    },
+    /// Structural plan problem (e.g. an operator output consumed twice, or
+    /// the sink has a consumer).
+    InvalidPlan(String),
+    /// Execution-time invariant violation.
+    Internal(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Expr(e) => write!(f, "expression error: {e}"),
+            EngineError::InvalidOperatorRef { referenced, by } => {
+                write!(f, "operator {by} references invalid operator {referenced}")
+            }
+            EngineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            EngineError::Internal(msg) => write!(f, "internal engine error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<ExprError> for EngineError {
+    fn from(e: ExprError) -> Self {
+        EngineError::Expr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: EngineError = StorageError::TableNotFound("t".into()).into();
+        assert!(matches!(e, EngineError::Storage(_)));
+        let e: EngineError = ExprError::ColumnOutOfRange { index: 1, len: 0 }.into();
+        assert!(matches!(e, EngineError::Expr(_)));
+    }
+
+    #[test]
+    fn display() {
+        let e = EngineError::InvalidOperatorRef {
+            referenced: 3,
+            by: 5,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('5'));
+        assert!(EngineError::InvalidPlan("no sink".into())
+            .to_string()
+            .contains("no sink"));
+    }
+}

@@ -1,0 +1,350 @@
+//! The shared, non-partitioned join hash table.
+//!
+//! Quickstep uses non-partitioned hash joins (the paper cites Blanas et al.):
+//! every build work order inserts into one shared table, every probe work
+//! order reads it. We shard the table into `2^k` independently locked
+//! segments so concurrent build work orders scale, and use read locks during
+//! the probe phase (the scheduler guarantees probes start only after the
+//! build completes).
+//!
+//! Payload rows are stored as fixed-width encoded bytes in per-shard arenas —
+//! the same encoding as a row-store tuple — so a hash table's memory
+//! footprint is directly measurable, which the memory experiments
+//! (Section VI of the paper, `|H_i|`) rely on.
+
+use crate::Result;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use uot_storage::{
+    hash_key::{bucket_of, FxBuildHasher},
+    DataType, HashKey, MemoryTracker, Schema, StorageBlock,
+};
+
+/// A read-only view of one payload row stored in the table.
+#[derive(Clone, Copy)]
+pub struct PayloadRef<'a> {
+    schema: &'a Schema,
+    bytes: &'a [u8],
+}
+
+impl<'a> PayloadRef<'a> {
+    /// Read an `Int32` payload column.
+    #[inline]
+    pub fn i32_at(&self, col: usize) -> i32 {
+        let off = self.schema.offset(col);
+        i32::from_le_bytes(self.bytes[off..off + 4].try_into().unwrap())
+    }
+
+    /// Read an `Int64` payload column.
+    #[inline]
+    pub fn i64_at(&self, col: usize) -> i64 {
+        let off = self.schema.offset(col);
+        i64::from_le_bytes(self.bytes[off..off + 8].try_into().unwrap())
+    }
+
+    /// Read a `Float64` payload column.
+    #[inline]
+    pub fn f64_at(&self, col: usize) -> f64 {
+        let off = self.schema.offset(col);
+        f64::from_le_bytes(self.bytes[off..off + 8].try_into().unwrap())
+    }
+
+    /// Read a `Date` payload column.
+    #[inline]
+    pub fn date_at(&self, col: usize) -> i32 {
+        self.i32_at(col)
+    }
+
+    /// Read a `Char(n)` payload column (padded bytes).
+    #[inline]
+    pub fn char_at(&self, col: usize) -> &'a [u8] {
+        let off = self.schema.offset(col);
+        let w = self.schema.dtype(col).width();
+        &self.bytes[off..off + w]
+    }
+
+    /// The payload schema.
+    #[inline]
+    pub fn schema(&self) -> &'a Schema {
+        self.schema
+    }
+}
+
+/// One lock-protected segment of the table.
+#[derive(Debug, Default)]
+struct Shard {
+    /// key -> indices of payload rows in `arena` (row i occupies
+    /// `[i*w, (i+1)*w)` where `w` is the payload tuple width).
+    map: std::collections::HashMap<HashKey, Vec<u32>, FxBuildHasher>,
+    arena: Vec<u8>,
+}
+
+/// A sharded, concurrently-buildable join hash table.
+#[derive(Debug)]
+pub struct JoinHashTable {
+    payload_schema: Arc<Schema>,
+    shards: Vec<RwLock<Shard>>,
+    entries: AtomicUsize,
+    /// Bytes already reported to the memory tracker (see `sync_tracker`).
+    tracked: AtomicUsize,
+}
+
+impl JoinHashTable {
+    /// Create a table with `shards` segments (rounded up to a power of two).
+    pub fn new(payload_schema: Arc<Schema>, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        JoinHashTable {
+            payload_schema,
+            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
+            entries: AtomicUsize::new(0),
+            tracked: AtomicUsize::new(0),
+        }
+    }
+
+    /// Schema of the stored payload rows.
+    pub fn payload_schema(&self) -> &Arc<Schema> {
+        &self.payload_schema
+    }
+
+    /// Number of payload rows inserted.
+    pub fn len(&self) -> usize {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    /// True when nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &HashKey) -> usize {
+        bucket_of(key, self.shards.len())
+    }
+
+    /// Insert every row of `block`, keyed by `key_cols`, storing
+    /// `payload_cols` as the payload. Called concurrently by build work
+    /// orders.
+    pub fn insert_block(
+        &self,
+        block: &StorageBlock,
+        key_cols: &[usize],
+        payload_cols: &[usize],
+    ) -> Result<()> {
+        let w = self.payload_schema.tuple_width();
+        let n = block.num_rows();
+        for row in 0..n {
+            let key = HashKey::from_row(block, row, key_cols)?;
+            let shard = &self.shards[self.shard_of(&key)];
+            let mut guard = shard.write();
+            let idx = (guard.arena.len() / w.max(1)) as u32;
+            encode_row(&mut guard.arena, block, row, payload_cols, &self.payload_schema);
+            guard.map.entry(key).or_default().push(idx);
+        }
+        self.entries.fetch_add(n, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Visit every payload row matching `key`. Returns the number of matches.
+    pub fn probe_key(&self, key: &HashKey, mut f: impl FnMut(PayloadRef<'_>)) -> usize {
+        let shard = self.shards[self.shard_of(key)].read();
+        let w = self.payload_schema.tuple_width();
+        match shard.map.get(key) {
+            None => 0,
+            Some(rows) => {
+                for &i in rows {
+                    let off = i as usize * w;
+                    f(PayloadRef {
+                        schema: &self.payload_schema,
+                        bytes: &shard.arena[off..off + w],
+                    });
+                }
+                rows.len()
+            }
+        }
+    }
+
+    /// True if any payload row matches `key` (semi/anti joins).
+    pub fn contains_key(&self, key: &HashKey) -> bool {
+        self.shards[self.shard_of(key)].read().map.contains_key(key)
+    }
+
+    /// Approximate resident bytes: payload arenas plus hash-map buckets.
+    ///
+    /// The bucket estimate mirrors the paper's `(M/w)·(c/f)` sizing: each
+    /// occupied map slot costs roughly one key + one `Vec` header, and the
+    /// map over-allocates by its load factor.
+    pub fn memory_bytes(&self) -> usize {
+        let mut total = 0;
+        for s in &self.shards {
+            let s = s.read();
+            total += s.arena.capacity();
+            let entry = std::mem::size_of::<HashKey>() + std::mem::size_of::<Vec<u32>>();
+            total += s.map.capacity() * entry;
+            // index vectors
+            total += s.map.values().map(|v| v.capacity() * 4).sum::<usize>();
+        }
+        total
+    }
+
+    /// Report memory growth since the last sync to `tracker` (called by the
+    /// engine when a build operator finishes, and at query teardown with
+    /// `release`).
+    pub fn sync_tracker(&self, tracker: &MemoryTracker) {
+        let now = self.memory_bytes();
+        let prev = self.tracked.swap(now, Ordering::Relaxed);
+        if now > prev {
+            tracker.alloc(now - prev);
+        } else {
+            tracker.free(prev - now);
+        }
+    }
+
+    /// Release all tracked bytes from `tracker` (query teardown).
+    pub fn release_tracker(&self, tracker: &MemoryTracker) {
+        let prev = self.tracked.swap(0, Ordering::Relaxed);
+        tracker.free(prev);
+    }
+}
+
+/// Append the projected columns of `block[row]` to `arena` using the
+/// row-store fixed-width encoding of `payload_schema`.
+fn encode_row(
+    arena: &mut Vec<u8>,
+    block: &StorageBlock,
+    row: usize,
+    payload_cols: &[usize],
+    payload_schema: &Schema,
+) {
+    debug_assert_eq!(payload_cols.len(), payload_schema.len());
+    for (j, &c) in payload_cols.iter().enumerate() {
+        match payload_schema.dtype(j) {
+            DataType::Int32 => arena.extend_from_slice(&block.i32_at(row, c).to_le_bytes()),
+            DataType::Date => arena.extend_from_slice(&block.date_at(row, c).to_le_bytes()),
+            DataType::Int64 => arena.extend_from_slice(&block.i64_at(row, c).to_le_bytes()),
+            DataType::Float64 => arena.extend_from_slice(&block.f64_at(row, c).to_le_bytes()),
+            DataType::Char(_) => arena.extend_from_slice(block.char_at(row, c)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uot_storage::{BlockFormat, Value};
+
+    fn build_block(n: i32) -> StorageBlock {
+        let s = Schema::from_pairs(&[
+            ("k", DataType::Int32),
+            ("name", DataType::Char(4)),
+            ("w", DataType::Float64),
+        ]);
+        let mut b = StorageBlock::new(s, BlockFormat::Column, 1 << 16).unwrap();
+        for i in 0..n {
+            b.append_row(&[
+                Value::I32(i % 4), // duplicate keys
+                Value::Str(format!("n{i}")),
+                Value::F64(i as f64),
+            ])
+            .unwrap();
+        }
+        b
+    }
+
+    fn table_for(block: &StorageBlock) -> JoinHashTable {
+        let payload = block.schema().project(&[1, 2]);
+        JoinHashTable::new(payload, 8)
+    }
+
+    #[test]
+    fn insert_and_probe() {
+        let b = build_block(8);
+        let ht = table_for(&b);
+        ht.insert_block(&b, &[0], &[1, 2]).unwrap();
+        assert_eq!(ht.len(), 8);
+
+        // key 1 matches rows 1 and 5
+        let mut got = vec![];
+        let n = ht.probe_key(&HashKey::from_i32(1), |p| {
+            got.push((String::from_utf8_lossy(p.char_at(0)).trim_end().to_string(), p.f64_at(1)));
+        });
+        assert_eq!(n, 2);
+        got.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        assert_eq!(got, vec![("n1".to_string(), 1.0), ("n5".to_string(), 5.0)]);
+    }
+
+    #[test]
+    fn missing_key_yields_nothing() {
+        let b = build_block(4);
+        let ht = table_for(&b);
+        ht.insert_block(&b, &[0], &[1, 2]).unwrap();
+        let mut called = false;
+        assert_eq!(ht.probe_key(&HashKey::from_i32(99), |_| called = true), 0);
+        assert!(!called);
+        assert!(!ht.contains_key(&HashKey::from_i32(99)));
+        assert!(ht.contains_key(&HashKey::from_i32(0)));
+    }
+
+    #[test]
+    fn empty_table() {
+        let b = build_block(0);
+        let ht = table_for(&b);
+        ht.insert_block(&b, &[0], &[1, 2]).unwrap();
+        assert!(ht.is_empty());
+        assert_eq!(ht.probe_key(&HashKey::from_i32(0), |_| {}), 0);
+    }
+
+    #[test]
+    fn concurrent_build_is_complete() {
+        let blocks: Vec<StorageBlock> = (0..8).map(|_| build_block(100)).collect();
+        let payload = blocks[0].schema().project(&[1, 2]);
+        let ht = Arc::new(JoinHashTable::new(payload, 16));
+        std::thread::scope(|s| {
+            for b in &blocks {
+                let ht = ht.clone();
+                s.spawn(move || ht.insert_block(b, &[0], &[1, 2]).unwrap());
+            }
+        });
+        assert_eq!(ht.len(), 800);
+        // each key 0..3 appears 25 times per block * 8 blocks
+        for k in 0..4 {
+            assert_eq!(ht.probe_key(&HashKey::from_i32(k), |_| {}), 200);
+        }
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let b = build_block(64);
+        let ht = table_for(&b);
+        let t = MemoryTracker::new();
+        ht.sync_tracker(&t);
+        let before = t.current_bytes();
+        ht.insert_block(&b, &[0], &[1, 2]).unwrap();
+        ht.sync_tracker(&t);
+        assert!(t.current_bytes() > before);
+        assert!(ht.memory_bytes() >= 64 * (4 + 8)); // at least the payload arena
+        ht.release_tracker(&t);
+        assert_eq!(t.current_bytes(), 0);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let b = build_block(8);
+        let ht = JoinHashTable::new(b.schema().project(&[2]), 4);
+        // key on (k, name) — all distinct because name differs
+        ht.insert_block(&b, &[0, 1], &[2]).unwrap();
+        let key = HashKey::from_row(&b, 3, &[0, 1]).unwrap();
+        let mut vals = vec![];
+        ht.probe_key(&key, |p| vals.push(p.f64_at(0)));
+        assert_eq!(vals, vec![3.0]);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let b = build_block(1);
+        let ht = JoinHashTable::new(b.schema().project(&[0]), 5);
+        assert_eq!(ht.shards.len(), 8);
+        let ht = JoinHashTable::new(b.schema().project(&[0]), 0);
+        assert_eq!(ht.shards.len(), 1);
+    }
+}

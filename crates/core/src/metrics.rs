@@ -1,0 +1,295 @@
+//! Execution metrics.
+//!
+//! Every figure in the paper's evaluation is a readout of scheduler-level
+//! metrics: per-task (work-order) execution times (Fig. 5, Fig. 10, Table
+//! VI), per-operator time shares (Fig. 3), chain/query wall times (Figs. 6-8,
+//! 11), DOP behavior (Fig. 9) and memory footprints (Section VI). The engine
+//! records them natively rather than relying on external profilers.
+
+use crate::plan::OpId;
+use std::time::Duration;
+use uot_storage::PoolStats;
+
+/// One executed work order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskRecord {
+    /// Operator the task belonged to.
+    pub op: OpId,
+    /// Worker that ran it (0 in serial mode).
+    pub worker: usize,
+    /// Start, relative to query start.
+    pub start: Duration,
+    /// End, relative to query start.
+    pub end: Duration,
+}
+
+impl TaskRecord {
+    /// Task duration.
+    pub fn duration(&self) -> Duration {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Aggregated metrics for one operator.
+#[derive(Debug, Clone, Default)]
+pub struct OperatorMetrics {
+    /// Display name from the plan.
+    pub name: String,
+    /// Operator kind label ("select", "probe", ...).
+    pub kind: String,
+    /// Number of executed work orders.
+    pub work_orders: usize,
+    /// Sum of work-order durations (CPU-side operator time).
+    pub total_task_time: Duration,
+    /// Individual work-order durations.
+    pub task_times: Vec<Duration>,
+    /// Input blocks consumed.
+    pub input_blocks: usize,
+    /// Output blocks produced (completed + flushed partials).
+    pub produced_blocks: usize,
+    /// Output rows produced.
+    pub produced_rows: usize,
+    /// Rows dropped by LIP Bloom filters at this operator (selects only).
+    pub lip_pruned_rows: usize,
+}
+
+impl OperatorMetrics {
+    /// Mean work-order duration; zero when no work ran.
+    pub fn avg_task_time(&self) -> Duration {
+        if self.work_orders == 0 {
+            Duration::ZERO
+        } else {
+            self.total_task_time / self.work_orders as u32
+        }
+    }
+
+    /// Longest work-order duration.
+    pub fn max_task_time(&self) -> Duration {
+        self.task_times.iter().max().copied().unwrap_or(Duration::ZERO)
+    }
+}
+
+/// Metrics for one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct QueryMetrics {
+    /// End-to-end wall time.
+    pub wall_time: Duration,
+    /// Per-operator aggregates, indexed by [`OpId`].
+    pub ops: Vec<OperatorMetrics>,
+    /// The full task log (chronological by start time).
+    pub tasks: Vec<TaskRecord>,
+    /// Peak bytes of temporary storage (pool blocks + hash tables).
+    pub peak_temp_bytes: usize,
+    /// Block-pool behavior counters.
+    pub pool: PoolStats,
+    /// Final size of each join hash table, by build operator.
+    pub hash_table_bytes: Vec<(OpId, usize)>,
+    /// Rows in the query result.
+    pub result_rows: usize,
+    /// Number of workers configured.
+    pub workers: usize,
+}
+
+impl QueryMetrics {
+    /// Operators ordered by their share of total operator time — the paper's
+    /// Fig. 3 "dominant operator" analysis. Returns `(op id, name, fraction)`
+    /// with fractions of the summed task time.
+    pub fn dominant_operators(&self) -> Vec<(OpId, String, f64)> {
+        let total: f64 = self
+            .ops
+            .iter()
+            .map(|o| o.total_task_time.as_secs_f64())
+            .sum();
+        let mut v: Vec<(OpId, String, f64)> = self
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(id, o)| {
+                let frac = if total > 0.0 {
+                    o.total_task_time.as_secs_f64() / total
+                } else {
+                    0.0
+                };
+                (id, o.name.clone(), frac)
+            })
+            .collect();
+        v.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// Maximum number of concurrently executing work orders of `op` — the
+    /// realized degree of parallelism (Section IV-C of the paper).
+    pub fn max_dop(&self, op: OpId) -> usize {
+        // Sweep task start/end events.
+        let mut events: Vec<(Duration, i32)> = Vec::new();
+        for t in self.tasks.iter().filter(|t| t.op == op) {
+            events.push((t.start, 1));
+            events.push((t.end, -1));
+        }
+        events.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut cur = 0i32;
+        let mut max = 0i32;
+        for (_, d) in events {
+            cur += d;
+            max = max.max(cur);
+        }
+        max.max(0) as usize
+    }
+
+    /// An ASCII schedule of work orders over time — the shape Fig. 2 of the
+    /// paper draws. One line per worker; each character cell is one time
+    /// bucket showing the operator id (mod 10) that ran there, `.` for idle.
+    pub fn schedule_text(&self, buckets: usize) -> String {
+        if self.tasks.is_empty() || buckets == 0 {
+            return String::new();
+        }
+        let end = self
+            .tasks
+            .iter()
+            .map(|t| t.end)
+            .max()
+            .unwrap_or(Duration::ZERO)
+            .as_secs_f64()
+            .max(1e-9);
+        let workers = self.tasks.iter().map(|t| t.worker).max().unwrap_or(0) + 1;
+        let mut grid = vec![vec!['.'; buckets]; workers];
+        for t in &self.tasks {
+            let b0 = ((t.start.as_secs_f64() / end) * buckets as f64) as usize;
+            let b1 = ((t.end.as_secs_f64() / end) * buckets as f64).ceil() as usize;
+            let ch = char::from_digit((t.op % 10) as u32, 10).unwrap_or('?');
+            for cell in grid[t.worker]
+                .iter_mut()
+                .take(b1.min(buckets))
+                .skip(b0.min(buckets.saturating_sub(1)))
+            {
+                *cell = ch;
+            }
+        }
+        let mut out = String::new();
+        for (w, row) in grid.iter().enumerate() {
+            out.push_str(&format!("w{w:02} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Total operator (CPU) time across all work orders.
+    pub fn total_task_time(&self) -> Duration {
+        self.ops.iter().map(|o| o.total_task_time).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn sample() -> QueryMetrics {
+        QueryMetrics {
+            wall_time: ms(100),
+            ops: vec![
+                OperatorMetrics {
+                    name: "select(t)".into(),
+                    kind: "select".into(),
+                    work_orders: 2,
+                    total_task_time: ms(60),
+                    task_times: vec![ms(40), ms(20)],
+                    ..Default::default()
+                },
+                OperatorMetrics {
+                    name: "probe(t)".into(),
+                    kind: "probe".into(),
+                    work_orders: 1,
+                    total_task_time: ms(40),
+                    task_times: vec![ms(40)],
+                    ..Default::default()
+                },
+            ],
+            tasks: vec![
+                TaskRecord {
+                    op: 0,
+                    worker: 0,
+                    start: ms(0),
+                    end: ms(40),
+                },
+                TaskRecord {
+                    op: 0,
+                    worker: 1,
+                    start: ms(10),
+                    end: ms(30),
+                },
+                TaskRecord {
+                    op: 1,
+                    worker: 0,
+                    start: ms(40),
+                    end: ms(80),
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn task_duration() {
+        let t = TaskRecord {
+            op: 0,
+            worker: 0,
+            start: ms(10),
+            end: ms(25),
+        };
+        assert_eq!(t.duration(), ms(15));
+    }
+
+    #[test]
+    fn averages() {
+        let m = sample();
+        assert_eq!(m.ops[0].avg_task_time(), ms(30));
+        assert_eq!(m.ops[0].max_task_time(), ms(40));
+        assert_eq!(OperatorMetrics::default().avg_task_time(), Duration::ZERO);
+        assert_eq!(m.total_task_time(), ms(100));
+    }
+
+    #[test]
+    fn dominant_operator_fractions() {
+        let m = sample();
+        let d = m.dominant_operators();
+        assert_eq!(d[0].0, 0);
+        assert!((d[0].2 - 0.6).abs() < 1e-9);
+        assert!((d[1].2 - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominant_with_no_time_is_zero() {
+        let m = QueryMetrics {
+            ops: vec![OperatorMetrics::default()],
+            ..Default::default()
+        };
+        assert_eq!(m.dominant_operators()[0].2, 0.0);
+    }
+
+    #[test]
+    fn max_dop_counts_overlap() {
+        let m = sample();
+        assert_eq!(m.max_dop(0), 2); // two select tasks overlap from 10-30
+        assert_eq!(m.max_dop(1), 1);
+        assert_eq!(m.max_dop(7), 0); // no tasks
+    }
+
+    #[test]
+    fn schedule_text_shape() {
+        let m = sample();
+        let s = m.schedule_text(16);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2); // two workers
+        assert!(lines[0].starts_with("w00 |"));
+        assert!(lines[0].contains('0')); // select ran on worker 0
+        assert!(lines[0].contains('1')); // probe ran on worker 0
+        assert!(lines[1].contains('0'));
+        // empty metrics -> empty schedule
+        assert!(QueryMetrics::default().schedule_text(8).is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Work-order execution: one module per physical operator.
+//!
+//! [`execute_work_order`] is the single entry point workers call; it
+//! dispatches on the operator kind and the work kind and returns the
+//! **completed** output blocks the work order produced (partially filled
+//! blocks stay in the operator's [`OutputBuffer`](crate::output::OutputBuffer)
+//! for the next work order, per the paper's block-pool discipline).
+
+pub mod aggregate;
+pub mod build;
+pub mod builders;
+pub mod limit;
+pub mod nlj;
+pub mod probe;
+pub mod select;
+pub mod sort;
+
+use crate::error::EngineError;
+use crate::plan::OperatorKind;
+use crate::state::ExecContext;
+use crate::work_order::{WorkKind, WorkOrder};
+use crate::Result;
+use std::sync::Arc;
+use uot_storage::{StorageBlock, Value};
+
+/// Execute one work order, returning the completed blocks it emitted.
+pub fn execute_work_order(ctx: &ExecContext, wo: &WorkOrder) -> Result<Vec<StorageBlock>> {
+    let op = ctx.plan.op(wo.op);
+    match (&op.kind, &wo.kind) {
+        (OperatorKind::Select { .. }, WorkKind::Stream { block }) => {
+            select::execute(ctx, wo.op, block)
+        }
+        (OperatorKind::BuildHash { .. }, WorkKind::Stream { block }) => {
+            build::execute(ctx, wo.op, block)
+        }
+        (OperatorKind::Probe { .. }, WorkKind::Stream { block }) => {
+            probe::execute(ctx, wo.op, block)
+        }
+        (OperatorKind::Aggregate { .. }, WorkKind::Stream { block }) => {
+            aggregate::execute_block(ctx, wo.op, block)
+        }
+        (OperatorKind::Aggregate { .. }, WorkKind::FinalizeAggregate) => {
+            aggregate::execute_finalize(ctx, wo.op)
+        }
+        (OperatorKind::Sort { .. }, WorkKind::FinalizeSort) => sort::execute(ctx, wo.op),
+        (OperatorKind::NestedLoops { .. }, WorkKind::Stream { block }) => {
+            nlj::execute(ctx, wo.op, block)
+        }
+        (OperatorKind::Limit { .. }, WorkKind::Stream { block }) => {
+            limit::execute(ctx, wo.op, block)
+        }
+        (kind, work) => Err(EngineError::Internal(format!(
+            "work order {work:?} does not match operator kind {}",
+            kind.kind_label()
+        ))),
+    }
+}
+
+/// Append value rows (slow path: aggregate/sort results) to the operator's
+/// output buffer, returning completed blocks.
+pub(crate) fn emit_value_rows(
+    ctx: &ExecContext,
+    op: usize,
+    rows: impl Iterator<Item = Vec<Value>>,
+) -> Result<Vec<StorageBlock>> {
+    let out = ctx.output(op);
+    let mut completed = Vec::new();
+    let mut cur: Option<StorageBlock> = None;
+    for row in rows {
+        loop {
+            let block = match &mut cur {
+                Some(b) => b,
+                None => {
+                    cur = Some(out.checkout(&ctx.pool)?);
+                    cur.as_mut().expect("just set")
+                }
+            };
+            if block.append_row(&row)? {
+                if block.is_full() {
+                    completed.push(cur.take().expect("present"));
+                }
+                break;
+            }
+            // Block was full before the append: rotate it out.
+            completed.push(cur.take().expect("present"));
+        }
+    }
+    if let Some(b) = cur {
+        out.put_back(b, &ctx.pool);
+    }
+    Ok(completed)
+}
+
+/// Decode `block` rows `rows` fully into values (sort/test helper).
+pub(crate) fn rows_to_values(block: &Arc<StorageBlock>) -> Vec<Vec<Value>> {
+    block.all_rows()
+}

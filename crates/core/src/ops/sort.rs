@@ -1,0 +1,139 @@
+//! Sort: a blocking operator (Section V-B: "sort-based operations are
+//! typically blocking and generally not amenable to pipelining").
+//!
+//! Input blocks are collected as they arrive; one finalize work order
+//! materializes, sorts, applies the optional `LIMIT` and emits the result.
+
+use crate::error::EngineError;
+use crate::ops::aggregate::cmp_value_rows;
+use crate::plan::{OperatorKind, SortKey};
+use crate::state::ExecContext;
+use crate::Result;
+use std::cmp::Ordering;
+use uot_storage::{StorageBlock, Value};
+
+/// Run the sort finalize work order.
+pub fn execute(ctx: &ExecContext, op: usize) -> Result<Vec<StorageBlock>> {
+    let (keys, limit) = match &ctx.plan.op(op).kind {
+        OperatorKind::Sort { keys, limit, .. } => (keys.clone(), *limit),
+        other => {
+            return Err(EngineError::Internal(format!(
+                "sort finalize on {}",
+                other.kind_label()
+            )))
+        }
+    };
+    let blocks = std::mem::take(&mut *ctx.runtimes[op].collected.lock());
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for b in &blocks {
+        rows.extend(crate::ops::rows_to_values(b));
+    }
+    rows.sort_by(|a, b| compare_rows(a, b, &keys));
+    if let Some(n) = limit {
+        rows.truncate(n);
+    }
+    crate::ops::emit_value_rows(ctx, op, rows.into_iter())
+}
+
+/// Compare two rows under the sort keys; ties broken by the full row so that
+/// output order is deterministic across executions and UoT settings.
+fn compare_rows(a: &[Value], b: &[Value], keys: &[SortKey]) -> Ordering {
+    for k in keys {
+        let ord = a[k.col]
+            .partial_cmp(&b[k.col])
+            .unwrap_or(Ordering::Equal);
+        let ord = if k.desc { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    cmp_value_rows(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PlanBuilder, Source};
+    use std::sync::Arc;
+    use uot_storage::{
+        BlockFormat, BlockPool, DataType, MemoryTracker, Schema, Table, TableBuilder,
+    };
+
+    fn table(vals: &[(i32, f64)]) -> Arc<Table> {
+        let s = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Float64)]);
+        let mut tb = TableBuilder::new("t", s, BlockFormat::Column, 64);
+        for &(k, v) in vals {
+            tb.append(&[Value::I32(k), Value::F64(v)]).unwrap();
+        }
+        Arc::new(tb.finish())
+    }
+
+    fn run_sort(
+        t: &Arc<Table>,
+        keys: Vec<SortKey>,
+        limit: Option<usize>,
+    ) -> Vec<Vec<Value>> {
+        let mut pb = PlanBuilder::new();
+        let s = pb.sort(Source::Table(t.clone()), keys, limit).unwrap();
+        let plan = Arc::new(pb.build(s).unwrap());
+        let pool = BlockPool::new(MemoryTracker::new());
+        let ctx = ExecContext::new(plan, pool, BlockFormat::Row, 1 << 12, 4).unwrap();
+        // scheduler would do this routing:
+        ctx.runtimes[s]
+            .collected
+            .lock()
+            .extend(t.blocks().iter().cloned());
+        let mut rows = Vec::new();
+        for b in execute(&ctx, s).unwrap() {
+            rows.extend(b.all_rows());
+        }
+        for b in ctx.output(s).flush() {
+            rows.extend(b.all_rows());
+        }
+        rows
+    }
+
+    #[test]
+    fn ascending_and_descending() {
+        let t = table(&[(3, 1.0), (1, 2.0), (2, 0.5), (1, 1.0)]);
+        let rows = run_sort(&t, vec![SortKey::asc(0)], None);
+        let ks: Vec<i32> = rows.iter().map(|r| r[0].as_i32()).collect();
+        assert_eq!(ks, vec![1, 1, 2, 3]);
+
+        let rows = run_sort(&t, vec![SortKey::desc(1)], None);
+        let vs: Vec<f64> = rows.iter().map(|r| r[1].as_f64()).collect();
+        assert_eq!(vs, vec![2.0, 1.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn compound_keys() {
+        let t = table(&[(1, 5.0), (2, 1.0), (1, 1.0), (2, 5.0)]);
+        let rows = run_sort(&t, vec![SortKey::asc(0), SortKey::desc(1)], None);
+        let pairs: Vec<(i32, f64)> = rows.iter().map(|r| (r[0].as_i32(), r[1].as_f64())).collect();
+        assert_eq!(pairs, vec![(1, 5.0), (1, 1.0), (2, 5.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let t = table(&[(5, 0.0), (3, 0.0), (4, 0.0), (1, 0.0), (2, 0.0)]);
+        let rows = run_sort(&t, vec![SortKey::asc(0)], Some(3));
+        let ks: Vec<i32> = rows.iter().map(|r| r[0].as_i32()).collect();
+        assert_eq!(ks, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = table(&[]);
+        let rows = run_sort(&t, vec![SortKey::asc(0)], None);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn ties_are_deterministic() {
+        // equal keys: full-row tiebreak orders by remaining column
+        let t = table(&[(1, 9.0), (1, 3.0), (1, 6.0)]);
+        let rows = run_sort(&t, vec![SortKey::asc(0)], None);
+        let vs: Vec<f64> = rows.iter().map(|r| r[1].as_f64()).collect();
+        assert_eq!(vs, vec![3.0, 6.0, 9.0]);
+    }
+}

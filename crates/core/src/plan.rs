@@ -1,0 +1,976 @@
+//! Physical query plans and the plan builder.
+//!
+//! A [`QueryPlan`] is a tree of physical operators built bottom-up with
+//! [`PlanBuilder`]. The paper studies the *scheduler phase* — it assumes the
+//! optimizer has already produced a plan — so plans here are constructed
+//! explicitly (the `uot-tpch` crate hand-builds the TPC-H plans).
+//!
+//! Each operator carries the [`Uot`] of its **input edge**: how many blocks
+//! its producer must accumulate before the scheduler hands them over.
+
+use crate::error::EngineError;
+use crate::uot::Uot;
+use crate::Result;
+use std::sync::Arc;
+use uot_expr::{AggSpec, CmpOp, Predicate, ScalarExpr};
+use uot_storage::{DataType, Schema, Table};
+
+/// Identifier of an operator within one plan (its index).
+pub type OpId = usize;
+
+/// Where an operator's streamed input comes from.
+#[derive(Debug, Clone)]
+pub enum Source {
+    /// A base table in the catalog (all blocks available at query start).
+    Table(Arc<Table>),
+    /// The output stream of an upstream operator.
+    Op(OpId),
+}
+
+/// Hash-join variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Emit probe ⨝ build combinations.
+    Inner,
+    /// Emit probe rows with at least one match (e.g. `EXISTS`).
+    Semi,
+    /// Emit probe rows with no match (e.g. `NOT EXISTS`).
+    Anti,
+}
+
+/// One sort key: column index of the operator's input and direction.
+#[derive(Debug, Clone, Copy)]
+pub struct SortKey {
+    /// Input column to sort by.
+    pub col: usize,
+    /// Descending order when true.
+    pub desc: bool,
+}
+
+impl SortKey {
+    /// Ascending key on `col`.
+    pub fn asc(col: usize) -> Self {
+        SortKey { col, desc: false }
+    }
+
+    /// Descending key on `col`.
+    pub fn desc(col: usize) -> Self {
+        SortKey { col, desc: true }
+    }
+}
+
+/// One Lookahead Information Passing filter attached to a select: rows
+/// whose `key_cols` (of the select's *input*) are definitely absent from
+/// the referenced build's Bloom filter are dropped at the scan — before
+/// they are materialized, transferred, or probed (Zhu et al. \[42\], used by
+/// the paper in Sections VI-C and VII-B7).
+#[derive(Debug, Clone)]
+pub struct LipFilter {
+    /// The `BuildHash` operator whose Bloom filter is consulted.
+    pub build: OpId,
+    /// Key columns of the select's input matching the build's key.
+    pub key_cols: Vec<usize>,
+}
+
+/// The physical operator algebra.
+#[derive(Debug, Clone)]
+pub enum OperatorKind {
+    /// Filter + project in one pass (Quickstep's "select work order").
+    Select {
+        /// Input stream.
+        source: Source,
+        /// Row filter.
+        predicate: Predicate,
+        /// Output expressions (often bare column refs).
+        projections: Vec<ScalarExpr>,
+        /// LIP filters to consult (empty = none). The select cannot start
+        /// before the referenced builds finish.
+        lip: Vec<LipFilter>,
+    },
+    /// Build a join hash table over the input stream. Produces a hash table,
+    /// not blocks; its single consumer must be a `Probe`.
+    BuildHash {
+        /// Input stream (the build side).
+        source: Source,
+        /// Key columns of the input.
+        key_cols: Vec<usize>,
+        /// Input columns stored as the hash-table payload.
+        payload_cols: Vec<usize>,
+    },
+    /// Probe a hash table with the input stream (the paper's canonical
+    /// consumer operator).
+    Probe {
+        /// Probe-side input stream.
+        probe: Source,
+        /// The `BuildHash` operator whose table is probed.
+        build: OpId,
+        /// Key columns of the probe input.
+        probe_key_cols: Vec<usize>,
+        /// Probe-side columns to emit.
+        probe_out_cols: Vec<usize>,
+        /// Payload columns (indices into the build payload) to emit; must be
+        /// empty for semi/anti joins.
+        build_out_cols: Vec<usize>,
+        /// Join variant.
+        join: JoinType,
+    },
+    /// Hash aggregation with optional grouping. Streams its input; emits all
+    /// groups at finalize (inherently blocking on the output side).
+    Aggregate {
+        /// Input stream.
+        source: Source,
+        /// Grouping columns of the input.
+        group_by: Vec<usize>,
+        /// Aggregates to compute.
+        aggs: Vec<AggSpec>,
+    },
+    /// Full sort of the input (blocking), with optional `LIMIT`.
+    Sort {
+        /// Input stream.
+        source: Source,
+        /// Sort keys, most significant first.
+        keys: Vec<SortKey>,
+        /// Keep only the first `n` rows if set.
+        limit: Option<usize>,
+    },
+    /// Nested-loops join: the `right` side is materialized in full, then each
+    /// left block joins against it under conjunctive column comparisons.
+    NestedLoops {
+        /// Streamed (outer) side.
+        left: Source,
+        /// Materialized (inner) side.
+        right: OpId,
+        /// Join conditions: `left[col] op right[col]`, all must hold.
+        conds: Vec<(usize, CmpOp, usize)>,
+        /// Left columns to emit.
+        left_out: Vec<usize>,
+        /// Right columns to emit.
+        right_out: Vec<usize>,
+    },
+    /// Pass through the first `n` rows.
+    Limit {
+        /// Input stream.
+        source: Source,
+        /// Row budget.
+        n: usize,
+    },
+}
+
+impl OperatorKind {
+    /// The streamed input of this operator (the edge the UoT applies to).
+    pub fn stream_source(&self) -> &Source {
+        match self {
+            OperatorKind::Select { source, .. }
+            | OperatorKind::BuildHash { source, .. }
+            | OperatorKind::Aggregate { source, .. }
+            | OperatorKind::Sort { source, .. }
+            | OperatorKind::Limit { source, .. } => source,
+            OperatorKind::Probe { probe, .. } => probe,
+            OperatorKind::NestedLoops { left, .. } => left,
+        }
+    }
+
+    /// Upstream operators whose *data* this one owns exclusively, besides
+    /// the streamed source: the build side of a probe and the materialized
+    /// side of an NLJ. (Used for single-consumer plan validation.)
+    pub fn blocking_deps(&self) -> Vec<OpId> {
+        match self {
+            OperatorKind::Probe { build, .. } => vec![*build],
+            OperatorKind::NestedLoops { right, .. } => vec![*right],
+            _ => vec![],
+        }
+    }
+
+    /// All upstream operators that must finish before this operator's work
+    /// orders may start: the data dependencies plus any LIP filter sources
+    /// (a select may read the Bloom filters of several builds without
+    /// consuming them).
+    pub fn scheduling_deps(&self) -> Vec<OpId> {
+        let mut deps = self.blocking_deps();
+        if let OperatorKind::Select { lip, .. } = self {
+            deps.extend(lip.iter().map(|l| l.build));
+        }
+        deps
+    }
+
+    /// Short kind label for metrics and schedule dumps.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            OperatorKind::Select { .. } => "select",
+            OperatorKind::BuildHash { .. } => "build",
+            OperatorKind::Probe { .. } => "probe",
+            OperatorKind::Aggregate { .. } => "aggregate",
+            OperatorKind::Sort { .. } => "sort",
+            OperatorKind::NestedLoops { .. } => "nlj",
+            OperatorKind::Limit { .. } => "limit",
+        }
+    }
+}
+
+/// One operator in a plan.
+#[derive(Debug, Clone)]
+pub struct Operator {
+    /// The physical algorithm.
+    pub kind: OperatorKind,
+    /// Display name (auto-generated, overridable).
+    pub name: String,
+    /// UoT of this operator's input edge; `None` uses the engine default.
+    pub uot: Option<Uot>,
+    /// Schema of this operator's output blocks. For `BuildHash` this is the
+    /// payload schema (what the hash table stores).
+    pub out_schema: Arc<Schema>,
+}
+
+/// A validated physical plan.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    ops: Vec<Operator>,
+    sink: OpId,
+    /// `consumers[i]` = operators reading operator `i`'s output (streamed or
+    /// blocking). At most one each by validation.
+    consumers: Vec<Option<OpId>>,
+}
+
+impl QueryPlan {
+    /// All operators, indexed by [`OpId`].
+    pub fn ops(&self) -> &[Operator] {
+        &self.ops
+    }
+
+    /// The operator whose output is the query result.
+    pub fn sink(&self) -> OpId {
+        self.sink
+    }
+
+    /// The single consumer of operator `id`, if any.
+    pub fn consumer_of(&self, id: OpId) -> Option<OpId> {
+        self.consumers[id]
+    }
+
+    /// The operator at `id`.
+    pub fn op(&self, id: OpId) -> &Operator {
+        &self.ops[id]
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True for a plan with no operators (never produced by the builder).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Schema of the query result.
+    pub fn result_schema(&self) -> &Arc<Schema> {
+        &self.ops[self.sink].out_schema
+    }
+
+    /// Override the input-edge UoT of every operator (experiment sweeps).
+    pub fn with_uniform_uot(mut self, uot: Uot) -> QueryPlan {
+        for op in &mut self.ops {
+            op.uot = Some(uot);
+        }
+        self
+    }
+
+    /// Override the input-edge UoT of one operator.
+    pub fn with_op_uot(mut self, id: OpId, uot: Uot) -> QueryPlan {
+        self.ops[id].uot = Some(uot);
+        self
+    }
+}
+
+/// Bottom-up plan constructor. Each method validates its arguments eagerly
+/// and returns the new operator's [`OpId`].
+#[derive(Debug, Default)]
+pub struct PlanBuilder {
+    ops: Vec<Operator>,
+}
+
+impl PlanBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        PlanBuilder { ops: Vec::new() }
+    }
+
+    fn source_schema(&self, s: &Source) -> Result<Arc<Schema>> {
+        match s {
+            Source::Table(t) => Ok(t.schema().clone()),
+            Source::Op(id) => {
+                if *id >= self.ops.len() {
+                    return Err(EngineError::InvalidOperatorRef {
+                        referenced: *id,
+                        by: self.ops.len(),
+                    });
+                }
+                if matches!(self.ops[*id].kind, OperatorKind::BuildHash { .. }) {
+                    return Err(EngineError::InvalidPlan(format!(
+                        "operator {} consumes the block stream of a BuildHash; \
+                         hash tables are only consumable by Probe",
+                        self.ops.len()
+                    )));
+                }
+                Ok(self.ops[*id].out_schema.clone())
+            }
+        }
+    }
+
+    fn source_label(&self, s: &Source) -> String {
+        match s {
+            Source::Table(t) => t.name().to_string(),
+            Source::Op(id) => format!("#{id}"),
+        }
+    }
+
+    fn check_cols(&self, cols: &[usize], schema: &Schema, by: usize) -> Result<()> {
+        for &c in cols {
+            if c >= schema.len() {
+                return Err(EngineError::Expr(uot_expr::ExprError::ColumnOutOfRange {
+                    index: c,
+                    len: schema.len(),
+                }));
+            }
+        }
+        let _ = by;
+        Ok(())
+    }
+
+    fn push(&mut self, kind: OperatorKind, name: String, out_schema: Arc<Schema>) -> OpId {
+        let id = self.ops.len();
+        self.ops.push(Operator {
+            kind,
+            name,
+            uot: None,
+            out_schema,
+        });
+        id
+    }
+
+    /// Add a select (filter + project) over `source`.
+    pub fn select(
+        &mut self,
+        source: Source,
+        predicate: Predicate,
+        projections: Vec<ScalarExpr>,
+        out_names: &[&str],
+    ) -> Result<OpId> {
+        let in_schema = self.source_schema(&source)?;
+        if projections.is_empty() {
+            return Err(EngineError::InvalidPlan("select with no projections".into()));
+        }
+        if out_names.len() != projections.len() {
+            return Err(EngineError::InvalidPlan(format!(
+                "select has {} projections but {} output names",
+                projections.len(),
+                out_names.len()
+            )));
+        }
+        let mut cols = Vec::new();
+        predicate.referenced_columns(&mut cols);
+        for p in &projections {
+            p.referenced_columns(&mut cols);
+        }
+        self.check_cols(&cols, &in_schema, self.ops.len())?;
+        let out_types: Vec<DataType> = projections
+            .iter()
+            .map(|p| p.output_type(&in_schema).map_err(EngineError::from))
+            .collect::<Result<_>>()?;
+        let out_schema = Schema::from_pairs(
+            &out_names
+                .iter()
+                .zip(&out_types)
+                .map(|(n, t)| (*n, *t))
+                .collect::<Vec<_>>(),
+        );
+        let name = format!("select({})", self.source_label(&source));
+        Ok(self.push(
+            OperatorKind::Select {
+                source,
+                predicate,
+                projections,
+                lip: Vec::new(),
+            },
+            name,
+            out_schema,
+        ))
+    }
+
+    /// Add a select that keeps all columns of `source` (pure filter).
+    pub fn filter(&mut self, source: Source, predicate: Predicate) -> Result<OpId> {
+        let in_schema = self.source_schema(&source)?;
+        let projections: Vec<ScalarExpr> = (0..in_schema.len()).map(uot_expr::col).collect();
+        let names: Vec<&str> = in_schema.columns().iter().map(|c| c.name.as_str()).collect();
+        self.select(source, predicate, projections, &names)
+    }
+
+    /// Attach LIP filters to a previously-added select: rows whose
+    /// `key_cols` are definitely absent from `build`'s Bloom filter are
+    /// dropped at the scan. The select then waits for those builds before
+    /// starting (they are *scheduling* dependencies, not data consumers, so
+    /// a build can serve its probe and several LIP readers at once).
+    pub fn add_lip(&mut self, select: OpId, build: OpId, key_cols: Vec<usize>) -> Result<()> {
+        if build >= self.ops.len() || select >= self.ops.len() {
+            return Err(EngineError::InvalidOperatorRef {
+                referenced: build.max(select),
+                by: select,
+            });
+        }
+        // Builders assign ids bottom-up; requiring build < select statically
+        // rules out wait-for cycles (a build can never transitively stream
+        // from a select that waits for it).
+        if build >= select {
+            return Err(EngineError::InvalidPlan(format!(
+                "LIP source {build} must be built before select {select}"
+            )));
+        }
+        let build_key_arity = match &self.ops[build].kind {
+            OperatorKind::BuildHash { key_cols, .. } => key_cols.len(),
+            _ => {
+                return Err(EngineError::InvalidPlan(format!(
+                    "LIP source {build} is not a BuildHash"
+                )))
+            }
+        };
+        if key_cols.len() != build_key_arity {
+            return Err(EngineError::InvalidPlan(format!(
+                "LIP key arity {} != build key arity {build_key_arity}",
+                key_cols.len()
+            )));
+        }
+        let in_schema = match &self.ops[select].kind {
+            OperatorKind::Select { source, .. } => match source {
+                Source::Table(t) => t.schema().clone(),
+                Source::Op(id) => self.ops[*id].out_schema.clone(),
+            },
+            _ => {
+                return Err(EngineError::InvalidPlan(format!(
+                    "operator {select} is not a Select; LIP attaches to selects"
+                )))
+            }
+        };
+        self.check_cols(&key_cols, &in_schema, select)?;
+        for &k in &key_cols {
+            if !in_schema.dtype(k).hashable() {
+                return Err(EngineError::Storage(
+                    uot_storage::StorageError::UnhashableType(in_schema.dtype(k).name()),
+                ));
+            }
+        }
+        if let OperatorKind::Select { lip, .. } = &mut self.ops[select].kind {
+            lip.push(LipFilter { build, key_cols });
+        }
+        Ok(())
+    }
+
+    /// Add a hash-table build over `source`.
+    pub fn build_hash(
+        &mut self,
+        source: Source,
+        key_cols: Vec<usize>,
+        payload_cols: Vec<usize>,
+    ) -> Result<OpId> {
+        let in_schema = self.source_schema(&source)?;
+        if key_cols.is_empty() {
+            return Err(EngineError::InvalidPlan("build_hash with no key".into()));
+        }
+        self.check_cols(&key_cols, &in_schema, self.ops.len())?;
+        self.check_cols(&payload_cols, &in_schema, self.ops.len())?;
+        for &k in &key_cols {
+            if !in_schema.dtype(k).hashable() {
+                return Err(EngineError::Storage(
+                    uot_storage::StorageError::UnhashableType(in_schema.dtype(k).name()),
+                ));
+            }
+        }
+        let payload_schema = in_schema.project(&payload_cols);
+        let name = format!("build({})", self.source_label(&source));
+        Ok(self.push(
+            OperatorKind::BuildHash {
+                source,
+                key_cols,
+                payload_cols,
+            },
+            name,
+            payload_schema,
+        ))
+    }
+
+    /// Add a probe of `build`'s hash table, streaming `probe`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe(
+        &mut self,
+        probe: Source,
+        build: OpId,
+        probe_key_cols: Vec<usize>,
+        probe_out_cols: Vec<usize>,
+        build_out_cols: Vec<usize>,
+        join: JoinType,
+    ) -> Result<OpId> {
+        let probe_schema = self.source_schema(&probe)?;
+        if build >= self.ops.len() {
+            return Err(EngineError::InvalidOperatorRef {
+                referenced: build,
+                by: self.ops.len(),
+            });
+        }
+        let payload_schema = match &self.ops[build].kind {
+            OperatorKind::BuildHash { key_cols, .. } => {
+                if key_cols.len() != probe_key_cols.len() {
+                    return Err(EngineError::InvalidPlan(format!(
+                        "probe key arity {} != build key arity {}",
+                        probe_key_cols.len(),
+                        key_cols.len()
+                    )));
+                }
+                self.ops[build].out_schema.clone()
+            }
+            _ => {
+                return Err(EngineError::InvalidPlan(format!(
+                    "operator {build} is not a BuildHash"
+                )))
+            }
+        };
+        self.check_cols(&probe_key_cols, &probe_schema, self.ops.len())?;
+        self.check_cols(&probe_out_cols, &probe_schema, self.ops.len())?;
+        self.check_cols(&build_out_cols, &payload_schema, self.ops.len())?;
+        for &k in &probe_key_cols {
+            if !probe_schema.dtype(k).hashable() {
+                return Err(EngineError::Storage(
+                    uot_storage::StorageError::UnhashableType(probe_schema.dtype(k).name()),
+                ));
+            }
+        }
+        if join != JoinType::Inner && !build_out_cols.is_empty() {
+            return Err(EngineError::InvalidPlan(
+                "semi/anti joins cannot emit build-side columns".into(),
+            ));
+        }
+        let out_schema = probe_schema
+            .project(&probe_out_cols)
+            .join(&payload_schema, &build_out_cols);
+        let name = format!("probe({})", self.source_label(&probe));
+        Ok(self.push(
+            OperatorKind::Probe {
+                probe,
+                build,
+                probe_key_cols,
+                probe_out_cols,
+                build_out_cols,
+                join,
+            },
+            name,
+            out_schema,
+        ))
+    }
+
+    /// Add a hash aggregation over `source`.
+    pub fn aggregate(
+        &mut self,
+        source: Source,
+        group_by: Vec<usize>,
+        aggs: Vec<AggSpec>,
+        agg_names: &[&str],
+    ) -> Result<OpId> {
+        let in_schema = self.source_schema(&source)?;
+        if aggs.is_empty() {
+            return Err(EngineError::InvalidPlan("aggregate with no aggregates".into()));
+        }
+        if aggs.len() != agg_names.len() {
+            return Err(EngineError::InvalidPlan(format!(
+                "aggregate has {} aggs but {} names",
+                aggs.len(),
+                agg_names.len()
+            )));
+        }
+        self.check_cols(&group_by, &in_schema, self.ops.len())?;
+        for &g in &group_by {
+            if !in_schema.dtype(g).hashable() {
+                return Err(EngineError::Storage(
+                    uot_storage::StorageError::UnhashableType(in_schema.dtype(g).name()),
+                ));
+            }
+        }
+        let mut pairs: Vec<(String, DataType)> = group_by
+            .iter()
+            .map(|&g| (in_schema.column(g).name.clone(), in_schema.dtype(g)))
+            .collect();
+        for (spec, name) in aggs.iter().zip(agg_names) {
+            pairs.push((
+                name.to_string(),
+                spec.output_type(&in_schema).map_err(EngineError::from)?,
+            ));
+        }
+        let out_schema = Schema::from_pairs(
+            &pairs
+                .iter()
+                .map(|(n, t)| (n.as_str(), *t))
+                .collect::<Vec<_>>(),
+        );
+        let name = format!("aggregate({})", self.source_label(&source));
+        Ok(self.push(
+            OperatorKind::Aggregate {
+                source,
+                group_by,
+                aggs,
+            },
+            name,
+            out_schema,
+        ))
+    }
+
+    /// Add a sort (with optional limit) over `source`.
+    pub fn sort(
+        &mut self,
+        source: Source,
+        keys: Vec<SortKey>,
+        limit: Option<usize>,
+    ) -> Result<OpId> {
+        let in_schema = self.source_schema(&source)?;
+        if keys.is_empty() {
+            return Err(EngineError::InvalidPlan("sort with no keys".into()));
+        }
+        let cols: Vec<usize> = keys.iter().map(|k| k.col).collect();
+        self.check_cols(&cols, &in_schema, self.ops.len())?;
+        let name = format!("sort({})", self.source_label(&source));
+        Ok(self.push(
+            OperatorKind::Sort {
+                source,
+                keys,
+                limit,
+            },
+            name,
+            in_schema,
+        ))
+    }
+
+    /// Add a nested-loops join with the `right` operator's output fully
+    /// materialized.
+    pub fn nested_loops(
+        &mut self,
+        left: Source,
+        right: OpId,
+        conds: Vec<(usize, CmpOp, usize)>,
+        left_out: Vec<usize>,
+        right_out: Vec<usize>,
+    ) -> Result<OpId> {
+        let left_schema = self.source_schema(&left)?;
+        if right >= self.ops.len() {
+            return Err(EngineError::InvalidOperatorRef {
+                referenced: right,
+                by: self.ops.len(),
+            });
+        }
+        if matches!(self.ops[right].kind, OperatorKind::BuildHash { .. }) {
+            return Err(EngineError::InvalidPlan(
+                "nested loops cannot consume a BuildHash".into(),
+            ));
+        }
+        let right_schema = self.ops[right].out_schema.clone();
+        let lcols: Vec<usize> = conds.iter().map(|c| c.0).collect();
+        let rcols: Vec<usize> = conds.iter().map(|c| c.2).collect();
+        self.check_cols(&lcols, &left_schema, self.ops.len())?;
+        self.check_cols(&rcols, &right_schema, self.ops.len())?;
+        self.check_cols(&left_out, &left_schema, self.ops.len())?;
+        self.check_cols(&right_out, &right_schema, self.ops.len())?;
+        let out_schema = left_schema
+            .project(&left_out)
+            .join(&right_schema, &right_out);
+        let name = format!("nlj({})", self.source_label(&left));
+        Ok(self.push(
+            OperatorKind::NestedLoops {
+                left,
+                right,
+                conds,
+                left_out,
+                right_out,
+            },
+            name,
+            out_schema,
+        ))
+    }
+
+    /// Add a limit over `source`.
+    pub fn limit(&mut self, source: Source, n: usize) -> Result<OpId> {
+        let in_schema = self.source_schema(&source)?;
+        let name = format!("limit({})", self.source_label(&source));
+        Ok(self.push(OperatorKind::Limit { source, n }, name, in_schema))
+    }
+
+    /// Rename an operator (for nicer metrics output).
+    pub fn rename(&mut self, id: OpId, name: impl Into<String>) {
+        self.ops[id].name = name.into();
+    }
+
+    /// Set the input-edge UoT of an operator.
+    pub fn set_uot(&mut self, id: OpId, uot: Uot) {
+        self.ops[id].uot = Some(uot);
+    }
+
+    /// Finish the plan with `sink` as the result operator.
+    pub fn build(self, sink: OpId) -> Result<QueryPlan> {
+        if sink >= self.ops.len() {
+            return Err(EngineError::InvalidOperatorRef {
+                referenced: sink,
+                by: sink,
+            });
+        }
+        if matches!(self.ops[sink].kind, OperatorKind::BuildHash { .. }) {
+            return Err(EngineError::InvalidPlan(
+                "a BuildHash cannot be the sink".into(),
+            ));
+        }
+        let mut consumers: Vec<Option<OpId>> = vec![None; self.ops.len()];
+        for (id, op) in self.ops.iter().enumerate() {
+            let mut record = |src: OpId| -> Result<()> {
+                if consumers[src].is_some() {
+                    return Err(EngineError::InvalidPlan(format!(
+                        "operator {src} is consumed by more than one operator"
+                    )));
+                }
+                consumers[src] = Some(id);
+                Ok(())
+            };
+            if let Source::Op(src) = op.kind.stream_source() {
+                record(*src)?;
+            }
+            for dep in op.kind.blocking_deps() {
+                record(dep)?;
+            }
+        }
+        // Every non-sink operator must be consumed exactly once.
+        for (id, c) in consumers.iter().enumerate() {
+            if id != sink && c.is_none() {
+                return Err(EngineError::InvalidPlan(format!(
+                    "operator {id} ({}) has no consumer and is not the sink",
+                    self.ops[id].name
+                )));
+            }
+        }
+        if consumers[sink].is_some() {
+            return Err(EngineError::InvalidPlan(
+                "the sink operator must not have a consumer".into(),
+            ));
+        }
+        Ok(QueryPlan {
+            ops: self.ops,
+            sink,
+            consumers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uot_expr::{cmp, col, lit, CmpOp};
+    use uot_storage::{BlockFormat, TableBuilder, Value};
+
+    fn table(name: &str, rows: i32) -> Arc<Table> {
+        let s = Schema::from_pairs(&[
+            ("k", DataType::Int32),
+            ("v", DataType::Float64),
+            ("d", DataType::Date),
+        ]);
+        let mut tb = TableBuilder::new(name, s, BlockFormat::Column, 256);
+        for i in 0..rows {
+            tb.append(&[Value::I32(i), Value::F64(i as f64), Value::Date(i)])
+                .unwrap();
+        }
+        Arc::new(tb.finish())
+    }
+
+    #[test]
+    fn simple_select_plan() {
+        let t = table("t", 10);
+        let mut pb = PlanBuilder::new();
+        let s = pb
+            .select(
+                Source::Table(t),
+                cmp(col(0), CmpOp::Lt, lit(5i32)),
+                vec![col(0), col(1)],
+                &["k", "v"],
+            )
+            .unwrap();
+        let plan = pb.build(s).unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.sink(), s);
+        assert_eq!(plan.result_schema().len(), 2);
+        assert_eq!(plan.consumer_of(s), None);
+    }
+
+    #[test]
+    fn select_probe_plan_wiring() {
+        let build_t = table("dim", 5);
+        let probe_t = table("fact", 20);
+        let mut pb = PlanBuilder::new();
+        let b = pb
+            .build_hash(Source::Table(build_t), vec![0], vec![0, 1])
+            .unwrap();
+        let s = pb
+            .filter(Source::Table(probe_t), cmp(col(0), CmpOp::Lt, lit(10i32)))
+            .unwrap();
+        let p = pb
+            .probe(Source::Op(s), b, vec![0], vec![0, 2], vec![1], JoinType::Inner)
+            .unwrap();
+        let plan = pb.build(p).unwrap();
+        assert_eq!(plan.consumer_of(b), Some(p));
+        assert_eq!(plan.consumer_of(s), Some(p));
+        // probe output: fact.k, fact.d, dim.v
+        assert_eq!(plan.result_schema().len(), 3);
+        assert_eq!(plan.result_schema().dtype(1), DataType::Date);
+        assert_eq!(plan.result_schema().dtype(2), DataType::Float64);
+        assert_eq!(plan.op(p).kind.blocking_deps(), vec![b]);
+    }
+
+    #[test]
+    fn aggregate_schema() {
+        let t = table("t", 10);
+        let mut pb = PlanBuilder::new();
+        let a = pb
+            .aggregate(
+                Source::Table(t),
+                vec![0],
+                vec![AggSpec::sum(col(1)), AggSpec::count_star()],
+                &["sum_v", "n"],
+            )
+            .unwrap();
+        let plan = pb.build(a).unwrap();
+        let s = plan.result_schema();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.column(0).name, "k");
+        assert_eq!(s.dtype(1), DataType::Float64);
+        assert_eq!(s.dtype(2), DataType::Int64);
+    }
+
+    #[test]
+    fn validation_catches_mistakes() {
+        let t = table("t", 10);
+        let mut pb = PlanBuilder::new();
+        // out-of-range key
+        assert!(pb
+            .build_hash(Source::Table(t.clone()), vec![9], vec![0])
+            .is_err());
+        // float key
+        assert!(pb
+            .build_hash(Source::Table(t.clone()), vec![1], vec![0])
+            .is_err());
+        // empty projections
+        assert!(pb
+            .select(Source::Table(t.clone()), Predicate::True, vec![], &[])
+            .is_err());
+        // name/projection mismatch
+        assert!(pb
+            .select(Source::Table(t.clone()), Predicate::True, vec![col(0)], &[])
+            .is_err());
+        // sort without keys
+        assert!(pb.sort(Source::Table(t.clone()), vec![], None).is_err());
+        // probe of non-build
+        let s = pb.filter(Source::Table(t.clone()), Predicate::True).unwrap();
+        assert!(pb
+            .probe(Source::Table(t.clone()), s, vec![0], vec![0], vec![], JoinType::Inner)
+            .is_err());
+        // semi join cannot emit build columns
+        let b = pb
+            .build_hash(Source::Table(t.clone()), vec![0], vec![1])
+            .unwrap();
+        assert!(pb
+            .probe(
+                Source::Table(t.clone()),
+                b,
+                vec![0],
+                vec![0],
+                vec![0],
+                JoinType::Semi
+            )
+            .is_err());
+        // probe/build key arity mismatch
+        assert!(pb
+            .probe(
+                Source::Table(t),
+                b,
+                vec![0, 2],
+                vec![0],
+                vec![],
+                JoinType::Inner
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn build_hash_stream_cannot_be_consumed_as_blocks() {
+        let t = table("t", 10);
+        let mut pb = PlanBuilder::new();
+        let b = pb
+            .build_hash(Source::Table(t), vec![0], vec![0])
+            .unwrap();
+        assert!(pb.filter(Source::Op(b), Predicate::True).is_err());
+        assert!(pb.build(b).is_err()); // build cannot be the sink
+    }
+
+    #[test]
+    fn dangling_and_double_consumption_rejected() {
+        let t = table("t", 10);
+        // dangling operator
+        let mut pb = PlanBuilder::new();
+        let _orphan = pb.filter(Source::Table(t.clone()), Predicate::True).unwrap();
+        let s2 = pb.filter(Source::Table(t.clone()), Predicate::True).unwrap();
+        assert!(pb.build(s2).is_err());
+
+        // double consumption
+        let mut pb = PlanBuilder::new();
+        let s = pb.filter(Source::Table(t.clone()), Predicate::True).unwrap();
+        let _c1 = pb.filter(Source::Op(s), Predicate::True).unwrap();
+        let c2 = pb.filter(Source::Op(s), Predicate::True).unwrap();
+        assert!(pb.build(c2).is_err());
+    }
+
+    #[test]
+    fn uot_overrides() {
+        let t = table("t", 10);
+        let mut pb = PlanBuilder::new();
+        let s = pb.filter(Source::Table(t), Predicate::True).unwrap();
+        pb.set_uot(s, Uot::Blocks(4));
+        let plan = pb.build(s).unwrap();
+        assert_eq!(plan.op(s).uot, Some(Uot::Blocks(4)));
+        let plan = plan.with_uniform_uot(Uot::Table);
+        assert_eq!(plan.op(s).uot, Some(Uot::Table));
+        let plan = plan.with_op_uot(s, Uot::Blocks(2));
+        assert_eq!(plan.op(s).uot, Some(Uot::Blocks(2)));
+    }
+
+    #[test]
+    fn nested_loops_wiring() {
+        let t = table("t", 6);
+        let mut pb = PlanBuilder::new();
+        let r = pb
+            .filter(Source::Table(t.clone()), cmp(col(0), CmpOp::Lt, lit(3i32)))
+            .unwrap();
+        let j = pb
+            .nested_loops(
+                Source::Table(t),
+                r,
+                vec![(0, CmpOp::Gt, 0)],
+                vec![0],
+                vec![0],
+            )
+            .unwrap();
+        let plan = pb.build(j).unwrap();
+        assert_eq!(plan.result_schema().len(), 2);
+        assert_eq!(plan.op(j).kind.blocking_deps(), vec![r]);
+        assert_eq!(plan.op(j).kind.kind_label(), "nlj");
+    }
+
+    #[test]
+    fn rename_and_labels() {
+        let t = table("t", 3);
+        let mut pb = PlanBuilder::new();
+        let s = pb.filter(Source::Table(t), Predicate::True).unwrap();
+        assert_eq!(pb.ops[s].name, "select(t)");
+        pb.rename(s, "my_filter");
+        let plan = pb.build(s).unwrap();
+        assert_eq!(plan.op(s).name, "my_filter");
+        assert_eq!(plan.op(s).kind.kind_label(), "select");
+    }
+}

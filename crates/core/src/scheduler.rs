@@ -1,0 +1,911 @@
+//! The work-order scheduler: where the UoT takes effect.
+//!
+//! The scheduler is the component the paper actually studies. It tracks block
+//! production per operator and **stages** each producer's completed output
+//! blocks at its consumer's input edge. Only when the staged count reaches
+//! the edge's [`Uot`] threshold are the blocks *transferred* — turned into
+//! consumer work orders (or collected, for blocking consumers). When a
+//! producer finishes, any partially accumulated UoT flushes (Section III-B).
+//!
+//! Figure 2 of the paper falls directly out of this mechanism: with
+//! `Uot::Blocks(1)` producer and consumer work orders interleave; with
+//! `Uot::Table` the schedule degenerates to operator-at-a-time.
+//!
+//! [`SchedulerCore`] is a synchronous state machine, driven either inline
+//! ([`run_serial`]) or by a scheduler thread with a worker pool
+//! ([`run_parallel`]) — Quickstep's two thread kinds.
+
+use crate::error::EngineError;
+use crate::metrics::{OperatorMetrics, QueryMetrics, TaskRecord};
+use crate::ops::execute_work_order;
+use crate::plan::{OperatorKind, QueryPlan, Source};
+use crate::state::ExecContext;
+use crate::uot::Uot;
+use crate::work_order::{WorkKind, WorkOrder};
+use crate::Result;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use uot_storage::StorageBlock;
+
+/// Scheduler knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Worker threads (parallel mode).
+    pub workers: usize,
+    /// UoT for edges without a per-operator override.
+    pub default_uot: Uot,
+    /// Optional cap on concurrent work orders per operator (a Quickstep-style
+    /// scheduling policy; `None` = unbounded).
+    pub max_dop_per_op: Option<usize>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 1,
+            default_uot: Uot::LOW,
+            max_dop_per_op: None,
+        }
+    }
+}
+
+/// Scheduler-side state of one operator.
+#[derive(Debug, Default)]
+struct OpState {
+    /// Unfinished scheduling dependencies (build side, NLJ inner side, LIP
+    /// filter sources). The operator is startable at zero.
+    waiting_on: usize,
+    /// The streamed producer has finished (base tables count as finished).
+    producer_finished: bool,
+    /// Blocks produced for this op but not yet transferred (UoT staging).
+    staged: Vec<Arc<StorageBlock>>,
+    /// Blocks transferred but held because the op is not startable yet.
+    pending: VecDeque<Arc<StorageBlock>>,
+    /// Work orders created and not yet completed.
+    outstanding: usize,
+    /// Bytes of tracked blocks parked in `collected` (sort input, NLJ inner
+    /// side), released when this operator finishes.
+    collected_bytes: usize,
+    /// The finalize work order has been dispatched (agg/sort).
+    finalize_dispatched: bool,
+    /// This operator is completely done.
+    finished: bool,
+}
+
+/// The synchronous scheduling state machine.
+pub struct SchedulerCore {
+    ctx: Arc<ExecContext>,
+    config: SchedulerConfig,
+    states: Vec<OpState>,
+    ready: VecDeque<WorkOrder>,
+    result_blocks: Vec<Arc<StorageBlock>>,
+    op_metrics: Vec<OperatorMetrics>,
+    tasks: Vec<TaskRecord>,
+    in_flight_per_op: Vec<usize>,
+    /// Operators on a blocking-prerequisite path (a build, an NLJ inner
+    /// side, or anything streaming into one): scheduled ahead of ordinary
+    /// work because downstream operators cannot start until they finish.
+    critical: Vec<bool>,
+    seq: usize,
+    unfinished: usize,
+}
+
+impl SchedulerCore {
+    /// Set up scheduling state and enqueue the initial work (base-table
+    /// blocks are all available at query start).
+    pub fn new(ctx: Arc<ExecContext>, config: SchedulerConfig) -> Self {
+        let plan = ctx.plan.clone();
+        let n = plan.len();
+        let op_metrics = plan
+            .ops()
+            .iter()
+            .map(|op| OperatorMetrics {
+                name: op.name.clone(),
+                kind: op.kind.kind_label().to_string(),
+                ..Default::default()
+            })
+            .collect();
+        let mut core = SchedulerCore {
+            ctx,
+            config,
+            states: (0..n).map(|_| OpState::default()).collect(),
+            ready: VecDeque::new(),
+            result_blocks: Vec::new(),
+            op_metrics,
+            tasks: Vec::new(),
+            in_flight_per_op: vec![0; n],
+            critical: vec![false; n],
+            seq: 0,
+            unfinished: n,
+        };
+        for id in 0..n {
+            let op = &plan.op(id).kind;
+            core.states[id].waiting_on = op.scheduling_deps().len();
+            core.states[id].producer_finished = matches!(op.stream_source(), Source::Table(_));
+        }
+        // Mark scheduling prerequisites (builds, NLJ inner sides, LIP
+        // sources) and their transitive stream feeders as critical. Builders
+        // assign consumers higher ids than producers, so a reverse pass sees
+        // every consumer before its producers.
+        for id in 0..n {
+            for dep in plan.op(id).kind.scheduling_deps() {
+                core.critical[dep] = true;
+            }
+        }
+        for id in (0..n).rev() {
+            if core.critical[id] {
+                if let Source::Op(src) = plan.op(id).kind.stream_source() {
+                    core.critical[*src] = true;
+                }
+            }
+        }
+        // Feed base-table blocks.
+        for id in 0..n {
+            if let Source::Table(t) = plan.op(id).kind.stream_source() {
+                let blocks: Vec<Arc<StorageBlock>> = t.blocks().to_vec();
+                core.transfer_in(id, blocks);
+            }
+        }
+        // Operators with no input at all may already be completable.
+        for id in 0..n {
+            core.check_completion(id);
+        }
+        core
+    }
+
+    /// The plan being scheduled.
+    fn plan(&self) -> &QueryPlan {
+        &self.ctx.plan
+    }
+
+    /// UoT of operator `id`'s input edge.
+    fn uot_of(&self, id: usize) -> Uot {
+        self.plan().op(id).uot.unwrap_or(self.config.default_uot)
+    }
+
+    /// True when every operator has finished.
+    pub fn all_finished(&self) -> bool {
+        self.unfinished == 0
+    }
+
+    /// Number of work orders waiting in the ready queue.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Pop the next dispatchable work order, honoring the per-operator DOP
+    /// cap if configured.
+    ///
+    /// Policy: **downstream-first** — among eligible work orders, prefer the
+    /// operator furthest down the plan (highest id; plans are built bottom-
+    /// up, so id order is topological). Transferred blocks are consumed while
+    /// still warm and intermediate memory drains promptly; with a low UoT
+    /// this yields exactly the interleaved schedules of the paper's Fig. 2,
+    /// while a high UoT degenerates to operator-at-a-time regardless.
+    pub fn next_work_order(&mut self) -> Option<WorkOrder> {
+        let cap = self.config.max_dop_per_op.unwrap_or(usize::MAX).max(1);
+        let idx = self
+            .ready
+            .iter()
+            .enumerate()
+            .filter(|(_, wo)| self.in_flight_per_op[wo.op] < cap)
+            .max_by(|(_, a), (_, b)| {
+                (self.critical[a.op], a.op, std::cmp::Reverse(a.seq)).cmp(&(
+                    self.critical[b.op],
+                    b.op,
+                    std::cmp::Reverse(b.seq),
+                ))
+            })
+            .map(|(i, _)| i)?;
+        let wo = self.ready.remove(idx).expect("index from max_by");
+        self.in_flight_per_op[wo.op] += 1;
+        Some(wo)
+    }
+
+    /// Handle a completed work order.
+    pub fn on_complete(
+        &mut self,
+        wo: &WorkOrder,
+        produced: Vec<StorageBlock>,
+        record: TaskRecord,
+    ) {
+        self.in_flight_per_op[wo.op] = self.in_flight_per_op[wo.op].saturating_sub(1);
+        self.states[wo.op].outstanding -= 1;
+        // A consumed intermediate block dies here (each block feeds exactly
+        // one stream work order): release its bytes so `peak_temp_bytes`
+        // reflects what is actually live. Base-table blocks were never
+        // charged to the tracker and stay untouched.
+        if let WorkKind::Stream { block } = &wo.kind {
+            if matches!(self.plan().op(wo.op).kind.stream_source(), Source::Op(_)) {
+                self.ctx.pool.tracker().free(block.allocated_bytes());
+            }
+        }
+        let m = &mut self.op_metrics[wo.op];
+        m.work_orders += 1;
+        let d = record.duration();
+        m.total_task_time += d;
+        m.task_times.push(d);
+        self.tasks.push(record);
+        self.route_output(wo.op, produced);
+        self.check_completion(wo.op);
+    }
+
+    /// Route blocks produced by `producer` to their destination: the result
+    /// set (sink), a materialization list (NLJ inner side), or the consumer's
+    /// UoT staging area.
+    fn route_output(&mut self, producer: usize, produced: Vec<StorageBlock>) {
+        if produced.is_empty() {
+            return;
+        }
+        let m = &mut self.op_metrics[producer];
+        m.produced_blocks += produced.len();
+        m.produced_rows += produced.iter().map(|b| b.num_rows()).sum::<usize>();
+        let blocks: Vec<Arc<StorageBlock>> = produced.into_iter().map(Arc::new).collect();
+        match self.plan().consumer_of(producer) {
+            None => self.result_blocks.extend(blocks),
+            Some(consumer) => {
+                // Materialization edge (NLJ inner side): bypass UoT staging —
+                // the consumer cannot start before this producer finishes
+                // anyway, so the UoT is immaterial on this edge.
+                if let OperatorKind::NestedLoops { right, .. } = &self.plan().op(consumer).kind {
+                    if *right == producer {
+                        // Materialize at the producer: the NLJ reads the
+                        // inner relation from its producing operator's
+                        // `collected` list. Released when the NLJ finishes.
+                        self.states[consumer].collected_bytes +=
+                            blocks.iter().map(|b| b.allocated_bytes()).sum::<usize>();
+                        self.ctx.runtimes[producer].collected.lock().extend(blocks);
+                        return;
+                    }
+                }
+                self.states[consumer].staged.extend(blocks);
+                let threshold = self.uot_of(consumer).threshold_blocks();
+                if self.states[consumer].staged.len() >= threshold {
+                    let staged = std::mem::take(&mut self.states[consumer].staged);
+                    self.transfer_in(consumer, staged);
+                }
+            }
+        }
+    }
+
+    /// Deliver transferred blocks to `op`: collected for sorts, queued for
+    /// non-startable operators, otherwise one stream work order per block.
+    fn transfer_in(&mut self, op: usize, blocks: Vec<Arc<StorageBlock>>) {
+        if blocks.is_empty() {
+            return;
+        }
+        self.op_metrics[op].input_blocks += blocks.len();
+        if matches!(self.plan().op(op).kind, OperatorKind::Sort { .. }) {
+            if matches!(self.plan().op(op).kind.stream_source(), Source::Op(_)) {
+                self.states[op].collected_bytes +=
+                    blocks.iter().map(|b| b.allocated_bytes()).sum::<usize>();
+            }
+            self.ctx.runtimes[op].collected.lock().extend(blocks);
+            return;
+        }
+        if self.states[op].waiting_on > 0 {
+            self.states[op].pending.extend(blocks);
+            return;
+        }
+        for b in blocks {
+            self.push_stream_work(op, b);
+        }
+    }
+
+    fn push_stream_work(&mut self, op: usize, block: Arc<StorageBlock>) {
+        let wo = WorkOrder {
+            op,
+            kind: WorkKind::Stream { block },
+            seq: self.seq,
+        };
+        self.seq += 1;
+        self.states[op].outstanding += 1;
+        self.ready.push_back(wo);
+    }
+
+    /// Decide whether `op` can finish (or needs its finalize step), and
+    /// cascade the consequences downstream.
+    fn check_completion(&mut self, op: usize) {
+        let st = &self.states[op];
+        if st.finished
+            || st.waiting_on > 0
+            || !st.producer_finished
+            || !st.staged.is_empty()
+            || !st.pending.is_empty()
+            || st.outstanding > 0
+        {
+            return;
+        }
+        let needs_finalize = matches!(
+            self.plan().op(op).kind,
+            OperatorKind::Aggregate { .. } | OperatorKind::Sort { .. }
+        );
+        if needs_finalize && !self.states[op].finalize_dispatched {
+            self.states[op].finalize_dispatched = true;
+            self.states[op].outstanding += 1;
+            let kind = if matches!(self.plan().op(op).kind, OperatorKind::Sort { .. }) {
+                WorkKind::FinalizeSort
+            } else {
+                WorkKind::FinalizeAggregate
+            };
+            let wo = WorkOrder {
+                op,
+                kind,
+                seq: self.seq,
+            };
+            self.seq += 1;
+            self.ready.push_back(wo);
+            return;
+        }
+        // Flush partially filled output blocks, route them, mark finished.
+        if self.ctx.runtimes[op].output.is_some() {
+            let flushed = self.ctx.output(op).flush();
+            self.route_output(op, flushed);
+        }
+        // A finished build's hash table now has its final size: fold it into
+        // the temporary-memory accounting so peak footprints include |H_i|
+        // (the Section VI comparison).
+        if let Some(ht) = &self.ctx.runtimes[op].hash_table {
+            ht.sync_tracker(self.ctx.pool.tracker());
+        }
+        // Sort input / NLJ inner blocks parked at this operator die with it.
+        let parked = std::mem::take(&mut self.states[op].collected_bytes);
+        if parked > 0 {
+            self.ctx.pool.tracker().free(parked);
+        }
+        self.states[op].finished = true;
+        self.unfinished -= 1;
+        self.on_producer_finished(op);
+    }
+
+    /// Propagate an operator's completion to its consumer and to every
+    /// operator waiting on it as a scheduling dependency (probes, NLJs, LIP
+    /// readers).
+    fn on_producer_finished(&mut self, producer: usize) {
+        // Release every dependent waiting on this op (a build can unblock
+        // its probe *and* several LIP selects at once).
+        let n = self.plan().len();
+        for dependent in 0..n {
+            let waits: usize = self
+                .plan()
+                .op(dependent)
+                .kind
+                .scheduling_deps()
+                .iter()
+                .filter(|&&d| d == producer)
+                .count();
+            if waits == 0 {
+                continue;
+            }
+            self.states[dependent].waiting_on =
+                self.states[dependent].waiting_on.saturating_sub(waits);
+            if self.states[dependent].waiting_on == 0 {
+                let pending: Vec<Arc<StorageBlock>> =
+                    std::mem::take(&mut self.states[dependent].pending).into();
+                for b in pending {
+                    self.push_stream_work(dependent, b);
+                }
+                self.check_completion(dependent);
+            }
+        }
+
+        let Some(consumer) = self.plan().consumer_of(producer) else {
+            return;
+        };
+        // Flush any partial UoT accumulation on the consumer edge.
+        let staged = std::mem::take(&mut self.states[consumer].staged);
+        self.transfer_in(consumer, staged);
+
+        // Stream edge: mark the consumer's producer done.
+        if matches!(self.plan().op(consumer).kind.stream_source(), Source::Op(src) if *src == producer)
+        {
+            self.states[consumer].producer_finished = true;
+        }
+        self.check_completion(consumer);
+    }
+
+    /// Tear down into results + metrics.
+    fn into_results(
+        self,
+        wall_time: Duration,
+        workers: usize,
+    ) -> (Vec<Arc<StorageBlock>>, QueryMetrics) {
+        let mut tasks = self.tasks;
+        tasks.sort_by_key(|t| t.start);
+        let mut op_metrics = self.op_metrics;
+        for (m, rt) in op_metrics.iter_mut().zip(&self.ctx.runtimes) {
+            m.lip_pruned_rows = rt.lip_pruned.load(std::sync::atomic::Ordering::Relaxed);
+        }
+        let result_rows = self.result_blocks.iter().map(|b| b.num_rows()).sum();
+        let hash_table_bytes = self
+            .ctx
+            .runtimes
+            .iter()
+            .enumerate()
+            .filter_map(|(id, rt)| rt.hash_table.as_ref().map(|ht| (id, ht.memory_bytes())))
+            .collect();
+        let metrics = QueryMetrics {
+            wall_time,
+            ops: op_metrics,
+            tasks,
+            peak_temp_bytes: self.ctx.pool.tracker().peak_bytes(),
+            pool: self.ctx.pool.stats(),
+            hash_table_bytes,
+            result_rows,
+            workers,
+        };
+        (self.result_blocks, metrics)
+    }
+}
+
+/// Execute the whole query on the calling thread, one work order at a time.
+/// Deterministic; used for correctness tests and as the `ExecMode::Serial`
+/// engine mode.
+pub fn run_serial(
+    ctx: Arc<ExecContext>,
+    config: SchedulerConfig,
+) -> Result<(Vec<Arc<StorageBlock>>, QueryMetrics)> {
+    let start = Instant::now();
+    let mut core = SchedulerCore::new(ctx.clone(), config);
+    while let Some(wo) = core.next_work_order() {
+        let t0 = start.elapsed();
+        let produced = execute_work_order(&ctx, &wo)?;
+        let t1 = start.elapsed();
+        core.on_complete(
+            &wo,
+            produced,
+            TaskRecord {
+                op: wo.op,
+                worker: 0,
+                start: t0,
+                end: t1,
+            },
+        );
+    }
+    if !core.all_finished() {
+        return Err(EngineError::Internal(
+            "scheduler stalled with unfinished operators".into(),
+        ));
+    }
+    let wall = start.elapsed();
+    Ok(core.into_results(wall, 1))
+}
+
+/// Message from the scheduler to a worker.
+enum ToWorker {
+    Run(WorkOrder),
+}
+
+/// Message from a worker back to the scheduler.
+struct Completion {
+    wo: WorkOrder,
+    worker: usize,
+    start: Duration,
+    end: Duration,
+    produced: Result<Vec<StorageBlock>>,
+}
+
+/// Execute the query with a scheduler (this thread) plus `config.workers`
+/// worker threads — the Quickstep threading model.
+pub fn run_parallel(
+    ctx: Arc<ExecContext>,
+    config: SchedulerConfig,
+) -> Result<(Vec<Arc<StorageBlock>>, QueryMetrics)> {
+    let workers = config.workers.max(1);
+    let start = Instant::now();
+    let (work_tx, work_rx) = crossbeam::channel::unbounded::<ToWorker>();
+    let (done_tx, done_rx) = crossbeam::channel::unbounded::<Completion>();
+
+    std::thread::scope(|scope| {
+        for worker_id in 0..workers {
+            let work_rx = work_rx.clone();
+            let done_tx = done_tx.clone();
+            let ctx = ctx.clone();
+            scope.spawn(move || {
+                while let Ok(ToWorker::Run(wo)) = work_rx.recv() {
+                    let t0 = start.elapsed();
+                    let produced = execute_work_order(&ctx, &wo);
+                    let t1 = start.elapsed();
+                    if done_tx
+                        .send(Completion {
+                            wo,
+                            worker: worker_id,
+                            start: t0,
+                            end: t1,
+                            produced,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(done_tx); // scheduler holds only the receiver
+
+        let mut core = SchedulerCore::new(ctx.clone(), config);
+        let mut free_slots = workers;
+        let mut in_flight = 0usize;
+        let mut first_error: Option<EngineError> = None;
+
+        loop {
+            // Dispatch as much ready work as workers can take.
+            if first_error.is_none() {
+                while free_slots > 0 {
+                    match core.next_work_order() {
+                        Some(wo) => {
+                            free_slots -= 1;
+                            in_flight += 1;
+                            if work_tx.send(ToWorker::Run(wo)).is_err() {
+                                return Err(EngineError::Internal(
+                                    "worker pool hung up unexpectedly".into(),
+                                ));
+                            }
+                        }
+                        None => break,
+                    }
+                }
+            }
+            if in_flight == 0 {
+                break;
+            }
+            let comp = done_rx
+                .recv()
+                .map_err(|_| EngineError::Internal("all workers exited early".into()))?;
+            free_slots += 1;
+            in_flight -= 1;
+            match comp.produced {
+                Ok(produced) => core.on_complete(
+                    &comp.wo,
+                    produced,
+                    TaskRecord {
+                        op: comp.wo.op,
+                        worker: comp.worker,
+                        start: comp.start,
+                        end: comp.end,
+                    },
+                ),
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        drop(work_tx); // stop workers
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        if !core.all_finished() {
+            return Err(EngineError::Internal(
+                "scheduler stalled with unfinished operators".into(),
+            ));
+        }
+        let wall = start.elapsed();
+        Ok(core.into_results(wall, workers))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{JoinType, PlanBuilder, SortKey};
+    use crate::state::ExecContext;
+    use uot_expr::{cmp, col, lit, AggSpec, CmpOp, Predicate};
+    use uot_storage::{
+        BlockFormat, BlockPool, DataType, MemoryTracker, Schema, Table, TableBuilder, Value,
+    };
+
+    fn table(name: &str, n: i32, rows_per_block: usize) -> Arc<Table> {
+        let s = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Float64)]);
+        let mut tb = TableBuilder::new(name, s, BlockFormat::Column, rows_per_block * 12);
+        for i in 0..n {
+            tb.append(&[Value::I32(i), Value::F64(i as f64)]).unwrap();
+        }
+        Arc::new(tb.finish())
+    }
+
+    fn ctx_for(plan: QueryPlan) -> Arc<ExecContext> {
+        Arc::new(
+            ExecContext::new(
+                Arc::new(plan),
+                BlockPool::new(MemoryTracker::new()),
+                BlockFormat::Row,
+                // Small temp blocks (8 x 12-byte tuples) so producers emit
+                // multiple full blocks and UoT effects are visible.
+                96,
+                8,
+            )
+            .unwrap(),
+        )
+    }
+
+    fn select_probe_plan(uot: Uot) -> QueryPlan {
+        let dim = table("dim2", 10, 4);
+        let fact = table("fact2", 100, 8);
+        let mut pb = PlanBuilder::new();
+        let b = pb
+            .build_hash(Source::Table(dim), vec![0], vec![1])
+            .unwrap();
+        let s = pb
+            .filter(Source::Table(fact), cmp(col(0), CmpOp::Lt, lit(50i32)))
+            .unwrap();
+        let p = pb
+            .probe(Source::Op(s), b, vec![0], vec![0, 1], vec![0], JoinType::Inner)
+            .unwrap();
+        pb.build(p).unwrap().with_uniform_uot(uot)
+    }
+
+    fn rows_of(blocks: &[Arc<StorageBlock>]) -> Vec<Vec<Value>> {
+        let mut rows: Vec<Vec<Value>> = blocks.iter().flat_map(|b| b.all_rows()).collect();
+        rows.sort_by(|a, b| crate::ops::aggregate::cmp_value_rows(a, b));
+        rows
+    }
+
+    #[test]
+    fn serial_select_probe_all_uots_agree() {
+        let mut reference: Option<Vec<Vec<Value>>> = None;
+        for uot in [Uot::Blocks(1), Uot::Blocks(2), Uot::Blocks(4), Uot::Table] {
+            let ctx = ctx_for(select_probe_plan(uot));
+            let (blocks, metrics) = run_serial(
+                ctx,
+                SchedulerConfig {
+                    default_uot: uot,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let rows = rows_of(&blocks);
+            // fact keys < 50 that match dim keys 0..10: 10 rows
+            assert_eq!(rows.len(), 10, "{uot}");
+            assert_eq!(metrics.result_rows, 10);
+            match &reference {
+                None => reference = Some(rows),
+                Some(r) => assert_eq!(&rows, r, "{uot}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let ctx = ctx_for(select_probe_plan(Uot::Blocks(1)));
+        let (blocks_s, _) = run_serial(ctx, SchedulerConfig::default()).unwrap();
+        for workers in [2, 4] {
+            let ctx = ctx_for(select_probe_plan(Uot::Blocks(1)));
+            let (blocks_p, metrics) = run_parallel(
+                ctx,
+                SchedulerConfig {
+                    workers,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(rows_of(&blocks_p), rows_of(&blocks_s));
+            assert_eq!(metrics.workers, workers);
+        }
+    }
+
+    #[test]
+    fn uot_controls_schedule_interleaving() {
+        // With UoT=1 the probe starts before the select finishes (interleaved
+        // sequence numbers); with UoT=Table every select task precedes every
+        // probe task.
+        let ctx = ctx_for(select_probe_plan(Uot::Table));
+        let (_, m) = run_serial(
+            ctx,
+            SchedulerConfig {
+                default_uot: Uot::Table,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // task log is chronological; find op ids: 0=build,1=select,2=probe
+        let order: Vec<usize> = m.tasks.iter().map(|t| t.op).collect();
+        let last_select = order.iter().rposition(|&o| o == 1).unwrap();
+        let first_probe = order.iter().position(|&o| o == 2).unwrap();
+        assert!(
+            last_select < first_probe,
+            "high UoT must not interleave: {order:?}"
+        );
+
+        let ctx = ctx_for(select_probe_plan(Uot::Blocks(1)));
+        let (_, m) = run_serial(
+            ctx,
+            SchedulerConfig {
+                default_uot: Uot::Blocks(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let order: Vec<usize> = m.tasks.iter().map(|t| t.op).collect();
+        let last_select = order.iter().rposition(|&o| o == 1).unwrap();
+        let first_probe = order.iter().position(|&o| o == 2).unwrap();
+        assert!(
+            first_probe < last_select,
+            "low UoT must interleave: {order:?}"
+        );
+    }
+
+    #[test]
+    fn aggregation_pipeline() {
+        let t = table("t3", 50, 8);
+        let mut pb = PlanBuilder::new();
+        let s = pb
+            .filter(Source::Table(t), cmp(col(0), CmpOp::Ge, lit(10i32)))
+            .unwrap();
+        let a = pb
+            .aggregate(
+                Source::Op(s),
+                vec![],
+                vec![AggSpec::count_star(), AggSpec::sum(col(1))],
+                &["n", "s"],
+            )
+            .unwrap();
+        let plan = pb.build(a).unwrap();
+        for uot in [Uot::Blocks(1), Uot::Table] {
+            let ctx = ctx_for(plan.clone().with_uniform_uot(uot));
+            let (blocks, _) = run_serial(ctx, SchedulerConfig::default()).unwrap();
+            let rows = rows_of(&blocks);
+            assert_eq!(rows.len(), 1);
+            assert_eq!(rows[0][0], Value::I64(40));
+            let expect: f64 = (10..50).map(|i| i as f64).sum();
+            assert!((rows[0][1].as_f64() - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sort_pipeline() {
+        let t = table("t4", 30, 4);
+        let mut pb = PlanBuilder::new();
+        let s = pb
+            .filter(Source::Table(t), cmp(col(0), CmpOp::Lt, lit(10i32)))
+            .unwrap();
+        let so = pb
+            .sort(Source::Op(s), vec![SortKey::desc(0)], Some(3))
+            .unwrap();
+        let plan = pb.build(so).unwrap();
+        let ctx = ctx_for(plan);
+        let (blocks, _) = run_parallel(
+            ctx,
+            SchedulerConfig {
+                workers: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = blocks.iter().flat_map(|b| b.all_rows()).collect();
+        let ks: Vec<i32> = rows.iter().map(|r| r[0].as_i32()).collect();
+        assert_eq!(ks, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn empty_base_table_cascades() {
+        let t = table("empty", 0, 4);
+        let mut pb = PlanBuilder::new();
+        let s = pb.filter(Source::Table(t.clone()), Predicate::True).unwrap();
+        let a = pb
+            .aggregate(Source::Op(s), vec![], vec![AggSpec::count_star()], &["n"])
+            .unwrap();
+        let plan = pb.build(a).unwrap();
+        let ctx = ctx_for(plan);
+        let (blocks, _) = run_serial(ctx, SchedulerConfig::default()).unwrap();
+        let rows = rows_of(&blocks);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::I64(0));
+    }
+
+    #[test]
+    fn probe_waits_for_build() {
+        // With UoT=1 probe input arrives before the build finishes; the
+        // scheduler must hold those blocks. Validated by correctness (all
+        // matches found) plus the task log (no probe before last build).
+        let ctx = ctx_for(select_probe_plan(Uot::Blocks(1)));
+        let (_, m) = run_serial(ctx, SchedulerConfig::default()).unwrap();
+        let order: Vec<usize> = m.tasks.iter().map(|t| t.op).collect();
+        let last_build = order.iter().rposition(|&o| o == 0).unwrap();
+        let first_probe = order.iter().position(|&o| o == 2).unwrap();
+        assert!(last_build < first_probe, "{order:?}");
+    }
+
+    #[test]
+    fn dop_cap_limits_concurrency() {
+        let ctx = ctx_for(select_probe_plan(Uot::Blocks(1)));
+        let (_, m) = run_parallel(
+            ctx,
+            SchedulerConfig {
+                workers: 8,
+                max_dop_per_op: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for op in 0..3 {
+            assert!(m.max_dop(op) <= 1, "op {op} exceeded DOP cap");
+        }
+    }
+
+    #[test]
+    fn nested_loops_through_scheduler() {
+        let t = table("t5", 6, 2);
+        let mut pb = PlanBuilder::new();
+        let inner = pb
+            .filter(Source::Table(t.clone()), cmp(col(0), CmpOp::Lt, lit(3i32)))
+            .unwrap();
+        let j = pb
+            .nested_loops(
+                Source::Table(t),
+                inner,
+                vec![(0, CmpOp::Eq, 0)],
+                vec![0],
+                vec![1],
+            )
+            .unwrap();
+        let plan = pb.build(j).unwrap();
+        let ctx = ctx_for(plan);
+        let (blocks, _) = run_parallel(
+            ctx,
+            SchedulerConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let rows = rows_of(&blocks);
+        assert_eq!(rows.len(), 3);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r[0], Value::I32(i as i32));
+            assert_eq!(r[1], Value::F64(i as f64));
+        }
+    }
+
+    #[test]
+    fn limit_through_scheduler() {
+        let t = table("t6", 40, 4);
+        let mut pb = PlanBuilder::new();
+        let s = pb.filter(Source::Table(t), Predicate::True).unwrap();
+        let l = pb.limit(Source::Op(s), 11).unwrap();
+        let plan = pb.build(l).unwrap();
+        let ctx = ctx_for(plan);
+        let (blocks, m) = run_serial(ctx, SchedulerConfig::default()).unwrap();
+        assert_eq!(m.result_rows, 11);
+        assert_eq!(rows_of(&blocks).len(), 11);
+    }
+
+    #[test]
+    fn metrics_account_for_all_work() {
+        let ctx = ctx_for(select_probe_plan(Uot::Blocks(1)));
+        let (_, m) = run_serial(ctx, SchedulerConfig::default()).unwrap();
+        // fact2: 100 rows, 8 per block -> 13 select work orders;
+        // dim2: 10 rows, 4 per block -> 3 build work orders.
+        assert_eq!(m.ops[1].work_orders, 13);
+        assert_eq!(m.ops[0].work_orders, 3);
+        assert!(m.ops[2].work_orders >= 1);
+        assert_eq!(
+            m.tasks.len(),
+            m.ops.iter().map(|o| o.work_orders).sum::<usize>()
+        );
+        assert!(m.peak_temp_bytes > 0);
+        assert!(!m.hash_table_bytes.is_empty());
+        let dom = m.dominant_operators();
+        assert_eq!(dom.len(), 3);
+    }
+
+    #[test]
+    fn intermediate_uot_produces_partial_flush() {
+        // 13 select output blocks with UoT=4: probe receives 3 transfers of 4
+        // plus a final flush. All rows must still arrive.
+        let plan = select_probe_plan(Uot::Blocks(4));
+        let ctx = ctx_for(plan);
+        let (blocks, m) = run_serial(
+            ctx,
+            SchedulerConfig {
+                default_uot: Uot::Blocks(4),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(rows_of(&blocks).len(), 10);
+        assert!(m.ops[2].input_blocks >= 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! Shared runtime state for one executing query.
+//!
+//! Work orders run on worker threads and only touch this state plus their
+//! input block; all scheduling decisions stay in the scheduler thread. The
+//! state is therefore limited to thread-safe structures: output buffers,
+//! shared join hash tables, aggregate partial lists, collected block lists
+//! (sort input / nested-loops inner side) and the limit counter.
+
+use crate::bloom::BloomFilter;
+use crate::hash_table::JoinHashTable;
+use crate::output::OutputBuffer;
+use crate::plan::{OperatorKind, QueryPlan, Source};
+use crate::Result;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::AtomicI64;
+use std::sync::Arc;
+use uot_expr::AggState;
+use uot_storage::{hash_key::FxBuildHasher, BlockFormat, BlockPool, HashKey, StorageBlock, Value};
+
+/// One group's accumulated state in a hash aggregation.
+#[derive(Debug, Clone)]
+pub struct GroupEntry {
+    /// The grouping-column values (materialized once per group).
+    pub group_vals: Vec<Value>,
+    /// One accumulator per aggregate.
+    pub states: Vec<AggState>,
+}
+
+/// A per-work-order partial aggregation result.
+#[derive(Debug, Default)]
+pub struct AggPartial {
+    /// Group key → accumulated entry.
+    pub groups: HashMap<HashKey, GroupEntry, FxBuildHasher>,
+}
+
+/// Runtime state attached to one operator.
+#[derive(Debug)]
+pub struct OpRuntime {
+    /// Output staging (absent for `BuildHash`, which produces a hash table).
+    pub output: Option<OutputBuffer>,
+    /// The hash table (only for `BuildHash`).
+    pub hash_table: Option<Arc<JoinHashTable>>,
+    /// LIP Bloom filter over the build keys — present only when some select
+    /// references this build via a [`crate::plan::LipFilter`].
+    pub bloom: Option<Arc<BloomFilter>>,
+    /// Rows dropped by LIP filters at this select (metrics).
+    pub lip_pruned: std::sync::atomic::AtomicUsize,
+    /// Partial aggregates awaiting the finalize step (only for `Aggregate`).
+    pub agg_partials: Mutex<Vec<AggPartial>>,
+    /// Collected input blocks: the sort input, or the materialized inner
+    /// side of a nested-loops join.
+    pub collected: Mutex<Vec<Arc<StorageBlock>>>,
+    /// Remaining row budget (only for `Limit`).
+    pub limit_remaining: AtomicI64,
+}
+
+/// Everything a worker needs to execute any work order of the query.
+#[derive(Debug)]
+pub struct ExecContext {
+    /// The plan being executed.
+    pub plan: Arc<QueryPlan>,
+    /// The global temporary-block pool.
+    pub pool: Arc<BlockPool>,
+    /// Per-operator runtime state, indexed by `OpId`.
+    pub runtimes: Vec<OpRuntime>,
+    /// Format of temporary blocks (the paper: row store regardless of base
+    /// table format; configurable here).
+    pub temp_format: BlockFormat,
+}
+
+impl ExecContext {
+    /// Allocate runtime state for `plan`.
+    pub fn new(
+        plan: Arc<QueryPlan>,
+        pool: Arc<BlockPool>,
+        temp_format: BlockFormat,
+        block_bytes: usize,
+        hash_table_shards: usize,
+    ) -> Result<Self> {
+        // Which builds need a Bloom filter (referenced by some select's LIP
+        // list), and a capacity estimate from the upstream base table.
+        let mut needs_bloom = vec![false; plan.len()];
+        for op in plan.ops() {
+            if let OperatorKind::Select { lip, .. } = &op.kind {
+                for l in lip {
+                    needs_bloom[l.build] = true;
+                }
+            }
+        }
+        let estimated_rows = |mut id: usize| -> usize {
+            loop {
+                match plan.op(id).kind.stream_source() {
+                    Source::Table(t) => return t.num_rows().max(16),
+                    Source::Op(src) => id = *src,
+                }
+            }
+        };
+        let mut runtimes = Vec::with_capacity(plan.len());
+        for (id, op) in plan.ops().iter().enumerate() {
+            let (output, hash_table) = match &op.kind {
+                OperatorKind::BuildHash { .. } => (
+                    None,
+                    Some(Arc::new(JoinHashTable::new(
+                        op.out_schema.clone(),
+                        hash_table_shards,
+                    ))),
+                ),
+                _ => (
+                    Some(OutputBuffer::new(
+                        op.out_schema.clone(),
+                        temp_format,
+                        block_bytes,
+                    )),
+                    None,
+                ),
+            };
+            let limit_remaining = match &op.kind {
+                OperatorKind::Limit { n, .. } => AtomicI64::new(*n as i64),
+                _ => AtomicI64::new(0),
+            };
+            let bloom = (needs_bloom[id]).then(|| {
+                Arc::new(BloomFilter::with_capacity(estimated_rows(id), 0.01))
+            });
+            runtimes.push(OpRuntime {
+                output,
+                hash_table,
+                bloom,
+                lip_pruned: std::sync::atomic::AtomicUsize::new(0),
+                agg_partials: Mutex::new(Vec::new()),
+                collected: Mutex::new(Vec::new()),
+                limit_remaining,
+            });
+        }
+        Ok(ExecContext {
+            plan,
+            pool,
+            runtimes,
+            temp_format,
+        })
+    }
+
+    /// The hash table of build operator `id` (panics if `id` is not a build —
+    /// plan validation guarantees probes only reference builds).
+    pub fn hash_table(&self, id: usize) -> &Arc<JoinHashTable> {
+        self.runtimes[id]
+            .hash_table
+            .as_ref()
+            .expect("plan validation guarantees a hash table here")
+    }
+
+    /// The output buffer of operator `id` (panics for builds).
+    pub fn output(&self, id: usize) -> &OutputBuffer {
+        self.runtimes[id]
+            .output
+            .as_ref()
+            .expect("operator produces blocks")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PlanBuilder, Source};
+    use uot_storage::{DataType, MemoryTracker, Schema, Table, TableBuilder};
+
+    fn table() -> Arc<Table> {
+        let s = Schema::from_pairs(&[("k", DataType::Int32)]);
+        let mut tb = TableBuilder::new("t", s, BlockFormat::Column, 64);
+        tb.append(&[Value::I32(1)]).unwrap();
+        Arc::new(tb.finish())
+    }
+
+    #[test]
+    fn context_allocates_per_op_state() {
+        let t = table();
+        let mut pb = PlanBuilder::new();
+        let b = pb
+            .build_hash(Source::Table(t.clone()), vec![0], vec![0])
+            .unwrap();
+        let p = pb
+            .probe(
+                Source::Table(t),
+                b,
+                vec![0],
+                vec![0],
+                vec![0],
+                crate::plan::JoinType::Inner,
+            )
+            .unwrap();
+        let plan = Arc::new(pb.build(p).unwrap());
+        let pool = BlockPool::new(MemoryTracker::new());
+        let ctx = ExecContext::new(plan, pool, BlockFormat::Row, 1024, 4).unwrap();
+        assert!(ctx.runtimes[b].hash_table.is_some());
+        assert!(ctx.runtimes[b].output.is_none());
+        assert!(ctx.runtimes[p].output.is_some());
+        assert!(ctx.runtimes[p].hash_table.is_none());
+        // accessors
+        let _ = ctx.hash_table(b);
+        let _ = ctx.output(p);
+    }
+
+    #[test]
+    fn limit_budget_initialized() {
+        let t = table();
+        let mut pb = PlanBuilder::new();
+        let l = pb.limit(Source::Table(t), 7).unwrap();
+        let plan = Arc::new(pb.build(l).unwrap());
+        let pool = BlockPool::new(MemoryTracker::new());
+        let ctx = ExecContext::new(plan, pool, BlockFormat::Row, 1024, 4).unwrap();
+        assert_eq!(
+            ctx.runtimes[l]
+                .limit_remaining
+                .load(std::sync::atomic::Ordering::Relaxed),
+            7
+        );
+    }
+}

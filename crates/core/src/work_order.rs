@@ -1,0 +1,76 @@
+//! Work orders: the unit of dispatchable work.
+//!
+//! "Quickstep uses an abstraction called *work orders*, which represents the
+//! relational operator logic that needs to be executed on a specified input"
+//! (Section III of the paper). A [`WorkOrder`] pairs an operator with one
+//! input — a streamed block, or a finalize step for blocking operators.
+
+use crate::plan::OpId;
+use std::sync::Arc;
+use uot_storage::StorageBlock;
+
+/// What a work order does.
+#[derive(Debug, Clone)]
+pub enum WorkKind {
+    /// Apply the operator's logic to one input block (select, build, probe,
+    /// aggregate-partial, nested-loops outer block, limit).
+    Stream {
+        /// The input block.
+        block: Arc<StorageBlock>,
+    },
+    /// Merge aggregate partials and emit the result blocks.
+    FinalizeAggregate,
+    /// Sort all collected input and emit the result blocks.
+    FinalizeSort,
+}
+
+/// One schedulable unit of work.
+#[derive(Debug, Clone)]
+pub struct WorkOrder {
+    /// The operator this work order belongs to.
+    pub op: OpId,
+    /// The work to perform.
+    pub kind: WorkKind,
+    /// Monotone sequence number (dispatch order diagnostics).
+    pub seq: usize,
+}
+
+impl WorkOrder {
+    /// Short description for schedule dumps.
+    pub fn describe(&self) -> String {
+        match &self.kind {
+            WorkKind::Stream { block } => {
+                format!("op{} stream({} rows)", self.op, block.num_rows())
+            }
+            WorkKind::FinalizeAggregate => format!("op{} finalize-agg", self.op),
+            WorkKind::FinalizeSort => format!("op{} finalize-sort", self.op),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uot_storage::{BlockFormat, DataType, Schema, Value};
+
+    #[test]
+    fn describe_mentions_shape() {
+        let s = Schema::from_pairs(&[("k", DataType::Int32)]);
+        let mut b = StorageBlock::new(s, BlockFormat::Row, 64).unwrap();
+        b.append_row(&[Value::I32(1)]).unwrap();
+        let wo = WorkOrder {
+            op: 3,
+            kind: WorkKind::Stream {
+                block: Arc::new(b),
+            },
+            seq: 0,
+        };
+        assert_eq!(wo.describe(), "op3 stream(1 rows)");
+        let wo = WorkOrder {
+            op: 1,
+            kind: WorkKind::FinalizeSort,
+            seq: 1,
+        };
+        assert!(wo.describe().contains("finalize-sort"));
+    }
+}

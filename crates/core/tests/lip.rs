@@ -1,0 +1,153 @@
+//! Lookahead Information Passing (LIP) integration tests: Bloom-filter
+//! pruning at the scan must change the work done, never the answer.
+
+use std::sync::Arc;
+use uot_core::{
+    Engine, EngineConfig, ExecMode, JoinType, PlanBuilder, QueryPlan, Source, Uot,
+};
+use uot_expr::{cmp, col, lit, AggSpec, CmpOp, Predicate};
+use uot_storage::{BlockFormat, DataType, Schema, Table, TableBuilder, Value};
+
+fn dim(n: i32) -> Arc<Table> {
+    // keys 0, 10, 20, ... — only 1 in 10 fact keys will match
+    let s = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)]);
+    let mut tb = TableBuilder::new("dim", s, BlockFormat::Column, 1024);
+    for i in 0..n {
+        tb.append(&[Value::I32(i * 10), Value::I64(i as i64)]).unwrap();
+    }
+    Arc::new(tb.finish())
+}
+
+fn fact(n: i32) -> Arc<Table> {
+    let s = Schema::from_pairs(&[("fk", DataType::Int32), ("x", DataType::Int64)]);
+    let mut tb = TableBuilder::new("fact", s, BlockFormat::Column, 1024);
+    for i in 0..n {
+        tb.append(&[Value::I32(i % 1000), Value::I64(i as i64)]).unwrap();
+    }
+    Arc::new(tb.finish())
+}
+
+/// select(fact) [opt. LIP on dim build] → probe(dim) → count/sum.
+fn plan(with_lip: bool) -> QueryPlan {
+    let d = dim(100); // keys 0..1000 step 10
+    let f = fact(5000);
+    let mut pb = PlanBuilder::new();
+    let b = pb.build_hash(Source::Table(d), vec![0], vec![1]).unwrap();
+    let s = pb
+        .select(
+            Source::Table(f),
+            cmp(col(1), CmpOp::Ge, lit(0i64)),
+            vec![col(0), col(1)],
+            &["fk", "x"],
+        )
+        .unwrap();
+    if with_lip {
+        pb.add_lip(s, b, vec![0]).unwrap();
+    }
+    let p = pb
+        .probe(Source::Op(s), b, vec![0], vec![1], vec![0], JoinType::Inner)
+        .unwrap();
+    let a = pb
+        .aggregate(
+            Source::Op(p),
+            vec![],
+            vec![AggSpec::count_star(), AggSpec::sum(col(0))],
+            &["n", "sx"],
+        )
+        .unwrap();
+    pb.build(a).unwrap()
+}
+
+fn run(plan: QueryPlan, mode: ExecMode, uot: Uot) -> uot_core::QueryResult {
+    Engine::new(EngineConfig {
+        mode,
+        default_uot: uot,
+        block_bytes: 1024,
+        ..Default::default()
+    })
+    .execute(plan)
+    .unwrap()
+}
+
+#[test]
+fn lip_preserves_results_and_prunes_rows() {
+    for mode in [ExecMode::Serial, ExecMode::Parallel { workers: 3 }] {
+        for uot in [Uot::LOW, Uot::HIGH] {
+            let plain = run(plan(false), mode, uot);
+            let lipped = run(plan(true), mode, uot);
+            assert_eq!(
+                plain.sorted_rows(),
+                lipped.sorted_rows(),
+                "LIP changed the answer under {mode:?} {uot}"
+            );
+            // select is op 1
+            let plain_rows = plain.metrics.ops[1].produced_rows;
+            let lip_rows = lipped.metrics.ops[1].produced_rows;
+            let pruned = lipped.metrics.ops[1].lip_pruned_rows;
+            assert_eq!(plain.metrics.ops[1].lip_pruned_rows, 0);
+            assert!(pruned > 0, "nothing pruned under {mode:?} {uot}");
+            assert_eq!(plain_rows, lip_rows + pruned);
+            // 90% of fact keys don't match dim (keys 0..1000 step 10):
+            // Bloom pruning should remove most of them (1% fp rate).
+            assert!(
+                lip_rows < plain_rows / 5,
+                "expected heavy pruning: {lip_rows} of {plain_rows}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lip_reduces_transferred_blocks() {
+    let plain = run(plan(false), ExecMode::Serial, Uot::LOW);
+    let lipped = run(plan(true), ExecMode::Serial, Uot::LOW);
+    // fewer select output blocks -> fewer probe inputs/work orders
+    assert!(
+        lipped.metrics.ops[2].input_blocks < plain.metrics.ops[2].input_blocks,
+        "{} vs {}",
+        lipped.metrics.ops[2].input_blocks,
+        plain.metrics.ops[2].input_blocks
+    );
+}
+
+#[test]
+fn lip_select_waits_for_the_build() {
+    // With LIP, no select task may start before the last build task ends.
+    let r = run(plan(true), ExecMode::Serial, Uot::LOW);
+    let tasks = &r.metrics.tasks;
+    let last_build_end = tasks
+        .iter()
+        .filter(|t| t.op == 0)
+        .map(|t| t.end)
+        .max()
+        .expect("build ran");
+    let first_select_start = tasks
+        .iter()
+        .filter(|t| t.op == 1)
+        .map(|t| t.start)
+        .min()
+        .expect("select ran");
+    assert!(first_select_start >= last_build_end);
+}
+
+#[test]
+fn add_lip_validation() {
+    let d = dim(10);
+    let f = fact(100);
+    let mut pb = PlanBuilder::new();
+    let b = pb.build_hash(Source::Table(d.clone()), vec![0], vec![1]).unwrap();
+    let s = pb.filter(Source::Table(f), Predicate::True).unwrap();
+    // wrong arity
+    assert!(pb.add_lip(s, b, vec![0, 1]).is_err());
+    // out-of-range column
+    assert!(pb.add_lip(s, b, vec![7]).is_err());
+    // not a build
+    assert!(pb.add_lip(s, s, vec![0]).is_err());
+    // not a select
+    assert!(pb.add_lip(b, b, vec![0]).is_err());
+    // forward reference (build after select) rejected
+    let b2 = pb.build_hash(Source::Table(d), vec![0], vec![]).unwrap();
+    assert!(pb.add_lip(s, b2, vec![0]).is_err());
+    // valid attach works
+    assert!(pb.add_lip(s, b, vec![0]).is_ok());
+}

@@ -1,0 +1,127 @@
+//! Property tests for the engine's core data structures against reference
+//! models: the output buffer must be a lossless re-blocker, the join hash
+//! table must agree with a `HashMap` multimap, and the Bloom filter must
+//! never produce false negatives.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use uot_core::bloom::BloomFilter;
+use uot_core::hash_table::JoinHashTable;
+use uot_core::output::OutputBuffer;
+use uot_storage::{
+    BlockFormat, BlockPool, DataType, HashKey, MemoryTracker, Schema, StorageBlock, Value,
+};
+
+fn schema() -> Arc<Schema> {
+    Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)])
+}
+
+fn block_of(rows: &[(i32, i64)]) -> StorageBlock {
+    let mut b = StorageBlock::new(schema(), BlockFormat::Column, 1 << 20).unwrap();
+    for &(k, v) in rows {
+        b.append_row(&[Value::I32(k), Value::I64(v)]).unwrap();
+    }
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn output_buffer_reblocks_losslessly(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec((any::<i32>(), any::<i64>()), 0..40),
+            0..8,
+        ),
+        rows_per_block in 1usize..9,
+        fmt in prop_oneof![Just(BlockFormat::Row), Just(BlockFormat::Column)],
+    ) {
+        let pool = BlockPool::new(MemoryTracker::new());
+        let buf = OutputBuffer::new(
+            schema(),
+            fmt,
+            schema().tuple_width() * rows_per_block,
+        );
+        let mut out_blocks = Vec::new();
+        for chunk in &chunks {
+            out_blocks.extend(buf.write_rows(&block_of(chunk), &pool).unwrap());
+        }
+        out_blocks.extend(buf.flush());
+        // Every block except possibly the last is exactly full, and the
+        // concatenation equals the input concatenation.
+        for b in out_blocks.iter().rev().skip(1) {
+            prop_assert!(b.is_full());
+        }
+        let got: Vec<(i32, i64)> = out_blocks
+            .iter()
+            .flat_map(|b| b.all_rows())
+            .map(|r| (r[0].as_i32(), r[1].as_i64()))
+            .collect();
+        let expect: Vec<(i32, i64)> = chunks.concat();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn hash_table_agrees_with_multimap_model(
+        rows in proptest::collection::vec((0i32..50, any::<i64>()), 0..300),
+        probes in proptest::collection::vec(0i32..80, 0..100),
+        shards in 1usize..9,
+    ) {
+        let ht = JoinHashTable::new(schema().project(&[1]), shards);
+        let mut model: HashMap<i32, Vec<i64>> = HashMap::new();
+        // insert in several blocks to exercise the arena indexing
+        for chunk in rows.chunks(37) {
+            ht.insert_block(&block_of(chunk), &[0], &[1]).unwrap();
+            for &(k, v) in chunk {
+                model.entry(k).or_default().push(v);
+            }
+        }
+        prop_assert_eq!(ht.len(), rows.len());
+        for &p in &probes {
+            let mut got = Vec::new();
+            let n = ht.probe_key(&HashKey::from_i32(p), |payload| {
+                got.push(payload.i64_at(0));
+            });
+            let mut expect = model.get(&p).cloned().unwrap_or_default();
+            prop_assert_eq!(n, expect.len());
+            got.sort_unstable();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect);
+            prop_assert_eq!(
+                ht.contains_key(&HashKey::from_i32(p)),
+                model.contains_key(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn bloom_filter_has_no_false_negatives(
+        keys in proptest::collection::hash_set(any::<i64>(), 0..500),
+        capacity_hint in 1usize..2000,
+    ) {
+        let f = BloomFilter::with_capacity(capacity_hint, 0.02);
+        for &k in &keys {
+            f.insert(&HashKey::from_i64(k));
+        }
+        for &k in &keys {
+            prop_assert!(f.may_contain(&HashKey::from_i64(k)));
+        }
+    }
+
+    #[test]
+    fn bloom_filter_fp_rate_reasonable_when_sized_right(
+        keys in proptest::collection::hash_set(0i64..10_000, 100..400),
+    ) {
+        let f = BloomFilter::with_capacity(keys.len(), 0.01);
+        for &k in &keys {
+            f.insert(&HashKey::from_i64(k));
+        }
+        // probe a disjoint key range
+        let fps = (100_000i64..102_000)
+            .filter(|&k| f.may_contain(&HashKey::from_i64(k)))
+            .count();
+        // allow generous slack over the target 1%
+        prop_assert!(fps < 200, "false positives: {fps}/2000");
+    }
+}

@@ -1,0 +1,222 @@
+//! Property tests for the engine's central correctness invariant:
+//!
+//! **Query results are identical for every UoT value, block size, storage
+//! format, worker count and execution mode.** The paper's whole point is
+//! that the UoT is a performance/memory knob, not a semantics knob; these
+//! tests pin that down on randomized plans and data.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use uot_core::{Engine, EngineConfig, ExecMode, JoinType, PlanBuilder, QueryPlan, Source, Uot};
+use uot_expr::{cmp, col, lit, AggSpec, CmpOp, Predicate};
+use uot_storage::{BlockFormat, DataType, Schema, Table, TableBuilder, Value};
+
+/// Random base table: (k: i32 in [0, key_range), v: f64, d: date).
+fn arb_table(
+    name: &'static str,
+    max_rows: usize,
+) -> impl Strategy<Value = (Arc<Table>, Vec<(i32, i64)>)> {
+    (
+        proptest::collection::vec((0i32..40, -1000i64..1000), 0..max_rows),
+        1usize..6, // rows per block
+    )
+        .prop_map(move |(rows, rows_per_block)| {
+            let schema = Schema::from_pairs(&[
+                ("k", DataType::Int32),
+                ("v", DataType::Int64),
+            ]);
+            let mut tb = TableBuilder::new(
+                name,
+                schema.clone(),
+                BlockFormat::Column,
+                schema.tuple_width() * rows_per_block,
+            );
+            for (k, v) in &rows {
+                tb.append(&[Value::I32(*k), Value::I64(*v)]).unwrap();
+            }
+            (Arc::new(tb.finish()), rows)
+        })
+}
+
+/// select(fact) -> probe(dim) -> aggregate plan over random tables.
+fn join_agg_plan(fact: Arc<Table>, dim: Arc<Table>, cut: i32) -> QueryPlan {
+    let mut pb = PlanBuilder::new();
+    let b = pb
+        .build_hash(Source::Table(dim), vec![0], vec![0, 1])
+        .unwrap();
+    let s = pb
+        .filter(Source::Table(fact), cmp(col(0), CmpOp::Lt, lit(cut)))
+        .unwrap();
+    let p = pb
+        .probe(Source::Op(s), b, vec![0], vec![0, 1], vec![1], JoinType::Inner)
+        .unwrap();
+    let a = pb
+        .aggregate(
+            Source::Op(p),
+            vec![0],
+            vec![
+                AggSpec::count_star(),
+                AggSpec::sum(col(1)),
+                AggSpec::sum(col(2)),
+            ],
+            &["n", "sv", "sw"],
+        )
+        .unwrap();
+    pb.build(a).unwrap()
+}
+
+/// Reference result computed naively from the raw rows.
+fn reference_join_agg(
+    fact: &[(i32, i64)],
+    dim: &[(i32, i64)],
+    cut: i32,
+) -> Vec<(i32, i64, i64, i64)> {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<i32, (i64, i64, i64)> = BTreeMap::new();
+    for &(fk, fv) in fact.iter().filter(|(k, _)| *k < cut) {
+        for &(dk, dv) in dim {
+            if fk == dk {
+                let e = groups.entry(fk).or_insert((0, 0, 0));
+                e.0 += 1;
+                e.1 += fv;
+                e.2 += dv;
+            }
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(k, (n, sv, sw))| (k, n, sv, sw))
+        .collect()
+}
+
+fn run(plan: QueryPlan, cfg: EngineConfig) -> Vec<(i32, i64, i64, i64)> {
+    let r = Engine::new(cfg).execute(plan).unwrap();
+    r.sorted_rows()
+        .into_iter()
+        .map(|row| {
+            (
+                row[0].as_i32(),
+                row[1].as_i64(),
+                row[2].as_i64(),
+                row[3].as_i64(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn join_agg_invariant_under_all_configs(
+        (fact, fact_rows) in arb_table("fact", 60),
+        (dim, dim_rows) in arb_table("dim", 25),
+        cut in 0i32..45,
+        uot in prop_oneof![
+            Just(Uot::Blocks(1)),
+            Just(Uot::Blocks(2)),
+            Just(Uot::Blocks(5)),
+            Just(Uot::Table)
+        ],
+        workers in 1usize..5,
+        block_bytes in prop_oneof![Just(64usize), Just(256usize), Just(4096usize)],
+        fmt in prop_oneof![Just(BlockFormat::Row), Just(BlockFormat::Column)],
+    ) {
+        let expect = reference_join_agg(&fact_rows, &dim_rows, cut);
+        let plan = join_agg_plan(fact, dim, cut);
+        let serial = run(
+            plan.clone(),
+            EngineConfig::serial(),
+        );
+        prop_assert_eq!(&serial, &expect, "serial vs reference");
+        let cfg = EngineConfig {
+            mode: ExecMode::Parallel { workers },
+            default_uot: uot,
+            block_bytes,
+            temp_format: fmt,
+            ..Default::default()
+        };
+        let parallel = run(plan, cfg);
+        prop_assert_eq!(&parallel, &expect, "parallel vs reference");
+    }
+
+    #[test]
+    fn semi_anti_join_partition_input(
+        (fact, fact_rows) in arb_table("fact", 50),
+        (dim, dim_rows) in arb_table("dim", 20),
+        uot in prop_oneof![Just(Uot::Blocks(1)), Just(Uot::Table)],
+    ) {
+        // semi(fact) + anti(fact) must partition fact exactly.
+        let dim_keys: std::collections::HashSet<i32> =
+            dim_rows.iter().map(|(k, _)| *k).collect();
+        let expect_semi = fact_rows.iter().filter(|(k, _)| dim_keys.contains(k)).count();
+        let expect_anti = fact_rows.len() - expect_semi;
+
+        for (join, expect) in [(JoinType::Semi, expect_semi), (JoinType::Anti, expect_anti)] {
+            let mut pb = PlanBuilder::new();
+            let b = pb
+                .build_hash(Source::Table(dim.clone()), vec![0], vec![])
+                .unwrap();
+            let p = pb
+                .probe(Source::Table(fact.clone()), b, vec![0], vec![0, 1], vec![], join)
+                .unwrap();
+            let plan = pb.build(p).unwrap().with_uniform_uot(uot);
+            let cfg = EngineConfig {
+                mode: ExecMode::Parallel { workers: 3 },
+                default_uot: uot,
+                block_bytes: 128,
+                ..Default::default()
+            };
+            let r = Engine::new(cfg).execute(plan).unwrap();
+            prop_assert_eq!(r.num_rows(), expect, "{:?}", join);
+        }
+    }
+
+    #[test]
+    fn sort_is_total_and_stable_across_configs(
+        (t, rows) in arb_table("t", 80),
+        desc in any::<bool>(),
+        workers in 1usize..4,
+    ) {
+        let mut pb = PlanBuilder::new();
+        let s = pb.filter(Source::Table(t), Predicate::True).unwrap();
+        let so = pb
+            .sort(
+                Source::Op(s),
+                vec![if desc {
+                    uot_core::SortKey::desc(0)
+                } else {
+                    uot_core::SortKey::asc(0)
+                }],
+                None,
+            )
+            .unwrap();
+        let plan = pb.build(so).unwrap();
+        let cfg = EngineConfig {
+            mode: ExecMode::Parallel { workers },
+            block_bytes: 128,
+            ..Default::default()
+        };
+        let r = Engine::new(cfg).execute(plan).unwrap();
+        let got: Vec<i32> = r.rows().iter().map(|row| row[0].as_i32()).collect();
+        let mut expect: Vec<i32> = rows.iter().map(|(k, _)| *k).collect();
+        expect.sort_unstable();
+        if desc {
+            expect.reverse();
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn limit_never_exceeds_budget(
+        (t, rows) in arb_table("t", 60),
+        n in 0usize..30,
+    ) {
+        let mut pb = PlanBuilder::new();
+        let s = pb.filter(Source::Table(t), Predicate::True).unwrap();
+        let l = pb.limit(Source::Op(s), n).unwrap();
+        let plan = pb.build(l).unwrap();
+        let r = Engine::new(EngineConfig::parallel(3)).execute(plan).unwrap();
+        prop_assert_eq!(r.num_rows(), n.min(rows.len()));
+    }
+}

@@ -1,0 +1,25 @@
+//! # uot-expr
+//!
+//! Expression evaluation for the UoT query engine: scalar expressions,
+//! boolean predicates and aggregate functions.
+//!
+//! Evaluation is **vectorized** in the MonetDB/Vectorwise tradition the paper
+//! builds on: a predicate maps a whole storage block to a selection
+//! [`Bitmap`](uot_storage::Bitmap); a scalar expression maps the selected rows
+//! of a block to one typed [`ColumnData`](uot_storage::ColumnData) vector.
+//! Column-store blocks take slice-based fast paths; row-store blocks fall
+//! back to strided per-row reads, which is exactly the access-pattern
+//! difference the paper's storage-format experiments measure.
+
+pub mod aggregate;
+pub mod error;
+pub mod predicate;
+pub mod scalar;
+
+pub use aggregate::{AggFunc, AggSpec, AggState};
+pub use error::ExprError;
+pub use predicate::{between_half_open, cmp, CmpOp, Predicate};
+pub use scalar::{col, gather_all, gather_column, gather_from, lit, BinOp, ScalarExpr};
+
+/// Result alias for expression evaluation.
+pub type Result<T> = std::result::Result<T, ExprError>;

@@ -1,0 +1,825 @@
+//! Scalar expressions over storage blocks.
+//!
+//! A [`ScalarExpr`] is evaluated against a block, producing one typed
+//! [`ColumnData`] vector for the requested rows. TPC-H's arithmetic — e.g.
+//! `l_extendedprice * (1 - l_discount)` — is covered by column references,
+//! literals and the four binary operators with the usual numeric promotion
+//! (any float operand promotes the expression to `Float64`; integer-only
+//! expressions stay `Int64`).
+
+use crate::error::ExprError;
+use crate::Result;
+use uot_storage::{ColumnData, DataType, Schema, StorageBlock, Value};
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (integer division on integer operands).
+    Div,
+}
+
+impl BinOp {
+    fn apply_i64(self, a: i64, b: i64) -> Result<i64> {
+        Ok(match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return Err(ExprError::InvalidType {
+                        context: "integer division by zero",
+                        found: "0".into(),
+                    });
+                }
+                a.wrapping_div(b)
+            }
+        })
+    }
+
+    fn apply_f64(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+        }
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Reference to input column `usize` (by position).
+    Col(usize),
+    /// A constant.
+    Literal(Value),
+    /// Binary arithmetic.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<ScalarExpr>,
+        /// Right operand.
+        right: Box<ScalarExpr>,
+    },
+    /// `EXTRACT(YEAR FROM date_expr)` — produces an `Int32` year.
+    Year(Box<ScalarExpr>),
+    /// `CASE WHEN pred THEN a ELSE b END`. The predicate is evaluated over
+    /// the whole block (vectorized) and the branches selected per row.
+    Case {
+        /// Branch condition.
+        when: Box<crate::predicate::Predicate>,
+        /// Value when the condition holds.
+        then: Box<ScalarExpr>,
+        /// Value otherwise.
+        els: Box<ScalarExpr>,
+    },
+}
+
+/// `col(i)` convenience constructor.
+pub fn col(i: usize) -> ScalarExpr {
+    ScalarExpr::Col(i)
+}
+
+/// `lit(v)` convenience constructor.
+pub fn lit(v: impl Into<Value>) -> ScalarExpr {
+    ScalarExpr::Literal(v.into())
+}
+
+#[allow(clippy::should_implement_trait)] // add/sub/mul/div are expression
+// builders returning `ScalarExpr`, not arithmetic on evaluated values
+impl ScalarExpr {
+    /// Build `self op other`.
+    pub fn bin(self, op: BinOp, other: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Bin {
+            op,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Build `self + other`.
+    pub fn add(self, other: ScalarExpr) -> ScalarExpr {
+        self.bin(BinOp::Add, other)
+    }
+
+    /// Build `self - other`.
+    pub fn sub(self, other: ScalarExpr) -> ScalarExpr {
+        self.bin(BinOp::Sub, other)
+    }
+
+    /// Build `self * other`.
+    pub fn mul(self, other: ScalarExpr) -> ScalarExpr {
+        self.bin(BinOp::Mul, other)
+    }
+
+    /// Build `self / other`.
+    pub fn div(self, other: ScalarExpr) -> ScalarExpr {
+        self.bin(BinOp::Div, other)
+    }
+
+    /// Build `EXTRACT(YEAR FROM self)`.
+    pub fn year(self) -> ScalarExpr {
+        ScalarExpr::Year(Box::new(self))
+    }
+
+    /// Build `CASE WHEN when THEN self ELSE els END`.
+    pub fn case_when(when: crate::predicate::Predicate, then: ScalarExpr, els: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Case {
+            when: Box::new(when),
+            then: Box::new(then),
+            els: Box::new(els),
+        }
+    }
+
+    /// The type this expression produces over `schema`.
+    pub fn output_type(&self, schema: &Schema) -> Result<DataType> {
+        match self {
+            ScalarExpr::Col(i) => {
+                if *i >= schema.len() {
+                    return Err(ExprError::ColumnOutOfRange {
+                        index: *i,
+                        len: schema.len(),
+                    });
+                }
+                Ok(schema.dtype(*i))
+            }
+            ScalarExpr::Literal(v) => Ok(v.data_type()),
+            ScalarExpr::Bin { op: _, left, right } => {
+                let l = left.output_type(schema)?;
+                let r = right.output_type(schema)?;
+                let numeric = |t: DataType| matches!(t, DataType::Int32 | DataType::Int64 | DataType::Float64);
+                if !numeric(l) || !numeric(r) {
+                    return Err(ExprError::Incompatible {
+                        left: l.name(),
+                        right: r.name(),
+                        context: "arithmetic",
+                    });
+                }
+                if l == DataType::Float64 || r == DataType::Float64 {
+                    Ok(DataType::Float64)
+                } else {
+                    Ok(DataType::Int64)
+                }
+            }
+            ScalarExpr::Year(e) => {
+                let t = e.output_type(schema)?;
+                if t != DataType::Date {
+                    return Err(ExprError::InvalidType {
+                        context: "YEAR",
+                        found: t.name(),
+                    });
+                }
+                Ok(DataType::Int32)
+            }
+            ScalarExpr::Case { then, els, .. } => {
+                let t = then.output_type(schema)?;
+                let e = els.output_type(schema)?;
+                if t == e {
+                    return Ok(t);
+                }
+                let numeric = |t: DataType| {
+                    matches!(t, DataType::Int32 | DataType::Int64 | DataType::Float64)
+                };
+                if numeric(t) && numeric(e) {
+                    if t == DataType::Float64 || e == DataType::Float64 {
+                        Ok(DataType::Float64)
+                    } else {
+                        Ok(DataType::Int64)
+                    }
+                } else {
+                    Err(ExprError::Incompatible {
+                        left: t.name(),
+                        right: e.name(),
+                        context: "CASE branches",
+                    })
+                }
+            }
+        }
+    }
+
+    /// All column indices this expression reads.
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            ScalarExpr::Col(i) => out.push(*i),
+            ScalarExpr::Literal(_) => {}
+            ScalarExpr::Bin { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            ScalarExpr::Year(e) => e.referenced_columns(out),
+            ScalarExpr::Case { when, then, els } => {
+                when.referenced_columns(out);
+                then.referenced_columns(out);
+                els.referenced_columns(out);
+            }
+        }
+    }
+
+    /// True when this expression is a bare column reference.
+    pub fn as_col(&self) -> Option<usize> {
+        match self {
+            ScalarExpr::Col(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Evaluate the expression for one row (slow path: sorting, tests).
+    pub fn eval_row(&self, block: &StorageBlock, row: usize) -> Result<Value> {
+        match self {
+            ScalarExpr::Col(i) => Ok(block.value_at(row, *i)?),
+            ScalarExpr::Literal(v) => Ok(v.clone()),
+            ScalarExpr::Bin { op, left, right } => {
+                let l = left.eval_row(block, row)?;
+                let r = right.eval_row(block, row)?;
+                match (&l, &r) {
+                    (Value::F64(_), _) | (_, Value::F64(_)) => {
+                        let (a, b) = (
+                            l.to_f64_lossy().ok_or(ExprError::InvalidType {
+                                context: "arithmetic",
+                                found: format!("{l:?}"),
+                            })?,
+                            r.to_f64_lossy().ok_or(ExprError::InvalidType {
+                                context: "arithmetic",
+                                found: format!("{r:?}"),
+                            })?,
+                        );
+                        Ok(Value::F64(op.apply_f64(a, b)))
+                    }
+                    _ => {
+                        let a = match l {
+                            Value::I32(v) => v as i64,
+                            Value::I64(v) => v,
+                            other => {
+                                return Err(ExprError::InvalidType {
+                                    context: "arithmetic",
+                                    found: format!("{other:?}"),
+                                })
+                            }
+                        };
+                        let b = match r {
+                            Value::I32(v) => v as i64,
+                            Value::I64(v) => v,
+                            other => {
+                                return Err(ExprError::InvalidType {
+                                    context: "arithmetic",
+                                    found: format!("{other:?}"),
+                                })
+                            }
+                        };
+                        Ok(Value::I64(op.apply_i64(a, b)?))
+                    }
+                }
+            }
+            ScalarExpr::Year(e) => {
+                let v = e.eval_row(block, row)?;
+                match v {
+                    Value::Date(d) => {
+                        Ok(Value::I32(uot_storage::date_to_ymd(d).0))
+                    }
+                    other => Err(ExprError::InvalidType {
+                        context: "YEAR",
+                        found: format!("{other:?}"),
+                    }),
+                }
+            }
+            ScalarExpr::Case { when, then, els } => {
+                // Row path evaluates the predicate for the whole block; used
+                // only on slow paths.
+                let bm = when.eval(block)?;
+                if bm.get(row) {
+                    then.eval_row(block, row)
+                } else {
+                    els.eval_row(block, row)
+                }
+            }
+        }
+    }
+
+    /// Evaluate the expression for the given `rows` of `block`, producing a
+    /// [`ColumnData`] of `rows.len()` values.
+    pub fn eval_gather(&self, block: &StorageBlock, rows: &[usize]) -> Result<ColumnData> {
+        match self {
+            ScalarExpr::Col(i) => gather_column(block, *i, rows),
+            ScalarExpr::Literal(v) => broadcast(v, rows.len()),
+            ScalarExpr::Bin { op, left, right } => {
+                let l = left.eval_numeric(block, rows)?;
+                let r = right.eval_numeric(block, rows)?;
+                combine(*op, l, r)
+            }
+            ScalarExpr::Year(e) => year_of(e.eval_gather(block, rows)?),
+            ScalarExpr::Case { when, then, els } => {
+                let bm = when.eval(block)?;
+                let mask: Vec<bool> = rows.iter().map(|&r| bm.get(r)).collect();
+                let t = then.eval_gather(block, rows)?;
+                let e = els.eval_gather(block, rows)?;
+                merge_case(&mask, t, e)
+            }
+        }
+    }
+
+    /// Evaluate over **all** rows of the block.
+    pub fn eval_all(&self, block: &StorageBlock) -> Result<ColumnData> {
+        match self {
+            ScalarExpr::Col(i) => gather_all(block, *i),
+            ScalarExpr::Literal(v) => broadcast(v, block.num_rows()),
+            ScalarExpr::Bin { op, left, right } => {
+                let l = left.eval_numeric_all(block)?;
+                let r = right.eval_numeric_all(block)?;
+                combine(*op, l, r)
+            }
+            ScalarExpr::Year(e) => year_of(e.eval_all(block)?),
+            ScalarExpr::Case { when, then, els } => {
+                let bm = when.eval(block)?;
+                let mask: Vec<bool> = (0..block.num_rows()).map(|r| bm.get(r)).collect();
+                let t = then.eval_all(block)?;
+                let e = els.eval_all(block)?;
+                merge_case(&mask, t, e)
+            }
+        }
+    }
+
+    fn eval_numeric(&self, block: &StorageBlock, rows: &[usize]) -> Result<NumVec> {
+        NumVec::from_column(self.eval_gather(block, rows)?)
+    }
+
+    fn eval_numeric_all(&self, block: &StorageBlock) -> Result<NumVec> {
+        NumVec::from_column(self.eval_all(block)?)
+    }
+}
+
+/// Numeric intermediate used inside arithmetic.
+enum NumVec {
+    I(Vec<i64>),
+    F(Vec<f64>),
+}
+
+impl NumVec {
+    fn from_column(c: ColumnData) -> Result<NumVec> {
+        Ok(match c {
+            ColumnData::I32(v) => NumVec::I(v.into_iter().map(i64::from).collect()),
+            ColumnData::I64(v) => NumVec::I(v),
+            ColumnData::F64(v) => NumVec::F(v),
+            ColumnData::Date(_) => {
+                return Err(ExprError::InvalidType {
+                    context: "arithmetic",
+                    found: "Date".into(),
+                })
+            }
+            ColumnData::Char { .. } => {
+                return Err(ExprError::InvalidType {
+                    context: "arithmetic",
+                    found: "Char".into(),
+                })
+            }
+        })
+    }
+}
+
+fn combine(op: BinOp, l: NumVec, r: NumVec) -> Result<ColumnData> {
+    Ok(match (l, r) {
+        (NumVec::I(a), NumVec::I(b)) => {
+            let mut out = Vec::with_capacity(a.len());
+            for (x, y) in a.into_iter().zip(b) {
+                out.push(op.apply_i64(x, y)?);
+            }
+            ColumnData::I64(out)
+        }
+        (NumVec::F(a), NumVec::F(b)) => ColumnData::F64(
+            a.into_iter()
+                .zip(b)
+                .map(|(x, y)| op.apply_f64(x, y))
+                .collect(),
+        ),
+        (NumVec::I(a), NumVec::F(b)) => ColumnData::F64(
+            a.into_iter()
+                .zip(b)
+                .map(|(x, y)| op.apply_f64(x as f64, y))
+                .collect(),
+        ),
+        (NumVec::F(a), NumVec::I(b)) => ColumnData::F64(
+            a.into_iter()
+                .zip(b)
+                .map(|(x, y)| op.apply_f64(x, y as f64))
+                .collect(),
+        ),
+    })
+}
+
+/// Map a `Date` column to its calendar years.
+fn year_of(c: ColumnData) -> Result<ColumnData> {
+    match c {
+        ColumnData::Date(v) => Ok(ColumnData::I32(
+            v.into_iter()
+                .map(|d| uot_storage::date_to_ymd(d).0)
+                .collect(),
+        )),
+        other => Err(ExprError::InvalidType {
+            context: "YEAR",
+            found: match other {
+                ColumnData::I32(_) => "Int32".into(),
+                ColumnData::I64(_) => "Int64".into(),
+                ColumnData::F64(_) => "Float64".into(),
+                ColumnData::Char { .. } => "Char".into(),
+                ColumnData::Date(_) => unreachable!(),
+            },
+        }),
+    }
+}
+
+/// Per-row branch selection for CASE: `mask[i] ? then[i] : else[i]`.
+fn merge_case(mask: &[bool], t: ColumnData, e: ColumnData) -> Result<ColumnData> {
+    fn pick<T: Copy>(mask: &[bool], t: &[T], e: &[T]) -> Vec<T> {
+        mask.iter()
+            .enumerate()
+            .map(|(i, &m)| if m { t[i] } else { e[i] })
+            .collect()
+    }
+    Ok(match (t, e) {
+        (ColumnData::I32(a), ColumnData::I32(b)) => ColumnData::I32(pick(mask, &a, &b)),
+        (ColumnData::I64(a), ColumnData::I64(b)) => ColumnData::I64(pick(mask, &a, &b)),
+        (ColumnData::F64(a), ColumnData::F64(b)) => ColumnData::F64(pick(mask, &a, &b)),
+        (ColumnData::Date(a), ColumnData::Date(b)) => ColumnData::Date(pick(mask, &a, &b)),
+        (
+            ColumnData::Char {
+                width: wa,
+                data: da,
+            },
+            ColumnData::Char {
+                width: wb,
+                data: db,
+            },
+        ) if wa == wb => {
+            let mut out = Vec::with_capacity(da.len());
+            for (i, &m) in mask.iter().enumerate() {
+                let src = if m { &da } else { &db };
+                out.extend_from_slice(&src[i * wa..(i + 1) * wa]);
+            }
+            ColumnData::Char {
+                width: wa,
+                data: out,
+            }
+        }
+        // Mixed numeric: promote both sides to f64 or i64.
+        (t, e) => {
+            let num = |c: &ColumnData| {
+                matches!(c, ColumnData::I32(_) | ColumnData::I64(_) | ColumnData::F64(_))
+            };
+            if !num(&t) || !num(&e) {
+                return Err(ExprError::Incompatible {
+                    left: format!("{t:?}").chars().take(12).collect(),
+                    right: format!("{e:?}").chars().take(12).collect(),
+                    context: "CASE branches",
+                });
+            }
+            let f = matches!(t, ColumnData::F64(_)) || matches!(e, ColumnData::F64(_));
+            if f {
+                let (a, b) = (to_f64_vec(t), to_f64_vec(e));
+                ColumnData::F64(pick(mask, &a, &b))
+            } else {
+                let (a, b) = (to_i64_vec(t), to_i64_vec(e));
+                ColumnData::I64(pick(mask, &a, &b))
+            }
+        }
+    })
+}
+
+fn to_f64_vec(c: ColumnData) -> Vec<f64> {
+    match c {
+        ColumnData::I32(v) => v.into_iter().map(|x| x as f64).collect(),
+        ColumnData::I64(v) => v.into_iter().map(|x| x as f64).collect(),
+        ColumnData::F64(v) => v,
+        _ => unreachable!("checked by caller"),
+    }
+}
+
+fn to_i64_vec(c: ColumnData) -> Vec<i64> {
+    match c {
+        ColumnData::I32(v) => v.into_iter().map(i64::from).collect(),
+        ColumnData::I64(v) => v,
+        _ => unreachable!("checked by caller"),
+    }
+}
+
+fn broadcast(v: &Value, n: usize) -> Result<ColumnData> {
+    Ok(match v {
+        Value::I32(x) => ColumnData::I32(vec![*x; n]),
+        Value::I64(x) => ColumnData::I64(vec![*x; n]),
+        Value::F64(x) => ColumnData::F64(vec![*x; n]),
+        Value::Date(x) => ColumnData::Date(vec![*x; n]),
+        Value::Str(s) => {
+            let width = s.len();
+            let mut data = Vec::with_capacity(width * n);
+            for _ in 0..n {
+                data.extend_from_slice(s.as_bytes());
+            }
+            ColumnData::Char { width, data }
+        }
+    })
+}
+
+/// Gather column `i` of `block` at `rows` into a fresh [`ColumnData`].
+pub fn gather_column(block: &StorageBlock, i: usize, rows: &[usize]) -> Result<ColumnData> {
+    if i >= block.schema().len() {
+        return Err(ExprError::ColumnOutOfRange {
+            index: i,
+            len: block.schema().len(),
+        });
+    }
+    // Column-store fast path: gather from the typed slice.
+    if let Some(col) = block.column_data(i) {
+        return Ok(match col {
+            ColumnData::I32(v) => ColumnData::I32(rows.iter().map(|&r| v[r]).collect()),
+            ColumnData::I64(v) => ColumnData::I64(rows.iter().map(|&r| v[r]).collect()),
+            ColumnData::F64(v) => ColumnData::F64(rows.iter().map(|&r| v[r]).collect()),
+            ColumnData::Date(v) => ColumnData::Date(rows.iter().map(|&r| v[r]).collect()),
+            ColumnData::Char { width, data } => {
+                let mut out = Vec::with_capacity(width * rows.len());
+                for &r in rows {
+                    out.extend_from_slice(&data[r * width..(r + 1) * width]);
+                }
+                ColumnData::Char {
+                    width: *width,
+                    data: out,
+                }
+            }
+        });
+    }
+    // Row-store path: strided reads.
+    Ok(match block.schema().dtype(i) {
+        DataType::Int32 => ColumnData::I32(rows.iter().map(|&r| block.i32_at(r, i)).collect()),
+        DataType::Int64 => ColumnData::I64(rows.iter().map(|&r| block.i64_at(r, i)).collect()),
+        DataType::Float64 => ColumnData::F64(rows.iter().map(|&r| block.f64_at(r, i)).collect()),
+        DataType::Date => ColumnData::Date(rows.iter().map(|&r| block.date_at(r, i)).collect()),
+        DataType::Char(n) => {
+            let width = n as usize;
+            let mut data = Vec::with_capacity(width * rows.len());
+            for &r in rows {
+                data.extend_from_slice(block.char_at(r, i));
+            }
+            ColumnData::Char { width, data }
+        }
+    })
+}
+
+/// Gather the given `rows` out of an already-materialized column vector.
+pub fn gather_from(data: &ColumnData, rows: &[usize]) -> ColumnData {
+    match data {
+        ColumnData::I32(v) => ColumnData::I32(rows.iter().map(|&r| v[r]).collect()),
+        ColumnData::I64(v) => ColumnData::I64(rows.iter().map(|&r| v[r]).collect()),
+        ColumnData::F64(v) => ColumnData::F64(rows.iter().map(|&r| v[r]).collect()),
+        ColumnData::Date(v) => ColumnData::Date(rows.iter().map(|&r| v[r]).collect()),
+        ColumnData::Char { width, data } => {
+            let mut out = Vec::with_capacity(width * rows.len());
+            for &r in rows {
+                out.extend_from_slice(&data[r * width..(r + 1) * width]);
+            }
+            ColumnData::Char {
+                width: *width,
+                data: out,
+            }
+        }
+    }
+}
+
+/// Gather all rows of column `i` (clones the column for column blocks).
+pub fn gather_all(block: &StorageBlock, i: usize) -> Result<ColumnData> {
+    if i >= block.schema().len() {
+        return Err(ExprError::ColumnOutOfRange {
+            index: i,
+            len: block.schema().len(),
+        });
+    }
+    if let Some(col) = block.column_data(i) {
+        return Ok(col.clone());
+    }
+    let rows: Vec<usize> = (0..block.num_rows()).collect();
+    gather_column(block, i, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uot_storage::{BlockFormat, Schema};
+
+    fn block(format: BlockFormat) -> StorageBlock {
+        let s = Schema::from_pairs(&[
+            ("price", DataType::Float64),
+            ("disc", DataType::Float64),
+            ("qty", DataType::Int32),
+            ("d", DataType::Date),
+            ("tag", DataType::Char(3)),
+        ]);
+        let mut b = StorageBlock::new(s, format, 4096).unwrap();
+        for i in 0..6 {
+            b.append_row(&[
+                Value::F64(100.0 + i as f64),
+                Value::F64(0.1 * i as f64),
+                Value::I32(i),
+                Value::Date(500 + i),
+                Value::Str(format!("t{i}")),
+            ])
+            .unwrap();
+        }
+        b
+    }
+
+    #[test]
+    fn tpch_revenue_expression() {
+        // l_extendedprice * (1 - l_discount)
+        let e = col(0).mul(lit(1.0).sub(col(1)));
+        for fmt in [BlockFormat::Row, BlockFormat::Column] {
+            let b = block(fmt);
+            let out = e.eval_all(&b).unwrap();
+            let v = out.as_f64();
+            assert_eq!(v.len(), 6);
+            assert!((v[0] - 100.0).abs() < 1e-9);
+            assert!((v[2] - 102.0 * 0.8).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gather_respects_row_selection() {
+        let b = block(BlockFormat::Column);
+        let e = col(2);
+        let out = e.eval_gather(&b, &[1, 3, 5]).unwrap();
+        assert_eq!(out.as_i32(), &[1, 3, 5]);
+        // char gather
+        let t = col(4).eval_gather(&b, &[0, 5]).unwrap();
+        let (w, data) = t.as_char();
+        assert_eq!(w, 3);
+        assert_eq!(data, b"t0 t5 ");
+    }
+
+    #[test]
+    fn row_and_column_eval_agree() {
+        let e = col(0).add(col(2).mul(lit(2.0)));
+        let r = e.eval_all(&block(BlockFormat::Row)).unwrap();
+        let c = e.eval_all(&block(BlockFormat::Column)).unwrap();
+        assert_eq!(r.as_f64(), c.as_f64());
+    }
+
+    #[test]
+    fn integer_arithmetic_stays_integer() {
+        let e = col(2).mul(lit(3i32)).add(lit(1i64));
+        let b = block(BlockFormat::Column);
+        let out = e.eval_all(&b).unwrap();
+        assert_eq!(out.as_i64(), &[1, 4, 7, 10, 13, 16]);
+        assert_eq!(
+            e.output_type(b.schema()).unwrap(),
+            DataType::Int64
+        );
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes_to_float() {
+        let b = block(BlockFormat::Column);
+        let e = col(2).add(col(0));
+        assert_eq!(e.output_type(b.schema()).unwrap(), DataType::Float64);
+        let out = e.eval_all(&b).unwrap();
+        assert!((out.as_f64()[1] - 102.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn literal_broadcast() {
+        let b = block(BlockFormat::Row);
+        let out = lit(7i32).eval_gather(&b, &[0, 1]).unwrap();
+        assert_eq!(out.as_i32(), &[7, 7]);
+        let out = lit("ab").eval_gather(&b, &[0, 1, 2]).unwrap();
+        assert_eq!(out.as_char().1, b"ababab");
+    }
+
+    #[test]
+    fn division_semantics() {
+        let b = block(BlockFormat::Column);
+        // integer division truncates
+        let e = lit(7i64).div(lit(2i64));
+        assert_eq!(e.eval_gather(&b, &[0]).unwrap().as_i64(), &[3]);
+        // integer division by zero errors
+        let e = lit(7i64).div(lit(0i64));
+        assert!(e.eval_gather(&b, &[0]).is_err());
+        // float division by zero gives inf
+        let e = lit(7.0).div(lit(0.0));
+        assert!(e.eval_gather(&b, &[0]).unwrap().as_f64()[0].is_infinite());
+    }
+
+    #[test]
+    fn type_errors_detected() {
+        let b = block(BlockFormat::Column);
+        // date arithmetic rejected
+        let e = col(3).add(lit(1i32));
+        assert!(e.eval_all(&b).is_err());
+        assert!(e.output_type(b.schema()).is_err());
+        // char arithmetic rejected
+        let e = col(4).mul(lit(2i32));
+        assert!(e.eval_all(&b).is_err());
+        // out-of-range column
+        let e = col(9);
+        assert!(matches!(
+            e.output_type(b.schema()),
+            Err(ExprError::ColumnOutOfRange { .. })
+        ));
+        assert!(e.eval_all(&b).is_err());
+    }
+
+    #[test]
+    fn eval_row_matches_vectorized() {
+        let e = col(0).mul(lit(1.0).sub(col(1)));
+        let b = block(BlockFormat::Column);
+        let vec = e.eval_all(&b).unwrap();
+        for r in 0..b.num_rows() {
+            let v = e.eval_row(&b, r).unwrap().as_f64();
+            assert!((v - vec.as_f64()[r]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn year_extraction() {
+        use uot_storage::date_from_ymd;
+        let s = Schema::from_pairs(&[("d", DataType::Date)]);
+        let mut b = StorageBlock::new(s, BlockFormat::Column, 1024).unwrap();
+        for (y, m, d) in [(1992, 1, 1), (1995, 6, 17), (1998, 12, 31)] {
+            b.append_row(&[Value::Date(date_from_ymd(y, m, d))]).unwrap();
+        }
+        let e = col(0).year();
+        assert_eq!(e.output_type(b.schema()).unwrap(), DataType::Int32);
+        assert_eq!(e.eval_all(&b).unwrap().as_i32(), &[1992, 1995, 1998]);
+        assert_eq!(
+            e.eval_gather(&b, &[2, 0]).unwrap().as_i32(),
+            &[1998, 1992]
+        );
+        assert_eq!(e.eval_row(&b, 1).unwrap(), Value::I32(1995));
+        // YEAR of a non-date errors
+        assert!(lit(5i32).year().eval_all(&b).is_err());
+        assert!(lit(5i32).year().output_type(b.schema()).is_err());
+    }
+
+    #[test]
+    fn case_expression() {
+        use crate::predicate::{cmp, CmpOp};
+        let b = block(BlockFormat::Column);
+        // CASE WHEN qty < 3 THEN price ELSE 0.0 END
+        let e = ScalarExpr::case_when(
+            cmp(col(2), CmpOp::Lt, lit(3i32)),
+            col(0),
+            lit(0.0),
+        );
+        assert_eq!(e.output_type(b.schema()).unwrap(), DataType::Float64);
+        let v = e.eval_all(&b).unwrap();
+        assert_eq!(v.as_f64()[0], 100.0);
+        assert_eq!(v.as_f64()[2], 102.0);
+        assert_eq!(v.as_f64()[3], 0.0);
+        // gather path agrees
+        let g = e.eval_gather(&b, &[3, 2]).unwrap();
+        assert_eq!(g.as_f64(), &[0.0, 102.0]);
+        // row path agrees
+        assert_eq!(e.eval_row(&b, 3).unwrap(), Value::F64(0.0));
+        // mixed numeric branches promote
+        let e = ScalarExpr::case_when(
+            cmp(col(2), CmpOp::Lt, lit(3i32)),
+            lit(1i32),
+            lit(0i64),
+        );
+        assert_eq!(e.output_type(b.schema()).unwrap(), DataType::Int64);
+        assert_eq!(e.eval_all(&b).unwrap().as_i64(), &[1, 1, 1, 0, 0, 0]);
+        // incompatible branches rejected
+        let e = ScalarExpr::case_when(
+            cmp(col(2), CmpOp::Lt, lit(3i32)),
+            lit("x"),
+            lit(0i64),
+        );
+        assert!(e.output_type(b.schema()).is_err());
+        assert!(e.eval_all(&b).is_err());
+    }
+
+    #[test]
+    fn case_with_string_branches() {
+        use crate::predicate::{cmp, CmpOp};
+        let b = block(BlockFormat::Row);
+        let e = ScalarExpr::case_when(
+            cmp(col(2), CmpOp::Lt, lit(2i32)),
+            lit("lo"),
+            lit("hi"),
+        );
+        let v = e.eval_all(&b).unwrap();
+        let (w, data) = v.as_char();
+        assert_eq!(w, 2);
+        assert_eq!(&data[..6], b"lolohi");
+    }
+
+    #[test]
+    fn referenced_columns_collects() {
+        let e = col(0).mul(lit(1.0).sub(col(1))).add(col(0));
+        let mut cols = vec![];
+        e.referenced_columns(&mut cols);
+        assert_eq!(cols, vec![0, 1, 0]);
+        assert_eq!(col(3).as_col(), Some(3));
+        assert_eq!(lit(1i32).as_col(), None);
+    }
+}

@@ -1,0 +1,317 @@
+//! The Section V analytical cost model.
+//!
+//! Notation follows Table I of the paper. All costs are in abstract time
+//! units (nanoseconds when derived from a [`HardwareProfile`]); the model's
+//! value is in the *ratio* between the two strategies, not absolute numbers.
+//!
+//! For the select → probe pair, with `N = N_probe^in = N_select^out` UoTs:
+//!
+//! * **High UoT** (non-pipelining) extra work:
+//!   `W_mem·N + AR_L3·N + p1·N·M_L3`
+//!   — the select output is written out to memory, read back sequentially
+//!   (amortized by the prefetcher), and each probe input UoT risks an L3
+//!   miss after the hash table disrupts the sequential pattern.
+//!
+//! * **Low UoT** (pipelining) extra work:
+//!   `2N·IC + p2·N·(M_L3 + R_L3) + p1'·N·(M_L3 + R_L3 + W_mem)`
+//!   — two instruction-cache misses per context switch, the select's
+//!   sequential pattern is disrupted by interleaved probes, and with
+//!   probability `p1' = min(1, 2·B·T/|L3|)` the "hot" probe input was
+//!   already evicted from L3 (the paper's key cache-residency term).
+
+/// Hardware characteristics used to derive [`CostParams`].
+#[derive(Debug, Clone, Copy)]
+pub struct HardwareProfile {
+    /// Sustained memory bandwidth in bytes/ns (= GB/s).
+    pub mem_bandwidth_bytes_per_ns: f64,
+    /// Shared L3 capacity in bytes.
+    pub l3_bytes: f64,
+    /// Penalty of one L3 miss burst when a UoT turns out cold (ns).
+    pub l3_miss_ns: f64,
+    /// Penalty of an instruction-cache miss on a context switch (ns).
+    pub icache_miss_ns: f64,
+    /// How much the hardware prefetcher amortizes sequential reads:
+    /// `AR_L3 = R_L3 / prefetch_factor` (Section V: "the amortized cost ...
+    /// will be substantially smaller").
+    pub prefetch_factor: f64,
+    /// Bytes of sequential access the prefetcher needs before its stride
+    /// detection pays off. Re-reads of UoTs smaller than this see the full
+    /// `R_L3`; larger UoTs approach `AR_L3` — this is what makes the paper's
+    /// high-UoT simplification `p1'·(R_L3 + W_mem) ≈ AR_L3 + W_mem` hold at
+    /// multi-megabyte UoTs but not at tiny ones.
+    pub prefetch_warmup_bytes: f64,
+}
+
+impl HardwareProfile {
+    /// Roughly the paper's evaluation platform (Haswell EP, 25 MB L3).
+    pub fn haswell() -> Self {
+        HardwareProfile {
+            mem_bandwidth_bytes_per_ns: 40.0, // ~40 GB/s per socket
+            l3_bytes: 25.0 * 1024.0 * 1024.0,
+            l3_miss_ns: 90.0,
+            icache_miss_ns: 30.0,
+            prefetch_factor: 8.0,
+            prefetch_warmup_bytes: 256.0 * 1024.0,
+        }
+    }
+}
+
+/// Instantiated model parameters (Table I).
+#[derive(Debug, Clone, Copy)]
+pub struct CostParams {
+    /// `R_L3`: cost of reading one UoT into L3 from memory (ns).
+    pub r_l3: f64,
+    /// `AR_L3`: amortized (prefetched, sequential) read of one UoT (ns).
+    pub ar_l3: f64,
+    /// Effective cost of *re-reading* an evicted UoT in the pipelined case:
+    /// full `R_L3` for UoTs below the prefetch warm-up, approaching `AR_L3`
+    /// beyond it.
+    pub rr_l3: f64,
+    /// `W_mem`: cost of writing one UoT from cache to memory (ns).
+    pub w_mem: f64,
+    /// `IC`: instruction-cache miss cost per context switch (ns).
+    pub ic: f64,
+    /// `M_L3`: penalty of missing a UoT at L3 (ns).
+    pub m_l3: f64,
+    /// `N`: number of probe-input UoTs (= select-output UoTs).
+    pub n_uots: f64,
+    /// `T`: worker threads sharing the L3.
+    pub threads: f64,
+    /// `B`: UoT size in bytes.
+    pub uot_bytes: f64,
+    /// `|L3|` in bytes.
+    pub l3_bytes: f64,
+    /// `p1`: probability a probe-input UoT read misses L3 in the
+    /// non-pipelined case (the hash table's random reads disrupt the
+    /// sequential probe-input stream).
+    pub p1: f64,
+    /// `p2`: probability the select's sequential pattern misses after a
+    /// context switch back from a probe (low-UoT case).
+    pub p2: f64,
+}
+
+impl CostParams {
+    /// Derive parameters from hardware, a UoT size and a thread count.
+    ///
+    /// `p1` and `p2` follow the paper's qualitative guidance: both rise
+    /// toward 1 as interleaving/disruption grows. We model `p1` as high
+    /// (0.9 — the non-pipelined probe always mixes sequential input with
+    /// random hash-table reads) and `p2` as decreasing with UoT size (more
+    /// blocks per transfer → fewer context switches per byte).
+    pub fn derive(hw: HardwareProfile, uot_bytes: f64, threads: usize, n_uots: usize) -> Self {
+        let r_l3 = uot_bytes / hw.mem_bandwidth_bytes_per_ns + hw.l3_miss_ns;
+        let ar_l3 = r_l3 / hw.prefetch_factor;
+        let warm = hw.prefetch_warmup_bytes.min(uot_bytes);
+        let rr_l3 = warm / hw.mem_bandwidth_bytes_per_ns
+            + (uot_bytes - warm) / hw.mem_bandwidth_bytes_per_ns / hw.prefetch_factor
+            + hw.l3_miss_ns;
+        let w_mem = uot_bytes / hw.mem_bandwidth_bytes_per_ns;
+        // Context-switch disruption shrinks as the UoT grows past L3-sized
+        // working sets; clamp to (0, 1].
+        let p2 = (hw.l3_bytes / (hw.l3_bytes + uot_bytes * threads as f64)).clamp(0.05, 1.0);
+        CostParams {
+            r_l3,
+            ar_l3,
+            rr_l3,
+            w_mem,
+            ic: hw.icache_miss_ns,
+            m_l3: hw.l3_miss_ns,
+            n_uots: n_uots as f64,
+            threads: threads as f64,
+            uot_bytes,
+            l3_bytes: hw.l3_bytes,
+            p1: 0.9,
+            p2,
+        }
+    }
+
+    /// `p1' = min(1, 2·B·T / |L3|)` — the probability that a "pipelined"
+    /// probe input has already been evicted from the shared L3 (Section V).
+    pub fn p1_prime(&self) -> f64 {
+        (2.0 * self.uot_bytes * self.threads / self.l3_bytes).min(1.0)
+    }
+
+    /// Extra work of the **high-UoT** (non-pipelining) strategy:
+    /// `W_mem·N + AR_L3·N + p1·N·M_L3` (ns).
+    pub fn high_uot_extra_cost(&self) -> f64 {
+        self.n_uots * (self.w_mem + self.ar_l3 + self.p1 * self.m_l3)
+    }
+
+    /// Extra work of the **low-UoT** (pipelining) strategy:
+    /// `2N·IC + p2·N·(M_L3+R_L3) + p1'·N·(M_L3+R_L3+W_mem)` (ns), with the
+    /// re-read term using the warm-up-aware `rr_l3` (see [`CostParams::rr_l3`]).
+    pub fn low_uot_extra_cost(&self) -> f64 {
+        let p1p = self.p1_prime();
+        self.n_uots
+            * (2.0 * self.ic
+                + self.p2 * (self.m_l3 + self.rr_l3)
+                + p1p * (self.m_l3 + self.rr_l3 + self.w_mem))
+    }
+
+    /// Equation 1: the cost ratio non-pipelining / pipelining, with the
+    /// instruction-cache term dropped (the paper drops it for large UoTs and
+    /// it is negligible at any multi-kilobyte UoT):
+    ///
+    /// `(AR_L3 + W_mem + p1·M_L3) / (p2·(M_L3+R_L3) + p1'·(M_L3+R_L3+W_mem))`
+    pub fn cost_ratio_eq1(&self) -> f64 {
+        let p1p = self.p1_prime();
+        let num = self.ar_l3 + self.w_mem + self.p1 * self.m_l3;
+        let den =
+            self.p2 * (self.m_l3 + self.rr_l3) + p1p * (self.m_l3 + self.rr_l3 + self.w_mem);
+        num / den
+    }
+}
+
+/// Section V-C: the model re-parameterized for a persistent store (SSD/HDD
+/// behind a buffer pool). `p1`/`p2` are ~0 (the hash table stays in the
+/// pool); the difference is dominated by storage I/O vs. instruction-cache
+/// misses.
+#[derive(Debug, Clone, Copy)]
+pub struct PersistentStoreParams {
+    /// Cost of reading one UoT from the store (ns).
+    pub r_store: f64,
+    /// Cost of writing one UoT to the store (ns).
+    pub w_store: f64,
+    /// Instruction-cache miss cost (ns).
+    pub ic: f64,
+    /// Number of UoTs.
+    pub n_uots: f64,
+}
+
+impl PersistentStoreParams {
+    /// A commodity-SSD profile for a given UoT size.
+    pub fn ssd(uot_bytes: f64, n_uots: usize) -> Self {
+        // ~2 GB/s read, ~1 GB/s write, plus ~80 µs access latency.
+        PersistentStoreParams {
+            r_store: uot_bytes / 2.0 + 80_000.0,
+            w_store: uot_bytes / 1.0 + 80_000.0,
+            ic: 30.0,
+            n_uots: n_uots as f64,
+        }
+    }
+
+    /// Extra cost of the high-UoT strategy:
+    /// `R_store·N_probe_in + W_store·N_select_out` (ns).
+    pub fn high_uot_extra_cost(&self) -> f64 {
+        self.n_uots * (self.r_store + self.w_store)
+    }
+
+    /// Extra cost of the low-UoT strategy: `2N·IC` (ns).
+    pub fn low_uot_extra_cost(&self) -> f64 {
+        2.0 * self.n_uots * self.ic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(uot_kb: f64, threads: usize) -> CostParams {
+        CostParams::derive(HardwareProfile::haswell(), uot_kb * 1024.0, threads, 1000)
+    }
+
+    #[test]
+    fn p1_prime_matches_formula() {
+        let p = params(128.0, 20);
+        let expect = (2.0_f64 * 128.0 * 1024.0 * 20.0 / (25.0 * 1024.0 * 1024.0)).min(1.0);
+        assert!((p.p1_prime() - expect).abs() < 1e-12);
+        // Large UoT with many threads saturates at 1.
+        let p = params(4096.0, 20);
+        assert_eq!(p.p1_prime(), 1.0);
+        // Tiny UoT, one thread: far below 1.
+        let p = params(4.0, 1);
+        assert!(p.p1_prime() < 0.01);
+    }
+
+    #[test]
+    fn high_uot_ratio_near_one() {
+        // Paper, Section V-A (a): for UoT > |L3| / (2T) the ratio ≈ 1.
+        let p = params(2048.0, 20); // 2 MB UoT, 20 threads
+        let ratio = p.cost_ratio_eq1();
+        assert!(
+            (0.7..=1.3).contains(&ratio),
+            "expected ratio near 1, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn gap_is_narrow_across_the_whole_spectrum() {
+        // The paper's headline: "the gap between the traditional pipelining
+        // and non-pipelining methods ... is quite narrow". Under realistic
+        // intra-operator parallelism (the paper evaluates with 20 workers),
+        // neither strategy should look more than ~2x better. (At T=1 with
+        // multi-megabyte UoTs the model *does* favor pipelining more —
+        // there is no cache pressure to evict the hot probe input — but that
+        // is outside the paper's parallel setting.)
+        for uot_kb in [16.0, 32.0, 128.0, 512.0, 2048.0, 8192.0] {
+            for threads in [4, 8, 20] {
+                let ratio = params(uot_kb, threads).cost_ratio_eq1();
+                assert!(
+                    (0.5..=2.0).contains(&ratio),
+                    "ratio {ratio} out of the narrow band at B={uot_kb}KB T={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_uots_give_pipelining_a_modest_edge() {
+        // Paper, Section V-A (b): at small UoTs the extra work of the
+        // non-pipelined strategy (write + re-read of every UoT) exceeds the
+        // pipelined strategy's disruption costs — a modest edge, not an
+        // order of magnitude.
+        let p = params(32.0, 4);
+        let high = p.high_uot_extra_cost();
+        let low = p.low_uot_extra_cost();
+        // Includes the instruction-cache term that Eq. 1 drops.
+        let full_ratio = high / low;
+        assert!(
+            (0.8..=2.0).contains(&full_ratio),
+            "expected modest pipelining edge, got {full_ratio}"
+        );
+    }
+
+    #[test]
+    fn extra_costs_scale_linearly_in_n() {
+        let a = CostParams::derive(HardwareProfile::haswell(), 128.0 * 1024.0, 8, 100);
+        let b = CostParams::derive(HardwareProfile::haswell(), 128.0 * 1024.0, 8, 200);
+        assert!((b.high_uot_extra_cost() / a.high_uot_extra_cost() - 2.0).abs() < 1e-9);
+        assert!((b.low_uot_extra_cost() / a.low_uot_extra_cost() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefetching_makes_amortized_reads_cheaper() {
+        let p = params(128.0, 8);
+        assert!(p.ar_l3 < p.r_l3 / 4.0);
+        // Disabling prefetch (factor 1) removes the amortization.
+        let hw = HardwareProfile {
+            prefetch_factor: 1.0,
+            ..HardwareProfile::haswell()
+        };
+        let noprefetch = CostParams::derive(hw, 128.0 * 1024.0, 8, 100);
+        assert_eq!(noprefetch.ar_l3, noprefetch.r_l3);
+        // ... which makes the non-pipelined side look worse (higher ratio).
+        assert!(noprefetch.cost_ratio_eq1() > p.cost_ratio_eq1());
+    }
+
+    #[test]
+    fn persistent_store_strongly_favors_pipelining() {
+        // Section V-C: "order of seconds" vs "order of microseconds" for
+        // thousands of UoTs.
+        let p = PersistentStoreParams::ssd(128.0 * 1024.0, 5000);
+        let high = p.high_uot_extra_cost();
+        let low = p.low_uot_extra_cost();
+        assert!(high > 1e9, "high-UoT extra should be ~seconds: {high} ns");
+        assert!(low < 1e6, "low-UoT extra should be <1 ms: {low} ns");
+        assert!(high / low > 1000.0);
+    }
+
+    #[test]
+    fn p2_decreases_with_uot_size() {
+        let small = params(16.0, 8).p2;
+        let large = params(4096.0, 8).p2;
+        assert!(small > large);
+        assert!((0.0..=1.0).contains(&small));
+        assert!((0.0..=1.0).contains(&large));
+    }
+}

@@ -1,0 +1,23 @@
+//! # uot-model
+//!
+//! The paper's analytical models, reproduced as a library:
+//!
+//! * [`cost`] — the Section V cost model for the select → probe pair: the
+//!   extra work done at the two UoT extremes (in memory-hierarchy terms), the
+//!   cost ratio of Equation 1, and the Section V-C persistent-store variant.
+//! * [`memory`] — the Section VI memory-footprint model: Table II's
+//!   low-vs-high UoT overheads (`Σ|Hᵢ|` vs `|σ(R)|`), the hash-table sizing
+//!   formula `(M/w)·(c/f)`, and the selectivity × projectivity reduction of
+//!   Tables III/IV.
+//!
+//! The model is deliberately *relative*: it only accounts for work that
+//! differs between UoT values (the paper's "key idea ... focus on operations
+//! that result in a cost difference").
+
+pub mod cost;
+pub mod memory;
+
+pub use cost::{CostParams, HardwareProfile, PersistentStoreParams};
+pub use memory::{
+    hash_table_size, memory_reduction, CascadeFootprint, SelectionProfile,
+};

@@ -1,0 +1,225 @@
+//! The Section VI memory-footprint model.
+//!
+//! For a cascade of a selection and `n` probe operators (Fig. 4 of the
+//! paper), Table II gives the *additional* memory each strategy needs beyond
+//! what both share:
+//!
+//! * **Low UoT** (pipelined): all hash tables must exist simultaneously →
+//!   overhead `Σᵢ₌₂ⁿ |Hᵢ|` (the first table is needed by both strategies).
+//! * **High UoT** (one join at a time): only one hash table at a time, but
+//!   the selection output is materialized → overhead `|σ(R)|`.
+//!
+//! `|σ(R)|` shrinks with both **selectivity** (fraction of rows kept) and
+//! **projectivity** (fraction of bytes per tuple kept) — the effect Tables
+//! III/IV quantify for TPC-H.
+
+/// The paper's hash-table sizing formula: an input of `input_bytes` with
+/// `tuple_width`-byte tuples, stored in buckets of `bucket_bytes` at load
+/// factor `load_factor`, occupies `(M/w)·(c/f)` bytes.
+pub fn hash_table_size(
+    input_bytes: f64,
+    tuple_width: f64,
+    bucket_bytes: f64,
+    load_factor: f64,
+) -> f64 {
+    assert!(tuple_width > 0.0, "tuple width must be positive");
+    assert!(
+        load_factor > 0.0 && load_factor <= 1.0,
+        "load factor must be in (0, 1]"
+    );
+    (input_bytes / tuple_width) * (bucket_bytes / load_factor)
+}
+
+/// Selectivity/projectivity profile of a selection (Tables III/IV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionProfile {
+    /// Fraction of rows that pass the predicate, `s = N_s / N` in `[0, 1]`.
+    pub selectivity: f64,
+    /// Fraction of tuple bytes projected, `p = C_s / C` in `[0, 1]`.
+    pub projectivity: f64,
+}
+
+impl SelectionProfile {
+    /// New profile (asserts both fractions are in `[0, 1]`).
+    pub fn new(selectivity: f64, projectivity: f64) -> Self {
+        assert!((0.0..=1.0).contains(&selectivity), "selectivity {selectivity}");
+        assert!(
+            (0.0..=1.0).contains(&projectivity),
+            "projectivity {projectivity}"
+        );
+        SelectionProfile {
+            selectivity,
+            projectivity,
+        }
+    }
+
+    /// The "Total (%)" column of Tables III/IV: the materialized output's
+    /// size relative to the input table, `s · p`.
+    pub fn total_fraction(&self) -> f64 {
+        self.selectivity * self.projectivity
+    }
+
+    /// `|σ(R)|` for an input of `input_bytes`.
+    pub fn output_bytes(&self, input_bytes: f64) -> f64 {
+        self.total_fraction() * input_bytes
+    }
+}
+
+/// Memory reduction of a selection: returns `(selectivity, projectivity,
+/// total)` as percentages, from observed row/byte counts. This is how the
+/// `uot-tpch` analysis reproduces Tables III and IV from generated data.
+pub fn memory_reduction(
+    rows_in: usize,
+    rows_out: usize,
+    tuple_bytes_in: usize,
+    tuple_bytes_out: usize,
+) -> (f64, f64, f64) {
+    let s = if rows_in == 0 {
+        0.0
+    } else {
+        rows_out as f64 / rows_in as f64
+    };
+    let p = if tuple_bytes_in == 0 {
+        0.0
+    } else {
+        tuple_bytes_out as f64 / tuple_bytes_in as f64
+    };
+    (s * 100.0, p * 100.0, s * p * 100.0)
+}
+
+/// Table II instantiated for one select → probe×n cascade.
+#[derive(Debug, Clone)]
+pub struct CascadeFootprint {
+    /// Sizes of the join hash tables `|H_1| ... |H_n|`, in bytes.
+    pub hash_table_bytes: Vec<f64>,
+    /// Size of the materialized selection output `|σ(R)|`, in bytes.
+    pub selection_output_bytes: f64,
+}
+
+impl CascadeFootprint {
+    /// Total footprint of the low-UoT strategy per Table II: all hash
+    /// tables, no intermediate table.
+    pub fn low_uot_total(&self) -> f64 {
+        self.hash_table_bytes.iter().sum()
+    }
+
+    /// Total footprint of the high-UoT strategy per Table II: one hash table
+    /// at a time plus the materialized intermediate.
+    pub fn high_uot_total(&self) -> f64 {
+        self.hash_table_bytes.first().copied().unwrap_or(0.0) + self.selection_output_bytes
+    }
+
+    /// The *overhead* of low UoT over the shared baseline: `Σᵢ₌₂ⁿ |Hᵢ|`.
+    pub fn low_uot_overhead(&self) -> f64 {
+        self.hash_table_bytes.iter().skip(1).sum()
+    }
+
+    /// The *overhead* of high UoT over the shared baseline: `|σ(R)|`.
+    pub fn high_uot_overhead(&self) -> f64 {
+        self.selection_output_bytes
+    }
+
+    /// True when the pipelined (low-UoT) strategy needs less extra memory.
+    pub fn low_uot_wins(&self) -> bool {
+        self.low_uot_overhead() < self.high_uot_overhead()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_table_formula() {
+        // 1 GB input, 100-byte tuples, 32-byte buckets, load factor 0.5:
+        // 10^7 entries * 64 bytes = 640 MB.
+        let m = 1e9;
+        let size = hash_table_size(m, 100.0, 32.0, 0.5);
+        assert!((size - 640e6).abs() < 1.0);
+        // load factor 1 = no slack
+        assert_eq!(hash_table_size(1000.0, 10.0, 10.0, 1.0), 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "load factor")]
+    fn bad_load_factor_panics() {
+        hash_table_size(1.0, 1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn selection_profile_total() {
+        // TPC-H Q07 on lineitem per Table III: s=30.4%, p=18.3% -> 5.6%.
+        let p = SelectionProfile::new(0.304, 0.183);
+        assert!((p.total_fraction() - 0.0556).abs() < 1e-3);
+        assert!((p.output_bytes(100.0) - 5.56).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn selectivity_out_of_range_panics() {
+        SelectionProfile::new(1.5, 0.5);
+    }
+
+    #[test]
+    fn memory_reduction_percentages() {
+        let (s, p, t) = memory_reduction(1000, 304, 120, 22);
+        assert!((s - 30.4).abs() < 1e-9);
+        assert!((p - 18.333).abs() < 1e-2);
+        assert!((t - 5.573).abs() < 1e-2);
+        // degenerate inputs
+        assert_eq!(memory_reduction(0, 0, 10, 5).0, 0.0);
+        assert_eq!(memory_reduction(10, 5, 0, 0).1, 0.0);
+    }
+
+    #[test]
+    fn table2_overheads() {
+        let f = CascadeFootprint {
+            hash_table_bytes: vec![100.0, 50.0, 30.0],
+            selection_output_bytes: 60.0,
+        };
+        assert_eq!(f.low_uot_total(), 180.0);
+        assert_eq!(f.high_uot_total(), 160.0);
+        assert_eq!(f.low_uot_overhead(), 80.0);
+        assert_eq!(f.high_uot_overhead(), 60.0);
+        assert!(!f.low_uot_wins()); // big dimension tables: blocking wins
+    }
+
+    #[test]
+    fn small_hash_tables_favor_pipelining() {
+        // SSB-style: tiny dimension hash tables, large fact selection.
+        let f = CascadeFootprint {
+            hash_table_bytes: vec![10.0, 5.0, 5.0],
+            selection_output_bytes: 500.0,
+        };
+        assert!(f.low_uot_wins());
+    }
+
+    #[test]
+    fn q07_style_example_from_paper() {
+        // Section VI-C: orders hash table ~2.4 GB; selection output 2.8 GB
+        // unoptimized, 224 MB with LIP. Low UoT overhead includes the orders
+        // table; high UoT overhead is the selection output.
+        let unopt = CascadeFootprint {
+            hash_table_bytes: vec![0.1e9, 2.4e9, 0.2e9],
+            selection_output_bytes: 2.8e9,
+        };
+        assert!(!unopt.low_uot_wins() || unopt.low_uot_overhead() < unopt.high_uot_overhead());
+        let with_lip = CascadeFootprint {
+            hash_table_bytes: vec![0.1e9, 2.4e9, 0.2e9],
+            selection_output_bytes: 224e6,
+        };
+        // with pruning, the blocking strategy's overhead is far smaller
+        assert!(with_lip.high_uot_overhead() < with_lip.low_uot_overhead());
+    }
+
+    #[test]
+    fn empty_cascade() {
+        let f = CascadeFootprint {
+            hash_table_bytes: vec![],
+            selection_output_bytes: 0.0,
+        };
+        assert_eq!(f.low_uot_total(), 0.0);
+        assert_eq!(f.high_uot_total(), 0.0);
+        assert_eq!(f.low_uot_overhead(), 0.0);
+    }
+}

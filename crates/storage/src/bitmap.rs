@@ -1,0 +1,246 @@
+//! Selection bitmaps.
+//!
+//! Predicates evaluate to a [`Bitmap`] over the rows of one block; operators
+//! then iterate the set bits. A word-at-a-time representation keeps predicate
+//! conjunction/disjunction cheap and the "count selected" path branch-free.
+
+/// A fixed-length bitmap over the rows of a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Create a bitmap of `len` bits, all zero.
+    pub fn zeros(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Create a bitmap of `len` bits, all one.
+    pub fn ones(len: usize) -> Self {
+        let mut b = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        b.clear_tail();
+        b
+    }
+
+    /// Zero out the bits beyond `len` in the last word so that popcounts and
+    /// equality are exact.
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i` to 1.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Set bit `i` to `v`.
+    #[inline]
+    pub fn assign(&mut self, i: usize, v: bool) {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if v {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place conjunction with `other` (must be the same length).
+    pub fn and_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place disjunction with `other` (must be the same length).
+    pub fn or_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place negation.
+    pub fn not_inplace(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = !*w;
+        }
+        self.clear_tail();
+    }
+
+    /// Iterate the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+            base: 0,
+            len: self.len,
+        }
+    }
+}
+
+/// Iterator over set-bit indices of a [`Bitmap`].
+pub struct OnesIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+    base: usize,
+    len: usize,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                let idx = self.base + bit;
+                if idx < self.len {
+                    return Some(idx);
+                }
+                // tail bits beyond len are always zero, but be defensive
+                return None;
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+            self.base = self.word_idx * 64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Bitmap::zeros(100);
+        assert_eq!(z.count_ones(), 0);
+        let o = Bitmap::ones(100);
+        assert_eq!(o.count_ones(), 100);
+        // Tail bits beyond len must not be counted.
+        let o65 = Bitmap::ones(65);
+        assert_eq!(o65.count_ones(), 65);
+    }
+
+    #[test]
+    fn set_get_assign() {
+        let mut b = Bitmap::zeros(70);
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(69);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(69));
+        assert!(!b.get(1));
+        b.assign(64, false);
+        assert!(!b.get(64));
+        b.assign(1, true);
+        assert!(b.get(1));
+        assert_eq!(b.count_ones(), 4);
+    }
+
+    #[test]
+    fn logical_ops() {
+        let mut a = Bitmap::zeros(10);
+        let mut b = Bitmap::zeros(10);
+        a.set(1);
+        a.set(3);
+        b.set(3);
+        b.set(5);
+        let mut and = a.clone();
+        and.and_with(&b);
+        assert_eq!(and.iter_ones().collect::<Vec<_>>(), vec![3]);
+        let mut or = a.clone();
+        or.or_with(&b);
+        assert_eq!(or.iter_ones().collect::<Vec<_>>(), vec![1, 3, 5]);
+        a.not_inplace();
+        assert_eq!(a.count_ones(), 8);
+        assert!(!a.get(1) && !a.get(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_length_mismatch_panics() {
+        let mut a = Bitmap::zeros(10);
+        let b = Bitmap::zeros(11);
+        a.and_with(&b);
+    }
+
+    #[test]
+    fn iter_ones_crosses_word_boundaries() {
+        let mut b = Bitmap::zeros(200);
+        let idxs = [0usize, 1, 62, 63, 64, 65, 127, 128, 199];
+        for &i in &idxs {
+            b.set(i);
+        }
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), idxs.to_vec());
+    }
+
+    #[test]
+    fn iter_ones_empty_and_full() {
+        assert_eq!(Bitmap::zeros(0).iter_ones().count(), 0);
+        assert_eq!(Bitmap::zeros(130).iter_ones().count(), 0);
+        assert_eq!(Bitmap::ones(130).iter_ones().count(), 130);
+        assert_eq!(
+            Bitmap::ones(3).iter_ones().collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn not_clears_tail() {
+        let mut b = Bitmap::zeros(65);
+        b.not_inplace();
+        assert_eq!(b.count_ones(), 65);
+        b.not_inplace();
+        assert_eq!(b.count_ones(), 0);
+    }
+}

@@ -1,0 +1,350 @@
+//! Format-polymorphic storage blocks.
+//!
+//! [`StorageBlock`] unifies [`RowBlock`] and [`ColumnBlock`] behind one API so
+//! that operators, the block pool and the scheduler are format-agnostic; hot
+//! loops that care about layout match on the variant (or on
+//! [`StorageBlock::column_data`]) to take the typed fast path.
+
+use crate::column_block::{ColumnBlock, ColumnData};
+use crate::row_block::RowBlock;
+use crate::schema::Schema;
+use crate::types::DataType;
+use crate::value::Value;
+use crate::Result;
+use std::sync::Arc;
+
+/// Physical layout of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockFormat {
+    /// N-ary row store.
+    Row,
+    /// Decomposed column store.
+    Column,
+}
+
+impl BlockFormat {
+    /// Short lowercase label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockFormat::Row => "row",
+            BlockFormat::Column => "column",
+        }
+    }
+}
+
+/// A storage block in either format.
+#[derive(Debug, Clone)]
+pub enum StorageBlock {
+    /// Row-store block.
+    Row(RowBlock),
+    /// Column-store block.
+    Column(ColumnBlock),
+}
+
+impl StorageBlock {
+    /// Create an empty block of the given format and byte size.
+    pub fn new(schema: Arc<Schema>, format: BlockFormat, capacity_bytes: usize) -> Result<Self> {
+        Ok(match format {
+            BlockFormat::Row => StorageBlock::Row(RowBlock::new(schema, capacity_bytes)?),
+            BlockFormat::Column => StorageBlock::Column(ColumnBlock::new(schema, capacity_bytes)?),
+        })
+    }
+
+    /// This block's format.
+    #[inline]
+    pub fn format(&self) -> BlockFormat {
+        match self {
+            StorageBlock::Row(_) => BlockFormat::Row,
+            StorageBlock::Column(_) => BlockFormat::Column,
+        }
+    }
+
+    /// The block's schema.
+    #[inline]
+    pub fn schema(&self) -> &Arc<Schema> {
+        match self {
+            StorageBlock::Row(b) => b.schema(),
+            StorageBlock::Column(b) => b.schema(),
+        }
+    }
+
+    /// Number of tuples currently stored.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        match self {
+            StorageBlock::Row(b) => b.num_rows(),
+            StorageBlock::Column(b) => b.num_rows(),
+        }
+    }
+
+    /// Maximum number of tuples.
+    #[inline]
+    pub fn capacity_rows(&self) -> usize {
+        match self {
+            StorageBlock::Row(b) => b.capacity_rows(),
+            StorageBlock::Column(b) => b.capacity_rows(),
+        }
+    }
+
+    /// True when full.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        match self {
+            StorageBlock::Row(b) => b.is_full(),
+            StorageBlock::Column(b) => b.is_full(),
+        }
+    }
+
+    /// Bytes reserved by this block.
+    #[inline]
+    pub fn allocated_bytes(&self) -> usize {
+        match self {
+            StorageBlock::Row(b) => b.allocated_bytes(),
+            StorageBlock::Column(b) => b.allocated_bytes(),
+        }
+    }
+
+    /// Remove all tuples, keeping allocations.
+    pub fn clear(&mut self) {
+        match self {
+            StorageBlock::Row(b) => b.clear(),
+            StorageBlock::Column(b) => b.clear(),
+        }
+    }
+
+    /// Append a row of [`Value`]s; `Ok(false)` when full.
+    pub fn append_row(&mut self, row: &[Value]) -> Result<bool> {
+        match self {
+            StorageBlock::Row(b) => b.append_row(row),
+            StorageBlock::Column(b) => b.append_row(row),
+        }
+    }
+
+    /// Typed column data, available only for column-store blocks.
+    #[inline]
+    pub fn column_data(&self, col: usize) -> Option<&ColumnData> {
+        match self {
+            StorageBlock::Row(_) => None,
+            StorageBlock::Column(b) => Some(b.column(col)),
+        }
+    }
+
+    /// Read an `Int32` field.
+    #[inline]
+    pub fn i32_at(&self, row: usize, col: usize) -> i32 {
+        match self {
+            StorageBlock::Row(b) => b.i32_at(row, col),
+            StorageBlock::Column(b) => b.i32_at(row, col),
+        }
+    }
+
+    /// Read an `Int64` field.
+    #[inline]
+    pub fn i64_at(&self, row: usize, col: usize) -> i64 {
+        match self {
+            StorageBlock::Row(b) => b.i64_at(row, col),
+            StorageBlock::Column(b) => b.i64_at(row, col),
+        }
+    }
+
+    /// Read a `Float64` field.
+    #[inline]
+    pub fn f64_at(&self, row: usize, col: usize) -> f64 {
+        match self {
+            StorageBlock::Row(b) => b.f64_at(row, col),
+            StorageBlock::Column(b) => b.f64_at(row, col),
+        }
+    }
+
+    /// Read a `Date` field.
+    #[inline]
+    pub fn date_at(&self, row: usize, col: usize) -> i32 {
+        match self {
+            StorageBlock::Row(b) => b.date_at(row, col),
+            StorageBlock::Column(b) => b.date_at(row, col),
+        }
+    }
+
+    /// Read a `Char(n)` field as padded bytes.
+    #[inline]
+    pub fn char_at(&self, row: usize, col: usize) -> &[u8] {
+        match self {
+            StorageBlock::Row(b) => b.char_at(row, col),
+            StorageBlock::Column(b) => b.char_at(row, col),
+        }
+    }
+
+    /// Read any field as a [`Value`] (slow path).
+    pub fn value_at(&self, row: usize, col: usize) -> Result<Value> {
+        match self {
+            StorageBlock::Row(b) => b.value_at(row, col),
+            StorageBlock::Column(b) => b.value_at(row, col),
+        }
+    }
+
+    /// Materialize row `row` as a `Vec<Value>` (slow path, tests/results).
+    pub fn row_values(&self, row: usize) -> Result<Vec<Value>> {
+        (0..self.schema().len())
+            .map(|c| self.value_at(row, c))
+            .collect()
+    }
+
+    /// Materialize every row (slow path, tests/results).
+    pub fn all_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.num_rows())
+            .map(|r| self.row_values(r).expect("in-bounds row"))
+            .collect()
+    }
+
+    /// Append one projected row copied from `src` without constructing
+    /// [`Value`]s: destination column `j` receives source column `cols[j]`.
+    ///
+    /// Returns `false` (and appends nothing) when this block is full. The
+    /// destination schema must have exactly `cols.len()` columns whose types
+    /// match the projected source columns — enforced by `debug_assert`s since
+    /// this sits on operator hot paths.
+    pub fn append_projected(&mut self, src: &StorageBlock, src_row: usize, cols: &[usize]) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        debug_assert_eq!(self.schema().len(), cols.len());
+        match self {
+            StorageBlock::Row(dst) => {
+                for (j, &c) in cols.iter().enumerate() {
+                    match dst.schema().dtype(j) {
+                        DataType::Int32 | DataType::Date => {
+                            let v = match src.schema().dtype(c) {
+                                DataType::Int32 => src.i32_at(src_row, c),
+                                DataType::Date => src.date_at(src_row, c),
+                                other => unreachable!("projected {other} into 4-byte column"),
+                            };
+                            dst.raw_push_i32(v);
+                        }
+                        DataType::Int64 => dst.raw_push_i64(src.i64_at(src_row, c)),
+                        DataType::Float64 => dst.raw_push_f64(src.f64_at(src_row, c)),
+                        DataType::Char(_) => dst.raw_push_char(src.char_at(src_row, c)),
+                    }
+                }
+                dst.finish_raw_row();
+            }
+            StorageBlock::Column(dst) => {
+                for (j, &c) in cols.iter().enumerate() {
+                    match dst.schema().dtype(j) {
+                        DataType::Int32 | DataType::Date => {
+                            let v = match src.schema().dtype(c) {
+                                DataType::Int32 => src.i32_at(src_row, c),
+                                DataType::Date => src.date_at(src_row, c),
+                                other => unreachable!("projected {other} into 4-byte column"),
+                            };
+                            dst.raw_push_i32(j, v);
+                        }
+                        DataType::Int64 => dst.raw_push_i64(j, src.i64_at(src_row, c)),
+                        DataType::Float64 => dst.raw_push_f64(j, src.f64_at(src_row, c)),
+                        DataType::Char(_) => dst.raw_push_char(j, src.char_at(src_row, c)),
+                    }
+                }
+                dst.finish_raw_row();
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Arc<Schema> {
+        Schema::from_pairs(&[
+            ("k", DataType::Int32),
+            ("v", DataType::Float64),
+            ("tag", DataType::Char(3)),
+            ("d", DataType::Date),
+            ("big", DataType::Int64),
+        ])
+    }
+
+    fn filled(format: BlockFormat, n: i32) -> StorageBlock {
+        let mut b = StorageBlock::new(schema(), format, 4096).unwrap();
+        for i in 0..n {
+            b.append_row(&[
+                Value::I32(i),
+                Value::F64(i as f64),
+                Value::Str(format!("t{i}")),
+                Value::Date(100 + i),
+                Value::I64(i as i64 * 2),
+            ])
+            .unwrap();
+        }
+        b
+    }
+
+    #[test]
+    fn formats_agree_on_contents() {
+        let r = filled(BlockFormat::Row, 6);
+        let c = filled(BlockFormat::Column, 6);
+        assert_eq!(r.all_rows(), c.all_rows());
+        assert_eq!(r.format(), BlockFormat::Row);
+        assert_eq!(c.format(), BlockFormat::Column);
+    }
+
+    #[test]
+    fn column_data_only_for_column_format() {
+        let r = filled(BlockFormat::Row, 2);
+        let c = filled(BlockFormat::Column, 2);
+        assert!(r.column_data(0).is_none());
+        assert_eq!(c.column_data(0).unwrap().as_i32(), &[0, 1]);
+    }
+
+    #[test]
+    fn append_projected_identity() {
+        for fmt in [BlockFormat::Row, BlockFormat::Column] {
+            for dst_fmt in [BlockFormat::Row, BlockFormat::Column] {
+                let src = filled(fmt, 4);
+                let mut dst = StorageBlock::new(schema(), dst_fmt, 4096).unwrap();
+                for row in 0..4 {
+                    assert!(dst.append_projected(&src, row, &[0, 1, 2, 3, 4]));
+                }
+                assert_eq!(dst.all_rows(), src.all_rows(), "{fmt:?}->{dst_fmt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn append_projected_reorders_and_projects() {
+        let src = filled(BlockFormat::Column, 3);
+        let proj = src.schema().project(&[2, 0]);
+        let mut dst = StorageBlock::new(proj, BlockFormat::Row, 4096).unwrap();
+        assert!(dst.append_projected(&src, 1, &[2, 0]));
+        assert_eq!(
+            dst.row_values(0).unwrap(),
+            vec![Value::Str("t1".into()), Value::I32(1)]
+        );
+    }
+
+    #[test]
+    fn append_projected_respects_capacity() {
+        let src = filled(BlockFormat::Row, 3);
+        let small = Schema::from_pairs(&[("k", DataType::Int32)]);
+        let mut dst = StorageBlock::new(small, BlockFormat::Column, 8).unwrap(); // 2 rows
+        assert!(dst.append_projected(&src, 0, &[0]));
+        assert!(dst.append_projected(&src, 1, &[0]));
+        assert!(!dst.append_projected(&src, 2, &[0]));
+        assert_eq!(dst.num_rows(), 2);
+    }
+
+    #[test]
+    fn clear_works_through_enum() {
+        let mut b = filled(BlockFormat::Column, 5);
+        assert_eq!(b.num_rows(), 5);
+        b.clear();
+        assert_eq!(b.num_rows(), 0);
+    }
+
+    #[test]
+    fn label_strings() {
+        assert_eq!(BlockFormat::Row.label(), "row");
+        assert_eq!(BlockFormat::Column.label(), "column");
+    }
+}

@@ -1,0 +1,111 @@
+//! A minimal catalog mapping table names to loaded tables.
+
+use crate::error::StorageError;
+use crate::table::Table;
+use crate::Result;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Thread-safe registry of base tables.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Catalog::default())
+    }
+
+    /// Register a table; errors if the name is taken.
+    pub fn register(&self, table: Table) -> Result<Arc<Table>> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(table.name()) {
+            return Err(StorageError::TableExists(table.name().to_string()));
+        }
+        let t = Arc::new(table);
+        tables.insert(t.name().to_string(), t.clone());
+        Ok(t)
+    }
+
+    /// Look up a table by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    /// Remove a table by name, returning it if present.
+    pub fn drop_table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .write()
+            .remove(name)
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockFormat;
+    use crate::schema::Schema;
+    use crate::table::TableBuilder;
+    use crate::types::DataType;
+    use crate::value::Value;
+
+    fn table(name: &str) -> Table {
+        let s = Schema::from_pairs(&[("k", DataType::Int32)]);
+        let mut tb = TableBuilder::new(name, s, BlockFormat::Row, 64);
+        tb.append(&[Value::I32(1)]).unwrap();
+        tb.finish()
+    }
+
+    #[test]
+    fn register_and_get() {
+        let c = Catalog::new();
+        c.register(table("a")).unwrap();
+        assert_eq!(c.get("a").unwrap().num_rows(), 1);
+        assert!(matches!(
+            c.get("b"),
+            Err(StorageError::TableNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let c = Catalog::new();
+        c.register(table("a")).unwrap();
+        assert!(matches!(
+            c.register(table("a")),
+            Err(StorageError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn drop_table_removes() {
+        let c = Catalog::new();
+        c.register(table("a")).unwrap();
+        c.drop_table("a").unwrap();
+        assert!(c.get("a").is_err());
+        assert!(c.drop_table("a").is_err());
+    }
+
+    #[test]
+    fn names_sorted() {
+        let c = Catalog::new();
+        c.register(table("zeta")).unwrap();
+        c.register(table("alpha")).unwrap();
+        assert_eq!(c.table_names(), vec!["alpha", "zeta"]);
+    }
+}

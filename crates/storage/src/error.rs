@@ -1,0 +1,117 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A value's type did not match the column's declared type.
+    TypeMismatch {
+        /// What the schema expected.
+        expected: String,
+        /// What was provided.
+        found: String,
+    },
+    /// A row was wider than the block can ever hold.
+    TupleTooLarge {
+        /// Width of the tuple in bytes.
+        tuple_bytes: usize,
+        /// Capacity of the block in bytes.
+        block_bytes: usize,
+    },
+    /// Referenced a column index that does not exist.
+    ColumnOutOfRange {
+        /// Index that was requested.
+        index: usize,
+        /// Number of columns in the schema.
+        len: usize,
+    },
+    /// Referenced a row index that does not exist.
+    RowOutOfRange {
+        /// Index that was requested.
+        index: usize,
+        /// Number of rows in the block.
+        len: usize,
+    },
+    /// Looked up a table that is not in the catalog.
+    TableNotFound(String),
+    /// A table with this name already exists in the catalog.
+    TableExists(String),
+    /// Attempted to build a hash key out of an unsupported type (e.g. floats).
+    UnhashableType(String),
+    /// The provided row had the wrong number of fields for the schema.
+    ArityMismatch {
+        /// Number of columns in the schema.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            StorageError::TupleTooLarge {
+                tuple_bytes,
+                block_bytes,
+            } => write!(
+                f,
+                "tuple of {tuple_bytes} bytes cannot fit in a {block_bytes}-byte block"
+            ),
+            StorageError::ColumnOutOfRange { index, len } => {
+                write!(f, "column index {index} out of range for {len} columns")
+            }
+            StorageError::RowOutOfRange { index, len } => {
+                write!(f, "row index {index} out of range for {len} rows")
+            }
+            StorageError::TableNotFound(name) => write!(f, "table not found: {name}"),
+            StorageError::TableExists(name) => write!(f, "table already exists: {name}"),
+            StorageError::UnhashableType(t) => write!(f, "type {t} cannot be used as a hash key"),
+            StorageError::ArityMismatch { expected, found } => {
+                write!(f, "row arity mismatch: schema has {expected} columns, got {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::TypeMismatch {
+            expected: "Int32".into(),
+            found: "Float64".into(),
+        };
+        assert!(e.to_string().contains("Int32"));
+        assert!(e.to_string().contains("Float64"));
+
+        let e = StorageError::TableNotFound("lineitem".into());
+        assert!(e.to_string().contains("lineitem"));
+
+        let e = StorageError::ArityMismatch {
+            expected: 3,
+            found: 2,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StorageError::TableNotFound("t".into()),
+            StorageError::TableNotFound("t".into())
+        );
+        assert_ne!(
+            StorageError::TableNotFound("t".into()),
+            StorageError::TableExists("t".into())
+        );
+    }
+}

@@ -1,0 +1,342 @@
+//! The global temporary-block pool and memory accounting.
+//!
+//! Quickstep (Section III-A of the paper) keeps "a thread-safe global pool of
+//! partially filled temporary storage blocks": a work order checks a block
+//! out, writes its output, and returns it, so each block is touched by at
+//! most one work order at a time. [`BlockPool`] reproduces that design and
+//! adds precise byte accounting via [`MemoryTracker`], which the memory
+//! experiments (Section VI) read.
+//!
+//! Reuse can be disabled (`reuse_enabled(false)`) to quantify how much the
+//! pool actually saves — the `ablation_pool` experiment.
+
+use crate::block::{BlockFormat, StorageBlock};
+use crate::schema::Schema;
+use crate::Result;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Thread-safe allocation meter.
+///
+/// Tracks bytes currently allocated to blocks and the high-water mark. Shared
+/// (`Arc`) between the pool, tables and the engine.
+#[derive(Debug, Default)]
+pub struct MemoryTracker {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+    total_allocated: AtomicUsize,
+}
+
+impl MemoryTracker {
+    /// New tracker with all counters at zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(MemoryTracker::default())
+    }
+
+    /// Record an allocation of `bytes`.
+    pub fn alloc(&self, bytes: usize) {
+        let cur = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.total_allocated.fetch_add(bytes, Ordering::Relaxed);
+        self.peak.fetch_max(cur, Ordering::Relaxed);
+    }
+
+    /// Record a release of `bytes`.
+    pub fn free(&self, bytes: usize) {
+        self.current.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Bytes currently allocated.
+    pub fn current_bytes(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes ever allocated (ignores frees).
+    pub fn total_allocated_bytes(&self) -> usize {
+        self.total_allocated.load(Ordering::Relaxed)
+    }
+
+    /// Reset peak to the current level (between experiment phases).
+    pub fn reset_peak(&self) {
+        self.peak
+            .store(self.current.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// Key identifying a free-list: blocks are only reusable for the same
+/// (schema, format, size) combination because column blocks hold typed
+/// vectors.
+#[derive(PartialEq, Eq, Hash)]
+struct PoolKey(Arc<Schema>, BlockFormat, usize);
+
+/// Counters describing pool behavior, for experiments and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Blocks newly allocated because no reusable block existed.
+    pub created: usize,
+    /// Checkouts served from the free lists.
+    pub reused: usize,
+    /// Blocks returned to the pool.
+    pub returned: usize,
+    /// Blocks discarded (memory released).
+    pub discarded: usize,
+}
+
+/// Thread-safe pool of reusable temporary storage blocks.
+#[derive(Debug)]
+pub struct BlockPool {
+    tracker: Arc<MemoryTracker>,
+    free: Mutex<HashMap<PoolKey, Vec<StorageBlock>>>,
+    reuse: AtomicBool,
+    created: AtomicUsize,
+    reused: AtomicUsize,
+    returned: AtomicUsize,
+    discarded: AtomicUsize,
+}
+
+// PoolKey's manual Debug via the map would be noisy; keep the derive happy.
+impl std::fmt::Debug for PoolKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PoolKey({}, {:?}, {})", self.0, self.1, self.2)
+    }
+}
+
+impl BlockPool {
+    /// Create a pool metering through `tracker`.
+    pub fn new(tracker: Arc<MemoryTracker>) -> Arc<Self> {
+        Arc::new(BlockPool {
+            tracker,
+            free: Mutex::new(HashMap::new()),
+            reuse: AtomicBool::new(true),
+            created: AtomicUsize::new(0),
+            reused: AtomicUsize::new(0),
+            returned: AtomicUsize::new(0),
+            discarded: AtomicUsize::new(0),
+        })
+    }
+
+    /// Enable or disable block reuse (the `ablation_pool` knob). With reuse
+    /// off, `give_back` releases the block's memory immediately and every
+    /// checkout allocates fresh.
+    pub fn set_reuse_enabled(&self, enabled: bool) {
+        self.reuse.store(enabled, Ordering::Relaxed);
+    }
+
+    /// The tracker this pool meters through.
+    pub fn tracker(&self) -> &Arc<MemoryTracker> {
+        &self.tracker
+    }
+
+    /// Check out an empty block of the requested shape: reuses a returned
+    /// block when possible, otherwise allocates a new one.
+    pub fn checkout(
+        &self,
+        schema: &Arc<Schema>,
+        format: BlockFormat,
+        capacity_bytes: usize,
+    ) -> Result<StorageBlock> {
+        if self.reuse.load(Ordering::Relaxed) {
+            let mut free = self.free.lock();
+            if let Some(list) =
+                free.get_mut(&PoolKey(schema.clone(), format, capacity_bytes))
+            {
+                if let Some(mut b) = list.pop() {
+                    drop(free);
+                    b.clear();
+                    self.reused.fetch_add(1, Ordering::Relaxed);
+                    return Ok(b);
+                }
+            }
+        }
+        let b = StorageBlock::new(schema.clone(), format, capacity_bytes)?;
+        self.tracker.alloc(b.allocated_bytes());
+        self.created.fetch_add(1, Ordering::Relaxed);
+        Ok(b)
+    }
+
+    /// Return a block to the pool for reuse. Its contents are discarded; its
+    /// memory stays allocated (it is still counted by the tracker) so that it
+    /// can be handed out again without a fresh allocation.
+    pub fn give_back(&self, mut block: StorageBlock) {
+        if !self.reuse.load(Ordering::Relaxed) {
+            self.discard(block);
+            return;
+        }
+        self.returned.fetch_add(1, Ordering::Relaxed);
+        block.clear();
+        let key = PoolKey(
+            block.schema().clone(),
+            block.format(),
+            block.allocated_bytes(),
+        );
+        self.free.lock().entry(key).or_default().push(block);
+    }
+
+    /// Drop a block and release its memory from the tracker.
+    pub fn discard(&self, block: StorageBlock) {
+        self.discarded.fetch_add(1, Ordering::Relaxed);
+        self.tracker.free(block.allocated_bytes());
+        drop(block);
+    }
+
+    /// Release every pooled free block (e.g. at the end of a query).
+    pub fn drain_free_lists(&self) {
+        let mut free = self.free.lock();
+        for (_, list) in free.drain() {
+            for b in list {
+                self.discarded.fetch_add(1, Ordering::Relaxed);
+                self.tracker.free(b.allocated_bytes());
+            }
+        }
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            created: self.created.load(Ordering::Relaxed),
+            reused: self.reused.load(Ordering::Relaxed),
+            returned: self.returned.load(Ordering::Relaxed),
+            discarded: self.discarded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+    use crate::value::Value;
+
+    fn schema() -> Arc<Schema> {
+        Schema::from_pairs(&[("k", DataType::Int32)])
+    }
+
+    #[test]
+    fn tracker_counts_and_peaks() {
+        let t = MemoryTracker::new();
+        t.alloc(100);
+        t.alloc(50);
+        assert_eq!(t.current_bytes(), 150);
+        assert_eq!(t.peak_bytes(), 150);
+        t.free(100);
+        assert_eq!(t.current_bytes(), 50);
+        assert_eq!(t.peak_bytes(), 150);
+        t.alloc(10);
+        assert_eq!(t.peak_bytes(), 150); // below old peak
+        assert_eq!(t.total_allocated_bytes(), 160);
+        t.reset_peak();
+        assert_eq!(t.peak_bytes(), 60);
+    }
+
+    #[test]
+    fn checkout_allocates_and_meters() {
+        let t = MemoryTracker::new();
+        let p = BlockPool::new(t.clone());
+        let b = p.checkout(&schema(), BlockFormat::Row, 1024).unwrap();
+        assert_eq!(t.current_bytes(), b.allocated_bytes());
+        assert_eq!(p.stats().created, 1);
+    }
+
+    #[test]
+    fn give_back_enables_reuse() {
+        let t = MemoryTracker::new();
+        let p = BlockPool::new(t.clone());
+        let mut b = p.checkout(&schema(), BlockFormat::Row, 1024).unwrap();
+        b.append_row(&[Value::I32(1)]).unwrap();
+        let bytes = b.allocated_bytes();
+        p.give_back(b);
+        assert_eq!(t.current_bytes(), bytes); // memory retained for reuse
+        let b2 = p.checkout(&schema(), BlockFormat::Row, 1024).unwrap();
+        assert_eq!(b2.num_rows(), 0); // cleared
+        assert_eq!(p.stats().reused, 1);
+        assert_eq!(p.stats().created, 1); // no second allocation
+        assert_eq!(t.current_bytes(), bytes);
+    }
+
+    #[test]
+    fn mismatched_shapes_do_not_reuse() {
+        let t = MemoryTracker::new();
+        let p = BlockPool::new(t);
+        let b = p.checkout(&schema(), BlockFormat::Row, 1024).unwrap();
+        p.give_back(b);
+        // Different format
+        let _ = p.checkout(&schema(), BlockFormat::Column, 1024).unwrap();
+        // Different size
+        let _ = p.checkout(&schema(), BlockFormat::Row, 2048).unwrap();
+        // Different schema
+        let s2 = Schema::from_pairs(&[("x", DataType::Int64)]);
+        let _ = p.checkout(&s2, BlockFormat::Row, 1024).unwrap();
+        assert_eq!(p.stats().created, 4);
+        assert_eq!(p.stats().reused, 0);
+    }
+
+    #[test]
+    fn discard_releases_memory() {
+        let t = MemoryTracker::new();
+        let p = BlockPool::new(t.clone());
+        let b = p.checkout(&schema(), BlockFormat::Row, 1024).unwrap();
+        p.discard(b);
+        assert_eq!(t.current_bytes(), 0);
+        assert!(t.peak_bytes() > 0);
+    }
+
+    #[test]
+    fn reuse_disabled_discards_on_return() {
+        let t = MemoryTracker::new();
+        let p = BlockPool::new(t.clone());
+        p.set_reuse_enabled(false);
+        let b = p.checkout(&schema(), BlockFormat::Row, 1024).unwrap();
+        p.give_back(b);
+        assert_eq!(t.current_bytes(), 0);
+        let _b2 = p.checkout(&schema(), BlockFormat::Row, 1024).unwrap();
+        assert_eq!(p.stats().created, 2);
+        assert_eq!(p.stats().reused, 0);
+    }
+
+    #[test]
+    fn drain_free_lists_releases_all() {
+        let t = MemoryTracker::new();
+        let p = BlockPool::new(t.clone());
+        // Three live blocks at once, all returned: three entries on the free list.
+        let blocks: Vec<_> = (0..3)
+            .map(|_| p.checkout(&schema(), BlockFormat::Row, 1024).unwrap())
+            .collect();
+        for b in blocks {
+            p.give_back(b);
+        }
+        assert!(t.current_bytes() > 0);
+        p.drain_free_lists();
+        assert_eq!(t.current_bytes(), 0);
+        assert_eq!(p.stats().discarded, 3);
+    }
+
+    #[test]
+    fn pool_is_thread_safe() {
+        let t = MemoryTracker::new();
+        let p = BlockPool::new(t.clone());
+        let s = schema();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let p = p.clone();
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let b = p.checkout(&s, BlockFormat::Column, 4096).unwrap();
+                        p.give_back(b);
+                    }
+                });
+            }
+        });
+        let st = p.stats();
+        assert_eq!(st.returned, 200);
+        assert_eq!(st.created + st.reused, 200);
+        // At most one live block per thread at a time.
+        assert!(t.current_bytes() <= 4 * 4096);
+    }
+}

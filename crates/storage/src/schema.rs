@@ -1,0 +1,269 @@
+//! Relation schemas: ordered, named, typed columns.
+
+use crate::error::StorageError;
+use crate::types::DataType;
+use crate::value::Value;
+use crate::Result;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Column {
+    /// Column name (used for display and plan debugging; operators address
+    /// columns by index).
+    pub name: String,
+    /// Fixed-width type of the column.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Create a column definition.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of columns describing one relation.
+///
+/// Schemas are immutable and shared (`Arc<Schema>`) between tables, blocks and
+/// the block pool, which uses schema identity for free-list bucketing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    columns: Vec<Column>,
+    /// Byte offset of each column within a row-store tuple.
+    offsets: Vec<usize>,
+    /// Total width of one tuple in bytes.
+    tuple_width: usize,
+}
+
+impl Schema {
+    /// Build a schema from column definitions.
+    pub fn new(columns: Vec<Column>) -> Arc<Self> {
+        let mut offsets = Vec::with_capacity(columns.len());
+        let mut off = 0usize;
+        for c in &columns {
+            offsets.push(off);
+            off += c.dtype.width();
+        }
+        Arc::new(Schema {
+            columns,
+            offsets,
+            tuple_width: off,
+        })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Arc<Self> {
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the schema has no columns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// All columns in order.
+    #[inline]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The column at `idx`.
+    #[inline]
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Type of the column at `idx`.
+    #[inline]
+    pub fn dtype(&self, idx: usize) -> DataType {
+        self.columns[idx].dtype
+    }
+
+    /// Byte offset of column `idx` within a row-store tuple.
+    #[inline]
+    pub fn offset(&self, idx: usize) -> usize {
+        self.offsets[idx]
+    }
+
+    /// Width of one tuple in bytes (the row-store stride).
+    #[inline]
+    pub fn tuple_width(&self) -> usize {
+        self.tuple_width
+    }
+
+    /// Index of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Validate that `row` matches this schema (arity and per-column types).
+    pub fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.columns.len(),
+                found: row.len(),
+            });
+        }
+        for (v, c) in row.iter().zip(&self.columns) {
+            if !v.fits(c.dtype) {
+                return Err(StorageError::TypeMismatch {
+                    expected: format!("{} ({})", c.dtype, c.name),
+                    found: format!("{v:?}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the schema produced by projecting `indices` out of this schema.
+    pub fn project(&self, indices: &[usize]) -> Arc<Schema> {
+        Schema::new(indices.iter().map(|&i| self.columns[i].clone()).collect())
+    }
+
+    /// Build the schema of a join output: all of `self`'s columns followed by
+    /// the `right` columns listed in `right_indices`.
+    pub fn join(&self, right: &Schema, right_indices: &[usize]) -> Arc<Schema> {
+        let mut cols = self.columns.clone();
+        cols.extend(right_indices.iter().map(|&i| right.columns[i].clone()));
+        Schema::new(cols)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Arc<Schema> {
+        Schema::from_pairs(&[
+            ("id", DataType::Int32),
+            ("amount", DataType::Float64),
+            ("tag", DataType::Char(5)),
+            ("when", DataType::Date),
+        ])
+    }
+
+    #[test]
+    fn offsets_and_width() {
+        let s = sample();
+        assert_eq!(s.tuple_width(), 4 + 8 + 5 + 4);
+        assert_eq!(s.offset(0), 0);
+        assert_eq!(s.offset(1), 4);
+        assert_eq!(s.offset(2), 12);
+        assert_eq!(s.offset(3), 17);
+    }
+
+    #[test]
+    fn index_of_name() {
+        let s = sample();
+        assert_eq!(s.index_of("amount"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn check_row_accepts_valid() {
+        let s = sample();
+        let row = vec![
+            Value::I32(1),
+            Value::F64(9.5),
+            Value::Str("abc".into()),
+            Value::Date(100),
+        ];
+        assert!(s.check_row(&row).is_ok());
+    }
+
+    #[test]
+    fn check_row_rejects_arity() {
+        let s = sample();
+        let row = vec![Value::I32(1)];
+        assert!(matches!(
+            s.check_row(&row),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn check_row_rejects_types() {
+        let s = sample();
+        let row = vec![
+            Value::I64(1), // wrong width
+            Value::F64(9.5),
+            Value::Str("abc".into()),
+            Value::Date(100),
+        ];
+        assert!(matches!(
+            s.check_row(&row),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn check_row_rejects_oversized_string() {
+        let s = sample();
+        let row = vec![
+            Value::I32(1),
+            Value::F64(9.5),
+            Value::Str("toolong".into()), // Char(5)
+            Value::Date(100),
+        ];
+        assert!(s.check_row(&row).is_err());
+    }
+
+    #[test]
+    fn projection_schema() {
+        let s = sample();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.column(0).name, "tag");
+        assert_eq!(p.column(1).name, "id");
+        assert_eq!(p.tuple_width(), 5 + 4);
+    }
+
+    #[test]
+    fn join_schema() {
+        let left = Schema::from_pairs(&[("a", DataType::Int32)]);
+        let right = sample();
+        let j = left.join(&right, &[1, 3]);
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.column(0).name, "a");
+        assert_eq!(j.column(1).name, "amount");
+        assert_eq!(j.column(2).name, "when");
+    }
+
+    #[test]
+    fn display_lists_columns() {
+        let s = sample();
+        let d = s.to_string();
+        assert!(d.contains("id Int32"));
+        assert!(d.contains("tag Char(5)"));
+    }
+}

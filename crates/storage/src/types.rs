@@ -1,0 +1,214 @@
+//! Fixed-width data types supported by the storage layer.
+//!
+//! The paper's experiments use TPC-H, whose columns are integers, decimals,
+//! dates and (bounded) strings. We keep every type **fixed width** so that a
+//! row-store tuple has a fixed stride — matching footnote 2 of the paper
+//! ("row store tuples are fixed width") and making the hardware-prefetching
+//! discussion (Section IV-D) meaningful.
+
+use std::fmt;
+
+/// A fixed-width SQL-ish data type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 32-bit signed integer.
+    Int32,
+    /// 64-bit signed integer (TPC-H keys at large scale factors).
+    Int64,
+    /// 64-bit IEEE float (stands in for TPC-H `decimal(15,2)`).
+    Float64,
+    /// Date stored as days since 1970-01-01 (32-bit).
+    Date,
+    /// Fixed-width character string, space padded (TPC-H `char`/`varchar`).
+    Char(u16),
+}
+
+impl DataType {
+    /// Width of a value of this type in bytes, as stored in a block.
+    #[inline]
+    pub fn width(self) -> usize {
+        match self {
+            DataType::Int32 | DataType::Date => 4,
+            DataType::Int64 | DataType::Float64 => 8,
+            DataType::Char(n) => n as usize,
+        }
+    }
+
+    /// Whether values of this type may be used as join/group keys.
+    ///
+    /// Floats are excluded: their bit patterns are not canonical (NaN, -0.0),
+    /// which would make hash keys unreliable.
+    #[inline]
+    pub fn hashable(self) -> bool {
+        !matches!(self, DataType::Float64)
+    }
+
+    /// A short human-readable name.
+    pub fn name(self) -> String {
+        match self {
+            DataType::Int32 => "Int32".to_string(),
+            DataType::Int64 => "Int64".to_string(),
+            DataType::Float64 => "Float64".to_string(),
+            DataType::Date => "Date".to_string(),
+            DataType::Char(n) => format!("Char({n})"),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Days in each month of a non-leap year.
+const DAYS_IN_MONTH: [i64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: i64) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_year(year: i64) -> i64 {
+    if is_leap(year) {
+        366
+    } else {
+        365
+    }
+}
+
+fn days_in_month(year: i64, month: i64) -> i64 {
+    if month == 2 && is_leap(year) {
+        29
+    } else {
+        DAYS_IN_MONTH[(month - 1) as usize]
+    }
+}
+
+/// Convert a calendar date to days since 1970-01-01.
+///
+/// `month` is 1-based (1 = January), `day` is 1-based. Dates before 1970 are
+/// supported (negative day counts). Panics on out-of-range month/day to catch
+/// workload-generation bugs early.
+pub fn date_from_ymd(year: i32, month: u32, day: u32) -> i32 {
+    assert!((1..=12).contains(&month), "month out of range: {month}");
+    let (year, month, day) = (year as i64, month as i64, day as i64);
+    assert!(
+        day >= 1 && day <= days_in_month(year, month),
+        "day out of range: {year}-{month}-{day}"
+    );
+    let mut days: i64 = 0;
+    if year >= 1970 {
+        for y in 1970..year {
+            days += days_in_year(y);
+        }
+    } else {
+        for y in year..1970 {
+            days -= days_in_year(y);
+        }
+    }
+    for m in 1..month {
+        days += days_in_month(year, m);
+    }
+    days += day - 1;
+    days as i32
+}
+
+/// Convert days since 1970-01-01 back to `(year, month, day)`.
+pub fn date_to_ymd(days: i32) -> (i32, u32, u32) {
+    let mut year: i64 = 1970;
+    let mut d = days as i64;
+    while d < 0 {
+        year -= 1;
+        d += days_in_year(year);
+    }
+    while d >= days_in_year(year) {
+        d -= days_in_year(year);
+        year += 1;
+    }
+    let mut month: i64 = 1;
+    while d >= days_in_month(year, month) {
+        d -= days_in_month(year, month);
+        month += 1;
+    }
+    (year as i32, month as u32, (d + 1) as u32)
+}
+
+/// Format a day count as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = date_to_ymd(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(DataType::Int32.width(), 4);
+        assert_eq!(DataType::Int64.width(), 8);
+        assert_eq!(DataType::Float64.width(), 8);
+        assert_eq!(DataType::Date.width(), 4);
+        assert_eq!(DataType::Char(25).width(), 25);
+    }
+
+    #[test]
+    fn hashability() {
+        assert!(DataType::Int32.hashable());
+        assert!(DataType::Char(4).hashable());
+        assert!(!DataType::Float64.hashable());
+    }
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(date_from_ymd(1970, 1, 1), 0);
+        assert_eq!(date_to_ymd(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        // TPC-H date range endpoints.
+        assert_eq!(format_date(date_from_ymd(1992, 1, 1)), "1992-01-01");
+        assert_eq!(format_date(date_from_ymd(1998, 12, 31)), "1998-12-31");
+        // Leap day.
+        assert_eq!(format_date(date_from_ymd(1996, 2, 29)), "1996-02-29");
+        // One day after a leap day.
+        assert_eq!(date_from_ymd(1996, 3, 1) - date_from_ymd(1996, 2, 29), 1);
+    }
+
+    #[test]
+    fn dates_before_epoch() {
+        assert_eq!(date_from_ymd(1969, 12, 31), -1);
+        assert_eq!(date_to_ymd(-1), (1969, 12, 31));
+        assert_eq!(format_date(date_from_ymd(1900, 1, 1)), "1900-01-01");
+    }
+
+    #[test]
+    fn ordering_matches_calendar() {
+        let a = date_from_ymd(1994, 1, 1);
+        let b = date_from_ymd(1994, 12, 31);
+        let c = date_from_ymd(1995, 1, 1);
+        assert!(a < b && b < c);
+        assert_eq!(c - a, 365);
+    }
+
+    #[test]
+    fn roundtrip_many_days() {
+        for days in (-20000..40000).step_by(17) {
+            let (y, m, d) = date_to_ymd(days);
+            assert_eq!(date_from_ymd(y, m, d), days, "roundtrip failed at {days}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "month out of range")]
+    fn bad_month_panics() {
+        date_from_ymd(1995, 13, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "day out of range")]
+    fn bad_day_panics() {
+        date_from_ymd(1995, 2, 29); // 1995 is not a leap year
+    }
+}

@@ -1,0 +1,216 @@
+//! Dynamically-typed scalar values.
+//!
+//! [`Value`] is the slow-path representation used at API boundaries (row
+//! construction, result inspection, literals in expressions). Hot operator
+//! loops never touch `Value`; they read typed column data directly.
+
+use crate::types::{format_date, DataType};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 32-bit integer.
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// 64-bit float.
+    F64(f64),
+    /// Date as days since epoch.
+    Date(i32),
+    /// String (will be space-padded/truncated to the column width on store).
+    Str(String),
+}
+
+impl Value {
+    /// The [`DataType`] this value naturally maps to.
+    ///
+    /// For strings the width is the byte length of the string; schema columns
+    /// may declare a wider `Char(n)`.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::I32(_) => DataType::Int32,
+            Value::I64(_) => DataType::Int64,
+            Value::F64(_) => DataType::Float64,
+            Value::Date(_) => DataType::Date,
+            Value::Str(s) => DataType::Char(s.len().min(u16::MAX as usize) as u16),
+        }
+    }
+
+    /// Whether this value can be stored in a column of type `ty`.
+    pub fn fits(&self, ty: DataType) -> bool {
+        match (self, ty) {
+            (Value::I32(_), DataType::Int32)
+            | (Value::I64(_), DataType::Int64)
+            | (Value::F64(_), DataType::Float64)
+            | (Value::Date(_), DataType::Date) => true,
+            (Value::Str(s), DataType::Char(n)) => s.len() <= n as usize,
+            _ => false,
+        }
+    }
+
+    /// Extract as `i32`, panicking on type mismatch (test/assertion helper).
+    pub fn as_i32(&self) -> i32 {
+        match self {
+            Value::I32(v) => *v,
+            other => panic!("expected I32, found {other:?}"),
+        }
+    }
+
+    /// Extract as `i64`, panicking on type mismatch (test/assertion helper).
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::I64(v) => *v,
+            other => panic!("expected I64, found {other:?}"),
+        }
+    }
+
+    /// Extract as `f64`, panicking on type mismatch (test/assertion helper).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::F64(v) => *v,
+            other => panic!("expected F64, found {other:?}"),
+        }
+    }
+
+    /// Extract as date days, panicking on type mismatch (test/assertion helper).
+    pub fn as_date(&self) -> i32 {
+        match self {
+            Value::Date(v) => *v,
+            other => panic!("expected Date, found {other:?}"),
+        }
+    }
+
+    /// Extract as `&str`, panicking on type mismatch (test/assertion helper).
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(s) => s,
+            other => panic!("expected Str, found {other:?}"),
+        }
+    }
+
+    /// Numeric view of the value, if it has one (used by arithmetic).
+    pub fn to_f64_lossy(&self) -> Option<f64> {
+        match self {
+            Value::I32(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            Value::Date(v) => Some(*v as f64),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    /// Order values of the same type; cross-type comparisons (other than the
+    /// integer widths) return `None`.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match (self, other) {
+            (Value::I32(a), Value::I32(b)) => a.partial_cmp(b),
+            (Value::I64(a), Value::I64(b)) => a.partial_cmp(b),
+            (Value::I32(a), Value::I64(b)) => (*a as i64).partial_cmp(b),
+            (Value::I64(a), Value::I32(b)) => a.partial_cmp(&(*b as i64)),
+            (Value::F64(a), Value::F64(b)) => a.partial_cmp(b),
+            (Value::Date(a), Value::Date(b)) => a.partial_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.partial_cmp(b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I32(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v:.2}"),
+            Value::Date(v) => write!(f, "{}", format_date(*v)),
+            Value::Str(s) => write!(f, "{}", s.trim_end()),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I32(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::date_from_ymd;
+
+    #[test]
+    fn fits_checks_type_and_width() {
+        assert!(Value::I32(5).fits(DataType::Int32));
+        assert!(!Value::I32(5).fits(DataType::Int64));
+        assert!(Value::Str("abc".into()).fits(DataType::Char(3)));
+        assert!(Value::Str("abc".into()).fits(DataType::Char(10)));
+        assert!(!Value::Str("abcd".into()).fits(DataType::Char(3)));
+        assert!(!Value::F64(1.0).fits(DataType::Int32));
+    }
+
+    #[test]
+    fn cross_width_integer_comparison() {
+        assert!(Value::I32(3) < Value::I64(4));
+        assert!(Value::I64(5) > Value::I32(4));
+        assert_eq!(
+            Value::I32(7).partial_cmp(&Value::I64(7)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn incomparable_types_return_none() {
+        assert_eq!(Value::I32(1).partial_cmp(&Value::Str("1".into())), None);
+        assert_eq!(Value::F64(1.0).partial_cmp(&Value::I32(1)), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::I32(42).to_string(), "42");
+        assert_eq!(Value::F64(1.5).to_string(), "1.50");
+        assert_eq!(
+            Value::Date(date_from_ymd(1995, 3, 15)).to_string(),
+            "1995-03-15"
+        );
+        // Padded strings display trimmed.
+        assert_eq!(Value::Str("ab   ".into()).to_string(), "ab");
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::I32(2).to_f64_lossy(), Some(2.0));
+        assert_eq!(Value::Str("x".into()).to_f64_lossy(), None);
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Value::from(1i32), Value::I32(1));
+        assert_eq!(Value::from(1i64), Value::I64(1));
+        assert_eq!(Value::from(1.0f64), Value::F64(1.0));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+    }
+}

@@ -1,0 +1,199 @@
+//! Selectivity / projectivity measurement — Tables III and IV.
+//!
+//! For each paper-listed query, the selection on the big table (`lineitem`
+//! or `orders`) is characterized by its **selectivity** (`s = N_s/N`, rows
+//! passing the predicate) and **projectivity** (`p = C_s/C`, bytes projected
+//! per tuple), giving the materialized output's relative size `s·p` — the
+//! memory overhead of the high-UoT strategy (Section VI-A). Following the
+//! paper, the projections are the *unoptimized* ones (no expression
+//! folding), so the numbers are "on the higher side".
+
+use crate::dbgen::TpchDb;
+use crate::queries::util::dl;
+use crate::schema::{li, ord};
+use uot_core::Result;
+use uot_expr::{between_half_open, cmp, col, CmpOp, Predicate};
+use uot_storage::{date_from_ymd, Table, Value};
+
+/// One row of Table III/IV: a query's selection on a base table.
+#[derive(Debug, Clone)]
+pub struct SelectionCase {
+    /// Query label ("Q03", ...).
+    pub query: &'static str,
+    /// Base table name.
+    pub table: &'static str,
+    /// The selection predicate.
+    pub predicate: Predicate,
+    /// Columns the (unoptimized) plan projects out of the table.
+    pub projected_cols: Vec<usize>,
+}
+
+/// A measured reduction row (percentages, as the paper reports them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReductionRow {
+    /// Query label.
+    pub query: String,
+    /// Selectivity in percent.
+    pub selectivity_pct: f64,
+    /// Projectivity in percent.
+    pub projectivity_pct: f64,
+    /// Total relative output size in percent (`s · p`).
+    pub total_pct: f64,
+}
+
+/// Table III: selections on `lineitem`.
+pub fn lineitem_cases() -> Vec<SelectionCase> {
+    vec![
+        SelectionCase {
+            query: "Q03",
+            table: "lineitem",
+            predicate: cmp(col(li::SHIPDATE), CmpOp::Gt, dl(1995, 3, 15)),
+            projected_cols: vec![li::ORDERKEY, li::EXTENDEDPRICE, li::DISCOUNT],
+        },
+        SelectionCase {
+            query: "Q07",
+            table: "lineitem",
+            predicate: cmp(col(li::SHIPDATE), CmpOp::Ge, dl(1995, 1, 1))
+                .and(cmp(col(li::SHIPDATE), CmpOp::Le, dl(1996, 12, 31))),
+            projected_cols: vec![
+                li::SUPPKEY,
+                li::ORDERKEY,
+                li::EXTENDEDPRICE,
+                li::DISCOUNT,
+                li::SHIPDATE,
+            ],
+        },
+        SelectionCase {
+            query: "Q10",
+            table: "lineitem",
+            predicate: Predicate::StrEq {
+                col: li::RETURNFLAG,
+                value: "R".into(),
+            },
+            projected_cols: vec![li::ORDERKEY, li::EXTENDEDPRICE, li::DISCOUNT],
+        },
+        SelectionCase {
+            query: "Q19",
+            table: "lineitem",
+            predicate: Predicate::StrIn {
+                col: li::SHIPMODE,
+                values: vec!["AIR".into(), "AIR REG".into()],
+            }
+            .and(Predicate::StrEq {
+                col: li::SHIPINSTRUCT,
+                value: "DELIVER IN PERSON".into(),
+            })
+            // the quantity ranges of the three Q19 groups, union-bounded
+            .and(cmp(col(li::QUANTITY), CmpOp::Ge, uot_expr::lit(1.0)))
+            .and(cmp(col(li::QUANTITY), CmpOp::Le, uot_expr::lit(30.0))),
+            projected_cols: vec![li::PARTKEY, li::QUANTITY, li::EXTENDEDPRICE, li::DISCOUNT],
+        },
+    ]
+}
+
+/// Table IV: selections on `orders`.
+pub fn orders_cases() -> Vec<SelectionCase> {
+    vec![
+        SelectionCase {
+            query: "Q03",
+            table: "orders",
+            predicate: cmp(col(ord::ORDERDATE), CmpOp::Lt, dl(1995, 3, 15)),
+            projected_cols: vec![
+                ord::ORDERKEY,
+                ord::CUSTKEY,
+                ord::ORDERDATE,
+                ord::SHIPPRIORITY,
+            ],
+        },
+        SelectionCase {
+            query: "Q04",
+            table: "orders",
+            predicate: between_half_open(
+                col(ord::ORDERDATE),
+                Value::Date(date_from_ymd(1993, 7, 1)),
+                Value::Date(date_from_ymd(1993, 10, 1)),
+            ),
+            projected_cols: vec![ord::ORDERKEY, ord::ORDERPRIORITY],
+        },
+        SelectionCase {
+            query: "Q05",
+            table: "orders",
+            predicate: between_half_open(
+                col(ord::ORDERDATE),
+                Value::Date(date_from_ymd(1994, 1, 1)),
+                Value::Date(date_from_ymd(1995, 1, 1)),
+            ),
+            projected_cols: vec![ord::ORDERKEY, ord::CUSTKEY],
+        },
+        SelectionCase {
+            query: "Q08",
+            table: "orders",
+            predicate: cmp(col(ord::ORDERDATE), CmpOp::Ge, dl(1995, 1, 1))
+                .and(cmp(col(ord::ORDERDATE), CmpOp::Le, dl(1996, 12, 31))),
+            projected_cols: vec![ord::ORDERKEY, ord::CUSTKEY, ord::ORDERDATE],
+        },
+        SelectionCase {
+            query: "Q10",
+            table: "orders",
+            predicate: between_half_open(
+                col(ord::ORDERDATE),
+                Value::Date(date_from_ymd(1993, 10, 1)),
+                Value::Date(date_from_ymd(1994, 1, 1)),
+            ),
+            projected_cols: vec![ord::ORDERKEY, ord::CUSTKEY],
+        },
+        SelectionCase {
+            query: "Q21",
+            table: "orders",
+            predicate: Predicate::StrEq {
+                col: ord::ORDERSTATUS,
+                value: "F".into(),
+            },
+            projected_cols: vec![ord::ORDERKEY],
+        },
+    ]
+}
+
+/// Measure one case against the generated data.
+pub fn measure(db: &TpchDb, case: &SelectionCase) -> Result<ReductionRow> {
+    let table: std::sync::Arc<Table> = db.table(case.table);
+    let mut rows_in = 0usize;
+    let mut rows_out = 0usize;
+    for block in table.blocks() {
+        rows_in += block.num_rows();
+        rows_out += case
+            .predicate
+            .eval(block)
+            .map_err(uot_core::EngineError::from)?
+            .count_ones();
+    }
+    let in_width = table.schema().tuple_width();
+    let out_width: usize = case
+        .projected_cols
+        .iter()
+        .map(|&c| table.schema().dtype(c).width())
+        .sum();
+    let s = if rows_in == 0 {
+        0.0
+    } else {
+        rows_out as f64 / rows_in as f64
+    };
+    let p = out_width as f64 / in_width as f64;
+    Ok(ReductionRow {
+        query: case.query.to_string(),
+        selectivity_pct: 100.0 * s,
+        projectivity_pct: 100.0 * p,
+        total_pct: 100.0 * s * p,
+    })
+}
+
+/// Arithmetic mean of measured rows (the paper's "Average" line).
+pub fn average(rows: &[ReductionRow]) -> ReductionRow {
+    let n = rows.len().max(1) as f64;
+    ReductionRow {
+        query: "Average".to_string(),
+        selectivity_pct: rows.iter().map(|r| r.selectivity_pct).sum::<f64>() / n,
+        projectivity_pct: rows.iter().map(|r| r.projectivity_pct).sum::<f64>() / n,
+        total_pct: rows.iter().map(|r| r.total_pct).sum::<f64>() / n,
+    }
+}

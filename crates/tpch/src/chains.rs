@@ -1,0 +1,246 @@
+//! The select → probe operator chains of Figs. 5, 6, 9 and 10.
+//!
+//! The paper's microbenchmarks isolate "key deep operator chains
+//! (select → probe) from the TPC-H queries" and time the first consumer
+//! operator (the probe) per task. Each [`ChainSpec`] is a standalone plan:
+//! a hash build (the pipeline's prerequisite), the select producer, and the
+//! probe consumer as the sink.
+
+use crate::dbgen::TpchDb;
+use crate::queries::util::{dl, revenue};
+use crate::schema::{li, ord, part, supp};
+use uot_core::{JoinType, OpId, PlanBuilder, QueryPlan, Result, Source};
+use uot_expr::{between_half_open, cmp, col, CmpOp, Predicate};
+use uot_storage::{date_from_ymd, Value};
+
+/// One extracted chain.
+#[derive(Debug)]
+pub struct ChainSpec {
+    /// Label ("Q03", "Q07-small-ht", ...).
+    pub name: &'static str,
+    /// The chain plan; the probe is the sink.
+    pub plan: QueryPlan,
+    /// The build operator (pipeline prerequisite).
+    pub build_op: OpId,
+    /// The select operator (producer).
+    pub select_op: OpId,
+    /// The probe operator (the consumer whose tasks Fig. 5 times).
+    pub probe_op: OpId,
+}
+
+/// Build a chain: `build(hash)` ← prerequisite, `select(lineitem)` →
+/// `probe`.
+#[allow(clippy::too_many_arguments)]
+fn chain(
+    name: &'static str,
+    build_src: Source,
+    build_key: Vec<usize>,
+    build_payload: Vec<usize>,
+    li_src: Source,
+    li_pred: Predicate,
+    li_proj: Vec<uot_expr::ScalarExpr>,
+    li_names: &[&str],
+    probe_key: Vec<usize>,
+    probe_out: Vec<usize>,
+    build_out: Vec<usize>,
+) -> Result<ChainSpec> {
+    let mut pb = PlanBuilder::new();
+    let build_op = pb.build_hash(build_src, build_key, build_payload)?;
+    let select_op = pb.select(li_src, li_pred, li_proj, li_names)?;
+    let probe_op = pb.probe(
+        Source::Op(select_op),
+        build_op,
+        probe_key,
+        probe_out,
+        build_out,
+        JoinType::Inner,
+    )?;
+    Ok(ChainSpec {
+        name,
+        plan: pb.build(probe_op)?,
+        build_op,
+        select_op,
+        probe_op,
+    })
+}
+
+
+/// All chains evaluated in Figs. 5/6 (plus the two Q07 scalability probes
+/// of Figs. 9/10, distinguished by hash-table size).
+pub fn chain_specs(db: &TpchDb) -> Result<Vec<ChainSpec>> {
+    let mut out = Vec::new();
+
+    // Q03: lineitem(shipdate > 1995-03-15) ⋈ orders(orderdate < 1995-03-15)
+    {
+        let mut pb = PlanBuilder::new();
+        let o = pb.select(
+            Source::Table(db.orders()),
+            cmp(col(ord::ORDERDATE), CmpOp::Lt, dl(1995, 3, 15)),
+            vec![col(ord::ORDERKEY), col(ord::SHIPPRIORITY)],
+            &["o_orderkey", "o_shippriority"],
+        )?;
+        let b = pb.build_hash(Source::Op(o), vec![0], vec![1])?;
+        let s = pb.select(
+            Source::Table(db.lineitem()),
+            cmp(col(li::SHIPDATE), CmpOp::Gt, dl(1995, 3, 15)),
+            vec![col(li::ORDERKEY), revenue(li::EXTENDEDPRICE, li::DISCOUNT)],
+            &["l_orderkey", "rev"],
+        )?;
+        let p = pb.probe(Source::Op(s), b, vec![0], vec![1], vec![0], JoinType::Inner)?;
+        out.push(ChainSpec {
+            name: "Q03",
+            plan: pb.build(p)?,
+            build_op: b,
+            select_op: s,
+            probe_op: p,
+        });
+    }
+
+    // Q05: lineitem (all) ⋈ orders(1994)
+    {
+        let mut pb = PlanBuilder::new();
+        let o = pb.select(
+            Source::Table(db.orders()),
+            between_half_open(
+                col(ord::ORDERDATE),
+                Value::Date(date_from_ymd(1994, 1, 1)),
+                Value::Date(date_from_ymd(1995, 1, 1)),
+            ),
+            vec![col(ord::ORDERKEY)],
+            &["o_orderkey"],
+        )?;
+        let b = pb.build_hash(Source::Op(o), vec![0], vec![])?;
+        let s = pb.select(
+            Source::Table(db.lineitem()),
+            Predicate::True,
+            vec![
+                col(li::ORDERKEY),
+                col(li::SUPPKEY),
+                revenue(li::EXTENDEDPRICE, li::DISCOUNT),
+            ],
+            &["l_orderkey", "l_suppkey", "rev"],
+        )?;
+        let p = pb.probe(Source::Op(s), b, vec![0], vec![1, 2], vec![], JoinType::Inner)?;
+        out.push(ChainSpec {
+            name: "Q05",
+            plan: pb.build(p)?,
+            build_op: b,
+            select_op: s,
+            probe_op: p,
+        });
+    }
+
+    // Q07 (large hash table): lineitem(1995-96) ⋈ orders(all) — the
+    // poor-scalability probe of Fig. 9.
+    out.push(chain(
+        "Q07-large-ht",
+        Source::Table(db.orders()),
+        vec![ord::ORDERKEY],
+        vec![ord::CUSTKEY],
+        Source::Table(db.lineitem()),
+        cmp(col(li::SHIPDATE), CmpOp::Ge, dl(1995, 1, 1))
+            .and(cmp(col(li::SHIPDATE), CmpOp::Le, dl(1996, 12, 31))),
+        vec![col(li::ORDERKEY), revenue(li::EXTENDEDPRICE, li::DISCOUNT)],
+        &["l_orderkey", "volume"],
+        vec![0],
+        vec![1],
+        vec![0],
+    )?);
+
+    // Q07 (small hash table): lineitem(1995-96) ⋈ supplier — the
+    // better-scalability probe of Fig. 9.
+    out.push(chain(
+        "Q07-small-ht",
+        Source::Table(db.supplier()),
+        vec![supp::SUPPKEY],
+        vec![supp::NATIONKEY],
+        Source::Table(db.lineitem()),
+        cmp(col(li::SHIPDATE), CmpOp::Ge, dl(1995, 1, 1))
+            .and(cmp(col(li::SHIPDATE), CmpOp::Le, dl(1996, 12, 31))),
+        vec![col(li::SUPPKEY), revenue(li::EXTENDEDPRICE, li::DISCOUNT)],
+        &["l_suppkey", "volume"],
+        vec![0],
+        vec![1],
+        vec![0],
+    )?);
+
+    // Q10: lineitem(returnflag = R) ⋈ orders(quarter)
+    {
+        let mut pb = PlanBuilder::new();
+        let o = pb.select(
+            Source::Table(db.orders()),
+            between_half_open(
+                col(ord::ORDERDATE),
+                Value::Date(date_from_ymd(1993, 10, 1)),
+                Value::Date(date_from_ymd(1994, 1, 1)),
+            ),
+            vec![col(ord::ORDERKEY), col(ord::CUSTKEY)],
+            &["o_orderkey", "o_custkey"],
+        )?;
+        let b = pb.build_hash(Source::Op(o), vec![0], vec![1])?;
+        let s = pb.select(
+            Source::Table(db.lineitem()),
+            Predicate::StrEq {
+                col: li::RETURNFLAG,
+                value: "R".into(),
+            },
+            vec![col(li::ORDERKEY), revenue(li::EXTENDEDPRICE, li::DISCOUNT)],
+            &["l_orderkey", "rev"],
+        )?;
+        let p = pb.probe(Source::Op(s), b, vec![0], vec![1], vec![0], JoinType::Inner)?;
+        out.push(ChainSpec {
+            name: "Q10",
+            plan: pb.build(p)?,
+            build_op: b,
+            select_op: s,
+            probe_op: p,
+        });
+    }
+
+    // Q14: lineitem(month) ⋈ part(all)
+    out.push(chain(
+        "Q14",
+        Source::Table(db.part()),
+        vec![part::PARTKEY],
+        vec![part::TYPE],
+        Source::Table(db.lineitem()),
+        between_half_open(
+            col(li::SHIPDATE),
+            Value::Date(date_from_ymd(1995, 9, 1)),
+            Value::Date(date_from_ymd(1995, 10, 1)),
+        ),
+        vec![col(li::PARTKEY), revenue(li::EXTENDEDPRICE, li::DISCOUNT)],
+        &["l_partkey", "rev"],
+        vec![0],
+        vec![1],
+        vec![0],
+    )?);
+
+    // Q19: lineitem(shipmode/instruct) ⋈ part(all, wide payload)
+    out.push(chain(
+        "Q19",
+        Source::Table(db.part()),
+        vec![part::PARTKEY],
+        vec![part::BRAND, part::CONTAINER, part::SIZE],
+        Source::Table(db.lineitem()),
+        Predicate::StrIn {
+            col: li::SHIPMODE,
+            values: vec!["AIR".into(), "AIR REG".into()],
+        }
+        .and(Predicate::StrEq {
+            col: li::SHIPINSTRUCT,
+            value: "DELIVER IN PERSON".into(),
+        }),
+        vec![
+            col(li::PARTKEY),
+            col(li::QUANTITY),
+            revenue(li::EXTENDEDPRICE, li::DISCOUNT),
+        ],
+        &["l_partkey", "qty", "rev"],
+        vec![0],
+        vec![1, 2],
+        vec![0, 1, 2],
+    )?);
+
+    Ok(out)
+}

@@ -1,0 +1,658 @@
+//! Seeded TPC-H data generation.
+//!
+//! A laptop-scale replacement for `dbgen`: cardinalities scale with the
+//! scale factor (SF 1 ≈ 6 M lineitem rows, exactly like the spec), value
+//! domains follow the spec closely enough that every predicate in the
+//! evaluated query subset has its spec-intended selectivity regime (date
+//! windows, flag derivations from dates, brand/type/container vocabularies,
+//! key references), and everything is deterministic given the seed.
+
+use crate::schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use uot_storage::{
+    date_from_ymd, BlockFormat, Catalog, Table, TableBuilder, Value,
+};
+
+/// The 25 spec nations with their region keys.
+pub const NATIONS: [(&str, i32); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("ROMANIA", 3),
+    ("RUSSIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+    ("CHINA", 2),
+];
+
+/// The 5 spec regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Ship modes (Q19 probes `AIR` / `AIR REG`).
+pub const SHIP_MODES: [&str; 7] = ["AIR", "AIR REG", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Ship instructions (Q19 probes `DELIVER IN PERSON`).
+pub const SHIP_INSTRUCTS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+
+/// Order priorities (Q4/Q12).
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Market segments (Q3 probes `BUILDING`).
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
+
+const TYPE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const CONTAINER_1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+const CONTAINER_2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+const WORDS: [&str; 12] = [
+    "quick", "final", "silent", "pending", "ironic", "express", "bold", "regular", "even",
+    "special", "furious", "careful",
+];
+const NAME_WORDS: [&str; 16] = [
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "green",
+    "forest",
+    "lime",
+    "olive",
+    "plum",
+    "rose",
+];
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchConfig {
+    /// TPC-H scale factor (SF 1 = 1.5 M orders / ~6 M lineitems).
+    pub scale_factor: f64,
+    /// Storage block size for every table.
+    pub block_bytes: usize,
+    /// Storage format of the base tables.
+    pub format: BlockFormat,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            scale_factor: 0.01,
+            block_bytes: 128 * 1024,
+            format: BlockFormat::Column,
+            seed: 19920101,
+        }
+    }
+}
+
+impl TpchConfig {
+    /// Configuration at a given scale factor (other fields default).
+    pub fn scale(sf: f64) -> Self {
+        TpchConfig {
+            scale_factor: sf,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style block-size override.
+    pub fn with_block_bytes(mut self, bytes: usize) -> Self {
+        self.block_bytes = bytes;
+        self
+    }
+
+    /// Builder-style format override.
+    pub fn with_format(mut self, format: BlockFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// Number of `part` rows at this scale.
+    pub fn n_part(&self) -> i32 {
+        ((200_000.0 * self.scale_factor) as i32).max(50)
+    }
+
+    /// Number of `supplier` rows.
+    pub fn n_supplier(&self) -> i32 {
+        ((10_000.0 * self.scale_factor) as i32).max(10)
+    }
+
+    /// Number of `customer` rows.
+    pub fn n_customer(&self) -> i32 {
+        ((150_000.0 * self.scale_factor) as i32).max(30)
+    }
+
+    /// Number of `orders` rows.
+    pub fn n_orders(&self) -> i32 {
+        ((1_500_000.0 * self.scale_factor) as i32).max(100)
+    }
+}
+
+/// A fully generated TPC-H database.
+#[derive(Debug)]
+pub struct TpchDb {
+    /// The configuration used.
+    pub config: TpchConfig,
+    catalog: Arc<Catalog>,
+}
+
+/// Spec retail price for a part key.
+fn retail_price(partkey: i32) -> f64 {
+    let pk = partkey as i64;
+    (90_000 + ((pk / 10) % 20_001) + 100 * (pk % 1_000)) as f64 / 100.0
+}
+
+fn comment(rng: &mut StdRng, width: usize) -> String {
+    let mut s = String::new();
+    while s.len() + 8 < width / 2 {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    s.truncate(width);
+    s
+}
+
+impl TpchDb {
+    /// Generate all eight tables.
+    pub fn generate(config: TpchConfig) -> Self {
+        let catalog = Catalog::new();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        Self::gen_region(&catalog, &config);
+        Self::gen_nation(&catalog, &config);
+        Self::gen_supplier(&catalog, &config, &mut rng);
+        Self::gen_part(&catalog, &config, &mut rng);
+        Self::gen_partsupp(&catalog, &config, &mut rng);
+        Self::gen_customer(&catalog, &config, &mut rng);
+        Self::gen_orders_and_lineitem(&catalog, &config, &mut rng);
+
+        TpchDb { config, catalog }
+    }
+
+    /// The catalog of generated tables.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Look up one of the eight tables by name.
+    pub fn table(&self, name: &str) -> Arc<Table> {
+        self.catalog.get(name).expect("generated table")
+    }
+
+    /// `lineitem`.
+    pub fn lineitem(&self) -> Arc<Table> {
+        self.table("lineitem")
+    }
+
+    /// `orders`.
+    pub fn orders(&self) -> Arc<Table> {
+        self.table("orders")
+    }
+
+    /// `customer`.
+    pub fn customer(&self) -> Arc<Table> {
+        self.table("customer")
+    }
+
+    /// `part`.
+    pub fn part(&self) -> Arc<Table> {
+        self.table("part")
+    }
+
+    /// `supplier`.
+    pub fn supplier(&self) -> Arc<Table> {
+        self.table("supplier")
+    }
+
+    /// `partsupp`.
+    pub fn partsupp(&self) -> Arc<Table> {
+        self.table("partsupp")
+    }
+
+    /// `nation`.
+    pub fn nation(&self) -> Arc<Table> {
+        self.table("nation")
+    }
+
+    /// `region`.
+    pub fn region(&self) -> Arc<Table> {
+        self.table("region")
+    }
+
+    fn gen_region(catalog: &Catalog, config: &TpchConfig) {
+        let mut tb = TableBuilder::new(
+            "region",
+            schema::region(),
+            config.format,
+            config.block_bytes,
+        );
+        for (i, name) in REGIONS.iter().enumerate() {
+            tb.append(&[
+                Value::I32(i as i32),
+                Value::Str(name.to_string()),
+                Value::Str(format!("region of {name}").to_lowercase()),
+            ])
+            .expect("region row");
+        }
+        catalog.register(tb.finish()).expect("register region");
+    }
+
+    fn gen_nation(catalog: &Catalog, config: &TpchConfig) {
+        let mut tb = TableBuilder::new(
+            "nation",
+            schema::nation(),
+            config.format,
+            config.block_bytes,
+        );
+        for (i, (name, region)) in NATIONS.iter().enumerate() {
+            tb.append(&[
+                Value::I32(i as i32),
+                Value::Str(name.to_string()),
+                Value::I32(*region),
+                Value::Str(format!("nation of {name}").to_lowercase()),
+            ])
+            .expect("nation row");
+        }
+        catalog.register(tb.finish()).expect("register nation");
+    }
+
+    fn gen_supplier(catalog: &Catalog, config: &TpchConfig, rng: &mut StdRng) {
+        let mut tb = TableBuilder::new(
+            "supplier",
+            schema::supplier(),
+            config.format,
+            config.block_bytes,
+        );
+        for k in 1..=config.n_supplier() {
+            tb.append(&[
+                Value::I32(k),
+                Value::Str(format!("Supplier#{k:09}")),
+                Value::Str(format!("addr-{k}")),
+                Value::I32(rng.gen_range(0..25)),
+                Value::Str(format!("{:02}-{:07}", 10 + k % 25, k)),
+                Value::F64(rng.gen_range(-999.99..9999.99)),
+                Value::Str(comment(rng, 101)),
+            ])
+            .expect("supplier row");
+        }
+        catalog.register(tb.finish()).expect("register supplier");
+    }
+
+    fn gen_part(catalog: &Catalog, config: &TpchConfig, rng: &mut StdRng) {
+        let mut tb = TableBuilder::new(
+            "part",
+            schema::part(),
+            config.format,
+            config.block_bytes,
+        );
+        for k in 1..=config.n_part() {
+            let t1 = TYPE_1[rng.gen_range(0..TYPE_1.len())];
+            let t2 = TYPE_2[rng.gen_range(0..TYPE_2.len())];
+            let t3 = TYPE_3[rng.gen_range(0..TYPE_3.len())];
+            let c1 = CONTAINER_1[rng.gen_range(0..CONTAINER_1.len())];
+            let c2 = CONTAINER_2[rng.gen_range(0..CONTAINER_2.len())];
+            let m = rng.gen_range(1..=5);
+            let n = rng.gen_range(1..=5);
+            let name = format!(
+                "{} {}",
+                NAME_WORDS[rng.gen_range(0..NAME_WORDS.len())],
+                NAME_WORDS[rng.gen_range(0..NAME_WORDS.len())]
+            );
+            tb.append(&[
+                Value::I32(k),
+                Value::Str(name),
+                Value::Str(format!("Manufacturer#{m}")),
+                Value::Str(format!("Brand#{m}{n}")),
+                Value::Str(format!("{t1} {t2} {t3}")),
+                Value::I32(rng.gen_range(1..=50)),
+                Value::Str(format!("{c1} {c2}")),
+                Value::F64(retail_price(k)),
+                Value::Str(comment(rng, 23)),
+            ])
+            .expect("part row");
+        }
+        catalog.register(tb.finish()).expect("register part");
+    }
+
+    fn gen_partsupp(catalog: &Catalog, config: &TpchConfig, rng: &mut StdRng) {
+        let mut tb = TableBuilder::new(
+            "partsupp",
+            schema::partsupp(),
+            config.format,
+            config.block_bytes,
+        );
+        let n_supp = config.n_supplier();
+        for pk in 1..=config.n_part() {
+            for i in 0..4 {
+                let sk = ((pk as i64 + i * (n_supp as i64 / 4 + 1)) % n_supp as i64) as i32 + 1;
+                tb.append(&[
+                    Value::I32(pk),
+                    Value::I32(sk),
+                    Value::I32(rng.gen_range(1..10_000)),
+                    Value::F64(rng.gen_range(1.0..1000.0)),
+                    Value::Str(comment(rng, 199)),
+                ])
+                .expect("partsupp row");
+            }
+        }
+        catalog.register(tb.finish()).expect("register partsupp");
+    }
+
+    fn gen_customer(catalog: &Catalog, config: &TpchConfig, rng: &mut StdRng) {
+        let mut tb = TableBuilder::new(
+            "customer",
+            schema::customer(),
+            config.format,
+            config.block_bytes,
+        );
+        for k in 1..=config.n_customer() {
+            tb.append(&[
+                Value::I32(k),
+                Value::Str(format!("Customer#{k:09}")),
+                Value::Str(format!("addr-{k}")),
+                Value::I32(rng.gen_range(0..25)),
+                Value::Str(format!("{:02}-{:07}", 10 + k % 25, k)),
+                Value::F64(rng.gen_range(-999.99..9999.99)),
+                Value::Str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].to_string()),
+                Value::Str(comment(rng, 117)),
+            ])
+            .expect("customer row");
+        }
+        catalog.register(tb.finish()).expect("register customer");
+    }
+
+    /// Orders and lineitems are generated together so `o_orderstatus` can be
+    /// derived from the line statuses (the spec rule).
+    fn gen_orders_and_lineitem(catalog: &Catalog, config: &TpchConfig, rng: &mut StdRng) {
+        let mut ob = TableBuilder::new(
+            "orders",
+            schema::orders(),
+            config.format,
+            config.block_bytes,
+        );
+        let mut lb = TableBuilder::new(
+            "lineitem",
+            schema::lineitem(),
+            config.format,
+            config.block_bytes,
+        );
+        let start = date_from_ymd(1992, 1, 1);
+        let end = date_from_ymd(1998, 8, 2);
+        let current = date_from_ymd(1995, 6, 17);
+        let n_cust = config.n_customer();
+        let n_part = config.n_part();
+        let n_supp = config.n_supplier();
+
+        for ok in 1..=config.n_orders() {
+            let orderdate = rng.gen_range(start..=end - 151);
+            let n_lines = rng.gen_range(1..=7);
+            let mut total = 0.0;
+            let mut all_f = true;
+            let mut all_o = true;
+            for line in 1..=n_lines {
+                let pk = rng.gen_range(1..=n_part);
+                let sk = rng.gen_range(1..=n_supp);
+                let qty = rng.gen_range(1..=50) as f64;
+                let extended = qty * retail_price(pk);
+                let discount = rng.gen_range(0..=10) as f64 / 100.0;
+                let tax = rng.gen_range(0..=8) as f64 / 100.0;
+                let shipdate = orderdate + rng.gen_range(1..=121);
+                let commitdate = orderdate + rng.gen_range(30..=90);
+                let receiptdate = shipdate + rng.gen_range(1..=30);
+                let returnflag = if receiptdate <= current {
+                    if rng.gen_bool(0.5) {
+                        "R"
+                    } else {
+                        "A"
+                    }
+                } else {
+                    "N"
+                };
+                let linestatus = if shipdate > current { "O" } else { "F" };
+                all_f &= linestatus == "F";
+                all_o &= linestatus == "O";
+                total += extended * (1.0 + tax) * (1.0 - discount);
+                lb.append(&[
+                    Value::I32(ok),
+                    Value::I32(pk),
+                    Value::I32(sk),
+                    Value::I32(line),
+                    Value::F64(qty),
+                    Value::F64(extended),
+                    Value::F64(discount),
+                    Value::F64(tax),
+                    Value::Str(returnflag.to_string()),
+                    Value::Str(linestatus.to_string()),
+                    Value::Date(shipdate),
+                    Value::Date(commitdate),
+                    Value::Date(receiptdate),
+                    Value::Str(SHIP_INSTRUCTS[rng.gen_range(0..SHIP_INSTRUCTS.len())].to_string()),
+                    Value::Str(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())].to_string()),
+                    Value::Str(comment(rng, 44)),
+                ])
+                .expect("lineitem row");
+            }
+            let status = if all_f {
+                "F"
+            } else if all_o {
+                "O"
+            } else {
+                "P"
+            };
+            ob.append(&[
+                Value::I32(ok),
+                Value::I32(rng.gen_range(1..=n_cust)),
+                Value::Str(status.to_string()),
+                Value::F64(total),
+                Value::Date(orderdate),
+                Value::Str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())].to_string()),
+                Value::Str(format!("Clerk#{:09}", rng.gen_range(1..=1000))),
+                Value::I32(0),
+                Value::Str(comment(rng, 79)),
+            ])
+            .expect("orders row");
+        }
+        catalog.register(ob.finish()).expect("register orders");
+        catalog.register(lb.finish()).expect("register lineitem");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{li, ord};
+
+    fn tiny() -> TpchDb {
+        TpchDb::generate(TpchConfig {
+            scale_factor: 0.002,
+            block_bytes: 16 * 1024,
+            format: BlockFormat::Column,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn cardinalities_scale() {
+        let db = tiny();
+        assert_eq!(db.region().num_rows(), 5);
+        assert_eq!(db.nation().num_rows(), 25);
+        assert_eq!(db.part().num_rows(), 400);
+        assert_eq!(db.supplier().num_rows(), 20);
+        assert_eq!(db.customer().num_rows(), 300);
+        assert_eq!(db.orders().num_rows(), 3000);
+        assert_eq!(db.partsupp().num_rows(), 1600);
+        // ~4 lineitems per order
+        let n = db.lineitem().num_rows();
+        assert!((3000 * 2..=3000 * 7).contains(&n), "{n}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.lineitem().num_rows(), b.lineitem().num_rows());
+        let ra = a.lineitem().blocks()[0].row_values(0).unwrap();
+        let rb = b.lineitem().blocks()[0].row_values(0).unwrap();
+        assert_eq!(ra, rb);
+        // different seed, different data
+        let c = TpchDb::generate(TpchConfig {
+            seed: 8,
+            scale_factor: 0.002,
+            block_bytes: 16 * 1024,
+            format: BlockFormat::Column,
+        });
+        assert_ne!(
+            c.lineitem().blocks()[0].row_values(0).unwrap(),
+            ra
+        );
+    }
+
+    #[test]
+    fn date_relationships_hold() {
+        let db = tiny();
+        let li_t = db.lineitem();
+        for b in li_t.blocks() {
+            for r in 0..b.num_rows() {
+                let ship = b.date_at(r, li::SHIPDATE);
+                let receipt = b.date_at(r, li::RECEIPTDATE);
+                assert!(receipt > ship);
+                assert!(receipt - ship <= 30);
+            }
+        }
+        let o = db.orders();
+        let lo = date_from_ymd(1992, 1, 1);
+        let hi = date_from_ymd(1998, 8, 2);
+        for b in o.blocks() {
+            for r in 0..b.num_rows() {
+                let d = b.date_at(r, ord::ORDERDATE);
+                assert!(d >= lo && d <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn flags_derive_from_dates() {
+        let db = tiny();
+        let cur = date_from_ymd(1995, 6, 17);
+        for b in db.lineitem().blocks() {
+            for r in 0..b.num_rows() {
+                let receipt = b.date_at(r, li::RECEIPTDATE);
+                let flag = b.char_at(r, li::RETURNFLAG)[0];
+                let status = b.char_at(r, li::LINESTATUS)[0];
+                if receipt <= cur {
+                    assert!(flag == b'R' || flag == b'A');
+                } else {
+                    assert_eq!(flag, b'N');
+                }
+                assert!(status == b'O' || status == b'F');
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_keys_are_valid() {
+        let db = tiny();
+        let n_part = db.part().num_rows() as i32;
+        let n_supp = db.supplier().num_rows() as i32;
+        let n_cust = db.customer().num_rows() as i32;
+        for b in db.lineitem().blocks() {
+            for r in 0..b.num_rows() {
+                let pk = b.i32_at(r, li::PARTKEY);
+                let sk = b.i32_at(r, li::SUPPKEY);
+                assert!(pk >= 1 && pk <= n_part);
+                assert!(sk >= 1 && sk <= n_supp);
+            }
+        }
+        for b in db.orders().blocks() {
+            for r in 0..b.num_rows() {
+                let ck = b.i32_at(r, ord::CUSTKEY);
+                assert!(ck >= 1 && ck <= n_cust);
+            }
+        }
+    }
+
+    #[test]
+    fn orderkeys_match_between_orders_and_lineitem() {
+        let db = tiny();
+        let mut order_keys = std::collections::HashSet::new();
+        for b in db.orders().blocks() {
+            for r in 0..b.num_rows() {
+                order_keys.insert(b.i32_at(r, ord::ORDERKEY));
+            }
+        }
+        for b in db.lineitem().blocks() {
+            for r in 0..b.num_rows() {
+                assert!(order_keys.contains(&b.i32_at(r, li::ORDERKEY)));
+            }
+        }
+    }
+
+    #[test]
+    fn selectivity_regimes_are_sane() {
+        // Date-window predicates should select plausible fractions, so the
+        // Tables III/IV reproduction lands in the right regime.
+        let db = TpchDb::generate(TpchConfig::scale(0.005));
+        let cut = date_from_ymd(1995, 3, 15);
+        let mut selected = 0usize;
+        let mut total = 0usize;
+        for b in db.lineitem().blocks() {
+            for r in 0..b.num_rows() {
+                total += 1;
+                if b.date_at(r, li::SHIPDATE) > cut {
+                    selected += 1;
+                }
+            }
+        }
+        let s = selected as f64 / total as f64;
+        // Paper Table III reports 53.9% for Q3's l_shipdate > 1995-03-15.
+        assert!((0.4..0.7).contains(&s), "Q3 lineitem selectivity {s}");
+    }
+
+    #[test]
+    fn retail_price_formula() {
+        assert_eq!(retail_price(1), 901.00);
+        // spec range: [900.01, 2098.99] for keys within SF 1
+        for pk in [1, 97, 1000, 54_321, 199_999] {
+            let p = retail_price(pk);
+            assert!((900.0..=2100.0).contains(&p), "pk={pk} p={p}");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # uot-tpch
+//!
+//! The TPC-H substrate for the UoT experiments:
+//!
+//! * [`schema`] — the eight TPC-H table schemas (fixed-width `Char` strings,
+//!   spec column widths) plus readable column-index constants.
+//! * [`dbgen`] — a seeded, scale-factor-parameterized data generator that
+//!   honors the value domains and cross-table relationships the evaluated
+//!   queries depend on (date windows, flag derivations, key references).
+//! * [`queries`] — hand-built physical plans for the query subset used in
+//!   the paper's figures (the paper studies the post-optimizer scheduling
+//!   phase, so fixed plans are the right substrate).
+//! * [`chains`] — the extracted select → probe operator chains of Figs. 5/6.
+//! * [`analysis`] — the selectivity/projectivity measurements of Tables
+//!   III/IV.
+
+pub mod analysis;
+pub mod chains;
+pub mod dbgen;
+pub mod queries;
+pub mod schema;
+
+pub use chains::{chain_specs, ChainSpec};
+pub use dbgen::{TpchConfig, TpchDb};
+pub use queries::{all_queries, build_query, build_query_lip, QueryId};

@@ -1,0 +1,67 @@
+//! TPC-H Q1: pricing summary report.
+//!
+//! A scan-dominated aggregation: `select` keeps ~98% of lineitem, then a
+//! 4-group hash aggregation computes eight aggregates. In Fig. 3 of the
+//! paper Q1's dominant operator (the aggregation over the base table) takes
+//! the majority of the query time — UoT barely matters here.
+
+use super::util::dl;
+use crate::dbgen::TpchDb;
+use crate::schema::li;
+use uot_core::{PlanBuilder, QueryPlan, Result, SortKey, Source};
+use uot_expr::{cmp, col, lit, AggSpec, CmpOp};
+
+/// Build the Q1 plan.
+pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
+    let mut pb = PlanBuilder::new();
+    let disc_price = col(li::EXTENDEDPRICE).mul(lit(1.0).sub(col(li::DISCOUNT)));
+    let charge = disc_price.clone().mul(lit(1.0).add(col(li::TAX)));
+    let s = pb.select(
+        Source::Table(db.lineitem()),
+        cmp(col(li::SHIPDATE), CmpOp::Le, dl(1998, 9, 2)),
+        vec![
+            col(li::RETURNFLAG),
+            col(li::LINESTATUS),
+            col(li::QUANTITY),
+            col(li::EXTENDEDPRICE),
+            col(li::DISCOUNT),
+            disc_price,
+            charge,
+        ],
+        &[
+            "l_returnflag",
+            "l_linestatus",
+            "qty",
+            "ext",
+            "disc",
+            "disc_price",
+            "charge",
+        ],
+    )?;
+    let a = pb.aggregate(
+        Source::Op(s),
+        vec![0, 1],
+        vec![
+            AggSpec::sum(col(2)),
+            AggSpec::sum(col(3)),
+            AggSpec::sum(col(5)),
+            AggSpec::sum(col(6)),
+            AggSpec::avg(col(2)),
+            AggSpec::avg(col(3)),
+            AggSpec::avg(col(4)),
+            AggSpec::count_star(),
+        ],
+        &[
+            "sum_qty",
+            "sum_base_price",
+            "sum_disc_price",
+            "sum_charge",
+            "avg_qty",
+            "avg_price",
+            "avg_disc",
+            "count_order",
+        ],
+    )?;
+    let so = pb.sort(Source::Op(a), vec![SortKey::asc(0), SortKey::asc(1)], None)?;
+    pb.build(so)
+}

@@ -1,0 +1,82 @@
+//! TPC-H Q3: shipping priority.
+//!
+//! The canonical select → probe pipeline on lineitem the paper's model
+//! analyzes (Section V), with the revenue expression folded into the select
+//! to lower projectivity (Section VI-C's technique).
+
+use super::util::{dl, revenue};
+use crate::dbgen::TpchDb;
+use crate::schema::{cust, li, ord};
+use uot_core::{JoinType, PlanBuilder, QueryPlan, Result, SortKey, Source};
+use uot_expr::{cmp, col, AggSpec, CmpOp, Predicate};
+
+/// Build the Q3 plan.
+pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
+    plan_impl(db, false)
+}
+
+/// Build the Q3 plan with a LIP filter on the lineitem scan (orders keys).
+pub fn plan_lip(db: &TpchDb) -> Result<QueryPlan> {
+    plan_impl(db, true)
+}
+
+fn plan_impl(db: &TpchDb, lip: bool) -> Result<QueryPlan> {
+    let mut pb = PlanBuilder::new();
+    // customer filtered to the BUILDING segment -> semi-filter for orders
+    let c = pb.select(
+        Source::Table(db.customer()),
+        Predicate::StrEq {
+            col: cust::MKTSEGMENT,
+            value: "BUILDING".into(),
+        },
+        vec![col(cust::CUSTKEY)],
+        &["c_custkey"],
+    )?;
+    let b_c = pb.build_hash(Source::Op(c), vec![0], vec![])?;
+    let o = pb.select(
+        Source::Table(db.orders()),
+        cmp(col(ord::ORDERDATE), CmpOp::Lt, dl(1995, 3, 15)),
+        vec![
+            col(ord::ORDERKEY),
+            col(ord::CUSTKEY),
+            col(ord::ORDERDATE),
+            col(ord::SHIPPRIORITY),
+        ],
+        &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
+    )?;
+    // c_custkey is unique: an inner probe without payload is a semi filter
+    let p_o = pb.probe(Source::Op(o), b_c, vec![1], vec![0, 2, 3], vec![], JoinType::Inner)?;
+    let b_o = pb.build_hash(Source::Op(p_o), vec![0], vec![1, 2])?;
+    let l = pb.select(
+        Source::Table(db.lineitem()),
+        cmp(col(li::SHIPDATE), CmpOp::Gt, dl(1995, 3, 15)),
+        vec![col(li::ORDERKEY), revenue(li::EXTENDEDPRICE, li::DISCOUNT)],
+        &["l_orderkey", "rev"],
+    )?;
+    if lip {
+        // Drop lineitems whose orderkey cannot match the (BUILDING-segment,
+        // pre-cutoff) orders — Section VI-C's selectivity-reduction technique.
+        pb.add_lip(l, b_o, vec![li::ORDERKEY])?;
+    }
+    let p_l = pb.probe(
+        Source::Op(l),
+        b_o,
+        vec![0],
+        vec![0, 1],
+        vec![0, 1],
+        JoinType::Inner,
+    )?;
+    // (l_orderkey, rev, o_orderdate, o_shippriority)
+    let a = pb.aggregate(
+        Source::Op(p_l),
+        vec![0, 2, 3],
+        vec![AggSpec::sum(col(1))],
+        &["revenue"],
+    )?;
+    let so = pb.sort(
+        Source::Op(a),
+        vec![SortKey::desc(3), SortKey::asc(1)],
+        Some(10),
+    )?;
+    pb.build(so)
+}

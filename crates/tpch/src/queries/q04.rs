@@ -1,0 +1,40 @@
+//! TPC-H Q4: order priority checking — an EXISTS realized as a hash
+//! **semi join** (orders probing a table built on late lineitems).
+
+use crate::dbgen::TpchDb;
+use crate::schema::{li, ord};
+use uot_core::{JoinType, PlanBuilder, QueryPlan, Result, SortKey, Source};
+use uot_expr::{between_half_open, cmp, col, AggSpec, CmpOp};
+use uot_storage::Value;
+use uot_storage::date_from_ymd;
+
+/// Build the Q4 plan.
+pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
+    let mut pb = PlanBuilder::new();
+    let l = pb.select(
+        Source::Table(db.lineitem()),
+        cmp(col(li::COMMITDATE), CmpOp::Lt, col(li::RECEIPTDATE)),
+        vec![col(li::ORDERKEY)],
+        &["l_orderkey"],
+    )?;
+    let b_l = pb.build_hash(Source::Op(l), vec![0], vec![])?;
+    let o = pb.select(
+        Source::Table(db.orders()),
+        between_half_open(
+            col(ord::ORDERDATE),
+            Value::Date(date_from_ymd(1993, 7, 1)),
+            Value::Date(date_from_ymd(1993, 10, 1)),
+        ),
+        vec![col(ord::ORDERKEY), col(ord::ORDERPRIORITY)],
+        &["o_orderkey", "o_orderpriority"],
+    )?;
+    let p = pb.probe(Source::Op(o), b_l, vec![0], vec![1], vec![], JoinType::Semi)?;
+    let a = pb.aggregate(
+        Source::Op(p),
+        vec![0],
+        vec![AggSpec::count_star()],
+        &["order_count"],
+    )?;
+    let so = pb.sort(Source::Op(a), vec![SortKey::asc(0)], None)?;
+    pb.build(so)
+}

@@ -1,0 +1,95 @@
+//! TPC-H Q5: local supplier volume — the deepest probe cascade in the
+//! suite (region → nation → customer → orders → lineitem → supplier), the
+//! Fig. 4 shape of the paper. The `s_nationkey = c_nationkey` condition is
+//! realized as a composite-key probe on (suppkey, nationkey).
+
+use super::util::revenue;
+use crate::dbgen::TpchDb;
+use crate::schema::{cust, li, nat, ord, reg, supp};
+use uot_core::{JoinType, PlanBuilder, QueryPlan, Result, SortKey, Source};
+use uot_expr::{between_half_open, col, AggSpec, Predicate};
+use uot_storage::Value;
+use uot_storage::date_from_ymd;
+
+/// Build the Q5 plan.
+pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
+    let mut pb = PlanBuilder::new();
+    let r = pb.select(
+        Source::Table(db.region()),
+        Predicate::StrEq {
+            col: reg::NAME,
+            value: "ASIA".into(),
+        },
+        vec![col(reg::REGIONKEY)],
+        &["r_regionkey"],
+    )?;
+    let b_r = pb.build_hash(Source::Op(r), vec![0], vec![])?;
+    let n = pb.probe(
+        Source::Table(db.nation()),
+        b_r,
+        vec![nat::REGIONKEY],
+        vec![nat::NATIONKEY, nat::NAME],
+        vec![],
+        JoinType::Inner,
+    )?;
+    let b_n = pb.build_hash(Source::Op(n), vec![0], vec![0, 1])?;
+    let c = pb.probe(
+        Source::Table(db.customer()),
+        b_n,
+        vec![cust::NATIONKEY],
+        vec![cust::CUSTKEY],
+        vec![0, 1],
+        JoinType::Inner,
+    )?;
+    // (c_custkey, n_nationkey, n_name)
+    let b_c = pb.build_hash(Source::Op(c), vec![0], vec![1, 2])?;
+    let o = pb.select(
+        Source::Table(db.orders()),
+        between_half_open(
+            col(ord::ORDERDATE),
+            Value::Date(date_from_ymd(1994, 1, 1)),
+            Value::Date(date_from_ymd(1995, 1, 1)),
+        ),
+        vec![col(ord::ORDERKEY), col(ord::CUSTKEY)],
+        &["o_orderkey", "o_custkey"],
+    )?;
+    let p_o = pb.probe(Source::Op(o), b_c, vec![1], vec![0], vec![0, 1], JoinType::Inner)?;
+    // (o_orderkey, n_nationkey, n_name)
+    let b_o = pb.build_hash(Source::Op(p_o), vec![0], vec![1, 2])?;
+    let l = pb.select(
+        Source::Table(db.lineitem()),
+        Predicate::True,
+        vec![
+            col(li::ORDERKEY),
+            col(li::SUPPKEY),
+            revenue(li::EXTENDEDPRICE, li::DISCOUNT),
+        ],
+        &["l_orderkey", "l_suppkey", "rev"],
+    )?;
+    let p_l = pb.probe(
+        Source::Op(l),
+        b_o,
+        vec![0],
+        vec![1, 2],
+        vec![0, 1],
+        JoinType::Inner,
+    )?;
+    // (l_suppkey, rev, n_nationkey, n_name)
+    let b_s = pb.build_hash(
+        Source::Table(db.supplier()),
+        vec![supp::SUPPKEY, supp::NATIONKEY],
+        vec![],
+    )?;
+    let p_s = pb.probe(
+        Source::Op(p_l),
+        b_s,
+        vec![0, 2],
+        vec![3, 1],
+        vec![],
+        JoinType::Inner,
+    )?;
+    // (n_name, rev)
+    let a = pb.aggregate(Source::Op(p_s), vec![0], vec![AggSpec::sum(col(1))], &["revenue"])?;
+    let so = pb.sort(Source::Op(a), vec![SortKey::desc(1)], None)?;
+    pb.build(so)
+}

@@ -1,0 +1,26 @@
+//! TPC-H Q6: forecasting revenue change — a pure scan + scalar aggregate.
+//! The "leaf-dominant" query shape of Fig. 3 where UoT cannot matter.
+
+use super::util::dl;
+use crate::dbgen::TpchDb;
+use crate::schema::li;
+use uot_core::{PlanBuilder, QueryPlan, Result, Source};
+use uot_expr::{cmp, col, lit, AggSpec, CmpOp};
+
+/// Build the Q6 plan.
+pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
+    let mut pb = PlanBuilder::new();
+    let pred = cmp(col(li::SHIPDATE), CmpOp::Ge, dl(1994, 1, 1))
+        .and(cmp(col(li::SHIPDATE), CmpOp::Lt, dl(1995, 1, 1)))
+        .and(cmp(col(li::DISCOUNT), CmpOp::Ge, lit(0.05)))
+        .and(cmp(col(li::DISCOUNT), CmpOp::Le, lit(0.07)))
+        .and(cmp(col(li::QUANTITY), CmpOp::Lt, lit(24.0)));
+    let s = pb.select(
+        Source::Table(db.lineitem()),
+        pred,
+        vec![col(li::EXTENDEDPRICE).mul(col(li::DISCOUNT))],
+        &["rev"],
+    )?;
+    let a = pb.aggregate(Source::Op(s), vec![], vec![AggSpec::sum(col(0))], &["revenue"])?;
+    pb.build(a)
+}

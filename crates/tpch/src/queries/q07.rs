@@ -1,0 +1,133 @@
+//! TPC-H Q7: volume shipping between FRANCE and GERMANY — the query the
+//! paper uses for its scalability (Fig. 9/10) and prefetching (Table VI)
+//! microbenchmarks. Its chain has one probe with a small hash table
+//! (supplier side) and one with a large one (orders side).
+
+use super::util::{dl, revenue};
+use crate::dbgen::TpchDb;
+use crate::schema::{cust, li, nat, ord, supp};
+use uot_core::{JoinType, PlanBuilder, QueryPlan, Result, SortKey, Source};
+use uot_expr::{cmp, col, AggSpec, CmpOp, Predicate, ScalarExpr};
+
+fn nation_filter() -> Predicate {
+    Predicate::StrIn {
+        col: nat::NAME,
+        values: vec!["FRANCE".into(), "GERMANY".into()],
+    }
+}
+
+/// Build the Q7 plan.
+pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
+    let mut pb = PlanBuilder::new();
+    // supplier -> nation (FRANCE/GERMANY)
+    let n1 = pb.select(
+        Source::Table(db.nation()),
+        nation_filter(),
+        vec![col(nat::NATIONKEY), col(nat::NAME)],
+        &["n_nationkey", "supp_nation"],
+    )?;
+    let b_n1 = pb.build_hash(Source::Op(n1), vec![0], vec![1])?;
+    let s = pb.probe(
+        Source::Table(db.supplier()),
+        b_n1,
+        vec![supp::NATIONKEY],
+        vec![supp::SUPPKEY],
+        vec![0],
+        JoinType::Inner,
+    )?;
+    // (s_suppkey, supp_nation)
+    let b_s = pb.build_hash(Source::Op(s), vec![0], vec![1])?;
+
+    // customer -> nation (FRANCE/GERMANY) -> orders
+    let n2 = pb.select(
+        Source::Table(db.nation()),
+        nation_filter(),
+        vec![col(nat::NATIONKEY), col(nat::NAME)],
+        &["n_nationkey", "cust_nation"],
+    )?;
+    let b_n2 = pb.build_hash(Source::Op(n2), vec![0], vec![1])?;
+    let c = pb.probe(
+        Source::Table(db.customer()),
+        b_n2,
+        vec![cust::NATIONKEY],
+        vec![cust::CUSTKEY],
+        vec![0],
+        JoinType::Inner,
+    )?;
+    let b_c = pb.build_hash(Source::Op(c), vec![0], vec![1])?;
+    let o = pb.probe(
+        Source::Table(db.orders()),
+        b_c,
+        vec![ord::CUSTKEY],
+        vec![ord::ORDERKEY],
+        vec![0],
+        JoinType::Inner,
+    )?;
+    // (o_orderkey, cust_nation)
+    let b_o = pb.build_hash(Source::Op(o), vec![0], vec![1])?;
+
+    // lineitem shipped in 1995-1996
+    let l = pb.select(
+        Source::Table(db.lineitem()),
+        cmp(col(li::SHIPDATE), CmpOp::Ge, dl(1995, 1, 1))
+            .and(cmp(col(li::SHIPDATE), CmpOp::Le, dl(1996, 12, 31))),
+        vec![
+            col(li::ORDERKEY),
+            col(li::SUPPKEY),
+            revenue(li::EXTENDEDPRICE, li::DISCOUNT),
+            ScalarExpr::Col(li::SHIPDATE).year(),
+        ],
+        &["l_orderkey", "l_suppkey", "volume", "l_year"],
+    )?;
+    let p1 = pb.probe(
+        Source::Op(l),
+        b_o,
+        vec![0],
+        vec![1, 2, 3],
+        vec![0],
+        JoinType::Inner,
+    )?;
+    // (l_suppkey, volume, l_year, cust_nation)
+    let p2 = pb.probe(
+        Source::Op(p1),
+        b_s,
+        vec![0],
+        vec![1, 2, 3],
+        vec![0],
+        JoinType::Inner,
+    )?;
+    // (volume, l_year, cust_nation, supp_nation)
+    let cross = pb.select(
+        Source::Op(p2),
+        Predicate::StrEq {
+            col: 3,
+            value: "FRANCE".into(),
+        }
+        .and(Predicate::StrEq {
+            col: 2,
+            value: "GERMANY".into(),
+        })
+        .or(Predicate::StrEq {
+            col: 3,
+            value: "GERMANY".into(),
+        }
+        .and(Predicate::StrEq {
+            col: 2,
+            value: "FRANCE".into(),
+        })),
+        vec![col(0), col(1), col(2), col(3)],
+        &["volume", "l_year", "cust_nation", "supp_nation"],
+    )?;
+    let a = pb.aggregate(
+        Source::Op(cross),
+        vec![3, 2, 1],
+        vec![AggSpec::sum(col(0))],
+        &["revenue"],
+    )?;
+    let so = pb.sort(
+        Source::Op(a),
+        vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)],
+        None,
+    )?;
+    pb.build(so)
+}

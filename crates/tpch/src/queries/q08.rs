@@ -1,0 +1,142 @@
+//! TPC-H Q8: national market share — the CASE-based conditional aggregate
+//! (`sum(case when nation = 'BRAZIL' then volume else 0) / sum(volume)`).
+
+use super::util::{dl, revenue};
+use crate::dbgen::TpchDb;
+use crate::schema::{cust, li, nat, ord, part, reg, supp};
+use uot_core::{JoinType, PlanBuilder, QueryPlan, Result, SortKey, Source};
+use uot_expr::{cmp, col, lit, AggSpec, CmpOp, Predicate, ScalarExpr};
+
+/// Build the Q8 plan.
+pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
+    let mut pb = PlanBuilder::new();
+    // AMERICA customers
+    let r = pb.select(
+        Source::Table(db.region()),
+        Predicate::StrEq {
+            col: reg::NAME,
+            value: "AMERICA".into(),
+        },
+        vec![col(reg::REGIONKEY)],
+        &["r_regionkey"],
+    )?;
+    let b_r = pb.build_hash(Source::Op(r), vec![0], vec![])?;
+    let n = pb.probe(
+        Source::Table(db.nation()),
+        b_r,
+        vec![nat::REGIONKEY],
+        vec![nat::NATIONKEY],
+        vec![],
+        JoinType::Inner,
+    )?;
+    let b_n = pb.build_hash(Source::Op(n), vec![0], vec![])?;
+    let c = pb.probe(
+        Source::Table(db.customer()),
+        b_n,
+        vec![cust::NATIONKEY],
+        vec![cust::CUSTKEY],
+        vec![],
+        JoinType::Inner,
+    )?;
+    let b_c = pb.build_hash(Source::Op(c), vec![0], vec![])?;
+    // orders in 1995-1996 from those customers
+    let o = pb.select(
+        Source::Table(db.orders()),
+        cmp(col(ord::ORDERDATE), CmpOp::Ge, dl(1995, 1, 1))
+            .and(cmp(col(ord::ORDERDATE), CmpOp::Le, dl(1996, 12, 31))),
+        vec![
+            col(ord::ORDERKEY),
+            col(ord::CUSTKEY),
+            ScalarExpr::Col(ord::ORDERDATE).year(),
+        ],
+        &["o_orderkey", "o_custkey", "o_year"],
+    )?;
+    let p_o = pb.probe(Source::Op(o), b_c, vec![1], vec![0, 2], vec![], JoinType::Inner)?;
+    // (o_orderkey, o_year)
+    let b_o = pb.build_hash(Source::Op(p_o), vec![0], vec![1])?;
+    // parts of the target type
+    let pa = pb.select(
+        Source::Table(db.part()),
+        Predicate::StrEq {
+            col: part::TYPE,
+            value: "ECONOMY ANODIZED STEEL".into(),
+        },
+        vec![col(part::PARTKEY)],
+        &["p_partkey"],
+    )?;
+    let b_p = pb.build_hash(Source::Op(pa), vec![0], vec![])?;
+    // lineitem joined to part, orders, supplier-nation
+    let l = pb.select(
+        Source::Table(db.lineitem()),
+        Predicate::True,
+        vec![
+            col(li::ORDERKEY),
+            col(li::PARTKEY),
+            col(li::SUPPKEY),
+            revenue(li::EXTENDEDPRICE, li::DISCOUNT),
+        ],
+        &["l_orderkey", "l_partkey", "l_suppkey", "volume"],
+    )?;
+    let pl1 = pb.probe(Source::Op(l), b_p, vec![1], vec![0, 2, 3], vec![], JoinType::Inner)?;
+    // (l_orderkey, l_suppkey, volume)
+    let pl2 = pb.probe(
+        Source::Op(pl1),
+        b_o,
+        vec![0],
+        vec![1, 2],
+        vec![0],
+        JoinType::Inner,
+    )?;
+    // (l_suppkey, volume, o_year)
+    let b_s = pb.build_hash(
+        Source::Table(db.supplier()),
+        vec![supp::SUPPKEY],
+        vec![supp::NATIONKEY],
+    )?;
+    let pl3 = pb.probe(
+        Source::Op(pl2),
+        b_s,
+        vec![0],
+        vec![1, 2],
+        vec![0],
+        JoinType::Inner,
+    )?;
+    // (volume, o_year, s_nationkey)
+    let b_nn = pb.build_hash(
+        Source::Table(db.nation()),
+        vec![nat::NATIONKEY],
+        vec![nat::NAME],
+    )?;
+    let pl4 = pb.probe(
+        Source::Op(pl3),
+        b_nn,
+        vec![2],
+        vec![0, 1],
+        vec![0],
+        JoinType::Inner,
+    )?;
+    // (volume, o_year, n_name)
+    let brazil = ScalarExpr::case_when(
+        Predicate::StrEq {
+            col: 2,
+            value: "BRAZIL".into(),
+        },
+        col(0),
+        lit(0.0),
+    );
+    let a = pb.aggregate(
+        Source::Op(pl4),
+        vec![1],
+        vec![AggSpec::sum(brazil), AggSpec::sum(col(0))],
+        &["brazil_volume", "total_volume"],
+    )?;
+    // (o_year, brazil_volume, total_volume) -> share
+    let share = pb.select(
+        Source::Op(a),
+        Predicate::True,
+        vec![col(0), col(1).div(col(2))],
+        &["o_year", "mkt_share"],
+    )?;
+    let so = pb.sort(Source::Op(share), vec![SortKey::asc(0)], None)?;
+    pb.build(so)
+}

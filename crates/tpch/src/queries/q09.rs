@@ -1,0 +1,104 @@
+//! TPC-H Q9: product type profit measure — the widest join fan in the
+//! implemented suite (part, partsupp, lineitem, orders, supplier, nation)
+//! with a substring filter on `p_name` and a computed profit expression.
+
+use crate::dbgen::TpchDb;
+use crate::schema::{li, nat, ord, part, ps, supp};
+use uot_core::{JoinType, PlanBuilder, QueryPlan, Result, SortKey, Source};
+use uot_expr::{col, lit, AggSpec, Predicate, ScalarExpr};
+
+/// Build the Q9 plan.
+pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
+    let mut pb = PlanBuilder::new();
+    // parts whose name mentions "green"
+    let pa = pb.select(
+        Source::Table(db.part()),
+        Predicate::StrContains {
+            col: part::NAME,
+            needle: "green".into(),
+        },
+        vec![col(part::PARTKEY)],
+        &["p_partkey"],
+    )?;
+    let b_pa = pb.build_hash(Source::Op(pa), vec![0], vec![])?;
+    // partsupp restricted to those parts, keyed (partkey, suppkey)
+    let pssel = pb.probe(
+        Source::Table(db.partsupp()),
+        b_pa,
+        vec![ps::PARTKEY],
+        vec![ps::PARTKEY, ps::SUPPKEY, ps::SUPPLYCOST],
+        vec![],
+        JoinType::Inner,
+    )?;
+    let b_ps = pb.build_hash(Source::Op(pssel), vec![0, 1], vec![2])?;
+    // lineitem joined on the composite key; supplycost attached
+    let l = pb.select(
+        Source::Table(db.lineitem()),
+        Predicate::True,
+        vec![
+            col(li::ORDERKEY),
+            col(li::PARTKEY),
+            col(li::SUPPKEY),
+            col(li::QUANTITY),
+            col(li::EXTENDEDPRICE),
+            col(li::DISCOUNT),
+        ],
+        &["l_orderkey", "l_partkey", "l_suppkey", "qty", "ext", "disc"],
+    )?;
+    let p1 = pb.probe(
+        Source::Op(l),
+        b_ps,
+        vec![1, 2],
+        vec![0, 2, 3, 4, 5],
+        vec![0],
+        JoinType::Inner,
+    )?;
+    // (l_orderkey, l_suppkey, qty, ext, disc, ps_supplycost)
+    // amount = ext*(1-disc) - supplycost*qty, folded with the projection
+    let amount = col(3)
+        .mul(lit(1.0).sub(col(4)))
+        .sub(col(5).mul(col(2)));
+    let am = pb.select(
+        Source::Op(p1),
+        Predicate::True,
+        vec![col(0), col(1), amount],
+        &["l_orderkey", "l_suppkey", "amount"],
+    )?;
+    // orders for the year
+    let b_o = pb.build_hash(
+        Source::Table(db.orders()),
+        vec![ord::ORDERKEY],
+        vec![ord::ORDERDATE],
+    )?;
+    let p2 = pb.probe(Source::Op(am), b_o, vec![0], vec![1, 2], vec![0], JoinType::Inner)?;
+    // (l_suppkey, amount, o_orderdate)
+    let ym = pb.select(
+        Source::Op(p2),
+        Predicate::True,
+        vec![col(0), col(1), ScalarExpr::Col(2).year()],
+        &["l_suppkey", "amount", "o_year"],
+    )?;
+    // supplier -> nation name
+    let b_s = pb.build_hash(
+        Source::Table(db.supplier()),
+        vec![supp::SUPPKEY],
+        vec![supp::NATIONKEY],
+    )?;
+    let p3 = pb.probe(Source::Op(ym), b_s, vec![0], vec![1, 2], vec![0], JoinType::Inner)?;
+    // (amount, o_year, s_nationkey)
+    let b_n = pb.build_hash(
+        Source::Table(db.nation()),
+        vec![nat::NATIONKEY],
+        vec![nat::NAME],
+    )?;
+    let p4 = pb.probe(Source::Op(p3), b_n, vec![2], vec![0, 1], vec![0], JoinType::Inner)?;
+    // (amount, o_year, n_name)
+    let a = pb.aggregate(
+        Source::Op(p4),
+        vec![2, 1],
+        vec![AggSpec::sum(col(0))],
+        &["sum_profit"],
+    )?;
+    let so = pb.sort(Source::Op(a), vec![SortKey::asc(0), SortKey::desc(1)], None)?;
+    pb.build(so)
+}

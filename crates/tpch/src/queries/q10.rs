@@ -1,0 +1,88 @@
+//! TPC-H Q10: returned item reporting — lineitem(returnflag = R) probing
+//! a quarter of orders, then customer/nation decoration and a top-20 sort.
+
+use super::util::revenue;
+use crate::dbgen::TpchDb;
+use crate::schema::{cust, li, nat, ord};
+use uot_core::{JoinType, PlanBuilder, QueryPlan, Result, SortKey, Source};
+use uot_expr::{between_half_open, col, AggSpec, Predicate};
+use uot_storage::Value;
+use uot_storage::date_from_ymd;
+
+/// Build the Q10 plan.
+pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
+    plan_impl(db, false)
+}
+
+/// Build the Q10 plan with a LIP filter on the lineitem scan.
+pub fn plan_lip(db: &TpchDb) -> Result<QueryPlan> {
+    plan_impl(db, true)
+}
+
+fn plan_impl(db: &TpchDb, lip: bool) -> Result<QueryPlan> {
+    let mut pb = PlanBuilder::new();
+    let o = pb.select(
+        Source::Table(db.orders()),
+        between_half_open(
+            col(ord::ORDERDATE),
+            Value::Date(date_from_ymd(1993, 10, 1)),
+            Value::Date(date_from_ymd(1994, 1, 1)),
+        ),
+        vec![col(ord::ORDERKEY), col(ord::CUSTKEY)],
+        &["o_orderkey", "o_custkey"],
+    )?;
+    let b_o = pb.build_hash(Source::Op(o), vec![0], vec![1])?;
+    let l = pb.select(
+        Source::Table(db.lineitem()),
+        Predicate::StrEq {
+            col: li::RETURNFLAG,
+            value: "R".into(),
+        },
+        vec![col(li::ORDERKEY), revenue(li::EXTENDEDPRICE, li::DISCOUNT)],
+        &["l_orderkey", "rev"],
+    )?;
+    if lip {
+        pb.add_lip(l, b_o, vec![li::ORDERKEY])?;
+    }
+    let p = pb.probe(Source::Op(l), b_o, vec![0], vec![1], vec![0], JoinType::Inner)?;
+    // (rev, o_custkey)
+    let a = pb.aggregate(Source::Op(p), vec![1], vec![AggSpec::sum(col(0))], &["revenue"])?;
+    // (o_custkey, revenue) — decorate with customer and nation attributes
+    let b_cu = pb.build_hash(
+        Source::Table(db.customer()),
+        vec![cust::CUSTKEY],
+        vec![
+            cust::NAME,
+            cust::ACCTBAL,
+            cust::NATIONKEY,
+            cust::PHONE,
+            cust::ADDRESS,
+            cust::COMMENT,
+        ],
+    )?;
+    let p2 = pb.probe(
+        Source::Op(a),
+        b_cu,
+        vec![0],
+        vec![0, 1],
+        vec![0, 1, 2, 3, 4, 5],
+        JoinType::Inner,
+    )?;
+    // (custkey, revenue, c_name, c_acctbal, c_nationkey, c_phone, c_address, c_comment)
+    let b_nn = pb.build_hash(
+        Source::Table(db.nation()),
+        vec![nat::NATIONKEY],
+        vec![nat::NAME],
+    )?;
+    let p3 = pb.probe(
+        Source::Op(p2),
+        b_nn,
+        vec![4],
+        vec![0, 1, 2, 3, 5, 6, 7],
+        vec![0],
+        JoinType::Inner,
+    )?;
+    // (custkey, revenue, c_name, c_acctbal, c_phone, c_address, c_comment, n_name)
+    let so = pb.sort(Source::Op(p3), vec![SortKey::desc(1)], Some(20))?;
+    pb.build(so)
+}

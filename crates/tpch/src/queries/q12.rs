@@ -1,0 +1,55 @@
+//! TPC-H Q12: shipping modes and order priority — CASE-counted categories
+//! over a lineitem → orders join.
+
+use crate::dbgen::TpchDb;
+use crate::schema::{li, ord};
+use uot_core::{JoinType, PlanBuilder, QueryPlan, Result, SortKey, Source};
+use uot_expr::{between_half_open, cmp, col, lit, AggSpec, CmpOp, Predicate, ScalarExpr};
+use uot_storage::Value;
+use uot_storage::date_from_ymd;
+
+/// Build the Q12 plan.
+pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
+    let mut pb = PlanBuilder::new();
+    let pred = Predicate::StrIn {
+        col: li::SHIPMODE,
+        values: vec!["MAIL".into(), "SHIP".into()],
+    }
+    .and(cmp(col(li::COMMITDATE), CmpOp::Lt, col(li::RECEIPTDATE)))
+    .and(cmp(col(li::SHIPDATE), CmpOp::Lt, col(li::COMMITDATE)))
+    .and(between_half_open(
+        col(li::RECEIPTDATE),
+        Value::Date(date_from_ymd(1994, 1, 1)),
+        Value::Date(date_from_ymd(1995, 1, 1)),
+    ));
+    let l = pb.select(
+        Source::Table(db.lineitem()),
+        pred,
+        vec![col(li::ORDERKEY), col(li::SHIPMODE)],
+        &["l_orderkey", "l_shipmode"],
+    )?;
+    let b_l = pb.build_hash(Source::Op(l), vec![0], vec![1])?;
+    let p = pb.probe(
+        Source::Table(db.orders()),
+        b_l,
+        vec![ord::ORDERKEY],
+        vec![ord::ORDERPRIORITY],
+        vec![0],
+        JoinType::Inner,
+    )?;
+    // (o_orderpriority, l_shipmode)
+    let urgent = Predicate::StrIn {
+        col: 0,
+        values: vec!["1-URGENT".into(), "2-HIGH".into()],
+    };
+    let high = ScalarExpr::case_when(urgent.clone(), lit(1i64), lit(0i64));
+    let low = ScalarExpr::case_when(urgent, lit(0i64), lit(1i64));
+    let a = pb.aggregate(
+        Source::Op(p),
+        vec![1],
+        vec![AggSpec::sum(high), AggSpec::sum(low)],
+        &["high_line_count", "low_line_count"],
+    )?;
+    let so = pb.sort(Source::Op(a), vec![SortKey::asc(0)], None)?;
+    pb.build(so)
+}

@@ -1,0 +1,53 @@
+//! TPC-H Q14: promotion effect — `100 * sum(case p_type like 'PROMO%' ...)
+//! / sum(revenue)` over a one-month lineitem → part join.
+
+use super::util::revenue;
+use crate::dbgen::TpchDb;
+use crate::schema::{li, part};
+use uot_core::{JoinType, PlanBuilder, QueryPlan, Result, Source};
+use uot_expr::{between_half_open, col, lit, AggSpec, Predicate, ScalarExpr};
+use uot_storage::Value;
+use uot_storage::date_from_ymd;
+
+/// Build the Q14 plan.
+pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
+    let mut pb = PlanBuilder::new();
+    let l = pb.select(
+        Source::Table(db.lineitem()),
+        between_half_open(
+            col(li::SHIPDATE),
+            Value::Date(date_from_ymd(1995, 9, 1)),
+            Value::Date(date_from_ymd(1995, 10, 1)),
+        ),
+        vec![col(li::PARTKEY), revenue(li::EXTENDEDPRICE, li::DISCOUNT)],
+        &["l_partkey", "rev"],
+    )?;
+    let b_p = pb.build_hash(
+        Source::Table(db.part()),
+        vec![part::PARTKEY],
+        vec![part::TYPE],
+    )?;
+    let p = pb.probe(Source::Op(l), b_p, vec![0], vec![1], vec![0], JoinType::Inner)?;
+    // (rev, p_type)
+    let promo = ScalarExpr::case_when(
+        Predicate::StrStartsWith {
+            col: 1,
+            prefix: "PROMO".into(),
+        },
+        col(0),
+        lit(0.0),
+    );
+    let a = pb.aggregate(
+        Source::Op(p),
+        vec![],
+        vec![AggSpec::sum(promo), AggSpec::sum(col(0))],
+        &["promo_revenue", "total_revenue"],
+    )?;
+    let share = pb.select(
+        Source::Op(a),
+        Predicate::True,
+        vec![lit(100.0).mul(col(0)).div(col(1))],
+        &["promo_share"],
+    )?;
+    pb.build(share)
+}

@@ -1,0 +1,80 @@
+//! TPC-H Q17: small-quantity-order revenue — the per-part average quantity
+//! "subquery" realized as an aggregation whose output drives a second probe
+//! (the aggregate-as-build-side pattern, like Q18), followed by a residual
+//! comparison between probe and payload columns.
+
+use crate::dbgen::TpchDb;
+use crate::schema::{li, part};
+use uot_core::{JoinType, PlanBuilder, QueryPlan, Result, Source};
+use uot_expr::{cmp, col, lit, AggSpec, CmpOp, Predicate};
+
+fn part_filter() -> Predicate {
+    Predicate::StrEq {
+        col: part::BRAND,
+        value: "Brand#23".into(),
+    }
+    .and(Predicate::StrEq {
+        col: part::CONTAINER,
+        value: "MED BOX".into(),
+    })
+}
+
+/// Build the Q17 plan.
+pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
+    let mut pb = PlanBuilder::new();
+    // First pass: per-part average quantity over the target parts.
+    let pa1 = pb.select(
+        Source::Table(db.part()),
+        part_filter(),
+        vec![col(part::PARTKEY)],
+        &["p_partkey"],
+    )?;
+    let b_pa1 = pb.build_hash(Source::Op(pa1), vec![0], vec![])?;
+    let l1 = pb.select(
+        Source::Table(db.lineitem()),
+        Predicate::True,
+        vec![col(li::PARTKEY), col(li::QUANTITY)],
+        &["l_partkey", "qty"],
+    )?;
+    let p1 = pb.probe(Source::Op(l1), b_pa1, vec![0], vec![0, 1], vec![], JoinType::Inner)?;
+    let avg = pb.aggregate(
+        Source::Op(p1),
+        vec![0],
+        vec![AggSpec::avg(col(1))],
+        &["avg_qty"],
+    )?;
+    let b_avg = pb.build_hash(Source::Op(avg), vec![0], vec![1])?;
+
+    // Second pass: the same lineitems, joined to the per-part averages.
+    let pa2 = pb.select(
+        Source::Table(db.part()),
+        part_filter(),
+        vec![col(part::PARTKEY)],
+        &["p_partkey"],
+    )?;
+    let b_pa2 = pb.build_hash(Source::Op(pa2), vec![0], vec![])?;
+    let l2 = pb.select(
+        Source::Table(db.lineitem()),
+        Predicate::True,
+        vec![col(li::PARTKEY), col(li::QUANTITY), col(li::EXTENDEDPRICE)],
+        &["l_partkey", "qty", "ext"],
+    )?;
+    let p2 = pb.probe(Source::Op(l2), b_pa2, vec![0], vec![0, 1, 2], vec![], JoinType::Inner)?;
+    let p3 = pb.probe(Source::Op(p2), b_avg, vec![0], vec![1, 2], vec![0], JoinType::Inner)?;
+    // (qty, ext, avg_qty): keep rows with qty < 0.2 * avg(qty)
+    let f = pb.select(
+        Source::Op(p3),
+        cmp(col(0), CmpOp::Lt, lit(0.2).mul(col(2))),
+        vec![col(1)],
+        &["ext"],
+    )?;
+    let a = pb.aggregate(Source::Op(f), vec![], vec![AggSpec::sum(col(0))], &["sum_ext"])?;
+    // avg_yearly = sum(ext) / 7.0
+    let out = pb.select(
+        Source::Op(a),
+        Predicate::True,
+        vec![col(0).div(lit(7.0))],
+        &["avg_yearly"],
+    )?;
+    pb.build(out)
+}

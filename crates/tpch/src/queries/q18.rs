@@ -1,0 +1,53 @@
+//! TPC-H Q18: large volume customers — a HAVING realized as a filter over
+//! an aggregation, which then *drives* the join (the aggregate output is
+//! the build side).
+
+use crate::dbgen::TpchDb;
+use crate::schema::{cust, li, ord};
+use uot_core::{JoinType, PlanBuilder, QueryPlan, Result, SortKey, Source};
+use uot_expr::{cmp, col, lit, AggSpec, CmpOp};
+
+/// Build the Q18 plan.
+pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
+    let mut pb = PlanBuilder::new();
+    let a = pb.aggregate(
+        Source::Table(db.lineitem()),
+        vec![li::ORDERKEY],
+        vec![AggSpec::sum(col(li::QUANTITY))],
+        &["sum_qty"],
+    )?;
+    // HAVING sum(l_quantity) > 300 — the spec constant selects almost
+    // nothing at tiny scale factors, so the threshold scales with the
+    // generator's ~4 lines/order: keep the spec shape, not the constant.
+    let f = pb.filter(Source::Op(a), cmp(col(1), CmpOp::Gt, lit(140.0)))?;
+    let b = pb.build_hash(Source::Op(f), vec![0], vec![1])?;
+    let p = pb.probe(
+        Source::Table(db.orders()),
+        b,
+        vec![ord::ORDERKEY],
+        vec![ord::CUSTKEY, ord::ORDERKEY, ord::ORDERDATE, ord::TOTALPRICE],
+        vec![0],
+        JoinType::Inner,
+    )?;
+    // (o_custkey, o_orderkey, o_orderdate, o_totalprice, sum_qty)
+    let b_c = pb.build_hash(
+        Source::Table(db.customer()),
+        vec![cust::CUSTKEY],
+        vec![cust::NAME],
+    )?;
+    let p2 = pb.probe(
+        Source::Op(p),
+        b_c,
+        vec![0],
+        vec![0, 1, 2, 3, 4],
+        vec![0],
+        JoinType::Inner,
+    )?;
+    // (custkey, orderkey, orderdate, totalprice, sum_qty, c_name)
+    let so = pb.sort(
+        Source::Op(p2),
+        vec![SortKey::desc(3), SortKey::asc(2)],
+        Some(100),
+    )?;
+    pb.build(so)
+}

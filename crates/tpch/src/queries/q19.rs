@@ -1,0 +1,86 @@
+//! TPC-H Q19: discounted revenue — the disjunction of three conjunctive
+//! groups mixing part and lineitem attributes, evaluated as a residual
+//! select over the partkey equi-join (the standard rewrite).
+
+use super::util::revenue;
+use crate::dbgen::TpchDb;
+use crate::schema::{li, part};
+use uot_core::{JoinType, PlanBuilder, QueryPlan, Result, Source};
+use uot_expr::{cmp, col, lit, AggSpec, CmpOp, Predicate};
+
+/// One of the three (brand, containers, qty, size) groups. Columns refer to
+/// the probe output (quantity, rev, p_brand, p_container, p_size).
+fn group(brand: &str, containers: &[&str], qty_lo: f64, qty_hi: f64, size_hi: i32) -> Predicate {
+    Predicate::StrEq {
+        col: 2,
+        value: brand.into(),
+    }
+    .and(Predicate::StrIn {
+        col: 3,
+        values: containers.iter().map(|s| s.to_string()).collect(),
+    })
+    .and(cmp(col(0), CmpOp::Ge, lit(qty_lo)))
+    .and(cmp(col(0), CmpOp::Le, lit(qty_hi)))
+    .and(cmp(col(4), CmpOp::Ge, lit(1i32)))
+    .and(cmp(col(4), CmpOp::Le, lit(size_hi)))
+}
+
+/// Build the Q19 plan.
+pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
+    let mut pb = PlanBuilder::new();
+    let l = pb.select(
+        Source::Table(db.lineitem()),
+        Predicate::StrIn {
+            col: li::SHIPMODE,
+            values: vec!["AIR".into(), "AIR REG".into()],
+        }
+        .and(Predicate::StrEq {
+            col: li::SHIPINSTRUCT,
+            value: "DELIVER IN PERSON".into(),
+        }),
+        vec![
+            col(li::PARTKEY),
+            col(li::QUANTITY),
+            revenue(li::EXTENDEDPRICE, li::DISCOUNT),
+        ],
+        &["l_partkey", "qty", "rev"],
+    )?;
+    let b_p = pb.build_hash(
+        Source::Table(db.part()),
+        vec![part::PARTKEY],
+        vec![part::BRAND, part::CONTAINER, part::SIZE],
+    )?;
+    let p = pb.probe(
+        Source::Op(l),
+        b_p,
+        vec![0],
+        vec![1, 2],
+        vec![0, 1, 2],
+        JoinType::Inner,
+    )?;
+    // (qty, rev, p_brand, p_container, p_size)
+    let residual = group(
+        "Brand#12",
+        &["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+        1.0,
+        11.0,
+        5,
+    )
+    .or(group(
+        "Brand#23",
+        &["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+        10.0,
+        20.0,
+        10,
+    ))
+    .or(group(
+        "Brand#34",
+        &["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+        20.0,
+        30.0,
+        15,
+    ));
+    let f = pb.select(Source::Op(p), residual, vec![col(1)], &["rev"])?;
+    let a = pb.aggregate(Source::Op(f), vec![], vec![AggSpec::sum(col(0))], &["revenue"])?;
+    pb.build(a)
+}

@@ -1,0 +1,15 @@
+//! Shared helpers for query plan construction.
+
+use uot_expr::ScalarExpr;
+use uot_storage::Value;
+use uot_storage::date_from_ymd;
+
+/// A date literal expression.
+pub(crate) fn dl(y: i32, m: u32, d: u32) -> ScalarExpr {
+    ScalarExpr::Literal(Value::Date(date_from_ymd(y, m, d)))
+}
+
+/// `l_extendedprice * (1 - l_discount)` over (ext, disc) column indices.
+pub(crate) fn revenue(ext: usize, disc: usize) -> ScalarExpr {
+    uot_expr::col(ext).mul(uot_expr::lit(1.0).sub(uot_expr::col(disc)))
+}

@@ -1,0 +1,324 @@
+//! TPC-H table schemas with spec-faithful fixed-width types.
+//!
+//! Variable-length `varchar` columns become space-padded `Char(n)` at their
+//! spec maximum — matching the engine's fixed-width row format (and footnote
+//! 2 of the paper). Monetary `decimal(15,2)` columns map to `Float64`.
+
+use std::sync::Arc;
+use uot_storage::{DataType, Schema};
+
+/// `lineitem` column indices.
+pub mod li {
+    /// l_orderkey
+    pub const ORDERKEY: usize = 0;
+    /// l_partkey
+    pub const PARTKEY: usize = 1;
+    /// l_suppkey
+    pub const SUPPKEY: usize = 2;
+    /// l_linenumber
+    pub const LINENUMBER: usize = 3;
+    /// l_quantity
+    pub const QUANTITY: usize = 4;
+    /// l_extendedprice
+    pub const EXTENDEDPRICE: usize = 5;
+    /// l_discount
+    pub const DISCOUNT: usize = 6;
+    /// l_tax
+    pub const TAX: usize = 7;
+    /// l_returnflag
+    pub const RETURNFLAG: usize = 8;
+    /// l_linestatus
+    pub const LINESTATUS: usize = 9;
+    /// l_shipdate
+    pub const SHIPDATE: usize = 10;
+    /// l_commitdate
+    pub const COMMITDATE: usize = 11;
+    /// l_receiptdate
+    pub const RECEIPTDATE: usize = 12;
+    /// l_shipinstruct
+    pub const SHIPINSTRUCT: usize = 13;
+    /// l_shipmode
+    pub const SHIPMODE: usize = 14;
+    /// l_comment
+    pub const COMMENT: usize = 15;
+}
+
+/// `orders` column indices.
+pub mod ord {
+    /// o_orderkey
+    pub const ORDERKEY: usize = 0;
+    /// o_custkey
+    pub const CUSTKEY: usize = 1;
+    /// o_orderstatus
+    pub const ORDERSTATUS: usize = 2;
+    /// o_totalprice
+    pub const TOTALPRICE: usize = 3;
+    /// o_orderdate
+    pub const ORDERDATE: usize = 4;
+    /// o_orderpriority
+    pub const ORDERPRIORITY: usize = 5;
+    /// o_clerk
+    pub const CLERK: usize = 6;
+    /// o_shippriority
+    pub const SHIPPRIORITY: usize = 7;
+    /// o_comment
+    pub const COMMENT: usize = 8;
+}
+
+/// `customer` column indices.
+pub mod cust {
+    /// c_custkey
+    pub const CUSTKEY: usize = 0;
+    /// c_name
+    pub const NAME: usize = 1;
+    /// c_address
+    pub const ADDRESS: usize = 2;
+    /// c_nationkey
+    pub const NATIONKEY: usize = 3;
+    /// c_phone
+    pub const PHONE: usize = 4;
+    /// c_acctbal
+    pub const ACCTBAL: usize = 5;
+    /// c_mktsegment
+    pub const MKTSEGMENT: usize = 6;
+    /// c_comment
+    pub const COMMENT: usize = 7;
+}
+
+/// `part` column indices.
+pub mod part {
+    /// p_partkey
+    pub const PARTKEY: usize = 0;
+    /// p_name
+    pub const NAME: usize = 1;
+    /// p_mfgr
+    pub const MFGR: usize = 2;
+    /// p_brand
+    pub const BRAND: usize = 3;
+    /// p_type
+    pub const TYPE: usize = 4;
+    /// p_size
+    pub const SIZE: usize = 5;
+    /// p_container
+    pub const CONTAINER: usize = 6;
+    /// p_retailprice
+    pub const RETAILPRICE: usize = 7;
+    /// p_comment
+    pub const COMMENT: usize = 8;
+}
+
+/// `supplier` column indices.
+pub mod supp {
+    /// s_suppkey
+    pub const SUPPKEY: usize = 0;
+    /// s_name
+    pub const NAME: usize = 1;
+    /// s_address
+    pub const ADDRESS: usize = 2;
+    /// s_nationkey
+    pub const NATIONKEY: usize = 3;
+    /// s_phone
+    pub const PHONE: usize = 4;
+    /// s_acctbal
+    pub const ACCTBAL: usize = 5;
+    /// s_comment
+    pub const COMMENT: usize = 6;
+}
+
+/// `partsupp` column indices.
+pub mod ps {
+    /// ps_partkey
+    pub const PARTKEY: usize = 0;
+    /// ps_suppkey
+    pub const SUPPKEY: usize = 1;
+    /// ps_availqty
+    pub const AVAILQTY: usize = 2;
+    /// ps_supplycost
+    pub const SUPPLYCOST: usize = 3;
+    /// ps_comment
+    pub const COMMENT: usize = 4;
+}
+
+/// `nation` column indices.
+pub mod nat {
+    /// n_nationkey
+    pub const NATIONKEY: usize = 0;
+    /// n_name
+    pub const NAME: usize = 1;
+    /// n_regionkey
+    pub const REGIONKEY: usize = 2;
+    /// n_comment
+    pub const COMMENT: usize = 3;
+}
+
+/// `region` column indices.
+pub mod reg {
+    /// r_regionkey
+    pub const REGIONKEY: usize = 0;
+    /// r_name
+    pub const NAME: usize = 1;
+    /// r_comment
+    pub const COMMENT: usize = 2;
+}
+
+/// Schema of `lineitem`.
+pub fn lineitem() -> Arc<Schema> {
+    Schema::from_pairs(&[
+        ("l_orderkey", DataType::Int32),
+        ("l_partkey", DataType::Int32),
+        ("l_suppkey", DataType::Int32),
+        ("l_linenumber", DataType::Int32),
+        ("l_quantity", DataType::Float64),
+        ("l_extendedprice", DataType::Float64),
+        ("l_discount", DataType::Float64),
+        ("l_tax", DataType::Float64),
+        ("l_returnflag", DataType::Char(1)),
+        ("l_linestatus", DataType::Char(1)),
+        ("l_shipdate", DataType::Date),
+        ("l_commitdate", DataType::Date),
+        ("l_receiptdate", DataType::Date),
+        ("l_shipinstruct", DataType::Char(25)),
+        ("l_shipmode", DataType::Char(10)),
+        ("l_comment", DataType::Char(44)),
+    ])
+}
+
+/// Schema of `orders`.
+pub fn orders() -> Arc<Schema> {
+    Schema::from_pairs(&[
+        ("o_orderkey", DataType::Int32),
+        ("o_custkey", DataType::Int32),
+        ("o_orderstatus", DataType::Char(1)),
+        ("o_totalprice", DataType::Float64),
+        ("o_orderdate", DataType::Date),
+        ("o_orderpriority", DataType::Char(15)),
+        ("o_clerk", DataType::Char(15)),
+        ("o_shippriority", DataType::Int32),
+        ("o_comment", DataType::Char(79)),
+    ])
+}
+
+/// Schema of `customer`.
+pub fn customer() -> Arc<Schema> {
+    Schema::from_pairs(&[
+        ("c_custkey", DataType::Int32),
+        ("c_name", DataType::Char(25)),
+        ("c_address", DataType::Char(40)),
+        ("c_nationkey", DataType::Int32),
+        ("c_phone", DataType::Char(15)),
+        ("c_acctbal", DataType::Float64),
+        ("c_mktsegment", DataType::Char(10)),
+        ("c_comment", DataType::Char(117)),
+    ])
+}
+
+/// Schema of `part`.
+pub fn part() -> Arc<Schema> {
+    Schema::from_pairs(&[
+        ("p_partkey", DataType::Int32),
+        ("p_name", DataType::Char(55)),
+        ("p_mfgr", DataType::Char(25)),
+        ("p_brand", DataType::Char(10)),
+        ("p_type", DataType::Char(25)),
+        ("p_size", DataType::Int32),
+        ("p_container", DataType::Char(10)),
+        ("p_retailprice", DataType::Float64),
+        ("p_comment", DataType::Char(23)),
+    ])
+}
+
+/// Schema of `supplier`.
+pub fn supplier() -> Arc<Schema> {
+    Schema::from_pairs(&[
+        ("s_suppkey", DataType::Int32),
+        ("s_name", DataType::Char(25)),
+        ("s_address", DataType::Char(40)),
+        ("s_nationkey", DataType::Int32),
+        ("s_phone", DataType::Char(15)),
+        ("s_acctbal", DataType::Float64),
+        ("s_comment", DataType::Char(101)),
+    ])
+}
+
+/// Schema of `partsupp`.
+pub fn partsupp() -> Arc<Schema> {
+    Schema::from_pairs(&[
+        ("ps_partkey", DataType::Int32),
+        ("ps_suppkey", DataType::Int32),
+        ("ps_availqty", DataType::Int32),
+        ("ps_supplycost", DataType::Float64),
+        ("ps_comment", DataType::Char(199)),
+    ])
+}
+
+/// Schema of `nation`.
+pub fn nation() -> Arc<Schema> {
+    Schema::from_pairs(&[
+        ("n_nationkey", DataType::Int32),
+        ("n_name", DataType::Char(25)),
+        ("n_regionkey", DataType::Int32),
+        ("n_comment", DataType::Char(152)),
+    ])
+}
+
+/// Schema of `region`.
+pub fn region() -> Arc<Schema> {
+    Schema::from_pairs(&[
+        ("r_regionkey", DataType::Int32),
+        ("r_name", DataType::Char(25)),
+        ("r_comment", DataType::Char(152)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineitem_indices_match_schema() {
+        let s = lineitem();
+        assert_eq!(s.len(), 16);
+        assert_eq!(s.column(li::ORDERKEY).name, "l_orderkey");
+        assert_eq!(s.column(li::SHIPDATE).name, "l_shipdate");
+        assert_eq!(s.column(li::COMMENT).name, "l_comment");
+        assert_eq!(s.dtype(li::QUANTITY), DataType::Float64);
+        assert_eq!(s.dtype(li::RETURNFLAG), DataType::Char(1));
+    }
+
+    #[test]
+    fn orders_indices_match_schema() {
+        let s = orders();
+        assert_eq!(s.column(ord::ORDERDATE).name, "o_orderdate");
+        assert_eq!(s.column(ord::SHIPPRIORITY).name, "o_shippriority");
+        assert_eq!(s.dtype(ord::ORDERDATE), DataType::Date);
+    }
+
+    #[test]
+    fn tuple_widths_are_spec_scale() {
+        // lineitem: 4*4 + 4*8 + 1 + 1 + 3*4 + 25 + 10 + 44 = 141 bytes
+        assert_eq!(lineitem().tuple_width(), 141);
+        // orders: 4+4+1+8+4+15+15+4+79 = 134
+        assert_eq!(orders().tuple_width(), 134);
+    }
+
+    #[test]
+    fn all_schemas_build() {
+        for (s, cols) in [
+            (customer(), 8),
+            (part(), 9),
+            (supplier(), 7),
+            (partsupp(), 5),
+            (nation(), 4),
+            (region(), 3),
+        ] {
+            assert_eq!(s.len(), cols);
+            assert!(s.tuple_width() > 0);
+        }
+        assert_eq!(part().column(part::BRAND).name, "p_brand");
+        assert_eq!(nation().column(nat::NAME).name, "n_name");
+        assert_eq!(region().column(reg::NAME).name, "r_name");
+        assert_eq!(supplier().column(supp::NATIONKEY).name, "s_nationkey");
+        assert_eq!(customer().column(cust::MKTSEGMENT).name, "c_mktsegment");
+        assert_eq!(partsupp().column(ps::SUPPLYCOST).name, "ps_supplycost");
+    }
+}

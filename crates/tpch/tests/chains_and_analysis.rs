@@ -1,0 +1,124 @@
+//! Tests for the extracted operator chains (Figs. 5/6 substrate) and the
+//! selectivity/projectivity analysis (Tables III/IV substrate).
+
+use uot_core::{Engine, EngineConfig, Uot};
+use uot_storage::BlockFormat;
+use uot_tpch::analysis::{average, lineitem_cases, measure, orders_cases};
+use uot_tpch::{chain_specs, TpchConfig, TpchDb};
+
+fn db() -> TpchDb {
+    TpchDb::generate(TpchConfig {
+        scale_factor: 0.003,
+        block_bytes: 8 * 1024,
+        format: BlockFormat::Column,
+        seed: 11,
+    })
+}
+
+#[test]
+fn chains_build_and_run_under_both_uots() {
+    let db = db();
+    let chains = chain_specs(&db).unwrap();
+    assert!(chains.len() >= 7);
+    for spec in &chains {
+        let low = Engine::new(EngineConfig::serial().with_uot(Uot::LOW))
+            .execute(spec.plan.clone().with_uniform_uot(Uot::LOW))
+            .unwrap();
+        let high = Engine::new(EngineConfig::serial().with_uot(Uot::HIGH))
+            .execute(spec.plan.clone().with_uniform_uot(Uot::HIGH))
+            .unwrap();
+        assert_eq!(
+            low.sorted_rows(),
+            high.sorted_rows(),
+            "chain {} differs across UoT",
+            spec.name
+        );
+        // the probe is the sink and must have run work orders
+        assert!(low.metrics.ops[spec.probe_op].work_orders > 0, "{}", spec.name);
+        assert!(low.metrics.ops[spec.select_op].work_orders > 0);
+        assert!(low.metrics.ops[spec.build_op].work_orders > 0);
+    }
+}
+
+#[test]
+fn q07_chains_have_contrasting_hash_table_sizes() {
+    let db = db();
+    let chains = chain_specs(&db).unwrap();
+    let large = chains.iter().find(|c| c.name == "Q07-large-ht").unwrap();
+    let small = chains.iter().find(|c| c.name == "Q07-small-ht").unwrap();
+    let run = |spec: &uot_tpch::ChainSpec| {
+        Engine::new(EngineConfig::serial())
+            .execute(spec.plan.clone())
+            .unwrap()
+            .metrics
+            .hash_table_bytes[0]
+            .1
+    };
+    let lb = run(large);
+    let sb = run(small);
+    assert!(
+        lb > 10 * sb,
+        "orders hash table ({lb}B) should dwarf supplier's ({sb}B)"
+    );
+}
+
+#[test]
+fn table3_lineitem_profile_matches_paper_regime() {
+    let db = TpchDb::generate(TpchConfig::scale(0.005));
+    let rows: Vec<_> = lineitem_cases()
+        .iter()
+        .map(|c| measure(&db, c).unwrap())
+        .collect();
+    let by = |q: &str| rows.iter().find(|r| r.query == q).unwrap();
+
+    // Paper Table III: Q03 s=53.9, Q07 s=30.4, Q10 s=24.7.
+    assert!((45.0..65.0).contains(&by("Q03").selectivity_pct));
+    assert!((25.0..36.0).contains(&by("Q07").selectivity_pct));
+    assert!((18.0..32.0).contains(&by("Q10").selectivity_pct));
+    // Q19's shipmode/instruct filters land well under 10%.
+    assert!(by("Q19").selectivity_pct < 10.0);
+    // Projectivity is low for every case (the paper's point).
+    for r in &rows {
+        assert!(
+            r.projectivity_pct < 25.0,
+            "{}: projectivity {}",
+            r.query,
+            r.projectivity_pct
+        );
+        assert!(r.total_pct <= r.selectivity_pct);
+    }
+    // The headline: average total memory reduction is a few percent.
+    let avg = average(&rows);
+    assert!(
+        avg.total_pct < 10.0,
+        "average lineitem reduction {}",
+        avg.total_pct
+    );
+}
+
+#[test]
+fn table4_orders_profile_matches_paper_regime() {
+    let db = TpchDb::generate(TpchConfig::scale(0.005));
+    let rows: Vec<_> = orders_cases()
+        .iter()
+        .map(|c| measure(&db, c).unwrap())
+        .collect();
+    let by = |q: &str| rows.iter().find(|r| r.query == q).unwrap();
+    // Paper Table IV: Q03 48.6, Q04 3.8, Q05 15.2, Q08 30.4, Q10 3.8, Q21 48.7.
+    assert!((40.0..60.0).contains(&by("Q03").selectivity_pct));
+    assert!((2.0..7.0).contains(&by("Q04").selectivity_pct));
+    assert!((10.0..20.0).contains(&by("Q05").selectivity_pct));
+    assert!((24.0..36.0).contains(&by("Q08").selectivity_pct));
+    assert!((2.0..7.0).contains(&by("Q10").selectivity_pct));
+    assert!((35.0..60.0).contains(&by("Q21").selectivity_pct));
+    let avg = average(&rows);
+    // Paper average: 1.8% total.
+    assert!(avg.total_pct < 6.0, "average orders reduction {}", avg.total_pct);
+}
+
+#[test]
+fn average_of_empty_is_zero() {
+    let avg = average(&[]);
+    assert_eq!(avg.selectivity_pct, 0.0);
+    assert_eq!(avg.total_pct, 0.0);
+}

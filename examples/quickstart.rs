@@ -1,0 +1,103 @@
+//! Quickstart: build two small tables, run a select → probe → aggregate
+//! query at both ends of the UoT spectrum, and look at the metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+use uot::prelude::*;
+use uot_core::{JoinType, PlanBuilder, Source};
+use uot_expr::{cmp, col, lit, AggSpec, CmpOp};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a dimension table (100 products) and a fact table (50k sales),
+    //    both stored as 4 KB column-store blocks.
+    let products = {
+        let schema = Schema::from_pairs(&[
+            ("product_id", DataType::Int32),
+            ("name", DataType::Char(16)),
+            ("unit_price", DataType::Float64),
+        ]);
+        let mut tb = TableBuilder::new("products", schema, BlockFormat::Column, 4096);
+        for i in 0..100 {
+            tb.append(&[
+                Value::I32(i),
+                Value::Str(format!("product-{i:03}")),
+                Value::F64(5.0 + i as f64),
+            ])?;
+        }
+        Arc::new(tb.finish())
+    };
+    let sales = {
+        let schema = Schema::from_pairs(&[
+            ("product_id", DataType::Int32),
+            ("quantity", DataType::Int32),
+            ("day", DataType::Date),
+        ]);
+        let mut tb = TableBuilder::new("sales", schema, BlockFormat::Column, 4096);
+        for i in 0..50_000i32 {
+            tb.append(&[
+                Value::I32(i % 100),
+                Value::I32(1 + i % 7),
+                Value::Date(date_from_ymd(1995, 1, 1) + i % 365),
+            ])?;
+        }
+        Arc::new(tb.finish())
+    };
+
+    // 2. A plan: sales in Q1'95, joined to products, total quantity per join.
+    //    The builder validates schemas and wiring eagerly.
+    let plan = {
+        let mut pb = PlanBuilder::new();
+        let build = pb.build_hash(Source::Table(products), vec![0], vec![2])?;
+        let filtered = pb.select(
+            Source::Table(sales),
+            cmp(col(2), CmpOp::Lt, lit(Value::Date(date_from_ymd(1995, 4, 1)))),
+            vec![col(0), col(1)],
+            &["product_id", "quantity"],
+        )?;
+        let joined = pb.probe(
+            Source::Op(filtered),
+            build,
+            vec![0],
+            vec![0, 1],
+            vec![0],
+            JoinType::Inner,
+        )?;
+        let agg = pb.aggregate(
+            Source::Op(joined),
+            vec![],
+            vec![AggSpec::count_star(), AggSpec::sum(col(1))],
+            &["sales", "units"],
+        )?;
+        pb.build(agg)?
+    };
+
+    // 3. Run it at both UoT extremes. Same answer, different schedules.
+    for uot in [Uot::LOW, Uot::HIGH] {
+        let engine = uot_core::Engine::new(
+            EngineConfig::parallel(2)
+                .with_block_bytes(4096)
+                .with_uot(uot),
+        );
+        let result = engine.execute(plan.clone().with_uniform_uot(uot))?;
+        println!("--- {uot} ---");
+        println!("result rows: {:?}", result.rows());
+        println!(
+            "wall time: {:?}, work orders: {}, peak temp memory: {} KB",
+            result.metrics.wall_time,
+            result.metrics.tasks.len(),
+            result.metrics.peak_temp_bytes / 1024,
+        );
+        for (id, op) in result.metrics.ops.iter().enumerate() {
+            println!(
+                "  op{id} {:<18} tasks={:<3} avg task={:?}",
+                op.name,
+                op.work_orders,
+                op.avg_task_time()
+            );
+        }
+    }
+    Ok(())
+}
