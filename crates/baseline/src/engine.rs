@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uot_core::hash_table::JoinHashTable;
-use uot_core::ops::builders::{make_builders, into_virtual_block};
+use uot_core::ops::builders::{into_virtual_block, make_builders};
 use uot_core::plan::{JoinType, OperatorKind, QueryPlan, SortKey, Source};
 use uot_core::{EngineError, Result};
 use uot_expr::{gather_from, AggSpec, CmpOp};
@@ -134,9 +134,7 @@ impl BaselineEngine {
             .take()
             .ok_or_else(|| EngineError::Internal("sink produced nothing".into()))?;
         let result = match sink {
-            Materialized::Table(b) => {
-                Arc::try_unwrap(b).unwrap_or_else(|arc| (*arc).clone())
-            }
+            Materialized::Table(b) => Arc::try_unwrap(b).unwrap_or_else(|arc| (*arc).clone()),
             Materialized::Hash(_) => {
                 return Err(EngineError::Internal("sink was a hash table".into()))
             }
@@ -174,9 +172,7 @@ impl BaselineEngine {
                 for c in 0..schema.len() {
                     let mut parts: Vec<ColumnData> = Vec::with_capacity(t.num_blocks());
                     for b in t.blocks() {
-                        parts.push(
-                            uot_expr::gather_all(b, c).map_err(EngineError::from)?,
-                        );
+                        parts.push(uot_expr::gather_all(b, c).map_err(EngineError::from)?);
                     }
                     cols.push(concat_columns(parts, schema.dtype(c)));
                 }
@@ -315,9 +311,10 @@ impl BaselineEngine {
                 let nl = left_out.len();
                 for i in 0..l.num_rows() {
                     for j in 0..r.num_rows() {
-                        if conds.iter().all(|&(lc, cmp, rc)| {
-                            cmp_fields(&l, i, lc, &r, j, rc, cmp)
-                        }) {
+                        if conds
+                            .iter()
+                            .all(|&(lc, cmp, rc)| cmp_fields(&l, i, lc, &r, j, rc, cmp))
+                        {
                             for (k, &c) in left_out.iter().enumerate() {
                                 builders[k].push_from_block(&l, i, c);
                             }
@@ -394,9 +391,7 @@ impl BaselineEngine {
                     (_, Some(col)) => state
                         .update_column(&gather_from(col, &rows))
                         .map_err(EngineError::from)?,
-                    (_, None) => {
-                        return Err(EngineError::Internal("aggregate without arg".into()))
-                    }
+                    (_, None) => return Err(EngineError::Internal("aggregate without arg".into())),
                 }
             }
             groups.insert(key, (group_vals, states));
@@ -431,7 +426,9 @@ impl BaselineEngine {
 /// touched when `group_by` is non-empty, which implies rows exist).
 fn cmp_sort(a: &[Value], b: &[Value], keys: &[SortKey]) -> std::cmp::Ordering {
     for k in keys {
-        let o = a[k.col].partial_cmp(&b[k.col]).unwrap_or(std::cmp::Ordering::Equal);
+        let o = a[k.col]
+            .partial_cmp(&b[k.col])
+            .unwrap_or(std::cmp::Ordering::Equal);
         let o = if k.desc { o.reverse() } else { o };
         if o != std::cmp::Ordering::Equal {
             return o;
@@ -541,7 +538,8 @@ mod tests {
         let s = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Float64)]);
         let mut tb = TableBuilder::new(name, s, BlockFormat::Column, 96);
         for i in 0..n {
-            tb.append(&[Value::I32(i % 10), Value::F64(i as f64)]).unwrap();
+            tb.append(&[Value::I32(i % 10), Value::F64(i as f64)])
+                .unwrap();
         }
         Arc::new(tb.finish())
     }
@@ -550,14 +548,19 @@ mod tests {
         let dim = table("dim", 10);
         let fact = table("fact", 100);
         let mut pb = PlanBuilder::new();
-        let b = pb
-            .build_hash(Source::Table(dim), vec![0], vec![1])
-            .unwrap();
+        let b = pb.build_hash(Source::Table(dim), vec![0], vec![1]).unwrap();
         let s = pb
             .filter(Source::Table(fact), cmp(col(1), CmpOp::Lt, lit(50.0)))
             .unwrap();
         let p = pb
-            .probe(Source::Op(s), b, vec![0], vec![0, 1], vec![0], JoinType::Inner)
+            .probe(
+                Source::Op(s),
+                b,
+                vec![0],
+                vec![0, 1],
+                vec![0],
+                JoinType::Inner,
+            )
             .unwrap();
         let a = pb
             .aggregate(
@@ -595,7 +598,9 @@ mod tests {
         // at least the table's data size.
         let fact = table("fact2", 1000);
         let mut pb = PlanBuilder::new();
-        let s = pb.filter(Source::Table(fact.clone()), Predicate::True).unwrap();
+        let s = pb
+            .filter(Source::Table(fact.clone()), Predicate::True)
+            .unwrap();
         let plan = pb.build(s).unwrap();
         let r = BaselineEngine::new().execute(&plan).unwrap();
         assert!(r.metrics.peak_bytes >= 1000 * 12);
@@ -626,7 +631,14 @@ mod tests {
                 .build_hash(Source::Table(dim.clone()), vec![0], vec![])
                 .unwrap();
             let p = pb
-                .probe(Source::Table(fact.clone()), b, vec![0], vec![0], vec![], join)
+                .probe(
+                    Source::Table(fact.clone()),
+                    b,
+                    vec![0],
+                    vec![0],
+                    vec![],
+                    join,
+                )
                 .unwrap();
             let plan = pb.build(p).unwrap();
             let r = BaselineEngine::new().execute(&plan).unwrap();
@@ -642,7 +654,13 @@ mod tests {
             .filter(Source::Table(t.clone()), cmp(col(0), CmpOp::Lt, lit(3i32)))
             .unwrap();
         let j = pb
-            .nested_loops(Source::Table(t), inner, vec![(0, CmpOp::Eq, 0)], vec![0], vec![1])
+            .nested_loops(
+                Source::Table(t),
+                inner,
+                vec![(0, CmpOp::Eq, 0)],
+                vec![0],
+                vec![1],
+            )
             .unwrap();
         let plan = pb.build(j).unwrap();
         let r = BaselineEngine::new().execute(&plan).unwrap();
@@ -665,7 +683,12 @@ mod tests {
         let t = table("t7", 0);
         let mut pb = PlanBuilder::new();
         let a = pb
-            .aggregate(Source::Table(t), vec![], vec![AggSpec::count_star()], &["n"])
+            .aggregate(
+                Source::Table(t),
+                vec![],
+                vec![AggSpec::count_star()],
+                &["n"],
+            )
             .unwrap();
         let plan = pb.build(a).unwrap();
         let r = BaselineEngine::new().execute(&plan).unwrap();

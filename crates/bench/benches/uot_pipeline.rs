@@ -6,9 +6,7 @@ use uot_core::{Engine, EngineConfig, Uot};
 use uot_tpch::{chain_specs, TpchConfig, TpchDb};
 
 fn bench_chain_uot(c: &mut Criterion) {
-    let db = TpchDb::generate(
-        TpchConfig::scale(0.005).with_block_bytes(32 * 1024),
-    );
+    let db = TpchDb::generate(TpchConfig::scale(0.005).with_block_bytes(32 * 1024));
     let chains = chain_specs(&db).expect("chains build");
     let chain = &chains[0]; // Q03
     let mut g = c.benchmark_group("q03_chain");

@@ -12,7 +12,13 @@ use uot_tpch::{build_query, QueryId};
 fn main() {
     let mut t = ReportTable::new(
         "Ablation: block pool reuse on/off (Q03, low UoT)",
-        &["block size", "pool on (ms)", "pool off (ms)", "blocks created on", "blocks created off"],
+        &[
+            "block size",
+            "pool on (ms)",
+            "pool off (ms)",
+            "blocks created on",
+            "blocks created off",
+        ],
     );
     for (label, bs) in block_sizes() {
         let db = make_db(bs, BlockFormat::Column);

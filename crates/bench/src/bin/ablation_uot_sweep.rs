@@ -16,7 +16,12 @@ fn main() {
 
     let mut t = ReportTable::new(
         "Ablation: sweeping the UoT spectrum (32KB blocks)",
-        &["uot", "Q03 chain (ms)", "chain peak temp (KB)", "Q03 query (ms)"],
+        &[
+            "uot",
+            "Q03 chain (ms)",
+            "chain peak temp (KB)",
+            "Q03 query (ms)",
+        ],
     );
     let spectrum = [
         Uot::Blocks(1),

@@ -5,14 +5,24 @@
 //! scalability of the large-hash-table probe, because its emergent DOP is
 //! lower (producer and consumer share the workers).
 
-use uot_bench::{block_sizes, engine_config, make_db, measure_query, runs, uot_extremes, us, workers, ReportTable};
+use uot_bench::{
+    block_sizes, engine_config, make_db, measure_query, runs, uot_extremes, us, workers,
+    ReportTable,
+};
 use uot_storage::BlockFormat;
 use uot_tpch::chain_specs;
 
 fn main() {
     let mut table = ReportTable::new(
         "Fig. 10: probe per-task time (µs) by scalability class, block size and UoT",
-        &["probe", "block size", "uot=low", "uot=high", "max DOP low", "max DOP high"],
+        &[
+            "probe",
+            "block size",
+            "uot=low",
+            "uot=high",
+            "max DOP low",
+            "max DOP high",
+        ],
     );
     for (bs_label, bs) in block_sizes() {
         let db = make_db(bs, BlockFormat::Column);

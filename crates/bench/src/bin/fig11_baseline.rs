@@ -17,7 +17,14 @@ fn main() {
     let db = make_db(bs, BlockFormat::Column);
     let mut table = ReportTable::new(
         "Fig. 11: UoT engine (low UoT) vs operator-at-a-time baseline (ms)",
-        &["query", "uot engine", "baseline", "baseline/uot", "peak temp uot (KB)", "peak baseline (KB)"],
+        &[
+            "query",
+            "uot engine",
+            "baseline",
+            "baseline/uot",
+            "peak temp uot (KB)",
+            "peak baseline (KB)",
+        ],
     );
     let mut wins = 0usize;
     let mut total = 0usize;
@@ -45,7 +52,10 @@ fn main() {
             q.label(),
             ms(t_uot),
             ms(t_base),
-            format!("{:.2}", t_base.as_secs_f64() / t_uot.as_secs_f64().max(1e-12)),
+            format!(
+                "{:.2}",
+                t_base.as_secs_f64() / t_uot.as_secs_f64().max(1e-12)
+            ),
             (r_uot.metrics.peak_temp_bytes / 1024).to_string(),
             (r_base.metrics.peak_bytes / 1024).to_string(),
         ]);

@@ -38,7 +38,11 @@ fn main() {
             .expect("chain runs");
         for (w, line) in r.metrics.schedule_text(72).lines().enumerate() {
             table.row(vec![
-                if w == 0 { label.to_string() } else { String::new() },
+                if w == 0 {
+                    label.to_string()
+                } else {
+                    String::new()
+                },
                 line.to_string(),
             ]);
         }

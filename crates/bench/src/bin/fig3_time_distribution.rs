@@ -27,10 +27,15 @@ fn main() {
         let cfg = engine_config(128 * 1024, Uot::HIGH, workers());
         let (_, r) = measure_query(&plan, &cfg, runs());
         let dom = r.metrics.dominant_operators();
-        let leaf = |name: &str| name.contains("(lineitem)") || name.contains("(orders)")
-            || name.contains("(customer)") || name.contains("(part)")
-            || name.contains("(supplier)") || name.contains("(nation)")
-            || name.contains("(region)");
+        let leaf = |name: &str| {
+            name.contains("(lineitem)")
+                || name.contains("(orders)")
+                || name.contains("(customer)")
+                || name.contains("(part)")
+                || name.contains("(supplier)")
+                || name.contains("(nation)")
+                || name.contains("(region)")
+        };
         table.row(vec![
             q.label(),
             dom[0].1.clone(),

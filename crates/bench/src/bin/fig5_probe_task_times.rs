@@ -4,8 +4,10 @@
 //! Paper finding: low UoT benefits the probe (its input is hot in cache);
 //! the advantage shrinks as blocks grow.
 
-use uot_bench::{block_sizes, engine_config, make_db, measure_query, runs, us, workers, ReportTable};
 use uot_bench::uot_extremes;
+use uot_bench::{
+    block_sizes, engine_config, make_db, measure_query, runs, us, workers, ReportTable,
+};
 use uot_storage::BlockFormat;
 use uot_tpch::chain_specs;
 

@@ -5,7 +5,10 @@
 //! chain-level gap is smaller (producers dominate), and it closes at large
 //! block sizes.
 
-use uot_bench::{block_sizes, engine_config, make_db, measure_query, ms, runs, uot_extremes, workers, ReportTable};
+use uot_bench::{
+    block_sizes, engine_config, make_db, measure_query, ms, runs, uot_extremes, workers,
+    ReportTable,
+};
 use uot_storage::BlockFormat;
 use uot_tpch::chain_specs;
 

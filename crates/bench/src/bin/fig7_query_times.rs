@@ -5,7 +5,10 @@
 //! vanishes as the block size grows; performance improves with block size
 //! for both (storage-management overhead shrinks).
 
-use uot_bench::{block_sizes, engine_config, make_db, measure_query, ms, runs, uot_extremes, workers, ReportTable};
+use uot_bench::{
+    block_sizes, engine_config, make_db, measure_query, ms, runs, uot_extremes, workers,
+    ReportTable,
+};
 use uot_storage::BlockFormat;
 use uot_tpch::{all_queries, build_query};
 

@@ -5,7 +5,9 @@
 //! slower than on column-store tables (compare with the 512KB rows of
 //! Fig. 7) because scans drag unreferenced columns through the caches.
 
-use uot_bench::{engine_config, make_db, measure_query, ms, runs, uot_extremes, workers, ReportTable};
+use uot_bench::{
+    engine_config, make_db, measure_query, ms, runs, uot_extremes, workers, ReportTable,
+};
 use uot_storage::BlockFormat;
 use uot_tpch::{all_queries, build_query};
 
@@ -15,7 +17,13 @@ fn main() {
     let col_db = make_db(bs, BlockFormat::Column);
     let mut table = ReportTable::new(
         "Fig. 8: query times (ms), row-store base tables, 512KB blocks",
-        &["query", "uot=low", "uot=high", "column-store (low)", "row/column"],
+        &[
+            "query",
+            "uot=low",
+            "uot=high",
+            "column-store (low)",
+            "row/column",
+        ],
     );
     for q in all_queries() {
         let plan_row = build_query(q, &row_db).expect("plan builds");

@@ -17,7 +17,9 @@ fn main() {
     // Sweep the DOP even beyond the physical core count: on small
     // machines the extra workers timeshare, which shows up as flat or
     // degrading speedup — the "poor scalability" regime of the paper.
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let dops: Vec<usize> = vec![1, 2, 4, 8];
     println!("(physical cores available: {cores})");
 
@@ -39,7 +41,11 @@ fn main() {
                 .iter()
                 .filter(|t| t.op == chain.probe_op)
                 .collect();
-            let start = probe_tasks.iter().map(|t| t.start).min().unwrap_or_default();
+            let start = probe_tasks
+                .iter()
+                .map(|t| t.start)
+                .min()
+                .unwrap_or_default();
             let end = probe_tasks.iter().map(|t| t.end).max().unwrap_or_default();
             let span = (end - start).as_secs_f64() * 1e3;
             let b = *base.get_or_insert(span);

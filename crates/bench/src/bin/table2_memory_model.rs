@@ -38,12 +38,8 @@ fn main() {
         .find(|c| c.query == "Q07")
         .expect("Q07 case");
     let red = measure(&db, &q07).expect("measure");
-    let li_bytes =
-        (db.lineitem().num_rows() * db.lineitem().schema().tuple_width()) as f64;
-    let profile = SelectionProfile::new(
-        red.selectivity_pct / 100.0,
-        red.projectivity_pct / 100.0,
-    );
+    let li_bytes = (db.lineitem().num_rows() * db.lineitem().schema().tuple_width()) as f64;
+    let profile = SelectionProfile::new(red.selectivity_pct / 100.0, red.projectivity_pct / 100.0);
     let footprint = CascadeFootprint {
         hash_table_bytes: hash_bytes.clone(),
         selection_output_bytes: profile.output_bytes(li_bytes),

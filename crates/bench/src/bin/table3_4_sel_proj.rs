@@ -8,8 +8,14 @@ use uot_tpch::analysis::{average, lineitem_cases, measure, orders_cases};
 fn main() {
     let db = make_db(128 * 1024, BlockFormat::Column);
     for (title, cases) in [
-        ("Table III: memory reduction, input table lineitem", lineitem_cases()),
-        ("Table IV: memory reduction, input table orders", orders_cases()),
+        (
+            "Table III: memory reduction, input table lineitem",
+            lineitem_cases(),
+        ),
+        (
+            "Table IV: memory reduction, input table orders",
+            orders_cases(),
+        ),
     ] {
         let mut t = ReportTable::new(
             title,

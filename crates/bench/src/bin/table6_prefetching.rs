@@ -14,7 +14,11 @@ fn main() {
         "Table VI: simulated task cost (kilocycles/task) with prefetcher Yes/No",
         &["block size", "op", "Yes", "No", "Yes/No"],
     );
-    for (label, bs) in [("128KB", 128 * 1024u64), ("512KB", 512 * 1024), ("2MB", 2 * 1024 * 1024)] {
+    for (label, bs) in [
+        ("128KB", 128 * 1024u64),
+        ("512KB", 512 * 1024),
+        ("2MB", 2 * 1024 * 1024),
+    ] {
         // Row-store geometry (the paper's Table VI setting): 141-byte
         // lineitem tuples; hash table sized like an orders join table.
         let gen = TraceGen::new(bs, 141, 64 * 1024 * 1024);

@@ -84,11 +84,7 @@ pub fn engine_config(block_bytes: usize, uot: Uot, workers: usize) -> EngineConf
 /// The paper's measurement protocol: mean of the best 3 of `runs` runs.
 /// Returns the duration plus the last run's full result (for metrics
 /// readouts).
-pub fn measure_query(
-    plan: &QueryPlan,
-    cfg: &EngineConfig,
-    runs: usize,
-) -> (Duration, QueryResult) {
+pub fn measure_query(plan: &QueryPlan, cfg: &EngineConfig, runs: usize) -> (Duration, QueryResult) {
     let engine = Engine::new(cfg.clone());
     let mut times = Vec::with_capacity(runs);
     let mut last = None;

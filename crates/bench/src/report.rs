@@ -1,10 +1,35 @@
 //! Experiment output: aligned text tables, JSON dumps, platform info.
 
-use serde::Serialize;
 use std::io::Write;
 
+/// Escape a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", cells.join(","))
+}
+
 /// A simple column-aligned result table that can also serialize to JSON.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment title (e.g. "Fig. 7: query execution times").
     pub title: String,
@@ -62,12 +87,24 @@ impl Table {
         out
     }
 
+    /// Serialize to a JSON object (`{"title": ..., "headers": [...],
+    /// "rows": [[...]]}`) without external dependencies.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self.rows.iter().map(|r| json_str_array(r)).collect();
+        format!(
+            "{{\"title\":{},\"headers\":{},\"rows\":[{}]}}",
+            json_str(&self.title),
+            json_str_array(&self.headers),
+            rows.join(",")
+        )
+    }
+
     /// Print to stdout and, if the process got a CLI path argument, dump
     /// JSON there too (appending when several tables are emitted).
     pub fn emit(&self) {
         println!("{}", self.render());
         if let Some(path) = std::env::args().nth(1) {
-            let json = serde_json::to_string_pretty(self).expect("table serializes");
+            let json = self.to_json();
             let mut f = std::fs::OpenOptions::new()
                 .create(true)
                 .append(true)
@@ -79,7 +116,7 @@ impl Table {
 }
 
 /// The Table V analogue: what platform this run actually used.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PlatformInfo {
     /// Logical CPU count.
     pub cpus: usize,
@@ -123,10 +160,7 @@ impl PlatformInfo {
             format!("TPC-H scale factor {}", self.scale_factor),
         ]);
         t.row(vec!["Workers".into(), self.workers.to_string()]);
-        t.row(vec![
-            "Block sizes".into(),
-            self.block_sizes.join(", "),
-        ]);
+        t.row(vec!["Block sizes".into(), self.block_sizes.join(", ")]);
         t.row(vec![
             "UoT values".into(),
             "low = 1 block, high = full table".into(),
@@ -172,7 +206,18 @@ mod tests {
     fn table_serializes_to_json() {
         let mut t = Table::new("j", &["a"]);
         t.row(vec!["1".into()]);
-        let j = serde_json::to_string(&t).unwrap();
+        let j = t.to_json();
         assert!(j.contains("\"title\":\"j\""));
+        assert!(j.contains("\"headers\":[\"a\"]"));
+        assert!(j.contains("\"rows\":[[\"1\"]]"));
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        let mut t = Table::new("quote \" and \\ and\nnewline", &["h"]);
+        t.row(vec!["\tcell".into()]);
+        let j = t.to_json();
+        assert!(j.contains("quote \\\" and \\\\ and\\nnewline"));
+        assert!(j.contains("\\tcell"));
     }
 }

@@ -271,7 +271,7 @@ mod tests {
     #[test]
     fn working_set_bigger_than_cache_thrashes() {
         let mut c = tiny(); // 512 B
-        // 2 KB working set, sequential, twice: second pass still misses.
+                            // 2 KB working set, sequential, twice: second pass still misses.
         for pass in 0..2 {
             for line in 0..32u64 {
                 let hit = c.access(line * 64);

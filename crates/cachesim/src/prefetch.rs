@@ -217,7 +217,7 @@ mod tests {
         let mut p = StridePrefetcher::new(stride_only());
         let region_a = 0u64;
         let region_b = 1 << 20; // far region
-        // interleave two sequential streams
+                                // interleave two sequential streams
         p.observe(region_a, 64);
         p.observe(region_b, 64);
         p.observe(region_a + 64, 64);
@@ -239,7 +239,7 @@ mod tests {
         p.observe(0, 64); // stream A
         p.observe(1 << 20, 64); // stream B
         p.observe(2 << 20, 64); // evicts A (LRU)
-        // A must re-learn from scratch: next two accesses fire nothing.
+                                // A must re-learn from scratch: next two accesses fire nothing.
         assert!(p.observe(64, 64).is_empty());
         assert!(p.observe(128, 64).is_empty());
         assert_eq!(p.observe(192, 64).len(), 4);

@@ -1,7 +1,8 @@
 //! The engine facade: configuration, execution, results.
 
+use crate::error::EngineError;
 use crate::metrics::QueryMetrics;
-use crate::plan::QueryPlan;
+use crate::plan::{OperatorKind, QueryPlan};
 use crate::scheduler::{run_parallel, run_serial, SchedulerConfig};
 use crate::state::ExecContext;
 use crate::uot::Uot;
@@ -153,8 +154,42 @@ impl Engine {
         &self.config
     }
 
+    /// Validate the configuration against `plan` before running anything.
+    /// Catches mistakes that would otherwise surface as confusing mid-query
+    /// failures: a worker pool of zero threads, or temporary blocks too
+    /// small to hold even one output tuple of some operator.
+    fn validate(&self, plan: &QueryPlan) -> Result<()> {
+        if let ExecMode::Parallel { workers: 0 } = self.config.mode {
+            return Err(EngineError::Config(
+                "parallel mode requires at least 1 worker (got workers=0)".into(),
+            ));
+        }
+        if let Some(0) = self.config.max_dop_per_op {
+            return Err(EngineError::Config(
+                "max_dop_per_op=0 would make every operator unschedulable".into(),
+            ));
+        }
+        for (id, op) in plan.ops().iter().enumerate() {
+            // Builds materialize into hash tables, not pool blocks; every
+            // other operator writes output tuples into `block_bytes`-sized
+            // temporaries and needs room for at least one tuple.
+            if matches!(op.kind, OperatorKind::BuildHash { .. }) {
+                continue;
+            }
+            let width = op.out_schema.tuple_width();
+            if width > self.config.block_bytes {
+                return Err(EngineError::Config(format!(
+                    "block_bytes={} cannot hold one {}-byte tuple of op{} ({})",
+                    self.config.block_bytes, width, id, op.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Execute `plan` and return the materialized result.
     pub fn execute(&self, plan: QueryPlan) -> Result<QueryResult> {
+        self.validate(&plan)?;
         let tracker = MemoryTracker::new();
         let pool = BlockPool::new(tracker);
         pool.set_reuse_enabled(self.config.pool_reuse);
@@ -172,7 +207,7 @@ impl Engine {
                 ExecMode::Serial => 1,
                 ExecMode::Parallel { workers } => workers.max(1),
             },
-            default_uot: self.config.default_uot,
+            default_uot: self.config.default_uot.normalized(),
             max_dop_per_op: self.config.max_dop_per_op,
         };
         let (blocks, metrics) = match self.config.mode {
@@ -205,7 +240,8 @@ mod tests {
         let s = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Float64)]);
         let mut tb = TableBuilder::new(name, s, BlockFormat::Column, 96); // 8 rows/block
         for i in 0..n {
-            tb.append(&[Value::I32(i), Value::F64(i as f64 * 2.0)]).unwrap();
+            tb.append(&[Value::I32(i), Value::F64(i as f64 * 2.0)])
+                .unwrap();
         }
         Arc::new(tb.finish())
     }
@@ -214,9 +250,7 @@ mod tests {
         let dim = table("dim", 20);
         let fact = table("fact", 200);
         let mut pb = PlanBuilder::new();
-        let b = pb
-            .build_hash(Source::Table(dim), vec![0], vec![1])
-            .unwrap();
+        let b = pb.build_hash(Source::Table(dim), vec![0], vec![1]).unwrap();
         let s = pb
             .filter(Source::Table(fact), cmp(col(0), CmpOp::Lt, lit(100i32)))
             .unwrap();
@@ -300,7 +334,9 @@ mod tests {
             .sort(Source::Op(s), vec![SortKey::desc(0)], Some(4))
             .unwrap();
         let plan = pb.build(so).unwrap();
-        let r = Engine::new(EngineConfig::parallel(4)).execute(plan).unwrap();
+        let r = Engine::new(EngineConfig::parallel(4))
+            .execute(plan)
+            .unwrap();
         let ks: Vec<i32> = r.rows().iter().map(|row| row[0].as_i32()).collect();
         assert_eq!(ks, vec![9, 8, 7, 6]);
         assert_eq!(r.num_rows(), 4);
@@ -324,6 +360,51 @@ mod tests {
         let r = Engine::new(cfg).execute(plan()).unwrap();
         assert_eq!(r.rows().len(), 1);
         assert_eq!(r.metrics.pool.reused, 0);
+    }
+
+    #[test]
+    fn zero_workers_is_a_config_error() {
+        let err = Engine::new(EngineConfig::parallel(0))
+            .execute(plan())
+            .unwrap_err();
+        match err {
+            crate::EngineError::Config(msg) => assert!(msg.contains("workers=0"), "{msg}"),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_dop_cap_is_a_config_error() {
+        let cfg = EngineConfig {
+            max_dop_per_op: Some(0),
+            mode: ExecMode::Serial,
+            ..Default::default()
+        };
+        let err = Engine::new(cfg).execute(plan()).unwrap_err();
+        assert!(matches!(err, crate::EngineError::Config(_)), "{err:?}");
+    }
+
+    #[test]
+    fn undersized_blocks_are_a_config_error() {
+        // The plan's widest tuple is 12 bytes (Int32 + Float64); 8-byte
+        // temporary blocks cannot hold a single output tuple.
+        let err = Engine::new(EngineConfig::serial().with_block_bytes(8))
+            .execute(plan())
+            .unwrap_err();
+        match err {
+            crate::EngineError::Config(msg) => {
+                assert!(msg.contains("block_bytes=8"), "{msg}");
+                assert!(msg.contains("tuple"), "{msg}");
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_uot_is_normalized_not_rejected() {
+        let cfg = EngineConfig::serial().with_uot(Uot::Blocks(0));
+        let r = Engine::new(cfg).execute(plan()).unwrap();
+        assert_eq!(r.rows().len(), 1);
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub enum EngineError {
     /// Structural plan problem (e.g. an operator output consumed twice, or
     /// the sink has a consumer).
     InvalidPlan(String),
+    /// Invalid engine configuration for the plan being executed (zero
+    /// workers, a block size too small to hold one tuple, ...). Raised by
+    /// up-front validation before any work order runs.
+    Config(String),
     /// Execution-time invariant violation.
     Internal(String),
 }
@@ -35,6 +39,7 @@ impl fmt::Display for EngineError {
                 write!(f, "operator {by} references invalid operator {referenced}")
             }
             EngineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            EngineError::Config(msg) => write!(f, "invalid engine configuration: {msg}"),
             EngineError::Internal(msg) => write!(f, "internal engine error: {msg}"),
         }
     }
@@ -77,5 +82,8 @@ mod tests {
         assert!(EngineError::InvalidPlan("no sink".into())
             .to_string()
             .contains("no sink"));
+        let e = EngineError::Config("workers must be >= 1".into());
+        assert!(e.to_string().contains("invalid engine configuration"));
+        assert!(e.to_string().contains("workers must be >= 1"));
     }
 }

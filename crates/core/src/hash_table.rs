@@ -138,7 +138,13 @@ impl JoinHashTable {
             let shard = &self.shards[self.shard_of(&key)];
             let mut guard = shard.write();
             let idx = (guard.arena.len() / w.max(1)) as u32;
-            encode_row(&mut guard.arena, block, row, payload_cols, &self.payload_schema);
+            encode_row(
+                &mut guard.arena,
+                block,
+                row,
+                payload_cols,
+                &self.payload_schema,
+            );
             guard.map.entry(key).or_default().push(idx);
         }
         self.entries.fetch_add(n, Ordering::Relaxed);
@@ -266,7 +272,10 @@ mod tests {
         // key 1 matches rows 1 and 5
         let mut got = vec![];
         let n = ht.probe_key(&HashKey::from_i32(1), |p| {
-            got.push((String::from_utf8_lossy(p.char_at(0)).trim_end().to_string(), p.f64_at(1)));
+            got.push((
+                String::from_utf8_lossy(p.char_at(0)).trim_end().to_string(),
+                p.f64_at(1),
+            ));
         });
         assert_eq!(n, 2);
         got.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());

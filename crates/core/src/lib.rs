@@ -32,6 +32,7 @@
 //!   the paper's figures are made of.
 
 pub mod bloom;
+pub mod edge;
 pub mod engine;
 pub mod error;
 pub mod hash_table;
@@ -41,15 +42,21 @@ pub mod output;
 pub mod plan;
 pub mod scheduler;
 pub mod state;
+pub mod topology;
 pub mod uot;
 pub mod work_order;
 
 pub use bloom::BloomFilter;
+pub use edge::{EdgeDest, TransferAction, TransferEdge};
 pub use engine::{Engine, EngineConfig, ExecMode, QueryResult};
 pub use error::EngineError;
 pub use hash_table::JoinHashTable;
 pub use metrics::{OperatorMetrics, QueryMetrics, TaskRecord};
-pub use plan::{JoinType, LipFilter, OpId, Operator, OperatorKind, PlanBuilder, QueryPlan, SortKey, Source};
+pub use plan::{
+    JoinType, LipFilter, OpId, Operator, OperatorKind, PlanBuilder, QueryPlan, SortKey, Source,
+};
+pub use scheduler::{MetricsObserver, NoopObserver, SchedulerCore, SchedulerObserver};
+pub use topology::{Dependent, PlanTopology};
 pub use uot::Uot;
 pub use work_order::{WorkKind, WorkOrder};
 

@@ -65,7 +65,11 @@ impl OperatorMetrics {
 
     /// Longest work-order duration.
     pub fn max_task_time(&self) -> Duration {
-        self.task_times.iter().max().copied().unwrap_or(Duration::ZERO)
+        self.task_times
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(Duration::ZERO)
     }
 }
 

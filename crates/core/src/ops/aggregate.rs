@@ -186,9 +186,7 @@ fn stream_input_schema(ctx: &ExecContext, op: usize) -> Arc<uot_storage::Schema>
 /// Total order over value rows (used for deterministic group output).
 pub(crate) fn cmp_value_rows(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
     for (x, y) in a.iter().zip(b) {
-        let ord = x
-            .partial_cmp(y)
-            .unwrap_or(std::cmp::Ordering::Equal);
+        let ord = x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal);
         if ord != std::cmp::Ordering::Equal {
             return ord;
         }

@@ -26,7 +26,8 @@ pub fn execute(
             )))
         }
     };
-    ctx.hash_table(op).insert_block(block, key_cols, payload_cols)?;
+    ctx.hash_table(op)
+        .insert_block(block, key_cols, payload_cols)?;
     if let Some(bloom) = ctx.runtimes[op].bloom.as_ref() {
         bloom.insert_block(block, key_cols)?;
     }
@@ -46,7 +47,8 @@ mod tests {
         let s = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Float64)]);
         let mut tb = TableBuilder::new("dim", s, BlockFormat::Column, 1 << 10);
         for i in 0..50 {
-            tb.append(&[Value::I32(i % 10), Value::F64(i as f64)]).unwrap();
+            tb.append(&[Value::I32(i % 10), Value::F64(i as f64)])
+                .unwrap();
         }
         Arc::new(tb.finish())
     }

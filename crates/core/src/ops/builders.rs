@@ -115,10 +115,7 @@ pub fn make_builders(schema: &Schema) -> Vec<ColBuilder> {
 }
 
 /// Wrap finished builders as a virtual column block of `schema`.
-pub fn into_virtual_block(
-    schema: Arc<Schema>,
-    builders: Vec<ColBuilder>,
-) -> Result<StorageBlock> {
+pub fn into_virtual_block(schema: Arc<Schema>, builders: Vec<ColBuilder>) -> Result<StorageBlock> {
     let rows = builders.first().map(|b| b.len()).unwrap_or(0);
     debug_assert!(builders.iter().all(|b| b.len() == rows));
     let cols: Vec<ColumnData> = builders.into_iter().map(ColBuilder::into_data).collect();

@@ -19,7 +19,9 @@ pub fn execute(
     block: &Arc<StorageBlock>,
 ) -> Result<Vec<StorageBlock>> {
     if !matches!(&ctx.plan.op(op).kind, OperatorKind::Limit { .. }) {
-        return Err(EngineError::Internal("limit work order on non-limit".into()));
+        return Err(EngineError::Internal(
+            "limit work order on non-limit".into(),
+        ));
     }
     let n = block.num_rows();
     if n == 0 {
@@ -34,12 +36,8 @@ pub fn execute(
             return Ok(Vec::new());
         }
         claimed = (n as i64).min(cur);
-        match budget.compare_exchange_weak(
-            cur,
-            cur - claimed,
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-        ) {
+        match budget.compare_exchange_weak(cur, cur - claimed, Ordering::Relaxed, Ordering::Relaxed)
+        {
             Ok(_) => break,
             Err(actual) => cur = actual,
         }

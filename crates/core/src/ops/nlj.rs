@@ -129,7 +129,9 @@ mod tests {
         let lt = table("left1", 4);
         let rt = table("right1", 3);
         let mut pb = PlanBuilder::new();
-        let r = pb.filter(Source::Table(rt.clone()), Predicate::True).unwrap();
+        let r = pb
+            .filter(Source::Table(rt.clone()), Predicate::True)
+            .unwrap();
         let j = pb
             .nested_loops(Source::Table(lt.clone()), r, conds, vec![0], vec![0])
             .unwrap();
@@ -160,7 +162,10 @@ mod tests {
 
     #[test]
     fn equi_condition() {
-        assert_eq!(run_nlj(vec![(0, CmpOp::Eq, 0)]), vec![(0, 0), (1, 1), (2, 2)]);
+        assert_eq!(
+            run_nlj(vec![(0, CmpOp::Eq, 0)]),
+            vec![(0, 0), (1, 1), (2, 2)]
+        );
     }
 
     #[test]

@@ -19,23 +19,29 @@ pub fn execute(
     op: usize,
     block: &Arc<StorageBlock>,
 ) -> Result<Vec<StorageBlock>> {
-    let (build, probe_key_cols, probe_out_cols, build_out_cols, join) =
-        match &ctx.plan.op(op).kind {
-            OperatorKind::Probe {
-                build,
-                probe_key_cols,
-                probe_out_cols,
-                build_out_cols,
-                join,
-                ..
-            } => (*build, probe_key_cols, probe_out_cols, build_out_cols, *join),
-            other => {
-                return Err(EngineError::Internal(format!(
-                    "probe work order on {}",
-                    other.kind_label()
-                )))
-            }
-        };
+    let (build, probe_key_cols, probe_out_cols, build_out_cols, join) = match &ctx.plan.op(op).kind
+    {
+        OperatorKind::Probe {
+            build,
+            probe_key_cols,
+            probe_out_cols,
+            build_out_cols,
+            join,
+            ..
+        } => (
+            *build,
+            probe_key_cols,
+            probe_out_cols,
+            build_out_cols,
+            *join,
+        ),
+        other => {
+            return Err(EngineError::Internal(format!(
+                "probe work order on {}",
+                other.kind_label()
+            )))
+        }
+    };
     let ht = ctx.hash_table(build);
     let out_schema = ctx.plan.op(op).out_schema.clone();
     let mut builders = make_builders(&out_schema);
@@ -91,7 +97,8 @@ mod tests {
         let s = Schema::from_pairs(&[("k", DataType::Int32), ("name", DataType::Char(4))]);
         let mut tb = TableBuilder::new("dim", s, BlockFormat::Column, 1 << 10);
         for i in 0..4 {
-            tb.append(&[Value::I32(i), Value::Str(format!("d{i}"))]).unwrap();
+            tb.append(&[Value::I32(i), Value::Str(format!("d{i}"))])
+                .unwrap();
         }
         Arc::new(tb.finish())
     }
@@ -100,12 +107,16 @@ mod tests {
         let s = Schema::from_pairs(&[("fk", DataType::Int32), ("amt", DataType::Float64)]);
         let mut tb = TableBuilder::new("fact", s, BlockFormat::Column, 1 << 10);
         for i in 0..12 {
-            tb.append(&[Value::I32(i % 6), Value::F64(i as f64)]).unwrap();
+            tb.append(&[Value::I32(i % 6), Value::F64(i as f64)])
+                .unwrap();
         }
         Arc::new(tb.finish())
     }
 
-    fn setup(join: JoinType, build_out: Vec<usize>) -> (ExecContext, usize, usize, Arc<Table>, Arc<Table>) {
+    fn setup(
+        join: JoinType,
+        build_out: Vec<usize>,
+    ) -> (ExecContext, usize, usize, Arc<Table>, Arc<Table>) {
         let d = dim();
         let f = fact();
         let mut pb = PlanBuilder::new();

@@ -99,12 +99,8 @@ mod tests {
         ]);
         let mut tb = TableBuilder::new("t", s, format, 1 << 12);
         for i in 0..100 {
-            tb.append(&[
-                Value::I32(i),
-                Value::F64(100.0 + i as f64),
-                Value::F64(0.1),
-            ])
-            .unwrap();
+            tb.append(&[Value::I32(i), Value::F64(100.0 + i as f64), Value::F64(0.1)])
+                .unwrap();
         }
         Arc::new(tb.finish())
     }

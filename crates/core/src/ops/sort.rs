@@ -39,9 +39,7 @@ pub fn execute(ctx: &ExecContext, op: usize) -> Result<Vec<StorageBlock>> {
 /// output order is deterministic across executions and UoT settings.
 fn compare_rows(a: &[Value], b: &[Value], keys: &[SortKey]) -> Ordering {
     for k in keys {
-        let ord = a[k.col]
-            .partial_cmp(&b[k.col])
-            .unwrap_or(Ordering::Equal);
+        let ord = a[k.col].partial_cmp(&b[k.col]).unwrap_or(Ordering::Equal);
         let ord = if k.desc { ord.reverse() } else { ord };
         if ord != Ordering::Equal {
             return ord;
@@ -68,11 +66,7 @@ mod tests {
         Arc::new(tb.finish())
     }
 
-    fn run_sort(
-        t: &Arc<Table>,
-        keys: Vec<SortKey>,
-        limit: Option<usize>,
-    ) -> Vec<Vec<Value>> {
+    fn run_sort(t: &Arc<Table>, keys: Vec<SortKey>, limit: Option<usize>) -> Vec<Vec<Value>> {
         let mut pb = PlanBuilder::new();
         let s = pb.sort(Source::Table(t.clone()), keys, limit).unwrap();
         let plan = Arc::new(pb.build(s).unwrap());
@@ -109,7 +103,10 @@ mod tests {
     fn compound_keys() {
         let t = table(&[(1, 5.0), (2, 1.0), (1, 1.0), (2, 5.0)]);
         let rows = run_sort(&t, vec![SortKey::asc(0), SortKey::desc(1)], None);
-        let pairs: Vec<(i32, f64)> = rows.iter().map(|r| (r[0].as_i32(), r[1].as_f64())).collect();
+        let pairs: Vec<(i32, f64)> = rows
+            .iter()
+            .map(|r| (r[0].as_i32(), r[1].as_f64()))
+            .collect();
         assert_eq!(pairs, vec![(1, 5.0), (1, 1.0), (2, 5.0), (2, 1.0)]);
     }
 

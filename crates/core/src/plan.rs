@@ -9,6 +9,7 @@
 //! its producer must accumulate before the scheduler hands them over.
 
 use crate::error::EngineError;
+use crate::topology::PlanTopology;
 use crate::uot::Uot;
 use crate::Result;
 use std::sync::Arc;
@@ -226,9 +227,9 @@ pub struct Operator {
 pub struct QueryPlan {
     ops: Vec<Operator>,
     sink: OpId,
-    /// `consumers[i]` = operators reading operator `i`'s output (streamed or
-    /// blocking). At most one each by validation.
-    consumers: Vec<Option<OpId>>,
+    /// Indexed adjacency (consumers, reverse scheduling dependencies,
+    /// critical-path flags), precomputed at build time.
+    topology: PlanTopology,
 }
 
 impl QueryPlan {
@@ -244,7 +245,13 @@ impl QueryPlan {
 
     /// The single consumer of operator `id`, if any.
     pub fn consumer_of(&self, id: OpId) -> Option<OpId> {
-        self.consumers[id]
+        self.topology.consumer_of(id)
+    }
+
+    /// The precomputed plan topology (consumers, reverse dependencies,
+    /// critical-path flags).
+    pub fn topology(&self) -> &PlanTopology {
+        &self.topology
     }
 
     /// The operator at `id`.
@@ -268,16 +275,18 @@ impl QueryPlan {
     }
 
     /// Override the input-edge UoT of every operator (experiment sweeps).
+    /// `Uot::Blocks(0)` is normalized to `Blocks(1)`.
     pub fn with_uniform_uot(mut self, uot: Uot) -> QueryPlan {
         for op in &mut self.ops {
-            op.uot = Some(uot);
+            op.uot = Some(uot.normalized());
         }
         self
     }
 
-    /// Override the input-edge UoT of one operator.
+    /// Override the input-edge UoT of one operator. `Uot::Blocks(0)` is
+    /// normalized to `Blocks(1)`.
     pub fn with_op_uot(mut self, id: OpId, uot: Uot) -> QueryPlan {
-        self.ops[id].uot = Some(uot);
+        self.ops[id].uot = Some(uot.normalized());
         self
     }
 }
@@ -358,7 +367,9 @@ impl PlanBuilder {
     ) -> Result<OpId> {
         let in_schema = self.source_schema(&source)?;
         if projections.is_empty() {
-            return Err(EngineError::InvalidPlan("select with no projections".into()));
+            return Err(EngineError::InvalidPlan(
+                "select with no projections".into(),
+            ));
         }
         if out_names.len() != projections.len() {
             return Err(EngineError::InvalidPlan(format!(
@@ -401,7 +412,11 @@ impl PlanBuilder {
     pub fn filter(&mut self, source: Source, predicate: Predicate) -> Result<OpId> {
         let in_schema = self.source_schema(&source)?;
         let projections: Vec<ScalarExpr> = (0..in_schema.len()).map(uot_expr::col).collect();
-        let names: Vec<&str> = in_schema.columns().iter().map(|c| c.name.as_str()).collect();
+        let names: Vec<&str> = in_schema
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
         self.select(source, predicate, projections, &names)
     }
 
@@ -575,7 +590,9 @@ impl PlanBuilder {
     ) -> Result<OpId> {
         let in_schema = self.source_schema(&source)?;
         if aggs.is_empty() {
-            return Err(EngineError::InvalidPlan("aggregate with no aggregates".into()));
+            return Err(EngineError::InvalidPlan(
+                "aggregate with no aggregates".into(),
+            ));
         }
         if aggs.len() != agg_names.len() {
             return Err(EngineError::InvalidPlan(format!(
@@ -703,9 +720,10 @@ impl PlanBuilder {
         self.ops[id].name = name.into();
     }
 
-    /// Set the input-edge UoT of an operator.
+    /// Set the input-edge UoT of an operator. `Uot::Blocks(0)` is normalized
+    /// to `Blocks(1)`.
     pub fn set_uot(&mut self, id: OpId, uot: Uot) {
-        self.ops[id].uot = Some(uot);
+        self.ops[id].uot = Some(uot.normalized());
     }
 
     /// Finish the plan with `sink` as the result operator.
@@ -753,10 +771,17 @@ impl PlanBuilder {
                 "the sink operator must not have a consumer".into(),
             ));
         }
+        // Normalize degenerate UoT overrides here so downstream code never
+        // sees a zero threshold.
+        let mut ops = self.ops;
+        for op in &mut ops {
+            op.uot = op.uot.map(Uot::normalized);
+        }
+        let topology = PlanTopology::compute(&ops, consumers);
         Ok(QueryPlan {
-            ops: self.ops,
+            ops,
             sink,
-            consumers,
+            topology,
         })
     }
 }
@@ -812,7 +837,14 @@ mod tests {
             .filter(Source::Table(probe_t), cmp(col(0), CmpOp::Lt, lit(10i32)))
             .unwrap();
         let p = pb
-            .probe(Source::Op(s), b, vec![0], vec![0, 2], vec![1], JoinType::Inner)
+            .probe(
+                Source::Op(s),
+                b,
+                vec![0],
+                vec![0, 2],
+                vec![1],
+                JoinType::Inner,
+            )
             .unwrap();
         let plan = pb.build(p).unwrap();
         assert_eq!(plan.consumer_of(b), Some(p));
@@ -867,9 +899,18 @@ mod tests {
         // sort without keys
         assert!(pb.sort(Source::Table(t.clone()), vec![], None).is_err());
         // probe of non-build
-        let s = pb.filter(Source::Table(t.clone()), Predicate::True).unwrap();
+        let s = pb
+            .filter(Source::Table(t.clone()), Predicate::True)
+            .unwrap();
         assert!(pb
-            .probe(Source::Table(t.clone()), s, vec![0], vec![0], vec![], JoinType::Inner)
+            .probe(
+                Source::Table(t.clone()),
+                s,
+                vec![0],
+                vec![0],
+                vec![],
+                JoinType::Inner
+            )
             .is_err());
         // semi join cannot emit build columns
         let b = pb
@@ -902,9 +943,7 @@ mod tests {
     fn build_hash_stream_cannot_be_consumed_as_blocks() {
         let t = table("t", 10);
         let mut pb = PlanBuilder::new();
-        let b = pb
-            .build_hash(Source::Table(t), vec![0], vec![0])
-            .unwrap();
+        let b = pb.build_hash(Source::Table(t), vec![0], vec![0]).unwrap();
         assert!(pb.filter(Source::Op(b), Predicate::True).is_err());
         assert!(pb.build(b).is_err()); // build cannot be the sink
     }
@@ -914,13 +953,19 @@ mod tests {
         let t = table("t", 10);
         // dangling operator
         let mut pb = PlanBuilder::new();
-        let _orphan = pb.filter(Source::Table(t.clone()), Predicate::True).unwrap();
-        let s2 = pb.filter(Source::Table(t.clone()), Predicate::True).unwrap();
+        let _orphan = pb
+            .filter(Source::Table(t.clone()), Predicate::True)
+            .unwrap();
+        let s2 = pb
+            .filter(Source::Table(t.clone()), Predicate::True)
+            .unwrap();
         assert!(pb.build(s2).is_err());
 
         // double consumption
         let mut pb = PlanBuilder::new();
-        let s = pb.filter(Source::Table(t.clone()), Predicate::True).unwrap();
+        let s = pb
+            .filter(Source::Table(t.clone()), Predicate::True)
+            .unwrap();
         let _c1 = pb.filter(Source::Op(s), Predicate::True).unwrap();
         let c2 = pb.filter(Source::Op(s), Predicate::True).unwrap();
         assert!(pb.build(c2).is_err());

@@ -2,28 +2,41 @@
 //!
 //! The scheduler is the component the paper actually studies. It tracks block
 //! production per operator and **stages** each producer's completed output
-//! blocks at its consumer's input edge. Only when the staged count reaches
-//! the edge's [`Uot`] threshold are the blocks *transferred* — turned into
-//! consumer work orders (or collected, for blocking consumers). When a
+//! blocks on its outgoing [`TransferEdge`]. Only when the staged count
+//! reaches the edge's [`Uot`] threshold are the blocks *transferred* — turned
+//! into consumer work orders (or collected, for blocking consumers). When a
 //! producer finishes, any partially accumulated UoT flushes (Section III-B).
 //!
 //! Figure 2 of the paper falls directly out of this mechanism: with
 //! `Uot::Blocks(1)` producer and consumer work orders interleave; with
 //! `Uot::Table` the schedule degenerates to operator-at-a-time.
 //!
-//! [`SchedulerCore`] is a synchronous state machine, driven either inline
-//! ([`run_serial`]) or by a scheduler thread with a worker pool
-//! ([`run_parallel`]) — Quickstep's two thread kinds.
+//! Three layers:
+//!
+//! * [`SchedulerCore`] — the synchronous state machine: per-operator state,
+//!   transfer edges, and an indexed [`ReadyQueue`] that picks the next work
+//!   order in O(log #ops) without scanning (per-operator FIFOs plus an
+//!   ordered index of dispatchable operators). Topology questions ("who
+//!   depends on this operator?") are answered by the plan's precomputed
+//!   [`PlanTopology`] instead of rescanning operator definitions.
+//! * [`SchedulerObserver`] — a hook receiving dispatch/completion/transfer
+//!   events. [`MetricsObserver`] (the default) records the `QueryMetrics`
+//!   the paper's figures are made of; [`NoopObserver`] runs the machine bare.
+//! * [`run_serial`] / [`run_parallel`] — thin drivers: inline execution for
+//!   determinism, or a scheduler thread with a worker pool (Quickstep's two
+//!   thread kinds).
 
+use crate::edge::{TransferAction, TransferEdge};
 use crate::error::EngineError;
 use crate::metrics::{OperatorMetrics, QueryMetrics, TaskRecord};
 use crate::ops::execute_work_order;
-use crate::plan::{OperatorKind, QueryPlan, Source};
+use crate::plan::{OpId, OperatorKind, QueryPlan};
 use crate::state::ExecContext;
+use crate::topology::Dependent;
 use crate::uot::Uot;
 use crate::work_order::{WorkKind, WorkOrder};
 use crate::Result;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uot_storage::StorageBlock;
@@ -50,7 +63,148 @@ impl Default for SchedulerConfig {
     }
 }
 
-/// Scheduler-side state of one operator.
+/// Observer of scheduler events. All methods default to no-ops; implement
+/// the ones you care about. The default engine path records metrics through
+/// [`MetricsObserver`]; benchmarks can run the bare machine with
+/// [`NoopObserver`].
+pub trait SchedulerObserver {
+    /// A work order was handed to a worker.
+    fn work_order_dispatched(&mut self, _wo: &WorkOrder) {}
+    /// A work order finished executing.
+    fn work_order_completed(&mut self, _op: OpId, _record: TaskRecord) {}
+    /// An operator produced output blocks (completed or flushed).
+    fn blocks_produced(&mut self, _op: OpId, _blocks: usize, _rows: usize) {}
+    /// Blocks were transferred to an operator's input.
+    fn blocks_transferred(&mut self, _op: OpId, _blocks: usize) {}
+    /// An operator finished completely.
+    fn operator_finished(&mut self, _op: OpId) {}
+}
+
+/// Observer that ignores every event (bare scheduling, e.g. microbenchmarks).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl SchedulerObserver for NoopObserver {}
+
+/// The default observer: accumulates the per-operator and per-task metrics
+/// that [`QueryMetrics`] reports.
+#[derive(Debug)]
+pub struct MetricsObserver {
+    op_metrics: Vec<OperatorMetrics>,
+    tasks: Vec<TaskRecord>,
+}
+
+impl MetricsObserver {
+    /// Metrics storage shaped for `plan`.
+    pub fn new(plan: &QueryPlan) -> Self {
+        MetricsObserver {
+            op_metrics: plan
+                .ops()
+                .iter()
+                .map(|op| OperatorMetrics {
+                    name: op.name.clone(),
+                    kind: op.kind.kind_label().to_string(),
+                    ..Default::default()
+                })
+                .collect(),
+            tasks: Vec::new(),
+        }
+    }
+}
+
+impl SchedulerObserver for MetricsObserver {
+    fn work_order_completed(&mut self, op: OpId, record: TaskRecord) {
+        let m = &mut self.op_metrics[op];
+        m.work_orders += 1;
+        let d = record.duration();
+        m.total_task_time += d;
+        m.task_times.push(d);
+        self.tasks.push(record);
+    }
+
+    fn blocks_produced(&mut self, op: OpId, blocks: usize, rows: usize) {
+        self.op_metrics[op].produced_blocks += blocks;
+        self.op_metrics[op].produced_rows += rows;
+    }
+
+    fn blocks_transferred(&mut self, op: OpId, blocks: usize) {
+        self.op_metrics[op].input_blocks += blocks;
+    }
+}
+
+/// Indexed dispatch: per-operator FIFO queues plus an ordered set of
+/// operators that currently have dispatchable work.
+///
+/// Policy (identical to the historical full-scan implementation): among
+/// operators with queued work and spare per-operator DOP, pick the
+/// **critical** ones first (blocking prerequisites and their stream
+/// feeders), then the most **downstream** (highest id; plans are built
+/// bottom-up so id order is topological), FIFO within an operator. The
+/// `BTreeSet<(bool, OpId)>` makes that `last()`, so a pop costs O(log #ops)
+/// instead of a scan of every ready work order.
+#[derive(Debug)]
+struct ReadyQueue {
+    per_op: Vec<VecDeque<WorkOrder>>,
+    /// `(critical, op)` for every op with queued work below its DOP cap.
+    dispatchable: BTreeSet<(bool, OpId)>,
+    critical: Vec<bool>,
+    in_flight: Vec<usize>,
+    cap: usize,
+    len: usize,
+}
+
+impl ReadyQueue {
+    fn new(critical: Vec<bool>, max_dop_per_op: Option<usize>) -> Self {
+        let n = critical.len();
+        ReadyQueue {
+            per_op: (0..n).map(|_| VecDeque::new()).collect(),
+            dispatchable: BTreeSet::new(),
+            critical,
+            in_flight: vec![0; n],
+            cap: max_dop_per_op.unwrap_or(usize::MAX).max(1),
+            len: 0,
+        }
+    }
+
+    /// Re-derive `op`'s membership in the dispatchable index.
+    fn refresh(&mut self, op: OpId) {
+        let key = (self.critical[op], op);
+        if !self.per_op[op].is_empty() && self.in_flight[op] < self.cap {
+            self.dispatchable.insert(key);
+        } else {
+            self.dispatchable.remove(&key);
+        }
+    }
+
+    fn push(&mut self, wo: WorkOrder) {
+        let op = wo.op;
+        self.per_op[op].push_back(wo);
+        self.len += 1;
+        self.refresh(op);
+    }
+
+    fn pop(&mut self) -> Option<WorkOrder> {
+        let &(_, op) = self.dispatchable.last()?;
+        let wo = self.per_op[op].pop_front().expect("indexed op has work");
+        self.len -= 1;
+        self.in_flight[op] += 1;
+        self.refresh(op);
+        Some(wo)
+    }
+
+    /// A work order of `op` completed: release its DOP slot.
+    fn complete(&mut self, op: OpId) {
+        self.in_flight[op] = self.in_flight[op].saturating_sub(1);
+        self.refresh(op);
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Scheduler-side state of one operator. (Staging and collected-byte
+/// accounting live on the operator's outgoing [`TransferEdge`].)
 #[derive(Debug, Default)]
 struct OpState {
     /// Unfinished scheduling dependencies (build side, NLJ inner side, LIP
@@ -58,15 +212,10 @@ struct OpState {
     waiting_on: usize,
     /// The streamed producer has finished (base tables count as finished).
     producer_finished: bool,
-    /// Blocks produced for this op but not yet transferred (UoT staging).
-    staged: Vec<Arc<StorageBlock>>,
     /// Blocks transferred but held because the op is not startable yet.
     pending: VecDeque<Arc<StorageBlock>>,
     /// Work orders created and not yet completed.
     outstanding: usize,
-    /// Bytes of tracked blocks parked in `collected` (sort input, NLJ inner
-    /// side), released when this operator finishes.
-    collected_bytes: usize,
     /// The finalize work order has been dispatched (agg/sort).
     finalize_dispatched: bool,
     /// This operator is completely done.
@@ -74,335 +223,24 @@ struct OpState {
 }
 
 /// The synchronous scheduling state machine.
-pub struct SchedulerCore {
+pub struct SchedulerCore<O: SchedulerObserver = MetricsObserver> {
     ctx: Arc<ExecContext>,
-    config: SchedulerConfig,
     states: Vec<OpState>,
-    ready: VecDeque<WorkOrder>,
+    /// Outgoing data edge of each operator, indexed by producer id.
+    edges: Vec<TransferEdge>,
+    queue: ReadyQueue,
     result_blocks: Vec<Arc<StorageBlock>>,
-    op_metrics: Vec<OperatorMetrics>,
-    tasks: Vec<TaskRecord>,
-    in_flight_per_op: Vec<usize>,
-    /// Operators on a blocking-prerequisite path (a build, an NLJ inner
-    /// side, or anything streaming into one): scheduled ahead of ordinary
-    /// work because downstream operators cannot start until they finish.
-    critical: Vec<bool>,
+    observer: O,
     seq: usize,
     unfinished: usize,
 }
 
-impl SchedulerCore {
-    /// Set up scheduling state and enqueue the initial work (base-table
-    /// blocks are all available at query start).
+impl SchedulerCore<MetricsObserver> {
+    /// Set up scheduling state with metrics recording and enqueue the
+    /// initial work (base-table blocks are all available at query start).
     pub fn new(ctx: Arc<ExecContext>, config: SchedulerConfig) -> Self {
-        let plan = ctx.plan.clone();
-        let n = plan.len();
-        let op_metrics = plan
-            .ops()
-            .iter()
-            .map(|op| OperatorMetrics {
-                name: op.name.clone(),
-                kind: op.kind.kind_label().to_string(),
-                ..Default::default()
-            })
-            .collect();
-        let mut core = SchedulerCore {
-            ctx,
-            config,
-            states: (0..n).map(|_| OpState::default()).collect(),
-            ready: VecDeque::new(),
-            result_blocks: Vec::new(),
-            op_metrics,
-            tasks: Vec::new(),
-            in_flight_per_op: vec![0; n],
-            critical: vec![false; n],
-            seq: 0,
-            unfinished: n,
-        };
-        for id in 0..n {
-            let op = &plan.op(id).kind;
-            core.states[id].waiting_on = op.scheduling_deps().len();
-            core.states[id].producer_finished = matches!(op.stream_source(), Source::Table(_));
-        }
-        // Mark scheduling prerequisites (builds, NLJ inner sides, LIP
-        // sources) and their transitive stream feeders as critical. Builders
-        // assign consumers higher ids than producers, so a reverse pass sees
-        // every consumer before its producers.
-        for id in 0..n {
-            for dep in plan.op(id).kind.scheduling_deps() {
-                core.critical[dep] = true;
-            }
-        }
-        for id in (0..n).rev() {
-            if core.critical[id] {
-                if let Source::Op(src) = plan.op(id).kind.stream_source() {
-                    core.critical[*src] = true;
-                }
-            }
-        }
-        // Feed base-table blocks.
-        for id in 0..n {
-            if let Source::Table(t) = plan.op(id).kind.stream_source() {
-                let blocks: Vec<Arc<StorageBlock>> = t.blocks().to_vec();
-                core.transfer_in(id, blocks);
-            }
-        }
-        // Operators with no input at all may already be completable.
-        for id in 0..n {
-            core.check_completion(id);
-        }
-        core
-    }
-
-    /// The plan being scheduled.
-    fn plan(&self) -> &QueryPlan {
-        &self.ctx.plan
-    }
-
-    /// UoT of operator `id`'s input edge.
-    fn uot_of(&self, id: usize) -> Uot {
-        self.plan().op(id).uot.unwrap_or(self.config.default_uot)
-    }
-
-    /// True when every operator has finished.
-    pub fn all_finished(&self) -> bool {
-        self.unfinished == 0
-    }
-
-    /// Number of work orders waiting in the ready queue.
-    pub fn ready_len(&self) -> usize {
-        self.ready.len()
-    }
-
-    /// Pop the next dispatchable work order, honoring the per-operator DOP
-    /// cap if configured.
-    ///
-    /// Policy: **downstream-first** — among eligible work orders, prefer the
-    /// operator furthest down the plan (highest id; plans are built bottom-
-    /// up, so id order is topological). Transferred blocks are consumed while
-    /// still warm and intermediate memory drains promptly; with a low UoT
-    /// this yields exactly the interleaved schedules of the paper's Fig. 2,
-    /// while a high UoT degenerates to operator-at-a-time regardless.
-    pub fn next_work_order(&mut self) -> Option<WorkOrder> {
-        let cap = self.config.max_dop_per_op.unwrap_or(usize::MAX).max(1);
-        let idx = self
-            .ready
-            .iter()
-            .enumerate()
-            .filter(|(_, wo)| self.in_flight_per_op[wo.op] < cap)
-            .max_by(|(_, a), (_, b)| {
-                (self.critical[a.op], a.op, std::cmp::Reverse(a.seq)).cmp(&(
-                    self.critical[b.op],
-                    b.op,
-                    std::cmp::Reverse(b.seq),
-                ))
-            })
-            .map(|(i, _)| i)?;
-        let wo = self.ready.remove(idx).expect("index from max_by");
-        self.in_flight_per_op[wo.op] += 1;
-        Some(wo)
-    }
-
-    /// Handle a completed work order.
-    pub fn on_complete(
-        &mut self,
-        wo: &WorkOrder,
-        produced: Vec<StorageBlock>,
-        record: TaskRecord,
-    ) {
-        self.in_flight_per_op[wo.op] = self.in_flight_per_op[wo.op].saturating_sub(1);
-        self.states[wo.op].outstanding -= 1;
-        // A consumed intermediate block dies here (each block feeds exactly
-        // one stream work order): release its bytes so `peak_temp_bytes`
-        // reflects what is actually live. Base-table blocks were never
-        // charged to the tracker and stay untouched.
-        if let WorkKind::Stream { block } = &wo.kind {
-            if matches!(self.plan().op(wo.op).kind.stream_source(), Source::Op(_)) {
-                self.ctx.pool.tracker().free(block.allocated_bytes());
-            }
-        }
-        let m = &mut self.op_metrics[wo.op];
-        m.work_orders += 1;
-        let d = record.duration();
-        m.total_task_time += d;
-        m.task_times.push(d);
-        self.tasks.push(record);
-        self.route_output(wo.op, produced);
-        self.check_completion(wo.op);
-    }
-
-    /// Route blocks produced by `producer` to their destination: the result
-    /// set (sink), a materialization list (NLJ inner side), or the consumer's
-    /// UoT staging area.
-    fn route_output(&mut self, producer: usize, produced: Vec<StorageBlock>) {
-        if produced.is_empty() {
-            return;
-        }
-        let m = &mut self.op_metrics[producer];
-        m.produced_blocks += produced.len();
-        m.produced_rows += produced.iter().map(|b| b.num_rows()).sum::<usize>();
-        let blocks: Vec<Arc<StorageBlock>> = produced.into_iter().map(Arc::new).collect();
-        match self.plan().consumer_of(producer) {
-            None => self.result_blocks.extend(blocks),
-            Some(consumer) => {
-                // Materialization edge (NLJ inner side): bypass UoT staging —
-                // the consumer cannot start before this producer finishes
-                // anyway, so the UoT is immaterial on this edge.
-                if let OperatorKind::NestedLoops { right, .. } = &self.plan().op(consumer).kind {
-                    if *right == producer {
-                        // Materialize at the producer: the NLJ reads the
-                        // inner relation from its producing operator's
-                        // `collected` list. Released when the NLJ finishes.
-                        self.states[consumer].collected_bytes +=
-                            blocks.iter().map(|b| b.allocated_bytes()).sum::<usize>();
-                        self.ctx.runtimes[producer].collected.lock().extend(blocks);
-                        return;
-                    }
-                }
-                self.states[consumer].staged.extend(blocks);
-                let threshold = self.uot_of(consumer).threshold_blocks();
-                if self.states[consumer].staged.len() >= threshold {
-                    let staged = std::mem::take(&mut self.states[consumer].staged);
-                    self.transfer_in(consumer, staged);
-                }
-            }
-        }
-    }
-
-    /// Deliver transferred blocks to `op`: collected for sorts, queued for
-    /// non-startable operators, otherwise one stream work order per block.
-    fn transfer_in(&mut self, op: usize, blocks: Vec<Arc<StorageBlock>>) {
-        if blocks.is_empty() {
-            return;
-        }
-        self.op_metrics[op].input_blocks += blocks.len();
-        if matches!(self.plan().op(op).kind, OperatorKind::Sort { .. }) {
-            if matches!(self.plan().op(op).kind.stream_source(), Source::Op(_)) {
-                self.states[op].collected_bytes +=
-                    blocks.iter().map(|b| b.allocated_bytes()).sum::<usize>();
-            }
-            self.ctx.runtimes[op].collected.lock().extend(blocks);
-            return;
-        }
-        if self.states[op].waiting_on > 0 {
-            self.states[op].pending.extend(blocks);
-            return;
-        }
-        for b in blocks {
-            self.push_stream_work(op, b);
-        }
-    }
-
-    fn push_stream_work(&mut self, op: usize, block: Arc<StorageBlock>) {
-        let wo = WorkOrder {
-            op,
-            kind: WorkKind::Stream { block },
-            seq: self.seq,
-        };
-        self.seq += 1;
-        self.states[op].outstanding += 1;
-        self.ready.push_back(wo);
-    }
-
-    /// Decide whether `op` can finish (or needs its finalize step), and
-    /// cascade the consequences downstream.
-    fn check_completion(&mut self, op: usize) {
-        let st = &self.states[op];
-        if st.finished
-            || st.waiting_on > 0
-            || !st.producer_finished
-            || !st.staged.is_empty()
-            || !st.pending.is_empty()
-            || st.outstanding > 0
-        {
-            return;
-        }
-        let needs_finalize = matches!(
-            self.plan().op(op).kind,
-            OperatorKind::Aggregate { .. } | OperatorKind::Sort { .. }
-        );
-        if needs_finalize && !self.states[op].finalize_dispatched {
-            self.states[op].finalize_dispatched = true;
-            self.states[op].outstanding += 1;
-            let kind = if matches!(self.plan().op(op).kind, OperatorKind::Sort { .. }) {
-                WorkKind::FinalizeSort
-            } else {
-                WorkKind::FinalizeAggregate
-            };
-            let wo = WorkOrder {
-                op,
-                kind,
-                seq: self.seq,
-            };
-            self.seq += 1;
-            self.ready.push_back(wo);
-            return;
-        }
-        // Flush partially filled output blocks, route them, mark finished.
-        if self.ctx.runtimes[op].output.is_some() {
-            let flushed = self.ctx.output(op).flush();
-            self.route_output(op, flushed);
-        }
-        // A finished build's hash table now has its final size: fold it into
-        // the temporary-memory accounting so peak footprints include |H_i|
-        // (the Section VI comparison).
-        if let Some(ht) = &self.ctx.runtimes[op].hash_table {
-            ht.sync_tracker(self.ctx.pool.tracker());
-        }
-        // Sort input / NLJ inner blocks parked at this operator die with it.
-        let parked = std::mem::take(&mut self.states[op].collected_bytes);
-        if parked > 0 {
-            self.ctx.pool.tracker().free(parked);
-        }
-        self.states[op].finished = true;
-        self.unfinished -= 1;
-        self.on_producer_finished(op);
-    }
-
-    /// Propagate an operator's completion to its consumer and to every
-    /// operator waiting on it as a scheduling dependency (probes, NLJs, LIP
-    /// readers).
-    fn on_producer_finished(&mut self, producer: usize) {
-        // Release every dependent waiting on this op (a build can unblock
-        // its probe *and* several LIP selects at once).
-        let n = self.plan().len();
-        for dependent in 0..n {
-            let waits: usize = self
-                .plan()
-                .op(dependent)
-                .kind
-                .scheduling_deps()
-                .iter()
-                .filter(|&&d| d == producer)
-                .count();
-            if waits == 0 {
-                continue;
-            }
-            self.states[dependent].waiting_on =
-                self.states[dependent].waiting_on.saturating_sub(waits);
-            if self.states[dependent].waiting_on == 0 {
-                let pending: Vec<Arc<StorageBlock>> =
-                    std::mem::take(&mut self.states[dependent].pending).into();
-                for b in pending {
-                    self.push_stream_work(dependent, b);
-                }
-                self.check_completion(dependent);
-            }
-        }
-
-        let Some(consumer) = self.plan().consumer_of(producer) else {
-            return;
-        };
-        // Flush any partial UoT accumulation on the consumer edge.
-        let staged = std::mem::take(&mut self.states[consumer].staged);
-        self.transfer_in(consumer, staged);
-
-        // Stream edge: mark the consumer's producer done.
-        if matches!(self.plan().op(consumer).kind.stream_source(), Source::Op(src) if *src == producer)
-        {
-            self.states[consumer].producer_finished = true;
-        }
-        self.check_completion(consumer);
+        let observer = MetricsObserver::new(&ctx.plan);
+        SchedulerCore::with_observer(ctx, config, observer)
     }
 
     /// Tear down into results + metrics.
@@ -411,9 +249,9 @@ impl SchedulerCore {
         wall_time: Duration,
         workers: usize,
     ) -> (Vec<Arc<StorageBlock>>, QueryMetrics) {
-        let mut tasks = self.tasks;
+        let mut tasks = self.observer.tasks;
         tasks.sort_by_key(|t| t.start);
-        let mut op_metrics = self.op_metrics;
+        let mut op_metrics = self.observer.op_metrics;
         for (m, rt) in op_metrics.iter_mut().zip(&self.ctx.runtimes) {
             m.lip_pruned_rows = rt.lip_pruned.load(std::sync::atomic::Ordering::Relaxed);
         }
@@ -436,6 +274,315 @@ impl SchedulerCore {
             workers,
         };
         (self.result_blocks, metrics)
+    }
+}
+
+impl<O: SchedulerObserver> SchedulerCore<O> {
+    /// Set up scheduling state with a custom observer.
+    pub fn with_observer(ctx: Arc<ExecContext>, config: SchedulerConfig, observer: O) -> Self {
+        let plan = ctx.plan.clone();
+        let topo = plan.topology();
+        let n = plan.len();
+        let default_uot = config.default_uot.normalized();
+        let uot_of = |id: OpId| -> Uot { plan.op(id).uot.unwrap_or(default_uot) };
+        let edges = (0..n)
+            .map(|p| match topo.consumer_of(p) {
+                None => TransferEdge::sink(),
+                Some(c) if topo.materialization_target(p) == Some(c) => {
+                    TransferEdge::materialize(c)
+                }
+                Some(c) => TransferEdge::stream(c, uot_of(c)),
+            })
+            .collect();
+        let states = (0..n)
+            .map(|id| OpState {
+                waiting_on: topo.initial_waits(id),
+                producer_finished: topo.stream_parent(id).is_none(),
+                ..Default::default()
+            })
+            .collect();
+        let queue = ReadyQueue::new(topo.critical_flags().to_vec(), config.max_dop_per_op);
+        let mut core = SchedulerCore {
+            ctx,
+            states,
+            edges,
+            queue,
+            result_blocks: Vec::new(),
+            observer,
+            seq: 0,
+            unfinished: n,
+        };
+        // Feed base-table blocks.
+        for id in 0..n {
+            if let crate::plan::Source::Table(t) = plan.op(id).kind.stream_source() {
+                let blocks: Vec<Arc<StorageBlock>> = t.blocks().to_vec();
+                core.transfer_in(id, blocks);
+            }
+        }
+        // Operators with no input at all may already be completable.
+        for id in 0..n {
+            core.check_completion(id);
+        }
+        core
+    }
+
+    /// The plan being scheduled.
+    fn plan(&self) -> &QueryPlan {
+        &self.ctx.plan
+    }
+
+    /// True when every operator has finished.
+    pub fn all_finished(&self) -> bool {
+        self.unfinished == 0
+    }
+
+    /// Number of work orders waiting in the ready queues.
+    pub fn ready_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Blocks staged on operator `op`'s input edge (its stream producer's
+    /// outgoing edge).
+    fn staged_into(&self, op: OpId) -> usize {
+        self.plan()
+            .topology()
+            .stream_parent(op)
+            .map_or(0, |p| self.edges[p].staged_len())
+    }
+
+    /// Describe every unfinished operator and its blocking state — the body
+    /// of the stall diagnostic. Empty when all operators finished.
+    pub fn stall_report(&self) -> String {
+        let mut parts = Vec::new();
+        for (id, st) in self.states.iter().enumerate() {
+            if st.finished {
+                continue;
+            }
+            parts.push(format!(
+                "op{} ({}): waiting_on={} staged={} pending={} outstanding={}{}",
+                id,
+                self.plan().op(id).name,
+                st.waiting_on,
+                self.staged_into(id),
+                st.pending.len(),
+                st.outstanding,
+                if st.producer_finished {
+                    ""
+                } else {
+                    " producer-unfinished"
+                },
+            ));
+        }
+        parts.join("; ")
+    }
+
+    /// The stall error both drivers raise when work runs out with operators
+    /// still unfinished.
+    fn stall_error(&self) -> EngineError {
+        EngineError::Internal(format!(
+            "scheduler stalled with unfinished operators: {}",
+            self.stall_report()
+        ))
+    }
+
+    /// Pop the next dispatchable work order, honoring the per-operator DOP
+    /// cap if configured.
+    ///
+    /// Policy: **downstream-first** — among eligible work orders, prefer the
+    /// operator furthest down the plan (highest id; plans are built bottom-
+    /// up, so id order is topological), with blocking prerequisites
+    /// (critical operators) ahead of everything. Transferred blocks are
+    /// consumed while still warm and intermediate memory drains promptly;
+    /// with a low UoT this yields exactly the interleaved schedules of the
+    /// paper's Fig. 2, while a high UoT degenerates to operator-at-a-time
+    /// regardless.
+    pub fn next_work_order(&mut self) -> Option<WorkOrder> {
+        let wo = self.queue.pop()?;
+        self.observer.work_order_dispatched(&wo);
+        Some(wo)
+    }
+
+    /// Handle a completed work order.
+    pub fn on_complete(&mut self, wo: &WorkOrder, produced: Vec<StorageBlock>, record: TaskRecord) {
+        self.queue.complete(wo.op);
+        self.states[wo.op].outstanding -= 1;
+        // A consumed intermediate block dies here (each block feeds exactly
+        // one stream work order): release its bytes so `peak_temp_bytes`
+        // reflects what is actually live. Base-table blocks were never
+        // charged to the tracker and stay untouched.
+        if let WorkKind::Stream { block } = &wo.kind {
+            if self.plan().topology().stream_parent(wo.op).is_some() {
+                self.ctx.pool.tracker().free(block.allocated_bytes());
+            }
+        }
+        self.observer.work_order_completed(wo.op, record);
+        self.route_output(wo.op, produced);
+        self.check_completion(wo.op);
+    }
+
+    /// Route blocks produced by `producer` along its transfer edge: straight
+    /// to the result set (sink), parked at the producer (NLJ materialization
+    /// bypass), or staged against the consumer edge's UoT threshold.
+    fn route_output(&mut self, producer: OpId, produced: Vec<StorageBlock>) {
+        if produced.is_empty() {
+            return;
+        }
+        self.observer.blocks_produced(
+            producer,
+            produced.len(),
+            produced.iter().map(|b| b.num_rows()).sum(),
+        );
+        let blocks: Vec<Arc<StorageBlock>> = produced.into_iter().map(Arc::new).collect();
+        match self.edges[producer].stage(blocks) {
+            TransferAction::Hold => {}
+            TransferAction::Emit(blocks) => self.result_blocks.extend(blocks),
+            TransferAction::Transfer(blocks) => {
+                let consumer = self.edges[producer].consumer().expect("stream edge");
+                self.transfer_in(consumer, blocks);
+            }
+            TransferAction::Materialize(blocks) => {
+                // The NLJ reads the inner relation from its producing
+                // operator's `collected` list; the bytes are charged to the
+                // edge and released when the join finishes.
+                self.edges[producer]
+                    .add_collected(blocks.iter().map(|b| b.allocated_bytes()).sum::<usize>());
+                self.ctx.runtimes[producer].collected.lock().extend(blocks);
+            }
+        }
+    }
+
+    /// Deliver transferred blocks to `op`: collected for sorts, queued for
+    /// non-startable operators, otherwise one stream work order per block.
+    fn transfer_in(&mut self, op: OpId, blocks: Vec<Arc<StorageBlock>>) {
+        if blocks.is_empty() {
+            return;
+        }
+        self.observer.blocks_transferred(op, blocks.len());
+        if matches!(self.plan().op(op).kind, OperatorKind::Sort { .. }) {
+            // Sort input parks in bulk; intermediate (tracked) blocks are
+            // charged to the incoming edge until the sort finishes.
+            if let Some(parent) = self.plan().topology().stream_parent(op) {
+                self.edges[parent]
+                    .add_collected(blocks.iter().map(|b| b.allocated_bytes()).sum::<usize>());
+            }
+            self.ctx.runtimes[op].collected.lock().extend(blocks);
+            return;
+        }
+        if self.states[op].waiting_on > 0 {
+            self.states[op].pending.extend(blocks);
+            return;
+        }
+        for b in blocks {
+            self.push_stream_work(op, b);
+        }
+    }
+
+    fn push_stream_work(&mut self, op: OpId, block: Arc<StorageBlock>) {
+        let wo = WorkOrder {
+            op,
+            kind: WorkKind::Stream { block },
+            seq: self.seq,
+        };
+        self.seq += 1;
+        self.states[op].outstanding += 1;
+        self.queue.push(wo);
+    }
+
+    /// Decide whether `op` can finish (or needs its finalize step), and
+    /// cascade the consequences downstream.
+    fn check_completion(&mut self, op: OpId) {
+        let st = &self.states[op];
+        if st.finished
+            || st.waiting_on > 0
+            || !st.producer_finished
+            || !st.pending.is_empty()
+            || st.outstanding > 0
+            || self.staged_into(op) > 0
+        {
+            return;
+        }
+        let needs_finalize = matches!(
+            self.plan().op(op).kind,
+            OperatorKind::Aggregate { .. } | OperatorKind::Sort { .. }
+        );
+        if needs_finalize && !self.states[op].finalize_dispatched {
+            self.states[op].finalize_dispatched = true;
+            self.states[op].outstanding += 1;
+            let kind = if matches!(self.plan().op(op).kind, OperatorKind::Sort { .. }) {
+                WorkKind::FinalizeSort
+            } else {
+                WorkKind::FinalizeAggregate
+            };
+            let wo = WorkOrder {
+                op,
+                kind,
+                seq: self.seq,
+            };
+            self.seq += 1;
+            self.queue.push(wo);
+            return;
+        }
+        // Flush partially filled output blocks, route them, mark finished.
+        if self.ctx.runtimes[op].output.is_some() {
+            let flushed = self.ctx.output(op).flush();
+            self.route_output(op, flushed);
+        }
+        // A finished build's hash table now has its final size: fold it into
+        // the temporary-memory accounting so peak footprints include |H_i|
+        // (the Section VI comparison).
+        if let Some(ht) = &self.ctx.runtimes[op].hash_table {
+            ht.sync_tracker(self.ctx.pool.tracker());
+        }
+        // Blocks parked for this operator's bulk consumption (sort input,
+        // NLJ inner side) die with it: release the bytes charged to its
+        // incoming edges.
+        let mut parked = 0;
+        if let Some(parent) = self.plan().topology().stream_parent(op) {
+            parked += self.edges[parent].take_collected();
+        }
+        for dep in self.plan().op(op).kind.blocking_deps() {
+            parked += self.edges[dep].take_collected();
+        }
+        if parked > 0 {
+            self.ctx.pool.tracker().free(parked);
+        }
+        self.states[op].finished = true;
+        self.unfinished -= 1;
+        self.observer.operator_finished(op);
+        self.on_producer_finished(op);
+    }
+
+    /// Propagate an operator's completion to its consumer and to every
+    /// operator waiting on it as a scheduling dependency (probes, NLJs, LIP
+    /// readers) — an indexed lookup, not a plan scan.
+    fn on_producer_finished(&mut self, producer: OpId) {
+        // Release every dependent waiting on this op (a build can unblock
+        // its probe *and* several LIP selects at once).
+        let dependents: Vec<Dependent> = self.plan().topology().dependents_of(producer).to_vec();
+        for Dependent { op, multiplicity } in dependents {
+            self.states[op].waiting_on = self.states[op].waiting_on.saturating_sub(multiplicity);
+            if self.states[op].waiting_on == 0 {
+                let pending: Vec<Arc<StorageBlock>> =
+                    std::mem::take(&mut self.states[op].pending).into();
+                for b in pending {
+                    self.push_stream_work(op, b);
+                }
+                self.check_completion(op);
+            }
+        }
+
+        let Some(consumer) = self.edges[producer].consumer() else {
+            return;
+        };
+        // Flush any partial UoT accumulation on the outgoing edge.
+        let staged = self.edges[producer].flush();
+        self.transfer_in(consumer, staged);
+
+        // Stream edge: mark the consumer's producer done.
+        if self.plan().topology().stream_parent(consumer) == Some(producer) {
+            self.states[consumer].producer_finished = true;
+        }
+        self.check_completion(consumer);
     }
 }
 
@@ -464,9 +611,7 @@ pub fn run_serial(
         );
     }
     if !core.all_finished() {
-        return Err(EngineError::Internal(
-            "scheduler stalled with unfinished operators".into(),
-        ));
+        return Err(core.stall_error());
     }
     let wall = start.elapsed();
     Ok(core.into_results(wall, 1))
@@ -578,9 +723,7 @@ pub fn run_parallel(
             return Err(e);
         }
         if !core.all_finished() {
-            return Err(EngineError::Internal(
-                "scheduler stalled with unfinished operators".into(),
-            ));
+            return Err(core.stall_error());
         }
         let wall = start.elapsed();
         Ok(core.into_results(wall, workers))
@@ -590,7 +733,7 @@ pub fn run_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::{JoinType, PlanBuilder, SortKey};
+    use crate::plan::{JoinType, PlanBuilder, SortKey, Source};
     use crate::state::ExecContext;
     use uot_expr::{cmp, col, lit, AggSpec, CmpOp, Predicate};
     use uot_storage::{
@@ -625,14 +768,19 @@ mod tests {
         let dim = table("dim2", 10, 4);
         let fact = table("fact2", 100, 8);
         let mut pb = PlanBuilder::new();
-        let b = pb
-            .build_hash(Source::Table(dim), vec![0], vec![1])
-            .unwrap();
+        let b = pb.build_hash(Source::Table(dim), vec![0], vec![1]).unwrap();
         let s = pb
             .filter(Source::Table(fact), cmp(col(0), CmpOp::Lt, lit(50i32)))
             .unwrap();
         let p = pb
-            .probe(Source::Op(s), b, vec![0], vec![0, 1], vec![0], JoinType::Inner)
+            .probe(
+                Source::Op(s),
+                b,
+                vec![0],
+                vec![0, 1],
+                vec![0],
+                JoinType::Inner,
+            )
             .unwrap();
         pb.build(p).unwrap().with_uniform_uot(uot)
     }
@@ -783,7 +931,9 @@ mod tests {
     fn empty_base_table_cascades() {
         let t = table("empty", 0, 4);
         let mut pb = PlanBuilder::new();
-        let s = pb.filter(Source::Table(t.clone()), Predicate::True).unwrap();
+        let s = pb
+            .filter(Source::Table(t.clone()), Predicate::True)
+            .unwrap();
         let a = pb
             .aggregate(Source::Op(s), vec![], vec![AggSpec::count_star()], &["n"])
             .unwrap();
@@ -907,5 +1057,143 @@ mod tests {
         .unwrap();
         assert_eq!(rows_of(&blocks).len(), 10);
         assert!(m.ops[2].input_blocks >= 1);
+    }
+
+    // --- new coverage: indexed dispatch, observer hook, stall diagnostics ---
+
+    fn stream_wo(op: OpId, seq: usize) -> WorkOrder {
+        let s = Schema::from_pairs(&[("k", DataType::Int32)]);
+        let b = StorageBlock::new(s, BlockFormat::Row, 64).unwrap();
+        WorkOrder {
+            op,
+            kind: WorkKind::Stream { block: Arc::new(b) },
+            seq,
+        }
+    }
+
+    #[test]
+    fn ready_queue_prefers_critical_then_downstream_then_fifo() {
+        // ops: 0 critical, 1 and 2 ordinary.
+        let mut q = ReadyQueue::new(vec![true, false, false], None);
+        q.push(stream_wo(1, 0));
+        q.push(stream_wo(2, 1));
+        q.push(stream_wo(0, 2));
+        q.push(stream_wo(2, 3));
+        assert_eq!(q.len(), 4);
+        // critical op 0 first, then downstream op 2 FIFO, then op 1.
+        let order: Vec<(OpId, usize)> = std::iter::from_fn(|| q.pop())
+            .map(|wo| (wo.op, wo.seq))
+            .collect();
+        assert_eq!(order, vec![(0, 2), (2, 1), (2, 3), (1, 0)]);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn ready_queue_honors_dop_cap() {
+        let mut q = ReadyQueue::new(vec![false, false], Some(1));
+        q.push(stream_wo(1, 0));
+        q.push(stream_wo(1, 1));
+        q.push(stream_wo(0, 2));
+        // op 1 is preferred but capped after one in-flight order.
+        assert_eq!(q.pop().map(|w| w.op), Some(1));
+        assert_eq!(q.pop().map(|w| w.op), Some(0), "op 1 at cap, fall back");
+        assert_eq!(q.pop().map(|w| w.op), None, "everything at cap");
+        q.complete(1);
+        assert_eq!(q.pop().map(|w| w.seq), Some(1), "slot freed, FIFO resumes");
+    }
+
+    #[test]
+    fn noop_observer_drives_bare_machine() {
+        let ctx = ctx_for(select_probe_plan(Uot::Blocks(1)));
+        let mut core =
+            SchedulerCore::with_observer(ctx.clone(), SchedulerConfig::default(), NoopObserver);
+        let mut executed = 0usize;
+        while let Some(wo) = core.next_work_order() {
+            let produced = execute_work_order(&ctx, &wo).unwrap();
+            executed += 1;
+            core.on_complete(
+                &wo,
+                produced,
+                TaskRecord {
+                    op: wo.op,
+                    worker: 0,
+                    start: Duration::ZERO,
+                    end: Duration::ZERO,
+                },
+            );
+        }
+        assert!(core.all_finished());
+        assert!(executed >= 16, "3 build + 13 select + probes");
+    }
+
+    #[test]
+    fn custom_observer_sees_dispatch_and_finish_events() {
+        #[derive(Default)]
+        struct Counting {
+            dispatched: usize,
+            completed: usize,
+            finished_ops: Vec<OpId>,
+        }
+        impl SchedulerObserver for Counting {
+            fn work_order_dispatched(&mut self, _wo: &WorkOrder) {
+                self.dispatched += 1;
+            }
+            fn work_order_completed(&mut self, _op: OpId, _r: TaskRecord) {
+                self.completed += 1;
+            }
+            fn operator_finished(&mut self, op: OpId) {
+                self.finished_ops.push(op);
+            }
+        }
+        let ctx = ctx_for(select_probe_plan(Uot::Blocks(1)));
+        let mut core = SchedulerCore::with_observer(
+            ctx.clone(),
+            SchedulerConfig::default(),
+            Counting::default(),
+        );
+        while let Some(wo) = core.next_work_order() {
+            let produced = execute_work_order(&ctx, &wo).unwrap();
+            core.on_complete(
+                &wo,
+                produced,
+                TaskRecord {
+                    op: wo.op,
+                    worker: 0,
+                    start: Duration::ZERO,
+                    end: Duration::ZERO,
+                },
+            );
+        }
+        assert!(core.all_finished());
+        assert_eq!(core.observer.dispatched, core.observer.completed);
+        assert_eq!(core.observer.finished_ops, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stall_report_names_operators_and_state() {
+        // Freshly constructed: the build has queued work (outstanding > 0)
+        // and the probe waits on it.
+        let ctx = ctx_for(select_probe_plan(Uot::Blocks(1)));
+        let core = SchedulerCore::new(ctx, SchedulerConfig::default());
+        let report = core.stall_report();
+        assert!(report.contains("op0"), "{report}");
+        assert!(report.contains("op2"), "{report}");
+        assert!(report.contains("waiting_on=1"), "{report}");
+        assert!(report.contains("outstanding="), "{report}");
+        let err = core.stall_error();
+        let msg = err.to_string();
+        assert!(msg.contains("scheduler stalled"), "{msg}");
+        assert!(msg.contains("op2"), "{msg}");
+    }
+
+    #[test]
+    fn dropping_work_orders_stalls_with_diagnostics() {
+        // Simulate a lost work order: pop everything without completing.
+        let ctx = ctx_for(select_probe_plan(Uot::Blocks(1)));
+        let mut core = SchedulerCore::new(ctx, SchedulerConfig::default());
+        while core.next_work_order().is_some() {}
+        assert!(!core.all_finished());
+        let report = core.stall_report();
+        assert!(report.contains("outstanding="), "{report}");
     }
 }

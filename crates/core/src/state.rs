@@ -119,9 +119,8 @@ impl ExecContext {
                 OperatorKind::Limit { n, .. } => AtomicI64::new(*n as i64),
                 _ => AtomicI64::new(0),
             };
-            let bloom = (needs_bloom[id]).then(|| {
-                Arc::new(BloomFilter::with_capacity(estimated_rows(id), 0.01))
-            });
+            let bloom = (needs_bloom[id])
+                .then(|| Arc::new(BloomFilter::with_capacity(estimated_rows(id), 0.01)));
             runtimes.push(OpRuntime {
                 output,
                 hash_table,

@@ -1,0 +1,314 @@
+//! Indexed plan topology, precomputed once at plan-build time.
+//!
+//! The scheduler makes three kinds of topology queries on every state
+//! transition: "who consumes this operator's output?", "who is waiting on
+//! this operator as a scheduling dependency?", and "is this operator on a
+//! blocking-prerequisite path?". Deriving those from [`OperatorKind`] on the
+//! fly meant an O(ops × deps) rescan every time a producer finished.
+//! [`PlanTopology`] computes them once in [`QueryPlan`]'s constructor and the
+//! scheduler reads plain indexed arrays.
+//!
+//! [`OperatorKind`]: crate::plan::OperatorKind
+//! [`QueryPlan`]: crate::plan::QueryPlan
+
+use crate::plan::{OpId, Operator, OperatorKind, Source};
+use std::collections::BTreeMap;
+
+/// A reverse scheduling-dependency entry: `op` waits on the indexing
+/// operator `multiplicity` times (an operator may reference the same
+/// dependency more than once, e.g. a LIP select reading one build twice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dependent {
+    /// The waiting operator.
+    pub op: OpId,
+    /// How many of `op`'s scheduling dependencies point here.
+    pub multiplicity: usize,
+}
+
+/// Precomputed adjacency and flags for one [`QueryPlan`].
+///
+/// [`QueryPlan`]: crate::plan::QueryPlan
+#[derive(Debug, Clone)]
+pub struct PlanTopology {
+    /// `consumers[i]` = the single operator reading operator `i`'s output
+    /// (streamed or blocking); `None` only for the sink.
+    consumers: Vec<Option<OpId>>,
+    /// `dependents[i]` = operators listing `i` among their scheduling
+    /// dependencies (probes on their build, NLJs on their inner side, LIP
+    /// selects on their filter builds).
+    dependents: Vec<Vec<Dependent>>,
+    /// `critical[i]` = operator `i` is a scheduling prerequisite of someone
+    /// (or streams into one): finishing it unblocks other operators, so the
+    /// scheduler prioritizes it.
+    critical: Vec<bool>,
+    /// `stream_parent[i]` = the operator whose output streams into `i`
+    /// (`None` when `i` reads a base table).
+    stream_parent: Vec<Option<OpId>>,
+    /// `initial_waits[i]` = number of scheduling dependencies of `i`.
+    initial_waits: Vec<usize>,
+    /// `materialized_into[p]` = the nested-loops join that materializes
+    /// operator `p`'s output as its inner side. Such an edge bypasses UoT
+    /// staging: the join cannot start before `p` finishes anyway.
+    materialized_into: Vec<Option<OpId>>,
+}
+
+impl PlanTopology {
+    /// Compute the topology of `ops` with the given single-consumer map
+    /// (validated by the plan builder).
+    pub fn compute(ops: &[Operator], consumers: Vec<Option<OpId>>) -> Self {
+        let n = ops.len();
+        let mut dependents: Vec<Vec<Dependent>> = vec![Vec::new(); n];
+        let mut critical = vec![false; n];
+        let mut stream_parent = vec![None; n];
+        let mut initial_waits = vec![0; n];
+        let mut materialized_into = vec![None; n];
+
+        for (id, op) in ops.iter().enumerate() {
+            if let Source::Op(src) = op.kind.stream_source() {
+                stream_parent[id] = Some(*src);
+            }
+            let deps = op.kind.scheduling_deps();
+            initial_waits[id] = deps.len();
+            let mut counts: BTreeMap<OpId, usize> = BTreeMap::new();
+            for d in deps {
+                *counts.entry(d).or_default() += 1;
+                critical[d] = true;
+            }
+            for (dep, multiplicity) in counts {
+                dependents[dep].push(Dependent {
+                    op: id,
+                    multiplicity,
+                });
+            }
+            if let OperatorKind::NestedLoops { right, .. } = &op.kind {
+                materialized_into[*right] = Some(id);
+            }
+        }
+        // Propagate criticality upstream along stream edges: anything feeding
+        // a prerequisite is itself a prerequisite. Builders assign consumers
+        // higher ids than producers, so one reverse pass sees every consumer
+        // before its producers.
+        for id in (0..n).rev() {
+            if critical[id] {
+                if let Some(src) = stream_parent[id] {
+                    critical[src] = true;
+                }
+            }
+        }
+        PlanTopology {
+            consumers,
+            dependents,
+            critical,
+            stream_parent,
+            initial_waits,
+            materialized_into,
+        }
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.consumers.len()
+    }
+
+    /// True for an empty plan (never produced by the builder).
+    pub fn is_empty(&self) -> bool {
+        self.consumers.is_empty()
+    }
+
+    /// The single consumer of operator `id`, if any.
+    pub fn consumer_of(&self, id: OpId) -> Option<OpId> {
+        self.consumers[id]
+    }
+
+    /// Operators waiting on `id` as a scheduling dependency.
+    pub fn dependents_of(&self, id: OpId) -> &[Dependent] {
+        &self.dependents[id]
+    }
+
+    /// Whether operator `id` is on a blocking-prerequisite path.
+    pub fn is_critical(&self, id: OpId) -> bool {
+        self.critical[id]
+    }
+
+    /// The full critical-path flag vector, indexed by `OpId`.
+    pub fn critical_flags(&self) -> &[bool] {
+        &self.critical
+    }
+
+    /// The operator streaming into `id` (`None` for base-table readers).
+    pub fn stream_parent(&self, id: OpId) -> Option<OpId> {
+        self.stream_parent[id]
+    }
+
+    /// Number of scheduling dependencies of `id` at query start.
+    pub fn initial_waits(&self, id: OpId) -> usize {
+        self.initial_waits[id]
+    }
+
+    /// The nested-loops join materializing `producer`'s output as its inner
+    /// side, if any (the UoT-bypass edge).
+    pub fn materialization_target(&self, producer: OpId) -> Option<OpId> {
+        self.materialized_into[producer]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{JoinType, PlanBuilder, QueryPlan};
+    use std::sync::Arc;
+    use uot_expr::{cmp, col, lit, CmpOp, Predicate};
+    use uot_storage::{BlockFormat, DataType, Schema, Table, TableBuilder, Value};
+
+    fn table(name: &str, rows: i32) -> Arc<Table> {
+        let s = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Float64)]);
+        let mut tb = TableBuilder::new(name, s, BlockFormat::Column, 256);
+        for i in 0..rows {
+            tb.append(&[Value::I32(i), Value::F64(i as f64)]).unwrap();
+        }
+        Arc::new(tb.finish())
+    }
+
+    /// build(0) + select(1) -> probe(2)
+    fn probe_plan() -> QueryPlan {
+        let mut pb = PlanBuilder::new();
+        let b = pb
+            .build_hash(
+                crate::plan::Source::Table(table("dim", 8)),
+                vec![0],
+                vec![1],
+            )
+            .unwrap();
+        let s = pb
+            .filter(
+                crate::plan::Source::Table(table("fact", 32)),
+                cmp(col(0), CmpOp::Lt, lit(10i32)),
+            )
+            .unwrap();
+        let p = pb
+            .probe(
+                crate::plan::Source::Op(s),
+                b,
+                vec![0],
+                vec![0, 1],
+                vec![0],
+                JoinType::Inner,
+            )
+            .unwrap();
+        pb.build(p).unwrap()
+    }
+
+    #[test]
+    fn probe_topology_indexes_dependencies() {
+        let plan = probe_plan();
+        let t = plan.topology();
+        assert_eq!(t.len(), 3);
+        // consumers: build -> probe, select -> probe, probe -> sink
+        assert_eq!(t.consumer_of(0), Some(2));
+        assert_eq!(t.consumer_of(1), Some(2));
+        assert_eq!(t.consumer_of(2), None);
+        // the probe waits on the build, once
+        assert_eq!(
+            t.dependents_of(0),
+            &[Dependent {
+                op: 2,
+                multiplicity: 1
+            }]
+        );
+        assert!(t.dependents_of(1).is_empty());
+        assert_eq!(t.initial_waits(2), 1);
+        assert_eq!(t.initial_waits(0), 0);
+        // stream edges
+        assert_eq!(t.stream_parent(2), Some(1));
+        assert_eq!(t.stream_parent(0), None);
+        // the build is critical, the plain select and probe are not
+        assert!(t.is_critical(0));
+        assert!(!t.is_critical(1));
+        assert!(!t.is_critical(2));
+        assert_eq!(t.materialization_target(0), None);
+    }
+
+    #[test]
+    fn criticality_propagates_through_stream_feeders() {
+        // select(0) -> build(1); probe side select(2); probe(3):
+        // the select feeding the build must inherit criticality.
+        let mut pb = PlanBuilder::new();
+        let s0 = pb
+            .filter(crate::plan::Source::Table(table("dim", 8)), Predicate::True)
+            .unwrap();
+        let b = pb
+            .build_hash(crate::plan::Source::Op(s0), vec![0], vec![1])
+            .unwrap();
+        let s1 = pb
+            .filter(
+                crate::plan::Source::Table(table("fact", 32)),
+                Predicate::True,
+            )
+            .unwrap();
+        let p = pb
+            .probe(
+                crate::plan::Source::Op(s1),
+                b,
+                vec![0],
+                vec![0, 1],
+                vec![0],
+                JoinType::Inner,
+            )
+            .unwrap();
+        let plan = pb.build(p).unwrap();
+        let t = plan.topology();
+        assert!(t.is_critical(s0), "stream feeder of a build is critical");
+        assert!(t.is_critical(b));
+        assert!(!t.is_critical(s1));
+        assert!(!t.is_critical(p));
+        assert_eq!(t.critical_flags(), &[true, true, false, false]);
+    }
+
+    #[test]
+    fn nlj_inner_side_is_a_materialization_edge() {
+        let t5 = table("t5", 6);
+        let mut pb = PlanBuilder::new();
+        let inner = pb
+            .filter(
+                crate::plan::Source::Table(t5.clone()),
+                cmp(col(0), CmpOp::Lt, lit(3i32)),
+            )
+            .unwrap();
+        let j = pb
+            .nested_loops(
+                crate::plan::Source::Table(t5),
+                inner,
+                vec![(0, CmpOp::Eq, 0)],
+                vec![0],
+                vec![1],
+            )
+            .unwrap();
+        let plan = pb.build(j).unwrap();
+        let t = plan.topology();
+        assert_eq!(t.materialization_target(inner), Some(j));
+        assert_eq!(t.materialization_target(j), None);
+        assert_eq!(
+            t.dependents_of(inner),
+            &[Dependent {
+                op: j,
+                multiplicity: 1
+            }]
+        );
+        assert!(t.is_critical(inner));
+    }
+
+    #[test]
+    fn single_op_plan_has_trivial_topology() {
+        let mut pb = PlanBuilder::new();
+        let s = pb
+            .filter(crate::plan::Source::Table(table("t", 4)), Predicate::True)
+            .unwrap();
+        let plan = pb.build(s).unwrap();
+        let t = plan.topology();
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert_eq!(t.consumer_of(0), None);
+        assert!(t.dependents_of(0).is_empty());
+        assert!(!t.is_critical(0));
+    }
+}

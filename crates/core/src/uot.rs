@@ -30,6 +30,17 @@ impl Uot {
     /// The high extreme of the spectrum: the whole table.
     pub const HIGH: Uot = Uot::Table;
 
+    /// Canonical form: `Blocks(0)` (a meaningless zero threshold) becomes
+    /// `Blocks(1)`. Applied by the plan builder so the engine never sees a
+    /// degenerate value.
+    #[inline]
+    pub fn normalized(self) -> Uot {
+        match self {
+            Uot::Blocks(n) => Uot::Blocks(n.max(1)),
+            Uot::Table => Uot::Table,
+        }
+    }
+
     /// The accumulation threshold in blocks; `usize::MAX` for [`Uot::Table`].
     #[inline]
     pub fn threshold_blocks(self) -> usize {
@@ -75,6 +86,13 @@ mod tests {
         // zero normalizes to one — a zero threshold is meaningless
         assert_eq!(Uot::Blocks(0).threshold_blocks(), 1);
         assert_eq!(Uot::Table.threshold_blocks(), usize::MAX);
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Uot::Blocks(0).normalized(), Uot::Blocks(1));
+        assert_eq!(Uot::Blocks(3).normalized(), Uot::Blocks(3));
+        assert_eq!(Uot::Table.normalized(), Uot::Table);
     }
 
     #[test]

@@ -60,9 +60,7 @@ mod tests {
         b.append_row(&[Value::I32(1)]).unwrap();
         let wo = WorkOrder {
             op: 3,
-            kind: WorkKind::Stream {
-                block: Arc::new(b),
-            },
+            kind: WorkKind::Stream { block: Arc::new(b) },
             seq: 0,
         };
         assert_eq!(wo.describe(), "op3 stream(1 rows)");

@@ -2,9 +2,7 @@
 //! pruning at the scan must change the work done, never the answer.
 
 use std::sync::Arc;
-use uot_core::{
-    Engine, EngineConfig, ExecMode, JoinType, PlanBuilder, QueryPlan, Source, Uot,
-};
+use uot_core::{Engine, EngineConfig, ExecMode, JoinType, PlanBuilder, QueryPlan, Source, Uot};
 use uot_expr::{cmp, col, lit, AggSpec, CmpOp, Predicate};
 use uot_storage::{BlockFormat, DataType, Schema, Table, TableBuilder, Value};
 
@@ -13,7 +11,8 @@ fn dim(n: i32) -> Arc<Table> {
     let s = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)]);
     let mut tb = TableBuilder::new("dim", s, BlockFormat::Column, 1024);
     for i in 0..n {
-        tb.append(&[Value::I32(i * 10), Value::I64(i as i64)]).unwrap();
+        tb.append(&[Value::I32(i * 10), Value::I64(i as i64)])
+            .unwrap();
     }
     Arc::new(tb.finish())
 }
@@ -22,7 +21,8 @@ fn fact(n: i32) -> Arc<Table> {
     let s = Schema::from_pairs(&[("fk", DataType::Int32), ("x", DataType::Int64)]);
     let mut tb = TableBuilder::new("fact", s, BlockFormat::Column, 1024);
     for i in 0..n {
-        tb.append(&[Value::I32(i % 1000), Value::I64(i as i64)]).unwrap();
+        tb.append(&[Value::I32(i % 1000), Value::I64(i as i64)])
+            .unwrap();
     }
     Arc::new(tb.finish())
 }
@@ -135,7 +135,9 @@ fn add_lip_validation() {
     let d = dim(10);
     let f = fact(100);
     let mut pb = PlanBuilder::new();
-    let b = pb.build_hash(Source::Table(d.clone()), vec![0], vec![1]).unwrap();
+    let b = pb
+        .build_hash(Source::Table(d.clone()), vec![0], vec![1])
+        .unwrap();
     let s = pb.filter(Source::Table(f), Predicate::True).unwrap();
     // wrong arity
     assert!(pb.add_lip(s, b, vec![0, 1]).is_err());

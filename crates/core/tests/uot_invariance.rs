@@ -21,10 +21,7 @@ fn arb_table(
         1usize..6, // rows per block
     )
         .prop_map(move |(rows, rows_per_block)| {
-            let schema = Schema::from_pairs(&[
-                ("k", DataType::Int32),
-                ("v", DataType::Int64),
-            ]);
+            let schema = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)]);
             let mut tb = TableBuilder::new(
                 name,
                 schema.clone(),
@@ -48,7 +45,14 @@ fn join_agg_plan(fact: Arc<Table>, dim: Arc<Table>, cut: i32) -> QueryPlan {
         .filter(Source::Table(fact), cmp(col(0), CmpOp::Lt, lit(cut)))
         .unwrap();
     let p = pb
-        .probe(Source::Op(s), b, vec![0], vec![0, 1], vec![1], JoinType::Inner)
+        .probe(
+            Source::Op(s),
+            b,
+            vec![0],
+            vec![0, 1],
+            vec![1],
+            JoinType::Inner,
+        )
         .unwrap();
     let a = pb
         .aggregate(

@@ -106,9 +106,7 @@ impl AggSpec {
             AggFunc::Min | AggFunc::Max => {
                 let t = self.arg_type(input)?;
                 match t {
-                    DataType::Int32 | DataType::Int64 | DataType::Float64 | DataType::Date => {
-                        Ok(t)
-                    }
+                    DataType::Int32 | DataType::Int64 | DataType::Float64 | DataType::Date => Ok(t),
                     other => Err(ExprError::InvalidType {
                         context: "MIN/MAX",
                         found: other.name(),
@@ -275,17 +273,11 @@ impl AggState {
             (StateKind::Count(a), StateKind::Count(b)) => *a += b,
             (StateKind::SumI(a), StateKind::SumI(b)) => *a += b,
             (StateKind::SumF(a), StateKind::SumF(b)) => *a += b,
-            (
-                StateKind::Avg { sum: s1, count: c1 },
-                StateKind::Avg { sum: s2, count: c2 },
-            ) => {
+            (StateKind::Avg { sum: s1, count: c1 }, StateKind::Avg { sum: s2, count: c2 }) => {
                 *s1 += s2;
                 *c1 += c2;
             }
-            (
-                StateKind::ExtremeI { value: a, is_min },
-                StateKind::ExtremeI { value: b, .. },
-            ) => {
+            (StateKind::ExtremeI { value: a, is_min }, StateKind::ExtremeI { value: b, .. }) => {
                 if let Some(y) = b {
                     *a = Some(match a {
                         None => *y,
@@ -299,10 +291,7 @@ impl AggState {
                     });
                 }
             }
-            (
-                StateKind::ExtremeF { value: a, is_min },
-                StateKind::ExtremeF { value: b, .. },
-            ) => {
+            (StateKind::ExtremeF { value: a, is_min }, StateKind::ExtremeF { value: b, .. }) => {
                 if let Some(y) = b {
                     *a = Some(match a {
                         None => *y,

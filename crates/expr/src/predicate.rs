@@ -186,11 +186,9 @@ impl Predicate {
                 b.not_inplace();
                 Ok(b)
             }
-            Predicate::StrEq { col, value } => {
-                eval_str(block, *col, |bytes, width| {
-                    str_eq_padded(bytes, value, width)
-                })
-            }
+            Predicate::StrEq { col, value } => eval_str(block, *col, |bytes, width| {
+                str_eq_padded(bytes, value, width)
+            }),
             Predicate::StrStartsWith { col, prefix } => eval_str(block, *col, |bytes, _w| {
                 bytes.len() >= prefix.len() && &bytes[..prefix.len()] == prefix.as_bytes()
             }),
@@ -198,10 +196,7 @@ impl Predicate {
                 values.iter().any(|v| str_eq_padded(bytes, v, width))
             }),
             Predicate::StrContains { col, needle } => eval_str(block, *col, |bytes, _w| {
-                !needle.is_empty()
-                    && bytes
-                        .windows(needle.len())
-                        .any(|w| w == needle.as_bytes())
+                !needle.is_empty() && bytes.windows(needle.len()).any(|w| w == needle.as_bytes())
             }),
         }
     }
@@ -461,10 +456,7 @@ mod tests {
                 ones(&cmp(col(4), CmpOp::Gt, lit(997i64)), &b),
                 vec![0, 1, 2]
             );
-            assert_eq!(
-                ones(&cmp(col(1), CmpOp::Le, lit(3.0)), &b),
-                vec![0, 1, 2]
-            );
+            assert_eq!(ones(&cmp(col(1), CmpOp::Le, lit(3.0)), &b), vec![0, 1, 2]);
         }
     }
 

@@ -93,7 +93,7 @@ pub fn lit(v: impl Into<Value>) -> ScalarExpr {
 }
 
 #[allow(clippy::should_implement_trait)] // add/sub/mul/div are expression
-// builders returning `ScalarExpr`, not arithmetic on evaluated values
+                                         // builders returning `ScalarExpr`, not arithmetic on evaluated values
 impl ScalarExpr {
     /// Build `self op other`.
     pub fn bin(self, op: BinOp, other: ScalarExpr) -> ScalarExpr {
@@ -130,7 +130,11 @@ impl ScalarExpr {
     }
 
     /// Build `CASE WHEN when THEN self ELSE els END`.
-    pub fn case_when(when: crate::predicate::Predicate, then: ScalarExpr, els: ScalarExpr) -> ScalarExpr {
+    pub fn case_when(
+        when: crate::predicate::Predicate,
+        then: ScalarExpr,
+        els: ScalarExpr,
+    ) -> ScalarExpr {
         ScalarExpr::Case {
             when: Box::new(when),
             then: Box::new(then),
@@ -154,7 +158,9 @@ impl ScalarExpr {
             ScalarExpr::Bin { op: _, left, right } => {
                 let l = left.output_type(schema)?;
                 let r = right.output_type(schema)?;
-                let numeric = |t: DataType| matches!(t, DataType::Int32 | DataType::Int64 | DataType::Float64);
+                let numeric = |t: DataType| {
+                    matches!(t, DataType::Int32 | DataType::Int64 | DataType::Float64)
+                };
                 if !numeric(l) || !numeric(r) {
                     return Err(ExprError::Incompatible {
                         left: l.name(),
@@ -280,9 +286,7 @@ impl ScalarExpr {
             ScalarExpr::Year(e) => {
                 let v = e.eval_row(block, row)?;
                 match v {
-                    Value::Date(d) => {
-                        Ok(Value::I32(uot_storage::date_to_ymd(d).0))
-                    }
+                    Value::Date(d) => Ok(Value::I32(uot_storage::date_to_ymd(d).0)),
                     other => Err(ExprError::InvalidType {
                         context: "YEAR",
                         found: format!("{other:?}"),
@@ -469,7 +473,10 @@ fn merge_case(mask: &[bool], t: ColumnData, e: ColumnData) -> Result<ColumnData>
         // Mixed numeric: promote both sides to f64 or i64.
         (t, e) => {
             let num = |c: &ColumnData| {
-                matches!(c, ColumnData::I32(_) | ColumnData::I64(_) | ColumnData::F64(_))
+                matches!(
+                    c,
+                    ColumnData::I32(_) | ColumnData::I64(_) | ColumnData::F64(_)
+                )
             };
             if !num(&t) || !num(&e) {
                 return Err(ExprError::Incompatible {
@@ -671,10 +678,7 @@ mod tests {
         let b = block(BlockFormat::Column);
         let out = e.eval_all(&b).unwrap();
         assert_eq!(out.as_i64(), &[1, 4, 7, 10, 13, 16]);
-        assert_eq!(
-            e.output_type(b.schema()).unwrap(),
-            DataType::Int64
-        );
+        assert_eq!(e.output_type(b.schema()).unwrap(), DataType::Int64);
     }
 
     #[test]
@@ -745,15 +749,13 @@ mod tests {
         let s = Schema::from_pairs(&[("d", DataType::Date)]);
         let mut b = StorageBlock::new(s, BlockFormat::Column, 1024).unwrap();
         for (y, m, d) in [(1992, 1, 1), (1995, 6, 17), (1998, 12, 31)] {
-            b.append_row(&[Value::Date(date_from_ymd(y, m, d))]).unwrap();
+            b.append_row(&[Value::Date(date_from_ymd(y, m, d))])
+                .unwrap();
         }
         let e = col(0).year();
         assert_eq!(e.output_type(b.schema()).unwrap(), DataType::Int32);
         assert_eq!(e.eval_all(&b).unwrap().as_i32(), &[1992, 1995, 1998]);
-        assert_eq!(
-            e.eval_gather(&b, &[2, 0]).unwrap().as_i32(),
-            &[1998, 1992]
-        );
+        assert_eq!(e.eval_gather(&b, &[2, 0]).unwrap().as_i32(), &[1998, 1992]);
         assert_eq!(e.eval_row(&b, 1).unwrap(), Value::I32(1995));
         // YEAR of a non-date errors
         assert!(lit(5i32).year().eval_all(&b).is_err());
@@ -765,11 +767,7 @@ mod tests {
         use crate::predicate::{cmp, CmpOp};
         let b = block(BlockFormat::Column);
         // CASE WHEN qty < 3 THEN price ELSE 0.0 END
-        let e = ScalarExpr::case_when(
-            cmp(col(2), CmpOp::Lt, lit(3i32)),
-            col(0),
-            lit(0.0),
-        );
+        let e = ScalarExpr::case_when(cmp(col(2), CmpOp::Lt, lit(3i32)), col(0), lit(0.0));
         assert_eq!(e.output_type(b.schema()).unwrap(), DataType::Float64);
         let v = e.eval_all(&b).unwrap();
         assert_eq!(v.as_f64()[0], 100.0);
@@ -781,19 +779,11 @@ mod tests {
         // row path agrees
         assert_eq!(e.eval_row(&b, 3).unwrap(), Value::F64(0.0));
         // mixed numeric branches promote
-        let e = ScalarExpr::case_when(
-            cmp(col(2), CmpOp::Lt, lit(3i32)),
-            lit(1i32),
-            lit(0i64),
-        );
+        let e = ScalarExpr::case_when(cmp(col(2), CmpOp::Lt, lit(3i32)), lit(1i32), lit(0i64));
         assert_eq!(e.output_type(b.schema()).unwrap(), DataType::Int64);
         assert_eq!(e.eval_all(&b).unwrap().as_i64(), &[1, 1, 1, 0, 0, 0]);
         // incompatible branches rejected
-        let e = ScalarExpr::case_when(
-            cmp(col(2), CmpOp::Lt, lit(3i32)),
-            lit("x"),
-            lit(0i64),
-        );
+        let e = ScalarExpr::case_when(cmp(col(2), CmpOp::Lt, lit(3i32)), lit("x"), lit(0i64));
         assert!(e.output_type(b.schema()).is_err());
         assert!(e.eval_all(&b).is_err());
     }
@@ -802,11 +792,7 @@ mod tests {
     fn case_with_string_branches() {
         use crate::predicate::{cmp, CmpOp};
         let b = block(BlockFormat::Row);
-        let e = ScalarExpr::case_when(
-            cmp(col(2), CmpOp::Lt, lit(2i32)),
-            lit("lo"),
-            lit("hi"),
-        );
+        let e = ScalarExpr::case_when(cmp(col(2), CmpOp::Lt, lit(2i32)), lit("lo"), lit("hi"));
         let v = e.eval_all(&b).unwrap();
         let (w, data) = v.as_char();
         assert_eq!(w, 2);

@@ -156,8 +156,7 @@ impl CostParams {
     pub fn cost_ratio_eq1(&self) -> f64 {
         let p1p = self.p1_prime();
         let num = self.ar_l3 + self.w_mem + self.p1 * self.m_l3;
-        let den =
-            self.p2 * (self.m_l3 + self.rr_l3) + p1p * (self.m_l3 + self.rr_l3 + self.w_mem);
+        let den = self.p2 * (self.m_l3 + self.rr_l3) + p1p * (self.m_l3 + self.rr_l3 + self.w_mem);
         num / den
     }
 }

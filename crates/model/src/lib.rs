@@ -18,6 +18,4 @@ pub mod cost;
 pub mod memory;
 
 pub use cost::{CostParams, HardwareProfile, PersistentStoreParams};
-pub use memory::{
-    hash_table_size, memory_reduction, CascadeFootprint, SelectionProfile,
-};
+pub use memory::{hash_table_size, memory_reduction, CascadeFootprint, SelectionProfile};

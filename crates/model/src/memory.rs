@@ -42,7 +42,10 @@ pub struct SelectionProfile {
 impl SelectionProfile {
     /// New profile (asserts both fractions are in `[0, 1]`).
     pub fn new(selectivity: f64, projectivity: f64) -> Self {
-        assert!((0.0..=1.0).contains(&selectivity), "selectivity {selectivity}");
+        assert!(
+            (0.0..=1.0).contains(&selectivity),
+            "selectivity {selectivity}"
+        );
         assert!(
             (0.0..=1.0).contains(&projectivity),
             "projectivity {projectivity}"

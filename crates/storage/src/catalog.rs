@@ -76,10 +76,7 @@ mod tests {
         let c = Catalog::new();
         c.register(table("a")).unwrap();
         assert_eq!(c.get("a").unwrap().num_rows(), 1);
-        assert!(matches!(
-            c.get("b"),
-            Err(StorageError::TableNotFound(_))
-        ));
+        assert!(matches!(c.get("b"), Err(StorageError::TableNotFound(_))));
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl fmt::Display for StorageError {
             StorageError::TableExists(name) => write!(f, "table already exists: {name}"),
             StorageError::UnhashableType(t) => write!(f, "type {t} cannot be used as a hash key"),
             StorageError::ArityMismatch { expected, found } => {
-                write!(f, "row arity mismatch: schema has {expected} columns, got {found}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} columns, got {found}"
+                )
             }
         }
     }

@@ -14,7 +14,6 @@ use crate::types::DataType;
 use crate::Result;
 use std::hash::{BuildHasherDefault, Hasher};
 
-
 /// A compact, hashable encoding of one or more key columns of a row.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum HashKey {
@@ -29,9 +28,7 @@ pub enum HashKey {
 
 /// Total encoded width in bytes of the key columns `cols` of `schema_types`.
 fn encoded_width(block: &StorageBlock, cols: &[usize]) -> usize {
-    cols.iter()
-        .map(|&c| block.schema().dtype(c).width())
-        .sum()
+    cols.iter().map(|&c| block.schema().dtype(c).width()).sum()
 }
 
 impl HashKey {
@@ -41,9 +38,7 @@ impl HashKey {
     pub fn from_row(block: &StorageBlock, row: usize, cols: &[usize]) -> Result<HashKey> {
         for &c in cols {
             if !block.schema().dtype(c).hashable() {
-                return Err(StorageError::UnhashableType(
-                    block.schema().dtype(c).name(),
-                ));
+                return Err(StorageError::UnhashableType(block.schema().dtype(c).name()));
             }
         }
         let width = encoded_width(block, cols);

@@ -143,9 +143,7 @@ impl BlockPool {
     ) -> Result<StorageBlock> {
         if self.reuse.load(Ordering::Relaxed) {
             let mut free = self.free.lock();
-            if let Some(list) =
-                free.get_mut(&PoolKey(schema.clone(), format, capacity_bytes))
-            {
+            if let Some(list) = free.get_mut(&PoolKey(schema.clone(), format, capacity_bytes)) {
                 if let Some(mut b) = list.pop() {
                     drop(free);
                     b.clear();

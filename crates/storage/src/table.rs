@@ -169,7 +169,8 @@ mod tests {
         let s = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)]);
         let mut tb = TableBuilder::new("t", s, format, block_bytes);
         for i in 0..n {
-            tb.append(&[Value::I32(i), Value::I64(i as i64 * 3)]).unwrap();
+            tb.append(&[Value::I32(i), Value::I64(i as i64 * 3)])
+                .unwrap();
         }
         tb.finish()
     }
@@ -215,8 +216,7 @@ mod tests {
     fn tracker_meters_block_allocation() {
         let s = Schema::from_pairs(&[("k", DataType::Int32)]);
         let tr = MemoryTracker::new();
-        let mut tb =
-            TableBuilder::new("t", s, BlockFormat::Row, 16).with_tracker(tr.clone());
+        let mut tb = TableBuilder::new("t", s, BlockFormat::Row, 16).with_tracker(tr.clone());
         for i in 0..6 {
             tb.append(&[Value::I32(i)]).unwrap(); // 4 rows per block
         }
@@ -229,8 +229,7 @@ mod tests {
     fn tracker_releases_empty_trailing_block() {
         let s = Schema::from_pairs(&[("k", DataType::Int32)]);
         let tr = MemoryTracker::new();
-        let mut tb =
-            TableBuilder::new("t", s, BlockFormat::Row, 16).with_tracker(tr.clone());
+        let mut tb = TableBuilder::new("t", s, BlockFormat::Row, 16).with_tracker(tr.clone());
         for i in 0..4 {
             tb.append(&[Value::I32(i)]).unwrap();
         }

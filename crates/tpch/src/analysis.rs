@@ -53,8 +53,11 @@ pub fn lineitem_cases() -> Vec<SelectionCase> {
         SelectionCase {
             query: "Q07",
             table: "lineitem",
-            predicate: cmp(col(li::SHIPDATE), CmpOp::Ge, dl(1995, 1, 1))
-                .and(cmp(col(li::SHIPDATE), CmpOp::Le, dl(1996, 12, 31))),
+            predicate: cmp(col(li::SHIPDATE), CmpOp::Ge, dl(1995, 1, 1)).and(cmp(
+                col(li::SHIPDATE),
+                CmpOp::Le,
+                dl(1996, 12, 31),
+            )),
             projected_cols: vec![
                 li::SUPPKEY,
                 li::ORDERKEY,
@@ -128,8 +131,11 @@ pub fn orders_cases() -> Vec<SelectionCase> {
         SelectionCase {
             query: "Q08",
             table: "orders",
-            predicate: cmp(col(ord::ORDERDATE), CmpOp::Ge, dl(1995, 1, 1))
-                .and(cmp(col(ord::ORDERDATE), CmpOp::Le, dl(1996, 12, 31))),
+            predicate: cmp(col(ord::ORDERDATE), CmpOp::Ge, dl(1995, 1, 1)).and(cmp(
+                col(ord::ORDERDATE),
+                CmpOp::Le,
+                dl(1996, 12, 31),
+            )),
             projected_cols: vec![ord::ORDERKEY, ord::CUSTKEY, ord::ORDERDATE],
         },
         SelectionCase {

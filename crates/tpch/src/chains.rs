@@ -64,7 +64,6 @@ fn chain(
     })
 }
 
-
 /// All chains evaluated in Figs. 5/6 (plus the two Q07 scalability probes
 /// of Figs. 9/10, distinguished by hash-table size).
 pub fn chain_specs(db: &TpchDb) -> Result<Vec<ChainSpec>> {
@@ -120,7 +119,14 @@ pub fn chain_specs(db: &TpchDb) -> Result<Vec<ChainSpec>> {
             ],
             &["l_orderkey", "l_suppkey", "rev"],
         )?;
-        let p = pb.probe(Source::Op(s), b, vec![0], vec![1, 2], vec![], JoinType::Inner)?;
+        let p = pb.probe(
+            Source::Op(s),
+            b,
+            vec![0],
+            vec![1, 2],
+            vec![],
+            JoinType::Inner,
+        )?;
         out.push(ChainSpec {
             name: "Q05",
             plan: pb.build(p)?,
@@ -138,8 +144,11 @@ pub fn chain_specs(db: &TpchDb) -> Result<Vec<ChainSpec>> {
         vec![ord::ORDERKEY],
         vec![ord::CUSTKEY],
         Source::Table(db.lineitem()),
-        cmp(col(li::SHIPDATE), CmpOp::Ge, dl(1995, 1, 1))
-            .and(cmp(col(li::SHIPDATE), CmpOp::Le, dl(1996, 12, 31))),
+        cmp(col(li::SHIPDATE), CmpOp::Ge, dl(1995, 1, 1)).and(cmp(
+            col(li::SHIPDATE),
+            CmpOp::Le,
+            dl(1996, 12, 31),
+        )),
         vec![col(li::ORDERKEY), revenue(li::EXTENDEDPRICE, li::DISCOUNT)],
         &["l_orderkey", "volume"],
         vec![0],
@@ -155,8 +164,11 @@ pub fn chain_specs(db: &TpchDb) -> Result<Vec<ChainSpec>> {
         vec![supp::SUPPKEY],
         vec![supp::NATIONKEY],
         Source::Table(db.lineitem()),
-        cmp(col(li::SHIPDATE), CmpOp::Ge, dl(1995, 1, 1))
-            .and(cmp(col(li::SHIPDATE), CmpOp::Le, dl(1996, 12, 31))),
+        cmp(col(li::SHIPDATE), CmpOp::Ge, dl(1995, 1, 1)).and(cmp(
+            col(li::SHIPDATE),
+            CmpOp::Le,
+            dl(1996, 12, 31),
+        )),
         vec![col(li::SUPPKEY), revenue(li::EXTENDEDPRICE, li::DISCOUNT)],
         &["l_suppkey", "volume"],
         vec![0],

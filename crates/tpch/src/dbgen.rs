@@ -11,9 +11,7 @@ use crate::schema;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-use uot_storage::{
-    date_from_ymd, BlockFormat, Catalog, Table, TableBuilder, Value,
-};
+use uot_storage::{date_from_ymd, BlockFormat, Catalog, Table, TableBuilder, Value};
 
 /// The 25 spec nations with their region keys.
 pub const NATIONS: [(&str, i32); 25] = [
@@ -317,12 +315,7 @@ impl TpchDb {
     }
 
     fn gen_part(catalog: &Catalog, config: &TpchConfig, rng: &mut StdRng) {
-        let mut tb = TableBuilder::new(
-            "part",
-            schema::part(),
-            config.format,
-            config.block_bytes,
-        );
+        let mut tb = TableBuilder::new("part", schema::part(), config.format, config.block_bytes);
         for k in 1..=config.n_part() {
             let t1 = TYPE_1[rng.gen_range(0..TYPE_1.len())];
             let t2 = TYPE_2[rng.gen_range(0..TYPE_2.len())];
@@ -539,10 +532,7 @@ mod tests {
             block_bytes: 16 * 1024,
             format: BlockFormat::Column,
         });
-        assert_ne!(
-            c.lineitem().blocks()[0].row_values(0).unwrap(),
-            ra
-        );
+        assert_ne!(c.lineitem().blocks()[0].row_values(0).unwrap(), ra);
     }
 
     #[test]

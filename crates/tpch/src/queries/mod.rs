@@ -11,7 +11,6 @@
 //! documented as out of scope in EXPERIMENTS.md.
 
 mod q01;
-pub(crate) mod util;
 mod q03;
 mod q04;
 mod q05;
@@ -25,6 +24,7 @@ mod q14;
 mod q17;
 mod q18;
 mod q19;
+pub(crate) mod util;
 
 use crate::dbgen::TpchDb;
 use uot_core::{QueryPlan, Result};

@@ -45,7 +45,14 @@ fn plan_impl(db: &TpchDb, lip: bool) -> Result<QueryPlan> {
         &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
     )?;
     // c_custkey is unique: an inner probe without payload is a semi filter
-    let p_o = pb.probe(Source::Op(o), b_c, vec![1], vec![0, 2, 3], vec![], JoinType::Inner)?;
+    let p_o = pb.probe(
+        Source::Op(o),
+        b_c,
+        vec![1],
+        vec![0, 2, 3],
+        vec![],
+        JoinType::Inner,
+    )?;
     let b_o = pb.build_hash(Source::Op(p_o), vec![0], vec![1, 2])?;
     let l = pb.select(
         Source::Table(db.lineitem()),

@@ -8,8 +8,8 @@ use crate::dbgen::TpchDb;
 use crate::schema::{cust, li, nat, ord, reg, supp};
 use uot_core::{JoinType, PlanBuilder, QueryPlan, Result, SortKey, Source};
 use uot_expr::{between_half_open, col, AggSpec, Predicate};
-use uot_storage::Value;
 use uot_storage::date_from_ymd;
+use uot_storage::Value;
 
 /// Build the Q5 plan.
 pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
@@ -53,7 +53,14 @@ pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
         vec![col(ord::ORDERKEY), col(ord::CUSTKEY)],
         &["o_orderkey", "o_custkey"],
     )?;
-    let p_o = pb.probe(Source::Op(o), b_c, vec![1], vec![0], vec![0, 1], JoinType::Inner)?;
+    let p_o = pb.probe(
+        Source::Op(o),
+        b_c,
+        vec![1],
+        vec![0],
+        vec![0, 1],
+        JoinType::Inner,
+    )?;
     // (o_orderkey, n_nationkey, n_name)
     let b_o = pb.build_hash(Source::Op(p_o), vec![0], vec![1, 2])?;
     let l = pb.select(
@@ -89,7 +96,12 @@ pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
         JoinType::Inner,
     )?;
     // (n_name, rev)
-    let a = pb.aggregate(Source::Op(p_s), vec![0], vec![AggSpec::sum(col(1))], &["revenue"])?;
+    let a = pb.aggregate(
+        Source::Op(p_s),
+        vec![0],
+        vec![AggSpec::sum(col(1))],
+        &["revenue"],
+    )?;
     let so = pb.sort(Source::Op(a), vec![SortKey::desc(1)], None)?;
     pb.build(so)
 }

@@ -21,6 +21,11 @@ pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
         vec![col(li::EXTENDEDPRICE).mul(col(li::DISCOUNT))],
         &["rev"],
     )?;
-    let a = pb.aggregate(Source::Op(s), vec![], vec![AggSpec::sum(col(0))], &["revenue"])?;
+    let a = pb.aggregate(
+        Source::Op(s),
+        vec![],
+        vec![AggSpec::sum(col(0))],
+        &["revenue"],
+    )?;
     pb.build(a)
 }

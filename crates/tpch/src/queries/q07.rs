@@ -69,8 +69,11 @@ pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
     // lineitem shipped in 1995-1996
     let l = pb.select(
         Source::Table(db.lineitem()),
-        cmp(col(li::SHIPDATE), CmpOp::Ge, dl(1995, 1, 1))
-            .and(cmp(col(li::SHIPDATE), CmpOp::Le, dl(1996, 12, 31))),
+        cmp(col(li::SHIPDATE), CmpOp::Ge, dl(1995, 1, 1)).and(cmp(
+            col(li::SHIPDATE),
+            CmpOp::Le,
+            dl(1996, 12, 31),
+        )),
         vec![
             col(li::ORDERKEY),
             col(li::SUPPKEY),

@@ -42,8 +42,11 @@ pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
     // orders in 1995-1996 from those customers
     let o = pb.select(
         Source::Table(db.orders()),
-        cmp(col(ord::ORDERDATE), CmpOp::Ge, dl(1995, 1, 1))
-            .and(cmp(col(ord::ORDERDATE), CmpOp::Le, dl(1996, 12, 31))),
+        cmp(col(ord::ORDERDATE), CmpOp::Ge, dl(1995, 1, 1)).and(cmp(
+            col(ord::ORDERDATE),
+            CmpOp::Le,
+            dl(1996, 12, 31),
+        )),
         vec![
             col(ord::ORDERKEY),
             col(ord::CUSTKEY),
@@ -51,7 +54,14 @@ pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
         ],
         &["o_orderkey", "o_custkey", "o_year"],
     )?;
-    let p_o = pb.probe(Source::Op(o), b_c, vec![1], vec![0, 2], vec![], JoinType::Inner)?;
+    let p_o = pb.probe(
+        Source::Op(o),
+        b_c,
+        vec![1],
+        vec![0, 2],
+        vec![],
+        JoinType::Inner,
+    )?;
     // (o_orderkey, o_year)
     let b_o = pb.build_hash(Source::Op(p_o), vec![0], vec![1])?;
     // parts of the target type
@@ -77,7 +87,14 @@ pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
         ],
         &["l_orderkey", "l_partkey", "l_suppkey", "volume"],
     )?;
-    let pl1 = pb.probe(Source::Op(l), b_p, vec![1], vec![0, 2, 3], vec![], JoinType::Inner)?;
+    let pl1 = pb.probe(
+        Source::Op(l),
+        b_p,
+        vec![1],
+        vec![0, 2, 3],
+        vec![],
+        JoinType::Inner,
+    )?;
     // (l_orderkey, l_suppkey, volume)
     let pl2 = pb.probe(
         Source::Op(pl1),

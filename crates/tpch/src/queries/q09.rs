@@ -55,9 +55,7 @@ pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
     )?;
     // (l_orderkey, l_suppkey, qty, ext, disc, ps_supplycost)
     // amount = ext*(1-disc) - supplycost*qty, folded with the projection
-    let amount = col(3)
-        .mul(lit(1.0).sub(col(4)))
-        .sub(col(5).mul(col(2)));
+    let amount = col(3).mul(lit(1.0).sub(col(4))).sub(col(5).mul(col(2)));
     let am = pb.select(
         Source::Op(p1),
         Predicate::True,
@@ -70,7 +68,14 @@ pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
         vec![ord::ORDERKEY],
         vec![ord::ORDERDATE],
     )?;
-    let p2 = pb.probe(Source::Op(am), b_o, vec![0], vec![1, 2], vec![0], JoinType::Inner)?;
+    let p2 = pb.probe(
+        Source::Op(am),
+        b_o,
+        vec![0],
+        vec![1, 2],
+        vec![0],
+        JoinType::Inner,
+    )?;
     // (l_suppkey, amount, o_orderdate)
     let ym = pb.select(
         Source::Op(p2),
@@ -84,14 +89,28 @@ pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
         vec![supp::SUPPKEY],
         vec![supp::NATIONKEY],
     )?;
-    let p3 = pb.probe(Source::Op(ym), b_s, vec![0], vec![1, 2], vec![0], JoinType::Inner)?;
+    let p3 = pb.probe(
+        Source::Op(ym),
+        b_s,
+        vec![0],
+        vec![1, 2],
+        vec![0],
+        JoinType::Inner,
+    )?;
     // (amount, o_year, s_nationkey)
     let b_n = pb.build_hash(
         Source::Table(db.nation()),
         vec![nat::NATIONKEY],
         vec![nat::NAME],
     )?;
-    let p4 = pb.probe(Source::Op(p3), b_n, vec![2], vec![0, 1], vec![0], JoinType::Inner)?;
+    let p4 = pb.probe(
+        Source::Op(p3),
+        b_n,
+        vec![2],
+        vec![0, 1],
+        vec![0],
+        JoinType::Inner,
+    )?;
     // (amount, o_year, n_name)
     let a = pb.aggregate(
         Source::Op(p4),

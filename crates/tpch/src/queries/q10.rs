@@ -6,8 +6,8 @@ use crate::dbgen::TpchDb;
 use crate::schema::{cust, li, nat, ord};
 use uot_core::{JoinType, PlanBuilder, QueryPlan, Result, SortKey, Source};
 use uot_expr::{between_half_open, col, AggSpec, Predicate};
-use uot_storage::Value;
 use uot_storage::date_from_ymd;
+use uot_storage::Value;
 
 /// Build the Q10 plan.
 pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
@@ -44,9 +44,21 @@ fn plan_impl(db: &TpchDb, lip: bool) -> Result<QueryPlan> {
     if lip {
         pb.add_lip(l, b_o, vec![li::ORDERKEY])?;
     }
-    let p = pb.probe(Source::Op(l), b_o, vec![0], vec![1], vec![0], JoinType::Inner)?;
+    let p = pb.probe(
+        Source::Op(l),
+        b_o,
+        vec![0],
+        vec![1],
+        vec![0],
+        JoinType::Inner,
+    )?;
     // (rev, o_custkey)
-    let a = pb.aggregate(Source::Op(p), vec![1], vec![AggSpec::sum(col(0))], &["revenue"])?;
+    let a = pb.aggregate(
+        Source::Op(p),
+        vec![1],
+        vec![AggSpec::sum(col(0))],
+        &["revenue"],
+    )?;
     // (o_custkey, revenue) — decorate with customer and nation attributes
     let b_cu = pb.build_hash(
         Source::Table(db.customer()),

@@ -5,8 +5,8 @@ use crate::dbgen::TpchDb;
 use crate::schema::{li, ord};
 use uot_core::{JoinType, PlanBuilder, QueryPlan, Result, SortKey, Source};
 use uot_expr::{between_half_open, cmp, col, lit, AggSpec, CmpOp, Predicate, ScalarExpr};
-use uot_storage::Value;
 use uot_storage::date_from_ymd;
+use uot_storage::Value;
 
 /// Build the Q12 plan.
 pub fn plan(db: &TpchDb) -> Result<QueryPlan> {

@@ -6,8 +6,8 @@ use crate::dbgen::TpchDb;
 use crate::schema::{li, part};
 use uot_core::{JoinType, PlanBuilder, QueryPlan, Result, Source};
 use uot_expr::{between_half_open, col, lit, AggSpec, Predicate, ScalarExpr};
-use uot_storage::Value;
 use uot_storage::date_from_ymd;
+use uot_storage::Value;
 
 /// Build the Q14 plan.
 pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
@@ -27,7 +27,14 @@ pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
         vec![part::PARTKEY],
         vec![part::TYPE],
     )?;
-    let p = pb.probe(Source::Op(l), b_p, vec![0], vec![1], vec![0], JoinType::Inner)?;
+    let p = pb.probe(
+        Source::Op(l),
+        b_p,
+        vec![0],
+        vec![1],
+        vec![0],
+        JoinType::Inner,
+    )?;
     // (rev, p_type)
     let promo = ScalarExpr::case_when(
         Predicate::StrStartsWith {

@@ -36,7 +36,14 @@ pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
         vec![col(li::PARTKEY), col(li::QUANTITY)],
         &["l_partkey", "qty"],
     )?;
-    let p1 = pb.probe(Source::Op(l1), b_pa1, vec![0], vec![0, 1], vec![], JoinType::Inner)?;
+    let p1 = pb.probe(
+        Source::Op(l1),
+        b_pa1,
+        vec![0],
+        vec![0, 1],
+        vec![],
+        JoinType::Inner,
+    )?;
     let avg = pb.aggregate(
         Source::Op(p1),
         vec![0],
@@ -59,8 +66,22 @@ pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
         vec![col(li::PARTKEY), col(li::QUANTITY), col(li::EXTENDEDPRICE)],
         &["l_partkey", "qty", "ext"],
     )?;
-    let p2 = pb.probe(Source::Op(l2), b_pa2, vec![0], vec![0, 1, 2], vec![], JoinType::Inner)?;
-    let p3 = pb.probe(Source::Op(p2), b_avg, vec![0], vec![1, 2], vec![0], JoinType::Inner)?;
+    let p2 = pb.probe(
+        Source::Op(l2),
+        b_pa2,
+        vec![0],
+        vec![0, 1, 2],
+        vec![],
+        JoinType::Inner,
+    )?;
+    let p3 = pb.probe(
+        Source::Op(p2),
+        b_avg,
+        vec![0],
+        vec![1, 2],
+        vec![0],
+        JoinType::Inner,
+    )?;
     // (qty, ext, avg_qty): keep rows with qty < 0.2 * avg(qty)
     let f = pb.select(
         Source::Op(p3),
@@ -68,7 +89,12 @@ pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
         vec![col(1)],
         &["ext"],
     )?;
-    let a = pb.aggregate(Source::Op(f), vec![], vec![AggSpec::sum(col(0))], &["sum_ext"])?;
+    let a = pb.aggregate(
+        Source::Op(f),
+        vec![],
+        vec![AggSpec::sum(col(0))],
+        &["sum_ext"],
+    )?;
     // avg_yearly = sum(ext) / 7.0
     let out = pb.select(
         Source::Op(a),

@@ -81,6 +81,11 @@ pub fn plan(db: &TpchDb) -> Result<QueryPlan> {
         15,
     ));
     let f = pb.select(Source::Op(p), residual, vec![col(1)], &["rev"])?;
-    let a = pb.aggregate(Source::Op(f), vec![], vec![AggSpec::sum(col(0))], &["revenue"])?;
+    let a = pb.aggregate(
+        Source::Op(f),
+        vec![],
+        vec![AggSpec::sum(col(0))],
+        &["revenue"],
+    )?;
     pb.build(a)
 }

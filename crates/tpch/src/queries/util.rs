@@ -1,8 +1,8 @@
 //! Shared helpers for query plan construction.
 
 use uot_expr::ScalarExpr;
-use uot_storage::Value;
 use uot_storage::date_from_ymd;
+use uot_storage::Value;
 
 /// A date literal expression.
 pub(crate) fn dl(y: i32, m: u32, d: u32) -> ScalarExpr {

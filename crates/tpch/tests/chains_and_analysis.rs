@@ -34,7 +34,11 @@ fn chains_build_and_run_under_both_uots() {
             spec.name
         );
         // the probe is the sink and must have run work orders
-        assert!(low.metrics.ops[spec.probe_op].work_orders > 0, "{}", spec.name);
+        assert!(
+            low.metrics.ops[spec.probe_op].work_orders > 0,
+            "{}",
+            spec.name
+        );
         assert!(low.metrics.ops[spec.select_op].work_orders > 0);
         assert!(low.metrics.ops[spec.build_op].work_orders > 0);
     }
@@ -113,7 +117,11 @@ fn table4_orders_profile_matches_paper_regime() {
     assert!((35.0..60.0).contains(&by("Q21").selectivity_pct));
     let avg = average(&rows);
     // Paper average: 1.8% total.
-    assert!(avg.total_pct < 6.0, "average orders reduction {}", avg.total_pct);
+    assert!(
+        avg.total_pct < 6.0,
+        "average orders reduction {}",
+        avg.total_pct
+    );
 }
 
 #[test]

@@ -66,7 +66,10 @@ fn q6_matches_reference() {
     let rows = run(&db, QueryId::Q6, EngineConfig::serial());
     assert_eq!(rows.len(), 1);
     let got = rows[0][0].as_f64();
-    assert!((got - expect).abs() < 1e-6 * expect.abs().max(1.0), "{got} vs {expect}");
+    assert!(
+        (got - expect).abs() < 1e-6 * expect.abs().max(1.0),
+        "{got} vs {expect}"
+    );
     assert!(expect > 0.0, "workload should select something");
 }
 
@@ -170,7 +173,9 @@ fn sorted_queries_respect_order_and_limits() {
     let db = db();
     // Q3: top 10 by revenue desc
     let plan = build_query(QueryId::Q3, &db).unwrap();
-    let r = Engine::new(EngineConfig::parallel(4)).execute(plan).unwrap();
+    let r = Engine::new(EngineConfig::parallel(4))
+        .execute(plan)
+        .unwrap();
     let rows = r.rows();
     assert!(rows.len() <= 10);
     for w in rows.windows(2) {
@@ -255,12 +260,10 @@ fn lip_variants_agree_with_plain_plans() {
     for q in [QueryId::Q3, QueryId::Q10] {
         let plain = run(&db, q, EngineConfig::serial());
         let plan = uot_tpch::build_query_lip(q, &db).expect("lip plan builds");
-        let r = Engine::new(EngineConfig::serial()).execute(plan).expect("runs");
-        assert_rows_approx_eq(
-            &r.sorted_rows(),
-            &plain,
-            &format!("{} with LIP", q.label()),
-        );
+        let r = Engine::new(EngineConfig::serial())
+            .execute(plan)
+            .expect("runs");
+        assert_rows_approx_eq(&r.sorted_rows(), &plain, &format!("{} with LIP", q.label()));
         // the lineitem scan must actually have pruned something
         let sel = r
             .metrics

@@ -49,12 +49,8 @@ fn main() {
         .find(|c| c.query == "Q07")
         .expect("Q07 profile");
     let red = measure(&db, &case).expect("profile measures");
-    let lineitem_bytes =
-        (db.lineitem().num_rows() * db.lineitem().schema().tuple_width()) as f64;
-    let profile = SelectionProfile::new(
-        red.selectivity_pct / 100.0,
-        red.projectivity_pct / 100.0,
-    );
+    let lineitem_bytes = (db.lineitem().num_rows() * db.lineitem().schema().tuple_width()) as f64;
+    let profile = SelectionProfile::new(red.selectivity_pct / 100.0, red.projectivity_pct / 100.0);
     let fp = CascadeFootprint {
         hash_table_bytes: hash_tables,
         selection_output_bytes: profile.output_bytes(lineitem_bytes),

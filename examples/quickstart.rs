@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let build = pb.build_hash(Source::Table(products), vec![0], vec![2])?;
         let filtered = pb.select(
             Source::Table(sales),
-            cmp(col(2), CmpOp::Lt, lit(Value::Date(date_from_ymd(1995, 4, 1)))),
+            cmp(
+                col(2),
+                CmpOp::Lt,
+                lit(Value::Date(date_from_ymd(1995, 4, 1))),
+            ),
             vec![col(0), col(1)],
             &["product_id", "quantity"],
         )?;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_lip-00fc9abd13f9a6bf.d: crates/bench/src/bin/ablation_lip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_lip-00fc9abd13f9a6bf.rmeta: crates/bench/src/bin/ablation_lip.rs Cargo.toml
+
+crates/bench/src/bin/ablation_lip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

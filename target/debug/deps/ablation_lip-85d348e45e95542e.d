@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_lip-85d348e45e95542e.d: crates/bench/src/bin/ablation_lip.rs
+
+/root/repo/target/debug/deps/ablation_lip-85d348e45e95542e: crates/bench/src/bin/ablation_lip.rs
+
+crates/bench/src/bin/ablation_lip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pool-08465e7e38e53f16.d: crates/bench/src/bin/ablation_pool.rs
+
+/root/repo/target/debug/deps/ablation_pool-08465e7e38e53f16: crates/bench/src/bin/ablation_pool.rs
+
+crates/bench/src/bin/ablation_pool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pool-afa5989d49f200dc.d: crates/bench/src/bin/ablation_pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pool-afa5989d49f200dc.rmeta: crates/bench/src/bin/ablation_pool.rs Cargo.toml
+
+crates/bench/src/bin/ablation_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pool-e0a0be5d5f5e72ac.d: crates/bench/src/bin/ablation_pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pool-e0a0be5d5f5e72ac.rmeta: crates/bench/src/bin/ablation_pool.rs Cargo.toml
+
+crates/bench/src/bin/ablation_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

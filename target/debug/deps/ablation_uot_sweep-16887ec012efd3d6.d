@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_uot_sweep-16887ec012efd3d6.d: crates/bench/src/bin/ablation_uot_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_uot_sweep-16887ec012efd3d6.rmeta: crates/bench/src/bin/ablation_uot_sweep.rs Cargo.toml
+
+crates/bench/src/bin/ablation_uot_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_uot_sweep-a59952d73b30d5b5.d: crates/bench/src/bin/ablation_uot_sweep.rs
+
+/root/repo/target/debug/deps/ablation_uot_sweep-a59952d73b30d5b5: crates/bench/src/bin/ablation_uot_sweep.rs
+
+crates/bench/src/bin/ablation_uot_sweep.rs:

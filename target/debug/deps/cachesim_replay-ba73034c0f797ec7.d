@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cachesim_replay-ba73034c0f797ec7.d: crates/bench/benches/cachesim_replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcachesim_replay-ba73034c0f797ec7.rmeta: crates/bench/benches/cachesim_replay.rs Cargo.toml
+
+crates/bench/benches/cachesim_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chains_and_analysis-42d1e731c7d924ea.d: crates/tpch/tests/chains_and_analysis.rs
+
+/root/repo/target/debug/deps/chains_and_analysis-42d1e731c7d924ea: crates/tpch/tests/chains_and_analysis.rs
+
+crates/tpch/tests/chains_and_analysis.rs:

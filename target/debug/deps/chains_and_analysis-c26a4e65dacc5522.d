@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chains_and_analysis-c26a4e65dacc5522.d: crates/tpch/tests/chains_and_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchains_and_analysis-c26a4e65dacc5522.rmeta: crates/tpch/tests/chains_and_analysis.rs Cargo.toml
+
+crates/tpch/tests/chains_and_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

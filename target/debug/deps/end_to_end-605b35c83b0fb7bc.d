@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-605b35c83b0fb7bc.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-605b35c83b0fb7bc: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eq1_cost_ratio-d1c177f5aa970f12.d: crates/bench/src/bin/eq1_cost_ratio.rs
+
+/root/repo/target/debug/deps/eq1_cost_ratio-d1c177f5aa970f12: crates/bench/src/bin/eq1_cost_ratio.rs
+
+crates/bench/src/bin/eq1_cost_ratio.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eq1_cost_ratio-ecba28468226d155.d: crates/bench/src/bin/eq1_cost_ratio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeq1_cost_ratio-ecba28468226d155.rmeta: crates/bench/src/bin/eq1_cost_ratio.rs Cargo.toml
+
+crates/bench/src/bin/eq1_cost_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_scalability_uot-adbb69a2dc7f80b4.d: crates/bench/src/bin/fig10_scalability_uot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_scalability_uot-adbb69a2dc7f80b4.rmeta: crates/bench/src/bin/fig10_scalability_uot.rs Cargo.toml
+
+crates/bench/src/bin/fig10_scalability_uot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

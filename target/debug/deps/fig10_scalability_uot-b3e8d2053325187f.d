@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_scalability_uot-b3e8d2053325187f.d: crates/bench/src/bin/fig10_scalability_uot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_scalability_uot-b3e8d2053325187f.rmeta: crates/bench/src/bin/fig10_scalability_uot.rs Cargo.toml
+
+crates/bench/src/bin/fig10_scalability_uot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

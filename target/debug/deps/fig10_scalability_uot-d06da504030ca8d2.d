@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_scalability_uot-d06da504030ca8d2.d: crates/bench/src/bin/fig10_scalability_uot.rs
+
+/root/repo/target/debug/deps/fig10_scalability_uot-d06da504030ca8d2: crates/bench/src/bin/fig10_scalability_uot.rs
+
+crates/bench/src/bin/fig10_scalability_uot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_baseline-303c4a0678a6296a.d: crates/bench/src/bin/fig11_baseline.rs
+
+/root/repo/target/debug/deps/fig11_baseline-303c4a0678a6296a: crates/bench/src/bin/fig11_baseline.rs
+
+crates/bench/src/bin/fig11_baseline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_baseline-731975ba3183abaa.d: crates/bench/src/bin/fig11_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_baseline-731975ba3183abaa.rmeta: crates/bench/src/bin/fig11_baseline.rs Cargo.toml
+
+crates/bench/src/bin/fig11_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_schedules-512a194eb99aba9e.d: crates/bench/src/bin/fig2_schedules.rs
+
+/root/repo/target/debug/deps/fig2_schedules-512a194eb99aba9e: crates/bench/src/bin/fig2_schedules.rs
+
+crates/bench/src/bin/fig2_schedules.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_schedules-749e94a1b409b4ca.d: crates/bench/src/bin/fig2_schedules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_schedules-749e94a1b409b4ca.rmeta: crates/bench/src/bin/fig2_schedules.rs Cargo.toml
+
+crates/bench/src/bin/fig2_schedules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

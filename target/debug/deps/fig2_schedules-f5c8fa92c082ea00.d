@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_schedules-f5c8fa92c082ea00.d: crates/bench/src/bin/fig2_schedules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_schedules-f5c8fa92c082ea00.rmeta: crates/bench/src/bin/fig2_schedules.rs Cargo.toml
+
+crates/bench/src/bin/fig2_schedules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

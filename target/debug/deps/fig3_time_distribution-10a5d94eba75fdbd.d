@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_time_distribution-10a5d94eba75fdbd.d: crates/bench/src/bin/fig3_time_distribution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_time_distribution-10a5d94eba75fdbd.rmeta: crates/bench/src/bin/fig3_time_distribution.rs Cargo.toml
+
+crates/bench/src/bin/fig3_time_distribution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

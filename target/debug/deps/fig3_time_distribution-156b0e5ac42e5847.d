@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_time_distribution-156b0e5ac42e5847.d: crates/bench/src/bin/fig3_time_distribution.rs
+
+/root/repo/target/debug/deps/fig3_time_distribution-156b0e5ac42e5847: crates/bench/src/bin/fig3_time_distribution.rs
+
+crates/bench/src/bin/fig3_time_distribution.rs:

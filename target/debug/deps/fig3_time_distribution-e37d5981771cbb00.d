@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_time_distribution-e37d5981771cbb00.d: crates/bench/src/bin/fig3_time_distribution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_time_distribution-e37d5981771cbb00.rmeta: crates/bench/src/bin/fig3_time_distribution.rs Cargo.toml
+
+crates/bench/src/bin/fig3_time_distribution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

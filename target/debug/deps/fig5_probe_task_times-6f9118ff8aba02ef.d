@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_probe_task_times-6f9118ff8aba02ef.d: crates/bench/src/bin/fig5_probe_task_times.rs
+
+/root/repo/target/debug/deps/fig5_probe_task_times-6f9118ff8aba02ef: crates/bench/src/bin/fig5_probe_task_times.rs
+
+crates/bench/src/bin/fig5_probe_task_times.rs:

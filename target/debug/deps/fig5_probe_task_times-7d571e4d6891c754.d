@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_probe_task_times-7d571e4d6891c754.d: crates/bench/src/bin/fig5_probe_task_times.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_probe_task_times-7d571e4d6891c754.rmeta: crates/bench/src/bin/fig5_probe_task_times.rs Cargo.toml
+
+crates/bench/src/bin/fig5_probe_task_times.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_chain_times-bec4161ccfd4ef80.d: crates/bench/src/bin/fig6_chain_times.rs
+
+/root/repo/target/debug/deps/fig6_chain_times-bec4161ccfd4ef80: crates/bench/src/bin/fig6_chain_times.rs
+
+crates/bench/src/bin/fig6_chain_times.rs:

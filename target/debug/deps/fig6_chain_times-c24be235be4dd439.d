@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_chain_times-c24be235be4dd439.d: crates/bench/src/bin/fig6_chain_times.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_chain_times-c24be235be4dd439.rmeta: crates/bench/src/bin/fig6_chain_times.rs Cargo.toml
+
+crates/bench/src/bin/fig6_chain_times.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_query_times-06cc3799f5b968f2.d: crates/bench/src/bin/fig7_query_times.rs
+
+/root/repo/target/debug/deps/fig7_query_times-06cc3799f5b968f2: crates/bench/src/bin/fig7_query_times.rs
+
+crates/bench/src/bin/fig7_query_times.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_query_times-7bec10670e808773.d: crates/bench/src/bin/fig7_query_times.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_query_times-7bec10670e808773.rmeta: crates/bench/src/bin/fig7_query_times.rs Cargo.toml
+
+crates/bench/src/bin/fig7_query_times.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

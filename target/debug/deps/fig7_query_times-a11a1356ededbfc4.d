@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_query_times-a11a1356ededbfc4.d: crates/bench/src/bin/fig7_query_times.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_query_times-a11a1356ededbfc4.rmeta: crates/bench/src/bin/fig7_query_times.rs Cargo.toml
+
+crates/bench/src/bin/fig7_query_times.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

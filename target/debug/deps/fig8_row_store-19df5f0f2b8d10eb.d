@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_row_store-19df5f0f2b8d10eb.d: crates/bench/src/bin/fig8_row_store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_row_store-19df5f0f2b8d10eb.rmeta: crates/bench/src/bin/fig8_row_store.rs Cargo.toml
+
+crates/bench/src/bin/fig8_row_store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

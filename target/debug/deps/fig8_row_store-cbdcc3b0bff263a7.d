@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_row_store-cbdcc3b0bff263a7.d: crates/bench/src/bin/fig8_row_store.rs
+
+/root/repo/target/debug/deps/fig8_row_store-cbdcc3b0bff263a7: crates/bench/src/bin/fig8_row_store.rs
+
+crates/bench/src/bin/fig8_row_store.rs:

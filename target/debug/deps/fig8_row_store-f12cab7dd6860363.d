@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_row_store-f12cab7dd6860363.d: crates/bench/src/bin/fig8_row_store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_row_store-f12cab7dd6860363.rmeta: crates/bench/src/bin/fig8_row_store.rs Cargo.toml
+
+crates/bench/src/bin/fig8_row_store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_scalability-329a151259d27830.d: crates/bench/src/bin/fig9_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_scalability-329a151259d27830.rmeta: crates/bench/src/bin/fig9_scalability.rs Cargo.toml
+
+crates/bench/src/bin/fig9_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

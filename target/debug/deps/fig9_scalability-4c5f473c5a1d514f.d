@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_scalability-4c5f473c5a1d514f.d: crates/bench/src/bin/fig9_scalability.rs
+
+/root/repo/target/debug/deps/fig9_scalability-4c5f473c5a1d514f: crates/bench/src/bin/fig9_scalability.rs
+
+crates/bench/src/bin/fig9_scalability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_scalability-b4093e566683853b.d: crates/bench/src/bin/fig9_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_scalability-b4093e566683853b.rmeta: crates/bench/src/bin/fig9_scalability.rs Cargo.toml
+
+crates/bench/src/bin/fig9_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lip-0e1a8dcc083937e2.d: crates/core/tests/lip.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblip-0e1a8dcc083937e2.rmeta: crates/core/tests/lip.rs Cargo.toml
+
+crates/core/tests/lip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

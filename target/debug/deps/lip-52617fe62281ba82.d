@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lip-52617fe62281ba82.d: crates/core/tests/lip.rs
+
+/root/repo/target/debug/deps/lip-52617fe62281ba82: crates/core/tests/lip.rs
+
+crates/core/tests/lip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/operator_primitives-5a933f72040488cd.d: crates/bench/benches/operator_primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboperator_primitives-5a933f72040488cd.rmeta: crates/bench/benches/operator_primitives.rs Cargo.toml
+
+crates/bench/benches/operator_primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/platform_info-48bacdfbbfa982a4.d: crates/bench/src/bin/platform_info.rs
+
+/root/repo/target/debug/deps/platform_info-48bacdfbbfa982a4: crates/bench/src/bin/platform_info.rs
+
+crates/bench/src/bin/platform_info.rs:

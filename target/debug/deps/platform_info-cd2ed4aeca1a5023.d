@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/platform_info-cd2ed4aeca1a5023.d: crates/bench/src/bin/platform_info.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplatform_info-cd2ed4aeca1a5023.rmeta: crates/bench/src/bin/platform_info.rs Cargo.toml
+
+crates/bench/src/bin/platform_info.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

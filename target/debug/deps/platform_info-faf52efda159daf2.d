@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/platform_info-faf52efda159daf2.d: crates/bench/src/bin/platform_info.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplatform_info-faf52efda159daf2.rmeta: crates/bench/src/bin/platform_info.rs Cargo.toml
+
+crates/bench/src/bin/platform_info.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

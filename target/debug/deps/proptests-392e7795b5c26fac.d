@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-392e7795b5c26fac.d: crates/expr/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-392e7795b5c26fac.rmeta: crates/expr/tests/proptests.rs Cargo.toml
+
+crates/expr/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

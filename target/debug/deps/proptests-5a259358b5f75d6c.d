@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-5a259358b5f75d6c.d: crates/storage/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-5a259358b5f75d6c.rmeta: crates/storage/tests/proptests.rs Cargo.toml
+
+crates/storage/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6fbc4fc8e71d5a79.d: crates/storage/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6fbc4fc8e71d5a79: crates/storage/tests/proptests.rs
+
+crates/storage/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-91f6b647c75fcc5b.d: crates/expr/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-91f6b647c75fcc5b: crates/expr/tests/proptests.rs
+
+crates/expr/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/query_correctness-43261b31bc699861.d: crates/tpch/tests/query_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery_correctness-43261b31bc699861.rmeta: crates/tpch/tests/query_correctness.rs Cargo.toml
+
+crates/tpch/tests/query_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

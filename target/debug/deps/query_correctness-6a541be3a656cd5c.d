@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query_correctness-6a541be3a656cd5c.d: crates/tpch/tests/query_correctness.rs
+
+/root/repo/target/debug/deps/query_correctness-6a541be3a656cd5c: crates/tpch/tests/query_correctness.rs
+
+crates/tpch/tests/query_correctness.rs:

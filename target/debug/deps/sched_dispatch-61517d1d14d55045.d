@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_dispatch-61517d1d14d55045.d: crates/bench/src/bin/sched_dispatch.rs
+
+/root/repo/target/debug/deps/sched_dispatch-61517d1d14d55045: crates/bench/src/bin/sched_dispatch.rs
+
+crates/bench/src/bin/sched_dispatch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_dispatch-b193241ca846b6dd.d: crates/bench/src/bin/sched_dispatch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_dispatch-b193241ca846b6dd.rmeta: crates/bench/src/bin/sched_dispatch.rs Cargo.toml
+
+crates/bench/src/bin/sched_dispatch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

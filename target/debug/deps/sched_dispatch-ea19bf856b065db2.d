@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_dispatch-ea19bf856b065db2.d: crates/bench/src/bin/sched_dispatch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_dispatch-ea19bf856b065db2.rmeta: crates/bench/src/bin/sched_dispatch.rs Cargo.toml
+
+crates/bench/src/bin/sched_dispatch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storage_primitives-bbc12bd3e7aa412b.d: crates/bench/benches/storage_primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorage_primitives-bbc12bd3e7aa412b.rmeta: crates/bench/benches/storage_primitives.rs Cargo.toml
+
+crates/bench/benches/storage_primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

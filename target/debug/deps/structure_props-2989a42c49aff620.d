@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structure_props-2989a42c49aff620.d: crates/core/tests/structure_props.rs
+
+/root/repo/target/debug/deps/structure_props-2989a42c49aff620: crates/core/tests/structure_props.rs
+
+crates/core/tests/structure_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/structure_props-6c4033b120c0480c.d: crates/core/tests/structure_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstructure_props-6c4033b120c0480c.rmeta: crates/core/tests/structure_props.rs Cargo.toml
+
+crates/core/tests/structure_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_memory_model-1b0e2aa52b99891e.d: crates/bench/src/bin/table2_memory_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_memory_model-1b0e2aa52b99891e.rmeta: crates/bench/src/bin/table2_memory_model.rs Cargo.toml
+
+crates/bench/src/bin/table2_memory_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

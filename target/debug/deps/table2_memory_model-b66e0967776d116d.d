@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_memory_model-b66e0967776d116d.d: crates/bench/src/bin/table2_memory_model.rs
+
+/root/repo/target/debug/deps/table2_memory_model-b66e0967776d116d: crates/bench/src/bin/table2_memory_model.rs
+
+crates/bench/src/bin/table2_memory_model.rs:

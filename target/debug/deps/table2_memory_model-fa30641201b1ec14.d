@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_memory_model-fa30641201b1ec14.d: crates/bench/src/bin/table2_memory_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_memory_model-fa30641201b1ec14.rmeta: crates/bench/src/bin/table2_memory_model.rs Cargo.toml
+
+crates/bench/src/bin/table2_memory_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_4_sel_proj-1f0616e866e6d22e.d: crates/bench/src/bin/table3_4_sel_proj.rs
+
+/root/repo/target/debug/deps/table3_4_sel_proj-1f0616e866e6d22e: crates/bench/src/bin/table3_4_sel_proj.rs
+
+crates/bench/src/bin/table3_4_sel_proj.rs:

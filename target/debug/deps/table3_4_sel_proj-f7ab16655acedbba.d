@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_4_sel_proj-f7ab16655acedbba.d: crates/bench/src/bin/table3_4_sel_proj.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_4_sel_proj-f7ab16655acedbba.rmeta: crates/bench/src/bin/table3_4_sel_proj.rs Cargo.toml
+
+crates/bench/src/bin/table3_4_sel_proj.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

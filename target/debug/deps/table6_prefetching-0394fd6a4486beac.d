@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_prefetching-0394fd6a4486beac.d: crates/bench/src/bin/table6_prefetching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_prefetching-0394fd6a4486beac.rmeta: crates/bench/src/bin/table6_prefetching.rs Cargo.toml
+
+crates/bench/src/bin/table6_prefetching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

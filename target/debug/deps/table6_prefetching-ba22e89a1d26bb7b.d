@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_prefetching-ba22e89a1d26bb7b.d: crates/bench/src/bin/table6_prefetching.rs
+
+/root/repo/target/debug/deps/table6_prefetching-ba22e89a1d26bb7b: crates/bench/src/bin/table6_prefetching.rs
+
+crates/bench/src/bin/table6_prefetching.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uot-304e803ff5402ebf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuot-304e803ff5402ebf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uot-37ebeadea1cbbec2.d: src/lib.rs
+
+/root/repo/target/debug/deps/uot-37ebeadea1cbbec2: src/lib.rs
+
+src/lib.rs:

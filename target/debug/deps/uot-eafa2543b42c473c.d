@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/uot-eafa2543b42c473c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libuot-eafa2543b42c473c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libuot-eafa2543b42c473c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uot-fafd2027871c9112.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuot-fafd2027871c9112.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

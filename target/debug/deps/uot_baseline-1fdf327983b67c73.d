@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/uot_baseline-1fdf327983b67c73.d: crates/baseline/src/lib.rs crates/baseline/src/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuot_baseline-1fdf327983b67c73.rmeta: crates/baseline/src/lib.rs crates/baseline/src/engine.rs Cargo.toml
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/uot_baseline-982bea8ed4c22b58.d: crates/baseline/src/lib.rs crates/baseline/src/engine.rs
+
+/root/repo/target/debug/deps/libuot_baseline-982bea8ed4c22b58.rlib: crates/baseline/src/lib.rs crates/baseline/src/engine.rs
+
+/root/repo/target/debug/deps/libuot_baseline-982bea8ed4c22b58.rmeta: crates/baseline/src/lib.rs crates/baseline/src/engine.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/engine.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/uot_baseline-ac292a49bcdbc55b.d: crates/baseline/src/lib.rs crates/baseline/src/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuot_baseline-ac292a49bcdbc55b.rmeta: crates/baseline/src/lib.rs crates/baseline/src/engine.rs Cargo.toml
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

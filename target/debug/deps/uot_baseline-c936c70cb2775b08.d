@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/uot_baseline-c936c70cb2775b08.d: crates/baseline/src/lib.rs crates/baseline/src/engine.rs
+
+/root/repo/target/debug/deps/uot_baseline-c936c70cb2775b08: crates/baseline/src/lib.rs crates/baseline/src/engine.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/engine.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/uot_bench-d63931d777bfaa4d.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libuot_bench-d63931d777bfaa4d.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libuot_bench-d63931d777bfaa4d.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/uot_bench-e6022f7b2ff67831.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/uot_bench-e6022f7b2ff67831: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

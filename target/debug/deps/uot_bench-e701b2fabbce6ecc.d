@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/uot_bench-e701b2fabbce6ecc.d: crates/bench/src/lib.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuot_bench-e701b2fabbce6ecc.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

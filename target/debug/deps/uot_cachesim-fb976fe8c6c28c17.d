@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/uot_cachesim-fb976fe8c6c28c17.d: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/prefetch.rs crates/cachesim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuot_cachesim-fb976fe8c6c28c17.rmeta: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/prefetch.rs crates/cachesim/src/trace.rs Cargo.toml
+
+crates/cachesim/src/lib.rs:
+crates/cachesim/src/cache.rs:
+crates/cachesim/src/hierarchy.rs:
+crates/cachesim/src/prefetch.rs:
+crates/cachesim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uot_expr-5b76c9ad115f0e21.d: crates/expr/src/lib.rs crates/expr/src/aggregate.rs crates/expr/src/error.rs crates/expr/src/predicate.rs crates/expr/src/scalar.rs
+
+/root/repo/target/debug/deps/uot_expr-5b76c9ad115f0e21: crates/expr/src/lib.rs crates/expr/src/aggregate.rs crates/expr/src/error.rs crates/expr/src/predicate.rs crates/expr/src/scalar.rs
+
+crates/expr/src/lib.rs:
+crates/expr/src/aggregate.rs:
+crates/expr/src/error.rs:
+crates/expr/src/predicate.rs:
+crates/expr/src/scalar.rs:

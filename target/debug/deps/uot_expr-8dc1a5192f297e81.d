@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/uot_expr-8dc1a5192f297e81.d: crates/expr/src/lib.rs crates/expr/src/aggregate.rs crates/expr/src/error.rs crates/expr/src/predicate.rs crates/expr/src/scalar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuot_expr-8dc1a5192f297e81.rmeta: crates/expr/src/lib.rs crates/expr/src/aggregate.rs crates/expr/src/error.rs crates/expr/src/predicate.rs crates/expr/src/scalar.rs Cargo.toml
+
+crates/expr/src/lib.rs:
+crates/expr/src/aggregate.rs:
+crates/expr/src/error.rs:
+crates/expr/src/predicate.rs:
+crates/expr/src/scalar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

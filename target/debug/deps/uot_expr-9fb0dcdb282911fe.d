@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/uot_expr-9fb0dcdb282911fe.d: crates/expr/src/lib.rs crates/expr/src/aggregate.rs crates/expr/src/error.rs crates/expr/src/predicate.rs crates/expr/src/scalar.rs
+
+/root/repo/target/debug/deps/libuot_expr-9fb0dcdb282911fe.rlib: crates/expr/src/lib.rs crates/expr/src/aggregate.rs crates/expr/src/error.rs crates/expr/src/predicate.rs crates/expr/src/scalar.rs
+
+/root/repo/target/debug/deps/libuot_expr-9fb0dcdb282911fe.rmeta: crates/expr/src/lib.rs crates/expr/src/aggregate.rs crates/expr/src/error.rs crates/expr/src/predicate.rs crates/expr/src/scalar.rs
+
+crates/expr/src/lib.rs:
+crates/expr/src/aggregate.rs:
+crates/expr/src/error.rs:
+crates/expr/src/predicate.rs:
+crates/expr/src/scalar.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/uot_expr-d1eed0d3cedb3f94.d: crates/expr/src/lib.rs crates/expr/src/aggregate.rs crates/expr/src/error.rs crates/expr/src/predicate.rs crates/expr/src/scalar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuot_expr-d1eed0d3cedb3f94.rmeta: crates/expr/src/lib.rs crates/expr/src/aggregate.rs crates/expr/src/error.rs crates/expr/src/predicate.rs crates/expr/src/scalar.rs Cargo.toml
+
+crates/expr/src/lib.rs:
+crates/expr/src/aggregate.rs:
+crates/expr/src/error.rs:
+crates/expr/src/predicate.rs:
+crates/expr/src/scalar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uot_invariance-10265de06687ba04.d: crates/core/tests/uot_invariance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuot_invariance-10265de06687ba04.rmeta: crates/core/tests/uot_invariance.rs Cargo.toml
+
+crates/core/tests/uot_invariance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

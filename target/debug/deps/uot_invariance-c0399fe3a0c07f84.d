@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uot_invariance-c0399fe3a0c07f84.d: crates/core/tests/uot_invariance.rs
+
+/root/repo/target/debug/deps/uot_invariance-c0399fe3a0c07f84: crates/core/tests/uot_invariance.rs
+
+crates/core/tests/uot_invariance.rs:

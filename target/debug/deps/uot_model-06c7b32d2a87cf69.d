@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/uot_model-06c7b32d2a87cf69.d: crates/model/src/lib.rs crates/model/src/cost.rs crates/model/src/memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuot_model-06c7b32d2a87cf69.rmeta: crates/model/src/lib.rs crates/model/src/cost.rs crates/model/src/memory.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/cost.rs:
+crates/model/src/memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

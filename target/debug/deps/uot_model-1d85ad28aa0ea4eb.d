@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uot_model-1d85ad28aa0ea4eb.d: crates/model/src/lib.rs crates/model/src/cost.rs crates/model/src/memory.rs
+
+/root/repo/target/debug/deps/libuot_model-1d85ad28aa0ea4eb.rlib: crates/model/src/lib.rs crates/model/src/cost.rs crates/model/src/memory.rs
+
+/root/repo/target/debug/deps/libuot_model-1d85ad28aa0ea4eb.rmeta: crates/model/src/lib.rs crates/model/src/cost.rs crates/model/src/memory.rs
+
+crates/model/src/lib.rs:
+crates/model/src/cost.rs:
+crates/model/src/memory.rs:

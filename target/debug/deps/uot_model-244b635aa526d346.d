@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/uot_model-244b635aa526d346.d: crates/model/src/lib.rs crates/model/src/cost.rs crates/model/src/memory.rs
+
+/root/repo/target/debug/deps/uot_model-244b635aa526d346: crates/model/src/lib.rs crates/model/src/cost.rs crates/model/src/memory.rs
+
+crates/model/src/lib.rs:
+crates/model/src/cost.rs:
+crates/model/src/memory.rs:

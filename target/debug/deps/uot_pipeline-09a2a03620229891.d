@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uot_pipeline-09a2a03620229891.d: crates/bench/benches/uot_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuot_pipeline-09a2a03620229891.rmeta: crates/bench/benches/uot_pipeline.rs Cargo.toml
+
+crates/bench/benches/uot_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

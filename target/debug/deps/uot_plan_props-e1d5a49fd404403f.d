@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uot_plan_props-e1d5a49fd404403f.d: crates/core/tests/uot_plan_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuot_plan_props-e1d5a49fd404403f.rmeta: crates/core/tests/uot_plan_props.rs Cargo.toml
+
+crates/core/tests/uot_plan_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

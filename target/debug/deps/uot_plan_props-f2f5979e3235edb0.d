@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uot_plan_props-f2f5979e3235edb0.d: crates/core/tests/uot_plan_props.rs
+
+/root/repo/target/debug/deps/uot_plan_props-f2f5979e3235edb0: crates/core/tests/uot_plan_props.rs
+
+crates/core/tests/uot_plan_props.rs:

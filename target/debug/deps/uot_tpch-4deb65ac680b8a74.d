@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/uot_tpch-4deb65ac680b8a74.d: crates/tpch/src/lib.rs crates/tpch/src/analysis.rs crates/tpch/src/chains.rs crates/tpch/src/dbgen.rs crates/tpch/src/queries/mod.rs crates/tpch/src/queries/q01.rs crates/tpch/src/queries/q03.rs crates/tpch/src/queries/q04.rs crates/tpch/src/queries/q05.rs crates/tpch/src/queries/q06.rs crates/tpch/src/queries/q07.rs crates/tpch/src/queries/q08.rs crates/tpch/src/queries/q09.rs crates/tpch/src/queries/q10.rs crates/tpch/src/queries/q12.rs crates/tpch/src/queries/q14.rs crates/tpch/src/queries/q17.rs crates/tpch/src/queries/q18.rs crates/tpch/src/queries/q19.rs crates/tpch/src/queries/util.rs crates/tpch/src/schema.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuot_tpch-4deb65ac680b8a74.rmeta: crates/tpch/src/lib.rs crates/tpch/src/analysis.rs crates/tpch/src/chains.rs crates/tpch/src/dbgen.rs crates/tpch/src/queries/mod.rs crates/tpch/src/queries/q01.rs crates/tpch/src/queries/q03.rs crates/tpch/src/queries/q04.rs crates/tpch/src/queries/q05.rs crates/tpch/src/queries/q06.rs crates/tpch/src/queries/q07.rs crates/tpch/src/queries/q08.rs crates/tpch/src/queries/q09.rs crates/tpch/src/queries/q10.rs crates/tpch/src/queries/q12.rs crates/tpch/src/queries/q14.rs crates/tpch/src/queries/q17.rs crates/tpch/src/queries/q18.rs crates/tpch/src/queries/q19.rs crates/tpch/src/queries/util.rs crates/tpch/src/schema.rs Cargo.toml
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/analysis.rs:
+crates/tpch/src/chains.rs:
+crates/tpch/src/dbgen.rs:
+crates/tpch/src/queries/mod.rs:
+crates/tpch/src/queries/q01.rs:
+crates/tpch/src/queries/q03.rs:
+crates/tpch/src/queries/q04.rs:
+crates/tpch/src/queries/q05.rs:
+crates/tpch/src/queries/q06.rs:
+crates/tpch/src/queries/q07.rs:
+crates/tpch/src/queries/q08.rs:
+crates/tpch/src/queries/q09.rs:
+crates/tpch/src/queries/q10.rs:
+crates/tpch/src/queries/q12.rs:
+crates/tpch/src/queries/q14.rs:
+crates/tpch/src/queries/q17.rs:
+crates/tpch/src/queries/q18.rs:
+crates/tpch/src/queries/q19.rs:
+crates/tpch/src/queries/util.rs:
+crates/tpch/src/schema.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/memory_footprint-250a6238e86eb4b4.d: examples/memory_footprint.rs
+
+/root/repo/target/debug/examples/memory_footprint-250a6238e86eb4b4: examples/memory_footprint.rs
+
+examples/memory_footprint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/memory_footprint-721da1113ab0ffd5.d: examples/memory_footprint.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmemory_footprint-721da1113ab0ffd5.rmeta: examples/memory_footprint.rs Cargo.toml
+
+examples/memory_footprint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/model_explorer-54438a72b6939f2c.d: examples/model_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodel_explorer-54438a72b6939f2c.rmeta: examples/model_explorer.rs Cargo.toml
+
+examples/model_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_explorer-80950c295cb3f1ff.d: examples/model_explorer.rs
+
+/root/repo/target/debug/examples/model_explorer-80950c295cb3f1ff: examples/model_explorer.rs
+
+examples/model_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cf7efd54c65ad183.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cf7efd54c65ad183: examples/quickstart.rs
+
+examples/quickstart.rs:

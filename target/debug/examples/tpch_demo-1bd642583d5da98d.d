@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tpch_demo-1bd642583d5da98d.d: examples/tpch_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtpch_demo-1bd642583d5da98d.rmeta: examples/tpch_demo.rs Cargo.toml
+
+examples/tpch_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpch_demo-5cf3254a00df486e.d: examples/tpch_demo.rs
+
+/root/repo/target/debug/examples/tpch_demo-5cf3254a00df486e: examples/tpch_demo.rs
+
+examples/tpch_demo.rs:

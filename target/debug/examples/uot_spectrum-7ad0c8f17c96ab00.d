@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/uot_spectrum-7ad0c8f17c96ab00.d: examples/uot_spectrum.rs Cargo.toml
+
+/root/repo/target/debug/examples/libuot_spectrum-7ad0c8f17c96ab00.rmeta: examples/uot_spectrum.rs Cargo.toml
+
+examples/uot_spectrum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/uot_spectrum-df236a2c97c504e3.d: examples/uot_spectrum.rs
+
+/root/repo/target/debug/examples/uot_spectrum-df236a2c97c504e3: examples/uot_spectrum.rs
+
+examples/uot_spectrum.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_lip-4ac77a8c484655d4.d: crates/bench/src/bin/ablation_lip.rs
+
+/root/repo/target/release/deps/ablation_lip-4ac77a8c484655d4: crates/bench/src/bin/ablation_lip.rs
+
+crates/bench/src/bin/ablation_lip.rs:

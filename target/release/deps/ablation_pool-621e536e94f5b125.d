@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pool-621e536e94f5b125.d: crates/bench/src/bin/ablation_pool.rs
+
+/root/repo/target/release/deps/ablation_pool-621e536e94f5b125: crates/bench/src/bin/ablation_pool.rs
+
+crates/bench/src/bin/ablation_pool.rs:

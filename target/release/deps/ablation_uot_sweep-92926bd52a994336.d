@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_uot_sweep-92926bd52a994336.d: crates/bench/src/bin/ablation_uot_sweep.rs
+
+/root/repo/target/release/deps/ablation_uot_sweep-92926bd52a994336: crates/bench/src/bin/ablation_uot_sweep.rs
+
+crates/bench/src/bin/ablation_uot_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eq1_cost_ratio-cb6a59c5f1bee155.d: crates/bench/src/bin/eq1_cost_ratio.rs
+
+/root/repo/target/release/deps/eq1_cost_ratio-cb6a59c5f1bee155: crates/bench/src/bin/eq1_cost_ratio.rs
+
+crates/bench/src/bin/eq1_cost_ratio.rs:

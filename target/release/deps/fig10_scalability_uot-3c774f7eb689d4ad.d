@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_scalability_uot-3c774f7eb689d4ad.d: crates/bench/src/bin/fig10_scalability_uot.rs
+
+/root/repo/target/release/deps/fig10_scalability_uot-3c774f7eb689d4ad: crates/bench/src/bin/fig10_scalability_uot.rs
+
+crates/bench/src/bin/fig10_scalability_uot.rs:

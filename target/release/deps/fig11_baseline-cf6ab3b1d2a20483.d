@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_baseline-cf6ab3b1d2a20483.d: crates/bench/src/bin/fig11_baseline.rs
+
+/root/repo/target/release/deps/fig11_baseline-cf6ab3b1d2a20483: crates/bench/src/bin/fig11_baseline.rs
+
+crates/bench/src/bin/fig11_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_schedules-ef360caf600ed3ea.d: crates/bench/src/bin/fig2_schedules.rs
+
+/root/repo/target/release/deps/fig2_schedules-ef360caf600ed3ea: crates/bench/src/bin/fig2_schedules.rs
+
+crates/bench/src/bin/fig2_schedules.rs:

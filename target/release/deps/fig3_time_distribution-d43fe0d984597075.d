@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_time_distribution-d43fe0d984597075.d: crates/bench/src/bin/fig3_time_distribution.rs
+
+/root/repo/target/release/deps/fig3_time_distribution-d43fe0d984597075: crates/bench/src/bin/fig3_time_distribution.rs
+
+crates/bench/src/bin/fig3_time_distribution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_probe_task_times-0e80fea76cadb9b7.d: crates/bench/src/bin/fig5_probe_task_times.rs
+
+/root/repo/target/release/deps/fig5_probe_task_times-0e80fea76cadb9b7: crates/bench/src/bin/fig5_probe_task_times.rs
+
+crates/bench/src/bin/fig5_probe_task_times.rs:

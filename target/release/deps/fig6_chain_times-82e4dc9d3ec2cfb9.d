@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_chain_times-82e4dc9d3ec2cfb9.d: crates/bench/src/bin/fig6_chain_times.rs
+
+/root/repo/target/release/deps/fig6_chain_times-82e4dc9d3ec2cfb9: crates/bench/src/bin/fig6_chain_times.rs
+
+crates/bench/src/bin/fig6_chain_times.rs:

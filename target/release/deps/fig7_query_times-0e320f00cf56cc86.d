@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_query_times-0e320f00cf56cc86.d: crates/bench/src/bin/fig7_query_times.rs
+
+/root/repo/target/release/deps/fig7_query_times-0e320f00cf56cc86: crates/bench/src/bin/fig7_query_times.rs
+
+crates/bench/src/bin/fig7_query_times.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_row_store-f4fa7bfca2494288.d: crates/bench/src/bin/fig8_row_store.rs
+
+/root/repo/target/release/deps/fig8_row_store-f4fa7bfca2494288: crates/bench/src/bin/fig8_row_store.rs
+
+crates/bench/src/bin/fig8_row_store.rs:

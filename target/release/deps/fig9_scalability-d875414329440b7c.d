@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_scalability-d875414329440b7c.d: crates/bench/src/bin/fig9_scalability.rs
+
+/root/repo/target/release/deps/fig9_scalability-d875414329440b7c: crates/bench/src/bin/fig9_scalability.rs
+
+crates/bench/src/bin/fig9_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/platform_info-59eefc3ecd187ceb.d: crates/bench/src/bin/platform_info.rs
+
+/root/repo/target/release/deps/platform_info-59eefc3ecd187ceb: crates/bench/src/bin/platform_info.rs
+
+crates/bench/src/bin/platform_info.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sched_dispatch-f03befac9d6e6748.d: crates/bench/src/bin/sched_dispatch.rs
+
+/root/repo/target/release/deps/sched_dispatch-f03befac9d6e6748: crates/bench/src/bin/sched_dispatch.rs
+
+crates/bench/src/bin/sched_dispatch.rs:

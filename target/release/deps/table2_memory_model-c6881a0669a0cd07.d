@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_memory_model-c6881a0669a0cd07.d: crates/bench/src/bin/table2_memory_model.rs
+
+/root/repo/target/release/deps/table2_memory_model-c6881a0669a0cd07: crates/bench/src/bin/table2_memory_model.rs
+
+crates/bench/src/bin/table2_memory_model.rs:

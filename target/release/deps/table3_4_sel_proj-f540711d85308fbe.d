@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_4_sel_proj-f540711d85308fbe.d: crates/bench/src/bin/table3_4_sel_proj.rs
+
+/root/repo/target/release/deps/table3_4_sel_proj-f540711d85308fbe: crates/bench/src/bin/table3_4_sel_proj.rs
+
+crates/bench/src/bin/table3_4_sel_proj.rs:

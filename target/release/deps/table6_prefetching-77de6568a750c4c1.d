@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_prefetching-77de6568a750c4c1.d: crates/bench/src/bin/table6_prefetching.rs
+
+/root/repo/target/release/deps/table6_prefetching-77de6568a750c4c1: crates/bench/src/bin/table6_prefetching.rs
+
+crates/bench/src/bin/table6_prefetching.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/uot-c65308cb6b5265fd.d: src/lib.rs
+
+/root/repo/target/release/deps/libuot-c65308cb6b5265fd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libuot-c65308cb6b5265fd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/uot_baseline-7ca67bb5095b0365.d: crates/baseline/src/lib.rs crates/baseline/src/engine.rs
+
+/root/repo/target/release/deps/libuot_baseline-7ca67bb5095b0365.rlib: crates/baseline/src/lib.rs crates/baseline/src/engine.rs
+
+/root/repo/target/release/deps/libuot_baseline-7ca67bb5095b0365.rmeta: crates/baseline/src/lib.rs crates/baseline/src/engine.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/engine.rs:

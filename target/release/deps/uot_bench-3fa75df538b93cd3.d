@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/uot_bench-3fa75df538b93cd3.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libuot_bench-3fa75df538b93cd3.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libuot_bench-3fa75df538b93cd3.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/uot_cachesim-40f1da2b492e891b.d: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/prefetch.rs crates/cachesim/src/trace.rs
+
+/root/repo/target/release/deps/libuot_cachesim-40f1da2b492e891b.rlib: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/prefetch.rs crates/cachesim/src/trace.rs
+
+/root/repo/target/release/deps/libuot_cachesim-40f1da2b492e891b.rmeta: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/prefetch.rs crates/cachesim/src/trace.rs
+
+crates/cachesim/src/lib.rs:
+crates/cachesim/src/cache.rs:
+crates/cachesim/src/hierarchy.rs:
+crates/cachesim/src/prefetch.rs:
+crates/cachesim/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/uot_expr-6c6b8dc077ad3145.d: crates/expr/src/lib.rs crates/expr/src/aggregate.rs crates/expr/src/error.rs crates/expr/src/predicate.rs crates/expr/src/scalar.rs
+
+/root/repo/target/release/deps/libuot_expr-6c6b8dc077ad3145.rlib: crates/expr/src/lib.rs crates/expr/src/aggregate.rs crates/expr/src/error.rs crates/expr/src/predicate.rs crates/expr/src/scalar.rs
+
+/root/repo/target/release/deps/libuot_expr-6c6b8dc077ad3145.rmeta: crates/expr/src/lib.rs crates/expr/src/aggregate.rs crates/expr/src/error.rs crates/expr/src/predicate.rs crates/expr/src/scalar.rs
+
+crates/expr/src/lib.rs:
+crates/expr/src/aggregate.rs:
+crates/expr/src/error.rs:
+crates/expr/src/predicate.rs:
+crates/expr/src/scalar.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/uot_model-665f9b164e29ddaa.d: crates/model/src/lib.rs crates/model/src/cost.rs crates/model/src/memory.rs
+
+/root/repo/target/release/deps/libuot_model-665f9b164e29ddaa.rlib: crates/model/src/lib.rs crates/model/src/cost.rs crates/model/src/memory.rs
+
+/root/repo/target/release/deps/libuot_model-665f9b164e29ddaa.rmeta: crates/model/src/lib.rs crates/model/src/cost.rs crates/model/src/memory.rs
+
+crates/model/src/lib.rs:
+crates/model/src/cost.rs:
+crates/model/src/memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/uot_spectrum-153da0c3cf804620.d: examples/uot_spectrum.rs
+
+/root/repo/target/release/examples/uot_spectrum-153da0c3cf804620: examples/uot_spectrum.rs
+
+examples/uot_spectrum.rs:

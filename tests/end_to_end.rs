@@ -69,11 +69,7 @@ fn chains_are_uot_invariant_through_the_facade() {
                 .sorted_rows();
             match &reference {
                 None => reference = Some(rows),
-                Some(r) => assert!(
-                    rows_match(&rows, r),
-                    "chain {} differs at {uot}",
-                    spec.name
-                ),
+                Some(r) => assert!(rows_match(&rows, r), "chain {} differs at {uot}", spec.name),
             }
         }
     }
@@ -168,6 +164,6 @@ fn metrics_expose_everything_the_figures_need() {
     // Table II: memory + hash table sizes
     assert!(m.peak_temp_bytes > 0);
     assert!(m.hash_table_bytes.len() >= 4); // Q7 builds 4 hash tables
-    // Fig 2: schedule text renders
+                                            // Fig 2: schedule text renders
     assert!(!m.schedule_text(40).is_empty());
 }

@@ -1,0 +1,186 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the slice of proptest's API its tests use: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `prop_recursive` / `boxed`, range and tuple
+//! strategies, [`strategy::Just`], `any::<T>()`, `prop_oneof!`, collection
+//! strategies, and the `proptest!` / `prop_assert!` / `prop_assert_eq!`
+//! macros.
+//!
+//! Differences from the real crate, chosen for simplicity:
+//!
+//! * **No shrinking** — a failing case reports the case number and message;
+//!   inputs are reproducible because generation is fully deterministic.
+//! * **Deterministic seeds** — case `i` of every test derives its RNG from
+//!   `i`, so runs are stable across machines and CI.
+//! * Only the configuration field actually used ([`ProptestConfig::cases`])
+//!   exists.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests: each `#[test] fn name(pat in strategy, ...)` block
+/// runs `cases` times with fresh deterministically-generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(case as u64);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Choose uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assert inside a property test; failure aborts only the current case's
+/// closure with a [`test_runner::TestCaseError`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}: `left == right` failed\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps(
+            x in 0i32..10,
+            y in (0i64..5).prop_map(|v| v * 2),
+            b in any::<bool>(),
+            choice in prop_oneof![Just(1u8), Just(2u8)],
+            v in crate::collection::vec(0usize..4, 0..6),
+        ) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert_eq!(y % 2, 0);
+            prop_assert!(u8::from(b) <= 1);
+            prop_assert!(choice == 1 || choice == 2);
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 4));
+        }
+
+        #[test]
+        fn flat_map_dependent_values((n, k) in (1usize..8).prop_flat_map(|n| (Just(n), 0usize..n))) {
+            prop_assert!(k < n);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0i32..1000, 3..=3);
+        let mut r1 = crate::test_runner::TestRng::for_case(5);
+        let mut r2 = crate::test_runner::TestRng::for_case(5);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        use crate::strategy::{any, Strategy};
+        let depth_counter = any::<bool>()
+            .prop_map(|_| 0usize)
+            .prop_recursive(3, 16, 2, |inner| inner.prop_map(|d| d + 1));
+        let mut rng = crate::test_runner::TestRng::for_case(0);
+        for _ in 0..64 {
+            assert!(depth_counter.generate(&mut rng) <= 3);
+        }
+    }
+}
