@@ -239,7 +239,7 @@ impl BaselineEngine {
                 let mut builders = make_builders(&op.out_schema);
                 let n_probe = probe_out_cols.len();
                 for row in 0..input.num_rows() {
-                    let key = HashKey::from_row(&input, row, probe_key_cols)?;
+                    let key = HashKey::from_row(&input, row, probe_key_cols);
                     match join {
                         JoinType::Inner => {
                             ht.probe_key(&key, |payload| {
@@ -369,7 +369,7 @@ impl BaselineEngine {
             rows_by_group.insert(HashKey::from_i64(0), (0..n).collect());
         } else {
             for row in 0..n {
-                let key = HashKey::from_row(input, row, group_by)?;
+                let key = HashKey::from_row(input, row, group_by);
                 rows_by_group.entry(key).or_default().push(row);
             }
         }

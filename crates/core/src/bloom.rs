@@ -10,13 +10,16 @@
 //! doomed rows at the scan.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use uot_storage::{hash_key::FxBuildHasher, HashKey, StorageBlock};
+use uot_storage::{fx_mix, hash_of, HashKey, KeyExtractor, StorageBlock};
 
 /// A concurrently-buildable blocked Bloom filter keyed by [`HashKey`]s.
 ///
 /// Uses `k` derived probe positions from two independent 64-bit hashes
-/// (Kirsch-Mitzenmacher). Inserts are lock-free atomic ORs, so build work
-/// orders can populate the filter in parallel exactly like the hash table.
+/// (Kirsch-Mitzenmacher). Both are derived from the *single* canonical
+/// [`hash_of`] value, so the batched key pipeline can feed the filter (and
+/// LIP probes) straight from its per-block hash vector without re-hashing
+/// keys. Inserts are lock-free atomic ORs, so build work orders can populate
+/// the filter in parallel exactly like the hash table.
 #[derive(Debug)]
 pub struct BloomFilter {
     words: Vec<AtomicU64>,
@@ -24,14 +27,11 @@ pub struct BloomFilter {
     hashes: u32,
 }
 
-fn hash2(key: &HashKey) -> (u64, u64) {
-    use std::hash::{BuildHasher, Hash, Hasher};
-    let b = FxBuildHasher::default();
-    let a = b.hash_one(key);
-    let mut h2 = b.build_hasher();
-    h2.write_u64(a ^ 0x9e37_79b9_7f4a_7c15);
-    key.hash(&mut h2);
-    (a, h2.finish() | 1) // odd second hash avoids degenerate stepping
+/// Derive the Kirsch-Mitzenmacher pair from one canonical key hash.
+#[inline]
+fn hash2(h: u64) -> (u64, u64) {
+    let b = fx_mix(fx_mix(0, h ^ 0x9e37_79b9_7f4a_7c15), h) | 1;
+    (h, b) // odd second hash avoids degenerate stepping
 }
 
 impl BloomFilter {
@@ -67,35 +67,56 @@ impl BloomFilter {
     }
 
     #[inline]
-    fn positions(&self, key: &HashKey) -> impl Iterator<Item = u64> + '_ {
-        let (a, b) = hash2(key);
+    fn positions(&self, hash: u64) -> impl Iterator<Item = u64> + '_ {
+        let (a, b) = hash2(hash);
         let mask = self.n_bits - 1;
         (0..self.hashes as u64).map(move |i| (a.wrapping_add(i.wrapping_mul(b))) & mask)
     }
 
-    /// Insert a key (thread-safe).
-    pub fn insert(&self, key: &HashKey) {
-        for pos in self.positions(key) {
+    /// Insert a precomputed [`hash_of`] value (thread-safe).
+    #[inline]
+    pub fn insert_hash(&self, hash: u64) {
+        for pos in self.positions(hash) {
             self.words[(pos / 64) as usize].fetch_or(1 << (pos % 64), Ordering::Relaxed);
         }
     }
 
+    /// Insert a whole hash vector (one batched build work order's keys).
+    pub fn insert_hashes(&self, hashes: &[u64]) {
+        for &h in hashes {
+            self.insert_hash(h);
+        }
+    }
+
+    /// Insert a key (thread-safe).
+    pub fn insert(&self, key: &HashKey) {
+        self.insert_hash(hash_of(key));
+    }
+
     /// Insert every key of `block` built from `key_cols`.
     pub fn insert_block(&self, block: &StorageBlock, key_cols: &[usize]) -> crate::Result<()> {
-        for row in 0..block.num_rows() {
-            self.insert(&HashKey::from_row(block, row, key_cols)?);
-        }
+        let extractor = KeyExtractor::compile(block.schema(), key_cols)?;
+        let mut batch = uot_storage::KeyBatch::new();
+        extractor.extract_block(block, &mut batch);
+        self.insert_hashes(batch.hashes());
         Ok(())
     }
 
-    /// Membership test: `false` means *definitely absent*.
-    pub fn may_contain(&self, key: &HashKey) -> bool {
-        for pos in self.positions(key) {
+    /// Membership test on a precomputed [`hash_of`] value: `false` means
+    /// *definitely absent*.
+    #[inline]
+    pub fn may_contain_hash(&self, hash: u64) -> bool {
+        for pos in self.positions(hash) {
             if self.words[(pos / 64) as usize].load(Ordering::Relaxed) & (1 << (pos % 64)) == 0 {
                 return false;
             }
         }
         true
+    }
+
+    /// Membership test: `false` means *definitely absent*.
+    pub fn may_contain(&self, key: &HashKey) -> bool {
+        self.may_contain_hash(hash_of(key))
     }
 
     /// Fraction of set bits (diagnostic; high saturation means high false

@@ -7,19 +7,59 @@
 //! the probe phase (the scheduler guarantees probes start only after the
 //! build completes).
 //!
+//! Each shard is an open-addressing table we own outright — `slots` is a
+//! linear-probed array of `(hash, key, chain head)` triples and duplicates
+//! hang off a per-shard `links` side array — rather than a `std::HashMap`.
+//! Owning the layout is what makes the batched probe possible: a
+//! [`ProbeSession`] takes every shard read lock once per work order, and
+//! [`ProbeSession::probe_batch`] runs the two-pass scheme from the vectorized
+//! join literature (pass 1 hashes the whole block and software-prefetches the
+//! home slot of a row a fixed distance ahead; pass 2 resolves matches into a
+//! flat [`ProbeMatch`] vector for gather-based output assembly).
+//!
+//! Shard selection uses the *top* hash bits and slot placement the *bottom*
+//! bits, so the two indices stay independent. All placement derives from
+//! [`uot_storage::hash_of`], which the batched key pipeline
+//! ([`uot_storage::KeyBatch`]) computes identically.
+//!
 //! Payload rows are stored as fixed-width encoded bytes in per-shard arenas —
 //! the same encoding as a row-store tuple — so a hash table's memory
 //! footprint is directly measurable, which the memory experiments
 //! (Section VI of the paper, `|H_i|`) rely on.
 
 use crate::Result;
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use uot_storage::{
-    hash_key::{bucket_of, FxBuildHasher},
-    DataType, HashKey, MemoryTracker, Schema, StorageBlock,
+    hash_of, DataType, HashKey, KeyBatch, KeyExtractor, MemoryTracker, Schema, StorageBlock,
 };
+
+/// Sentinel for "no slot / end of chain".
+const NIL: u32 = u32::MAX;
+
+/// How many rows ahead of the resolve cursor pass 1 prefetches. Far enough to
+/// cover DRAM latency at ~1 ns/row of resolve work, near enough to stay in L1.
+const PREFETCH_DIST: usize = 16;
+
+/// Prefetch the cache line holding `*p` into L1 (read intent). No-op on
+/// architectures without an explicit prefetch hint.
+#[inline(always)]
+fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch(p as *const i8, _MM_HINT_T0);
+    }
+    #[cfg(target_arch = "aarch64")]
+    unsafe {
+        core::arch::asm!("prfm pldl1keep, [{0}]", in(reg) p, options(nostack, readonly));
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        let _ = p;
+    }
+}
 
 /// A read-only view of one payload row stored in the table.
 #[derive(Clone, Copy)]
@@ -71,13 +111,141 @@ impl<'a> PayloadRef<'a> {
     }
 }
 
+/// One open-addressing slot: a distinct key plus the head of its duplicate
+/// chain in the shard's `links` array. `head == NIL` marks a vacant slot.
+#[derive(Debug, Clone)]
+struct Slot {
+    hash: u64,
+    head: u32,
+    key: HashKey,
+}
+
+impl Slot {
+    fn vacant() -> Slot {
+        Slot {
+            hash: 0,
+            head: NIL,
+            key: HashKey::Fixed(0, 0),
+        }
+    }
+}
+
+/// One node of a duplicate chain: a payload row index and the next node.
+#[derive(Debug, Clone, Copy)]
+struct Link {
+    payload: u32,
+    next: u32,
+}
+
 /// One lock-protected segment of the table.
 #[derive(Debug, Default)]
 struct Shard {
-    /// key -> indices of payload rows in `arena` (row i occupies
+    /// Linear-probed slot array; length is always a power of two (or zero
+    /// before the first insert).
+    slots: Vec<Slot>,
+    /// Duplicate chains, newest first.
+    links: Vec<Link>,
+    /// Occupied slots (distinct keys), for the grow threshold.
+    occupied: usize,
+    /// Payload rows, encoded fixed-width back to back (row `i` occupies
     /// `[i*w, (i+1)*w)` where `w` is the payload tuple width).
-    map: std::collections::HashMap<HashKey, Vec<u32>, FxBuildHasher>,
     arena: Vec<u8>,
+    /// Payload rows inserted (tracked separately from the arena length so
+    /// zero-width payload schemas still index correctly).
+    rows: u32,
+}
+
+impl Shard {
+    /// Double (or initialize) the slot array and re-place every occupied slot.
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(8);
+        let old = std::mem::replace(&mut self.slots, vec![Slot::vacant(); new_cap]);
+        let mask = new_cap - 1;
+        for s in old {
+            if s.head == NIL {
+                continue;
+            }
+            let mut idx = (s.hash as usize) & mask;
+            while self.slots[idx].head != NIL {
+                idx = (idx + 1) & mask;
+            }
+            self.slots[idx] = s;
+        }
+    }
+
+    /// Insert one payload row under a key described by (`hash`, `eq`,
+    /// `make`): `eq` tests a stored key for equality, `make` materializes the
+    /// key only when a new slot is claimed.
+    fn insert_row(
+        &mut self,
+        hash: u64,
+        eq: impl Fn(&HashKey) -> bool,
+        make: impl FnOnce() -> HashKey,
+        payload: u32,
+    ) {
+        // Grow at 7/8 load so linear probes stay short.
+        if (self.occupied + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut idx = (hash as usize) & mask;
+        loop {
+            let s = &mut self.slots[idx];
+            if s.head == NIL {
+                let link = self.links.len() as u32;
+                self.links.push(Link { payload, next: NIL });
+                *s = Slot {
+                    hash,
+                    head: link,
+                    key: make(),
+                };
+                self.occupied += 1;
+                return;
+            }
+            if s.hash == hash && eq(&s.key) {
+                let link = self.links.len() as u32;
+                self.links.push(Link {
+                    payload,
+                    next: s.head,
+                });
+                s.head = link;
+                return;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Find the chain head for (`hash`, `eq`), or `NIL`.
+    #[inline]
+    fn find(&self, hash: u64, eq: impl Fn(&HashKey) -> bool) -> u32 {
+        if self.slots.is_empty() {
+            return NIL;
+        }
+        let mask = self.slots.len() - 1;
+        let mut idx = (hash as usize) & mask;
+        loop {
+            let s = &self.slots[idx];
+            if s.head == NIL {
+                return NIL;
+            }
+            if s.hash == hash && eq(&s.key) {
+                return s.head;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+}
+
+/// One resolved probe match: input row `probe_row` of the probed block joins
+/// the build-side payload row `payload` of shard `shard`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeMatch {
+    /// Row index within the probed block (or selection vector).
+    pub probe_row: u32,
+    /// Which shard holds the payload.
+    pub shard: u32,
+    /// Payload row index within that shard's arena.
+    pub payload: u32,
 }
 
 /// A sharded, concurrently-buildable join hash table.
@@ -117,78 +285,141 @@ impl JoinHashTable {
         self.len() == 0
     }
 
+    /// Shard index from the *top* hash bits — slot placement uses the bottom
+    /// bits, so the two stay independent.
     #[inline]
-    fn shard_of(&self, key: &HashKey) -> usize {
-        bucket_of(key, self.shards.len())
+    fn shard_of(&self, hash: u64) -> usize {
+        ((hash >> 48) as usize) & (self.shards.len() - 1)
+    }
+
+    /// Insert every key of `batch` (extracted from `block`), storing
+    /// `payload_cols` as the payload. Groups rows by shard so each shard's
+    /// write lock is taken at most once per call, instead of once per row.
+    pub fn insert_batch(&self, block: &StorageBlock, batch: &KeyBatch, payload_cols: &[usize]) {
+        let n = batch.len();
+        debug_assert_eq!(n, block.num_rows());
+        if n == 0 {
+            return;
+        }
+        let hashes = batch.hashes();
+        if self.shards.len() == 1 {
+            let mut guard = self.shards[0].write();
+            for (i, &h) in hashes.iter().enumerate() {
+                self.insert_one(&mut guard, block, batch, i, h, payload_cols);
+            }
+        } else {
+            let mut by_shard: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+            for (i, &h) in hashes.iter().enumerate() {
+                by_shard[self.shard_of(h)].push(i as u32);
+            }
+            for (s, rows) in by_shard.iter().enumerate() {
+                if rows.is_empty() {
+                    continue;
+                }
+                let mut guard = self.shards[s].write();
+                for &i in rows {
+                    let i = i as usize;
+                    self.insert_one(&mut guard, block, batch, i, hashes[i], payload_cols);
+                }
+            }
+        }
+        self.entries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn insert_one(
+        &self,
+        shard: &mut Shard,
+        block: &StorageBlock,
+        batch: &KeyBatch,
+        row: usize,
+        hash: u64,
+        payload_cols: &[usize],
+    ) {
+        let payload = shard.rows;
+        shard.rows += 1;
+        encode_row(
+            &mut shard.arena,
+            block,
+            row,
+            payload_cols,
+            &self.payload_schema,
+        );
+        shard.insert_row(
+            hash,
+            |k| batch.key_eq(row, k),
+            || batch.key_at(row),
+            payload,
+        );
     }
 
     /// Insert every row of `block`, keyed by `key_cols`, storing
     /// `payload_cols` as the payload. Called concurrently by build work
-    /// orders.
+    /// orders. (Scalar-API entry point: compiles a throwaway extractor; the
+    /// engine's build operator uses a precompiled one with `insert_batch`.)
     pub fn insert_block(
         &self,
         block: &StorageBlock,
         key_cols: &[usize],
         payload_cols: &[usize],
     ) -> Result<()> {
-        let w = self.payload_schema.tuple_width();
-        let n = block.num_rows();
-        for row in 0..n {
-            let key = HashKey::from_row(block, row, key_cols)?;
-            let shard = &self.shards[self.shard_of(&key)];
-            let mut guard = shard.write();
-            let idx = (guard.arena.len() / w.max(1)) as u32;
-            encode_row(
-                &mut guard.arena,
-                block,
-                row,
-                payload_cols,
-                &self.payload_schema,
-            );
-            guard.map.entry(key).or_default().push(idx);
-        }
-        self.entries.fetch_add(n, Ordering::Relaxed);
+        let extractor = KeyExtractor::compile(block.schema(), key_cols)?;
+        let mut batch = KeyBatch::new();
+        extractor.extract_block(block, &mut batch);
+        self.insert_batch(block, &batch, payload_cols);
         Ok(())
     }
 
     /// Visit every payload row matching `key`. Returns the number of matches.
+    ///
+    /// Matches within a key are visited newest-insertion-first (the duplicate
+    /// chain is prepend-ordered); callers that care about order sort.
     pub fn probe_key(&self, key: &HashKey, mut f: impl FnMut(PayloadRef<'_>)) -> usize {
-        let shard = self.shards[self.shard_of(key)].read();
+        let hash = hash_of(key);
+        let shard = self.shards[self.shard_of(hash)].read();
         let w = self.payload_schema.tuple_width();
-        match shard.map.get(key) {
-            None => 0,
-            Some(rows) => {
-                for &i in rows {
-                    let off = i as usize * w;
-                    f(PayloadRef {
-                        schema: &self.payload_schema,
-                        bytes: &shard.arena[off..off + w],
-                    });
-                }
-                rows.len()
-            }
+        let mut link = shard.find(hash, |k| k == key);
+        let mut n = 0;
+        while link != NIL {
+            let l = shard.links[link as usize];
+            let off = l.payload as usize * w;
+            f(PayloadRef {
+                schema: &self.payload_schema,
+                bytes: &shard.arena[off..off + w],
+            });
+            n += 1;
+            link = l.next;
         }
+        n
     }
 
     /// True if any payload row matches `key` (semi/anti joins).
     pub fn contains_key(&self, key: &HashKey) -> bool {
-        self.shards[self.shard_of(key)].read().map.contains_key(key)
+        let hash = hash_of(key);
+        self.shards[self.shard_of(hash)]
+            .read()
+            .find(hash, |k| k == key)
+            != NIL
     }
 
-    /// Approximate resident bytes: payload arenas plus hash-map buckets.
-    ///
-    /// The bucket estimate mirrors the paper's `(M/w)·(c/f)` sizing: each
-    /// occupied map slot costs roughly one key + one `Vec` header, and the
-    /// map over-allocates by its load factor.
+    /// Open a batched probe session: acquires every shard's read lock once,
+    /// so per-row probes inside the session touch no locks at all.
+    pub fn probe_session(&self) -> ProbeSession<'_> {
+        ProbeSession {
+            table: self,
+            guards: self.shards.iter().map(|s| s.read()).collect(),
+        }
+    }
+
+    /// Approximate resident bytes: payload arenas, slot arrays, and duplicate
+    /// chains. Mirrors the paper's `|H_i|` accounting.
     pub fn memory_bytes(&self) -> usize {
         let mut total = 0;
         for s in &self.shards {
             let s = s.read();
             total += s.arena.capacity();
-            let entry = std::mem::size_of::<HashKey>() + std::mem::size_of::<Vec<u32>>();
-            total += s.map.capacity() * entry;
-            // index vectors
-            total += s.map.values().map(|v| v.capacity() * 4).sum::<usize>();
+            total += s.slots.capacity() * std::mem::size_of::<Slot>();
+            total += s.links.capacity() * std::mem::size_of::<Link>();
         }
         total
     }
@@ -210,6 +441,87 @@ impl JoinHashTable {
     pub fn release_tracker(&self, tracker: &MemoryTracker) {
         let prev = self.tracked.swap(0, Ordering::Relaxed);
         tracker.free(prev);
+    }
+}
+
+/// A per-work-order probe view holding every shard's read lock.
+///
+/// Probes run in two passes over a [`KeyBatch`]: the cursor at row `i`
+/// resolves matches while the home slot for row `i + PREFETCH_DIST` is being
+/// prefetched, hiding DRAM latency behind useful work.
+pub struct ProbeSession<'a> {
+    table: &'a JoinHashTable,
+    guards: Vec<RwLockReadGuard<'a, Shard>>,
+}
+
+impl ProbeSession<'_> {
+    /// Resolve every key of `batch` against the table, appending one
+    /// [`ProbeMatch`] per (probe row, matching payload row) pair to `out`
+    /// in probe-row order.
+    pub fn probe_batch(&self, batch: &KeyBatch, out: &mut Vec<ProbeMatch>) {
+        let hashes = batch.hashes();
+        let n = hashes.len();
+        for i in 0..n {
+            if i + PREFETCH_DIST < n {
+                self.prefetch_home(hashes[i + PREFETCH_DIST]);
+            }
+            let h = hashes[i];
+            let sh = self.table.shard_of(h);
+            let shard = &*self.guards[sh];
+            let mut link = shard.find(h, |k| batch.key_eq(i, k));
+            while link != NIL {
+                let l = shard.links[link as usize];
+                out.push(ProbeMatch {
+                    probe_row: i as u32,
+                    shard: sh as u32,
+                    payload: l.payload,
+                });
+                link = l.next;
+            }
+        }
+    }
+
+    /// Existence-only variant for semi/anti joins: pushes one `bool` per key
+    /// of `batch` onto `out`.
+    pub fn contains_batch(&self, batch: &KeyBatch, out: &mut Vec<bool>) {
+        let hashes = batch.hashes();
+        let n = hashes.len();
+        out.reserve(n);
+        for i in 0..n {
+            if i + PREFETCH_DIST < n {
+                self.prefetch_home(hashes[i + PREFETCH_DIST]);
+            }
+            let h = hashes[i];
+            let shard = &*self.guards[self.table.shard_of(h)];
+            out.push(shard.find(h, |k| batch.key_eq(i, k)) != NIL);
+        }
+    }
+
+    /// The payload row a [`ProbeMatch`] refers to.
+    #[inline]
+    pub fn payload(&self, m: ProbeMatch) -> PayloadRef<'_> {
+        let shard = &*self.guards[m.shard as usize];
+        let w = self.table.payload_schema.tuple_width();
+        let off = m.payload as usize * w;
+        PayloadRef {
+            schema: &self.table.payload_schema,
+            bytes: &shard.arena[off..off + w],
+        }
+    }
+
+    /// The payload schema (same as the owning table's).
+    #[inline]
+    pub fn payload_schema(&self) -> &Arc<Schema> {
+        &self.table.payload_schema
+    }
+
+    #[inline(always)]
+    fn prefetch_home(&self, hash: u64) {
+        let shard = &*self.guards[self.table.shard_of(hash)];
+        if !shard.slots.is_empty() {
+            let idx = (hash as usize) & (shard.slots.len() - 1);
+            prefetch_read(&shard.slots[idx]);
+        }
     }
 }
 
@@ -342,7 +654,7 @@ mod tests {
         let ht = JoinHashTable::new(b.schema().project(&[2]), 4);
         // key on (k, name) — all distinct because name differs
         ht.insert_block(&b, &[0, 1], &[2]).unwrap();
-        let key = HashKey::from_row(&b, 3, &[0, 1]).unwrap();
+        let key = HashKey::from_row(&b, 3, &[0, 1]);
         let mut vals = vec![];
         ht.probe_key(&key, |p| vals.push(p.f64_at(0)));
         assert_eq!(vals, vec![3.0]);
@@ -355,5 +667,57 @@ mod tests {
         assert_eq!(ht.shards.len(), 8);
         let ht = JoinHashTable::new(b.schema().project(&[0]), 0);
         assert_eq!(ht.shards.len(), 1);
+    }
+
+    #[test]
+    fn batched_probe_matches_scalar() {
+        let build = build_block(200);
+        let ht = table_for(&build);
+        ht.insert_block(&build, &[0], &[1, 2]).unwrap();
+
+        // Probe block with hit, duplicate-hit, and miss keys.
+        let s = Schema::from_pairs(&[("k", DataType::Int32)]);
+        let mut probe = StorageBlock::new(s, BlockFormat::Column, 1 << 12).unwrap();
+        for i in 0..64 {
+            probe.append_row(&[Value::I32(i % 7)]).unwrap(); // 4..6 miss
+        }
+        let ex = KeyExtractor::compile(probe.schema(), &[0]).unwrap();
+        let mut batch = KeyBatch::new();
+        ex.extract_block(&probe, &mut batch);
+
+        let session = ht.probe_session();
+        let mut matches = Vec::new();
+        session.probe_batch(&batch, &mut matches);
+        let mut exists = Vec::new();
+        session.contains_batch(&batch, &mut exists);
+
+        for (r, &seen) in exists.iter().enumerate() {
+            let key = HashKey::from_row(&probe, r, &[0]);
+            let mut scalar: Vec<f64> = Vec::new();
+            ht.probe_key(&key, |p| scalar.push(p.f64_at(1)));
+            let mut batched: Vec<f64> = matches
+                .iter()
+                .filter(|m| m.probe_row == r as u32)
+                .map(|&m| session.payload(m).f64_at(1))
+                .collect();
+            scalar.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            batched.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(batched, scalar, "row {r}");
+            assert_eq!(seen, !scalar.is_empty());
+        }
+        // Matches come out in probe-row order (gather relies on it).
+        assert!(matches.windows(2).all(|w| w[0].probe_row <= w[1].probe_row));
+    }
+
+    #[test]
+    fn zero_width_payload() {
+        let b = build_block(30);
+        let ht = JoinHashTable::new(b.schema().project(&[]), 4);
+        ht.insert_block(&b, &[0], &[]).unwrap();
+        assert_eq!(ht.len(), 30);
+        // 30 rows over keys 0..4: keys 0,1 appear 8 times, 2,3 appear 7.
+        assert_eq!(ht.probe_key(&HashKey::from_i32(0), |_| {}), 8);
+        assert_eq!(ht.probe_key(&HashKey::from_i32(3), |_| {}), 7);
+        assert!(ht.contains_key(&HashKey::from_i32(2)));
     }
 }

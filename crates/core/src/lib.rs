@@ -50,7 +50,7 @@ pub use bloom::BloomFilter;
 pub use edge::{EdgeDest, TransferAction, TransferEdge};
 pub use engine::{Engine, EngineConfig, ExecMode, QueryResult};
 pub use error::EngineError;
-pub use hash_table::JoinHashTable;
+pub use hash_table::{JoinHashTable, PayloadRef, ProbeMatch, ProbeSession};
 pub use metrics::{OperatorMetrics, QueryMetrics, TaskRecord};
 pub use plan::{
     JoinType, LipFilter, OpId, Operator, OperatorKind, PlanBuilder, QueryPlan, SortKey, Source,

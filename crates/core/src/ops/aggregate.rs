@@ -64,12 +64,20 @@ pub fn execute_block(
             });
         update_entry(entry, aggs, &arg_cols, None, n)?;
     } else {
-        // Bucket rows by group key.
+        // Bucket rows by group key, extracting all keys for the block in one
+        // batched pass (the map stays keyed by `HashKey` — equality, not just
+        // hash equality, defines a group).
+        let mut scratch = ctx.take_scratch();
+        ctx.key_extractor(op)
+            .extract_block(block, &mut scratch.keys);
         let mut rows_by_group: HashMap<HashKey, Vec<usize>, FxBuildHasher> = HashMap::default();
         for row in 0..n {
-            let key = HashKey::from_row(block, row, group_by)?;
-            rows_by_group.entry(key).or_default().push(row);
+            rows_by_group
+                .entry(scratch.keys.key_at(row))
+                .or_default()
+                .push(row);
         }
+        ctx.put_scratch(scratch);
         for (key, rows) in rows_by_group {
             let entry = partial.groups.entry(key).or_insert_with(|| GroupEntry {
                 group_vals: group_by
@@ -151,7 +159,7 @@ pub fn execute_finalize(ctx: &ExecContext, op: usize) -> Result<Vec<StorageBlock
         // We need the input schema to init default states; use the stream
         // source schema recorded in the plan via any agg's requirements. The
         // simplest correct source: re-init from the operator's own input.
-        let in_schema = stream_input_schema(ctx, op);
+        let in_schema = ctx.plan.input_schema(op);
         merged.insert(
             HashKey::from_i64(0),
             GroupEntry {
@@ -174,13 +182,6 @@ pub fn execute_finalize(ctx: &ExecContext, op: usize) -> Result<Vec<StorageBlock
         row
     });
     crate::ops::emit_value_rows(ctx, op, rows)
-}
-
-fn stream_input_schema(ctx: &ExecContext, op: usize) -> Arc<uot_storage::Schema> {
-    match ctx.plan.op(op).kind.stream_source() {
-        crate::plan::Source::Table(t) => t.schema().clone(),
-        crate::plan::Source::Op(src) => ctx.plan.op(*src).out_schema.clone(),
-    }
 }
 
 /// Total order over value rows (used for deterministic group output).

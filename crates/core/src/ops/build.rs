@@ -13,12 +13,8 @@ pub fn execute(
     op: usize,
     block: &Arc<StorageBlock>,
 ) -> Result<Vec<StorageBlock>> {
-    let (key_cols, payload_cols) = match &ctx.plan.op(op).kind {
-        OperatorKind::BuildHash {
-            key_cols,
-            payload_cols,
-            ..
-        } => (key_cols, payload_cols),
+    let payload_cols = match &ctx.plan.op(op).kind {
+        OperatorKind::BuildHash { payload_cols, .. } => payload_cols,
         other => {
             return Err(EngineError::Internal(format!(
                 "build work order on {}",
@@ -26,11 +22,17 @@ pub fn execute(
             )))
         }
     };
+    // Batched pipeline: extract + hash all keys once, insert shard-grouped,
+    // and feed the Bloom filter from the same hash vector.
+    let mut scratch = ctx.take_scratch();
+    ctx.key_extractor(op)
+        .extract_block(block, &mut scratch.keys);
     ctx.hash_table(op)
-        .insert_block(block, key_cols, payload_cols)?;
+        .insert_batch(block, &scratch.keys, payload_cols);
     if let Some(bloom) = ctx.runtimes[op].bloom.as_ref() {
-        bloom.insert_block(block, key_cols)?;
+        bloom.insert_hashes(scratch.keys.hashes());
     }
+    ctx.put_scratch(scratch);
     Ok(Vec::new())
 }
 

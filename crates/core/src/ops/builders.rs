@@ -105,6 +105,76 @@ impl ColBuilder {
     }
 }
 
+/// Gather one output column from `block` for the given row indices with a
+/// single typed loop: the builder variant and (for column-store blocks) the
+/// source slice are resolved once, not per row, unlike repeated
+/// [`ColBuilder::push_from_block`] calls.
+pub fn gather_block_column<I>(builder: &mut ColBuilder, block: &StorageBlock, col: usize, rows: I)
+where
+    I: Iterator<Item = usize>,
+{
+    match builder {
+        ColBuilder::I32(v) => {
+            if let Some(d) = block.column_data(col) {
+                let s = d.as_i32();
+                v.extend(rows.map(|r| s[r]));
+            } else {
+                v.extend(rows.map(|r| block.i32_at(r, col)));
+            }
+        }
+        ColBuilder::I64(v) => {
+            if let Some(d) = block.column_data(col) {
+                let s = d.as_i64();
+                v.extend(rows.map(|r| s[r]));
+            } else {
+                v.extend(rows.map(|r| block.i64_at(r, col)));
+            }
+        }
+        ColBuilder::F64(v) => {
+            if let Some(d) = block.column_data(col) {
+                let s = d.as_f64();
+                v.extend(rows.map(|r| s[r]));
+            } else {
+                v.extend(rows.map(|r| block.f64_at(r, col)));
+            }
+        }
+        ColBuilder::Date(v) => {
+            if let Some(d) = block.column_data(col) {
+                let s = d.as_date();
+                v.extend(rows.map(|r| s[r]));
+            } else {
+                v.extend(rows.map(|r| block.date_at(r, col)));
+            }
+        }
+        ColBuilder::Char { data, .. } => {
+            for r in rows {
+                data.extend_from_slice(block.char_at(r, col));
+            }
+        }
+    }
+}
+
+/// Gather one output column from hash-table payloads for a resolved match
+/// vector, with the builder variant dispatched once per column.
+pub fn gather_payload_column(
+    builder: &mut ColBuilder,
+    session: &crate::hash_table::ProbeSession<'_>,
+    col: usize,
+    matches: &[crate::hash_table::ProbeMatch],
+) {
+    match builder {
+        ColBuilder::I32(v) => v.extend(matches.iter().map(|&m| session.payload(m).i32_at(col))),
+        ColBuilder::I64(v) => v.extend(matches.iter().map(|&m| session.payload(m).i64_at(col))),
+        ColBuilder::F64(v) => v.extend(matches.iter().map(|&m| session.payload(m).f64_at(col))),
+        ColBuilder::Date(v) => v.extend(matches.iter().map(|&m| session.payload(m).date_at(col))),
+        ColBuilder::Char { data, .. } => {
+            for &m in matches {
+                data.extend_from_slice(session.payload(m).char_at(col));
+            }
+        }
+    }
+}
+
 /// One builder per column of `schema`.
 pub fn make_builders(schema: &Schema) -> Vec<ColBuilder> {
     schema

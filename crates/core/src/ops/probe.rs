@@ -4,23 +4,35 @@
 //! table built by the upstream build operator, and assembles output rows from
 //! probe-side columns plus payload columns (inner join), or probe-side
 //! columns only (semi/anti joins).
+//!
+//! The default path is batched: keys and hashes for the whole block come from
+//! the operator's precompiled [`uot_storage::KeyExtractor`] (one dispatch per
+//! block), matches resolve through a prefetched
+//! [`crate::hash_table::ProbeSession`] into a flat match vector, and each
+//! output column is materialized with one typed gather loop. A row-at-a-time
+//! [`execute_scalar`] is retained as the reference implementation the
+//! property tests diff against.
 
 use crate::error::EngineError;
-use crate::ops::builders::{into_virtual_block, make_builders};
+use crate::ops::builders::{
+    gather_block_column, gather_payload_column, into_virtual_block, make_builders,
+};
 use crate::plan::{JoinType, OperatorKind};
 use crate::state::ExecContext;
 use crate::Result;
 use std::sync::Arc;
 use uot_storage::{HashKey, StorageBlock};
 
-/// Run one probe work order. Returns completed output blocks.
-pub fn execute(
-    ctx: &ExecContext,
-    op: usize,
-    block: &Arc<StorageBlock>,
-) -> Result<Vec<StorageBlock>> {
-    let (build, probe_key_cols, probe_out_cols, build_out_cols, join) = match &ctx.plan.op(op).kind
-    {
+struct ProbeSpec<'a> {
+    build: usize,
+    probe_key_cols: &'a [usize],
+    probe_out_cols: &'a [usize],
+    build_out_cols: &'a [usize],
+    join: JoinType,
+}
+
+fn probe_spec<'a>(ctx: &'a ExecContext, op: usize) -> Result<ProbeSpec<'a>> {
+    match &ctx.plan.op(op).kind {
         OperatorKind::Probe {
             build,
             probe_key_cols,
@@ -28,49 +40,128 @@ pub fn execute(
             build_out_cols,
             join,
             ..
-        } => (
-            *build,
+        } => Ok(ProbeSpec {
+            build: *build,
             probe_key_cols,
             probe_out_cols,
             build_out_cols,
-            *join,
-        ),
-        other => {
-            return Err(EngineError::Internal(format!(
-                "probe work order on {}",
-                other.kind_label()
-            )))
-        }
-    };
-    let ht = ctx.hash_table(build);
+            join: *join,
+        }),
+        other => Err(EngineError::Internal(format!(
+            "probe work order on {}",
+            other.kind_label()
+        ))),
+    }
+}
+
+/// Run one probe work order (batched path). Returns completed output blocks.
+pub fn execute(
+    ctx: &ExecContext,
+    op: usize,
+    block: &Arc<StorageBlock>,
+) -> Result<Vec<StorageBlock>> {
+    let spec = probe_spec(ctx, op)?;
+    let ht = ctx.hash_table(spec.build);
     let out_schema = ctx.plan.op(op).out_schema.clone();
     let mut builders = make_builders(&out_schema);
-    let n_probe_cols = probe_out_cols.len();
+    let n_probe_cols = spec.probe_out_cols.len();
+
+    let mut scratch = ctx.take_scratch();
+    ctx.key_extractor(op)
+        .extract_block(block, &mut scratch.keys);
+    let session = ht.probe_session();
+    match spec.join {
+        JoinType::Inner => {
+            scratch.matches.clear();
+            session.probe_batch(&scratch.keys, &mut scratch.matches);
+            for (j, &c) in spec.probe_out_cols.iter().enumerate() {
+                gather_block_column(
+                    &mut builders[j],
+                    block,
+                    c,
+                    scratch.matches.iter().map(|m| m.probe_row as usize),
+                );
+            }
+            for (j, &c) in spec.build_out_cols.iter().enumerate() {
+                gather_payload_column(
+                    &mut builders[n_probe_cols + j],
+                    &session,
+                    c,
+                    &scratch.matches,
+                );
+            }
+        }
+        JoinType::Semi | JoinType::Anti => {
+            scratch.exists.clear();
+            session.contains_batch(&scratch.keys, &mut scratch.exists);
+            let want = matches!(spec.join, JoinType::Semi);
+            scratch.rows.clear();
+            scratch.rows.extend(
+                scratch
+                    .exists
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &e)| e == want)
+                    .map(|(r, _)| r as u32),
+            );
+            for (j, &c) in spec.probe_out_cols.iter().enumerate() {
+                gather_block_column(
+                    &mut builders[j],
+                    block,
+                    c,
+                    scratch.rows.iter().map(|&r| r as usize),
+                );
+            }
+        }
+    }
+    drop(session);
+    ctx.put_scratch(scratch);
+    if builders.first().map(|b| b.is_empty()).unwrap_or(true) {
+        return Ok(Vec::new());
+    }
+    let virt = into_virtual_block(out_schema, builders)?;
+    ctx.output(op).write_rows(&virt, &ctx.pool)
+}
+
+/// Row-at-a-time reference implementation of the probe (the pre-vectorized
+/// path). Kept for the batched-vs-scalar property tests and the `probe_batch`
+/// microbenchmark baseline; must produce the same multiset of rows as
+/// [`execute`].
+pub fn execute_scalar(
+    ctx: &ExecContext,
+    op: usize,
+    block: &Arc<StorageBlock>,
+) -> Result<Vec<StorageBlock>> {
+    let spec = probe_spec(ctx, op)?;
+    let ht = ctx.hash_table(spec.build);
+    let out_schema = ctx.plan.op(op).out_schema.clone();
+    let mut builders = make_builders(&out_schema);
+    let n_probe_cols = spec.probe_out_cols.len();
     let n = block.num_rows();
 
     for row in 0..n {
-        let key = HashKey::from_row(block, row, probe_key_cols)?;
-        match join {
+        let key = HashKey::from_row(block, row, spec.probe_key_cols);
+        match spec.join {
             JoinType::Inner => {
                 ht.probe_key(&key, |payload| {
-                    for (j, &c) in probe_out_cols.iter().enumerate() {
+                    for (j, &c) in spec.probe_out_cols.iter().enumerate() {
                         builders[j].push_from_block(block, row, c);
                     }
-                    for (j, &c) in build_out_cols.iter().enumerate() {
+                    for (j, &c) in spec.build_out_cols.iter().enumerate() {
                         builders[n_probe_cols + j].push_from_payload(payload, c);
                     }
                 });
             }
             JoinType::Semi => {
                 if ht.contains_key(&key) {
-                    for (j, &c) in probe_out_cols.iter().enumerate() {
+                    for (j, &c) in spec.probe_out_cols.iter().enumerate() {
                         builders[j].push_from_block(block, row, c);
                     }
                 }
             }
             JoinType::Anti => {
                 if !ht.contains_key(&key) {
-                    for (j, &c) in probe_out_cols.iter().enumerate() {
+                    for (j, &c) in spec.probe_out_cols.iter().enumerate() {
                         builders[j].push_from_block(block, row, c);
                     }
                 }

@@ -35,20 +35,34 @@ pub fn execute(
     let mut bitmap = predicate.eval(block).map_err(EngineError::from)?;
     // LIP: consult downstream builds' Bloom filters and drop rows whose join
     // keys are definitely absent — before materializing or transferring them.
+    // Filters sharing a key-column set are grouped at context build: the
+    // surviving rows' keys are extracted and hashed once per group, and every
+    // Bloom filter in the group probes the same hash vector.
     if !lip.is_empty() {
         let before = bitmap.count_ones();
-        for l in lip {
-            let Some(bloom) = ctx.runtimes[l.build].bloom.as_ref() else {
+        let mut scratch = ctx.take_scratch();
+        for group in &ctx.lip_groups[op] {
+            let blooms: Vec<_> = group
+                .builds
+                .iter()
+                .filter_map(|&b| ctx.runtimes[b].bloom.as_deref())
+                .collect();
+            if blooms.is_empty() {
                 continue;
-            };
-            let survivors: Vec<usize> = bitmap.iter_ones().collect();
-            for row in survivors {
-                let key = uot_storage::HashKey::from_row(block, row, &l.key_cols)?;
-                if !bloom.may_contain(&key) {
-                    bitmap.assign(row, false);
+            }
+            scratch.rows.clear();
+            scratch.rows.extend(bitmap.iter_ones().map(|r| r as u32));
+            group
+                .extractor
+                .extract_rows(block, &scratch.rows, &mut scratch.keys);
+            for (i, &row) in scratch.rows.iter().enumerate() {
+                let h = scratch.keys.hashes()[i];
+                if blooms.iter().any(|bl| !bl.may_contain_hash(h)) {
+                    bitmap.assign(row as usize, false);
                 }
             }
         }
+        ctx.put_scratch(scratch);
         let pruned = before - bitmap.count_ones();
         ctx.runtimes[op]
             .lip_pruned

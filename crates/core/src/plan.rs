@@ -264,6 +264,15 @@ impl QueryPlan {
         self.ops.len()
     }
 
+    /// Schema of the blocks streamed into operator `id` (the base table's
+    /// schema, or the upstream operator's output schema).
+    pub fn input_schema(&self, id: OpId) -> Arc<Schema> {
+        match self.op(id).kind.stream_source() {
+            Source::Table(t) => t.schema().clone(),
+            Source::Op(src) => self.op(*src).out_schema.clone(),
+        }
+    }
+
     /// True for a plan with no operators (never produced by the builder).
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()

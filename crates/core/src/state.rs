@@ -7,7 +7,7 @@
 //! (sort input / nested-loops inner side) and the limit counter.
 
 use crate::bloom::BloomFilter;
-use crate::hash_table::JoinHashTable;
+use crate::hash_table::{JoinHashTable, ProbeMatch};
 use crate::output::OutputBuffer;
 use crate::plan::{OperatorKind, QueryPlan, Source};
 use crate::Result;
@@ -16,7 +16,10 @@ use std::collections::HashMap;
 use std::sync::atomic::AtomicI64;
 use std::sync::Arc;
 use uot_expr::AggState;
-use uot_storage::{hash_key::FxBuildHasher, BlockFormat, BlockPool, HashKey, StorageBlock, Value};
+use uot_storage::{
+    hash_key::FxBuildHasher, BlockFormat, BlockPool, HashKey, KeyBatch, KeyExtractor, StorageBlock,
+    Value,
+};
 
 /// One group's accumulated state in a hash aggregation.
 #[derive(Debug, Clone)]
@@ -55,6 +58,33 @@ pub struct OpRuntime {
     pub limit_remaining: AtomicI64,
 }
 
+/// Reusable per-work-order buffers for the batched key pipeline. Checked out
+/// of the [`ExecContext`] pool at work-order start (one lock op) and returned
+/// at the end, so per-block extraction and probing never allocate in steady
+/// state.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Extracted keys + hashes for the current block.
+    pub keys: KeyBatch,
+    /// Resolved probe matches (inner joins).
+    pub matches: Vec<ProbeMatch>,
+    /// Per-row existence flags (semi/anti joins).
+    pub exists: Vec<bool>,
+    /// Selected row indices (semi/anti output, LIP survivors).
+    pub rows: Vec<u32>,
+}
+
+/// One group of LIP filters sharing a key-column set: keys are extracted and
+/// hashed once per block, then every Bloom filter in the group probes the
+/// same hash vector.
+#[derive(Debug)]
+pub struct LipGroup {
+    /// Extractor over the select's input schema for the shared key columns.
+    pub extractor: KeyExtractor,
+    /// The `BuildHash` operators whose Bloom filters consume these keys.
+    pub builds: Vec<usize>,
+}
+
 /// Everything a worker needs to execute any work order of the query.
 #[derive(Debug)]
 pub struct ExecContext {
@@ -67,6 +97,13 @@ pub struct ExecContext {
     /// Format of temporary blocks (the paper: row store regardless of base
     /// table format; configurable here).
     pub temp_format: BlockFormat,
+    /// Per-operator key extractor, compiled once at context build: build
+    /// keys, probe keys, or group-by keys depending on the operator kind.
+    extractors: Vec<Option<KeyExtractor>>,
+    /// Per-select LIP filters grouped by distinct key-column set.
+    pub lip_groups: Vec<Vec<LipGroup>>,
+    /// Pool of reusable [`Scratch`] buffers (≤ one per concurrent worker).
+    scratch: Mutex<Vec<Scratch>>,
 }
 
 impl ExecContext {
@@ -96,6 +133,42 @@ impl ExecContext {
                 }
             }
         };
+        // Compile key extractors once per operator: the batched pipeline's
+        // single dispatch per block replaces one dispatch per row.
+        let mut extractors = Vec::with_capacity(plan.len());
+        let mut lip_groups: Vec<Vec<LipGroup>> = Vec::with_capacity(plan.len());
+        for (id, op) in plan.ops().iter().enumerate() {
+            let key_cols: Option<&[usize]> = match &op.kind {
+                OperatorKind::BuildHash { key_cols, .. } => Some(key_cols),
+                OperatorKind::Probe { probe_key_cols, .. } => Some(probe_key_cols),
+                OperatorKind::Aggregate { group_by, .. } if !group_by.is_empty() => Some(group_by),
+                _ => None,
+            };
+            extractors.push(match key_cols {
+                Some(cols) => Some(KeyExtractor::compile(&plan.input_schema(id), cols)?),
+                None => None,
+            });
+            let mut groups: Vec<LipGroup> = Vec::new();
+            let mut group_cols: Vec<&[usize]> = Vec::new();
+            if let OperatorKind::Select { lip, .. } = &op.kind {
+                for l in lip {
+                    match group_cols.iter().position(|c| *c == l.key_cols.as_slice()) {
+                        Some(i) => groups[i].builds.push(l.build),
+                        None => {
+                            group_cols.push(&l.key_cols);
+                            groups.push(LipGroup {
+                                extractor: KeyExtractor::compile(
+                                    &plan.input_schema(id),
+                                    &l.key_cols,
+                                )?,
+                                builds: vec![l.build],
+                            });
+                        }
+                    }
+                }
+            }
+            lip_groups.push(groups);
+        }
         let mut runtimes = Vec::with_capacity(plan.len());
         for (id, op) in plan.ops().iter().enumerate() {
             let (output, hash_table) = match &op.kind {
@@ -136,7 +209,29 @@ impl ExecContext {
             pool,
             runtimes,
             temp_format,
+            extractors,
+            lip_groups,
+            scratch: Mutex::new(Vec::new()),
         })
+    }
+
+    /// The compiled key extractor for operator `id` (panics when `id` has no
+    /// keyed kind — plan validation guarantees builds/probes/grouped
+    /// aggregates always have one).
+    pub fn key_extractor(&self, id: usize) -> &KeyExtractor {
+        self.extractors[id]
+            .as_ref()
+            .expect("operator kind has key columns")
+    }
+
+    /// Check a [`Scratch`] out of the pool (or allocate a fresh one).
+    pub fn take_scratch(&self) -> Scratch {
+        self.scratch.lock().pop().unwrap_or_default()
+    }
+
+    /// Return a [`Scratch`] for reuse by later work orders.
+    pub fn put_scratch(&self, s: Scratch) {
+        self.scratch.lock().push(s);
     }
 
     /// The hash table of build operator `id` (panics if `id` is not a build —

@@ -34,13 +34,15 @@ fn encoded_width(block: &StorageBlock, cols: &[usize]) -> usize {
 impl HashKey {
     /// Build the key for row `row` of `block` from columns `cols`.
     ///
-    /// Errors if any key column is a float (non-canonical bit patterns).
-    pub fn from_row(block: &StorageBlock, row: usize, cols: &[usize]) -> Result<HashKey> {
-        for &c in cols {
-            if !block.schema().dtype(c).hashable() {
-                return Err(StorageError::UnhashableType(block.schema().dtype(c).name()));
-            }
-        }
+    /// Key-column types are validated once at plan-build time (see
+    /// `PlanBuilder` in `uot-core`), so the hot path only carries a
+    /// debug-assert; use [`HashKey::try_from_row`] for unvalidated input.
+    pub fn from_row(block: &StorageBlock, row: usize, cols: &[usize]) -> HashKey {
+        debug_assert!(
+            cols.iter().all(|&c| block.schema().dtype(c).hashable()),
+            "unhashable key column reached HashKey::from_row; \
+             plan validation should have rejected it"
+        );
         let width = encoded_width(block, cols);
         if width <= 16 {
             let mut buf = [0u8; 16];
@@ -64,10 +66,10 @@ impl HashKey {
                         buf[off..off + n as usize].copy_from_slice(bytes);
                         off += n as usize;
                     }
-                    DataType::Float64 => unreachable!("checked above"),
+                    DataType::Float64 => unreachable!("debug-asserted above"),
                 }
             }
-            Ok(HashKey::Fixed(u128::from_le_bytes(buf), width as u8))
+            HashKey::Fixed(u128::from_le_bytes(buf), width as u8)
         } else {
             let mut buf = Vec::with_capacity(width);
             for &c in cols {
@@ -76,11 +78,22 @@ impl HashKey {
                     DataType::Date => buf.extend_from_slice(&block.date_at(row, c).to_le_bytes()),
                     DataType::Int64 => buf.extend_from_slice(&block.i64_at(row, c).to_le_bytes()),
                     DataType::Char(_) => buf.extend_from_slice(block.char_at(row, c)),
-                    DataType::Float64 => unreachable!("checked above"),
+                    DataType::Float64 => unreachable!("debug-asserted above"),
                 }
             }
-            Ok(HashKey::Var(buf.into_boxed_slice()))
+            HashKey::Var(buf.into_boxed_slice())
         }
+    }
+
+    /// Validating variant of [`HashKey::from_row`] for unvalidated input
+    /// (errors on float key columns, whose bit patterns are non-canonical).
+    pub fn try_from_row(block: &StorageBlock, row: usize, cols: &[usize]) -> Result<HashKey> {
+        for &c in cols {
+            if !block.schema().dtype(c).hashable() {
+                return Err(StorageError::UnhashableType(block.schema().dtype(c).name()));
+            }
+        }
+        Ok(HashKey::from_row(block, row, cols))
     }
 
     /// Build a key from a single `i64` (convenience for synthetic workloads).
@@ -95,6 +108,45 @@ impl HashKey {
 }
 
 const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One round of the Fx multiply-xor mix (the [`FxHasher`] step function),
+/// exposed so batch hashing can run it in tight loops without going through
+/// the `Hasher` trait machinery.
+#[inline(always)]
+pub fn fx_mix(state: u64, word: u64) -> u64 {
+    (state.rotate_left(5) ^ word).wrapping_mul(FX_SEED)
+}
+
+/// Hash of a [`HashKey::Fixed`] key, computable directly from the packed
+/// value without constructing the enum. `hash_of(&HashKey::Fixed(p, w)) ==
+/// hash_fixed(p, w)` always holds — the batched key pipeline and the scalar
+/// probe path must agree on shard and slot placement.
+#[inline(always)]
+pub fn hash_fixed(packed: u128, width: u8) -> u64 {
+    let h = fx_mix(0, packed as u64);
+    let h = fx_mix(h, (packed >> 64) as u64);
+    fx_mix(h, width as u64)
+}
+
+/// Hash of a [`HashKey::Var`] key's encoded bytes.
+#[inline]
+pub fn hash_var(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// The canonical 64-bit hash of a [`HashKey`], used for hash-table shard and
+/// slot placement and for Bloom-filter probe positions. Equal keys always
+/// produce equal hashes regardless of which pipeline (scalar or batched)
+/// computed them.
+#[inline]
+pub fn hash_of(key: &HashKey) -> u64 {
+    match key {
+        HashKey::Fixed(packed, width) => hash_fixed(*packed, *width),
+        HashKey::Var(bytes) => hash_var(bytes),
+    }
+}
 
 /// The Fx multiply-xor hasher (as used in rustc): fast on short keys.
 #[derive(Default, Clone)]
@@ -199,8 +251,8 @@ mod tests {
     #[test]
     fn single_column_keys_match() {
         let b = block();
-        let k0 = HashKey::from_row(&b, 0, &[0]).unwrap();
-        let k1 = HashKey::from_row(&b, 1, &[0]).unwrap();
+        let k0 = HashKey::from_row(&b, 0, &[0]);
+        let k1 = HashKey::from_row(&b, 1, &[0]);
         assert_eq!(k0, k1); // same a=7
         assert_eq!(k0, HashKey::from_i32(7));
     }
@@ -208,8 +260,8 @@ mod tests {
     #[test]
     fn composite_keys_distinguish_rows() {
         let b = block();
-        let k0 = HashKey::from_row(&b, 0, &[0, 1]).unwrap();
-        let k1 = HashKey::from_row(&b, 1, &[0, 1]).unwrap();
+        let k0 = HashKey::from_row(&b, 0, &[0, 1]);
+        let k1 = HashKey::from_row(&b, 1, &[0, 1]);
         assert_ne!(k0, k1); // b differs
         assert!(matches!(k0, HashKey::Fixed(_, 12)));
     }
@@ -217,17 +269,17 @@ mod tests {
     #[test]
     fn wide_keys_use_var() {
         let b = block();
-        let k = HashKey::from_row(&b, 0, &[4]).unwrap();
+        let k = HashKey::from_row(&b, 0, &[4]);
         assert!(matches!(k, HashKey::Var(_)));
-        let k2 = HashKey::from_row(&b, 1, &[4]).unwrap();
+        let k2 = HashKey::from_row(&b, 1, &[4]);
         assert_ne!(k, k2);
     }
 
     #[test]
     fn char_keys_compare_padded() {
         let b = block();
-        let k0 = HashKey::from_row(&b, 0, &[2]).unwrap();
-        let k1 = HashKey::from_row(&b, 1, &[2]).unwrap();
+        let k0 = HashKey::from_row(&b, 0, &[2]);
+        let k1 = HashKey::from_row(&b, 1, &[2]);
         assert_eq!(k0, k1); // both "xy "
     }
 
@@ -235,11 +287,11 @@ mod tests {
     fn float_keys_rejected() {
         let b = block();
         assert!(matches!(
-            HashKey::from_row(&b, 0, &[3]),
+            HashKey::try_from_row(&b, 0, &[3]),
             Err(StorageError::UnhashableType(_))
         ));
         // ... including inside composites
-        assert!(HashKey::from_row(&b, 0, &[0, 3]).is_err());
+        assert!(HashKey::try_from_row(&b, 0, &[0, 3]).is_err());
     }
 
     #[test]
@@ -275,8 +327,8 @@ mod tests {
         use std::collections::HashMap;
         let mut m: HashMap<HashKey, usize, FxBuildHasher> = HashMap::default();
         let b = block();
-        m.insert(HashKey::from_row(&b, 0, &[1]).unwrap(), 0);
-        m.insert(HashKey::from_row(&b, 1, &[1]).unwrap(), 1);
+        m.insert(HashKey::from_row(&b, 0, &[1]), 0);
+        m.insert(HashKey::from_row(&b, 1, &[1]), 1);
         assert_eq!(m.len(), 2);
         assert_eq!(m[&HashKey::from_i64(42)], 0);
         assert_eq!(m[&HashKey::from_i64(43)], 1);

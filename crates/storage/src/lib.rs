@@ -26,6 +26,7 @@ pub mod catalog;
 pub mod column_block;
 pub mod error;
 pub mod hash_key;
+pub mod key_batch;
 pub mod pool;
 pub mod row_block;
 pub mod schema;
@@ -38,7 +39,8 @@ pub use block::{BlockFormat, StorageBlock};
 pub use catalog::Catalog;
 pub use column_block::{ColumnBlock, ColumnData};
 pub use error::StorageError;
-pub use hash_key::HashKey;
+pub use hash_key::{fx_mix, hash_fixed, hash_of, hash_var, FxBuildHasher, FxHasher, HashKey};
+pub use key_batch::{KeyBatch, KeyExtractor};
 pub use pool::{BlockPool, MemoryTracker, PoolStats};
 pub use row_block::RowBlock;
 pub use schema::{Column, Schema};

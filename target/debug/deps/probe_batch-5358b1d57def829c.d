@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probe_batch-5358b1d57def829c.d: crates/bench/benches/probe_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobe_batch-5358b1d57def829c.rmeta: crates/bench/benches/probe_batch.rs Cargo.toml
+
+crates/bench/benches/probe_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

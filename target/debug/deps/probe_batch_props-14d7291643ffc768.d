@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probe_batch_props-14d7291643ffc768.d: crates/core/tests/probe_batch_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobe_batch_props-14d7291643ffc768.rmeta: crates/core/tests/probe_batch_props.rs Cargo.toml
+
+crates/core/tests/probe_batch_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

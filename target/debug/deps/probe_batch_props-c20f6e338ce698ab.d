@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_batch_props-c20f6e338ce698ab.d: crates/core/tests/probe_batch_props.rs
+
+/root/repo/target/debug/deps/probe_batch_props-c20f6e338ce698ab: crates/core/tests/probe_batch_props.rs
+
+crates/core/tests/probe_batch_props.rs:

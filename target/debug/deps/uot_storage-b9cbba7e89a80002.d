@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/uot_storage-b9cbba7e89a80002.d: crates/storage/src/lib.rs crates/storage/src/bitmap.rs crates/storage/src/block.rs crates/storage/src/catalog.rs crates/storage/src/column_block.rs crates/storage/src/error.rs crates/storage/src/hash_key.rs crates/storage/src/pool.rs crates/storage/src/row_block.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs crates/storage/src/value.rs Cargo.toml
+/root/repo/target/debug/deps/uot_storage-b9cbba7e89a80002.d: crates/storage/src/lib.rs crates/storage/src/bitmap.rs crates/storage/src/block.rs crates/storage/src/catalog.rs crates/storage/src/column_block.rs crates/storage/src/error.rs crates/storage/src/hash_key.rs crates/storage/src/key_batch.rs crates/storage/src/pool.rs crates/storage/src/row_block.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs crates/storage/src/value.rs Cargo.toml
 
-/root/repo/target/debug/deps/libuot_storage-b9cbba7e89a80002.rmeta: crates/storage/src/lib.rs crates/storage/src/bitmap.rs crates/storage/src/block.rs crates/storage/src/catalog.rs crates/storage/src/column_block.rs crates/storage/src/error.rs crates/storage/src/hash_key.rs crates/storage/src/pool.rs crates/storage/src/row_block.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs crates/storage/src/value.rs Cargo.toml
+/root/repo/target/debug/deps/libuot_storage-b9cbba7e89a80002.rmeta: crates/storage/src/lib.rs crates/storage/src/bitmap.rs crates/storage/src/block.rs crates/storage/src/catalog.rs crates/storage/src/column_block.rs crates/storage/src/error.rs crates/storage/src/hash_key.rs crates/storage/src/key_batch.rs crates/storage/src/pool.rs crates/storage/src/row_block.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs crates/storage/src/value.rs Cargo.toml
 
 crates/storage/src/lib.rs:
 crates/storage/src/bitmap.rs:
@@ -9,6 +9,7 @@ crates/storage/src/catalog.rs:
 crates/storage/src/column_block.rs:
 crates/storage/src/error.rs:
 crates/storage/src/hash_key.rs:
+crates/storage/src/key_batch.rs:
 crates/storage/src/pool.rs:
 crates/storage/src/row_block.rs:
 crates/storage/src/schema.rs:

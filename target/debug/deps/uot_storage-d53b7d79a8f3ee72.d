@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/uot_storage-d53b7d79a8f3ee72.d: crates/storage/src/lib.rs crates/storage/src/bitmap.rs crates/storage/src/block.rs crates/storage/src/catalog.rs crates/storage/src/column_block.rs crates/storage/src/error.rs crates/storage/src/hash_key.rs crates/storage/src/pool.rs crates/storage/src/row_block.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs crates/storage/src/value.rs
+/root/repo/target/debug/deps/uot_storage-d53b7d79a8f3ee72.d: crates/storage/src/lib.rs crates/storage/src/bitmap.rs crates/storage/src/block.rs crates/storage/src/catalog.rs crates/storage/src/column_block.rs crates/storage/src/error.rs crates/storage/src/hash_key.rs crates/storage/src/key_batch.rs crates/storage/src/pool.rs crates/storage/src/row_block.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs crates/storage/src/value.rs
 
-/root/repo/target/debug/deps/uot_storage-d53b7d79a8f3ee72: crates/storage/src/lib.rs crates/storage/src/bitmap.rs crates/storage/src/block.rs crates/storage/src/catalog.rs crates/storage/src/column_block.rs crates/storage/src/error.rs crates/storage/src/hash_key.rs crates/storage/src/pool.rs crates/storage/src/row_block.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs crates/storage/src/value.rs
+/root/repo/target/debug/deps/uot_storage-d53b7d79a8f3ee72: crates/storage/src/lib.rs crates/storage/src/bitmap.rs crates/storage/src/block.rs crates/storage/src/catalog.rs crates/storage/src/column_block.rs crates/storage/src/error.rs crates/storage/src/hash_key.rs crates/storage/src/key_batch.rs crates/storage/src/pool.rs crates/storage/src/row_block.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs crates/storage/src/value.rs
 
 crates/storage/src/lib.rs:
 crates/storage/src/bitmap.rs:
@@ -9,6 +9,7 @@ crates/storage/src/catalog.rs:
 crates/storage/src/column_block.rs:
 crates/storage/src/error.rs:
 crates/storage/src/hash_key.rs:
+crates/storage/src/key_batch.rs:
 crates/storage/src/pool.rs:
 crates/storage/src/row_block.rs:
 crates/storage/src/schema.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_lip-4c29f26d3656a074.d: crates/bench/src/bin/ablation_lip.rs
+
+/root/repo/target/release/deps/ablation_lip-4c29f26d3656a074: crates/bench/src/bin/ablation_lip.rs
+
+crates/bench/src/bin/ablation_lip.rs:

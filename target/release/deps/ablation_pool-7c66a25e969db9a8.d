@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pool-7c66a25e969db9a8.d: crates/bench/src/bin/ablation_pool.rs
+
+/root/repo/target/release/deps/ablation_pool-7c66a25e969db9a8: crates/bench/src/bin/ablation_pool.rs
+
+crates/bench/src/bin/ablation_pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_uot_sweep-998df6b23997632c.d: crates/bench/src/bin/ablation_uot_sweep.rs
+
+/root/repo/target/release/deps/ablation_uot_sweep-998df6b23997632c: crates/bench/src/bin/ablation_uot_sweep.rs
+
+crates/bench/src/bin/ablation_uot_sweep.rs:

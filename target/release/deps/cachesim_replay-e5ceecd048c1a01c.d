@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cachesim_replay-e5ceecd048c1a01c.d: crates/bench/benches/cachesim_replay.rs
+
+/root/repo/target/release/deps/cachesim_replay-e5ceecd048c1a01c: crates/bench/benches/cachesim_replay.rs
+
+crates/bench/benches/cachesim_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eq1_cost_ratio-85ab0eb6dda8973e.d: crates/bench/src/bin/eq1_cost_ratio.rs
+
+/root/repo/target/release/deps/eq1_cost_ratio-85ab0eb6dda8973e: crates/bench/src/bin/eq1_cost_ratio.rs
+
+crates/bench/src/bin/eq1_cost_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_scalability_uot-621a087e10cc1d2e.d: crates/bench/src/bin/fig10_scalability_uot.rs
+
+/root/repo/target/release/deps/fig10_scalability_uot-621a087e10cc1d2e: crates/bench/src/bin/fig10_scalability_uot.rs
+
+crates/bench/src/bin/fig10_scalability_uot.rs:

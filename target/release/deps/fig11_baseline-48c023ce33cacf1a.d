@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_baseline-48c023ce33cacf1a.d: crates/bench/src/bin/fig11_baseline.rs
+
+/root/repo/target/release/deps/fig11_baseline-48c023ce33cacf1a: crates/bench/src/bin/fig11_baseline.rs
+
+crates/bench/src/bin/fig11_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_schedules-fe9ea68f6e020700.d: crates/bench/src/bin/fig2_schedules.rs
+
+/root/repo/target/release/deps/fig2_schedules-fe9ea68f6e020700: crates/bench/src/bin/fig2_schedules.rs
+
+crates/bench/src/bin/fig2_schedules.rs:

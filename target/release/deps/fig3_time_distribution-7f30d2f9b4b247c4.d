@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_time_distribution-7f30d2f9b4b247c4.d: crates/bench/src/bin/fig3_time_distribution.rs
+
+/root/repo/target/release/deps/fig3_time_distribution-7f30d2f9b4b247c4: crates/bench/src/bin/fig3_time_distribution.rs
+
+crates/bench/src/bin/fig3_time_distribution.rs:

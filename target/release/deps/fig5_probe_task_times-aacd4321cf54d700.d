@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_probe_task_times-aacd4321cf54d700.d: crates/bench/src/bin/fig5_probe_task_times.rs
+
+/root/repo/target/release/deps/fig5_probe_task_times-aacd4321cf54d700: crates/bench/src/bin/fig5_probe_task_times.rs
+
+crates/bench/src/bin/fig5_probe_task_times.rs:

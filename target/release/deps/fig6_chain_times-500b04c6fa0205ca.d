@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_chain_times-500b04c6fa0205ca.d: crates/bench/src/bin/fig6_chain_times.rs
+
+/root/repo/target/release/deps/fig6_chain_times-500b04c6fa0205ca: crates/bench/src/bin/fig6_chain_times.rs
+
+crates/bench/src/bin/fig6_chain_times.rs:

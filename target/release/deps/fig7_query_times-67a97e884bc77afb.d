@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_query_times-67a97e884bc77afb.d: crates/bench/src/bin/fig7_query_times.rs
+
+/root/repo/target/release/deps/fig7_query_times-67a97e884bc77afb: crates/bench/src/bin/fig7_query_times.rs
+
+crates/bench/src/bin/fig7_query_times.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_row_store-adb10428c9486293.d: crates/bench/src/bin/fig8_row_store.rs
+
+/root/repo/target/release/deps/fig8_row_store-adb10428c9486293: crates/bench/src/bin/fig8_row_store.rs
+
+crates/bench/src/bin/fig8_row_store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_scalability-353106ff7855271a.d: crates/bench/src/bin/fig9_scalability.rs
+
+/root/repo/target/release/deps/fig9_scalability-353106ff7855271a: crates/bench/src/bin/fig9_scalability.rs
+
+crates/bench/src/bin/fig9_scalability.rs:

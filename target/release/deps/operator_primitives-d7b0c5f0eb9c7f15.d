@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/operator_primitives-d7b0c5f0eb9c7f15.d: crates/bench/benches/operator_primitives.rs
+
+/root/repo/target/release/deps/operator_primitives-d7b0c5f0eb9c7f15: crates/bench/benches/operator_primitives.rs
+
+crates/bench/benches/operator_primitives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/platform_info-9df34b699befd4a9.d: crates/bench/src/bin/platform_info.rs
+
+/root/repo/target/release/deps/platform_info-9df34b699befd4a9: crates/bench/src/bin/platform_info.rs
+
+crates/bench/src/bin/platform_info.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe_batch-83d58fb8c5b6b28a.d: crates/bench/benches/probe_batch.rs
+
+/root/repo/target/release/deps/probe_batch-83d58fb8c5b6b28a: crates/bench/benches/probe_batch.rs
+
+crates/bench/benches/probe_batch.rs:

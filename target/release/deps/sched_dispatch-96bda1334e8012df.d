@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sched_dispatch-96bda1334e8012df.d: crates/bench/src/bin/sched_dispatch.rs
+
+/root/repo/target/release/deps/sched_dispatch-96bda1334e8012df: crates/bench/src/bin/sched_dispatch.rs
+
+crates/bench/src/bin/sched_dispatch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/storage_primitives-2a2998f848a9ecc7.d: crates/bench/benches/storage_primitives.rs
+
+/root/repo/target/release/deps/storage_primitives-2a2998f848a9ecc7: crates/bench/benches/storage_primitives.rs
+
+crates/bench/benches/storage_primitives.rs:

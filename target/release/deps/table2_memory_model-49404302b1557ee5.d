@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_memory_model-49404302b1557ee5.d: crates/bench/src/bin/table2_memory_model.rs
+
+/root/repo/target/release/deps/table2_memory_model-49404302b1557ee5: crates/bench/src/bin/table2_memory_model.rs
+
+crates/bench/src/bin/table2_memory_model.rs:

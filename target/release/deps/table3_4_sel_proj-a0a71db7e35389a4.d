@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_4_sel_proj-a0a71db7e35389a4.d: crates/bench/src/bin/table3_4_sel_proj.rs
+
+/root/repo/target/release/deps/table3_4_sel_proj-a0a71db7e35389a4: crates/bench/src/bin/table3_4_sel_proj.rs
+
+crates/bench/src/bin/table3_4_sel_proj.rs:

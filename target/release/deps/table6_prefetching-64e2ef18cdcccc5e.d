@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_prefetching-64e2ef18cdcccc5e.d: crates/bench/src/bin/table6_prefetching.rs
+
+/root/repo/target/release/deps/table6_prefetching-64e2ef18cdcccc5e: crates/bench/src/bin/table6_prefetching.rs
+
+crates/bench/src/bin/table6_prefetching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/uot-36a069182c789057.d: src/lib.rs
+
+/root/repo/target/release/deps/uot-36a069182c789057: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/uot_baseline-10b1a74d5b022191.d: crates/baseline/src/lib.rs crates/baseline/src/engine.rs
+
+/root/repo/target/release/deps/uot_baseline-10b1a74d5b022191: crates/baseline/src/lib.rs crates/baseline/src/engine.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/engine.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/uot_bench-51f1e382f5e637c8.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/uot_bench-51f1e382f5e637c8: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

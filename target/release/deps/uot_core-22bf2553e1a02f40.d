@@ -1,0 +1,27 @@
+/root/repo/target/release/deps/uot_core-22bf2553e1a02f40.d: crates/core/src/lib.rs crates/core/src/bloom.rs crates/core/src/edge.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/hash_table.rs crates/core/src/metrics.rs crates/core/src/ops/mod.rs crates/core/src/ops/aggregate.rs crates/core/src/ops/build.rs crates/core/src/ops/builders.rs crates/core/src/ops/limit.rs crates/core/src/ops/nlj.rs crates/core/src/ops/probe.rs crates/core/src/ops/select.rs crates/core/src/ops/sort.rs crates/core/src/output.rs crates/core/src/plan.rs crates/core/src/scheduler.rs crates/core/src/state.rs crates/core/src/topology.rs crates/core/src/uot.rs crates/core/src/work_order.rs
+
+/root/repo/target/release/deps/uot_core-22bf2553e1a02f40: crates/core/src/lib.rs crates/core/src/bloom.rs crates/core/src/edge.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/hash_table.rs crates/core/src/metrics.rs crates/core/src/ops/mod.rs crates/core/src/ops/aggregate.rs crates/core/src/ops/build.rs crates/core/src/ops/builders.rs crates/core/src/ops/limit.rs crates/core/src/ops/nlj.rs crates/core/src/ops/probe.rs crates/core/src/ops/select.rs crates/core/src/ops/sort.rs crates/core/src/output.rs crates/core/src/plan.rs crates/core/src/scheduler.rs crates/core/src/state.rs crates/core/src/topology.rs crates/core/src/uot.rs crates/core/src/work_order.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bloom.rs:
+crates/core/src/edge.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/hash_table.rs:
+crates/core/src/metrics.rs:
+crates/core/src/ops/mod.rs:
+crates/core/src/ops/aggregate.rs:
+crates/core/src/ops/build.rs:
+crates/core/src/ops/builders.rs:
+crates/core/src/ops/limit.rs:
+crates/core/src/ops/nlj.rs:
+crates/core/src/ops/probe.rs:
+crates/core/src/ops/select.rs:
+crates/core/src/ops/sort.rs:
+crates/core/src/output.rs:
+crates/core/src/plan.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/state.rs:
+crates/core/src/topology.rs:
+crates/core/src/uot.rs:
+crates/core/src/work_order.rs:

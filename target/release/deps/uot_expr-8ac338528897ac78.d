@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/uot_expr-8ac338528897ac78.d: crates/expr/src/lib.rs crates/expr/src/aggregate.rs crates/expr/src/error.rs crates/expr/src/predicate.rs crates/expr/src/scalar.rs
+
+/root/repo/target/release/deps/uot_expr-8ac338528897ac78: crates/expr/src/lib.rs crates/expr/src/aggregate.rs crates/expr/src/error.rs crates/expr/src/predicate.rs crates/expr/src/scalar.rs
+
+crates/expr/src/lib.rs:
+crates/expr/src/aggregate.rs:
+crates/expr/src/error.rs:
+crates/expr/src/predicate.rs:
+crates/expr/src/scalar.rs:

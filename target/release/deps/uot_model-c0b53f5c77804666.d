@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/uot_model-c0b53f5c77804666.d: crates/model/src/lib.rs crates/model/src/cost.rs crates/model/src/memory.rs
+
+/root/repo/target/release/deps/uot_model-c0b53f5c77804666: crates/model/src/lib.rs crates/model/src/cost.rs crates/model/src/memory.rs
+
+crates/model/src/lib.rs:
+crates/model/src/cost.rs:
+crates/model/src/memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/uot_pipeline-823eceff090a6f83.d: crates/bench/benches/uot_pipeline.rs
+
+/root/repo/target/release/deps/uot_pipeline-823eceff090a6f83: crates/bench/benches/uot_pipeline.rs
+
+crates/bench/benches/uot_pipeline.rs:

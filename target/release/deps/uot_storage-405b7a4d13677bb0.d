@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/uot_storage-405b7a4d13677bb0.d: crates/storage/src/lib.rs crates/storage/src/bitmap.rs crates/storage/src/block.rs crates/storage/src/catalog.rs crates/storage/src/column_block.rs crates/storage/src/error.rs crates/storage/src/hash_key.rs crates/storage/src/key_batch.rs crates/storage/src/pool.rs crates/storage/src/row_block.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs crates/storage/src/value.rs
+
+/root/repo/target/release/deps/uot_storage-405b7a4d13677bb0: crates/storage/src/lib.rs crates/storage/src/bitmap.rs crates/storage/src/block.rs crates/storage/src/catalog.rs crates/storage/src/column_block.rs crates/storage/src/error.rs crates/storage/src/hash_key.rs crates/storage/src/key_batch.rs crates/storage/src/pool.rs crates/storage/src/row_block.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs crates/storage/src/value.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/bitmap.rs:
+crates/storage/src/block.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/column_block.rs:
+crates/storage/src/error.rs:
+crates/storage/src/hash_key.rs:
+crates/storage/src/key_batch.rs:
+crates/storage/src/pool.rs:
+crates/storage/src/row_block.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/table.rs:
+crates/storage/src/types.rs:
+crates/storage/src/value.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/uot_storage-877c5df1e1a883f7.d: crates/storage/src/lib.rs crates/storage/src/bitmap.rs crates/storage/src/block.rs crates/storage/src/catalog.rs crates/storage/src/column_block.rs crates/storage/src/error.rs crates/storage/src/hash_key.rs crates/storage/src/pool.rs crates/storage/src/row_block.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs crates/storage/src/value.rs
+/root/repo/target/release/deps/uot_storage-877c5df1e1a883f7.d: crates/storage/src/lib.rs crates/storage/src/bitmap.rs crates/storage/src/block.rs crates/storage/src/catalog.rs crates/storage/src/column_block.rs crates/storage/src/error.rs crates/storage/src/hash_key.rs crates/storage/src/key_batch.rs crates/storage/src/pool.rs crates/storage/src/row_block.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs crates/storage/src/value.rs
 
-/root/repo/target/release/deps/libuot_storage-877c5df1e1a883f7.rlib: crates/storage/src/lib.rs crates/storage/src/bitmap.rs crates/storage/src/block.rs crates/storage/src/catalog.rs crates/storage/src/column_block.rs crates/storage/src/error.rs crates/storage/src/hash_key.rs crates/storage/src/pool.rs crates/storage/src/row_block.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs crates/storage/src/value.rs
+/root/repo/target/release/deps/libuot_storage-877c5df1e1a883f7.rlib: crates/storage/src/lib.rs crates/storage/src/bitmap.rs crates/storage/src/block.rs crates/storage/src/catalog.rs crates/storage/src/column_block.rs crates/storage/src/error.rs crates/storage/src/hash_key.rs crates/storage/src/key_batch.rs crates/storage/src/pool.rs crates/storage/src/row_block.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs crates/storage/src/value.rs
 
-/root/repo/target/release/deps/libuot_storage-877c5df1e1a883f7.rmeta: crates/storage/src/lib.rs crates/storage/src/bitmap.rs crates/storage/src/block.rs crates/storage/src/catalog.rs crates/storage/src/column_block.rs crates/storage/src/error.rs crates/storage/src/hash_key.rs crates/storage/src/pool.rs crates/storage/src/row_block.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs crates/storage/src/value.rs
+/root/repo/target/release/deps/libuot_storage-877c5df1e1a883f7.rmeta: crates/storage/src/lib.rs crates/storage/src/bitmap.rs crates/storage/src/block.rs crates/storage/src/catalog.rs crates/storage/src/column_block.rs crates/storage/src/error.rs crates/storage/src/hash_key.rs crates/storage/src/key_batch.rs crates/storage/src/pool.rs crates/storage/src/row_block.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs crates/storage/src/value.rs
 
 crates/storage/src/lib.rs:
 crates/storage/src/bitmap.rs:
@@ -11,6 +11,7 @@ crates/storage/src/catalog.rs:
 crates/storage/src/column_block.rs:
 crates/storage/src/error.rs:
 crates/storage/src/hash_key.rs:
+crates/storage/src/key_batch.rs:
 crates/storage/src/pool.rs:
 crates/storage/src/row_block.rs:
 crates/storage/src/schema.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/release/deps/uot_tpch-0c43ca797db3f5b3.d: crates/tpch/src/lib.rs crates/tpch/src/analysis.rs crates/tpch/src/chains.rs crates/tpch/src/dbgen.rs crates/tpch/src/queries/mod.rs crates/tpch/src/queries/q01.rs crates/tpch/src/queries/q03.rs crates/tpch/src/queries/q04.rs crates/tpch/src/queries/q05.rs crates/tpch/src/queries/q06.rs crates/tpch/src/queries/q07.rs crates/tpch/src/queries/q08.rs crates/tpch/src/queries/q09.rs crates/tpch/src/queries/q10.rs crates/tpch/src/queries/q12.rs crates/tpch/src/queries/q14.rs crates/tpch/src/queries/q17.rs crates/tpch/src/queries/q18.rs crates/tpch/src/queries/q19.rs crates/tpch/src/queries/util.rs crates/tpch/src/schema.rs
+
+/root/repo/target/release/deps/uot_tpch-0c43ca797db3f5b3: crates/tpch/src/lib.rs crates/tpch/src/analysis.rs crates/tpch/src/chains.rs crates/tpch/src/dbgen.rs crates/tpch/src/queries/mod.rs crates/tpch/src/queries/q01.rs crates/tpch/src/queries/q03.rs crates/tpch/src/queries/q04.rs crates/tpch/src/queries/q05.rs crates/tpch/src/queries/q06.rs crates/tpch/src/queries/q07.rs crates/tpch/src/queries/q08.rs crates/tpch/src/queries/q09.rs crates/tpch/src/queries/q10.rs crates/tpch/src/queries/q12.rs crates/tpch/src/queries/q14.rs crates/tpch/src/queries/q17.rs crates/tpch/src/queries/q18.rs crates/tpch/src/queries/q19.rs crates/tpch/src/queries/util.rs crates/tpch/src/schema.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/analysis.rs:
+crates/tpch/src/chains.rs:
+crates/tpch/src/dbgen.rs:
+crates/tpch/src/queries/mod.rs:
+crates/tpch/src/queries/q01.rs:
+crates/tpch/src/queries/q03.rs:
+crates/tpch/src/queries/q04.rs:
+crates/tpch/src/queries/q05.rs:
+crates/tpch/src/queries/q06.rs:
+crates/tpch/src/queries/q07.rs:
+crates/tpch/src/queries/q08.rs:
+crates/tpch/src/queries/q09.rs:
+crates/tpch/src/queries/q10.rs:
+crates/tpch/src/queries/q12.rs:
+crates/tpch/src/queries/q14.rs:
+crates/tpch/src/queries/q17.rs:
+crates/tpch/src/queries/q18.rs:
+crates/tpch/src/queries/q19.rs:
+crates/tpch/src/queries/util.rs:
+crates/tpch/src/schema.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9f0fe0063271a1e8.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9f0fe0063271a1e8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -9,7 +9,7 @@
 
 use std::fmt;
 use std::sync::{Mutex as StdMutex, MutexGuard, RwLock as StdRwLock};
-use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+pub use std::sync::{RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock that does not poison on panic.
 #[derive(Default)]
