@@ -1,14 +1,19 @@
 //! The engine facade: configuration, execution, results.
 
+use crate::cancel::CancellationToken;
 use crate::error::EngineError;
-use crate::metrics::QueryMetrics;
+use crate::fault::FaultPlan;
+use crate::metrics::{Degradation, QueryMetrics};
 use crate::plan::{OperatorKind, QueryPlan};
 use crate::scheduler::{run_parallel, run_serial, SchedulerConfig};
 use crate::state::ExecContext;
 use crate::uot::Uot;
 use crate::Result;
 use std::sync::Arc;
-use uot_storage::{BlockFormat, BlockPool, MemoryTracker, Schema, StorageBlock, Value};
+use std::time::Duration;
+use uot_storage::{
+    BlockFormat, BlockPool, MemoryTracker, Schema, StorageBlock, StorageError, Value,
+};
 
 /// How work orders are driven.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +25,21 @@ pub enum ExecMode {
         /// Number of worker threads.
         workers: usize,
     },
+}
+
+/// What to do when a query trips its memory budget.
+///
+/// A lower UoT drains intermediates sooner (the paper's Section VI footprint
+/// argument), so degrading the transfer unit is the natural first response
+/// to memory pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradePolicy {
+    /// Surface [`EngineError::BudgetExceeded`] to the caller (default).
+    #[default]
+    Off,
+    /// Retry once with the default UoT halved toward [`Uot::LOW`]; the
+    /// degradation is recorded in [`QueryMetrics::degradations`].
+    LowerUot,
 }
 
 /// Engine configuration. The fields mirror the experimental dimensions of
@@ -44,6 +64,15 @@ pub struct EngineConfig {
     /// Whether the block pool reuses returned blocks (the `ablation_pool`
     /// knob; `true` matches Quickstep).
     pub pool_reuse: bool,
+    /// Hard cap on temporary bytes (pool blocks) a query may hold at once.
+    /// `None` = unlimited. An allocation past the cap fails with
+    /// [`EngineError::BudgetExceeded`] naming the operator that hit it.
+    pub memory_budget: Option<usize>,
+    /// Response to a tripped memory budget.
+    pub degrade: DegradePolicy,
+    /// Optional wall-clock deadline per query; past it the query is
+    /// cancelled and yields [`EngineError::Cancelled`].
+    pub deadline: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -60,6 +89,9 @@ impl Default for EngineConfig {
             max_dop_per_op: None,
             hash_table_shards: 64,
             pool_reuse: true,
+            memory_budget: None,
+            degrade: DegradePolicy::Off,
+            deadline: None,
         }
     }
 }
@@ -96,6 +128,24 @@ impl EngineConfig {
     /// Builder-style setter for the temporary-block format.
     pub fn with_temp_format(mut self, format: BlockFormat) -> Self {
         self.temp_format = format;
+        self
+    }
+
+    /// Builder-style setter for the memory budget.
+    pub fn with_memory_budget(mut self, bytes: Option<usize>) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Builder-style setter for the budget degradation policy.
+    pub fn with_degrade(mut self, policy: DegradePolicy) -> Self {
+        self.degrade = policy;
+        self
+    }
+
+    /// Builder-style setter for the per-query deadline.
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
         self
     }
 }
@@ -189,26 +239,106 @@ impl Engine {
 
     /// Execute `plan` and return the materialized result.
     pub fn execute(&self, plan: QueryPlan) -> Result<QueryResult> {
+        self.execute_governed(plan, CancellationToken::new(), Arc::new(FaultPlan::empty()))
+    }
+
+    /// Execute `plan` with a deterministic [`FaultPlan`] active (test-only
+    /// harness; an empty plan is a no-op and the default for [`Self::execute`]).
+    pub fn execute_with_faults(
+        &self,
+        plan: QueryPlan,
+        faults: Arc<FaultPlan>,
+    ) -> Result<QueryResult> {
+        self.execute_governed(plan, CancellationToken::new(), faults)
+    }
+
+    /// Execute `plan` on a background thread and hand back the
+    /// [`CancellationToken`] governing it. Calling `cancel()` stops the query
+    /// at its next cancellation point; the join handle then yields
+    /// [`EngineError::Cancelled`] with the authoritative elapsed time and
+    /// completed-work-order count.
+    pub fn run_cancellable(
+        &self,
+        plan: QueryPlan,
+    ) -> (
+        CancellationToken,
+        std::thread::JoinHandle<Result<QueryResult>>,
+    ) {
+        let token = CancellationToken::new();
+        let worker_token = token.clone();
+        let config = self.config.clone();
+        let handle = std::thread::spawn(move || {
+            Engine::new(config).execute_governed(plan, worker_token, Arc::new(FaultPlan::empty()))
+        });
+        (token, handle)
+    }
+
+    /// Execute `plan` with a one-off UoT override on every edge.
+    pub fn execute_with_uot(&self, plan: QueryPlan, uot: Uot) -> Result<QueryResult> {
+        let mut cfg = self.config.clone();
+        cfg.default_uot = uot;
+        Engine::new(cfg).execute(plan.with_uniform_uot(uot))
+    }
+
+    /// Execution with resource governance: one attempt at the configured UoT
+    /// and, if that trips the memory budget under [`DegradePolicy::LowerUot`],
+    /// exactly one retry at a degraded (halved-toward-[`Uot::LOW`]) UoT with
+    /// the degradation recorded in the metrics.
+    fn execute_governed(
+        &self,
+        plan: QueryPlan,
+        token: CancellationToken,
+        faults: Arc<FaultPlan>,
+    ) -> Result<QueryResult> {
+        let from = self.config.default_uot.normalized();
+        match self.execute_once(plan.clone(), from, token.clone(), faults.clone()) {
+            Err(e) if is_budget_error(&e) && self.config.degrade == DegradePolicy::LowerUot => {
+                let Some(to) = from.degrade() else {
+                    // Already at the lowest UoT: nothing left to shed.
+                    return Err(e);
+                };
+                let mut result = self.execute_once(plan.with_uniform_uot(to), to, token, faults)?;
+                result.metrics.degradations.push(Degradation { from, to });
+                Ok(result)
+            }
+            other => other,
+        }
+    }
+
+    /// One execution attempt: fresh tracker + (budgeted) pool, the query's
+    /// cancellation token and fault plan installed on the [`ExecContext`].
+    fn execute_once(
+        &self,
+        plan: QueryPlan,
+        uot: Uot,
+        token: CancellationToken,
+        faults: Arc<FaultPlan>,
+    ) -> Result<QueryResult> {
         self.validate(&plan)?;
         let tracker = MemoryTracker::new();
-        let pool = BlockPool::new(tracker);
+        let pool = BlockPool::with_budget(tracker, self.config.memory_budget.unwrap_or(usize::MAX));
         pool.set_reuse_enabled(self.config.pool_reuse);
         let plan = Arc::new(plan);
         let schema = plan.result_schema().clone();
-        let ctx = Arc::new(ExecContext::new(
-            plan,
-            pool,
-            self.config.temp_format,
-            self.config.block_bytes,
-            self.config.hash_table_shards,
-        )?);
+        let ctx = Arc::new(
+            ExecContext::new(
+                plan,
+                pool,
+                self.config.temp_format,
+                self.config.block_bytes,
+                self.config.hash_table_shards,
+            )?
+            .with_cancellation(token)
+            .with_faults(faults),
+        );
         let sched = SchedulerConfig {
             workers: match self.config.mode {
                 ExecMode::Serial => 1,
                 ExecMode::Parallel { workers } => workers.max(1),
             },
-            default_uot: self.config.default_uot.normalized(),
+            default_uot: uot.normalized(),
             max_dop_per_op: self.config.max_dop_per_op,
+            deadline: self.config.deadline,
         };
         let (blocks, metrics) = match self.config.mode {
             ExecMode::Serial => run_serial(ctx, sched)?,
@@ -220,13 +350,13 @@ impl Engine {
             metrics,
         })
     }
+}
 
-    /// Execute `plan` with a one-off UoT override on every edge.
-    pub fn execute_with_uot(&self, plan: QueryPlan, uot: Uot) -> Result<QueryResult> {
-        let mut cfg = self.config.clone();
-        cfg.default_uot = uot;
-        Engine::new(cfg).execute(plan.with_uniform_uot(uot))
-    }
+/// Does `e` mean the memory budget was hit? (Either the operator-attributed
+/// engine variant or a raw storage error that escaped attribution.)
+fn is_budget_error(e: &EngineError) -> bool {
+    matches!(e, EngineError::BudgetExceeded { .. })
+        || matches!(e, EngineError::Storage(StorageError::BudgetExceeded { .. }))
 }
 
 #[cfg(test)]
@@ -412,12 +542,152 @@ mod tests {
         let c = EngineConfig::serial()
             .with_block_bytes(512)
             .with_uot(Uot::Table)
-            .with_temp_format(BlockFormat::Column);
+            .with_temp_format(BlockFormat::Column)
+            .with_memory_budget(Some(4096))
+            .with_degrade(DegradePolicy::LowerUot)
+            .with_deadline(Some(Duration::from_secs(5)));
         assert_eq!(c.block_bytes, 512);
         assert_eq!(c.default_uot, Uot::Table);
         assert_eq!(c.temp_format, BlockFormat::Column);
         assert_eq!(c.mode, ExecMode::Serial);
+        assert_eq!(c.memory_budget, Some(4096));
+        assert_eq!(c.degrade, DegradePolicy::LowerUot);
+        assert_eq!(c.deadline, Some(Duration::from_secs(5)));
         let c = EngineConfig::parallel(7);
         assert_eq!(c.mode, ExecMode::Parallel { workers: 7 });
+    }
+
+    // --- hardening: budgets, degradation, cancellation, fault injection ---
+
+    /// Pass-through filter into a scalar aggregate: under `Uot::Table` all
+    /// 25 filter output blocks (96 B each) stage at once; under a low UoT
+    /// the aggregate drains them as they appear.
+    fn wide_then_narrow_plan() -> QueryPlan {
+        let t = table("budget_t", 200);
+        let mut pb = PlanBuilder::new();
+        let s = pb
+            .filter(Source::Table(t), cmp(col(0), CmpOp::Ge, lit(0i32)))
+            .unwrap();
+        let a = pb
+            .aggregate(Source::Op(s), vec![], vec![AggSpec::count_star()], &["n"])
+            .unwrap();
+        pb.build(a).unwrap()
+    }
+
+    #[test]
+    fn budget_exceeded_names_the_operator() {
+        let cfg = EngineConfig::serial()
+            .with_uot(Uot::Table)
+            .with_block_bytes(96)
+            .with_memory_budget(Some(600));
+        let err = Engine::new(cfg)
+            .execute(wide_then_narrow_plan())
+            .unwrap_err();
+        match err {
+            crate::EngineError::BudgetExceeded {
+                op,
+                requested,
+                in_use,
+                budget,
+            } => {
+                assert!(!op.is_empty());
+                assert!(requested > 0);
+                assert!(in_use + requested > budget);
+                assert_eq!(budget, 600);
+            }
+            other => panic!("expected BudgetExceeded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn lower_uot_degradation_completes_and_is_recorded() {
+        let cfg = EngineConfig::serial()
+            .with_uot(Uot::Table)
+            .with_block_bytes(96)
+            .with_memory_budget(Some(600))
+            .with_degrade(DegradePolicy::LowerUot);
+        let r = Engine::new(cfg).execute(wide_then_narrow_plan()).unwrap();
+        assert_eq!(r.rows(), vec![vec![Value::I64(200)]]);
+        assert_eq!(
+            r.metrics.degradations,
+            vec![Degradation {
+                from: Uot::Table,
+                to: Uot::Blocks(1),
+            }]
+        );
+    }
+
+    #[test]
+    fn degradation_off_by_default() {
+        let cfg = EngineConfig::serial()
+            .with_uot(Uot::Table)
+            .with_block_bytes(96)
+            .with_memory_budget(Some(600));
+        assert_eq!(cfg.degrade, DegradePolicy::Off);
+        let err = Engine::new(cfg)
+            .execute(wide_then_narrow_plan())
+            .unwrap_err();
+        assert!(matches!(err, crate::EngineError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn run_cancellable_stops_mid_query() {
+        // A 400x400 nested-loops cross product: long enough that the cancel
+        // below always lands before the join finishes.
+        let t = table("cancel_t", 400);
+        let mut pb = PlanBuilder::new();
+        let inner = pb
+            .filter(Source::Table(t.clone()), cmp(col(0), CmpOp::Ge, lit(0i32)))
+            .unwrap();
+        let j = pb
+            .nested_loops(Source::Table(t), inner, vec![], vec![0], vec![0])
+            .unwrap();
+        let plan = pb.build(j).unwrap();
+        let engine = Engine::new(EngineConfig::serial());
+        let (token, handle) = engine.run_cancellable(plan);
+        token.cancel();
+        match handle.join().unwrap() {
+            Err(crate::EngineError::Cancelled { after, .. }) => {
+                assert!(after > Duration::ZERO);
+            }
+            Err(other) => panic!("expected Cancelled, got {other}"),
+            Ok(r) => panic!(
+                "query finished despite cancellation ({} rows)",
+                r.num_rows()
+            ),
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_contained_in_both_modes() {
+        use crate::fault::{FaultKind, FaultSite, Injection};
+        for cfg in [EngineConfig::serial(), EngineConfig::parallel(4)] {
+            let engine = Engine::new(cfg.clone());
+            let faults = Arc::new(FaultPlan::new(vec![Injection {
+                site: FaultSite::WorkOrderExec,
+                kind: FaultKind::Panic,
+                nth: 3,
+            }]));
+            let err = engine.execute_with_faults(plan(), faults).unwrap_err();
+            match err {
+                crate::EngineError::WorkOrderPanic { op, kind, payload } => {
+                    assert!(!op.is_empty(), "{cfg:?}");
+                    assert!(!kind.is_empty(), "{cfg:?}");
+                    assert!(payload.contains("injected"), "{payload}");
+                }
+                other => panic!("expected WorkOrderPanic, got {other}"),
+            }
+            // The process (and the engine) survive: the same engine runs the
+            // same query cleanly right after the contained panic.
+            let r = engine.execute(plan()).unwrap();
+            assert_eq!(r.rows().len(), 1);
+        }
+    }
+
+    #[test]
+    fn deadline_is_enforced_through_the_engine() {
+        let cfg = EngineConfig::serial().with_deadline(Some(Duration::ZERO));
+        let err = Engine::new(cfg).execute(plan()).unwrap_err();
+        assert!(matches!(err, crate::EngineError::Cancelled { .. }), "{err}");
     }
 }

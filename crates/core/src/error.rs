@@ -1,6 +1,7 @@
 //! Error type for the engine.
 
 use std::fmt;
+use std::time::Duration;
 use uot_expr::ExprError;
 use uot_storage::StorageError;
 
@@ -26,6 +27,40 @@ pub enum EngineError {
     /// workers, a block size too small to hold one tuple, ...). Raised by
     /// up-front validation before any work order runs.
     Config(String),
+    /// A work order panicked. The panic was contained by the executing
+    /// driver (the process and the other worker threads survive) and turned
+    /// into this error.
+    WorkOrderPanic {
+        /// Display name of the operator whose work order panicked.
+        op: String,
+        /// Operator kind label ("select", "probe", ...).
+        kind: String,
+        /// The downcast panic message ("<non-string panic payload>" when the
+        /// payload was neither `&str` nor `String`).
+        payload: String,
+    },
+    /// The query was cancelled — either via a
+    /// [`CancellationToken`](crate::CancellationToken) or because the
+    /// scheduler's deadline elapsed.
+    Cancelled {
+        /// Wall time from query start until cancellation was observed.
+        after: Duration,
+        /// Work orders that had fully completed by then.
+        completed_work_orders: usize,
+    },
+    /// An allocation pushed the pool past its memory budget. Wraps the
+    /// storage-level [`StorageError::BudgetExceeded`] with the operator that
+    /// asked for the allocation.
+    BudgetExceeded {
+        /// Display name of the operator that hit the wall.
+        op: String,
+        /// Bytes the allocation asked for.
+        requested: usize,
+        /// Bytes charged to the tracker at the time.
+        in_use: usize,
+        /// The configured budget in bytes.
+        budget: usize,
+    },
     /// Execution-time invariant violation.
     Internal(String),
 }
@@ -40,6 +75,26 @@ impl fmt::Display for EngineError {
             }
             EngineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
             EngineError::Config(msg) => write!(f, "invalid engine configuration: {msg}"),
+            EngineError::WorkOrderPanic { op, kind, payload } => {
+                write!(f, "work order panicked in {kind} operator {op}: {payload}")
+            }
+            EngineError::Cancelled {
+                after,
+                completed_work_orders,
+            } => write!(
+                f,
+                "query cancelled after {after:?} ({completed_work_orders} work orders completed)"
+            ),
+            EngineError::BudgetExceeded {
+                op,
+                requested,
+                in_use,
+                budget,
+            } => write!(
+                f,
+                "memory budget exceeded at operator {op}: requested {requested} bytes \
+                 with {in_use} of {budget} in use"
+            ),
             EngineError::Internal(msg) => write!(f, "internal engine error: {msg}"),
         }
     }
@@ -85,5 +140,33 @@ mod tests {
         let e = EngineError::Config("workers must be >= 1".into());
         assert!(e.to_string().contains("invalid engine configuration"));
         assert!(e.to_string().contains("workers must be >= 1"));
+    }
+
+    #[test]
+    fn hardening_variant_display() {
+        let e = EngineError::WorkOrderPanic {
+            op: "probe(t)".into(),
+            kind: "probe".into(),
+            payload: "boom".into(),
+        };
+        assert!(e.to_string().contains("probe(t)"));
+        assert!(e.to_string().contains("boom"));
+
+        let e = EngineError::Cancelled {
+            after: Duration::from_millis(12),
+            completed_work_orders: 3,
+        };
+        assert!(e.to_string().contains("cancelled"));
+        assert!(e.to_string().contains('3'));
+
+        let e = EngineError::BudgetExceeded {
+            op: "sort(t)".into(),
+            requested: 4096,
+            in_use: 100,
+            budget: 2048,
+        };
+        assert!(e.to_string().contains("sort(t)"));
+        assert!(e.to_string().contains("4096"));
+        assert!(e.to_string().contains("2048"));
     }
 }

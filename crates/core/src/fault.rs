@@ -1,0 +1,179 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] is an always-compiled, test-only registry attached to the
+//! [`ExecContext`](crate::state::ExecContext). Execution code calls
+//! [`FaultPlan::check`] at named [`FaultSite`]s; the plan decides — purely
+//! from per-site hit counters, so the schedule is deterministic for a given
+//! interleaving of site hits — whether to inject a panic, a storage error, or
+//! a delay at that point. An empty plan is the default and its `check` is a
+//! single branch on a const-capacity vec, so production paths pay nothing
+//! measurable.
+//!
+//! The chaos proptests (`crates/core/tests/chaos_props.rs`) drive seeded
+//! schedules through every site and assert the engine's hardening
+//! invariants: always `Ok`/`Err` (never a hang or abort), memory accounting
+//! returns to baseline, and an empty plan is bit-identical to the
+//! uninstrumented path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// A named code location where faults can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Entry of [`execute_work_order`](crate::ops::execute_work_order) —
+    /// i.e. once per work order, before any operator logic runs.
+    WorkOrderExec,
+    /// A fresh block allocation on an operator's output path.
+    PoolAlloc,
+    /// A transfer edge flushing staged blocks to its consumer.
+    TransferFlush,
+}
+
+impl FaultSite {
+    /// All sites, for schedule enumeration in tests.
+    pub const ALL: [FaultSite; 3] = [
+        FaultSite::WorkOrderExec,
+        FaultSite::PoolAlloc,
+        FaultSite::TransferFlush,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::WorkOrderExec => 0,
+            FaultSite::PoolAlloc => 1,
+            FaultSite::TransferFlush => 2,
+        }
+    }
+}
+
+/// What to inject when an injection point fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `panic!` with a recognizable payload — exercises panic containment.
+    Panic,
+    /// Return a [`StorageError`](uot_storage::StorageError) — exercises
+    /// ordinary error propagation and teardown.
+    Error,
+    /// Sleep for the given duration — exercises deadline/cancellation races
+    /// without failing the operation itself.
+    Delay(Duration),
+}
+
+/// One injection: at `site`, on the `nth` hit (1-based), inject `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// Where to inject.
+    pub site: FaultSite,
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Which hit of `site` triggers it (1 = the first hit). An injection
+    /// fires at most once.
+    pub nth: usize,
+}
+
+/// A deterministic schedule of fault injections, keyed by per-site hit
+/// counters.
+///
+/// The plan is immutable after construction; only the hit counters mutate,
+/// atomically, so concurrent workers agree on a single global hit order per
+/// site. `Delay` faults fire *in addition to* letting the operation proceed;
+/// `Panic`/`Error` replace it.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    injections: Vec<Injection>,
+    hits: [AtomicUsize; 3],
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — the production default.
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan firing the given injections.
+    pub fn new(injections: Vec<Injection>) -> Self {
+        FaultPlan {
+            injections,
+            hits: Default::default(),
+        }
+    }
+
+    /// No injections registered?
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+
+    /// How many times `site` has been hit so far.
+    pub fn hits(&self, site: FaultSite) -> usize {
+        self.hits[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Record a hit of `site` and return the fault to inject there, if any.
+    ///
+    /// Call sites handle the three kinds as: `Panic` → `panic!` with a
+    /// payload containing `"injected"`, `Error` → return a storage error,
+    /// `Delay(d)` → sleep `d` then proceed normally.
+    pub fn check(&self, site: FaultSite) -> Option<FaultKind> {
+        if self.injections.is_empty() {
+            return None;
+        }
+        let hit = self.hits[site.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        self.injections
+            .iter()
+            .find(|i| i.site == site && i.nth == hit)
+            .map(|i| i.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires_or_counts() {
+        let p = FaultPlan::empty();
+        assert!(p.is_empty());
+        for _ in 0..10 {
+            assert_eq!(p.check(FaultSite::WorkOrderExec), None);
+        }
+        // Fast path does not even count hits.
+        assert_eq!(p.hits(FaultSite::WorkOrderExec), 0);
+    }
+
+    #[test]
+    fn fires_on_exactly_the_nth_hit() {
+        let p = FaultPlan::new(vec![Injection {
+            site: FaultSite::PoolAlloc,
+            kind: FaultKind::Panic,
+            nth: 3,
+        }]);
+        assert_eq!(p.check(FaultSite::PoolAlloc), None);
+        assert_eq!(p.check(FaultSite::PoolAlloc), None);
+        assert_eq!(p.check(FaultSite::PoolAlloc), Some(FaultKind::Panic));
+        assert_eq!(p.check(FaultSite::PoolAlloc), None); // fires at most once
+        assert_eq!(p.hits(FaultSite::PoolAlloc), 4);
+    }
+
+    #[test]
+    fn sites_count_independently() {
+        let p = FaultPlan::new(vec![
+            Injection {
+                site: FaultSite::WorkOrderExec,
+                kind: FaultKind::Error,
+                nth: 1,
+            },
+            Injection {
+                site: FaultSite::TransferFlush,
+                kind: FaultKind::Delay(Duration::from_millis(1)),
+                nth: 2,
+            },
+        ]);
+        assert_eq!(p.check(FaultSite::TransferFlush), None);
+        assert_eq!(p.check(FaultSite::WorkOrderExec), Some(FaultKind::Error));
+        assert_eq!(
+            p.check(FaultSite::TransferFlush),
+            Some(FaultKind::Delay(Duration::from_millis(1)))
+        );
+    }
+}

@@ -32,9 +32,11 @@
 //!   the paper's figures are made of.
 
 pub mod bloom;
+pub mod cancel;
 pub mod edge;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod hash_table;
 pub mod metrics;
 pub mod ops;
@@ -47,15 +49,19 @@ pub mod uot;
 pub mod work_order;
 
 pub use bloom::BloomFilter;
+pub use cancel::CancellationToken;
 pub use edge::{EdgeDest, TransferAction, TransferEdge};
-pub use engine::{Engine, EngineConfig, ExecMode, QueryResult};
+pub use engine::{DegradePolicy, Engine, EngineConfig, ExecMode, QueryResult};
 pub use error::EngineError;
+pub use fault::{FaultKind, FaultPlan, FaultSite, Injection};
 pub use hash_table::{JoinHashTable, PayloadRef, ProbeMatch, ProbeSession};
-pub use metrics::{OperatorMetrics, QueryMetrics, TaskRecord};
+pub use metrics::{Degradation, OperatorMetrics, QueryMetrics, TaskRecord};
 pub use plan::{
     JoinType, LipFilter, OpId, Operator, OperatorKind, PlanBuilder, QueryPlan, SortKey, Source,
 };
-pub use scheduler::{MetricsObserver, NoopObserver, SchedulerCore, SchedulerObserver};
+pub use scheduler::{
+    FailedQuery, MetricsObserver, NoopObserver, SchedulerConfig, SchedulerCore, SchedulerObserver,
+};
 pub use topology::{Dependent, PlanTopology};
 pub use uot::Uot;
 pub use work_order::{WorkKind, WorkOrder};

@@ -139,6 +139,9 @@ pub fn execute_finalize(ctx: &ExecContext, op: usize) -> Result<Vec<StorageBlock
     let partials: Vec<AggPartial> = std::mem::take(&mut *ctx.runtimes[op].agg_partials.lock());
     let mut merged: HashMap<HashKey, GroupEntry, FxBuildHasher> = HashMap::default();
     for partial in partials {
+        // The single finalize merges every partial: honor cancellation
+        // between partials.
+        ctx.check_cancelled()?;
         for (key, entry) in partial.groups {
             match merged.entry(key) {
                 std::collections::hash_map::Entry::Vacant(v) => {

@@ -50,7 +50,7 @@ pub fn execute(
         .collect::<std::result::Result<_, _>>()
         .map_err(EngineError::from)?;
     let virt = StorageBlock::Column(ColumnBlock::from_columns(out_schema, cols, take)?);
-    ctx.output(op).write_rows(&virt, &ctx.pool)
+    crate::ops::write_output(ctx, op, &virt)
 }
 
 #[cfg(test)]

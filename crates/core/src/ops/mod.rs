@@ -16,15 +16,100 @@ pub mod select;
 pub mod sort;
 
 use crate::error::EngineError;
+use crate::fault::{FaultKind, FaultSite};
 use crate::plan::OperatorKind;
 use crate::state::ExecContext;
 use crate::work_order::{WorkKind, WorkOrder};
 use crate::Result;
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
-use uot_storage::{StorageBlock, Value};
+use uot_storage::{StorageBlock, StorageError, Value};
+
+/// Consult the context's [`FaultPlan`](crate::fault::FaultPlan) at `site`:
+/// no-op for the (default) empty plan; otherwise panic, fail, or stall as
+/// scheduled. Injected panics carry an "injected" marker in their payload so
+/// chaos tests can tell them from genuine bugs.
+pub(crate) fn apply_fault(ctx: &ExecContext, site: FaultSite) -> Result<()> {
+    match ctx.faults.check(site) {
+        None => Ok(()),
+        Some(FaultKind::Panic) => panic!("injected fault at {site:?}"),
+        // An injected error models an allocation failure; zeroed fields mark
+        // it as synthetic.
+        Some(FaultKind::Error) => Err(EngineError::Storage(StorageError::BudgetExceeded {
+            requested: 0,
+            in_use: 0,
+            budget: 0,
+        })),
+        Some(FaultKind::Delay(d)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+    }
+}
+
+/// Execute one work order with panic containment: a panicking operator
+/// becomes [`EngineError::WorkOrderPanic`] naming the operator, and a
+/// [`StorageError::BudgetExceeded`] bubbling out of the operator is wrapped
+/// into [`EngineError::BudgetExceeded`] naming the operator that hit the
+/// wall. Both drivers call this, so worker threads and the process always
+/// survive a failing work order.
+pub fn execute_work_order_contained(
+    ctx: &ExecContext,
+    wo: &WorkOrder,
+) -> Result<Vec<StorageBlock>> {
+    // `ExecContext` is shared behind `Arc` and every interior-mutable piece
+    // of it is lock- or atomic-guarded (parking_lot locks do not poison), so
+    // observing state after a contained panic is safe: at worst a partial's
+    // rows are lost, and teardown releases its memory either way.
+    match std::panic::catch_unwind(AssertUnwindSafe(|| execute_work_order(ctx, wo))) {
+        Ok(result) => attach_op_context(ctx, wo.op, result),
+        Err(payload) => {
+            let op = ctx.plan.op(wo.op);
+            Err(EngineError::WorkOrderPanic {
+                op: op.name.clone(),
+                kind: op.kind.kind_label().to_string(),
+                payload: panic_payload_message(payload.as_ref()),
+            })
+        }
+    }
+}
+
+/// Downcast a panic payload to a human-readable message.
+fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Name the responsible operator on errors that need it (budget failures).
+fn attach_op_context(
+    ctx: &ExecContext,
+    op: usize,
+    result: Result<Vec<StorageBlock>>,
+) -> Result<Vec<StorageBlock>> {
+    match result {
+        Err(EngineError::Storage(StorageError::BudgetExceeded {
+            requested,
+            in_use,
+            budget,
+        })) => Err(EngineError::BudgetExceeded {
+            op: ctx.plan.op(op).name.clone(),
+            requested,
+            in_use,
+            budget,
+        }),
+        other => other,
+    }
+}
 
 /// Execute one work order, returning the completed blocks it emitted.
 pub fn execute_work_order(ctx: &ExecContext, wo: &WorkOrder) -> Result<Vec<StorageBlock>> {
+    ctx.check_cancelled()?;
+    apply_fault(ctx, FaultSite::WorkOrderExec)?;
     let op = ctx.plan.op(wo.op);
     match (&op.kind, &wo.kind) {
         (OperatorKind::Select { .. }, WorkKind::Stream { block }) => {
@@ -56,39 +141,70 @@ pub fn execute_work_order(ctx: &ExecContext, wo: &WorkOrder) -> Result<Vec<Stora
     }
 }
 
+/// Route an operator's materialized output through its
+/// [`OutputBuffer`](crate::output::OutputBuffer) — the single choke point
+/// for fresh output allocations, where `pool_alloc` faults inject.
+pub(crate) fn write_output(
+    ctx: &ExecContext,
+    op: usize,
+    virt: &StorageBlock,
+) -> Result<Vec<StorageBlock>> {
+    apply_fault(ctx, FaultSite::PoolAlloc)?;
+    ctx.output(op).write_rows(virt, &ctx.pool)
+}
+
 /// Append value rows (slow path: aggregate/sort results) to the operator's
-/// output buffer, returning completed blocks.
+/// output buffer, returning completed blocks. On a failed checkout or
+/// append, every block this call holds is discarded so the tracker does not
+/// leak bytes on error paths.
 pub(crate) fn emit_value_rows(
     ctx: &ExecContext,
     op: usize,
     rows: impl Iterator<Item = Vec<Value>>,
 ) -> Result<Vec<StorageBlock>> {
+    apply_fault(ctx, FaultSite::PoolAlloc)?;
     let out = ctx.output(op);
     let mut completed = Vec::new();
     let mut cur: Option<StorageBlock> = None;
-    for row in rows {
-        loop {
-            let block = match &mut cur {
-                Some(b) => b,
-                None => {
-                    cur = Some(out.checkout(&ctx.pool)?);
-                    cur.as_mut().expect("just set")
+    let result = (|| -> Result<()> {
+        for row in rows {
+            loop {
+                let block = match &mut cur {
+                    Some(b) => b,
+                    None => {
+                        cur = Some(out.checkout(&ctx.pool)?);
+                        cur.as_mut().expect("just set")
+                    }
+                };
+                if block.append_row(&row)? {
+                    if block.is_full() {
+                        completed.push(cur.take().expect("present"));
+                    }
+                    break;
                 }
-            };
-            if block.append_row(&row)? {
-                if block.is_full() {
-                    completed.push(cur.take().expect("present"));
-                }
-                break;
+                // Block was full before the append: rotate it out.
+                completed.push(cur.take().expect("present"));
             }
-            // Block was full before the append: rotate it out.
-            completed.push(cur.take().expect("present"));
+        }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => {
+            if let Some(b) = cur {
+                out.put_back(b, &ctx.pool);
+            }
+            Ok(completed)
+        }
+        Err(e) => {
+            for b in completed {
+                ctx.pool.discard(b);
+            }
+            if let Some(b) = cur {
+                ctx.pool.discard(b);
+            }
+            Err(e)
         }
     }
-    if let Some(b) = cur {
-        out.put_back(b, &ctx.pool);
-    }
-    Ok(completed)
 }
 
 /// Decode `block` rows `rows` fully into values (sort/test helper).

@@ -42,6 +42,9 @@ pub fn execute(
     let n_left = left_out.len();
 
     for lrow in 0..block.num_rows() {
+        // O(|outer| x |inner|) per work order: honor cancellation between
+        // outer rows, not just between work orders.
+        ctx.check_cancelled()?;
         for rb in &inner_blocks {
             for rrow in 0..rb.num_rows() {
                 if conds
@@ -62,7 +65,7 @@ pub fn execute(
         return Ok(Vec::new());
     }
     let virt = into_virtual_block(out_schema, builders)?;
-    ctx.output(op).write_rows(&virt, &ctx.pool)
+    crate::ops::write_output(ctx, op, &virt)
 }
 
 /// Typed comparison of `left[lrow][lc] op right[rrow][rc]`.

@@ -120,7 +120,7 @@ pub fn execute(
         return Ok(Vec::new());
     }
     let virt = into_virtual_block(out_schema, builders)?;
-    ctx.output(op).write_rows(&virt, &ctx.pool)
+    crate::ops::write_output(ctx, op, &virt)
 }
 
 /// Row-at-a-time reference implementation of the probe (the pre-vectorized
@@ -172,7 +172,7 @@ pub fn execute_scalar(
         return Ok(Vec::new());
     }
     let virt = into_virtual_block(out_schema, builders)?;
-    ctx.output(op).write_rows(&virt, &ctx.pool)
+    crate::ops::write_output(ctx, op, &virt)
 }
 
 #[cfg(test)]

@@ -91,7 +91,7 @@ pub fn execute(
         .collect::<std::result::Result<_, _>>()
         .map_err(EngineError::from)?;
     let virt = StorageBlock::Column(ColumnBlock::from_columns(out_schema, cols, selected)?);
-    ctx.output(op).write_rows(&virt, &ctx.pool)
+    crate::ops::write_output(ctx, op, &virt)
 }
 
 #[cfg(test)]

@@ -26,6 +26,9 @@ pub fn execute(ctx: &ExecContext, op: usize) -> Result<Vec<StorageBlock>> {
     let blocks = std::mem::take(&mut *ctx.runtimes[op].collected.lock());
     let mut rows: Vec<Vec<Value>> = Vec::new();
     for b in &blocks {
+        // The finalize materializes the whole input: honor cancellation
+        // between collected blocks.
+        ctx.check_cancelled()?;
         rows.extend(crate::ops::rows_to_values(b));
     }
     rows.sort_by(|a, b| compare_rows(a, b, &keys));

@@ -28,15 +28,16 @@
 
 use crate::edge::{TransferAction, TransferEdge};
 use crate::error::EngineError;
+use crate::fault::{FaultKind, FaultSite};
 use crate::metrics::{OperatorMetrics, QueryMetrics, TaskRecord};
-use crate::ops::execute_work_order;
+use crate::ops::execute_work_order_contained;
 use crate::plan::{OpId, OperatorKind, QueryPlan};
 use crate::state::ExecContext;
 use crate::topology::Dependent;
 use crate::uot::Uot;
 use crate::work_order::{WorkKind, WorkOrder};
 use crate::Result;
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uot_storage::StorageBlock;
@@ -51,6 +52,10 @@ pub struct SchedulerConfig {
     /// Optional cap on concurrent work orders per operator (a Quickstep-style
     /// scheduling policy; `None` = unbounded).
     pub max_dop_per_op: Option<usize>,
+    /// Optional wall-clock deadline. When it passes, the scheduler cancels
+    /// the query's [`crate::cancel::CancellationToken`] at the next dispatch
+    /// and the query yields [`EngineError::Cancelled`].
+    pub deadline: Option<Duration>,
 }
 
 impl Default for SchedulerConfig {
@@ -59,7 +64,24 @@ impl Default for SchedulerConfig {
             workers: 1,
             default_uot: Uot::LOW,
             max_dop_per_op: None,
+            deadline: None,
         }
+    }
+}
+
+impl SchedulerConfig {
+    /// Up-front validation run by both drivers. `max_dop_per_op = Some(0)`
+    /// would make every operator unschedulable; historically it was silently
+    /// clamped to 1 — now it is rejected loudly.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_dop_per_op == Some(0) {
+            return Err(EngineError::Config(
+                "max_dop_per_op must be at least 1 (Some(0) would make every \
+                 operator unschedulable)"
+                    .into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -161,7 +183,10 @@ impl ReadyQueue {
             dispatchable: BTreeSet::new(),
             critical,
             in_flight: vec![0; n],
-            cap: max_dop_per_op.unwrap_or(usize::MAX).max(1),
+            // Some(0) is rejected by `SchedulerConfig::validate`; no clamp
+            // here, so a cap of 0 smuggled past validation stalls loudly
+            // instead of silently running with a different setting.
+            cap: max_dop_per_op.unwrap_or(usize::MAX),
             len: 0,
         }
     }
@@ -200,6 +225,13 @@ impl ReadyQueue {
 
     fn len(&self) -> usize {
         self.len
+    }
+
+    /// Remove and return every queued work order (teardown path).
+    fn drain(&mut self) -> Vec<WorkOrder> {
+        self.dispatchable.clear();
+        self.len = 0;
+        self.per_op.iter_mut().flat_map(|q| q.drain(..)).collect()
     }
 }
 
@@ -243,15 +275,19 @@ impl SchedulerCore<MetricsObserver> {
         SchedulerCore::with_observer(ctx, config, observer)
     }
 
-    /// Tear down into results + metrics.
+    /// Tear down into results + metrics. Runs on the success *and* error
+    /// paths (the error path discards the blocks and keeps the metrics as
+    /// [`FailedQuery::partial_metrics`]); either way, every byte the query
+    /// charged to the [`uot_storage::MemoryTracker`] is released so
+    /// `current_bytes()` returns to its pre-query value.
     fn into_results(
-        self,
+        mut self,
         wall_time: Duration,
         workers: usize,
     ) -> (Vec<Arc<StorageBlock>>, QueryMetrics) {
-        let mut tasks = self.observer.tasks;
+        let mut tasks = std::mem::take(&mut self.observer.tasks);
         tasks.sort_by_key(|t| t.start);
-        let mut op_metrics = self.observer.op_metrics;
+        let mut op_metrics = std::mem::take(&mut self.observer.op_metrics);
         for (m, rt) in op_metrics.iter_mut().zip(&self.ctx.runtimes) {
             m.lip_pruned_rows = rt.lip_pruned.load(std::sync::atomic::Ordering::Relaxed);
         }
@@ -263,6 +299,8 @@ impl SchedulerCore<MetricsObserver> {
             .enumerate()
             .filter_map(|(id, rt)| rt.hash_table.as_ref().map(|ht| (id, ht.memory_bytes())))
             .collect();
+        // Metrics (pool stats, peak) are captured *before* the release below
+        // so teardown bookkeeping does not pollute them.
         let metrics = QueryMetrics {
             wall_time,
             ops: op_metrics,
@@ -272,7 +310,9 @@ impl SchedulerCore<MetricsObserver> {
             hash_table_bytes,
             result_rows,
             workers,
+            degradations: Vec::new(),
         };
+        self.release_resources();
         (self.result_blocks, metrics)
     }
 }
@@ -321,7 +361,10 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
         }
         // Operators with no input at all may already be completable.
         for id in 0..n {
-            core.check_completion(id);
+            // invariant: nothing has produced output yet, so no edge has
+            // staged blocks and the TransferFlush fault site cannot fire.
+            core.check_completion(id)
+                .expect("no staged blocks at construction");
         }
         core
     }
@@ -403,7 +446,12 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
     }
 
     /// Handle a completed work order.
-    pub fn on_complete(&mut self, wo: &WorkOrder, produced: Vec<StorageBlock>, record: TaskRecord) {
+    pub fn on_complete(
+        &mut self,
+        wo: &WorkOrder,
+        produced: Vec<StorageBlock>,
+        record: TaskRecord,
+    ) -> Result<()> {
         self.queue.complete(wo.op);
         self.states[wo.op].outstanding -= 1;
         // A consumed intermediate block dies here (each block feeds exactly
@@ -417,7 +465,32 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
         }
         self.observer.work_order_completed(wo.op, record);
         self.route_output(wo.op, produced);
-        self.check_completion(wo.op);
+        self.check_completion(wo.op)
+    }
+
+    /// Handle a *failed* (or cancelled) work order: release its DOP slot and
+    /// the bytes charged to its input block, without routing any output. The
+    /// operator stays unfinished; teardown via [`Self::release_resources`]
+    /// reclaims everything else.
+    pub fn on_error(&mut self, wo: &WorkOrder) {
+        let bytes = match &wo.kind {
+            WorkKind::Stream { block } if self.plan().topology().stream_parent(wo.op).is_some() => {
+                block.allocated_bytes()
+            }
+            _ => 0,
+        };
+        self.fail_in_flight(wo.op, bytes);
+    }
+
+    /// Like [`Self::on_error`] for a work order whose body was lost (e.g. a
+    /// worker died holding it); `input_bytes` is what its stream input block
+    /// had charged to the tracker (0 for base-table input).
+    pub fn fail_in_flight(&mut self, op: OpId, input_bytes: usize) {
+        self.queue.complete(op);
+        self.states[op].outstanding -= 1;
+        if input_bytes > 0 {
+            self.ctx.pool.tracker().free(input_bytes);
+        }
     }
 
     /// Route blocks produced by `producer` along its transfer edge: straight
@@ -490,7 +563,7 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
 
     /// Decide whether `op` can finish (or needs its finalize step), and
     /// cascade the consequences downstream.
-    fn check_completion(&mut self, op: OpId) {
+    fn check_completion(&mut self, op: OpId) -> Result<()> {
         let st = &self.states[op];
         if st.finished
             || st.waiting_on > 0
@@ -499,7 +572,7 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
             || st.outstanding > 0
             || self.staged_into(op) > 0
         {
-            return;
+            return Ok(());
         }
         let needs_finalize = matches!(
             self.plan().op(op).kind,
@@ -520,7 +593,7 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
             };
             self.seq += 1;
             self.queue.push(wo);
-            return;
+            return Ok(());
         }
         // Flush partially filled output blocks, route them, mark finished.
         if self.ctx.runtimes[op].output.is_some() {
@@ -549,13 +622,13 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
         self.states[op].finished = true;
         self.unfinished -= 1;
         self.observer.operator_finished(op);
-        self.on_producer_finished(op);
+        self.on_producer_finished(op)
     }
 
     /// Propagate an operator's completion to its consumer and to every
     /// operator waiting on it as a scheduling dependency (probes, NLJs, LIP
     /// readers) — an indexed lookup, not a plan scan.
-    fn on_producer_finished(&mut self, producer: OpId) {
+    fn on_producer_finished(&mut self, producer: OpId) -> Result<()> {
         // Release every dependent waiting on this op (a build can unblock
         // its probe *and* several LIP selects at once).
         let dependents: Vec<Dependent> = self.plan().topology().dependents_of(producer).to_vec();
@@ -567,22 +640,128 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
                 for b in pending {
                     self.push_stream_work(op, b);
                 }
-                self.check_completion(op);
+                self.check_completion(op)?;
             }
         }
 
         let Some(consumer) = self.edges[producer].consumer() else {
-            return;
+            return Ok(());
         };
         // Flush any partial UoT accumulation on the outgoing edge.
         let staged = self.edges[producer].flush();
+        if !staged.is_empty() {
+            // The `transfer_flush` fault site fires here (only when a flush
+            // actually moves blocks). On injection the popped blocks are
+            // released before erroring so teardown accounting stays exact.
+            if let Err(e) = self.transfer_fault() {
+                for b in &staged {
+                    self.ctx.pool.tracker().free(b.allocated_bytes());
+                }
+                return Err(e);
+            }
+        }
         self.transfer_in(consumer, staged);
 
         // Stream edge: mark the consumer's producer done.
         if self.plan().topology().stream_parent(consumer) == Some(producer) {
             self.states[consumer].producer_finished = true;
         }
-        self.check_completion(consumer);
+        self.check_completion(consumer)
+    }
+
+    /// Check the `transfer_flush` fault site. The scheduler thread has no
+    /// containment boundary, so an injected `Panic` here degrades to an
+    /// error rather than unwinding the whole driver.
+    fn transfer_fault(&self) -> Result<()> {
+        match self.ctx.faults.check(FaultSite::TransferFlush) {
+            None => Ok(()),
+            Some(FaultKind::Panic) | Some(FaultKind::Error) => Err(EngineError::Internal(
+                "injected fault at transfer flush".into(),
+            )),
+            Some(FaultKind::Delay(d)) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+        }
+    }
+
+    /// Release every byte the query still holds against the memory tracker:
+    /// queued and pending work, staged transfers, parked bulk input, output
+    /// partials, hash tables, result blocks (whose ownership passes to the
+    /// caller) and the pool's free lists. After this, `current_bytes()` is
+    /// back at its pre-query value on both success and error paths.
+    fn release_resources(&mut self) {
+        let plan = self.ctx.plan.clone();
+        let topo = plan.topology();
+        let tracker = self.ctx.pool.tracker().clone();
+        // Queued work orders never ran: their stream inputs were charged at
+        // checkout (base-table blocks never are).
+        for wo in self.queue.drain() {
+            if let WorkKind::Stream { block } = &wo.kind {
+                if topo.stream_parent(wo.op).is_some() {
+                    tracker.free(block.allocated_bytes());
+                }
+            }
+        }
+        for (id, st) in self.states.iter_mut().enumerate() {
+            let pending = std::mem::take(&mut st.pending);
+            if topo.stream_parent(id).is_some() {
+                for b in pending {
+                    tracker.free(b.allocated_bytes());
+                }
+            }
+        }
+        for edge in &mut self.edges {
+            // Staged blocks are operator outputs — always charged.
+            for b in edge.flush() {
+                tracker.free(b.allocated_bytes());
+            }
+            // Idempotent: already 0 for edges drained by check_completion.
+            let parked = edge.take_collected();
+            if parked > 0 {
+                tracker.free(parked);
+            }
+        }
+        for rt in &self.ctx.runtimes {
+            if let Some(out) = &rt.output {
+                for b in out.flush() {
+                    self.ctx.pool.discard(b);
+                }
+            }
+            if let Some(ht) = &rt.hash_table {
+                ht.release_tracker(&tracker);
+            }
+            rt.collected.lock().clear();
+        }
+        let result_bytes: usize = self.result_blocks.iter().map(|b| b.allocated_bytes()).sum();
+        if result_bytes > 0 {
+            tracker.free(result_bytes);
+        }
+        self.ctx.pool.drain_free_lists();
+    }
+}
+
+/// A query that failed, with whatever metrics had accumulated before the
+/// failure — panic containment and teardown still record the work orders
+/// that *did* complete.
+#[derive(Debug)]
+pub struct FailedQuery {
+    /// The first error the query hit.
+    pub error: EngineError,
+    /// Metrics for the work completed before the failure.
+    pub partial_metrics: QueryMetrics,
+}
+
+/// Rewrite a propagated `Cancelled` placeholder (raised inside an operator,
+/// which cannot see driver-level counters) with the authoritative wall time
+/// and completed-work-order count.
+fn finalize_error(e: EngineError, wall: Duration, completed: usize) -> EngineError {
+    match e {
+        EngineError::Cancelled { .. } => EngineError::Cancelled {
+            after: wall,
+            completed_work_orders: completed,
+        },
+        other => other,
     }
 }
 
@@ -593,28 +772,67 @@ pub fn run_serial(
     ctx: Arc<ExecContext>,
     config: SchedulerConfig,
 ) -> Result<(Vec<Arc<StorageBlock>>, QueryMetrics)> {
+    run_serial_detailed(ctx, config).map_err(|f| f.error)
+}
+
+/// [`run_serial`] variant that keeps partial metrics on failure.
+pub fn run_serial_detailed(
+    ctx: Arc<ExecContext>,
+    config: SchedulerConfig,
+) -> std::result::Result<(Vec<Arc<StorageBlock>>, QueryMetrics), Box<FailedQuery>> {
     let start = Instant::now();
-    let mut core = SchedulerCore::new(ctx.clone(), config);
-    while let Some(wo) = core.next_work_order() {
-        let t0 = start.elapsed();
-        let produced = execute_work_order(&ctx, &wo)?;
-        let t1 = start.elapsed();
-        core.on_complete(
-            &wo,
-            produced,
-            TaskRecord {
-                op: wo.op,
-                worker: 0,
-                start: t0,
-                end: t1,
-            },
-        );
+    if let Err(e) = config.validate() {
+        return Err(Box::new(FailedQuery {
+            error: e,
+            partial_metrics: QueryMetrics::default(),
+        }));
     }
-    if !core.all_finished() {
-        return Err(core.stall_error());
+    let mut core = SchedulerCore::new(ctx.clone(), config);
+    let mut completed = 0usize;
+    let mut error: Option<EngineError> = None;
+    while let Some(wo) = core.next_work_order() {
+        // Dispatch-time deadline check: past it, flip the token so this and
+        // every subsequent work order fails fast with `Cancelled`.
+        if let Some(d) = config.deadline {
+            if start.elapsed() >= d {
+                ctx.cancel.cancel();
+            }
+        }
+        let t0 = start.elapsed();
+        match execute_work_order_contained(&ctx, &wo) {
+            Ok(produced) => {
+                let t1 = start.elapsed();
+                let record = TaskRecord {
+                    op: wo.op,
+                    worker: 0,
+                    start: t0,
+                    end: t1,
+                };
+                completed += 1;
+                if let Err(e) = core.on_complete(&wo, produced, record) {
+                    error = Some(e);
+                    break;
+                }
+            }
+            Err(e) => {
+                core.on_error(&wo);
+                error = Some(e);
+                break;
+            }
+        }
+    }
+    if error.is_none() && !core.all_finished() {
+        error = Some(core.stall_error());
     }
     let wall = start.elapsed();
-    Ok(core.into_results(wall, 1))
+    let (blocks, metrics) = core.into_results(wall, 1);
+    match error {
+        None => Ok((blocks, metrics)),
+        Some(e) => Err(Box::new(FailedQuery {
+            error: finalize_error(e, wall, completed),
+            partial_metrics: metrics,
+        })),
+    }
 }
 
 /// Message from the scheduler to a worker.
@@ -637,8 +855,24 @@ pub fn run_parallel(
     ctx: Arc<ExecContext>,
     config: SchedulerConfig,
 ) -> Result<(Vec<Arc<StorageBlock>>, QueryMetrics)> {
+    run_parallel_detailed(ctx, config).map_err(|f| f.error)
+}
+
+/// [`run_parallel`] variant that keeps partial metrics on failure. After the
+/// first error, dispatch stops but every in-flight completion is drained so
+/// completed work orders keep their metrics and charged bytes are released.
+pub fn run_parallel_detailed(
+    ctx: Arc<ExecContext>,
+    config: SchedulerConfig,
+) -> std::result::Result<(Vec<Arc<StorageBlock>>, QueryMetrics), Box<FailedQuery>> {
     let workers = config.workers.max(1);
     let start = Instant::now();
+    if let Err(e) = config.validate() {
+        return Err(Box::new(FailedQuery {
+            error: e,
+            partial_metrics: QueryMetrics::default(),
+        }));
+    }
     let (work_tx, work_rx) = crossbeam::channel::unbounded::<ToWorker>();
     let (done_tx, done_rx) = crossbeam::channel::unbounded::<Completion>();
 
@@ -650,7 +884,10 @@ pub fn run_parallel(
             scope.spawn(move || {
                 while let Ok(ToWorker::Run(wo)) = work_rx.recv() {
                     let t0 = start.elapsed();
-                    let produced = execute_work_order(&ctx, &wo);
+                    // Contained execution: a panicking work order becomes a
+                    // `WorkOrderPanic` completion instead of killing the
+                    // worker (and with it the whole pool).
+                    let produced = execute_work_order_contained(&ctx, &wo);
                     let t1 = start.elapsed();
                     if done_tx
                         .send(Completion {
@@ -671,47 +908,94 @@ pub fn run_parallel(
 
         let mut core = SchedulerCore::new(ctx.clone(), config);
         let mut free_slots = workers;
-        let mut in_flight = 0usize;
+        // seq -> (op, bytes its stream input charged): enough to release
+        // resources and name operators even if the work order body is lost.
+        let mut in_flight: HashMap<usize, (OpId, usize)> = HashMap::new();
         let mut first_error: Option<EngineError> = None;
+        let mut completed = 0usize;
 
         loop {
-            // Dispatch as much ready work as workers can take.
-            if first_error.is_none() {
+            if let Some(d) = config.deadline {
+                if start.elapsed() >= d {
+                    ctx.cancel.cancel();
+                }
+            }
+            // Dispatch as much ready work as workers can take — unless the
+            // query already failed or was cancelled.
+            if first_error.is_none() && !ctx.cancel.is_cancelled() {
                 while free_slots > 0 {
                     match core.next_work_order() {
                         Some(wo) => {
                             free_slots -= 1;
-                            in_flight += 1;
+                            let charged = match &wo.kind {
+                                WorkKind::Stream { block }
+                                    if ctx.plan.topology().stream_parent(wo.op).is_some() =>
+                                {
+                                    block.allocated_bytes()
+                                }
+                                _ => 0,
+                            };
+                            in_flight.insert(wo.seq, (wo.op, charged));
                             if work_tx.send(ToWorker::Run(wo)).is_err() {
-                                return Err(EngineError::Internal(
-                                    "worker pool hung up unexpectedly".into(),
-                                ));
+                                if first_error.is_none() {
+                                    first_error = Some(EngineError::Internal(
+                                        "worker pool hung up unexpectedly".into(),
+                                    ));
+                                }
+                                break;
                             }
                         }
                         None => break,
                     }
                 }
             }
-            if in_flight == 0 {
+            if in_flight.is_empty() {
                 break;
             }
-            let comp = done_rx
-                .recv()
-                .map_err(|_| EngineError::Internal("all workers exited early".into()))?;
+            let comp = match done_rx.recv() {
+                Ok(c) => c,
+                Err(_) => {
+                    // All workers exited with work still in flight. Name the
+                    // stranded operators (mirrors the stall diagnostic).
+                    let mut ops: Vec<String> = in_flight
+                        .values()
+                        .map(|&(op, _)| format!("op{} ({})", op, ctx.plan.op(op).name))
+                        .collect();
+                    ops.sort();
+                    ops.dedup();
+                    let detail = EngineError::Internal(format!(
+                        "all workers exited early with {} work orders in flight on {}",
+                        in_flight.len(),
+                        ops.join(", "),
+                    ));
+                    for (_, (op, bytes)) in in_flight.drain() {
+                        core.fail_in_flight(op, bytes);
+                    }
+                    if first_error.is_none() {
+                        first_error = Some(detail);
+                    }
+                    break;
+                }
+            };
             free_slots += 1;
-            in_flight -= 1;
+            in_flight.remove(&comp.wo.seq);
             match comp.produced {
-                Ok(produced) => core.on_complete(
-                    &comp.wo,
-                    produced,
-                    TaskRecord {
+                Ok(produced) => {
+                    completed += 1;
+                    let record = TaskRecord {
                         op: comp.wo.op,
                         worker: comp.worker,
                         start: comp.start,
                         end: comp.end,
-                    },
-                ),
+                    };
+                    if let Err(e) = core.on_complete(&comp.wo, produced, record) {
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        }
+                    }
+                }
                 Err(e) => {
+                    core.on_error(&comp.wo);
                     if first_error.is_none() {
                         first_error = Some(e);
                     }
@@ -719,20 +1003,31 @@ pub fn run_parallel(
             }
         }
         drop(work_tx); // stop workers
-        if let Some(e) = first_error {
-            return Err(e);
+        if first_error.is_none() && ctx.cancel.is_cancelled() {
+            first_error = Some(EngineError::Cancelled {
+                after: Duration::ZERO, // rewritten by finalize_error below
+                completed_work_orders: 0,
+            });
         }
-        if !core.all_finished() {
-            return Err(core.stall_error());
+        if first_error.is_none() && !core.all_finished() {
+            first_error = Some(core.stall_error());
         }
         let wall = start.elapsed();
-        Ok(core.into_results(wall, workers))
+        let (blocks, metrics) = core.into_results(wall, workers);
+        match first_error {
+            None => Ok((blocks, metrics)),
+            Some(e) => Err(Box::new(FailedQuery {
+                error: finalize_error(e, wall, completed),
+                partial_metrics: metrics,
+            })),
+        }
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ops::execute_work_order;
     use crate::plan::{JoinType, PlanBuilder, SortKey, Source};
     use crate::state::ExecContext;
     use uot_expr::{cmp, col, lit, AggSpec, CmpOp, Predicate};
@@ -1120,7 +1415,8 @@ mod tests {
                     start: Duration::ZERO,
                     end: Duration::ZERO,
                 },
-            );
+            )
+            .unwrap();
         }
         assert!(core.all_finished());
         assert!(executed >= 16, "3 build + 13 select + probes");
@@ -1162,7 +1458,8 @@ mod tests {
                     start: Duration::ZERO,
                     end: Duration::ZERO,
                 },
-            );
+            )
+            .unwrap();
         }
         assert!(core.all_finished());
         assert_eq!(core.observer.dispatched, core.observer.completed);
@@ -1195,5 +1492,112 @@ mod tests {
         assert!(!core.all_finished());
         let report = core.stall_report();
         assert!(report.contains("outstanding="), "{report}");
+    }
+
+    // --- hardening: validation, cancellation, teardown accounting ---
+
+    #[test]
+    fn zero_dop_cap_is_rejected_by_both_drivers() {
+        let bad = SchedulerConfig {
+            max_dop_per_op: Some(0),
+            ..Default::default()
+        };
+        assert!(matches!(bad.validate(), Err(EngineError::Config(_))));
+        let ctx = ctx_for(select_probe_plan(Uot::Blocks(1)));
+        let err = run_serial(ctx, bad).unwrap_err();
+        assert!(matches!(err, EngineError::Config(_)), "{err}");
+        let ctx = ctx_for(select_probe_plan(Uot::Blocks(1)));
+        let err = run_parallel(ctx, bad).unwrap_err();
+        assert!(matches!(err, EngineError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn tracker_returns_to_baseline_after_success() {
+        for uot in [Uot::Blocks(1), Uot::Blocks(4), Uot::Table] {
+            let ctx = ctx_for(select_probe_plan(uot));
+            let tracker = ctx.pool.tracker().clone();
+            let (blocks, _) = run_serial(
+                ctx,
+                SchedulerConfig {
+                    default_uot: uot,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(!blocks.is_empty());
+            assert_eq!(tracker.current_bytes(), 0, "{uot}");
+        }
+    }
+
+    #[test]
+    fn cancellation_before_start_yields_cancelled_with_counts() {
+        let ctx = ctx_for(select_probe_plan(Uot::Blocks(1)));
+        let tracker = ctx.pool.tracker().clone();
+        ctx.cancel.cancel();
+        let failed = run_serial_detailed(ctx, SchedulerConfig::default()).unwrap_err();
+        match failed.error {
+            EngineError::Cancelled {
+                completed_work_orders,
+                ..
+            } => assert_eq!(completed_work_orders, 0),
+            other => panic!("expected Cancelled, got {other}"),
+        }
+        assert_eq!(tracker.current_bytes(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_both_drivers() {
+        for parallel in [false, true] {
+            let ctx = ctx_for(select_probe_plan(Uot::Blocks(1)));
+            let tracker = ctx.pool.tracker().clone();
+            let config = SchedulerConfig {
+                workers: if parallel { 2 } else { 1 },
+                deadline: Some(Duration::ZERO),
+                ..Default::default()
+            };
+            let err = if parallel {
+                run_parallel(ctx, config).unwrap_err()
+            } else {
+                run_serial(ctx, config).unwrap_err()
+            };
+            assert!(
+                matches!(err, EngineError::Cancelled { .. }),
+                "parallel={parallel}: {err}"
+            );
+            assert_eq!(tracker.current_bytes(), 0, "parallel={parallel}");
+        }
+    }
+
+    #[test]
+    fn error_path_preserves_completed_task_metrics() {
+        // Inject a panic into the 5th work order; the first 4 completions
+        // must still be visible in the partial metrics.
+        let ctx = ctx_for(select_probe_plan(Uot::Blocks(1)));
+        let ctx = Arc::new(
+            Arc::try_unwrap(ctx)
+                .unwrap_or_else(|_| panic!("sole owner"))
+                .with_faults(Arc::new(crate::fault::FaultPlan::new(vec![
+                    crate::fault::Injection {
+                        site: FaultSite::WorkOrderExec,
+                        kind: FaultKind::Panic,
+                        nth: 5,
+                    },
+                ]))),
+        );
+        let tracker = ctx.pool.tracker().clone();
+        let failed = run_serial_detailed(ctx, SchedulerConfig::default()).unwrap_err();
+        assert!(
+            matches!(failed.error, EngineError::WorkOrderPanic { .. }),
+            "{}",
+            failed.error
+        );
+        let done: usize = failed
+            .partial_metrics
+            .ops
+            .iter()
+            .map(|o| o.work_orders)
+            .sum();
+        assert_eq!(done, 4, "completions before the injected panic");
+        assert_eq!(tracker.current_bytes(), 0, "error path must not leak");
     }
 }

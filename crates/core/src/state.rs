@@ -7,6 +7,9 @@
 //! (sort input / nested-loops inner side) and the limit counter.
 
 use crate::bloom::BloomFilter;
+use crate::cancel::CancellationToken;
+use crate::error::EngineError;
+use crate::fault::FaultPlan;
 use crate::hash_table::{JoinHashTable, ProbeMatch};
 use crate::output::OutputBuffer;
 use crate::plan::{OperatorKind, QueryPlan, Source};
@@ -15,6 +18,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::AtomicI64;
 use std::sync::Arc;
+use std::time::Instant;
 use uot_expr::AggState;
 use uot_storage::{
     hash_key::FxBuildHasher, BlockFormat, BlockPool, HashKey, KeyBatch, KeyExtractor, StorageBlock,
@@ -104,6 +108,13 @@ pub struct ExecContext {
     pub lip_groups: Vec<Vec<LipGroup>>,
     /// Pool of reusable [`Scratch`] buffers (≤ one per concurrent worker).
     scratch: Mutex<Vec<Scratch>>,
+    /// Cooperative cancellation flag, checked between blocks by loop
+    /// operators and at every scheduler dispatch.
+    pub cancel: CancellationToken,
+    /// Fault-injection registry (empty outside chaos tests).
+    pub faults: Arc<FaultPlan>,
+    /// Query start, for the `after` field of cancellation errors.
+    started: Instant,
 }
 
 impl ExecContext {
@@ -212,13 +223,53 @@ impl ExecContext {
             extractors,
             lip_groups,
             scratch: Mutex::new(Vec::new()),
+            cancel: CancellationToken::new(),
+            faults: Arc::new(FaultPlan::empty()),
+            started: Instant::now(),
         })
+    }
+
+    /// Attach a shared cancellation token (builder-style; the default token
+    /// is private to this context and can only be tripped through it).
+    pub fn with_cancellation(mut self, token: CancellationToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Attach a fault-injection plan (builder-style; chaos tests only).
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Between-blocks cancellation check for block-loop operators.
+    ///
+    /// The returned error's `completed_work_orders` is a placeholder (0):
+    /// only the driver knows the authoritative count and rewrites the error
+    /// before surfacing it.
+    pub fn check_cancelled(&self) -> Result<()> {
+        if self.cancel.is_cancelled() {
+            Err(EngineError::Cancelled {
+                after: self.started.elapsed(),
+                completed_work_orders: 0,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Wall time since this context was created (query start).
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.started.elapsed()
     }
 
     /// The compiled key extractor for operator `id` (panics when `id` has no
     /// keyed kind — plan validation guarantees builds/probes/grouped
     /// aggregates always have one).
     pub fn key_extractor(&self, id: usize) -> &KeyExtractor {
+        // invariant: `new` compiles an extractor for every keyed kind (build,
+        // probe, grouped aggregate) and only those kinds' work orders call
+        // this — no user input reaches it with a keyless operator.
         self.extractors[id]
             .as_ref()
             .expect("operator kind has key columns")
@@ -237,6 +288,8 @@ impl ExecContext {
     /// The hash table of build operator `id` (panics if `id` is not a build —
     /// plan validation guarantees probes only reference builds).
     pub fn hash_table(&self, id: usize) -> &Arc<JoinHashTable> {
+        // invariant: PlanBuilder::probe rejects a non-build `build` reference
+        // up front, and `new` allocates a hash table for every BuildHash op.
         self.runtimes[id]
             .hash_table
             .as_ref()
@@ -245,6 +298,9 @@ impl ExecContext {
 
     /// The output buffer of operator `id` (panics for builds).
     pub fn output(&self, id: usize) -> &OutputBuffer {
+        // invariant: `new` gives every non-build operator an output buffer,
+        // and builds produce hash tables, never blocks — no work-order path
+        // asks a build for its output buffer.
         self.runtimes[id]
             .output
             .as_ref()

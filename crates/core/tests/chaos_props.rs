@@ -1,0 +1,293 @@
+//! Chaos proptests: seeded fault-injection schedules driven through every
+//! [`FaultSite`], asserting the execution-hardening invariants:
+//!
+//! 1. The query always returns `Ok` or `Err` — never hangs (watchdog) and
+//!    never aborts the process (panic containment).
+//! 2. `MemoryTracker::current_bytes()` returns to its pre-query value on
+//!    success *and* on every error path — no leaked staging blocks, parked
+//!    inputs, output partials or hash-table bytes.
+//! 3. An empty `FaultPlan` is bit-identical to the uninstrumented path.
+//! 4. A `BlockPool` survives a contained panic: subsequent queries on the
+//!    same pool succeed.
+//!
+//! The `CHAOS_SEED` env var (used by the CI seed matrix) shifts every
+//! generated injection point so different runs explore different schedules.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+use uot_core::scheduler::{run_parallel_detailed, run_serial, run_serial_detailed};
+use uot_core::state::ExecContext;
+use uot_core::{
+    EngineError, FaultKind, FaultPlan, FaultSite, Injection, JoinType, PlanBuilder, QueryPlan,
+    SchedulerConfig, Source, Uot,
+};
+use uot_expr::{cmp, col, lit, AggSpec, CmpOp};
+use uot_storage::{
+    BlockFormat, BlockPool, DataType, MemoryTracker, Schema, Table, TableBuilder, Value,
+};
+
+/// Silence the default panic hook for *injected* panics only (they are
+/// expected and contained); anything else still prints normally.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("injected"))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains("injected"))
+                })
+                .unwrap_or(false);
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// CI seed matrix: shifts every injection point.
+fn chaos_seed() -> usize {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn arb_table(name: &'static str, max_rows: usize) -> impl Strategy<Value = Arc<Table>> {
+    (
+        proptest::collection::vec((0i32..30, -500i64..500), 1..max_rows),
+        1usize..6,
+    )
+        .prop_map(move |(rows, rows_per_block)| {
+            let schema = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)]);
+            let mut tb = TableBuilder::new(
+                name,
+                schema.clone(),
+                BlockFormat::Column,
+                schema.tuple_width() * rows_per_block,
+            );
+            for (k, v) in &rows {
+                tb.append(&[Value::I32(*k), Value::I64(*v)]).unwrap();
+            }
+            Arc::new(tb.finish())
+        })
+}
+
+/// select(fact) -> probe(dim) -> aggregate: covers stream transfers, a hash
+/// table, staged edges and an output-emitting finalize.
+fn join_agg_plan(fact: Arc<Table>, dim: Arc<Table>, uot: Uot) -> QueryPlan {
+    let mut pb = PlanBuilder::new();
+    let b = pb
+        .build_hash(Source::Table(dim), vec![0], vec![0, 1])
+        .unwrap();
+    let s = pb
+        .filter(Source::Table(fact), cmp(col(0), CmpOp::Lt, lit(25i32)))
+        .unwrap();
+    let p = pb
+        .probe(
+            Source::Op(s),
+            b,
+            vec![0],
+            vec![0, 1],
+            vec![1],
+            JoinType::Inner,
+        )
+        .unwrap();
+    let a = pb
+        .aggregate(
+            Source::Op(p),
+            vec![0],
+            vec![AggSpec::count_star(), AggSpec::sum(col(1))],
+            &["n", "sv"],
+        )
+        .unwrap();
+    pb.build(a).unwrap().with_uniform_uot(uot)
+}
+
+fn ctx_with(plan: QueryPlan, pool: Arc<BlockPool>, faults: Arc<FaultPlan>) -> Arc<ExecContext> {
+    Arc::new(
+        ExecContext::new(Arc::new(plan), pool, BlockFormat::Row, 128, 4)
+            .unwrap()
+            .with_faults(faults),
+    )
+}
+
+type Outcome = std::result::Result<usize, EngineError>;
+
+/// Run `f` on its own thread under a hard watchdog: a hang past the timeout
+/// fails the test instead of wedging the suite.
+fn run_with_watchdog<F>(f: F) -> Outcome
+where
+    F: FnOnce() -> Outcome + Send + 'static,
+{
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_secs(30))
+        .expect("watchdog: query neither completed nor errored within 30s")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Invariants 1 + 2 across every site, kind, injection point, UoT and
+    /// driver: no hang, no abort, errors only of expected shapes, and the
+    /// tracker back at zero afterwards — including schedules that error
+    /// with blocks still staged on a `TransferEdge`.
+    #[test]
+    fn fault_schedules_never_hang_or_leak(
+        fact in arb_table("chaos_fact", 40),
+        dim in arb_table("chaos_dim", 15),
+        site_ix in 0usize..3,
+        kind_ix in 0usize..3,
+        nth in 1usize..20,
+        uot in prop_oneof![Just(Uot::Blocks(1)), Just(Uot::Blocks(3)), Just(Uot::Table)],
+        parallel in any::<bool>(),
+        workers in 1usize..4,
+    ) {
+        quiet_injected_panics();
+        let site = FaultSite::ALL[site_ix];
+        let kind = match kind_ix {
+            0 => FaultKind::Panic,
+            1 => FaultKind::Error,
+            _ => FaultKind::Delay(Duration::from_millis(1)),
+        };
+        let nth = 1 + (nth - 1 + chaos_seed()) % 24;
+        let faults = Arc::new(FaultPlan::new(vec![Injection { site, kind, nth }]));
+
+        let tracker = MemoryTracker::new();
+        let pool = BlockPool::new(tracker.clone());
+        let ctx = ctx_with(join_agg_plan(fact, dim, uot), pool, faults);
+        let config = SchedulerConfig {
+            workers,
+            default_uot: uot,
+            ..Default::default()
+        };
+
+        let outcome = run_with_watchdog(move || {
+            let r = if parallel {
+                run_parallel_detailed(ctx, config)
+            } else {
+                run_serial_detailed(ctx, config)
+            };
+            match r {
+                Ok((blocks, _metrics)) => Ok(blocks.len()),
+                Err(failed) => Err(failed.error),
+            }
+        });
+
+        match &outcome {
+            Ok(_) => {}
+            Err(EngineError::WorkOrderPanic { payload, .. }) => {
+                prop_assert!(payload.contains("injected"), "{}", payload);
+            }
+            Err(EngineError::BudgetExceeded { .. })
+            | Err(EngineError::Storage(_))
+            | Err(EngineError::Internal(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error shape: {}", other),
+        }
+        if matches!(kind, FaultKind::Delay(_)) {
+            prop_assert!(outcome.is_ok(), "a delay must not fail the query");
+        }
+        prop_assert_eq!(
+            tracker.current_bytes(),
+            0,
+            "leak after {:?}/{:?} nth={} uot={} parallel={}",
+            site, kind, nth, uot, parallel
+        );
+    }
+
+    /// Invariant 3: an installed-but-empty fault plan changes nothing — same
+    /// result blocks, bit-identical rows in the same order (serial driver).
+    #[test]
+    fn empty_fault_plan_is_bit_identical(
+        fact in arb_table("noop_fact", 40),
+        dim in arb_table("noop_dim", 15),
+        uot in prop_oneof![Just(Uot::Blocks(1)), Just(Uot::Blocks(2)), Just(Uot::Table)],
+    ) {
+        let plain_pool = BlockPool::new(MemoryTracker::new());
+        let plain_ctx = ctx_with(
+            join_agg_plan(fact.clone(), dim.clone(), uot),
+            plain_pool,
+            Arc::new(FaultPlan::empty()),
+        );
+        let instrumented_pool = BlockPool::new(MemoryTracker::new());
+        let instrumented_ctx = ctx_with(
+            join_agg_plan(fact, dim, uot),
+            instrumented_pool,
+            Arc::new(FaultPlan::new(vec![Injection {
+                site: FaultSite::WorkOrderExec,
+                kind: FaultKind::Panic,
+                nth: usize::MAX, // registered but unreachable
+            }])),
+        );
+        let config = SchedulerConfig {
+            default_uot: uot,
+            ..Default::default()
+        };
+        let (a, _) = run_serial(plain_ctx, config).unwrap();
+        let (b, _) = run_serial(instrumented_ctx, config).unwrap();
+        let rows_a: Vec<Vec<Value>> = a.iter().flat_map(|blk| blk.all_rows()).collect();
+        let rows_b: Vec<Vec<Value>> = b.iter().flat_map(|blk| blk.all_rows()).collect();
+        prop_assert_eq!(rows_a, rows_b);
+    }
+}
+
+/// Invariant 4: a contained panic leaves the shared `BlockPool` (and its
+/// tracker) fully usable — the next query on the *same pool* succeeds and
+/// accounting stays exact.
+#[test]
+fn same_pool_survives_contained_panics() {
+    quiet_injected_panics();
+    let mk_table = |name: &str, n: i32| {
+        let s = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)]);
+        let mut tb = TableBuilder::new(name, s, BlockFormat::Column, 48);
+        for i in 0..n {
+            tb.append(&[Value::I32(i % 20), Value::I64(i as i64)])
+                .unwrap();
+        }
+        Arc::new(tb.finish())
+    };
+    let fact = mk_table("recover_fact", 80);
+    let dim = mk_table("recover_dim", 12);
+    let tracker = MemoryTracker::new();
+    let pool = BlockPool::new(tracker.clone());
+
+    for nth in [1, 4, 9] {
+        let faults = Arc::new(FaultPlan::new(vec![Injection {
+            site: FaultSite::WorkOrderExec,
+            kind: FaultKind::Panic,
+            nth,
+        }]));
+        let ctx = ctx_with(
+            join_agg_plan(fact.clone(), dim.clone(), Uot::Blocks(1)),
+            pool.clone(),
+            faults,
+        );
+        let err = run_serial(ctx, SchedulerConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, EngineError::WorkOrderPanic { .. }),
+            "nth={nth}: {err}"
+        );
+        assert_eq!(tracker.current_bytes(), 0, "nth={nth}");
+
+        // The same pool immediately runs the same query to completion.
+        let ctx = ctx_with(
+            join_agg_plan(fact.clone(), dim.clone(), Uot::Blocks(1)),
+            pool.clone(),
+            Arc::new(FaultPlan::empty()),
+        );
+        let (blocks, metrics) = run_serial(ctx, SchedulerConfig::default()).unwrap();
+        assert!(metrics.result_rows > 0);
+        drop(blocks);
+        assert_eq!(tracker.current_bytes(), 0, "nth={nth} post-recovery");
+    }
+}

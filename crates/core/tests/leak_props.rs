@@ -1,0 +1,142 @@
+//! Leak-check proptests: after every *successful* run — across execution
+//! modes, UoTs, block formats, block sizes and plan shapes —
+//! `MemoryTracker::current_bytes()` returns to its pre-query baseline
+//! (zero for a fresh tracker). Query teardown releases result-block bytes,
+//! pooled free lists, hash tables and every staged/parked intermediate.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use uot_core::scheduler::{run_parallel, run_serial};
+use uot_core::state::ExecContext;
+use uot_core::{JoinType, PlanBuilder, QueryPlan, SchedulerConfig, SortKey, Source, Uot};
+use uot_expr::{cmp, col, lit, AggSpec, CmpOp, Predicate};
+use uot_storage::{
+    BlockFormat, BlockPool, DataType, MemoryTracker, Schema, Table, TableBuilder, Value,
+};
+
+fn arb_table(name: &'static str, max_rows: usize) -> impl Strategy<Value = Arc<Table>> {
+    (
+        proptest::collection::vec((0i32..25, -500i64..500), 1..max_rows),
+        1usize..6,
+    )
+        .prop_map(move |(rows, rows_per_block)| {
+            let schema = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)]);
+            let mut tb = TableBuilder::new(
+                name,
+                schema.clone(),
+                BlockFormat::Column,
+                schema.tuple_width() * rows_per_block,
+            );
+            for (k, v) in &rows {
+                tb.append(&[Value::I32(*k), Value::I64(*v)]).unwrap();
+            }
+            Arc::new(tb.finish())
+        })
+}
+
+/// Three plan shapes hitting the three block-parking mechanisms: stream
+/// staging + hash table (join/agg), sort-collected input, and the NLJ's
+/// materialized inner side.
+fn plan_of(shape: usize, fact: Arc<Table>, dim: Arc<Table>) -> QueryPlan {
+    let mut pb = PlanBuilder::new();
+    match shape {
+        0 => {
+            let b = pb
+                .build_hash(Source::Table(dim), vec![0], vec![0, 1])
+                .unwrap();
+            let s = pb
+                .filter(Source::Table(fact), cmp(col(0), CmpOp::Lt, lit(20i32)))
+                .unwrap();
+            let p = pb
+                .probe(
+                    Source::Op(s),
+                    b,
+                    vec![0],
+                    vec![0, 1],
+                    vec![1],
+                    JoinType::Inner,
+                )
+                .unwrap();
+            let a = pb
+                .aggregate(
+                    Source::Op(p),
+                    vec![0],
+                    vec![AggSpec::count_star(), AggSpec::sum(col(1))],
+                    &["n", "sv"],
+                )
+                .unwrap();
+            pb.build(a).unwrap()
+        }
+        1 => {
+            let s = pb.filter(Source::Table(fact), Predicate::True).unwrap();
+            let so = pb
+                .sort(Source::Op(s), vec![SortKey::asc(0)], Some(16))
+                .unwrap();
+            pb.build(so).unwrap()
+        }
+        _ => {
+            let inner = pb
+                .filter(Source::Table(dim), cmp(col(0), CmpOp::Lt, lit(8i32)))
+                .unwrap();
+            let j = pb
+                .nested_loops(
+                    Source::Table(fact),
+                    inner,
+                    vec![(0, CmpOp::Eq, 0)],
+                    vec![0],
+                    vec![1],
+                )
+                .unwrap();
+            pb.build(j).unwrap()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tracker_returns_to_baseline_after_success(
+        fact in arb_table("leak_fact", 50),
+        dim in arb_table("leak_dim", 15),
+        shape in 0usize..3,
+        uot in prop_oneof![
+            Just(Uot::Blocks(1)),
+            Just(Uot::Blocks(2)),
+            Just(Uot::Blocks(5)),
+            Just(Uot::Table)
+        ],
+        fmt in prop_oneof![Just(BlockFormat::Row), Just(BlockFormat::Column)],
+        block_bytes in prop_oneof![Just(64usize), Just(128usize), Just(1024usize)],
+        parallel in any::<bool>(),
+        workers in 1usize..4,
+    ) {
+        let plan = plan_of(shape, fact, dim).with_uniform_uot(uot);
+        let tracker = MemoryTracker::new();
+        let pool = BlockPool::new(tracker.clone());
+        let ctx = Arc::new(
+            ExecContext::new(Arc::new(plan), pool, fmt, block_bytes, 4).unwrap(),
+        );
+        let config = SchedulerConfig {
+            workers,
+            default_uot: uot,
+            ..Default::default()
+        };
+        let (blocks, metrics) = if parallel {
+            run_parallel(ctx, config)
+        } else {
+            run_serial(ctx, config)
+        }
+        .unwrap();
+        // Result rows survive the teardown (blocks are still readable) ...
+        let _rows: Vec<Vec<Value>> = blocks.iter().flat_map(|b| b.all_rows()).collect();
+        prop_assert!(metrics.peak_temp_bytes > 0 || blocks.is_empty());
+        // ... but their bytes left the temporary-memory accounting.
+        prop_assert_eq!(
+            tracker.current_bytes(),
+            0,
+            "shape={} uot={} fmt={:?} bytes={} parallel={}",
+            shape, uot, fmt, block_bytes, parallel
+        );
+    }
+}

@@ -46,6 +46,16 @@ pub enum StorageError {
         /// Number of values supplied.
         found: usize,
     },
+    /// An allocation would push the pool's memory tracker past its configured
+    /// budget. The allocation was **not** performed; accounting is unchanged.
+    BudgetExceeded {
+        /// Bytes the allocation asked for.
+        requested: usize,
+        /// Bytes currently charged to the tracker.
+        in_use: usize,
+        /// The configured budget in bytes.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -76,6 +86,14 @@ impl fmt::Display for StorageError {
                     "row arity mismatch: schema has {expected} columns, got {found}"
                 )
             }
+            StorageError::BudgetExceeded {
+                requested,
+                in_use,
+                budget,
+            } => write!(
+                f,
+                "memory budget exceeded: requested {requested} bytes with {in_use} of {budget} in use"
+            ),
         }
     }
 }
@@ -104,6 +122,15 @@ mod tests {
         };
         assert!(e.to_string().contains('3'));
         assert!(e.to_string().contains('2'));
+
+        let e = StorageError::BudgetExceeded {
+            requested: 4096,
+            in_use: 60000,
+            budget: 61440,
+        };
+        assert!(e.to_string().contains("4096"));
+        assert!(e.to_string().contains("60000"));
+        assert!(e.to_string().contains("61440"));
     }
 
     #[test]

@@ -42,6 +42,25 @@ impl MemoryTracker {
         self.peak.fetch_max(cur, Ordering::Relaxed);
     }
 
+    /// Record an allocation of `bytes` only if the resulting total stays
+    /// within `limit`. The check-and-charge is a single atomic update, so
+    /// concurrent allocators can never jointly overshoot the limit. Returns
+    /// whether the allocation was charged.
+    pub fn try_alloc(&self, bytes: usize, limit: usize) -> bool {
+        let charged = self
+            .current
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                cur.checked_add(bytes).filter(|&next| next <= limit)
+            })
+            .is_ok();
+        if charged {
+            self.total_allocated.fetch_add(bytes, Ordering::Relaxed);
+            let cur = self.current.load(Ordering::Relaxed);
+            self.peak.fetch_max(cur, Ordering::Relaxed);
+        }
+        charged
+    }
+
     /// Record a release of `bytes`.
     pub fn free(&self, bytes: usize) {
         self.current.fetch_sub(bytes, Ordering::Relaxed);
@@ -94,6 +113,8 @@ pub struct BlockPool {
     tracker: Arc<MemoryTracker>,
     free: Mutex<HashMap<PoolKey, Vec<StorageBlock>>>,
     reuse: AtomicBool,
+    /// Allocation budget in bytes; `usize::MAX` means unlimited.
+    budget: AtomicUsize,
     created: AtomicUsize,
     reused: AtomicUsize,
     returned: AtomicUsize,
@@ -108,17 +129,40 @@ impl std::fmt::Debug for PoolKey {
 }
 
 impl BlockPool {
-    /// Create a pool metering through `tracker`.
+    /// Create a pool metering through `tracker`, with no allocation budget.
     pub fn new(tracker: Arc<MemoryTracker>) -> Arc<Self> {
+        BlockPool::with_budget(tracker, usize::MAX)
+    }
+
+    /// Create a pool metering through `tracker` that refuses allocations once
+    /// the tracker's current bytes would exceed `budget`. Checkouts past the
+    /// budget return [`StorageError::BudgetExceeded`] instead of growing;
+    /// reuse of already-charged free-list blocks is always allowed (it does
+    /// not allocate).
+    pub fn with_budget(tracker: Arc<MemoryTracker>, budget: usize) -> Arc<Self> {
         Arc::new(BlockPool {
             tracker,
             free: Mutex::new(HashMap::new()),
             reuse: AtomicBool::new(true),
+            budget: AtomicUsize::new(budget),
             created: AtomicUsize::new(0),
             reused: AtomicUsize::new(0),
             returned: AtomicUsize::new(0),
             discarded: AtomicUsize::new(0),
         })
+    }
+
+    /// Change the allocation budget (`None` = unlimited). Takes effect for
+    /// subsequent checkouts; already-allocated blocks are never reclaimed.
+    pub fn set_budget(&self, budget: Option<usize>) {
+        self.budget
+            .store(budget.unwrap_or(usize::MAX), Ordering::Relaxed);
+    }
+
+    /// The configured allocation budget, if any.
+    pub fn budget(&self) -> Option<usize> {
+        let b = self.budget.load(Ordering::Relaxed);
+        (b != usize::MAX).then_some(b)
     }
 
     /// Enable or disable block reuse (the `ablation_pool` knob). With reuse
@@ -153,7 +197,17 @@ impl BlockPool {
             }
         }
         let b = StorageBlock::new(schema.clone(), format, capacity_bytes)?;
-        self.tracker.alloc(b.allocated_bytes());
+        let bytes = b.allocated_bytes();
+        let budget = self.budget.load(Ordering::Relaxed);
+        if !self.tracker.try_alloc(bytes, budget) {
+            // `b` was never charged; dropping it here leaves accounting
+            // untouched, so a failed checkout is side-effect free.
+            return Err(crate::error::StorageError::BudgetExceeded {
+                requested: bytes,
+                in_use: self.tracker.current_bytes(),
+                budget,
+            });
+        }
         self.created.fetch_add(1, Ordering::Relaxed);
         Ok(b)
     }
@@ -173,6 +227,8 @@ impl BlockPool {
             block.format(),
             block.allocated_bytes(),
         );
+        // invariant: parking_lot mutexes cannot poison, so `lock()` cannot
+        // fail even if a holder panicked (panics are contained upstream).
         self.free.lock().entry(key).or_default().push(block);
     }
 
@@ -312,6 +368,104 @@ mod tests {
         p.drain_free_lists();
         assert_eq!(t.current_bytes(), 0);
         assert_eq!(p.stats().discarded, 3);
+    }
+
+    #[test]
+    fn budget_allows_checkouts_under_it() {
+        let t = MemoryTracker::new();
+        let p = BlockPool::with_budget(t.clone(), 1 << 20);
+        let b = p.checkout(&schema(), BlockFormat::Row, 1024).unwrap();
+        assert_eq!(t.current_bytes(), b.allocated_bytes());
+        assert_eq!(p.budget(), Some(1 << 20));
+    }
+
+    #[test]
+    fn over_budget_checkout_fails_without_side_effects() {
+        let t = MemoryTracker::new();
+        let p = BlockPool::with_budget(t.clone(), 4096);
+        let b = p.checkout(&schema(), BlockFormat::Row, 2048).unwrap();
+        let in_use = t.current_bytes();
+        let created = p.stats().created;
+        let err = p.checkout(&schema(), BlockFormat::Row, 4096).unwrap_err();
+        match err {
+            crate::StorageError::BudgetExceeded {
+                requested,
+                in_use: reported,
+                budget,
+            } => {
+                assert!(requested >= 4096);
+                assert_eq!(reported, in_use);
+                assert_eq!(budget, 4096);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // Accounting and counters unchanged by the failed checkout.
+        assert_eq!(t.current_bytes(), in_use);
+        assert_eq!(p.stats().created, created);
+        drop(b);
+    }
+
+    #[test]
+    fn reuse_path_ignores_budget() {
+        let t = MemoryTracker::new();
+        let p = BlockPool::with_budget(t.clone(), usize::MAX);
+        let b = p.checkout(&schema(), BlockFormat::Row, 2048).unwrap();
+        p.give_back(b);
+        // Tighten the budget below what is already charged: reuse still works
+        // because pooled blocks are already paid for.
+        p.set_budget(Some(1));
+        let b2 = p.checkout(&schema(), BlockFormat::Row, 2048).unwrap();
+        assert_eq!(p.stats().reused, 1);
+        // ... but a fresh allocation of a different shape is refused.
+        assert!(matches!(
+            p.checkout(&schema(), BlockFormat::Column, 2048),
+            Err(crate::StorageError::BudgetExceeded { .. })
+        ));
+        drop(b2);
+    }
+
+    #[test]
+    fn set_budget_none_lifts_the_cap() {
+        let t = MemoryTracker::new();
+        let p = BlockPool::with_budget(t, 1);
+        assert!(p.checkout(&schema(), BlockFormat::Row, 1024).is_err());
+        p.set_budget(None);
+        assert_eq!(p.budget(), None);
+        assert!(p.checkout(&schema(), BlockFormat::Row, 1024).is_ok());
+    }
+
+    #[test]
+    fn try_alloc_is_exact_at_the_limit() {
+        let t = MemoryTracker::new();
+        assert!(t.try_alloc(60, 100));
+        assert!(t.try_alloc(40, 100)); // exactly at the limit is allowed
+        assert!(!t.try_alloc(1, 100)); // one past is not
+        assert_eq!(t.current_bytes(), 100);
+        assert_eq!(t.peak_bytes(), 100);
+        assert_eq!(t.total_allocated_bytes(), 100); // failed charge not counted
+        t.free(100);
+        assert_eq!(t.current_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_try_alloc_never_overshoots() {
+        let t = MemoryTracker::new();
+        let granted = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let t = t.clone();
+                let granted = &granted;
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        if t.try_alloc(7, 301) {
+                            granted.fetch_add(7, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(t.current_bytes() <= 301);
+        assert_eq!(t.current_bytes(), granted.load(Ordering::Relaxed));
     }
 
     #[test]

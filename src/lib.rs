@@ -26,7 +26,10 @@ pub use uot_tpch as tpch;
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use uot_core::{EngineConfig, ExecMode, QueryPlan, QueryResult, Uot};
+    pub use uot_core::{
+        CancellationToken, DegradePolicy, Engine, EngineConfig, EngineError, ExecMode, FaultKind,
+        FaultPlan, FaultSite, Injection, QueryPlan, QueryResult, Uot,
+    };
     pub use uot_storage::{
         date_from_ymd, BlockFormat, Catalog, DataType, Schema, Table, TableBuilder, Value,
     };
