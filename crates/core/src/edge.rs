@@ -115,6 +115,11 @@ impl TransferEdge {
         self.staged.len()
     }
 
+    /// Accumulation threshold in blocks (`usize::MAX` for [`Uot::Table`]).
+    pub fn threshold_blocks(&self) -> usize {
+        self.threshold
+    }
+
     /// Stage freshly produced blocks and decide what to do with them.
     pub fn stage(&mut self, blocks: Vec<Arc<StorageBlock>>) -> TransferAction {
         if blocks.is_empty() {

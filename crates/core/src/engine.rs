@@ -4,9 +4,14 @@ use crate::cancel::CancellationToken;
 use crate::error::EngineError;
 use crate::fault::FaultPlan;
 use crate::metrics::{Degradation, QueryMetrics};
+use crate::obs::{CompositeObserver, TracingObserver};
 use crate::plan::{OperatorKind, QueryPlan};
-use crate::scheduler::{run_parallel, run_serial, SchedulerConfig};
+use crate::scheduler::{
+    run_parallel, run_parallel_observed, run_serial, run_serial_observed, MetricsObserver,
+    SchedulerConfig,
+};
 use crate::state::ExecContext;
+use crate::trace::{Trace, TraceEvent, TraceEventKind, TraceSink, DEFAULT_TRACE_CAPACITY};
 use crate::uot::Uot;
 use crate::Result;
 use std::sync::Arc;
@@ -42,6 +47,23 @@ pub enum DegradePolicy {
     LowerUot,
 }
 
+/// Structured-tracing knobs (see [`EngineConfig::tracing`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Maximum events the per-query [`TraceSink`] retains; past it events
+    /// are dropped (and counted in [`Trace::dropped`]) instead of growing
+    /// without bound.
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
 /// Engine configuration. The fields mirror the experimental dimensions of
 /// Section IV of the paper: block size, storage format (of temporaries),
 /// UoT, and parallelism.
@@ -73,6 +95,10 @@ pub struct EngineConfig {
     /// Optional wall-clock deadline per query; past it the query is
     /// cancelled and yields [`EngineError::Cancelled`].
     pub deadline: Option<Duration>,
+    /// Structured tracing: `Some` records every scheduler/work-order event
+    /// into a per-query [`Trace`] returned on [`QueryResult::trace`]. `None`
+    /// (the default) leaves the untraced fast path untouched.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for EngineConfig {
@@ -92,6 +118,7 @@ impl Default for EngineConfig {
             memory_budget: None,
             degrade: DegradePolicy::Off,
             deadline: None,
+            trace: None,
         }
     }
 }
@@ -148,6 +175,15 @@ impl EngineConfig {
         self.deadline = deadline;
         self
     }
+
+    /// Enable structured tracing: every execution records a [`Trace`]
+    /// (returned on [`QueryResult::trace`]) that the exporters under
+    /// [`crate::obs`] turn into Chrome `trace_event` JSON, Prometheus-style
+    /// snapshots, and per-edge UoT-occupancy timelines.
+    pub fn tracing(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
+    }
 }
 
 /// A materialized query result plus its execution metrics.
@@ -160,6 +196,9 @@ pub struct QueryResult {
     pub blocks: Vec<Arc<StorageBlock>>,
     /// Execution metrics.
     pub metrics: QueryMetrics,
+    /// The structured trace, when the engine was configured with
+    /// [`EngineConfig::tracing`].
+    pub trace: Option<Trace>,
 }
 
 impl QueryResult {
@@ -299,6 +338,17 @@ impl Engine {
                 };
                 let mut result = self.execute_once(plan.with_uniform_uot(to), to, token, faults)?;
                 result.metrics.degradations.push(Degradation { from, to });
+                // The retry's trace starts fresh; prepend the degradation so
+                // a trace reader sees why this attempt ran at a lower UoT.
+                if let Some(trace) = &mut result.trace {
+                    trace.events.insert(
+                        0,
+                        TraceEvent {
+                            t: Duration::ZERO,
+                            kind: TraceEventKind::Degraded { from, to },
+                        },
+                    );
+                }
                 Ok(result)
             }
             other => other,
@@ -320,17 +370,24 @@ impl Engine {
         pool.set_reuse_enabled(self.config.pool_reuse);
         let plan = Arc::new(plan);
         let schema = plan.result_schema().clone();
-        let ctx = Arc::new(
-            ExecContext::new(
-                plan,
-                pool,
-                self.config.temp_format,
-                self.config.block_bytes,
-                self.config.hash_table_shards,
-            )?
-            .with_cancellation(token)
-            .with_faults(faults),
-        );
+        let sink = self
+            .config
+            .trace
+            .as_ref()
+            .map(|tc| TraceSink::new(tc.capacity));
+        let mut ctx = ExecContext::new(
+            plan,
+            pool,
+            self.config.temp_format,
+            self.config.block_bytes,
+            self.config.hash_table_shards,
+        )?
+        .with_cancellation(token)
+        .with_faults(faults);
+        if let Some(sink) = &sink {
+            ctx = ctx.with_trace(sink.clone());
+        }
+        let ctx = Arc::new(ctx);
         let sched = SchedulerConfig {
             workers: match self.config.mode {
                 ExecMode::Serial => 1,
@@ -340,14 +397,34 @@ impl Engine {
             max_dop_per_op: self.config.max_dop_per_op,
             deadline: self.config.deadline,
         };
-        let (blocks, metrics) = match self.config.mode {
-            ExecMode::Serial => run_serial(ctx, sched)?,
-            ExecMode::Parallel { .. } => run_parallel(ctx, sched)?,
+        let (blocks, metrics) = match &sink {
+            // Untraced: the historical drivers, no observer composition.
+            None => match self.config.mode {
+                ExecMode::Serial => run_serial(ctx.clone(), sched)?,
+                ExecMode::Parallel { .. } => run_parallel(ctx.clone(), sched)?,
+            },
+            // Traced: metrics + tracing fan-out through one observer stack.
+            Some(sink) => {
+                let observer = CompositeObserver::new(
+                    MetricsObserver::new(&ctx.plan),
+                    TracingObserver::new(sink.clone()),
+                );
+                match self.config.mode {
+                    ExecMode::Serial => run_serial_observed(ctx.clone(), sched, observer),
+                    ExecMode::Parallel { .. } => {
+                        run_parallel_observed(ctx.clone(), sched, observer)
+                    }
+                }
+                .map_err(|f| f.error)?
+            }
         };
+        let trace =
+            sink.map(|s| s.finish(ctx.plan.ops().iter().map(|op| op.name.clone()).collect()));
         Ok(QueryResult {
             schema,
             blocks,
             metrics,
+            trace,
         })
     }
 }

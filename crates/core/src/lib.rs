@@ -39,30 +39,35 @@ pub mod error;
 pub mod fault;
 pub mod hash_table;
 pub mod metrics;
+pub mod obs;
 pub mod ops;
 pub mod output;
 pub mod plan;
 pub mod scheduler;
 pub mod state;
 pub mod topology;
+pub mod trace;
 pub mod uot;
 pub mod work_order;
 
 pub use bloom::BloomFilter;
 pub use cancel::CancellationToken;
 pub use edge::{EdgeDest, TransferAction, TransferEdge};
-pub use engine::{DegradePolicy, Engine, EngineConfig, ExecMode, QueryResult};
+pub use engine::{DegradePolicy, Engine, EngineConfig, ExecMode, QueryResult, TraceConfig};
 pub use error::EngineError;
 pub use fault::{FaultKind, FaultPlan, FaultSite, Injection};
 pub use hash_table::{JoinHashTable, PayloadRef, ProbeMatch, ProbeSession};
 pub use metrics::{Degradation, OperatorMetrics, QueryMetrics, TaskRecord};
+pub use obs::{CompositeObserver, TracingObserver};
 pub use plan::{
     JoinType, LipFilter, OpId, Operator, OperatorKind, PlanBuilder, QueryPlan, SortKey, Source,
 };
+pub use scheduler::{run_parallel_observed, run_serial_observed, MetricsCarrier};
 pub use scheduler::{
     FailedQuery, MetricsObserver, NoopObserver, SchedulerConfig, SchedulerCore, SchedulerObserver,
 };
 pub use topology::{Dependent, PlanTopology};
+pub use trace::{Trace, TraceEvent, TraceEventKind, TraceSink, DEFAULT_TRACE_CAPACITY};
 pub use uot::Uot;
 pub use work_order::{WorkKind, WorkOrder};
 

@@ -169,17 +169,27 @@ impl QueryMetrics {
             .unwrap_or(Duration::ZERO)
             .as_secs_f64()
             .max(1e-9);
-        let workers = self.tasks.iter().map(|t| t.worker).max().unwrap_or(0) + 1;
-        let mut grid = vec![vec!['.'; buckets]; workers];
+        // One lane per worker. The lane count is clamped from both sides:
+        // every *configured* worker gets a lane (idle workers render as all
+        // dots instead of vanishing when fewer tasks than workers ran), and a
+        // task record can never index past the grid even if its worker id
+        // exceeds the configured count.
+        let seen = self
+            .tasks
+            .iter()
+            .map(|t| t.worker.saturating_add(1))
+            .max()
+            .unwrap_or(0);
+        let lanes = self.workers.max(seen).max(1);
+        let mut grid = vec![vec!['.'; buckets]; lanes];
         for t in &self.tasks {
-            let b0 = ((t.start.as_secs_f64() / end) * buckets as f64) as usize;
-            let b1 = ((t.end.as_secs_f64() / end) * buckets as f64).ceil() as usize;
+            let lane = t.worker.min(lanes - 1);
+            let b0 = (((t.start.as_secs_f64() / end) * buckets as f64) as usize).min(buckets - 1);
+            // Paint at least one cell so sub-bucket tasks stay visible.
+            let b1 = (((t.end.as_secs_f64() / end) * buckets as f64).ceil() as usize)
+                .clamp(b0 + 1, buckets);
             let ch = char::from_digit((t.op % 10) as u32, 10).unwrap_or('?');
-            for cell in grid[t.worker]
-                .iter_mut()
-                .take(b1.min(buckets))
-                .skip(b0.min(buckets.saturating_sub(1)))
-            {
+            for cell in grid[lane].iter_mut().take(b1).skip(b0) {
                 *cell = ch;
             }
         }
@@ -309,5 +319,73 @@ mod tests {
         assert!(lines[1].contains('0'));
         // empty metrics -> empty schedule
         assert!(QueryMetrics::default().schedule_text(8).is_empty());
+    }
+
+    #[test]
+    fn schedule_text_overwide_worker_count() {
+        // More configured workers than workers that ever ran a task: every
+        // configured worker still gets a lane, idle ones all dots.
+        let m = QueryMetrics {
+            workers: 4,
+            tasks: vec![TaskRecord {
+                op: 3,
+                worker: 0,
+                start: ms(0),
+                end: ms(10),
+            }],
+            ..Default::default()
+        };
+        let s = m.schedule_text(8);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('3'));
+        for idle in &lines[1..] {
+            assert!(idle.ends_with(&".".repeat(8)), "idle lane garbled: {idle}");
+        }
+    }
+
+    #[test]
+    fn schedule_text_zero_duration_task_paints_a_cell() {
+        let m = QueryMetrics {
+            workers: 1,
+            tasks: vec![
+                TaskRecord {
+                    op: 1,
+                    worker: 0,
+                    start: ms(0),
+                    end: ms(100),
+                },
+                TaskRecord {
+                    op: 5,
+                    worker: 0,
+                    start: ms(100),
+                    end: ms(100),
+                },
+            ],
+            ..Default::default()
+        };
+        // The instantaneous task at the very end of the span must still show
+        // up somewhere instead of indexing past the grid.
+        let s = m.schedule_text(4);
+        assert!(s.contains('5'), "zero-duration task vanished: {s}");
+    }
+
+    #[test]
+    fn schedule_text_stray_worker_id_is_clamped() {
+        // A record whose worker id exceeds the configured count lands on the
+        // last lane instead of panicking.
+        let m = QueryMetrics {
+            workers: 2,
+            tasks: vec![TaskRecord {
+                op: 7,
+                worker: 9,
+                start: ms(0),
+                end: ms(5),
+            }],
+            ..Default::default()
+        };
+        let s = m.schedule_text(4);
+        assert_eq!(s.lines().count(), 10, "lanes grow to cover seen ids");
+        assert!(s.contains('7'));
     }
 }

@@ -1,0 +1,32 @@
+//! Observability: trace-recording observers and exporters.
+//!
+//! This module turns the [`SchedulerObserver`](crate::scheduler::SchedulerObserver)
+//! seam plus the raw event capture in [`crate::trace`] into the instrument
+//! the paper's methodology assumes:
+//!
+//! * [`TracingObserver`] — records every scheduler event into a
+//!   [`TraceSink`](crate::trace::TraceSink).
+//! * [`CompositeObserver`] — fans events out to two observers, so tracing
+//!   composes with the default
+//!   [`MetricsObserver`](crate::scheduler::MetricsObserver) without giving up
+//!   [`QueryMetrics`](crate::metrics::QueryMetrics).
+//! * [`chrome`] — Chrome `trace_event` JSON for `chrome://tracing` /
+//!   [Perfetto](https://ui.perfetto.dev) flamegraph-style timelines.
+//! * [`prometheus`] — a Prometheus text-exposition snapshot of the counters
+//!   and gauges a finished trace implies (work orders, transfers, bytes,
+//!   pool occupancy, worker busy time, faults).
+//! * [`timeline`] — per-edge UoT-occupancy timelines and per-operator task
+//!   time distributions: the Fig. 3 / Fig. 5-shaped data of the paper.
+//!
+//! All exporters are pure functions over a frozen [`Trace`](crate::trace::Trace);
+//! nothing here runs on the execution fast path.
+
+pub mod chrome;
+pub mod observer;
+pub mod prometheus;
+pub mod timeline;
+
+pub use chrome::chrome_trace_json;
+pub use observer::{CompositeObserver, TracingObserver};
+pub use prometheus::prometheus_snapshot;
+pub use timeline::{operator_task_times, operator_time_shares, uot_timelines, EdgeTimeline};

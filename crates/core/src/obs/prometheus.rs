@@ -1,0 +1,372 @@
+//! Prometheus text-exposition snapshot of a finished trace.
+//!
+//! A [`Trace`] is a timeline; monitoring wants totals and last-known gauges.
+//! [`prometheus_snapshot`] folds the timeline into the standard text format
+//! (`# HELP` / `# TYPE` / `name{labels} value`): work-order and transfer
+//! counters, pool-occupancy gauges, per-worker busy time, fault counts. The
+//! output is parseable by any Prometheus scraper or `promtool check
+//! metrics`, but is produced offline — nothing here touches the execution
+//! fast path.
+
+use crate::trace::{Trace, TraceEventKind};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Escape a Prometheus label value (`\` then `"` then newline).
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// One metric family: help text, type, and labeled samples in insertion
+/// order (BTreeMap keys keep the output deterministic).
+struct Family {
+    help: &'static str,
+    kind: &'static str,
+    samples: BTreeMap<String, f64>,
+}
+
+type Families = BTreeMap<&'static str, Family>;
+
+/// Add `delta` to (counter) or overwrite (gauge) one labeled sample.
+#[allow(clippy::too_many_arguments)]
+fn add(
+    families: &mut Families,
+    name: &'static str,
+    help: &'static str,
+    kind: &'static str,
+    labels: String,
+    delta: f64,
+    gauge_set: bool,
+) {
+    let fam = families.entry(name).or_insert_with(|| Family {
+        help,
+        kind,
+        samples: BTreeMap::new(),
+    });
+    let v = fam.samples.entry(labels).or_insert(0.0);
+    if gauge_set {
+        *v = delta;
+    } else {
+        *v += delta;
+    }
+}
+
+/// Fold `trace` into a Prometheus text-exposition snapshot.
+pub fn prometheus_snapshot(trace: &Trace) -> String {
+    let mut families: Families = BTreeMap::new();
+
+    for e in &trace.events {
+        match e.kind {
+            // Dispatches pair with a finish/panic/fail/cancel event; the
+            // snapshot counts outcomes, not handoffs.
+            TraceEventKind::WorkOrderDispatched { .. } => {}
+            TraceEventKind::WorkOrderFinished {
+                op,
+                worker,
+                start,
+                end,
+                ..
+            } => {
+                let op_label = format!("op=\"{}\"", esc(&trace.op_name(op)));
+                add(
+                    &mut families,
+                    "uot_work_orders_total",
+                    "Work orders completed, by operator.",
+                    "counter",
+                    op_label.clone(),
+                    1.0,
+                    false,
+                );
+                add(
+                    &mut families,
+                    "uot_work_order_seconds_total",
+                    "Summed work-order execution time, by operator.",
+                    "counter",
+                    op_label,
+                    end.saturating_sub(start).as_secs_f64(),
+                    false,
+                );
+                add(
+                    &mut families,
+                    "uot_worker_busy_seconds_total",
+                    "Time each worker spent executing work orders.",
+                    "counter",
+                    format!("worker=\"{worker}\""),
+                    end.saturating_sub(start).as_secs_f64(),
+                    false,
+                );
+            }
+            TraceEventKind::WorkOrderPanicked { op, .. } => add(
+                &mut families,
+                "uot_work_order_panics_total",
+                "Contained work-order panics, by operator.",
+                "counter",
+                format!("op=\"{}\"", esc(&trace.op_name(op))),
+                1.0,
+                false,
+            ),
+            TraceEventKind::WorkOrderFailed { op, .. } => add(
+                &mut families,
+                "uot_work_order_failures_total",
+                "Work orders that returned an error, by operator.",
+                "counter",
+                format!("op=\"{}\"", esc(&trace.op_name(op))),
+                1.0,
+                false,
+            ),
+            TraceEventKind::WorkOrderCancelled { op, .. } => add(
+                &mut families,
+                "uot_work_order_cancellations_total",
+                "Work orders stopped by cancellation, by operator.",
+                "counter",
+                format!("op=\"{}\"", esc(&trace.op_name(op))),
+                1.0,
+                false,
+            ),
+            TraceEventKind::BlocksProduced { op, blocks, rows } => {
+                let op_label = format!("op=\"{}\"", esc(&trace.op_name(op)));
+                add(
+                    &mut families,
+                    "uot_blocks_produced_total",
+                    "Output blocks produced, by operator.",
+                    "counter",
+                    op_label.clone(),
+                    blocks as f64,
+                    false,
+                );
+                add(
+                    &mut families,
+                    "uot_rows_produced_total",
+                    "Output rows produced, by operator.",
+                    "counter",
+                    op_label,
+                    rows as f64,
+                    false,
+                );
+            }
+            TraceEventKind::EdgeStaged {
+                producer,
+                consumer,
+                staged,
+                ..
+            } => add(
+                &mut families,
+                "uot_edge_staged_blocks",
+                "Blocks currently staged on a transfer edge (last observed).",
+                "gauge",
+                format!(
+                    "producer=\"{}\",consumer=\"{}\"",
+                    esc(&trace.op_name(producer)),
+                    esc(&trace.op_name(consumer))
+                ),
+                staged as f64,
+                true,
+            ),
+            TraceEventKind::TransferFlushed {
+                producer,
+                consumer,
+                blocks,
+                bytes,
+                partial,
+            } => {
+                let edge = format!(
+                    "producer=\"{}\",consumer=\"{}\"",
+                    esc(&trace.op_name(producer)),
+                    esc(&trace.op_name(consumer))
+                );
+                add(
+                    &mut families,
+                    "uot_transfers_total",
+                    "Transfer-edge flushes, by edge and kind.",
+                    "counter",
+                    format!("{edge},partial=\"{partial}\""),
+                    1.0,
+                    false,
+                );
+                add(
+                    &mut families,
+                    "uot_transfer_blocks_total",
+                    "Blocks moved over transfer edges.",
+                    "counter",
+                    edge.clone(),
+                    blocks as f64,
+                    false,
+                );
+                add(
+                    &mut families,
+                    "uot_transfer_bytes_total",
+                    "Bytes moved over transfer edges.",
+                    "counter",
+                    edge.clone(),
+                    bytes as f64,
+                    false,
+                );
+                // An edge is empty right after its flush.
+                add(
+                    &mut families,
+                    "uot_edge_staged_blocks",
+                    "Blocks currently staged on a transfer edge (last observed).",
+                    "gauge",
+                    edge,
+                    0.0,
+                    true,
+                );
+            }
+            TraceEventKind::OperatorFinished { op } => add(
+                &mut families,
+                "uot_operators_finished_total",
+                "Operators that ran to completion.",
+                "counter",
+                format!("op=\"{}\"", esc(&trace.op_name(op))),
+                1.0,
+                false,
+            ),
+            TraceEventKind::PoolAlloc { in_use, .. } => {
+                add(
+                    &mut families,
+                    "uot_pool_in_use_bytes",
+                    "Tracked temporary bytes in use (last observed).",
+                    "gauge",
+                    String::new(),
+                    in_use as f64,
+                    true,
+                );
+                add(
+                    &mut families,
+                    "uot_pool_peak_observed_bytes",
+                    "Highest tracked in-use bytes seen in the trace.",
+                    "gauge",
+                    String::new(),
+                    0.0, // placeholder; max-folded below via samples map
+                    false,
+                );
+                let fam = families.get_mut("uot_pool_peak_observed_bytes").unwrap();
+                let v = fam.samples.get_mut("").unwrap();
+                *v = v.max(in_use as f64);
+            }
+            TraceEventKind::PoolFree { in_use, .. } => add(
+                &mut families,
+                "uot_pool_in_use_bytes",
+                "Tracked temporary bytes in use (last observed).",
+                "gauge",
+                String::new(),
+                in_use as f64,
+                true,
+            ),
+            TraceEventKind::Degraded { .. } => add(
+                &mut families,
+                "uot_degradations_total",
+                "UoT degradations taken after tripped memory budgets.",
+                "counter",
+                String::new(),
+                1.0,
+                false,
+            ),
+            TraceEventKind::FaultInjected { site, kind, .. } => add(
+                &mut families,
+                "uot_faults_injected_total",
+                "Deterministic faults fired, by site and kind.",
+                "counter",
+                format!("site=\"{site:?}\",kind=\"{kind:?}\""),
+                1.0,
+                false,
+            ),
+        }
+    }
+
+    add(
+        &mut families,
+        "uot_trace_events_total",
+        "Events retained in the trace.",
+        "counter",
+        String::new(),
+        trace.len() as f64,
+        true,
+    );
+    add(
+        &mut families,
+        "uot_trace_dropped_events_total",
+        "Events dropped at the trace capacity bound.",
+        "counter",
+        String::new(),
+        trace.dropped as f64,
+        true,
+    );
+
+    let mut out = String::new();
+    for (name, fam) in &families {
+        let _ = writeln!(out, "# HELP {name} {}", fam.help);
+        let _ = writeln!(out, "# TYPE {name} {}", fam.kind);
+        for (labels, value) in &fam.samples {
+            if labels.is_empty() {
+                let _ = writeln!(out, "{name} {value}");
+            } else {
+                let _ = writeln!(out, "{name}{{{labels}}} {value}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+    use std::time::Duration;
+
+    #[test]
+    fn snapshot_folds_counters_and_gauges() {
+        let trace = Trace {
+            events: vec![
+                TraceEvent {
+                    t: Duration::from_micros(5),
+                    kind: TraceEventKind::WorkOrderFinished {
+                        seq: 0,
+                        op: 0,
+                        worker: 0,
+                        start: Duration::ZERO,
+                        end: Duration::from_micros(5),
+                    },
+                },
+                TraceEvent {
+                    t: Duration::from_micros(6),
+                    kind: TraceEventKind::WorkOrderFinished {
+                        seq: 1,
+                        op: 0,
+                        worker: 1,
+                        start: Duration::from_micros(1),
+                        end: Duration::from_micros(6),
+                    },
+                },
+                TraceEvent {
+                    t: Duration::from_micros(7),
+                    kind: TraceEventKind::EdgeStaged {
+                        producer: 0,
+                        consumer: 1,
+                        staged: 2,
+                        threshold: 4,
+                    },
+                },
+            ],
+            op_names: vec!["select(t)".into(), "probe(t)".into()],
+            dropped: 1,
+        };
+        let text = prometheus_snapshot(&trace);
+        assert!(text.contains("# TYPE uot_work_orders_total counter"));
+        assert!(text.contains(r#"uot_work_orders_total{op="select(t)"} 2"#));
+        assert!(
+            text.contains(r#"uot_edge_staged_blocks{producer="select(t)",consumer="probe(t)"} 2"#)
+        );
+        assert!(text.contains("uot_trace_dropped_events_total 1"));
+        assert!(text.contains("uot_trace_events_total 3"));
+    }
+
+    #[test]
+    fn empty_trace_yields_only_totals() {
+        let text = prometheus_snapshot(&Trace::default());
+        assert!(text.contains("uot_trace_events_total 0"));
+        assert!(!text.contains("uot_work_orders_total{"));
+    }
+}

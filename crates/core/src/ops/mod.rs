@@ -29,18 +29,25 @@ use uot_storage::{StorageBlock, StorageError, Value};
 /// no-op for the (default) empty plan; otherwise panic, fail, or stall as
 /// scheduled. Injected panics carry an "injected" marker in their payload so
 /// chaos tests can tell them from genuine bugs.
-pub(crate) fn apply_fault(ctx: &ExecContext, site: FaultSite) -> Result<()> {
+pub(crate) fn apply_fault(ctx: &ExecContext, site: FaultSite, op: usize) -> Result<()> {
     match ctx.faults.check(site) {
         None => Ok(()),
-        Some(FaultKind::Panic) => panic!("injected fault at {site:?}"),
+        Some(kind @ FaultKind::Panic) => {
+            ctx.trace_event(|| crate::trace::TraceEventKind::FaultInjected { site, kind, op });
+            panic!("injected fault at {site:?}")
+        }
         // An injected error models an allocation failure; zeroed fields mark
         // it as synthetic.
-        Some(FaultKind::Error) => Err(EngineError::Storage(StorageError::BudgetExceeded {
-            requested: 0,
-            in_use: 0,
-            budget: 0,
-        })),
-        Some(FaultKind::Delay(d)) => {
+        Some(kind @ FaultKind::Error) => {
+            ctx.trace_event(|| crate::trace::TraceEventKind::FaultInjected { site, kind, op });
+            Err(EngineError::Storage(StorageError::BudgetExceeded {
+                requested: 0,
+                in_use: 0,
+                budget: 0,
+            }))
+        }
+        Some(kind @ FaultKind::Delay(d)) => {
+            ctx.trace_event(|| crate::trace::TraceEventKind::FaultInjected { site, kind, op });
             std::thread::sleep(d);
             Ok(())
         }
@@ -61,7 +68,7 @@ pub fn execute_work_order_contained(
     // of it is lock- or atomic-guarded (parking_lot locks do not poison), so
     // observing state after a contained panic is safe: at worst a partial's
     // rows are lost, and teardown releases its memory either way.
-    match std::panic::catch_unwind(AssertUnwindSafe(|| execute_work_order(ctx, wo))) {
+    let result = match std::panic::catch_unwind(AssertUnwindSafe(|| execute_work_order(ctx, wo))) {
         Ok(result) => attach_op_context(ctx, wo.op, result),
         Err(payload) => {
             let op = ctx.plan.op(wo.op);
@@ -71,7 +78,29 @@ pub fn execute_work_order_contained(
                 payload: panic_payload_message(payload.as_ref()),
             })
         }
+    };
+    match &result {
+        Err(EngineError::WorkOrderPanic { .. }) => {
+            ctx.trace_event(|| crate::trace::TraceEventKind::WorkOrderPanicked {
+                seq: wo.seq,
+                op: wo.op,
+            });
+        }
+        Err(EngineError::Cancelled { .. }) => {
+            ctx.trace_event(|| crate::trace::TraceEventKind::WorkOrderCancelled {
+                seq: wo.seq,
+                op: wo.op,
+            });
+        }
+        Err(_) => {
+            ctx.trace_event(|| crate::trace::TraceEventKind::WorkOrderFailed {
+                seq: wo.seq,
+                op: wo.op,
+            });
+        }
+        Ok(_) => {}
     }
+    result
 }
 
 /// Downcast a panic payload to a human-readable message.
@@ -109,7 +138,7 @@ fn attach_op_context(
 /// Execute one work order, returning the completed blocks it emitted.
 pub fn execute_work_order(ctx: &ExecContext, wo: &WorkOrder) -> Result<Vec<StorageBlock>> {
     ctx.check_cancelled()?;
-    apply_fault(ctx, FaultSite::WorkOrderExec)?;
+    apply_fault(ctx, FaultSite::WorkOrderExec, wo.op)?;
     let op = ctx.plan.op(wo.op);
     match (&op.kind, &wo.kind) {
         (OperatorKind::Select { .. }, WorkKind::Stream { block }) => {
@@ -149,8 +178,34 @@ pub(crate) fn write_output(
     op: usize,
     virt: &StorageBlock,
 ) -> Result<Vec<StorageBlock>> {
-    apply_fault(ctx, FaultSite::PoolAlloc)?;
-    ctx.output(op).write_rows(virt, &ctx.pool)
+    apply_fault(ctx, FaultSite::PoolAlloc, op)?;
+    let before = traced_in_use(ctx);
+    let out = ctx.output(op).write_rows(virt, &ctx.pool)?;
+    trace_alloc(ctx, op, before);
+    Ok(out)
+}
+
+/// Tracker bytes in use right now — read only when a trace sink is installed
+/// (the untraced fast path must not touch the shared atomic).
+fn traced_in_use(ctx: &ExecContext) -> Option<usize> {
+    ctx.trace
+        .is_some()
+        .then(|| ctx.pool.tracker().current_bytes())
+}
+
+/// Record a [`PoolAlloc`](crate::trace::TraceEventKind::PoolAlloc) event for
+/// any net growth of tracked bytes since `before` (a `traced_in_use` probe).
+fn trace_alloc(ctx: &ExecContext, op: usize, before: Option<usize>) {
+    let Some(before) = before else { return };
+    let in_use = ctx.pool.tracker().current_bytes();
+    if in_use > before {
+        ctx.trace_event(|| crate::trace::TraceEventKind::PoolAlloc {
+            op,
+            bytes: in_use - before,
+            in_use,
+            budget: ctx.pool.budget().unwrap_or(usize::MAX),
+        });
+    }
 }
 
 /// Append value rows (slow path: aggregate/sort results) to the operator's
@@ -162,7 +217,8 @@ pub(crate) fn emit_value_rows(
     op: usize,
     rows: impl Iterator<Item = Vec<Value>>,
 ) -> Result<Vec<StorageBlock>> {
-    apply_fault(ctx, FaultSite::PoolAlloc)?;
+    apply_fault(ctx, FaultSite::PoolAlloc, op)?;
+    let before = traced_in_use(ctx);
     let out = ctx.output(op);
     let mut completed = Vec::new();
     let mut cur: Option<StorageBlock> = None;
@@ -193,6 +249,7 @@ pub(crate) fn emit_value_rows(
             if let Some(b) = cur {
                 out.put_back(b, &ctx.pool);
             }
+            trace_alloc(ctx, op, before);
             Ok(completed)
         }
         Err(e) => {

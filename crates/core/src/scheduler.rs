@@ -88,18 +88,50 @@ impl SchedulerConfig {
 /// Observer of scheduler events. All methods default to no-ops; implement
 /// the ones you care about. The default engine path records metrics through
 /// [`MetricsObserver`]; benchmarks can run the bare machine with
-/// [`NoopObserver`].
+/// [`NoopObserver`]; the tracing path composes
+/// [`TracingObserver`](crate::obs::TracingObserver) on top via
+/// [`CompositeObserver`](crate::obs::CompositeObserver).
+///
+/// Events that would cost something to summarize (flush sizes in bytes)
+/// hand the observer the block slice itself, so [`NoopObserver`] pays
+/// nothing: an observer that wants bytes sums them, one that doesn't never
+/// looks.
 pub trait SchedulerObserver {
     /// A work order was handed to a worker.
     fn work_order_dispatched(&mut self, _wo: &WorkOrder) {}
     /// A work order finished executing.
-    fn work_order_completed(&mut self, _op: OpId, _record: TaskRecord) {}
+    fn work_order_completed(&mut self, _wo: &WorkOrder, _record: TaskRecord) {}
     /// An operator produced output blocks (completed or flushed).
     fn blocks_produced(&mut self, _op: OpId, _blocks: usize, _rows: usize) {}
     /// Blocks were transferred to an operator's input.
     fn blocks_transferred(&mut self, _op: OpId, _blocks: usize) {}
+    /// A transfer edge accumulated output below its UoT threshold; `staged`
+    /// is the occupancy after staging.
+    fn edge_staged(&mut self, _producer: OpId, _consumer: OpId, _staged: usize, _threshold: usize) {
+    }
+    /// A transfer edge moved blocks to its consumer — a threshold-triggered
+    /// transfer (`partial == false`) or the end-of-producer flush of a
+    /// partial accumulation (`partial == true`). `blocks` is the **actual**
+    /// transferred set, observed after any injected fault at the flush site
+    /// ran, never the pre-fault staging level.
+    fn transfer_flushed(
+        &mut self,
+        _producer: OpId,
+        _consumer: OpId,
+        _blocks: &[Arc<StorageBlock>],
+        _partial: bool,
+    ) {
+    }
     /// An operator finished completely.
     fn operator_finished(&mut self, _op: OpId) {}
+}
+
+/// Access to the [`MetricsObserver`] inside an observer stack — what the
+/// drivers need to assemble [`QueryMetrics`] no matter how many tracing or
+/// custom layers are composed around it.
+pub trait MetricsCarrier {
+    /// The metrics-accumulating layer.
+    fn metrics(&mut self) -> &mut MetricsObserver;
 }
 
 /// Observer that ignores every event (bare scheduling, e.g. microbenchmarks).
@@ -134,9 +166,15 @@ impl MetricsObserver {
     }
 }
 
+impl MetricsCarrier for MetricsObserver {
+    fn metrics(&mut self) -> &mut MetricsObserver {
+        self
+    }
+}
+
 impl SchedulerObserver for MetricsObserver {
-    fn work_order_completed(&mut self, op: OpId, record: TaskRecord) {
-        let m = &mut self.op_metrics[op];
+    fn work_order_completed(&mut self, wo: &WorkOrder, record: TaskRecord) {
+        let m = &mut self.op_metrics[wo.op];
         m.work_orders += 1;
         let d = record.duration();
         m.total_task_time += d;
@@ -274,7 +312,9 @@ impl SchedulerCore<MetricsObserver> {
         let observer = MetricsObserver::new(&ctx.plan);
         SchedulerCore::with_observer(ctx, config, observer)
     }
+}
 
+impl<O: SchedulerObserver + MetricsCarrier> SchedulerCore<O> {
     /// Tear down into results + metrics. Runs on the success *and* error
     /// paths (the error path discards the blocks and keeps the metrics as
     /// [`FailedQuery::partial_metrics`]); either way, every byte the query
@@ -285,9 +325,9 @@ impl SchedulerCore<MetricsObserver> {
         wall_time: Duration,
         workers: usize,
     ) -> (Vec<Arc<StorageBlock>>, QueryMetrics) {
-        let mut tasks = std::mem::take(&mut self.observer.tasks);
+        let mut tasks = std::mem::take(&mut self.observer.metrics().tasks);
         tasks.sort_by_key(|t| t.start);
-        let mut op_metrics = std::mem::take(&mut self.observer.op_metrics);
+        let mut op_metrics = std::mem::take(&mut self.observer.metrics().op_metrics);
         for (m, rt) in op_metrics.iter_mut().zip(&self.ctx.runtimes) {
             m.lip_pruned_rows = rt.lip_pruned.load(std::sync::atomic::Ordering::Relaxed);
         }
@@ -460,10 +500,16 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
         // charged to the tracker and stay untouched.
         if let WorkKind::Stream { block } = &wo.kind {
             if self.plan().topology().stream_parent(wo.op).is_some() {
-                self.ctx.pool.tracker().free(block.allocated_bytes());
+                let bytes = block.allocated_bytes();
+                self.ctx.pool.tracker().free(bytes);
+                self.ctx
+                    .trace_event(|| crate::trace::TraceEventKind::PoolFree {
+                        bytes,
+                        in_use: self.ctx.pool.tracker().current_bytes(),
+                    });
             }
         }
-        self.observer.work_order_completed(wo.op, record);
+        self.observer.work_order_completed(wo, record);
         self.route_output(wo.op, produced);
         self.check_completion(wo.op)
     }
@@ -507,10 +553,24 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
         );
         let blocks: Vec<Arc<StorageBlock>> = produced.into_iter().map(Arc::new).collect();
         match self.edges[producer].stage(blocks) {
-            TransferAction::Hold => {}
+            TransferAction::Hold => {
+                // Only stream edges hold sub-threshold accumulations; report
+                // the new occupancy for UoT-occupancy timelines.
+                let edge = &self.edges[producer];
+                if let Some(consumer) = edge.consumer() {
+                    self.observer.edge_staged(
+                        producer,
+                        consumer,
+                        edge.staged_len(),
+                        edge.threshold_blocks(),
+                    );
+                }
+            }
             TransferAction::Emit(blocks) => self.result_blocks.extend(blocks),
             TransferAction::Transfer(blocks) => {
                 let consumer = self.edges[producer].consumer().expect("stream edge");
+                self.observer
+                    .transfer_flushed(producer, consumer, &blocks, false);
                 self.transfer_in(consumer, blocks);
             }
             TransferAction::Materialize(blocks) => {
@@ -653,12 +713,18 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
             // The `transfer_flush` fault site fires here (only when a flush
             // actually moves blocks). On injection the popped blocks are
             // released before erroring so teardown accounting stays exact.
-            if let Err(e) = self.transfer_fault() {
+            if let Err(e) = self.transfer_fault(producer) {
                 for b in &staged {
                     self.ctx.pool.tracker().free(b.allocated_bytes());
                 }
                 return Err(e);
             }
+            // Observed *after* the fault site ran: the event carries the
+            // block count/bytes that actually moved (a delayed flush still
+            // transfers everything; an erroring one never reaches here), not
+            // the pre-fault staging level.
+            self.observer
+                .transfer_flushed(producer, consumer, &staged, true);
         }
         self.transfer_in(consumer, staged);
 
@@ -671,14 +737,29 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
 
     /// Check the `transfer_flush` fault site. The scheduler thread has no
     /// containment boundary, so an injected `Panic` here degrades to an
-    /// error rather than unwinding the whole driver.
-    fn transfer_fault(&self) -> Result<()> {
+    /// error rather than unwinding the whole driver. `producer` is the
+    /// flushing operator, recorded as the fault's attribution in the trace.
+    fn transfer_fault(&self, producer: OpId) -> Result<()> {
         match self.ctx.faults.check(FaultSite::TransferFlush) {
             None => Ok(()),
-            Some(FaultKind::Panic) | Some(FaultKind::Error) => Err(EngineError::Internal(
-                "injected fault at transfer flush".into(),
-            )),
-            Some(FaultKind::Delay(d)) => {
+            Some(kind @ (FaultKind::Panic | FaultKind::Error)) => {
+                self.ctx
+                    .trace_event(|| crate::trace::TraceEventKind::FaultInjected {
+                        site: FaultSite::TransferFlush,
+                        kind,
+                        op: producer,
+                    });
+                Err(EngineError::Internal(
+                    "injected fault at transfer flush".into(),
+                ))
+            }
+            Some(kind @ FaultKind::Delay(d)) => {
+                self.ctx
+                    .trace_event(|| crate::trace::TraceEventKind::FaultInjected {
+                        site: FaultSite::TransferFlush,
+                        kind,
+                        op: producer,
+                    });
                 std::thread::sleep(d);
                 Ok(())
             }
@@ -780,6 +861,19 @@ pub fn run_serial_detailed(
     ctx: Arc<ExecContext>,
     config: SchedulerConfig,
 ) -> std::result::Result<(Vec<Arc<StorageBlock>>, QueryMetrics), Box<FailedQuery>> {
+    let observer = MetricsObserver::new(&ctx.plan);
+    run_serial_observed(ctx, config, observer)
+}
+
+/// [`run_serial_detailed`] with a caller-supplied observer stack — any
+/// composition that still carries a [`MetricsObserver`] (e.g.
+/// [`CompositeObserver`](crate::obs::CompositeObserver) layering a
+/// [`TracingObserver`](crate::obs::TracingObserver) on top).
+pub fn run_serial_observed<O: SchedulerObserver + MetricsCarrier>(
+    ctx: Arc<ExecContext>,
+    config: SchedulerConfig,
+    observer: O,
+) -> std::result::Result<(Vec<Arc<StorageBlock>>, QueryMetrics), Box<FailedQuery>> {
     let start = Instant::now();
     if let Err(e) = config.validate() {
         return Err(Box::new(FailedQuery {
@@ -787,7 +881,7 @@ pub fn run_serial_detailed(
             partial_metrics: QueryMetrics::default(),
         }));
     }
-    let mut core = SchedulerCore::new(ctx.clone(), config);
+    let mut core = SchedulerCore::with_observer(ctx.clone(), config, observer);
     let mut completed = 0usize;
     let mut error: Option<EngineError> = None;
     while let Some(wo) = core.next_work_order() {
@@ -865,6 +959,17 @@ pub fn run_parallel_detailed(
     ctx: Arc<ExecContext>,
     config: SchedulerConfig,
 ) -> std::result::Result<(Vec<Arc<StorageBlock>>, QueryMetrics), Box<FailedQuery>> {
+    let observer = MetricsObserver::new(&ctx.plan);
+    run_parallel_observed(ctx, config, observer)
+}
+
+/// [`run_parallel_detailed`] with a caller-supplied observer stack (see
+/// [`run_serial_observed`]).
+pub fn run_parallel_observed<O: SchedulerObserver + MetricsCarrier>(
+    ctx: Arc<ExecContext>,
+    config: SchedulerConfig,
+    observer: O,
+) -> std::result::Result<(Vec<Arc<StorageBlock>>, QueryMetrics), Box<FailedQuery>> {
     let workers = config.workers.max(1);
     let start = Instant::now();
     if let Err(e) = config.validate() {
@@ -906,7 +1011,7 @@ pub fn run_parallel_detailed(
         }
         drop(done_tx); // scheduler holds only the receiver
 
-        let mut core = SchedulerCore::new(ctx.clone(), config);
+        let mut core = SchedulerCore::with_observer(ctx.clone(), config, observer);
         let mut free_slots = workers;
         // seq -> (op, bytes its stream input charged): enough to release
         // resources and name operators even if the work order body is lost.
@@ -1434,7 +1539,7 @@ mod tests {
             fn work_order_dispatched(&mut self, _wo: &WorkOrder) {
                 self.dispatched += 1;
             }
-            fn work_order_completed(&mut self, _op: OpId, _r: TaskRecord) {
+            fn work_order_completed(&mut self, _wo: &WorkOrder, _r: TaskRecord) {
                 self.completed += 1;
             }
             fn operator_finished(&mut self, op: OpId) {

@@ -113,6 +113,9 @@ pub struct ExecContext {
     pub cancel: CancellationToken,
     /// Fault-injection registry (empty outside chaos tests).
     pub faults: Arc<FaultPlan>,
+    /// Trace sink, when structured tracing is enabled for this query.
+    /// `None` (the default) keeps every `trace_event` call a single branch.
+    pub trace: Option<Arc<crate::trace::TraceSink>>,
     /// Query start, for the `after` field of cancellation errors.
     started: Instant,
 }
@@ -225,6 +228,7 @@ impl ExecContext {
             scratch: Mutex::new(Vec::new()),
             cancel: CancellationToken::new(),
             faults: Arc::new(FaultPlan::empty()),
+            trace: None,
             started: Instant::now(),
         })
     }
@@ -240,6 +244,22 @@ impl ExecContext {
     pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Attach a trace sink (builder-style): every scheduler and work-order
+    /// event is recorded into it until the context is dropped.
+    pub fn with_trace(mut self, sink: Arc<crate::trace::TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Record a trace event if a sink is installed. The closure keeps event
+    /// construction (byte sums, gauge reads) off the untraced fast path.
+    #[inline]
+    pub fn trace_event(&self, f: impl FnOnce() -> crate::trace::TraceEventKind) {
+        if let Some(sink) = &self.trace {
+            sink.record(f());
+        }
     }
 
     /// Between-blocks cancellation check for block-loop operators.

@@ -16,11 +16,15 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
-use uot_core::scheduler::{run_parallel_detailed, run_serial, run_serial_detailed};
+use uot_core::scheduler::{
+    run_parallel_detailed, run_parallel_observed, run_serial, run_serial_detailed,
+    run_serial_observed, MetricsObserver,
+};
 use uot_core::state::ExecContext;
 use uot_core::{
-    EngineError, FaultKind, FaultPlan, FaultSite, Injection, JoinType, PlanBuilder, QueryPlan,
-    SchedulerConfig, Source, Uot,
+    CompositeObserver, EngineError, FaultKind, FaultPlan, FaultSite, Injection, JoinType,
+    PlanBuilder, QueryPlan, SchedulerConfig, Source, TraceEventKind, TraceSink, TracingObserver,
+    Uot, DEFAULT_TRACE_CAPACITY,
 };
 use uot_expr::{cmp, col, lit, AggSpec, CmpOp};
 use uot_storage::{
@@ -238,6 +242,120 @@ proptest! {
         let rows_a: Vec<Vec<Value>> = a.iter().flat_map(|blk| blk.all_rows()).collect();
         let rows_b: Vec<Vec<Value>> = b.iter().flat_map(|blk| blk.all_rows()).collect();
         prop_assert_eq!(rows_a, rows_b);
+    }
+
+    /// Tracing under chaos: with a `TraceSink` attached, every injected
+    /// fault that fires shows up as exactly one `FaultInjected` event with
+    /// the configured site and kind and a plausible operator attribution —
+    /// including on error paths, where `QueryResult::trace` never exists
+    /// (the test holds its own sink and drains it after the run).
+    #[test]
+    fn injected_faults_are_traced_with_attribution(
+        fact in arb_table("trace_fact", 40),
+        dim in arb_table("trace_dim", 15),
+        site_ix in 0usize..3,
+        kind_ix in 0usize..3,
+        nth in 1usize..12,
+        uot in prop_oneof![Just(Uot::Blocks(1)), Just(Uot::Blocks(3)), Just(Uot::Table)],
+        parallel in any::<bool>(),
+    ) {
+        quiet_injected_panics();
+        let site = FaultSite::ALL[site_ix];
+        let kind = match kind_ix {
+            0 => FaultKind::Panic,
+            1 => FaultKind::Error,
+            _ => FaultKind::Delay(Duration::from_millis(1)),
+        };
+        let faults = Arc::new(FaultPlan::new(vec![Injection { site, kind, nth }]));
+
+        let plan = join_agg_plan(fact, dim, uot);
+        let op_names: Vec<String> = plan.ops().iter().map(|op| op.name.clone()).collect();
+        let num_ops = op_names.len();
+        let sink = TraceSink::new(DEFAULT_TRACE_CAPACITY);
+        let pool = BlockPool::new(MemoryTracker::new());
+        let ctx = Arc::new(
+            ExecContext::new(Arc::new(plan), pool, BlockFormat::Row, 128, 4)
+                .unwrap()
+                .with_faults(faults)
+                .with_trace(sink.clone()),
+        );
+        let config = SchedulerConfig {
+            workers: if parallel { 2 } else { 1 },
+            default_uot: uot,
+            ..Default::default()
+        };
+
+        let run_sink = sink.clone();
+        let outcome = run_with_watchdog(move || {
+            let observer = CompositeObserver::new(
+                MetricsObserver::new(&ctx.plan),
+                TracingObserver::new(run_sink),
+            );
+            let r = if parallel {
+                run_parallel_observed(ctx, config, observer)
+            } else {
+                run_serial_observed(ctx, config, observer)
+            };
+            match r {
+                Ok((blocks, _metrics)) => Ok(blocks.len()),
+                Err(failed) => Err(failed.error),
+            }
+        });
+
+        let trace = sink.finish(op_names);
+        let fired: Vec<_> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::FaultInjected { site, kind, op } => Some((site, kind, op)),
+                _ => None,
+            })
+            .collect();
+        prop_assert!(fired.len() <= 1, "one injection fires at most once: {:?}", fired);
+        // A failed outcome can only come from the injection on this plan, so
+        // the trace must have attributed it.
+        if outcome.is_err() {
+            prop_assert_eq!(fired.len(), 1, "failure without a FaultInjected event");
+        }
+        for &(s, k, op) in &fired {
+            prop_assert_eq!(s, site);
+            prop_assert_eq!(k, kind);
+            prop_assert!(op < num_ops, "fault attributed to op {} of {}", op, num_ops);
+            match site {
+                // An exec-site panic is contained; the same operator must
+                // also log the panic terminal event.
+                FaultSite::WorkOrderExec if matches!(kind, FaultKind::Panic) => {
+                    prop_assert!(
+                        trace.events.iter().any(|e| matches!(
+                            e.kind,
+                            TraceEventKind::WorkOrderPanicked { op: p, .. } if p == op
+                        )),
+                        "no WorkOrderPanicked event for op {}",
+                        op
+                    );
+                }
+                // A flush-site fault is attributed to a producer that staged
+                // or transferred on some edge.
+                FaultSite::TransferFlush => {
+                    prop_assert!(
+                        trace.events.iter().any(|e| matches!(
+                            e.kind,
+                            TraceEventKind::EdgeStaged { producer, .. }
+                            | TraceEventKind::TransferFlushed { producer, .. }
+                                if producer == op
+                        )),
+                        "flush fault attributed to op {} which never touched an edge",
+                        op
+                    );
+                }
+                _ => {}
+            }
+        }
+        // Delay faults never fail the query, and with tracing on the fault
+        // still shows (delays are observable, not silent).
+        if matches!(kind, FaultKind::Delay(_)) {
+            prop_assert!(outcome.is_ok());
+        }
     }
 }
 

@@ -13,8 +13,12 @@
 //! flaky by non-associativity, not by engine bugs.
 
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 use std::sync::Arc;
-use uot_core::{Engine, EngineConfig, ExecMode, JoinType, PlanBuilder, QueryPlan, Source, Uot};
+use uot_core::trace::TraceEventKind;
+use uot_core::{
+    Engine, EngineConfig, ExecMode, JoinType, PlanBuilder, QueryPlan, Source, TraceConfig, Uot,
+};
 use uot_expr::{cmp, col, lit, AggSpec, CmpOp};
 use uot_storage::{BlockFormat, DataType, Schema, Table, TableBuilder, Value};
 
@@ -187,5 +191,69 @@ proptest! {
             joined.len()
         };
         prop_assert_eq!(reference.unwrap().len(), expected_rows);
+    }
+
+    /// Observability must be a pure observer: layering a `TracingObserver`
+    /// onto the `MetricsObserver` (via `CompositeObserver`, which is what
+    /// `EngineConfig::tracing` installs) may not change results or any
+    /// schedule-deterministic metric. And the trace itself must be
+    /// internally consistent: every dispatched work order reaches exactly
+    /// one terminal event (finish, panic, failure, or cancellation).
+    #[test]
+    fn tracing_observer_leaves_metrics_untouched(spec in arb_spec()) {
+        for mode in [ExecMode::Serial, ExecMode::Parallel { workers: 2 }] {
+            for default_uot in [Uot::Blocks(1), Uot::Blocks(3), Uot::Table] {
+                let cfg = EngineConfig {
+                    mode,
+                    default_uot,
+                    ..EngineConfig::serial()
+                }
+                .with_block_bytes(128);
+                let plain = Engine::new(cfg.clone())
+                    .execute(build_plan(&spec))
+                    .unwrap();
+                let traced = Engine::new(cfg.tracing(TraceConfig::default()))
+                    .execute(build_plan(&spec))
+                    .unwrap();
+
+                prop_assert_eq!(plain.sorted_rows(), traced.sorted_rows());
+                let (pm, tm) = (&plain.metrics, &traced.metrics);
+                prop_assert_eq!(pm.result_rows, tm.result_rows);
+                prop_assert_eq!(pm.tasks.len(), tm.tasks.len());
+                prop_assert_eq!(pm.ops.len(), tm.ops.len());
+                for (po, to) in pm.ops.iter().zip(&tm.ops) {
+                    prop_assert_eq!(po.work_orders, to.work_orders, "op {}", po.name);
+                    prop_assert_eq!(po.input_blocks, to.input_blocks, "op {}", po.name);
+                    prop_assert_eq!(po.produced_rows, to.produced_rows, "op {}", po.name);
+                    if mode == ExecMode::Serial {
+                        // Block packing depends on which rows share a work
+                        // order; that partition is only schedule-stable when
+                        // one worker drains the queue.
+                        prop_assert_eq!(po.produced_blocks, to.produced_blocks, "op {}", po.name);
+                    }
+                }
+
+                let trace = traced.trace.as_ref().expect("tracing was on");
+                prop_assert_eq!(trace.dropped, 0, "default capacity fits tiny plans");
+                let mut dispatched = BTreeSet::new();
+                let mut terminal = BTreeSet::new();
+                for e in &trace.events {
+                    match e.kind {
+                        TraceEventKind::WorkOrderDispatched { seq, .. } => {
+                            prop_assert!(dispatched.insert(seq), "seq {} dispatched twice", seq);
+                        }
+                        TraceEventKind::WorkOrderFinished { seq, .. }
+                        | TraceEventKind::WorkOrderPanicked { seq, .. }
+                        | TraceEventKind::WorkOrderFailed { seq, .. }
+                        | TraceEventKind::WorkOrderCancelled { seq, .. } => {
+                            prop_assert!(terminal.insert(seq), "seq {} finished twice", seq);
+                        }
+                        _ => {}
+                    }
+                }
+                prop_assert_eq!(&dispatched, &terminal, "unmatched dispatch/terminal events");
+                prop_assert_eq!(dispatched.len(), tm.tasks.len());
+            }
+        }
     }
 }
