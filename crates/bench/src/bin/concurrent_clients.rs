@@ -1,0 +1,196 @@
+//! Concurrent-clients benchmark: N closed-loop clients firing a mixed TPC-H
+//! workload at one [`QueryService`] — one shared worker pool, one shared
+//! memory budget — reporting per-query latency (p50/p99) and service
+//! throughput for the two UoT extremes the paper contrasts everywhere.
+//!
+//! ```text
+//! cargo run --release -p uot-bench --bin concurrent_clients [-- --smoke]
+//! ```
+//!
+//! Knobs (same conventions as the rest of the harness): `UOT_SF`,
+//! `UOT_WORKERS`, plus `UOT_CLIENTS` (default 4) and `UOT_ROUNDS` (queries
+//! per client, default 5). `--smoke` forces a tiny, CI-friendly
+//! configuration (4 clients x 2 rounds at SF 0.005) and keeps the hard
+//! assertions: every query succeeds and the shared pool tracker returns to
+//! exactly 0 bytes after all queries drain.
+
+use std::time::{Duration, Instant};
+use uot_bench::{ms, workers, ReportTable};
+use uot_core::{QueryOptions, QueryService, ServiceConfig, Uot};
+use uot_storage::BlockFormat;
+use uot_tpch::{build_query, QueryId as TpchQuery, TpchConfig, TpchDb};
+
+/// The mixed workload: scan-heavy aggregation, a shallow and a deep probe
+/// pipeline, a semi join and a disjunctive join — one of each plan shape.
+const MIX: [TpchQuery; 5] = [
+    TpchQuery::Q1,
+    TpchQuery::Q3,
+    TpchQuery::Q6,
+    TpchQuery::Q12,
+    TpchQuery::Q19,
+];
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let ix = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[ix]
+}
+
+struct RunStats {
+    p50: Duration,
+    p99: Duration,
+    qps: f64,
+    queries: usize,
+}
+
+/// Drive `clients` closed-loop clients for `rounds` rounds each against one
+/// service; every client walks the mix starting at its own offset so distinct
+/// plan shapes are in flight simultaneously.
+fn drive(service: &QueryService, db: &TpchDb, clients: usize, rounds: usize) -> RunStats {
+    let started = Instant::now();
+    let latencies: Vec<Duration> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(rounds);
+                    for r in 0..rounds {
+                        let q = MIX[(c + r) % MIX.len()];
+                        let plan = build_query(q, db).expect("plan builds");
+                        let t0 = Instant::now();
+                        let handle = service.submit(plan).expect("service accepts");
+                        let result = handle
+                            .wait()
+                            .unwrap_or_else(|e| panic!("client {c} {} failed: {e}", q.label()));
+                        assert!(result.num_rows() > 0, "{} returned no rows", q.label());
+                        lat.push(t0.elapsed());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    let mut sorted = latencies;
+    sorted.sort_unstable();
+    RunStats {
+        p50: percentile(&sorted, 0.50),
+        p99: percentile(&sorted, 0.99),
+        qps: sorted.len() as f64 / wall.as_secs_f64().max(1e-9),
+        queries: sorted.len(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sf = if smoke {
+        0.005
+    } else {
+        std::env::var("UOT_SF")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.02)
+    };
+    let clients = if smoke {
+        4
+    } else {
+        env_usize("UOT_CLIENTS", 4)
+    };
+    let rounds = if smoke { 2 } else { env_usize("UOT_ROUNDS", 5) };
+    let block_bytes = 32 * 1024;
+
+    println!(
+        "concurrent clients: {clients} clients x {rounds} rounds, SF {sf}, \
+         {} workers{}",
+        workers(),
+        if smoke { " [smoke]" } else { "" }
+    );
+    let db = TpchDb::generate(
+        TpchConfig::scale(sf)
+            .with_block_bytes(block_bytes)
+            .with_format(BlockFormat::Column),
+    );
+
+    let mut table = ReportTable::new(
+        "Concurrent clients: mixed TPC-H through one QueryService",
+        &["uot", "queries", "p50 ms", "p99 ms", "qps"],
+    );
+    for (label, uot) in [("low (1 block)", Uot::LOW), ("high (table)", Uot::Table)] {
+        let service = QueryService::start(ServiceConfig {
+            workers: workers(),
+            block_bytes,
+            default_uot: uot,
+            memory_budget: 256 << 20,
+            default_reservation: 16 << 20,
+            ..Default::default()
+        })
+        .expect("service starts");
+
+        let stats = drive(&service, &db, clients, rounds);
+
+        // The load-bearing invariant: with every query drained, no query's
+        // temporary memory is still charged to the shared budget.
+        let in_use = service.memory_in_use();
+        assert_eq!(
+            in_use, 0,
+            "pool tracker must return to 0 after all queries drain (got {in_use} bytes)"
+        );
+        service.shutdown();
+
+        table.row(vec![
+            label.to_string(),
+            stats.queries.to_string(),
+            ms(stats.p50),
+            ms(stats.p99),
+            format!("{:.1}", stats.qps),
+        ]);
+    }
+    table.emit();
+    println!("pool tracker returned to 0 bytes after both runs: OK");
+
+    // Contrast point: the same total work submitted one query at a time
+    // (admission serialized by a budget that fits exactly one reservation).
+    let serialized = QueryService::start(ServiceConfig {
+        workers: workers(),
+        block_bytes,
+        default_uot: Uot::LOW,
+        memory_budget: 16 << 20,
+        default_reservation: 16 << 20,
+        ..Default::default()
+    })
+    .expect("service starts");
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients * rounds)
+        .map(|i| {
+            let plan = build_query(MIX[i % MIX.len()], &db).expect("plan builds");
+            serialized
+                .submit_with(plan, QueryOptions::default())
+                .expect("service accepts")
+        })
+        .collect();
+    for h in handles {
+        h.wait().expect("serialized query runs");
+    }
+    let serial_wall = t0.elapsed();
+    assert_eq!(serialized.memory_in_use(), 0);
+    println!(
+        "admission-serialized reference (budget = one reservation): {} queries in {} ms \
+         ({:.1} qps)",
+        clients * rounds,
+        ms(serial_wall),
+        (clients * rounds) as f64 / serial_wall.as_secs_f64().max(1e-9)
+    );
+}

@@ -100,10 +100,11 @@ impl Table {
     }
 
     /// Print to stdout and, if the process got a CLI path argument, dump
-    /// JSON there too (appending when several tables are emitted).
+    /// JSON there too (appending when several tables are emitted). Arguments
+    /// that look like flags (`--smoke`) are not paths.
     pub fn emit(&self) {
         println!("{}", self.render());
-        if let Some(path) = std::env::args().nth(1) {
+        if let Some(path) = std::env::args().nth(1).filter(|a| !a.starts_with("--")) {
             let json = self.to_json();
             let mut f = std::fs::OpenOptions::new()
                 .create(true)

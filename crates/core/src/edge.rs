@@ -24,6 +24,7 @@
 //! footprint analysis.
 
 use crate::plan::OpId;
+use crate::query_id::QueryId;
 use crate::uot::Uot;
 use std::sync::Arc;
 use uot_storage::StorageBlock;
@@ -64,6 +65,10 @@ pub struct TransferEdge {
     /// Bytes of tracked blocks parked for bulk consumption downstream of
     /// this edge; released when the consumer finishes.
     collected_bytes: usize,
+    /// The query whose plan this edge belongs to: staged blocks and parked
+    /// bytes are charged against this query's reservation, and a teardown
+    /// drains exactly the edges carrying its id.
+    query: QueryId,
 }
 
 impl TransferEdge {
@@ -74,6 +79,7 @@ impl TransferEdge {
             threshold: 1,
             staged: Vec::new(),
             collected_bytes: 0,
+            query: QueryId::SOLO,
         }
     }
 
@@ -84,6 +90,7 @@ impl TransferEdge {
             threshold: uot.threshold_blocks(),
             staged: Vec::new(),
             collected_bytes: 0,
+            query: QueryId::SOLO,
         }
     }
 
@@ -94,7 +101,20 @@ impl TransferEdge {
             threshold: 1,
             staged: Vec::new(),
             collected_bytes: 0,
+            query: QueryId::SOLO,
         }
+    }
+
+    /// Attribute this edge to `query` (builder-style; the scheduler stamps
+    /// the owning context's id when it builds the edge set).
+    pub fn owned_by(mut self, query: QueryId) -> Self {
+        self.query = query;
+        self
+    }
+
+    /// The query this edge belongs to.
+    pub fn query(&self) -> QueryId {
+        self.query
     }
 
     /// Where this edge leads.
@@ -252,6 +272,13 @@ mod tests {
         e.add_collected(28);
         assert_eq!(e.take_collected(), 128);
         assert_eq!(e.take_collected(), 0, "release is one-shot");
+    }
+
+    #[test]
+    fn edges_default_to_solo_and_take_an_owner() {
+        assert_eq!(TransferEdge::sink().query(), QueryId::SOLO);
+        let e = TransferEdge::stream(1, Uot::Blocks(2)).owned_by(QueryId::new(5));
+        assert_eq!(e.query(), QueryId::new(5));
     }
 
     #[test]

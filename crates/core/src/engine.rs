@@ -6,10 +6,7 @@ use crate::fault::FaultPlan;
 use crate::metrics::{Degradation, QueryMetrics};
 use crate::obs::{CompositeObserver, TracingObserver};
 use crate::plan::{OperatorKind, QueryPlan};
-use crate::scheduler::{
-    run_parallel, run_parallel_observed, run_serial, run_serial_observed, MetricsObserver,
-    SchedulerConfig,
-};
+use crate::scheduler::{run_query, MetricsObserver, SchedulerConfig};
 use crate::state::ExecContext;
 use crate::trace::{Trace, TraceEvent, TraceEventKind, TraceSink, DEFAULT_TRACE_CAPACITY};
 use crate::uot::Uot;
@@ -20,17 +17,7 @@ use uot_storage::{
     BlockFormat, BlockPool, MemoryTracker, Schema, StorageBlock, StorageError, Value,
 };
 
-/// How work orders are driven.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ExecMode {
-    /// One thread, deterministic work-order order. For tests and debugging.
-    Serial,
-    /// Scheduler thread plus `workers` worker threads (the Quickstep model).
-    Parallel {
-        /// Number of worker threads.
-        workers: usize,
-    },
-}
+pub use crate::scheduler::ExecMode;
 
 /// What to do when a query trips its memory budget.
 ///
@@ -389,33 +376,21 @@ impl Engine {
         }
         let ctx = Arc::new(ctx);
         let sched = SchedulerConfig {
-            workers: match self.config.mode {
-                ExecMode::Serial => 1,
-                ExecMode::Parallel { workers } => workers.max(1),
-            },
+            mode: self.config.mode,
             default_uot: uot.normalized(),
             max_dop_per_op: self.config.max_dop_per_op,
             deadline: self.config.deadline,
         };
         let (blocks, metrics) = match &sink {
-            // Untraced: the historical drivers, no observer composition.
-            None => match self.config.mode {
-                ExecMode::Serial => run_serial(ctx.clone(), sched)?,
-                ExecMode::Parallel { .. } => run_parallel(ctx.clone(), sched)?,
-            },
+            // Untraced: the default metrics observer, no composition.
+            None => crate::scheduler::run(ctx.clone(), sched)?,
             // Traced: metrics + tracing fan-out through one observer stack.
             Some(sink) => {
                 let observer = CompositeObserver::new(
                     MetricsObserver::new(&ctx.plan),
                     TracingObserver::new(sink.clone()),
                 );
-                match self.config.mode {
-                    ExecMode::Serial => run_serial_observed(ctx.clone(), sched, observer),
-                    ExecMode::Parallel { .. } => {
-                        run_parallel_observed(ctx.clone(), sched, observer)
-                    }
-                }
-                .map_err(|f| f.error)?
+                run_query(ctx.clone(), sched, observer).map_err(|f| f.error)?
             }
         };
         let trace =
@@ -663,11 +638,14 @@ mod tests {
         match err {
             crate::EngineError::BudgetExceeded {
                 op,
+                query,
                 requested,
                 in_use,
                 budget,
+                ..
             } => {
                 assert!(!op.is_empty());
+                assert_eq!(query, crate::QueryId::SOLO);
                 assert!(requested > 0);
                 assert!(in_use + requested > budget);
                 assert_eq!(budget, 600);

@@ -1,5 +1,6 @@
 //! Error type for the engine.
 
+use crate::query_id::QueryId;
 use std::fmt;
 use std::time::Duration;
 use uot_expr::ExprError;
@@ -50,17 +51,38 @@ pub enum EngineError {
     },
     /// An allocation pushed the pool past its memory budget. Wraps the
     /// storage-level [`StorageError::BudgetExceeded`] with the operator that
-    /// asked for the allocation.
+    /// asked for the allocation and the query it was working for, plus the
+    /// process-wide occupancy so cross-query contention is diagnosable.
     BudgetExceeded {
         /// Display name of the operator that hit the wall.
         op: String,
+        /// The query the allocation was charged to.
+        query: QueryId,
         /// Bytes the allocation asked for.
         requested: usize,
-        /// Bytes charged to the tracker at the time.
+        /// Bytes charged to this query's tracker at the time.
         in_use: usize,
-        /// The configured budget in bytes.
+        /// This query's budget (its reservation under a service) in bytes.
         budget: usize,
+        /// Bytes charged process-wide (equals `in_use` outside a service).
+        global_in_use: usize,
+        /// The process-wide budget (equals `budget` outside a service).
+        global_budget: usize,
     },
+    /// The service refused to admit a query: its reservation can never fit
+    /// the global budget, or the admission queue is full.
+    AdmissionRejected {
+        /// The query that was turned away.
+        query: QueryId,
+        /// The reservation it asked for, in bytes.
+        reservation: usize,
+        /// The service's global memory budget in bytes.
+        budget: usize,
+        /// Why admission failed.
+        reason: String,
+    },
+    /// The service was shut down before this query could run to completion.
+    ServiceShutdown,
     /// Execution-time invariant violation.
     Internal(String),
 }
@@ -87,14 +109,36 @@ impl fmt::Display for EngineError {
             ),
             EngineError::BudgetExceeded {
                 op,
+                query,
                 requested,
                 in_use,
                 budget,
+                global_in_use,
+                global_budget,
+            } => {
+                write!(
+                    f,
+                    "memory budget exceeded at operator {op} ({query}): requested {requested} \
+                     bytes with {in_use} of {budget} in use"
+                )?;
+                if (global_in_use, global_budget) != (in_use, budget) {
+                    write!(f, " (global: {global_in_use} of {global_budget})")?;
+                }
+                Ok(())
+            }
+            EngineError::AdmissionRejected {
+                query,
+                reservation,
+                budget,
+                reason,
             } => write!(
                 f,
-                "memory budget exceeded at operator {op}: requested {requested} bytes \
-                 with {in_use} of {budget} in use"
+                "admission rejected for {query}: reservation {reservation} bytes \
+                 against a {budget}-byte global budget ({reason})"
             ),
+            EngineError::ServiceShutdown => {
+                write!(f, "query service shut down before the query completed")
+            }
             EngineError::Internal(msg) => write!(f, "internal engine error: {msg}"),
         }
     }
@@ -161,12 +205,46 @@ mod tests {
 
         let e = EngineError::BudgetExceeded {
             op: "sort(t)".into(),
+            query: QueryId::SOLO,
             requested: 4096,
             in_use: 100,
             budget: 2048,
+            global_in_use: 100,
+            global_budget: 2048,
         };
         assert!(e.to_string().contains("sort(t)"));
+        assert!(e.to_string().contains("q0"));
         assert!(e.to_string().contains("4096"));
         assert!(e.to_string().contains("2048"));
+        assert!(!e.to_string().contains("global")); // solo run: no noise
+
+        let e = EngineError::BudgetExceeded {
+            op: "probe(t)".into(),
+            query: QueryId::new(4),
+            requested: 4096,
+            in_use: 100,
+            budget: 1 << 20,
+            global_in_use: 900_000,
+            global_budget: 1 << 20,
+        };
+        assert!(e.to_string().contains("q4"));
+        assert!(e.to_string().contains("global: 900000"));
+    }
+
+    #[test]
+    fn service_variant_display() {
+        let e = EngineError::AdmissionRejected {
+            query: QueryId::new(9),
+            reservation: 1 << 30,
+            budget: 1 << 20,
+            reason: "reservation exceeds the global budget".into(),
+        };
+        assert!(e.to_string().contains("q9"));
+        assert!(e
+            .to_string()
+            .contains("reservation exceeds the global budget"));
+        assert!(EngineError::ServiceShutdown
+            .to_string()
+            .contains("shut down"));
     }
 }

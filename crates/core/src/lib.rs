@@ -43,7 +43,9 @@ pub mod obs;
 pub mod ops;
 pub mod output;
 pub mod plan;
+pub mod query_id;
 pub mod scheduler;
+pub mod service;
 pub mod state;
 pub mod topology;
 pub mod trace;
@@ -62,10 +64,12 @@ pub use obs::{CompositeObserver, TracingObserver};
 pub use plan::{
     JoinType, LipFilter, OpId, Operator, OperatorKind, PlanBuilder, QueryPlan, SortKey, Source,
 };
-pub use scheduler::{run_parallel_observed, run_serial_observed, MetricsCarrier};
+pub use query_id::QueryId;
+pub use scheduler::{run, run_query, MetricsCarrier};
 pub use scheduler::{
     FailedQuery, MetricsObserver, NoopObserver, SchedulerConfig, SchedulerCore, SchedulerObserver,
 };
+pub use service::{QueryHandle, QueryOptions, QueryService, ServiceConfig};
 pub use topology::{Dependent, PlanTopology};
 pub use trace::{Trace, TraceEvent, TraceEventKind, TraceSink, DEFAULT_TRACE_CAPACITY};
 pub use uot::Uot;

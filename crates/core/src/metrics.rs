@@ -7,6 +7,7 @@
 //! records them natively rather than relying on external profilers.
 
 use crate::plan::OpId;
+use crate::query_id::QueryId;
 use crate::uot::Uot;
 use std::time::Duration;
 use uot_storage::PoolStats;
@@ -87,6 +88,9 @@ impl OperatorMetrics {
 /// Metrics for one query execution.
 #[derive(Debug, Clone, Default)]
 pub struct QueryMetrics {
+    /// The query these metrics belong to ([`QueryId::SOLO`] outside a
+    /// service).
+    pub query: QueryId,
     /// End-to-end wall time.
     pub wall_time: Duration,
     /// Per-operator aggregates, indexed by [`OpId`].

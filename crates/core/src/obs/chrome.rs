@@ -6,6 +6,12 @@
 //! (dispatches, transfers, operator completions, faults), and counter tracks
 //! for per-edge staged blocks and pool occupancy.
 //!
+//! Each trace's [`QueryId`](crate::query_id::QueryId) becomes the Chrome
+//! process id, so [`merged_chrome_trace_json`] renders concurrent queries
+//! from one [`QueryService`](crate::service::QueryService) as separate
+//! process groups on a shared timeline — the interleaving of work orders
+//! across queries is visible at a glance.
+//!
 //! The format is the stable subset of the Trace Event Format: `"X"` complete
 //! events (`ts` + `dur`), `"i"` instants, `"C"` counters and `"M"` metadata,
 //! all timestamped in microseconds.
@@ -42,28 +48,69 @@ fn esc(s: &str) -> String {
 ///
 /// Worker lanes are `tid 0..workers`; the scheduler lane (instant events
 /// without a worker) is `tid workers`. Counter tracks (`ph: "C"`) carry edge
-/// occupancy and pool bytes over time.
+/// occupancy and pool bytes over time. The trace's query id is the `pid`
+/// (0 for solo runs, so single-query output is unchanged).
 pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut events = Vec::new();
+    emit_trace(trace, Duration::ZERO, &mut events);
+    wrap(events)
+}
+
+/// Merge traces from concurrent queries into one Chrome document.
+///
+/// Each entry pairs a frozen [`Trace`] with the offset of that query's start
+/// from the common epoch (e.g. service start or first submission) — event
+/// timestamps inside a trace are relative to *its own* query start, so the
+/// offset is what aligns sibling queries on one wall-clock timeline. Each
+/// query renders as its own process (`pid` = its query id).
+pub fn merged_chrome_trace_json(traces: &[(&Trace, Duration)]) -> String {
+    let mut events = Vec::new();
+    for (trace, offset) in traces {
+        emit_trace(trace, *offset, &mut events);
+    }
+    wrap(events)
+}
+
+fn wrap(events: Vec<String>) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Emit one trace's events, shifted by `offset`, into `out`.
+fn emit_trace(trace: &Trace, offset: Duration, out: &mut Vec<String>) {
+    let pid = trace.query.raw();
     let sched_tid = trace.workers(); // one past the last worker lane
-    let mut events: Vec<String> = Vec::with_capacity(trace.len() + sched_tid + 2);
+    out.reserve(trace.len() + sched_tid + 2);
 
     // Metadata: process + thread names make the lanes self-describing.
-    events.push(r#"{"name":"process_name","ph":"M","pid":0,"args":{"name":"uot-engine"}}"#.into());
+    let process = if pid == 0 {
+        "uot-engine".to_string()
+    } else {
+        format!("uot-engine {}", trace.query)
+    };
+    out.push(format!(
+        r#"{{"name":"process_name","ph":"M","pid":{pid},"args":{{"name":"{}"}}}}"#,
+        esc(&process)
+    ));
     for w in 0..sched_tid {
-        events.push(format!(
-            r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{w},"args":{{"name":"worker {w}"}}}}"#
+        out.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{w},"args":{{"name":"worker {w}"}}}}"#
         ));
     }
-    events.push(format!(
-        r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{sched_tid},"args":{{"name":"scheduler"}}}}"#
+    out.push(format!(
+        r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{sched_tid},"args":{{"name":"scheduler"}}}}"#
     ));
 
     let instant = |name: &str, cat: &str, t: Duration, args: String| {
         format!(
-            r#"{{"name":"{}","cat":"{}","ph":"i","s":"t","ts":{:.3},"pid":0,"tid":{},"args":{}}}"#,
+            r#"{{"name":"{}","cat":"{}","ph":"i","s":"t","ts":{:.3},"pid":{},"tid":{},"args":{}}}"#,
             esc(name),
             cat,
-            us(t),
+            us(t + offset),
+            pid,
             sched_tid,
             args
         )
@@ -79,18 +126,19 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                 start,
                 end,
             } => {
-                events.push(format!(
-                    r#"{{"name":"{}","cat":"work_order","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{},"args":{{"seq":{},"op":{}}}}}"#,
+                out.push(format!(
+                    r#"{{"name":"{}","cat":"work_order","ph":"X","ts":{:.3},"dur":{:.3},"pid":{},"tid":{},"args":{{"seq":{},"op":{}}}}}"#,
                     esc(&trace.op_name(op)),
-                    us(start),
+                    us(start + offset),
                     us(end.saturating_sub(start)),
+                    pid,
                     worker,
                     seq,
                     op
                 ));
             }
             TraceEventKind::WorkOrderDispatched { seq, op } => {
-                events.push(instant(
+                out.push(instant(
                     &format!("dispatch {}", trace.op_name(op)),
                     label,
                     e.t,
@@ -100,7 +148,7 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
             TraceEventKind::WorkOrderPanicked { seq, op }
             | TraceEventKind::WorkOrderFailed { seq, op }
             | TraceEventKind::WorkOrderCancelled { seq, op } => {
-                events.push(instant(
+                out.push(instant(
                     &format!("{} {}", label, trace.op_name(op)),
                     label,
                     e.t,
@@ -108,7 +156,7 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                 ));
             }
             TraceEventKind::BlocksProduced { op, blocks, rows } => {
-                events.push(instant(
+                out.push(instant(
                     &format!("produce {}", trace.op_name(op)),
                     label,
                     e.t,
@@ -122,11 +170,12 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                 threshold,
             } => {
                 // A counter track per edge: the UoT occupancy over time.
-                events.push(format!(
-                    r#"{{"name":"staged {}->{}","ph":"C","ts":{:.3},"pid":0,"args":{{"staged":{}}}}}"#,
+                out.push(format!(
+                    r#"{{"name":"staged {}->{}","ph":"C","ts":{:.3},"pid":{},"args":{{"staged":{}}}}}"#,
                     esc(&trace.op_name(producer)),
                     esc(&trace.op_name(consumer)),
-                    us(e.t),
+                    us(e.t + offset),
+                    pid,
                     staged
                 ));
                 let _ = threshold; // carried in the raw trace; not a counter
@@ -138,7 +187,7 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                 bytes,
                 partial,
             } => {
-                events.push(instant(
+                out.push(instant(
                     &format!(
                         "transfer {}->{}",
                         trace.op_name(producer),
@@ -149,15 +198,16 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                     format!(r#"{{"blocks":{blocks},"bytes":{bytes},"partial":{partial}}}"#),
                 ));
                 // The edge is empty after a flush: drop its counter to zero.
-                events.push(format!(
-                    r#"{{"name":"staged {}->{}","ph":"C","ts":{:.3},"pid":0,"args":{{"staged":0}}}}"#,
+                out.push(format!(
+                    r#"{{"name":"staged {}->{}","ph":"C","ts":{:.3},"pid":{},"args":{{"staged":0}}}}"#,
                     esc(&trace.op_name(producer)),
                     esc(&trace.op_name(consumer)),
-                    us(e.t)
+                    us(e.t + offset),
+                    pid
                 ));
             }
             TraceEventKind::OperatorFinished { op } => {
-                events.push(instant(
+                out.push(instant(
                     &format!("finish {}", trace.op_name(op)),
                     label,
                     e.t,
@@ -165,14 +215,15 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                 ));
             }
             TraceEventKind::PoolAlloc { in_use, .. } | TraceEventKind::PoolFree { in_use, .. } => {
-                events.push(format!(
-                    r#"{{"name":"pool_in_use","ph":"C","ts":{:.3},"pid":0,"args":{{"bytes":{}}}}}"#,
-                    us(e.t),
+                out.push(format!(
+                    r#"{{"name":"pool_in_use","ph":"C","ts":{:.3},"pid":{},"args":{{"bytes":{}}}}}"#,
+                    us(e.t + offset),
+                    pid,
                     in_use
                 ));
             }
             TraceEventKind::Degraded { from, to } => {
-                events.push(instant(
+                out.push(instant(
                     &format!("degrade {from} -> {to}"),
                     label,
                     e.t,
@@ -180,7 +231,7 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
                 ));
             }
             TraceEventKind::FaultInjected { site, kind, op } => {
-                events.push(instant(
+                out.push(instant(
                     &format!("fault {:?} at {}", site, trace.op_name(op)),
                     label,
                     e.t,
@@ -189,17 +240,12 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
             }
         }
     }
-
-    let mut out = String::new();
-    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
-    out.push_str(&events.join(",\n"));
-    out.push_str("\n]}\n");
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query_id::QueryId;
     use crate::trace::{TraceEvent, TraceEventKind};
 
     fn sample_trace() -> Trace {
@@ -232,6 +278,7 @@ mod tests {
             ],
             op_names: vec!["select \"q\"".into(), "probe".into()],
             dropped: 0,
+            query: QueryId::SOLO,
         }
     }
 
@@ -243,6 +290,8 @@ mod tests {
         assert!(json.contains(r#""ph":"C""#));
         assert!(json.contains(r#""ph":"M""#));
         assert!(json.contains("traceEvents"));
+        // Solo traces keep pid 0: single-query output is unchanged.
+        assert!(json.contains(r#""pid":0"#));
         // Name with an embedded quote is escaped, not emitted raw.
         assert!(json.contains(r#"select \"q\""#));
     }
@@ -253,5 +302,21 @@ mod tests {
         assert!(json.starts_with('{'));
         assert!(json.trim_end().ends_with('}'));
         assert!(json.contains("traceEvents"));
+    }
+
+    #[test]
+    fn merged_traces_get_distinct_pids_and_offsets() {
+        let mut a = sample_trace();
+        a.query = QueryId::new(1);
+        let mut b = sample_trace();
+        b.query = QueryId::new(2);
+        let json =
+            merged_chrome_trace_json(&[(&a, Duration::ZERO), (&b, Duration::from_micros(500))]);
+        assert!(json.contains(r#""pid":1"#));
+        assert!(json.contains(r#""pid":2"#));
+        assert!(json.contains("uot-engine q1"));
+        assert!(json.contains("uot-engine q2"));
+        // b's work-order span (start 2us) lands at 502us on the shared axis.
+        assert!(json.contains(r#""ts":502.000"#), "{json}");
     }
 }

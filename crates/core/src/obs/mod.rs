@@ -26,7 +26,7 @@ pub mod observer;
 pub mod prometheus;
 pub mod timeline;
 
-pub use chrome::chrome_trace_json;
-pub use observer::{CompositeObserver, TracingObserver};
+pub use chrome::{chrome_trace_json, merged_chrome_trace_json};
+pub use observer::{CompositeObserver, MaybeTracingObserver, TracingObserver};
 pub use prometheus::prometheus_snapshot;
 pub use timeline::{operator_task_times, operator_time_shares, uot_timelines, EdgeTimeline};

@@ -350,6 +350,7 @@ mod tests {
                     },
                 },
             ],
+            query: crate::query_id::QueryId::SOLO,
             op_names: vec!["select(t)".into(), "probe(t)".into()],
             dropped: 1,
         };

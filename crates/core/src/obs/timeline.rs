@@ -197,6 +197,7 @@ mod tests {
                     },
                 },
             ],
+            query: crate::query_id::QueryId::SOLO,
             op_names: vec!["select".into(), "agg".into()],
             dropped: 0,
         };
@@ -229,6 +230,7 @@ mod tests {
         };
         let trace = Trace {
             events: vec![fin(0, 0, 30), fin(0, 30, 60), fin(1, 60, 100)],
+            query: crate::query_id::QueryId::SOLO,
             op_names: vec!["select".into(), "probe".into()],
             dropped: 0,
         };

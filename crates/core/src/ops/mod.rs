@@ -44,6 +44,8 @@ pub(crate) fn apply_fault(ctx: &ExecContext, site: FaultSite, op: usize) -> Resu
                 requested: 0,
                 in_use: 0,
                 budget: 0,
+                global_in_use: 0,
+                global_budget: 0,
             }))
         }
         Some(kind @ FaultKind::Delay(d)) => {
@@ -125,11 +127,16 @@ fn attach_op_context(
             requested,
             in_use,
             budget,
+            global_in_use,
+            global_budget,
         })) => Err(EngineError::BudgetExceeded {
             op: ctx.plan.op(op).name.clone(),
+            query: ctx.query,
             requested,
             in_use,
             budget,
+            global_in_use,
+            global_budget,
         }),
         other => other,
     }

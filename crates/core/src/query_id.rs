@@ -1,0 +1,57 @@
+//! Query identity: the attribution key for multi-query execution.
+//!
+//! Once many queries share one worker pool and one block-pool budget, every
+//! dispatchable unit, pool charge, metric and trace event must say *which*
+//! query it belongs to. [`QueryId`] is that key. Standalone `Engine` runs use
+//! [`QueryId::SOLO`] (id 0); the `QueryService` hands out ids from 1 upward
+//! per submission.
+
+use std::fmt;
+
+/// Identity of one query admitted to the engine.
+///
+/// `Ord` follows admission order, which the service's round-robin cursor and
+/// diagnostics rely on. Displayed as `q<N>` (`q0` is the solo id).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(u64);
+
+impl QueryId {
+    /// The id used by single-query entry points (`Engine::execute` and the
+    /// bare scheduler drivers): there is only one query, it is `q0`.
+    pub const SOLO: QueryId = QueryId(0);
+
+    /// Construct from a raw id. The service assigns these monotonically.
+    pub fn new(raw: u64) -> Self {
+        QueryId(raw)
+    }
+
+    /// The raw numeric id (used e.g. as the Chrome-trace `pid`).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_is_zero_and_displays() {
+        assert_eq!(QueryId::SOLO, QueryId::new(0));
+        assert_eq!(QueryId::SOLO.to_string(), "q0");
+        assert_eq!(QueryId::new(17).to_string(), "q17");
+        assert_eq!(QueryId::new(17).raw(), 17);
+    }
+
+    #[test]
+    fn ordered_by_admission() {
+        assert!(QueryId::new(1) < QueryId::new(2));
+        assert_eq!(QueryId::default(), QueryId::SOLO);
+    }
+}

@@ -22,9 +22,10 @@
 //! * [`SchedulerObserver`] — a hook receiving dispatch/completion/transfer
 //!   events. [`MetricsObserver`] (the default) records the `QueryMetrics`
 //!   the paper's figures are made of; [`NoopObserver`] runs the machine bare.
-//! * [`run_serial`] / [`run_parallel`] — thin drivers: inline execution for
-//!   determinism, or a scheduler thread with a worker pool (Quickstep's two
-//!   thread kinds).
+//! * [`run_query`] — the one driver, parameterized over the observer stack
+//!   and [`ExecMode`]: inline execution for determinism, or a scheduler
+//!   thread with a worker pool (Quickstep's two thread kinds). [`run`] is
+//!   the convenience wrapper with default metrics and a plain error.
 
 use crate::edge::{TransferAction, TransferEdge};
 use crate::error::EngineError;
@@ -42,11 +43,34 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uot_storage::StorageBlock;
 
+/// How work orders are driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One thread, deterministic work-order order. For tests and debugging.
+    Serial,
+    /// Scheduler thread plus `workers` worker threads (the Quickstep model).
+    Parallel {
+        /// Number of worker threads.
+        workers: usize,
+    },
+}
+
+impl ExecMode {
+    /// Worker-thread count this mode runs with (serial counts as one; a
+    /// parallel pool is clamped to at least one thread).
+    pub fn workers(self) -> usize {
+        match self {
+            ExecMode::Serial => 1,
+            ExecMode::Parallel { workers } => workers.max(1),
+        }
+    }
+}
+
 /// Scheduler knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct SchedulerConfig {
-    /// Worker threads (parallel mode).
-    pub workers: usize,
+    /// Execution mode: inline on the caller, or a worker pool.
+    pub mode: ExecMode,
     /// UoT for edges without a per-operator override.
     pub default_uot: Uot,
     /// Optional cap on concurrent work orders per operator (a Quickstep-style
@@ -61,7 +85,7 @@ pub struct SchedulerConfig {
 impl Default for SchedulerConfig {
     fn default() -> Self {
         SchedulerConfig {
-            workers: 1,
+            mode: ExecMode::Serial,
             default_uot: Uot::LOW,
             max_dop_per_op: None,
             deadline: None,
@@ -320,7 +344,7 @@ impl<O: SchedulerObserver + MetricsCarrier> SchedulerCore<O> {
     /// [`FailedQuery::partial_metrics`]); either way, every byte the query
     /// charged to the [`uot_storage::MemoryTracker`] is released so
     /// `current_bytes()` returns to its pre-query value.
-    fn into_results(
+    pub(crate) fn into_results(
         mut self,
         wall_time: Duration,
         workers: usize,
@@ -342,6 +366,7 @@ impl<O: SchedulerObserver + MetricsCarrier> SchedulerCore<O> {
         // Metrics (pool stats, peak) are captured *before* the release below
         // so teardown bookkeeping does not pollute them.
         let metrics = QueryMetrics {
+            query: self.ctx.query,
             wall_time,
             ops: op_metrics,
             tasks,
@@ -366,12 +391,15 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
         let default_uot = config.default_uot.normalized();
         let uot_of = |id: OpId| -> Uot { plan.op(id).uot.unwrap_or(default_uot) };
         let edges = (0..n)
-            .map(|p| match topo.consumer_of(p) {
-                None => TransferEdge::sink(),
-                Some(c) if topo.materialization_target(p) == Some(c) => {
-                    TransferEdge::materialize(c)
+            .map(|p| {
+                match topo.consumer_of(p) {
+                    None => TransferEdge::sink(),
+                    Some(c) if topo.materialization_target(p) == Some(c) => {
+                        TransferEdge::materialize(c)
+                    }
+                    Some(c) => TransferEdge::stream(c, uot_of(c)),
                 }
-                Some(c) => TransferEdge::stream(c, uot_of(c)),
+                .owned_by(ctx.query)
             })
             .collect();
         let states = (0..n)
@@ -459,9 +487,9 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
         parts.join("; ")
     }
 
-    /// The stall error both drivers raise when work runs out with operators
+    /// The stall error the driver raises when work runs out with operators
     /// still unfinished.
-    fn stall_error(&self) -> EngineError {
+    pub(crate) fn stall_error(&self) -> EngineError {
         EngineError::Internal(format!(
             "scheduler stalled with unfinished operators: {}",
             self.stall_report()
@@ -612,6 +640,7 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
 
     fn push_stream_work(&mut self, op: OpId, block: Arc<StorageBlock>) {
         let wo = WorkOrder {
+            query: self.ctx.query,
             op,
             kind: WorkKind::Stream { block },
             seq: self.seq,
@@ -647,6 +676,7 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
                 WorkKind::FinalizeAggregate
             };
             let wo = WorkOrder {
+                query: self.ctx.query,
                 op,
                 kind,
                 seq: self.seq,
@@ -836,7 +866,7 @@ pub struct FailedQuery {
 /// Rewrite a propagated `Cancelled` placeholder (raised inside an operator,
 /// which cannot see driver-level counters) with the authoritative wall time
 /// and completed-work-order count.
-fn finalize_error(e: EngineError, wall: Duration, completed: usize) -> EngineError {
+pub(crate) fn finalize_error(e: EngineError, wall: Duration, completed: usize) -> EngineError {
     match e {
         EngineError::Cancelled { .. } => EngineError::Cancelled {
             after: wall,
@@ -846,30 +876,30 @@ fn finalize_error(e: EngineError, wall: Duration, completed: usize) -> EngineErr
     }
 }
 
-/// Execute the whole query on the calling thread, one work order at a time.
-/// Deterministic; used for correctness tests and as the `ExecMode::Serial`
-/// engine mode.
-pub fn run_serial(
+/// Execute `ctx`'s plan under `config.mode` with the default metrics
+/// observer, surfacing only the error on failure — the common path for
+/// engine internals, tests and examples.
+pub fn run(
     ctx: Arc<ExecContext>,
     config: SchedulerConfig,
 ) -> Result<(Vec<Arc<StorageBlock>>, QueryMetrics)> {
-    run_serial_detailed(ctx, config).map_err(|f| f.error)
-}
-
-/// [`run_serial`] variant that keeps partial metrics on failure.
-pub fn run_serial_detailed(
-    ctx: Arc<ExecContext>,
-    config: SchedulerConfig,
-) -> std::result::Result<(Vec<Arc<StorageBlock>>, QueryMetrics), Box<FailedQuery>> {
     let observer = MetricsObserver::new(&ctx.plan);
-    run_serial_observed(ctx, config, observer)
+    run_query(ctx, config, observer).map_err(|f| f.error)
 }
 
-/// [`run_serial_detailed`] with a caller-supplied observer stack — any
-/// composition that still carries a [`MetricsObserver`] (e.g.
+/// The one query driver. Executes `ctx`'s plan under [`SchedulerConfig::mode`]
+/// with a caller-supplied observer stack — any composition that still carries
+/// a [`MetricsObserver`], e.g.
 /// [`CompositeObserver`](crate::obs::CompositeObserver) layering a
-/// [`TracingObserver`](crate::obs::TracingObserver) on top).
-pub fn run_serial_observed<O: SchedulerObserver + MetricsCarrier>(
+/// [`TracingObserver`](crate::obs::TracingObserver) on top.
+///
+/// On failure the partial metrics survive as [`FailedQuery::partial_metrics`]:
+/// after the first error, dispatch stops but every in-flight completion is
+/// drained so completed work orders keep their metrics and charged bytes are
+/// released. Error precedence: the first work-order error, else a tripped
+/// cancellation token (deadline or external cancel), else a stall diagnostic
+/// naming every unfinished operator.
+pub fn run_query<O: SchedulerObserver + MetricsCarrier>(
     ctx: Arc<ExecContext>,
     config: SchedulerConfig,
     observer: O,
@@ -882,8 +912,42 @@ pub fn run_serial_observed<O: SchedulerObserver + MetricsCarrier>(
         }));
     }
     let mut core = SchedulerCore::with_observer(ctx.clone(), config, observer);
+    let (completed, mut error) = match config.mode {
+        ExecMode::Serial => drive_serial(&ctx, &config, start, &mut core),
+        ExecMode::Parallel { .. } => drive_parallel(&ctx, &config, start, &mut core),
+    };
+    // A token tripped without an attributable work-order error (deadline at
+    // the last dispatch, external cancel) still cancels the query; the
+    // placeholder counters are rewritten by `finalize_error` below.
+    if error.is_none() && ctx.cancel.is_cancelled() {
+        error = Some(EngineError::Cancelled {
+            after: Duration::ZERO,
+            completed_work_orders: 0,
+        });
+    }
+    if error.is_none() && !core.all_finished() {
+        error = Some(core.stall_error());
+    }
+    let wall = start.elapsed();
+    let (blocks, metrics) = core.into_results(wall, config.mode.workers());
+    match error {
+        None => Ok((blocks, metrics)),
+        Some(e) => Err(Box::new(FailedQuery {
+            error: finalize_error(e, wall, completed),
+            partial_metrics: metrics,
+        })),
+    }
+}
+
+/// Inline loop body: one work order at a time on the calling thread.
+/// Deterministic; [`ExecMode::Serial`].
+fn drive_serial<O: SchedulerObserver + MetricsCarrier>(
+    ctx: &Arc<ExecContext>,
+    config: &SchedulerConfig,
+    start: Instant,
+    core: &mut SchedulerCore<O>,
+) -> (usize, Option<EngineError>) {
     let mut completed = 0usize;
-    let mut error: Option<EngineError> = None;
     while let Some(wo) = core.next_work_order() {
         // Dispatch-time deadline check: past it, flip the token so this and
         // every subsequent work order fails fast with `Cancelled`.
@@ -893,7 +957,7 @@ pub fn run_serial_observed<O: SchedulerObserver + MetricsCarrier>(
             }
         }
         let t0 = start.elapsed();
-        match execute_work_order_contained(&ctx, &wo) {
+        match execute_work_order_contained(ctx, &wo) {
             Ok(produced) => {
                 let t1 = start.elapsed();
                 let record = TaskRecord {
@@ -904,29 +968,16 @@ pub fn run_serial_observed<O: SchedulerObserver + MetricsCarrier>(
                 };
                 completed += 1;
                 if let Err(e) = core.on_complete(&wo, produced, record) {
-                    error = Some(e);
-                    break;
+                    return (completed, Some(e));
                 }
             }
             Err(e) => {
                 core.on_error(&wo);
-                error = Some(e);
-                break;
+                return (completed, Some(e));
             }
         }
     }
-    if error.is_none() && !core.all_finished() {
-        error = Some(core.stall_error());
-    }
-    let wall = start.elapsed();
-    let (blocks, metrics) = core.into_results(wall, 1);
-    match error {
-        None => Ok((blocks, metrics)),
-        Some(e) => Err(Box::new(FailedQuery {
-            error: finalize_error(e, wall, completed),
-            partial_metrics: metrics,
-        })),
-    }
+    (completed, None)
 }
 
 /// Message from the scheduler to a worker.
@@ -943,41 +994,16 @@ struct Completion {
     produced: Result<Vec<StorageBlock>>,
 }
 
-/// Execute the query with a scheduler (this thread) plus `config.workers`
-/// worker threads — the Quickstep threading model.
-pub fn run_parallel(
-    ctx: Arc<ExecContext>,
-    config: SchedulerConfig,
-) -> Result<(Vec<Arc<StorageBlock>>, QueryMetrics)> {
-    run_parallel_detailed(ctx, config).map_err(|f| f.error)
-}
-
-/// [`run_parallel`] variant that keeps partial metrics on failure. After the
-/// first error, dispatch stops but every in-flight completion is drained so
-/// completed work orders keep their metrics and charged bytes are released.
-pub fn run_parallel_detailed(
-    ctx: Arc<ExecContext>,
-    config: SchedulerConfig,
-) -> std::result::Result<(Vec<Arc<StorageBlock>>, QueryMetrics), Box<FailedQuery>> {
-    let observer = MetricsObserver::new(&ctx.plan);
-    run_parallel_observed(ctx, config, observer)
-}
-
-/// [`run_parallel_detailed`] with a caller-supplied observer stack (see
-/// [`run_serial_observed`]).
-pub fn run_parallel_observed<O: SchedulerObserver + MetricsCarrier>(
-    ctx: Arc<ExecContext>,
-    config: SchedulerConfig,
-    observer: O,
-) -> std::result::Result<(Vec<Arc<StorageBlock>>, QueryMetrics), Box<FailedQuery>> {
-    let workers = config.workers.max(1);
-    let start = Instant::now();
-    if let Err(e) = config.validate() {
-        return Err(Box::new(FailedQuery {
-            error: e,
-            partial_metrics: QueryMetrics::default(),
-        }));
-    }
+/// Worker-pool loop body: a scheduler (the calling thread) plus
+/// `mode.workers()` worker threads — the Quickstep threading model.
+/// [`ExecMode::Parallel`].
+fn drive_parallel<O: SchedulerObserver + MetricsCarrier>(
+    ctx: &Arc<ExecContext>,
+    config: &SchedulerConfig,
+    start: Instant,
+    core: &mut SchedulerCore<O>,
+) -> (usize, Option<EngineError>) {
+    let workers = config.mode.workers();
     let (work_tx, work_rx) = crossbeam::channel::unbounded::<ToWorker>();
     let (done_tx, done_rx) = crossbeam::channel::unbounded::<Completion>();
 
@@ -1011,7 +1037,6 @@ pub fn run_parallel_observed<O: SchedulerObserver + MetricsCarrier>(
         }
         drop(done_tx); // scheduler holds only the receiver
 
-        let mut core = SchedulerCore::with_observer(ctx.clone(), config, observer);
         let mut free_slots = workers;
         // seq -> (op, bytes its stream input charged): enough to release
         // resources and name operators even if the work order body is lost.
@@ -1108,24 +1133,7 @@ pub fn run_parallel_observed<O: SchedulerObserver + MetricsCarrier>(
             }
         }
         drop(work_tx); // stop workers
-        if first_error.is_none() && ctx.cancel.is_cancelled() {
-            first_error = Some(EngineError::Cancelled {
-                after: Duration::ZERO, // rewritten by finalize_error below
-                completed_work_orders: 0,
-            });
-        }
-        if first_error.is_none() && !core.all_finished() {
-            first_error = Some(core.stall_error());
-        }
-        let wall = start.elapsed();
-        let (blocks, metrics) = core.into_results(wall, workers);
-        match first_error {
-            None => Ok((blocks, metrics)),
-            Some(e) => Err(Box::new(FailedQuery {
-                error: finalize_error(e, wall, completed),
-                partial_metrics: metrics,
-            })),
-        }
+        (completed, first_error)
     })
 }
 
@@ -1191,6 +1199,49 @@ mod tests {
         rows
     }
 
+    // Thin shims over the collapsed driver, keeping the historical test
+    // bodies readable: `run_serial` forces inline mode, `run_parallel`
+    // keeps the configured pool (defaulting to two workers).
+
+    fn run_serial(
+        ctx: Arc<ExecContext>,
+        config: SchedulerConfig,
+    ) -> Result<(Vec<Arc<StorageBlock>>, QueryMetrics)> {
+        run(
+            ctx,
+            SchedulerConfig {
+                mode: ExecMode::Serial,
+                ..config
+            },
+        )
+    }
+
+    fn run_serial_detailed(
+        ctx: Arc<ExecContext>,
+        config: SchedulerConfig,
+    ) -> std::result::Result<(Vec<Arc<StorageBlock>>, QueryMetrics), Box<FailedQuery>> {
+        let observer = MetricsObserver::new(&ctx.plan);
+        run_query(
+            ctx,
+            SchedulerConfig {
+                mode: ExecMode::Serial,
+                ..config
+            },
+            observer,
+        )
+    }
+
+    fn run_parallel(
+        ctx: Arc<ExecContext>,
+        config: SchedulerConfig,
+    ) -> Result<(Vec<Arc<StorageBlock>>, QueryMetrics)> {
+        let mode = match config.mode {
+            ExecMode::Parallel { .. } => config.mode,
+            ExecMode::Serial => ExecMode::Parallel { workers: 2 },
+        };
+        run(ctx, SchedulerConfig { mode, ..config })
+    }
+
     #[test]
     fn serial_select_probe_all_uots_agree() {
         let mut reference: Option<Vec<Vec<Value>>> = None;
@@ -1224,7 +1275,7 @@ mod tests {
             let (blocks_p, metrics) = run_parallel(
                 ctx,
                 SchedulerConfig {
-                    workers,
+                    mode: ExecMode::Parallel { workers },
                     ..Default::default()
                 },
             )
@@ -1317,7 +1368,7 @@ mod tests {
         let (blocks, _) = run_parallel(
             ctx,
             SchedulerConfig {
-                workers: 3,
+                mode: ExecMode::Parallel { workers: 3 },
                 ..Default::default()
             },
         )
@@ -1364,7 +1415,7 @@ mod tests {
         let (_, m) = run_parallel(
             ctx,
             SchedulerConfig {
-                workers: 8,
+                mode: ExecMode::Parallel { workers: 8 },
                 max_dop_per_op: Some(1),
                 ..Default::default()
             },
@@ -1396,7 +1447,7 @@ mod tests {
         let (blocks, _) = run_parallel(
             ctx,
             SchedulerConfig {
-                workers: 2,
+                mode: ExecMode::Parallel { workers: 2 },
                 ..Default::default()
             },
         )
@@ -1465,6 +1516,7 @@ mod tests {
         let s = Schema::from_pairs(&[("k", DataType::Int32)]);
         let b = StorageBlock::new(s, BlockFormat::Row, 64).unwrap();
         WorkOrder {
+            query: crate::query_id::QueryId::SOLO,
             op,
             kind: WorkKind::Stream { block: Arc::new(b) },
             seq,
@@ -1656,15 +1708,15 @@ mod tests {
             let ctx = ctx_for(select_probe_plan(Uot::Blocks(1)));
             let tracker = ctx.pool.tracker().clone();
             let config = SchedulerConfig {
-                workers: if parallel { 2 } else { 1 },
+                mode: if parallel {
+                    ExecMode::Parallel { workers: 2 }
+                } else {
+                    ExecMode::Serial
+                },
                 deadline: Some(Duration::ZERO),
                 ..Default::default()
             };
-            let err = if parallel {
-                run_parallel(ctx, config).unwrap_err()
-            } else {
-                run_serial(ctx, config).unwrap_err()
-            };
+            let err = run(ctx, config).unwrap_err();
             assert!(
                 matches!(err, EngineError::Cancelled { .. }),
                 "parallel={parallel}: {err}"

@@ -1,0 +1,1037 @@
+//! The multi-query service: one worker pool, one memory budget, many
+//! concurrent queries.
+//!
+//! The [`Engine`](crate::engine::Engine) spins up a fresh scheduler and
+//! worker pool per query — the right shape for studying one query's UoT
+//! behaviour, the wrong shape for a server. [`QueryService`] is the
+//! long-lived form: a single scheduler thread multiplexes one
+//! [`SchedulerCore`] per admitted query over a shared pool of worker
+//! threads, and every dispatched [`WorkOrder`], pool allocation, metric and
+//! trace event carries the query's [`QueryId`].
+//!
+//! Three mechanisms keep tenants honest:
+//!
+//! * **Admission control** — each query reserves a slice of the global
+//!   memory budget before it runs. While the sum of active reservations
+//!   would exceed the budget, new queries wait in a FIFO admission queue
+//!   (bounded by [`ServiceConfig::max_queued`]); a reservation that can
+//!   never fit is rejected immediately with
+//!   [`EngineError::AdmissionRejected`].
+//! * **Per-query budgets** — an admitted query allocates from its own
+//!   [`BlockPool`] whose [`MemoryTracker`] is parented on the service-wide
+//!   tracker, so a query that outgrows its reservation fails alone with
+//!   [`EngineError::BudgetExceeded`] (naming its [`QueryId`]) while the
+//!   global gauge stays exact.
+//! * **Fair dispatch** — ready work is drawn round-robin across active
+//!   queries, one work order per query per turn, so a block-rich scan
+//!   cannot starve a short probe. Within one query the per-operator
+//!   policy (critical-first, downstream-first, FIFO) is unchanged.
+//!
+//! Cancellation ([`QueryHandle::cancel`]) and per-query deadlines tear down
+//! exactly one query — its staged blocks, parked bytes and pool free lists
+//! drain back to the global tracker — while sibling queries keep running.
+
+use crate::cancel::CancellationToken;
+use crate::engine::QueryResult;
+use crate::error::EngineError;
+use crate::fault::FaultPlan;
+use crate::metrics::TaskRecord;
+use crate::obs::observer::MaybeTracingObserver;
+use crate::obs::{CompositeObserver, TracingObserver};
+use crate::ops::execute_work_order_contained;
+use crate::plan::{OpId, OperatorKind, QueryPlan};
+use crate::query_id::QueryId;
+use crate::scheduler::{ExecMode, MetricsObserver, SchedulerConfig, SchedulerCore};
+use crate::state::ExecContext;
+use crate::trace::{TraceSink, DEFAULT_TRACE_CAPACITY};
+use crate::uot::Uot;
+use crate::work_order::{WorkKind, WorkOrder};
+use crate::Result;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use uot_storage::{BlockFormat, BlockPool, MemoryTracker, Schema, StorageBlock};
+
+/// The per-query observer stack: metrics always, tracing when enabled.
+/// One concrete type so every query's [`SchedulerCore`] is the same type.
+type ServiceObserver = CompositeObserver<MetricsObserver, MaybeTracingObserver>;
+
+/// Service-wide configuration: the shared worker pool, the global memory
+/// budget admission control carves reservations from, and the per-query
+/// execution defaults (block size, temporary format, UoT).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads shared by every admitted query.
+    pub workers: usize,
+    /// Global budget in bytes for temporary memory across *all* queries.
+    pub memory_budget: usize,
+    /// Reservation for queries that do not set
+    /// [`QueryOptions::reservation`].
+    pub default_reservation: usize,
+    /// Admission-queue depth: submissions past it are rejected with
+    /// [`EngineError::AdmissionRejected`] instead of queueing.
+    pub max_queued: usize,
+    /// Size of temporary storage blocks in bytes.
+    pub block_bytes: usize,
+    /// Format of temporary blocks.
+    pub temp_format: BlockFormat,
+    /// Default unit of transfer for every edge without an override.
+    pub default_uot: Uot,
+    /// Optional per-operator concurrency cap (applies within each query).
+    pub max_dop_per_op: Option<usize>,
+    /// Shards per join hash table.
+    pub hash_table_shards: usize,
+    /// Whether per-query block pools reuse returned blocks.
+    pub pool_reuse: bool,
+    /// Trace every query (per-query opt-in via [`QueryOptions::trace`]).
+    pub trace: bool,
+    /// Event capacity of each per-query trace sink.
+    pub trace_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            memory_budget: 256 << 20,
+            default_reservation: 16 << 20,
+            max_queued: 64,
+            block_bytes: 128 * 1024,
+            temp_format: BlockFormat::Row,
+            default_uot: Uot::LOW,
+            max_dop_per_op: None,
+            hash_table_shards: 64,
+            pool_reuse: true,
+            trace: false,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
+impl ServiceConfig {
+    fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(EngineError::Config(
+                "a query service needs at least 1 worker (got workers=0)".into(),
+            ));
+        }
+        if self.memory_budget == 0 {
+            return Err(EngineError::Config(
+                "memory_budget=0 would reject every admission".into(),
+            ));
+        }
+        if self.default_reservation == 0 || self.default_reservation > self.memory_budget {
+            return Err(EngineError::Config(format!(
+                "default_reservation={} must be in 1..={} (the global budget)",
+                self.default_reservation, self.memory_budget
+            )));
+        }
+        if self.max_dop_per_op == Some(0) {
+            return Err(EngineError::Config(
+                "max_dop_per_op must be at least 1 (Some(0) would make every \
+                 operator unschedulable)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-submission knobs.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Bytes of the global budget to reserve for this query
+    /// ([`ServiceConfig::default_reservation`] when `None`). Also the
+    /// query's own hard cap: outgrowing it fails this query alone.
+    pub reservation: Option<usize>,
+    /// Wall-clock deadline from admission; past it the query is cancelled.
+    pub deadline: Option<Duration>,
+    /// UoT override for this query's edges (service default when `None`).
+    pub uot: Option<Uot>,
+    /// Record a structured trace for this query.
+    pub trace: bool,
+    /// Deterministic fault plan (test harness).
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl QueryOptions {
+    /// Builder-style setter for the memory reservation.
+    pub fn with_reservation(mut self, bytes: usize) -> Self {
+        self.reservation = Some(bytes);
+        self
+    }
+
+    /// Builder-style setter for the deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Builder-style setter for the UoT override.
+    pub fn with_uot(mut self, uot: Uot) -> Self {
+        self.uot = Some(uot);
+        self
+    }
+
+    /// Enable structured tracing for this query.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Builder-style setter for a fault plan.
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+}
+
+/// A submitted query: cancel it, or wait for its result.
+#[derive(Debug)]
+pub struct QueryHandle {
+    id: QueryId,
+    token: CancellationToken,
+    rx: Receiver<Result<QueryResult>>,
+}
+
+impl QueryHandle {
+    /// The service-assigned id of this query.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// Cancel this query (cooperative: it stops at the next cancellation
+    /// point and yields [`EngineError::Cancelled`]). Sibling queries are
+    /// unaffected.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// The cancellation token governing this query.
+    pub fn token(&self) -> CancellationToken {
+        self.token.clone()
+    }
+
+    /// The result if the query already finished (`None` while running).
+    pub fn try_wait(&self) -> Option<Result<QueryResult>> {
+        self.rx.try_recv()
+    }
+
+    /// Block until the query finishes.
+    pub fn wait(self) -> Result<QueryResult> {
+        self.rx.recv().unwrap_or(Err(EngineError::ServiceShutdown))
+    }
+}
+
+/// One query as submitted, before admission.
+struct Submission {
+    id: QueryId,
+    plan: QueryPlan,
+    opts: QueryOptions,
+    token: CancellationToken,
+    reply: Sender<Result<QueryResult>>,
+    reservation: usize,
+}
+
+/// A finished work order reported back by a worker.
+struct Completion {
+    wo: WorkOrder,
+    worker: usize,
+    start: Duration,
+    end: Duration,
+    produced: Result<Vec<StorageBlock>>,
+}
+
+/// Everything the scheduler thread multiplexes over one channel — no
+/// `select!` needed: submissions, completions and shutdown arrive in order.
+enum ToService {
+    Submit(Box<Submission>),
+    Done(Box<Completion>),
+    Shutdown,
+}
+
+/// Work handed to a shared worker: the owning query's context travels with
+/// the order, so one worker executes for many queries back to back.
+enum ToWorker {
+    Run(Arc<ExecContext>, WorkOrder),
+}
+
+/// A long-lived, multi-query execution service (see the module docs).
+///
+/// Dropping the service shuts it down gracefully: active queries drain,
+/// queued submissions are rejected with [`EngineError::ServiceShutdown`],
+/// and all threads are joined.
+#[derive(Debug)]
+pub struct QueryService {
+    to_service: Sender<ToService>,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    next_id: AtomicU64,
+    tracker: Arc<MemoryTracker>,
+    config: ServiceConfig,
+}
+
+impl QueryService {
+    /// Start the service: one scheduler thread plus
+    /// [`ServiceConfig::workers`] worker threads.
+    pub fn start(config: ServiceConfig) -> Result<Self> {
+        config.validate()?;
+        let tracker = MemoryTracker::new();
+        let (to_service, service_rx) = crossbeam::channel::unbounded::<ToService>();
+        let (work_tx, work_rx) = crossbeam::channel::unbounded::<ToWorker>();
+        let mut workers = Vec::with_capacity(config.workers);
+        for worker_id in 0..config.workers {
+            let work_rx = work_rx.clone();
+            let done_tx = to_service.clone();
+            workers.push(std::thread::spawn(move || {
+                while let Ok(ToWorker::Run(ctx, wo)) = work_rx.recv() {
+                    let t0 = ctx.elapsed();
+                    // Contained execution: a panicking work order becomes an
+                    // error completion instead of killing a shared worker.
+                    let produced = execute_work_order_contained(&ctx, &wo);
+                    let t1 = ctx.elapsed();
+                    if done_tx
+                        .send(ToService::Done(Box::new(Completion {
+                            wo,
+                            worker: worker_id,
+                            start: t0,
+                            end: t1,
+                            produced,
+                        })))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            }));
+        }
+        let loop_state = SchedulerLoop {
+            config: config.clone(),
+            tracker: tracker.clone(),
+            work_tx,
+            free_slots: config.workers,
+            active: HashMap::new(),
+            order: VecDeque::new(),
+            pending: VecDeque::new(),
+            reserved: 0,
+            draining: false,
+        };
+        let scheduler = std::thread::spawn(move || loop_state.run(service_rx));
+        Ok(QueryService {
+            to_service,
+            scheduler: Some(scheduler),
+            workers,
+            next_id: AtomicU64::new(1),
+            tracker,
+            config,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The service-wide memory tracker every per-query pool parents on.
+    /// `current_bytes()` is the global pool occupancy across all queries;
+    /// it returns to 0 whenever no query holds temporary memory.
+    pub fn tracker(&self) -> &Arc<MemoryTracker> {
+        &self.tracker
+    }
+
+    /// Bytes of temporary memory currently held across all queries.
+    pub fn memory_in_use(&self) -> usize {
+        self.tracker.current_bytes()
+    }
+
+    /// Submit `plan` with default [`QueryOptions`].
+    pub fn submit(&self, plan: QueryPlan) -> Result<QueryHandle> {
+        self.submit_with(plan, QueryOptions::default())
+    }
+
+    /// Submit `plan`. Returns immediately with a [`QueryHandle`]; admission
+    /// (or rejection), execution and teardown happen on the service threads,
+    /// and the outcome is delivered through [`QueryHandle::wait`].
+    pub fn submit_with(&self, plan: QueryPlan, opts: QueryOptions) -> Result<QueryHandle> {
+        let id = QueryId::new(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let token = CancellationToken::new();
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+        let reservation = opts.reservation.unwrap_or(self.config.default_reservation);
+        let sub = Submission {
+            id,
+            plan,
+            opts,
+            token: token.clone(),
+            reply: reply_tx,
+            reservation,
+        };
+        self.to_service
+            .send(ToService::Submit(Box::new(sub)))
+            .map_err(|_| EngineError::ServiceShutdown)?;
+        Ok(QueryHandle {
+            id,
+            token,
+            rx: reply_rx,
+        })
+    }
+
+    /// Shut down gracefully: drain active queries, reject queued ones, join
+    /// every thread. (Dropping the service does the same.)
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let _ = self.to_service.send(ToService::Shutdown);
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Scheduler-thread state of one admitted query.
+struct ActiveQuery {
+    ctx: Arc<ExecContext>,
+    core: SchedulerCore<ServiceObserver>,
+    reply: Sender<Result<QueryResult>>,
+    schema: Arc<Schema>,
+    sink: Option<Arc<TraceSink>>,
+    reservation: usize,
+    /// Deadline relative to admission (the context's start).
+    deadline: Option<Duration>,
+    /// seq -> (op, bytes its stream input charged): enough to release
+    /// resources and attribute losses even if a work order body is lost.
+    in_flight: HashMap<usize, (OpId, usize)>,
+    completed: usize,
+    first_error: Option<EngineError>,
+}
+
+/// The scheduler thread's event loop.
+struct SchedulerLoop {
+    config: ServiceConfig,
+    tracker: Arc<MemoryTracker>,
+    work_tx: Sender<ToWorker>,
+    free_slots: usize,
+    active: HashMap<QueryId, ActiveQuery>,
+    /// Round-robin dispatch ring over active queries.
+    order: VecDeque<QueryId>,
+    /// FIFO admission queue (reservations that do not currently fit).
+    pending: VecDeque<Box<Submission>>,
+    /// Sum of active reservations, ≤ `config.memory_budget`.
+    reserved: usize,
+    draining: bool,
+}
+
+impl SchedulerLoop {
+    fn run(mut self, rx: Receiver<ToService>) {
+        loop {
+            self.check_deadlines();
+            // Sweep before dispatching: finalizing a drained query may admit
+            // a queued one, whose first work orders dispatch this same turn.
+            self.sweep_finished();
+            self.dispatch();
+            if self.draining && self.active.is_empty() {
+                self.admit_pending(); // draining: rejects everything queued
+                break;
+            }
+            let msg = match self.next_deadline() {
+                None => match rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                },
+                Some(remaining) => match rx.recv_timeout(remaining) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                },
+            };
+            match msg {
+                ToService::Submit(sub) => self.handle_submit(sub),
+                ToService::Done(c) => self.handle_done(*c),
+                ToService::Shutdown => self.draining = true,
+            }
+        }
+        // `work_tx` drops here; idle workers see the hangup and exit.
+    }
+
+    /// Nearest deadline among active, not-yet-cancelled queries — the recv
+    /// timeout that guarantees deadlines fire while the service is idle.
+    fn next_deadline(&self) -> Option<Duration> {
+        self.active
+            .values()
+            .filter(|q| !q.ctx.cancel.is_cancelled())
+            .filter_map(|q| q.deadline.map(|d| d.saturating_sub(q.ctx.elapsed())))
+            .min()
+    }
+
+    fn check_deadlines(&self) {
+        for q in self.active.values() {
+            if let Some(d) = q.deadline {
+                if q.ctx.elapsed() >= d {
+                    q.ctx.cancel.cancel();
+                }
+            }
+        }
+    }
+
+    /// Fill free worker slots round-robin: one work order per query per
+    /// pass, so every active query makes progress each turn.
+    fn dispatch(&mut self) {
+        while self.free_slots > 0 && !self.order.is_empty() {
+            let mut dispatched_any = false;
+            for _ in 0..self.order.len() {
+                if self.free_slots == 0 {
+                    break;
+                }
+                let id = self.order.pop_front().expect("ring is non-empty");
+                self.order.push_back(id);
+                let Some(q) = self.active.get_mut(&id) else {
+                    continue;
+                };
+                // A failed or cancelled query stops dispatching; its
+                // in-flight completions still drain through `handle_done`.
+                if q.first_error.is_some() || q.ctx.cancel.is_cancelled() {
+                    continue;
+                }
+                let Some(wo) = q.core.next_work_order() else {
+                    continue;
+                };
+                let charged = match &wo.kind {
+                    WorkKind::Stream { block }
+                        if q.ctx.plan.topology().stream_parent(wo.op).is_some() =>
+                    {
+                        block.allocated_bytes()
+                    }
+                    _ => 0,
+                };
+                let (seq, op) = (wo.seq, wo.op);
+                q.in_flight.insert(seq, (op, charged));
+                if self.work_tx.send(ToWorker::Run(q.ctx.clone(), wo)).is_err() {
+                    q.in_flight.remove(&seq);
+                    q.core.fail_in_flight(op, charged);
+                    if q.first_error.is_none() {
+                        q.first_error = Some(EngineError::Internal(
+                            "worker pool hung up unexpectedly".into(),
+                        ));
+                    }
+                    continue;
+                }
+                self.free_slots -= 1;
+                dispatched_any = true;
+            }
+            if !dispatched_any {
+                break;
+            }
+        }
+    }
+
+    fn handle_done(&mut self, c: Completion) {
+        self.free_slots += 1;
+        // The query must still be active: finalization requires in-flight
+        // work to have drained. Defensive skip if it somehow is not.
+        let Some(q) = self.active.get_mut(&c.wo.query) else {
+            return;
+        };
+        q.in_flight.remove(&c.wo.seq);
+        match c.produced {
+            Ok(produced) => {
+                q.completed += 1;
+                let record = TaskRecord {
+                    op: c.wo.op,
+                    worker: c.worker,
+                    start: c.start,
+                    end: c.end,
+                };
+                if let Err(e) = q.core.on_complete(&c.wo, produced, record) {
+                    if q.first_error.is_none() {
+                        q.first_error = Some(e);
+                    }
+                }
+            }
+            Err(e) => {
+                q.core.on_error(&c.wo);
+                if q.first_error.is_none() {
+                    q.first_error = Some(e);
+                }
+            }
+        }
+    }
+
+    fn handle_submit(&mut self, sub: Box<Submission>) {
+        if self.draining {
+            let _ = sub.reply.send(Err(EngineError::ServiceShutdown));
+            return;
+        }
+        if let Err(e) = validate_plan(&sub.plan, &self.config) {
+            let _ = sub.reply.send(Err(e));
+            return;
+        }
+        if sub.reservation == 0 || sub.reservation > self.config.memory_budget {
+            let _ = sub.reply.send(Err(EngineError::AdmissionRejected {
+                query: sub.id,
+                reservation: sub.reservation,
+                budget: self.config.memory_budget,
+                reason: "reservation can never fit the global budget".into(),
+            }));
+            return;
+        }
+        // FIFO admission: no queue-jumping past an earlier waiter even if
+        // this reservation would fit right now.
+        if self.pending.is_empty() && self.reserved + sub.reservation <= self.config.memory_budget {
+            self.activate(*sub);
+        } else if self.pending.len() < self.config.max_queued {
+            self.pending.push_back(sub);
+        } else {
+            let _ = sub.reply.send(Err(EngineError::AdmissionRejected {
+                query: sub.id,
+                reservation: sub.reservation,
+                budget: self.config.memory_budget,
+                reason: format!("admission queue full ({} queued)", self.pending.len()),
+            }));
+        }
+    }
+
+    /// Admit queued submissions in FIFO order while their reservations fit
+    /// (on draining: reject them all).
+    fn admit_pending(&mut self) {
+        while let Some(front) = self.pending.front() {
+            if self.draining {
+                let sub = self.pending.pop_front().expect("front exists");
+                let _ = sub.reply.send(Err(EngineError::ServiceShutdown));
+                continue;
+            }
+            if self.reserved + front.reservation > self.config.memory_budget {
+                break;
+            }
+            let sub = self.pending.pop_front().expect("front exists");
+            self.activate(*sub);
+        }
+    }
+
+    /// Carve the query's reservation out of the global budget and set up its
+    /// context, observer stack and scheduling core.
+    fn activate(&mut self, sub: Submission) {
+        let Submission {
+            id,
+            plan,
+            opts,
+            token,
+            reply,
+            reservation,
+        } = sub;
+        // The per-query tracker mirrors into the service tracker (charged
+        // against the *global* budget first), and the per-query pool caps
+        // this query at its own reservation.
+        let tracker = MemoryTracker::with_parent(self.tracker.clone(), self.config.memory_budget);
+        let pool = BlockPool::with_budget(tracker, reservation);
+        pool.set_reuse_enabled(self.config.pool_reuse);
+        let plan = Arc::new(plan);
+        let schema = plan.result_schema().clone();
+        let sink = (self.config.trace || opts.trace)
+            .then(|| TraceSink::for_query(self.config.trace_capacity, id));
+        let ctx = match ExecContext::new(
+            plan,
+            pool,
+            self.config.temp_format,
+            self.config.block_bytes,
+            self.config.hash_table_shards,
+        ) {
+            Ok(c) => c,
+            Err(e) => {
+                let _ = reply.send(Err(e));
+                return;
+            }
+        };
+        let mut ctx = ctx.with_query(id).with_cancellation(token);
+        if let Some(faults) = opts.faults {
+            ctx = ctx.with_faults(faults);
+        }
+        if let Some(sink) = &sink {
+            ctx = ctx.with_trace(sink.clone());
+        }
+        let ctx = Arc::new(ctx);
+        let sched = SchedulerConfig {
+            mode: ExecMode::Parallel {
+                workers: self.config.workers,
+            },
+            default_uot: opts.uot.unwrap_or(self.config.default_uot).normalized(),
+            max_dop_per_op: self.config.max_dop_per_op,
+            deadline: opts.deadline,
+        };
+        let observer = CompositeObserver::new(
+            MetricsObserver::new(&ctx.plan),
+            MaybeTracingObserver(sink.clone().map(TracingObserver::new)),
+        );
+        let core = SchedulerCore::with_observer(ctx.clone(), sched, observer);
+        self.reserved += reservation;
+        self.order.push_back(id);
+        self.active.insert(
+            id,
+            ActiveQuery {
+                ctx,
+                core,
+                reply,
+                schema,
+                sink,
+                reservation,
+                deadline: opts.deadline,
+                in_flight: HashMap::new(),
+                completed: 0,
+                first_error: None,
+            },
+        );
+    }
+
+    /// Finalize every query whose in-flight work has drained and that is
+    /// finished, failed, cancelled or stalled.
+    fn sweep_finished(&mut self) {
+        let done: Vec<QueryId> = self
+            .active
+            .iter()
+            .filter(|(_, q)| {
+                q.in_flight.is_empty()
+                    && (q.first_error.is_some()
+                        || q.ctx.cancel.is_cancelled()
+                        || q.core.all_finished()
+                        || q.core.ready_len() == 0)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in done {
+            self.finalize(id);
+        }
+    }
+
+    /// Tear down one query — the same contract as a standalone run: metrics
+    /// are captured, then every byte it charged drains back through its
+    /// parented tracker to the service tracker, on success and error paths
+    /// alike. Its reservation is released and queued admissions retried.
+    fn finalize(&mut self, id: QueryId) {
+        let Some(mut q) = self.active.remove(&id) else {
+            return;
+        };
+        self.order.retain(|&x| x != id);
+        // Error precedence mirrors the standalone driver: first work-order
+        // error, else a tripped token, else a stall diagnostic.
+        let mut error = q.first_error.take();
+        if error.is_none() && q.ctx.cancel.is_cancelled() {
+            error = Some(EngineError::Cancelled {
+                after: Duration::ZERO,
+                completed_work_orders: 0,
+            });
+        }
+        if error.is_none() && !q.core.all_finished() {
+            error = Some(q.core.stall_error());
+        }
+        let wall = q.ctx.elapsed();
+        let (blocks, metrics) = q.core.into_results(wall, self.config.workers);
+        let result = match error {
+            None => {
+                let trace = q
+                    .sink
+                    .map(|s| s.finish(q.ctx.plan.ops().iter().map(|op| op.name.clone()).collect()));
+                Ok(QueryResult {
+                    schema: q.schema,
+                    blocks,
+                    metrics,
+                    trace,
+                })
+            }
+            Some(e) => Err(crate::scheduler::finalize_error(e, wall, q.completed)),
+        };
+        let _ = q.reply.send(result);
+        self.reserved -= q.reservation;
+        self.admit_pending();
+    }
+}
+
+/// The per-plan half of [`crate::engine::Engine`]'s config validation:
+/// temporary blocks must hold at least one output tuple of every
+/// block-producing operator.
+fn validate_plan(plan: &QueryPlan, config: &ServiceConfig) -> Result<()> {
+    for (id, op) in plan.ops().iter().enumerate() {
+        if matches!(op.kind, OperatorKind::BuildHash { .. }) {
+            continue;
+        }
+        let width = op.out_schema.tuple_width();
+        if width > config.block_bytes {
+            return Err(EngineError::Config(format!(
+                "block_bytes={} cannot hold one {}-byte tuple of op{} ({})",
+                config.block_bytes, width, id, op.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{JoinType, PlanBuilder, Source};
+    use uot_expr::{cmp, col, lit, AggSpec, CmpOp};
+    use uot_storage::{DataType, Table, TableBuilder, Value};
+
+    fn table(name: &str, n: i32) -> Arc<Table> {
+        let s = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Float64)]);
+        let mut tb = TableBuilder::new(name, s, BlockFormat::Column, 96);
+        for i in 0..n {
+            tb.append(&[Value::I32(i), Value::F64(i as f64 * 2.0)])
+                .unwrap();
+        }
+        Arc::new(tb.finish())
+    }
+
+    fn join_agg_plan(rows: i32) -> QueryPlan {
+        let dim = table("dim", 20);
+        let fact = table("fact", rows);
+        let mut pb = PlanBuilder::new();
+        let b = pb.build_hash(Source::Table(dim), vec![0], vec![1]).unwrap();
+        let s = pb
+            .filter(Source::Table(fact), cmp(col(0), CmpOp::Lt, lit(100i32)))
+            .unwrap();
+        let p = pb
+            .probe(Source::Op(s), b, vec![0], vec![0], vec![0], JoinType::Inner)
+            .unwrap();
+        let a = pb
+            .aggregate(
+                Source::Op(p),
+                vec![],
+                vec![AggSpec::count_star(), AggSpec::sum(col(1))],
+                &["n", "s"],
+            )
+            .unwrap();
+        pb.build(a).unwrap()
+    }
+
+    fn small_service(workers: usize) -> QueryService {
+        QueryService::start(ServiceConfig {
+            workers,
+            memory_budget: 64 << 20,
+            default_reservation: 8 << 20,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn two_concurrent_queries_complete_and_pool_drains() {
+        let svc = small_service(4);
+        let h1 = svc.submit(join_agg_plan(200)).unwrap();
+        let h2 = svc.submit(join_agg_plan(400)).unwrap();
+        assert_ne!(h1.id(), h2.id());
+        let r1 = h1.wait().unwrap();
+        let r2 = h2.wait().unwrap();
+        assert_eq!(r1.rows()[0][0], Value::I64(20));
+        assert_eq!(r2.rows()[0][0], Value::I64(20));
+        assert_eq!(r1.metrics.query.raw(), 1);
+        assert_eq!(r2.metrics.query.raw(), 2);
+        assert_eq!(svc.memory_in_use(), 0, "global pool must drain");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn admission_queues_until_a_reservation_frees() {
+        // Budget fits exactly one reservation: the second query queues and
+        // still completes once the first finishes.
+        let svc = QueryService::start(ServiceConfig {
+            workers: 2,
+            memory_budget: 8 << 20,
+            default_reservation: 8 << 20,
+            ..Default::default()
+        })
+        .unwrap();
+        let h1 = svc.submit(join_agg_plan(300)).unwrap();
+        let h2 = svc.submit(join_agg_plan(300)).unwrap();
+        assert_eq!(h1.wait().unwrap().rows()[0][0], Value::I64(20));
+        assert_eq!(h2.wait().unwrap().rows()[0][0], Value::I64(20));
+        assert_eq!(svc.memory_in_use(), 0);
+    }
+
+    #[test]
+    fn impossible_reservation_is_rejected() {
+        let svc = small_service(2);
+        let err = svc
+            .submit_with(
+                join_agg_plan(50),
+                QueryOptions::default().with_reservation(usize::MAX),
+            )
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        match err {
+            EngineError::AdmissionRejected { query, reason, .. } => {
+                assert_eq!(query.raw(), 1);
+                assert!(reason.contains("never fit"), "{reason}");
+            }
+            other => panic!("expected AdmissionRejected, got {other}"),
+        }
+        assert_eq!(svc.memory_in_use(), 0);
+    }
+
+    #[test]
+    fn full_admission_queue_rejects() {
+        let svc = QueryService::start(ServiceConfig {
+            workers: 1,
+            memory_budget: 1 << 20,
+            default_reservation: 1 << 20,
+            max_queued: 0,
+            ..Default::default()
+        })
+        .unwrap();
+        // First admits; with a zero-depth queue the second must be rejected
+        // while the first still holds the whole budget.
+        let h1 = svc.submit(join_agg_plan(2000)).unwrap();
+        let h2 = svc.submit(join_agg_plan(50)).unwrap();
+        let e2 = h2.wait().unwrap_err();
+        assert!(matches!(e2, EngineError::AdmissionRejected { .. }), "{e2}");
+        h1.wait().unwrap();
+        assert_eq!(svc.memory_in_use(), 0);
+    }
+
+    #[test]
+    fn cancelling_one_query_leaves_siblings_running() {
+        let svc = small_service(2);
+        let victim = svc.submit(join_agg_plan(4000)).unwrap();
+        let survivor = svc.submit(join_agg_plan(200)).unwrap();
+        victim.cancel();
+        let r = survivor.wait().unwrap();
+        assert_eq!(r.rows()[0][0], Value::I64(20));
+        match victim.wait() {
+            Err(EngineError::Cancelled { .. }) => {}
+            Err(other) => panic!("expected Cancelled, got {other}"),
+            // Tiny race: the victim may have finished before the cancel
+            // landed; that is a legal outcome too.
+            Ok(r) => assert_eq!(r.rows()[0][0], Value::I64(20)),
+        }
+        assert_eq!(svc.memory_in_use(), 0, "teardown must drain the victim");
+    }
+
+    #[test]
+    fn per_query_deadline_fires_while_siblings_survive() {
+        let svc = small_service(2);
+        let doomed = svc
+            .submit_with(
+                join_agg_plan(4000),
+                QueryOptions::default().with_deadline(Duration::ZERO),
+            )
+            .unwrap();
+        let survivor = svc.submit(join_agg_plan(200)).unwrap();
+        let e = doomed.wait().unwrap_err();
+        assert!(matches!(e, EngineError::Cancelled { .. }), "{e}");
+        assert_eq!(survivor.wait().unwrap().rows()[0][0], Value::I64(20));
+        assert_eq!(svc.memory_in_use(), 0);
+    }
+
+    #[test]
+    fn per_query_budget_fails_only_the_offender() {
+        let svc = QueryService::start(ServiceConfig {
+            workers: 2,
+            memory_budget: 64 << 20,
+            default_reservation: 8 << 20,
+            default_uot: Uot::Table,
+            block_bytes: 96,
+            ..Default::default()
+        })
+        .unwrap();
+        // A tiny reservation the Table-UoT staging must overflow.
+        let offender = svc
+            .submit_with(
+                join_agg_plan(2000),
+                QueryOptions::default().with_reservation(600),
+            )
+            .unwrap();
+        let sibling = svc.submit(join_agg_plan(200)).unwrap();
+        let err = offender.wait().unwrap_err();
+        match &err {
+            EngineError::BudgetExceeded {
+                query,
+                budget,
+                global_budget,
+                ..
+            } => {
+                assert_eq!(query.raw(), 1);
+                assert_eq!(*budget, 600);
+                assert_eq!(*global_budget, 64 << 20);
+            }
+            other => panic!("expected BudgetExceeded, got {other}"),
+        }
+        assert_eq!(sibling.wait().unwrap().rows()[0][0], Value::I64(20));
+        assert_eq!(svc.memory_in_use(), 0);
+    }
+
+    #[test]
+    fn traced_query_stamps_its_id() {
+        let svc = small_service(2);
+        let h = svc
+            .submit_with(join_agg_plan(100), QueryOptions::default().traced())
+            .unwrap();
+        let id = h.id();
+        let r = h.wait().unwrap();
+        let trace = r.trace.expect("tracing was requested");
+        assert_eq!(trace.query, id);
+        assert!(!trace.events.is_empty());
+    }
+
+    #[test]
+    fn shutdown_rejects_queued_and_later_submissions() {
+        let svc = QueryService::start(ServiceConfig {
+            workers: 1,
+            memory_budget: 1 << 20,
+            default_reservation: 1 << 20,
+            ..Default::default()
+        })
+        .unwrap();
+        let h1 = svc.submit(join_agg_plan(1000)).unwrap();
+        let h2 = svc.submit(join_agg_plan(50)).unwrap(); // queued behind h1
+        drop(svc); // graceful: drains h1, rejects h2
+        assert!(h1.wait().is_ok());
+        assert!(matches!(
+            h2.wait().unwrap_err(),
+            EngineError::ServiceShutdown | EngineError::AdmissionRejected { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_start() {
+        assert!(QueryService::start(ServiceConfig {
+            workers: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(QueryService::start(ServiceConfig {
+            default_reservation: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(QueryService::start(ServiceConfig {
+            max_dop_per_op: Some(0),
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn undersized_blocks_are_rejected_per_query() {
+        let svc = QueryService::start(ServiceConfig {
+            block_bytes: 8,
+            workers: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        let err = svc.submit(join_agg_plan(10)).unwrap().wait().unwrap_err();
+        assert!(matches!(err, EngineError::Config(_)), "{err}");
+    }
+}

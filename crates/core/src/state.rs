@@ -116,6 +116,9 @@ pub struct ExecContext {
     /// Trace sink, when structured tracing is enabled for this query.
     /// `None` (the default) keeps every `trace_event` call a single branch.
     pub trace: Option<Arc<crate::trace::TraceSink>>,
+    /// Which query this context belongs to: [`QueryId::SOLO`] for standalone
+    /// `Engine` runs, a service-assigned id under a `QueryService`.
+    pub query: crate::query_id::QueryId,
     /// Query start, for the `after` field of cancellation errors.
     started: Instant,
 }
@@ -229,8 +232,16 @@ impl ExecContext {
             cancel: CancellationToken::new(),
             faults: Arc::new(FaultPlan::empty()),
             trace: None,
+            query: crate::query_id::QueryId::SOLO,
             started: Instant::now(),
         })
+    }
+
+    /// Attribute this context to `query` (builder-style; the service sets
+    /// its assigned id so every error, metric and trace carries it).
+    pub fn with_query(mut self, query: crate::query_id::QueryId) -> Self {
+        self.query = query;
+        self
     }
 
     /// Attach a shared cancellation token (builder-style; the default token

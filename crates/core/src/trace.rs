@@ -214,18 +214,32 @@ pub struct TraceSink {
     shards: Vec<Mutex<Vec<TraceEvent>>>,
     shard_capacity: usize,
     dropped: AtomicUsize,
+    query: crate::query_id::QueryId,
 }
 
 impl TraceSink {
-    /// A sink holding at most `capacity` events in total.
+    /// A sink holding at most `capacity` events in total, attributed to the
+    /// solo query id.
     pub fn new(capacity: usize) -> Arc<Self> {
+        TraceSink::for_query(capacity, crate::query_id::QueryId::SOLO)
+    }
+
+    /// A sink attributed to `query` — the service gives each admitted query
+    /// its own sink so frozen traces can be merged without ambiguity.
+    pub fn for_query(capacity: usize, query: crate::query_id::QueryId) -> Arc<Self> {
         let shard_capacity = (capacity / SHARDS).max(1);
         Arc::new(TraceSink {
             started: Instant::now(),
             shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
             shard_capacity,
             dropped: AtomicUsize::new(0),
+            query,
         })
+    }
+
+    /// The query this sink's events are attributed to.
+    pub fn query(&self) -> crate::query_id::QueryId {
+        self.query
     }
 
     fn shard_index(&self) -> usize {
@@ -279,6 +293,7 @@ impl TraceSink {
             events,
             op_names,
             dropped: self.dropped(),
+            query: self.query,
         }
     }
 }
@@ -292,6 +307,10 @@ pub struct Trace {
     pub op_names: Vec<String>,
     /// Events lost to the capacity bound (0 in normal runs).
     pub dropped: usize,
+    /// The query this trace belongs to ([`QueryId::SOLO`](crate::query_id::QueryId::SOLO)
+    /// outside a service). Exporters use it as the process id when merging
+    /// traces from concurrent queries.
+    pub query: crate::query_id::QueryId,
 }
 
 impl Trace {
@@ -416,6 +435,21 @@ mod tests {
             }
             .label(),
             "degrade"
+        );
+    }
+
+    #[test]
+    fn per_query_sink_stamps_the_trace() {
+        let q = crate::query_id::QueryId::new(7);
+        let sink = TraceSink::for_query(64, q);
+        assert_eq!(sink.query(), q);
+        sink.record(TraceEventKind::OperatorFinished { op: 0 });
+        let trace = sink.finish(vec!["select".into()]);
+        assert_eq!(trace.query, q);
+        // The default constructor stays attributed to the solo id.
+        assert_eq!(
+            TraceSink::new(64).finish(vec![]).query,
+            crate::query_id::QueryId::SOLO
         );
     }
 

@@ -6,6 +6,7 @@
 //! input — a streamed block, or a finalize step for blocking operators.
 
 use crate::plan::OpId;
+use crate::query_id::QueryId;
 use std::sync::Arc;
 use uot_storage::StorageBlock;
 
@@ -27,23 +28,34 @@ pub enum WorkKind {
 /// One schedulable unit of work.
 #[derive(Debug, Clone)]
 pub struct WorkOrder {
+    /// The query this work order executes for ([`QueryId::SOLO`] outside a
+    /// service). Workers shared across queries use it to attribute
+    /// completions, metrics and trace events.
+    pub query: QueryId,
     /// The operator this work order belongs to.
     pub op: OpId,
     /// The work to perform.
     pub kind: WorkKind,
-    /// Monotone sequence number (dispatch order diagnostics).
+    /// Monotone sequence number (dispatch order diagnostics). Unique within
+    /// one query, not across queries.
     pub seq: usize,
 }
 
 impl WorkOrder {
-    /// Short description for schedule dumps.
+    /// Short description for schedule dumps. The query id is shown only when
+    /// it is not the solo id, so single-query dumps stay unchanged.
     pub fn describe(&self) -> String {
+        let q = if self.query == QueryId::SOLO {
+            String::new()
+        } else {
+            format!("{} ", self.query)
+        };
         match &self.kind {
             WorkKind::Stream { block } => {
-                format!("op{} stream({} rows)", self.op, block.num_rows())
+                format!("{q}op{} stream({} rows)", self.op, block.num_rows())
             }
-            WorkKind::FinalizeAggregate => format!("op{} finalize-agg", self.op),
-            WorkKind::FinalizeSort => format!("op{} finalize-sort", self.op),
+            WorkKind::FinalizeAggregate => format!("{q}op{} finalize-agg", self.op),
+            WorkKind::FinalizeSort => format!("{q}op{} finalize-sort", self.op),
         }
     }
 }
@@ -59,16 +71,19 @@ mod tests {
         let mut b = StorageBlock::new(s, BlockFormat::Row, 64).unwrap();
         b.append_row(&[Value::I32(1)]).unwrap();
         let wo = WorkOrder {
+            query: QueryId::SOLO,
             op: 3,
             kind: WorkKind::Stream { block: Arc::new(b) },
             seq: 0,
         };
         assert_eq!(wo.describe(), "op3 stream(1 rows)");
         let wo = WorkOrder {
+            query: QueryId::new(2),
             op: 1,
             kind: WorkKind::FinalizeSort,
             seq: 1,
         };
         assert!(wo.describe().contains("finalize-sort"));
+        assert!(wo.describe().starts_with("q2 "));
     }
 }

@@ -16,10 +16,7 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
-use uot_core::scheduler::{
-    run_parallel_detailed, run_parallel_observed, run_serial, run_serial_detailed,
-    run_serial_observed, MetricsObserver,
-};
+use uot_core::scheduler::{run, run_query, ExecMode, MetricsObserver};
 use uot_core::state::ExecContext;
 use uot_core::{
     CompositeObserver, EngineError, FaultKind, FaultPlan, FaultSite, Injection, JoinType,
@@ -171,18 +168,18 @@ proptest! {
         let pool = BlockPool::new(tracker.clone());
         let ctx = ctx_with(join_agg_plan(fact, dim, uot), pool, faults);
         let config = SchedulerConfig {
-            workers,
+            mode: if parallel {
+                ExecMode::Parallel { workers }
+            } else {
+                ExecMode::Serial
+            },
             default_uot: uot,
             ..Default::default()
         };
 
         let outcome = run_with_watchdog(move || {
-            let r = if parallel {
-                run_parallel_detailed(ctx, config)
-            } else {
-                run_serial_detailed(ctx, config)
-            };
-            match r {
+            let observer = MetricsObserver::new(&ctx.plan);
+            match run_query(ctx, config, observer) {
                 Ok((blocks, _metrics)) => Ok(blocks.len()),
                 Err(failed) => Err(failed.error),
             }
@@ -237,8 +234,8 @@ proptest! {
             default_uot: uot,
             ..Default::default()
         };
-        let (a, _) = run_serial(plain_ctx, config).unwrap();
-        let (b, _) = run_serial(instrumented_ctx, config).unwrap();
+        let (a, _) = run(plain_ctx, config).unwrap();
+        let (b, _) = run(instrumented_ctx, config).unwrap();
         let rows_a: Vec<Vec<Value>> = a.iter().flat_map(|blk| blk.all_rows()).collect();
         let rows_b: Vec<Vec<Value>> = b.iter().flat_map(|blk| blk.all_rows()).collect();
         prop_assert_eq!(rows_a, rows_b);
@@ -280,7 +277,11 @@ proptest! {
                 .with_trace(sink.clone()),
         );
         let config = SchedulerConfig {
-            workers: if parallel { 2 } else { 1 },
+            mode: if parallel {
+                ExecMode::Parallel { workers: 2 }
+            } else {
+                ExecMode::Serial
+            },
             default_uot: uot,
             ..Default::default()
         };
@@ -291,12 +292,7 @@ proptest! {
                 MetricsObserver::new(&ctx.plan),
                 TracingObserver::new(run_sink),
             );
-            let r = if parallel {
-                run_parallel_observed(ctx, config, observer)
-            } else {
-                run_serial_observed(ctx, config, observer)
-            };
-            match r {
+            match run_query(ctx, config, observer) {
                 Ok((blocks, _metrics)) => Ok(blocks.len()),
                 Err(failed) => Err(failed.error),
             }
@@ -390,7 +386,7 @@ fn same_pool_survives_contained_panics() {
             pool.clone(),
             faults,
         );
-        let err = run_serial(ctx, SchedulerConfig::default()).unwrap_err();
+        let err = run(ctx, SchedulerConfig::default()).unwrap_err();
         assert!(
             matches!(err, EngineError::WorkOrderPanic { .. }),
             "nth={nth}: {err}"
@@ -403,7 +399,7 @@ fn same_pool_survives_contained_panics() {
             pool.clone(),
             Arc::new(FaultPlan::empty()),
         );
-        let (blocks, metrics) = run_serial(ctx, SchedulerConfig::default()).unwrap();
+        let (blocks, metrics) = run(ctx, SchedulerConfig::default()).unwrap();
         assert!(metrics.result_rows > 0);
         drop(blocks);
         assert_eq!(tracker.current_bytes(), 0, "nth={nth} post-recovery");

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
-use uot_core::scheduler::{run_parallel, run_serial};
+use uot_core::scheduler::{run, ExecMode};
 use uot_core::state::ExecContext;
 use uot_core::{JoinType, PlanBuilder, QueryPlan, SchedulerConfig, SortKey, Source, Uot};
 use uot_expr::{cmp, col, lit, AggSpec, CmpOp, Predicate};
@@ -118,16 +118,15 @@ proptest! {
             ExecContext::new(Arc::new(plan), pool, fmt, block_bytes, 4).unwrap(),
         );
         let config = SchedulerConfig {
-            workers,
+            mode: if parallel {
+                ExecMode::Parallel { workers }
+            } else {
+                ExecMode::Serial
+            },
             default_uot: uot,
             ..Default::default()
         };
-        let (blocks, metrics) = if parallel {
-            run_parallel(ctx, config)
-        } else {
-            run_serial(ctx, config)
-        }
-        .unwrap();
+        let (blocks, metrics) = run(ctx, config).unwrap();
         // Result rows survive the teardown (blocks are still readable) ...
         let _rows: Vec<Vec<Value>> = blocks.iter().flat_map(|b| b.all_rows()).collect();
         prop_assert!(metrics.peak_temp_bytes > 0 || blocks.is_empty());

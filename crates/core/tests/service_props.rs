@@ -1,0 +1,214 @@
+//! Cross-query isolation proptests for the multi-query [`QueryService`]:
+//!
+//! 1. A query's results and its schedule-deterministic metrics (per-operator
+//!    work-order counts and produced rows, result rows) are identical when
+//!    it runs alone vs alongside noisy neighbors — including a sibling with
+//!    injected faults and a sibling cancelled mid-run.
+//! 2. The shared pool tracker returns to exactly 0 after all queries drain,
+//!    on every teardown path (success, fault, cancellation).
+//!
+//! Timing-dependent metrics (wall time, task durations, peak bytes, pool
+//! counters) are legitimately perturbed by contention and are not compared.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use uot_core::{
+    EngineError, FaultKind, FaultPlan, FaultSite, Injection, JoinType, PlanBuilder, QueryOptions,
+    QueryPlan, QueryService, ServiceConfig, Source, Uot,
+};
+use uot_expr::{cmp, col, lit, AggSpec, CmpOp};
+use uot_storage::{BlockFormat, DataType, Schema, Table, TableBuilder, Value};
+
+/// Silence the default panic hook for *injected* panics only (they are
+/// expected and contained); anything else still prints normally.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("injected"))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains("injected"))
+                })
+                .unwrap_or(false);
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn arb_table(name: &'static str, max_rows: usize) -> impl Strategy<Value = Arc<Table>> {
+    (
+        proptest::collection::vec((0i32..25, -500i64..500), 1..max_rows),
+        1usize..6,
+    )
+        .prop_map(move |(rows, rows_per_block)| {
+            let schema = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)]);
+            let mut tb = TableBuilder::new(
+                name,
+                schema.clone(),
+                BlockFormat::Column,
+                schema.tuple_width() * rows_per_block,
+            );
+            for (k, v) in &rows {
+                tb.append(&[Value::I32(*k), Value::I64(*v)]).unwrap();
+            }
+            Arc::new(tb.finish())
+        })
+}
+
+/// select(fact) -> probe(dim) -> aggregate: stream transfers, a hash table,
+/// staged edges and an output-emitting finalize.
+fn join_agg_plan(fact: &Arc<Table>, dim: &Arc<Table>) -> QueryPlan {
+    let mut pb = PlanBuilder::new();
+    let b = pb
+        .build_hash(Source::Table(dim.clone()), vec![0], vec![0, 1])
+        .unwrap();
+    let s = pb
+        .filter(
+            Source::Table(fact.clone()),
+            cmp(col(0), CmpOp::Lt, lit(20i32)),
+        )
+        .unwrap();
+    let p = pb
+        .probe(
+            Source::Op(s),
+            b,
+            vec![0],
+            vec![0, 1],
+            vec![1],
+            JoinType::Inner,
+        )
+        .unwrap();
+    let a = pb
+        .aggregate(
+            Source::Op(p),
+            vec![0],
+            vec![AggSpec::count_star(), AggSpec::sum(col(1))],
+            &["n", "sv"],
+        )
+        .unwrap();
+    pb.build(a).unwrap()
+}
+
+/// The comparison basis: everything about an execution that must not depend
+/// on what else the service is running.
+#[derive(Debug, PartialEq)]
+struct Deterministic {
+    sorted_rows: Vec<Vec<Value>>,
+    per_op: Vec<(String, usize, usize)>, // (name, work_orders, produced_rows)
+    result_rows: usize,
+}
+
+fn deterministic_view(result: &uot_core::QueryResult) -> Deterministic {
+    Deterministic {
+        sorted_rows: result.sorted_rows(),
+        per_op: result
+            .metrics
+            .ops
+            .iter()
+            .map(|o| (o.name.clone(), o.work_orders, o.produced_rows))
+            .collect(),
+        result_rows: result.metrics.result_rows,
+    }
+}
+
+fn service() -> QueryService {
+    QueryService::start(ServiceConfig {
+        workers: 2,
+        memory_budget: 64 << 20,
+        default_reservation: 4 << 20,
+        block_bytes: 128,
+        ..Default::default()
+    })
+    .expect("service starts")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn query_is_isolated_from_noisy_siblings(
+        fact in arb_table("iso_fact", 40),
+        dim in arb_table("iso_dim", 15),
+        noise_fact in arb_table("noise_fact", 60),
+        noise_dim in arb_table("noise_dim", 15),
+        uot in prop_oneof![Just(Uot::Blocks(1)), Just(Uot::Blocks(3)), Just(Uot::Table)],
+        fault_kind in 0usize..2,
+        nth in 1usize..10,
+    ) {
+        quiet_injected_panics();
+        let plan = join_agg_plan(&fact, &dim);
+        let opts = QueryOptions::default().with_uot(uot);
+        let svc = service();
+
+        // Baseline: the query alone on an otherwise idle service.
+        let baseline = svc
+            .submit_with(plan.clone(), opts.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let baseline_view = deterministic_view(&baseline);
+        prop_assert_eq!(svc.memory_in_use(), 0, "baseline teardown leaked");
+
+        // The same query alongside three noisy neighbors: a plain sibling,
+        // a sibling with an injected fault, and a sibling cancelled mid-run.
+        let kind = if fault_kind == 0 { FaultKind::Panic } else { FaultKind::Error };
+        let faults = Arc::new(FaultPlan::new(vec![Injection {
+            site: FaultSite::WorkOrderExec,
+            kind,
+            nth,
+        }]));
+        let victim = svc.submit_with(plan.clone(), opts.clone()).unwrap();
+        let noisy = svc
+            .submit_with(join_agg_plan(&noise_fact, &noise_dim), opts.clone())
+            .unwrap();
+        let faulted = svc
+            .submit_with(
+                join_agg_plan(&noise_fact, &noise_dim),
+                opts.clone().with_faults(faults),
+            )
+            .unwrap();
+        let cancelled = svc
+            .submit_with(join_agg_plan(&noise_fact, &noise_dim), opts)
+            .unwrap();
+        cancelled.cancel();
+
+        let contended = victim.wait().unwrap();
+        // Drain the neighbors: any outcome is legal for them — the noisy one
+        // succeeds, the faulted one fails or survives (nth past its schedule),
+        // the cancelled one is cancelled or finished the race.
+        let _ = noisy.wait().unwrap();
+        match faulted.wait() {
+            Ok(_) => {}
+            Err(
+                EngineError::WorkOrderPanic { .. }
+                | EngineError::BudgetExceeded { .. }
+                | EngineError::Internal(_)
+                | EngineError::Storage(_),
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected fault shape: {other}"),
+        }
+        match cancelled.wait() {
+            Ok(_) | Err(EngineError::Cancelled { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected cancel outcome: {other}"),
+        }
+
+        // Byte-identical results and schedule-deterministic metrics.
+        prop_assert_eq!(deterministic_view(&contended), baseline_view);
+        // Invariant 2: every teardown path drained its temporary memory.
+        prop_assert_eq!(
+            svc.memory_in_use(),
+            0,
+            "pool tracker nonzero after all queries drained (uot={})",
+            uot
+        );
+    }
+}

@@ -55,6 +55,11 @@ pub enum StorageError {
         in_use: usize,
         /// The configured budget in bytes.
         budget: usize,
+        /// Bytes charged process-wide (the parent tracker when the pool is a
+        /// per-query carve-out of a shared budget; equals `in_use` otherwise).
+        global_in_use: usize,
+        /// The process-wide budget (equals `budget` for a standalone pool).
+        global_budget: usize,
     },
 }
 
@@ -90,10 +95,18 @@ impl fmt::Display for StorageError {
                 requested,
                 in_use,
                 budget,
-            } => write!(
-                f,
-                "memory budget exceeded: requested {requested} bytes with {in_use} of {budget} in use"
-            ),
+                global_in_use,
+                global_budget,
+            } => {
+                write!(
+                    f,
+                    "memory budget exceeded: requested {requested} bytes with {in_use} of {budget} in use"
+                )?;
+                if (global_in_use, global_budget) != (in_use, budget) {
+                    write!(f, " (global: {global_in_use} of {global_budget})")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -127,10 +140,24 @@ mod tests {
             requested: 4096,
             in_use: 60000,
             budget: 61440,
+            global_in_use: 60000,
+            global_budget: 61440,
         };
         assert!(e.to_string().contains("4096"));
         assert!(e.to_string().contains("60000"));
         assert!(e.to_string().contains("61440"));
+        assert!(!e.to_string().contains("global")); // standalone pool: no noise
+
+        let e = StorageError::BudgetExceeded {
+            requested: 4096,
+            in_use: 1024,
+            budget: 8192,
+            global_in_use: 120000,
+            global_budget: 131072,
+        };
+        assert!(e.to_string().contains("global"));
+        assert!(e.to_string().contains("120000"));
+        assert!(e.to_string().contains("131072"));
     }
 
     #[test]

@@ -27,6 +27,11 @@ pub struct MemoryTracker {
     current: AtomicUsize,
     peak: AtomicUsize,
     total_allocated: AtomicUsize,
+    /// Optional upstream tracker every charge/release is mirrored to, with
+    /// the budget enforced at that level. Lets a per-query tracker carve its
+    /// reservation out of a process-wide pool: the query-local budget bounds
+    /// one query, the parent budget bounds the sum across queries.
+    parent: Option<(Arc<MemoryTracker>, usize)>,
 }
 
 impl MemoryTracker {
@@ -35,18 +40,39 @@ impl MemoryTracker {
         Arc::new(MemoryTracker::default())
     }
 
+    /// New tracker that mirrors every charge and release into `parent` and
+    /// refuses `try_alloc` when the *parent's* total would exceed
+    /// `parent_budget`. When the child drains back to zero, so does its
+    /// contribution to the parent — the existing per-query teardown
+    /// invariants compose into a global "pool returns to 0" guarantee.
+    pub fn with_parent(parent: Arc<MemoryTracker>, parent_budget: usize) -> Arc<Self> {
+        Arc::new(MemoryTracker {
+            parent: Some((parent, parent_budget)),
+            ..MemoryTracker::default()
+        })
+    }
+
     /// Record an allocation of `bytes`.
     pub fn alloc(&self, bytes: usize) {
+        if let Some((parent, _)) = &self.parent {
+            parent.alloc(bytes);
+        }
         let cur = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
         self.total_allocated.fetch_add(bytes, Ordering::Relaxed);
         self.peak.fetch_max(cur, Ordering::Relaxed);
     }
 
     /// Record an allocation of `bytes` only if the resulting total stays
-    /// within `limit`. The check-and-charge is a single atomic update, so
-    /// concurrent allocators can never jointly overshoot the limit. Returns
-    /// whether the allocation was charged.
+    /// within `limit` — and, for a parented tracker, within the parent's
+    /// budget as well. Each check-and-charge is a single atomic update, so
+    /// concurrent allocators can never jointly overshoot either limit.
+    /// Returns whether the allocation was charged.
     pub fn try_alloc(&self, bytes: usize, limit: usize) -> bool {
+        if let Some((parent, parent_budget)) = &self.parent {
+            if !parent.try_alloc(bytes, *parent_budget) {
+                return false;
+            }
+        }
         let charged = self
             .current
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
@@ -57,6 +83,9 @@ impl MemoryTracker {
             self.total_allocated.fetch_add(bytes, Ordering::Relaxed);
             let cur = self.current.load(Ordering::Relaxed);
             self.peak.fetch_max(cur, Ordering::Relaxed);
+        } else if let Some((parent, _)) = &self.parent {
+            // Back out the speculative parent charge.
+            parent.free(bytes);
         }
         charged
     }
@@ -64,6 +93,17 @@ impl MemoryTracker {
     /// Record a release of `bytes`.
     pub fn free(&self, bytes: usize) {
         self.current.fetch_sub(bytes, Ordering::Relaxed);
+        if let Some((parent, _)) = &self.parent {
+            parent.free(bytes);
+        }
+    }
+
+    /// For a parented tracker: the parent's current bytes and the budget
+    /// enforced at the parent level. `None` for a standalone tracker.
+    pub fn parent_usage(&self) -> Option<(usize, usize)> {
+        self.parent
+            .as_ref()
+            .map(|(parent, budget)| (parent.current_bytes(), *budget))
     }
 
     /// Bytes currently allocated.
@@ -202,10 +242,15 @@ impl BlockPool {
         if !self.tracker.try_alloc(bytes, budget) {
             // `b` was never charged; dropping it here leaves accounting
             // untouched, so a failed checkout is side-effect free.
+            let in_use = self.tracker.current_bytes();
+            let (global_in_use, global_budget) =
+                self.tracker.parent_usage().unwrap_or((in_use, budget));
             return Err(crate::error::StorageError::BudgetExceeded {
                 requested: bytes,
-                in_use: self.tracker.current_bytes(),
+                in_use,
                 budget,
+                global_in_use,
+                global_budget,
             });
         }
         self.created.fetch_add(1, Ordering::Relaxed);
@@ -392,10 +437,15 @@ mod tests {
                 requested,
                 in_use: reported,
                 budget,
+                global_in_use,
+                global_budget,
             } => {
                 assert!(requested >= 4096);
                 assert_eq!(reported, in_use);
                 assert_eq!(budget, 4096);
+                // Standalone pool: global mirrors local.
+                assert_eq!(global_in_use, in_use);
+                assert_eq!(global_budget, 4096);
             }
             other => panic!("expected BudgetExceeded, got {other:?}"),
         }
@@ -466,6 +516,69 @@ mod tests {
         });
         assert!(t.current_bytes() <= 301);
         assert_eq!(t.current_bytes(), granted.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn parented_tracker_mirrors_charges_and_releases() {
+        let global = MemoryTracker::new();
+        let a = MemoryTracker::with_parent(global.clone(), 1000);
+        let b = MemoryTracker::with_parent(global.clone(), 1000);
+        a.alloc(100);
+        b.alloc(200);
+        assert_eq!(a.current_bytes(), 100);
+        assert_eq!(b.current_bytes(), 200);
+        assert_eq!(global.current_bytes(), 300);
+        assert_eq!(a.parent_usage(), Some((300, 1000)));
+        a.free(100);
+        b.free(200);
+        assert_eq!(global.current_bytes(), 0);
+    }
+
+    #[test]
+    fn parent_budget_bounds_the_sum_across_children() {
+        let global = MemoryTracker::new();
+        let a = MemoryTracker::with_parent(global.clone(), 300);
+        let b = MemoryTracker::with_parent(global.clone(), 300);
+        assert!(a.try_alloc(200, usize::MAX));
+        // b alone is under its own (unlimited) local limit, but the parent
+        // budget is shared: 200 + 200 > 300.
+        assert!(!b.try_alloc(200, usize::MAX));
+        assert_eq!(global.current_bytes(), 200); // failed charge backed out
+        assert!(b.try_alloc(100, usize::MAX));
+        assert_eq!(global.current_bytes(), 300);
+    }
+
+    #[test]
+    fn child_local_limit_failure_backs_out_parent_charge() {
+        let global = MemoryTracker::new();
+        let child = MemoryTracker::with_parent(global.clone(), usize::MAX);
+        assert!(!child.try_alloc(100, 50)); // local limit refuses
+        assert_eq!(child.current_bytes(), 0);
+        assert_eq!(global.current_bytes(), 0);
+    }
+
+    #[test]
+    fn carved_out_pool_reports_global_occupancy_on_budget_error() {
+        let global = MemoryTracker::new();
+        // Sibling already holding most of the shared budget.
+        global.alloc(6000);
+        let child = MemoryTracker::with_parent(global.clone(), 8192);
+        let p = BlockPool::with_budget(child, usize::MAX);
+        let err = p.checkout(&schema(), BlockFormat::Row, 4096).unwrap_err();
+        match err {
+            crate::StorageError::BudgetExceeded {
+                in_use,
+                global_in_use,
+                global_budget,
+                ..
+            } => {
+                assert_eq!(in_use, 0); // this query holds nothing...
+                assert_eq!(global_in_use, 6000); // ...the contention is global
+                assert_eq!(global_budget, 8192);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        global.free(6000);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Multi-query service demo: several clients firing mixed TPC-H queries at
+//! one [`QueryService`] — a shared worker pool and a shared memory budget —
+//! with per-query latency readouts and a merged Chrome trace showing the
+//! interleaved work orders of distinct query ids.
+//!
+//! ```text
+//! cargo run --release --example multi_query
+//! ```
+//!
+//! Writes `target/multi_query/trace.json`; open it in `chrome://tracing` or
+//! <https://ui.perfetto.dev> — each query renders as its own process
+//! (`pid` = query id), aligned on one wall-clock timeline.
+
+use std::time::Instant;
+use uot::engine::obs::merged_chrome_trace_json;
+use uot::engine::{QueryOptions, QueryService, ServiceConfig, Uot};
+use uot::storage::BlockFormat;
+use uot::tpch::{build_query, QueryId as TpchQuery, TpchConfig, TpchDb};
+
+fn main() {
+    let out_dir = std::path::Path::new("target/multi_query");
+    std::fs::create_dir_all(out_dir).expect("create output directory");
+
+    println!("generating TPC-H data (SF 0.02)...");
+    let block_bytes = 32 * 1024;
+    let db = TpchDb::generate(
+        TpchConfig::scale(0.02)
+            .with_block_bytes(block_bytes)
+            .with_format(BlockFormat::Column),
+    );
+
+    let service = QueryService::start(ServiceConfig {
+        workers: 4,
+        block_bytes,
+        default_uot: Uot::LOW,
+        memory_budget: 128 << 20,
+        default_reservation: 16 << 20,
+        ..Default::default()
+    })
+    .expect("service starts");
+
+    // A mixed batch: every plan shape in flight at once, all traced. The
+    // epoch anchors each query's trace on one shared wall-clock axis.
+    let mix = [
+        TpchQuery::Q1,
+        TpchQuery::Q3,
+        TpchQuery::Q6,
+        TpchQuery::Q12,
+        TpchQuery::Q14,
+        TpchQuery::Q19,
+    ];
+    let epoch = Instant::now();
+    let submitted: Vec<_> = mix
+        .iter()
+        .map(|&q| {
+            let plan = build_query(q, &db).expect("plan builds");
+            let offset = epoch.elapsed();
+            let handle = service
+                .submit_with(plan, QueryOptions::default().traced())
+                .expect("service accepts");
+            (q, handle, offset, Instant::now())
+        })
+        .collect();
+
+    println!(
+        "\n{:<6} {:<5} {:>8} {:>12} {:>12} {:>8}",
+        "query", "id", "rows", "latency ms", "wall ms", "events"
+    );
+    let mut traces = Vec::new();
+    for (q, handle, offset, t0) in submitted {
+        let id = handle.id();
+        let mut result = handle.wait().expect("query runs");
+        let latency = t0.elapsed();
+        let trace = result.trace.take().expect("tracing was requested");
+        println!(
+            "{:<6} {:<5} {:>8} {:>12.2} {:>12.2} {:>8}",
+            q.label(),
+            id.to_string(),
+            result.num_rows(),
+            latency.as_secs_f64() * 1e3,
+            result.metrics.wall_time.as_secs_f64() * 1e3,
+            trace.len(),
+        );
+        traces.push((trace, offset));
+    }
+
+    assert_eq!(
+        service.memory_in_use(),
+        0,
+        "every query drained: the shared pool tracker is back at 0"
+    );
+
+    let pairs: Vec<_> = traces.iter().map(|(t, off)| (t, *off)).collect();
+    let json = merged_chrome_trace_json(&pairs);
+    let path = out_dir.join("trace.json");
+    std::fs::write(&path, &json).expect("write merged trace");
+    println!(
+        "\nmerged Chrome trace for {} queries -> {} ({} bytes)",
+        pairs.len(),
+        path.display(),
+        json.len()
+    );
+    println!("open in chrome://tracing or https://ui.perfetto.dev");
+}

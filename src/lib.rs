@@ -28,7 +28,8 @@ pub use uot_tpch as tpch;
 pub mod prelude {
     pub use uot_core::{
         CancellationToken, DegradePolicy, Engine, EngineConfig, EngineError, ExecMode, FaultKind,
-        FaultPlan, FaultSite, Injection, QueryPlan, QueryResult, Trace, TraceConfig, Uot,
+        FaultPlan, FaultSite, Injection, QueryHandle, QueryId, QueryOptions, QueryPlan,
+        QueryResult, QueryService, ServiceConfig, Trace, TraceConfig, Uot,
     };
     pub use uot_storage::{
         date_from_ymd, BlockFormat, Catalog, DataType, Schema, Table, TableBuilder, Value,

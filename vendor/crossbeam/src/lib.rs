@@ -34,6 +34,18 @@ pub mod channel {
         shared: Arc<Shared<T>>,
     }
 
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
     /// The channel is disconnected: every receiver is gone. Returns the
     /// unsent value, like crossbeam's `SendError`.
     #[derive(Debug, PartialEq, Eq)]
@@ -42,6 +54,16 @@ pub mod channel {
     /// The channel is disconnected and drained: every sender is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// A timed receive failed: either the wait expired with the channel still
+    /// empty, or the channel is empty and every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed before a value arrived.
+        Timeout,
+        /// The channel is empty and all senders have been dropped.
+        Disconnected,
+    }
 
     impl<T> fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -55,8 +77,20 @@ pub mod channel {
         }
     }
 
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
     impl<T: Send + fmt::Debug> std::error::Error for SendError<T> {}
     impl std::error::Error for RecvError {}
+    impl std::error::Error for RecvTimeoutError {}
 
     /// Create an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
@@ -107,6 +141,35 @@ pub mod channel {
                     .ready
                     .wait(st)
                     .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Dequeue a value, blocking at most `timeout` while the channel is
+        /// empty. Distinguishes an expired wait from a disconnect so callers
+        /// can use the timeout as a periodic wake-up (e.g. deadline checks).
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self
+                    .shared
+                    .ready
+                    .wait_timeout(st, remaining)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
             }
         }
 
@@ -214,6 +277,23 @@ mod tests {
         drop(tx);
         let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use std::time::Duration;
+        let (tx, rx) = channel::unbounded::<i32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
