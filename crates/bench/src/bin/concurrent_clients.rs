@@ -1,7 +1,15 @@
 //! Concurrent-clients benchmark: N closed-loop clients firing a mixed TPC-H
-//! workload at one [`QueryService`] — one shared worker pool, one shared
-//! memory budget — reporting per-query latency (p50/p99) and service
-//! throughput for the two UoT extremes the paper contrasts everywhere.
+//! workload at one [`QueryService`] through the SQL front door — one shared
+//! worker pool, one shared memory budget, one shared plan cache — reporting
+//! per-query latency (p50/p99), throughput, and the compile-vs-cached
+//! latency split for the two UoT extremes the paper contrasts everywhere.
+//!
+//! Every client submits SQL text (`uot_tpch::sql_text`), so repeated rounds
+//! of the same statement exercise the service-wide [`PlanCache`]: the first
+//! submission of each statement compiles (a cache miss), every later one
+//! reuses the compiled physical plan (a hit). Submitting pre-built plans per
+//! iteration — what this benchmark used to do — would rebuild identical
+//! plans `clients x rounds` times and never touch the cache.
 //!
 //! ```text
 //! cargo run --release -p uot-bench --bin concurrent_clients [-- --smoke]
@@ -11,14 +19,14 @@
 //! `UOT_WORKERS`, plus `UOT_CLIENTS` (default 4) and `UOT_ROUNDS` (queries
 //! per client, default 5). `--smoke` forces a tiny, CI-friendly
 //! configuration (4 clients x 2 rounds at SF 0.005) and keeps the hard
-//! assertions: every query succeeds and the shared pool tracker returns to
-//! exactly 0 bytes after all queries drain.
+//! assertions: every query succeeds, the plan cache records hits, and the
+//! shared pool tracker returns to exactly 0 bytes after all queries drain.
 
 use std::time::{Duration, Instant};
 use uot_bench::{ms, workers, ReportTable};
-use uot_core::{QueryOptions, QueryService, ServiceConfig, Uot};
+use uot_core::{ExecOptions, PlanCacheOutcome, QueryService, ServiceConfig, Uot};
 use uot_storage::BlockFormat;
-use uot_tpch::{build_query, QueryId as TpchQuery, TpchConfig, TpchDb};
+use uot_tpch::{sql_text, QueryId as TpchQuery, TpchConfig, TpchDb};
 
 /// The mixed workload: scan-heavy aggregation, a shallow and a deep probe
 /// pipeline, a semi join and a disjunctive join — one of each plan shape.
@@ -51,28 +59,36 @@ struct RunStats {
     p99: Duration,
     qps: f64,
     queries: usize,
+    /// Latencies of submissions that compiled (plan-cache misses).
+    compiled: Vec<Duration>,
+    /// Latencies of submissions served from the plan cache.
+    cached: Vec<Duration>,
 }
 
 /// Drive `clients` closed-loop clients for `rounds` rounds each against one
 /// service; every client walks the mix starting at its own offset so distinct
-/// plan shapes are in flight simultaneously.
-fn drive(service: &QueryService, db: &TpchDb, clients: usize, rounds: usize) -> RunStats {
+/// plan shapes are in flight simultaneously. Each submission is SQL text and
+/// records whether its plan came from the shared cache.
+fn drive(service: &QueryService, clients: usize, rounds: usize) -> RunStats {
     let started = Instant::now();
-    let latencies: Vec<Duration> = std::thread::scope(|s| {
+    let samples: Vec<(Duration, PlanCacheOutcome)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 s.spawn(move || {
                     let mut lat = Vec::with_capacity(rounds);
                     for r in 0..rounds {
                         let q = MIX[(c + r) % MIX.len()];
-                        let plan = build_query(q, db).expect("plan builds");
                         let t0 = Instant::now();
-                        let handle = service.submit(plan).expect("service accepts");
+                        let handle = service.submit_sql(sql_text(q)).expect("service accepts");
                         let result = handle
                             .wait()
                             .unwrap_or_else(|e| panic!("client {c} {} failed: {e}", q.label()));
                         assert!(result.num_rows() > 0, "{} returned no rows", q.label());
-                        lat.push(t0.elapsed());
+                        let outcome = result
+                            .metrics
+                            .plan_cache
+                            .expect("SQL submissions always report a cache outcome");
+                        lat.push((t0.elapsed(), outcome));
                     }
                     lat
                 })
@@ -84,13 +100,27 @@ fn drive(service: &QueryService, db: &TpchDb, clients: usize, rounds: usize) -> 
             .collect()
     });
     let wall = started.elapsed();
-    let mut sorted = latencies;
+    let mut sorted: Vec<Duration> = samples.iter().map(|&(d, _)| d).collect();
     sorted.sort_unstable();
+    let mut compiled: Vec<Duration> = samples
+        .iter()
+        .filter(|(_, o)| *o == PlanCacheOutcome::Miss)
+        .map(|&(d, _)| d)
+        .collect();
+    let mut cached: Vec<Duration> = samples
+        .iter()
+        .filter(|(_, o)| *o == PlanCacheOutcome::Hit)
+        .map(|&(d, _)| d)
+        .collect();
+    compiled.sort_unstable();
+    cached.sort_unstable();
     RunStats {
         p50: percentile(&sorted, 0.50),
         p99: percentile(&sorted, 0.99),
         qps: sorted.len() as f64 / wall.as_secs_f64().max(1e-9),
         queries: sorted.len(),
+        compiled,
+        cached,
     }
 }
 
@@ -113,7 +143,7 @@ fn main() {
     let block_bytes = 32 * 1024;
 
     println!(
-        "concurrent clients: {clients} clients x {rounds} rounds, SF {sf}, \
+        "concurrent clients: {clients} clients x {rounds} rounds (SQL front door), SF {sf}, \
          {} workers{}",
         workers(),
         if smoke { " [smoke]" } else { "" }
@@ -125,8 +155,18 @@ fn main() {
     );
 
     let mut table = ReportTable::new(
-        "Concurrent clients: mixed TPC-H through one QueryService",
-        &["uot", "queries", "p50 ms", "p99 ms", "qps"],
+        "Concurrent clients: mixed TPC-H SQL through one QueryService",
+        &[
+            "uot",
+            "queries",
+            "p50 ms",
+            "p99 ms",
+            "qps",
+            "compiled",
+            "hit",
+            "p50 compile ms",
+            "p50 cached ms",
+        ],
     );
     for (label, uot) in [("low (1 block)", Uot::LOW), ("high (table)", Uot::Table)] {
         let service = QueryService::start(ServiceConfig {
@@ -135,11 +175,29 @@ fn main() {
             default_uot: uot,
             memory_budget: 256 << 20,
             default_reservation: 16 << 20,
+            catalog: db.catalog().clone(),
             ..Default::default()
         })
         .expect("service starts");
 
-        let stats = drive(&service, &db, clients, rounds);
+        let stats = drive(&service, clients, rounds);
+
+        // Cache-effectiveness invariants: each distinct statement compiles at
+        // most a handful of times (racing first submissions may duplicate a
+        // compile), and with more submissions than statements there must be
+        // hits.
+        let cache = service.plan_cache_stats();
+        // Clients c..c+rounds walk a contiguous window of the mix, so the
+        // distinct-statement count is known exactly.
+        let distinct = MIX.len().min(clients + rounds - 1);
+        assert_eq!(cache.entries, distinct);
+        assert!(
+            cache.hits > 0,
+            "expected plan-cache hits with {} submissions over {distinct} statements",
+            stats.queries
+        );
+        assert_eq!(cache.hits + cache.misses, stats.queries as u64);
+        assert_eq!(stats.cached.len() + stats.compiled.len(), stats.queries);
 
         // The load-bearing invariant: with every query drained, no query's
         // temporary memory is still charged to the shared budget.
@@ -156,6 +214,10 @@ fn main() {
             ms(stats.p50),
             ms(stats.p99),
             format!("{:.1}", stats.qps),
+            stats.compiled.len().to_string(),
+            format!("{:.0}%", 100.0 * cache.hit_rate()),
+            ms(percentile(&stats.compiled, 0.50)),
+            ms(percentile(&stats.cached, 0.50)),
         ]);
     }
     table.emit();
@@ -169,15 +231,15 @@ fn main() {
         default_uot: Uot::LOW,
         memory_budget: 16 << 20,
         default_reservation: 16 << 20,
+        catalog: db.catalog().clone(),
         ..Default::default()
     })
     .expect("service starts");
     let t0 = Instant::now();
     let handles: Vec<_> = (0..clients * rounds)
         .map(|i| {
-            let plan = build_query(MIX[i % MIX.len()], &db).expect("plan builds");
             serialized
-                .submit_with(plan, QueryOptions::default())
+                .submit_sql_with(sql_text(MIX[i % MIX.len()]), ExecOptions::default())
                 .expect("service accepts")
         })
         .collect();
@@ -186,6 +248,7 @@ fn main() {
     }
     let serial_wall = t0.elapsed();
     assert_eq!(serialized.memory_in_use(), 0);
+    assert!(serialized.plan_cache_stats().hits > 0);
     println!(
         "admission-serialized reference (budget = one reservation): {} queries in {} ms \
          ({:.1} qps)",

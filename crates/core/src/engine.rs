@@ -2,6 +2,7 @@
 
 use crate::cancel::CancellationToken;
 use crate::error::EngineError;
+use crate::exec_options::ExecOptions;
 use crate::fault::FaultPlan;
 use crate::metrics::{Degradation, QueryMetrics};
 use crate::obs::{CompositeObserver, TracingObserver};
@@ -13,8 +14,9 @@ use crate::uot::Uot;
 use crate::Result;
 use std::sync::Arc;
 use std::time::Duration;
+use uot_sql::{CacheStats, PlanCache};
 use uot_storage::{
-    BlockFormat, BlockPool, MemoryTracker, Schema, StorageBlock, StorageError, Value,
+    BlockFormat, BlockPool, Catalog, MemoryTracker, Schema, StorageBlock, StorageError, Value,
 };
 
 pub use crate::scheduler::ExecMode;
@@ -217,17 +219,39 @@ impl QueryResult {
 #[derive(Debug, Default)]
 pub struct Engine {
     config: EngineConfig,
+    /// Catalog SQL statements resolve against (`None` until
+    /// [`Engine::with_catalog`]; plan-based execution never needs it).
+    catalog: Option<Arc<Catalog>>,
+    /// Compiled-plan cache for [`Engine::execute_sql`], keyed by normalized
+    /// SQL text.
+    plan_cache: PlanCache<QueryPlan>,
 }
 
 impl Engine {
     /// Engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
-        Engine { config }
+        Engine {
+            config,
+            catalog: None,
+            plan_cache: PlanCache::new(),
+        }
+    }
+
+    /// Attach the catalog [`Engine::execute_sql`] resolves table names
+    /// against.
+    pub fn with_catalog(mut self, catalog: Arc<Catalog>) -> Self {
+        self.catalog = Some(catalog);
+        self
     }
 
     /// The active configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Counters of the SQL plan cache.
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
     }
 
     /// Validate the configuration against `plan` before running anything.
@@ -263,9 +287,43 @@ impl Engine {
         Ok(())
     }
 
+    /// Layer per-run [`ExecOptions`] over this engine's configuration: the
+    /// single place every execution entry point funnels through, so a knob
+    /// behaves identically no matter which method set it.
+    fn apply_options(&self, plan: QueryPlan, opts: &ExecOptions) -> (EngineConfig, QueryPlan) {
+        let mut cfg = self.config.clone();
+        let mut plan = plan;
+        if let Some(uot) = opts.uot {
+            cfg.default_uot = uot;
+            plan = plan.with_uniform_uot(uot);
+        }
+        if let Some(deadline) = opts.deadline {
+            cfg.deadline = Some(deadline);
+        }
+        if let Some(reservation) = opts.reservation {
+            cfg.memory_budget = Some(reservation);
+        }
+        if opts.trace && cfg.trace.is_none() {
+            cfg.trace = Some(TraceConfig::default());
+        }
+        (cfg, plan)
+    }
+
     /// Execute `plan` and return the materialized result.
     pub fn execute(&self, plan: QueryPlan) -> Result<QueryResult> {
-        self.execute_governed(plan, CancellationToken::new(), Arc::new(FaultPlan::empty()))
+        self.execute_with(plan, ExecOptions::default())
+    }
+
+    /// Execute `plan` with per-run [`ExecOptions`] layered over the engine
+    /// configuration — the unified entry every other `execute_*` routes
+    /// through.
+    pub fn execute_with(&self, plan: QueryPlan, opts: ExecOptions) -> Result<QueryResult> {
+        let faults = opts
+            .faults
+            .clone()
+            .unwrap_or_else(|| Arc::new(FaultPlan::empty()));
+        let (cfg, plan) = self.apply_options(plan, &opts);
+        Engine::new(cfg).execute_governed(plan, CancellationToken::new(), faults)
     }
 
     /// Execute `plan` with a deterministic [`FaultPlan`] active (test-only
@@ -275,7 +333,7 @@ impl Engine {
         plan: QueryPlan,
         faults: Arc<FaultPlan>,
     ) -> Result<QueryResult> {
-        self.execute_governed(plan, CancellationToken::new(), faults)
+        self.execute_with(plan, ExecOptions::default().with_faults(faults))
     }
 
     /// Execute `plan` on a background thread and hand back the
@@ -290,20 +348,58 @@ impl Engine {
         CancellationToken,
         std::thread::JoinHandle<Result<QueryResult>>,
     ) {
+        self.run_cancellable_with(plan, ExecOptions::default())
+    }
+
+    /// [`Self::run_cancellable`] with per-run [`ExecOptions`].
+    pub fn run_cancellable_with(
+        &self,
+        plan: QueryPlan,
+        opts: ExecOptions,
+    ) -> (
+        CancellationToken,
+        std::thread::JoinHandle<Result<QueryResult>>,
+    ) {
+        let faults = opts
+            .faults
+            .clone()
+            .unwrap_or_else(|| Arc::new(FaultPlan::empty()));
+        let (cfg, plan) = self.apply_options(plan, &opts);
         let token = CancellationToken::new();
         let worker_token = token.clone();
-        let config = self.config.clone();
         let handle = std::thread::spawn(move || {
-            Engine::new(config).execute_governed(plan, worker_token, Arc::new(FaultPlan::empty()))
+            Engine::new(cfg).execute_governed(plan, worker_token, faults)
         });
         (token, handle)
     }
 
     /// Execute `plan` with a one-off UoT override on every edge.
     pub fn execute_with_uot(&self, plan: QueryPlan, uot: Uot) -> Result<QueryResult> {
-        let mut cfg = self.config.clone();
-        cfg.default_uot = uot;
-        Engine::new(cfg).execute(plan.with_uniform_uot(uot))
+        self.execute_with(plan, ExecOptions::default().with_uot(uot))
+    }
+
+    /// Compile and execute a SQL statement against the attached catalog.
+    ///
+    /// The compiled physical plan is memoized in this engine's plan cache;
+    /// [`QueryMetrics::plan_cache`] on the result records whether this call
+    /// hit it. Requires [`Engine::with_catalog`].
+    pub fn execute_sql(&self, sql: &str) -> Result<QueryResult> {
+        self.execute_sql_with(sql, ExecOptions::default())
+    }
+
+    /// [`Self::execute_sql`] with per-run [`ExecOptions`].
+    pub fn execute_sql_with(&self, sql: &str, opts: ExecOptions) -> Result<QueryResult> {
+        let catalog = self.catalog.as_ref().ok_or_else(|| {
+            EngineError::Config(
+                "engine has no catalog to resolve SQL against; use Engine::with_catalog".into(),
+            )
+        })?;
+        let (plan, outcome) = self
+            .plan_cache
+            .get_or_compile(sql, || crate::sql::compile(sql, catalog))?;
+        let mut result = self.execute_with((*plan).clone(), opts)?;
+        result.metrics.plan_cache = Some(outcome);
+        Ok(result)
     }
 
     /// Execution with resource governance: one attempt at the configured UoT

@@ -4,6 +4,7 @@ use crate::query_id::QueryId;
 use std::fmt;
 use std::time::Duration;
 use uot_expr::ExprError;
+use uot_sql::PlanError;
 use uot_storage::StorageError;
 
 /// Errors raised while building or executing query plans.
@@ -13,6 +14,10 @@ pub enum EngineError {
     Storage(StorageError),
     /// Expression-layer failure.
     Expr(ExprError),
+    /// SQL frontend failure: the statement did not lex, parse or bind.
+    /// Carries the span-bearing [`PlanError`]; render a caret diagnostic
+    /// with [`PlanError::snippet`] against the original text.
+    Sql(PlanError),
     /// A plan referenced an operator id that does not exist (or is not
     /// upstream of the referencing operator).
     InvalidOperatorRef {
@@ -92,6 +97,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Storage(e) => write!(f, "storage error: {e}"),
             EngineError::Expr(e) => write!(f, "expression error: {e}"),
+            EngineError::Sql(e) => write!(f, "sql error: {e}"),
             EngineError::InvalidOperatorRef { referenced, by } => {
                 write!(f, "operator {by} references invalid operator {referenced}")
             }
@@ -158,6 +164,12 @@ impl From<ExprError> for EngineError {
     }
 }
 
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> Self {
+        EngineError::Sql(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +180,11 @@ mod tests {
         assert!(matches!(e, EngineError::Storage(_)));
         let e: EngineError = ExprError::ColumnOutOfRange { index: 1, len: 0 }.into();
         assert!(matches!(e, EngineError::Expr(_)));
+        let e: EngineError =
+            PlanError::spanless(uot_sql::PlanErrorKind::Parse, "dangling FROM").into();
+        assert!(matches!(e, EngineError::Sql(_)));
+        assert!(e.to_string().contains("sql error"));
+        assert!(e.to_string().contains("dangling FROM"));
     }
 
     #[test]

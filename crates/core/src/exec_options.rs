@@ -1,0 +1,112 @@
+//! Per-submission execution knobs, shared by both drivers.
+//!
+//! [`Engine`](crate::engine::Engine) and [`QueryService`](crate::service::QueryService)
+//! used to carry near-duplicate knob sets ([`EngineConfig`](crate::engine::EngineConfig)
+//! fields vs. the service's former `QueryOptions`). [`ExecOptions`] is the
+//! deduplicated form: one struct of per-query overrides that
+//! [`Engine::execute_with`](crate::engine::Engine::execute_with) and
+//! [`QueryService::submit_with`](crate::service::QueryService::submit_with)
+//! both accept, layered over their owner's defaults.
+//!
+//! Field semantics per driver:
+//!
+//! | field | `Engine` | `QueryService` |
+//! |---|---|---|
+//! | `reservation` | per-run memory budget | admission reservation + budget |
+//! | `deadline` | overrides `EngineConfig::deadline` | per-query deadline |
+//! | `uot` | uniform UoT override | uniform UoT override |
+//! | `trace` | enables tracing for this run | enables tracing for this query |
+//! | `faults` | deterministic fault plan | deterministic fault plan |
+
+use crate::fault::FaultPlan;
+use crate::uot::Uot;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-submission knobs (see the module docs for per-driver semantics).
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Bytes of memory this query may hold. Under a service this is the
+    /// admission reservation carved from the global budget
+    /// ([`ServiceConfig::default_reservation`](crate::service::ServiceConfig::default_reservation)
+    /// when `None`); standalone it overrides
+    /// [`EngineConfig::memory_budget`](crate::engine::EngineConfig::memory_budget).
+    /// Either way it is the query's own hard cap: outgrowing it fails this
+    /// query alone.
+    pub reservation: Option<usize>,
+    /// Wall-clock deadline from start/admission; past it the query is
+    /// cancelled.
+    pub deadline: Option<Duration>,
+    /// UoT override for this query's edges (the owner's default when `None`).
+    pub uot: Option<Uot>,
+    /// Record a structured trace for this query.
+    pub trace: bool,
+    /// Deterministic fault plan (test harness).
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl ExecOptions {
+    /// Builder-style setter for the memory reservation.
+    pub fn with_reservation(mut self, bytes: usize) -> Self {
+        self.reservation = Some(bytes);
+        self
+    }
+
+    /// Builder-style setter for the deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Builder-style setter for the UoT override.
+    pub fn with_uot(mut self, uot: Uot) -> Self {
+        self.uot = Some(uot);
+        self
+    }
+
+    /// Enable structured tracing for this query.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Builder-style setter for a fault plan.
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+}
+
+/// Former name of [`ExecOptions`], kept for source compatibility.
+#[deprecated(
+    since = "0.1.0",
+    note = "renamed to ExecOptions; the same knobs now drive both Engine and QueryService"
+)]
+pub type QueryOptions = ExecOptions;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_every_knob() {
+        let o = ExecOptions::default()
+            .with_reservation(4096)
+            .with_deadline(Duration::from_secs(2))
+            .with_uot(Uot::Table)
+            .traced()
+            .with_faults(Arc::new(FaultPlan::empty()));
+        assert_eq!(o.reservation, Some(4096));
+        assert_eq!(o.deadline, Some(Duration::from_secs(2)));
+        assert_eq!(o.uot, Some(Uot::Table));
+        assert!(o.trace);
+        assert!(o.faults.is_some());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_alias_still_works() {
+        let o = QueryOptions::default().with_uot(Uot::Blocks(2));
+        assert_eq!(o.uot, Some(Uot::Blocks(2)));
+    }
+}

@@ -36,6 +36,7 @@ pub mod cancel;
 pub mod edge;
 pub mod engine;
 pub mod error;
+pub mod exec_options;
 pub mod fault;
 pub mod hash_table;
 pub mod metrics;
@@ -46,6 +47,7 @@ pub mod plan;
 pub mod query_id;
 pub mod scheduler;
 pub mod service;
+pub mod sql;
 pub mod state;
 pub mod topology;
 pub mod trace;
@@ -57,6 +59,9 @@ pub use cancel::CancellationToken;
 pub use edge::{EdgeDest, TransferAction, TransferEdge};
 pub use engine::{DegradePolicy, Engine, EngineConfig, ExecMode, QueryResult, TraceConfig};
 pub use error::EngineError;
+pub use exec_options::ExecOptions;
+#[allow(deprecated)]
+pub use exec_options::QueryOptions;
 pub use fault::{FaultKind, FaultPlan, FaultSite, Injection};
 pub use hash_table::{JoinHashTable, PayloadRef, ProbeMatch, ProbeSession};
 pub use metrics::{Degradation, OperatorMetrics, QueryMetrics, TaskRecord};
@@ -69,10 +74,13 @@ pub use scheduler::{run, run_query, MetricsCarrier};
 pub use scheduler::{
     FailedQuery, MetricsObserver, NoopObserver, SchedulerConfig, SchedulerCore, SchedulerObserver,
 };
-pub use service::{QueryHandle, QueryOptions, QueryService, ServiceConfig};
+pub use service::{QueryHandle, QueryService, ServiceConfig};
+pub use sql::{compile, lower};
 pub use topology::{Dependent, PlanTopology};
 pub use trace::{Trace, TraceEvent, TraceEventKind, TraceSink, DEFAULT_TRACE_CAPACITY};
 pub use uot::Uot;
+// Frontend types callers of the SQL entry points interact with directly.
+pub use uot_sql::{CacheStats, PlanCacheOutcome, PlanError, PlanErrorKind};
 pub use work_order::{WorkKind, WorkOrder};
 
 /// Result alias for engine operations.

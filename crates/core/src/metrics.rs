@@ -10,6 +10,7 @@ use crate::plan::OpId;
 use crate::query_id::QueryId;
 use crate::uot::Uot;
 use std::time::Duration;
+use uot_sql::PlanCacheOutcome;
 use uot_storage::PoolStats;
 
 /// One UoT degradation taken by the engine's
@@ -110,6 +111,10 @@ pub struct QueryMetrics {
     /// UoT degradations taken to fit the memory budget (empty unless
     /// [`DegradePolicy::LowerUot`](crate::engine::DegradePolicy) kicked in).
     pub degradations: Vec<Degradation>,
+    /// For SQL submissions: whether the physical plan came from the plan
+    /// cache ([`PlanCacheOutcome::Hit`]) or was compiled fresh. `None` when
+    /// the query was submitted as a pre-built plan.
+    pub plan_cache: Option<PlanCacheOutcome>,
 }
 
 impl QueryMetrics {

@@ -376,6 +376,7 @@ impl<O: SchedulerObserver + MetricsCarrier> SchedulerCore<O> {
             result_rows,
             workers,
             degradations: Vec::new(),
+            plan_cache: None,
         };
         self.release_resources();
         (self.result_blocks, metrics)

@@ -34,7 +34,7 @@
 use crate::cancel::CancellationToken;
 use crate::engine::QueryResult;
 use crate::error::EngineError;
-use crate::fault::FaultPlan;
+use crate::exec_options::ExecOptions;
 use crate::metrics::TaskRecord;
 use crate::obs::observer::MaybeTracingObserver;
 use crate::obs::{CompositeObserver, TracingObserver};
@@ -52,7 +52,8 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use uot_storage::{BlockFormat, BlockPool, MemoryTracker, Schema, StorageBlock};
+use uot_sql::{CacheStats, PlanCache, PlanCacheOutcome};
+use uot_storage::{BlockFormat, BlockPool, Catalog, MemoryTracker, Schema, StorageBlock};
 
 /// The per-query observer stack: metrics always, tracing when enabled.
 /// One concrete type so every query's [`SchedulerCore`] is the same type.
@@ -68,7 +69,7 @@ pub struct ServiceConfig {
     /// Global budget in bytes for temporary memory across *all* queries.
     pub memory_budget: usize,
     /// Reservation for queries that do not set
-    /// [`QueryOptions::reservation`].
+    /// [`ExecOptions::reservation`].
     pub default_reservation: usize,
     /// Admission-queue depth: submissions past it are rejected with
     /// [`EngineError::AdmissionRejected`] instead of queueing.
@@ -85,10 +86,13 @@ pub struct ServiceConfig {
     pub hash_table_shards: usize,
     /// Whether per-query block pools reuse returned blocks.
     pub pool_reuse: bool,
-    /// Trace every query (per-query opt-in via [`QueryOptions::trace`]).
+    /// Trace every query (per-query opt-in via [`ExecOptions::trace`]).
     pub trace: bool,
     /// Event capacity of each per-query trace sink.
     pub trace_capacity: usize,
+    /// Catalog [`QueryService::submit_sql`] resolves table names against
+    /// (empty by default; plan-based submissions never consult it).
+    pub catalog: Arc<Catalog>,
 }
 
 impl Default for ServiceConfig {
@@ -108,6 +112,7 @@ impl Default for ServiceConfig {
             pool_reuse: true,
             trace: false,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            catalog: Catalog::new(),
         }
     }
 }
@@ -138,55 +143,6 @@ impl ServiceConfig {
             ));
         }
         Ok(())
-    }
-}
-
-/// Per-submission knobs.
-#[derive(Debug, Clone, Default)]
-pub struct QueryOptions {
-    /// Bytes of the global budget to reserve for this query
-    /// ([`ServiceConfig::default_reservation`] when `None`). Also the
-    /// query's own hard cap: outgrowing it fails this query alone.
-    pub reservation: Option<usize>,
-    /// Wall-clock deadline from admission; past it the query is cancelled.
-    pub deadline: Option<Duration>,
-    /// UoT override for this query's edges (service default when `None`).
-    pub uot: Option<Uot>,
-    /// Record a structured trace for this query.
-    pub trace: bool,
-    /// Deterministic fault plan (test harness).
-    pub faults: Option<Arc<FaultPlan>>,
-}
-
-impl QueryOptions {
-    /// Builder-style setter for the memory reservation.
-    pub fn with_reservation(mut self, bytes: usize) -> Self {
-        self.reservation = Some(bytes);
-        self
-    }
-
-    /// Builder-style setter for the deadline.
-    pub fn with_deadline(mut self, deadline: Duration) -> Self {
-        self.deadline = Some(deadline);
-        self
-    }
-
-    /// Builder-style setter for the UoT override.
-    pub fn with_uot(mut self, uot: Uot) -> Self {
-        self.uot = Some(uot);
-        self
-    }
-
-    /// Enable structured tracing for this query.
-    pub fn traced(mut self) -> Self {
-        self.trace = true;
-        self
-    }
-
-    /// Builder-style setter for a fault plan.
-    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
-        self.faults = Some(faults);
-        self
     }
 }
 
@@ -231,10 +187,13 @@ impl QueryHandle {
 struct Submission {
     id: QueryId,
     plan: QueryPlan,
-    opts: QueryOptions,
+    opts: ExecOptions,
     token: CancellationToken,
     reply: Sender<Result<QueryResult>>,
     reservation: usize,
+    /// Plan-cache outcome when the query arrived as SQL (`None` for
+    /// pre-built plans); stamped onto the final metrics.
+    cache: Option<PlanCacheOutcome>,
 }
 
 /// A finished work order reported back by a worker.
@@ -273,6 +232,9 @@ pub struct QueryService {
     next_id: AtomicU64,
     tracker: Arc<MemoryTracker>,
     config: ServiceConfig,
+    /// Compiled plans shared by every [`QueryService::submit_sql`] client,
+    /// keyed by normalized SQL text.
+    plan_cache: PlanCache<QueryPlan>,
 }
 
 impl QueryService {
@@ -328,6 +290,7 @@ impl QueryService {
             next_id: AtomicU64::new(1),
             tracker,
             config,
+            plan_cache: PlanCache::new(),
         })
     }
 
@@ -348,15 +311,51 @@ impl QueryService {
         self.tracker.current_bytes()
     }
 
-    /// Submit `plan` with default [`QueryOptions`].
-    pub fn submit(&self, plan: QueryPlan) -> Result<QueryHandle> {
-        self.submit_with(plan, QueryOptions::default())
+    /// Submit a SQL statement with default [`ExecOptions`] — the primary
+    /// front door: compile (or fetch from the plan cache), then run.
+    pub fn submit_sql(&self, sql: &str) -> Result<QueryHandle> {
+        self.submit_sql_with(sql, ExecOptions::default())
     }
 
-    /// Submit `plan`. Returns immediately with a [`QueryHandle`]; admission
-    /// (or rejection), execution and teardown happen on the service threads,
-    /// and the outcome is delivered through [`QueryHandle::wait`].
-    pub fn submit_with(&self, plan: QueryPlan, opts: QueryOptions) -> Result<QueryHandle> {
+    /// Submit a SQL statement with per-query [`ExecOptions`].
+    ///
+    /// Compilation happens on the calling thread against
+    /// [`ServiceConfig::catalog`], memoized in the service-wide plan cache;
+    /// frontend failures return [`EngineError::Sql`] immediately instead of
+    /// through the handle. [`QueryMetrics::plan_cache`](crate::metrics::QueryMetrics::plan_cache)
+    /// on the result records whether this submission hit the cache.
+    pub fn submit_sql_with(&self, sql: &str, opts: ExecOptions) -> Result<QueryHandle> {
+        let (plan, outcome) = self
+            .plan_cache
+            .get_or_compile(sql, || crate::sql::compile(sql, &self.config.catalog))?;
+        self.submit_inner((*plan).clone(), opts, Some(outcome))
+    }
+
+    /// Counters of the shared SQL plan cache.
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Submit a pre-built `plan` with default [`ExecOptions`] (escape hatch
+    /// for plans SQL cannot express; [`QueryService::submit_sql`] is the
+    /// primary API).
+    pub fn submit(&self, plan: QueryPlan) -> Result<QueryHandle> {
+        self.submit_with(plan, ExecOptions::default())
+    }
+
+    /// Submit a pre-built `plan`. Returns immediately with a [`QueryHandle`];
+    /// admission (or rejection), execution and teardown happen on the service
+    /// threads, and the outcome is delivered through [`QueryHandle::wait`].
+    pub fn submit_with(&self, plan: QueryPlan, opts: ExecOptions) -> Result<QueryHandle> {
+        self.submit_inner(plan, opts, None)
+    }
+
+    fn submit_inner(
+        &self,
+        plan: QueryPlan,
+        opts: ExecOptions,
+        cache: Option<PlanCacheOutcome>,
+    ) -> Result<QueryHandle> {
         let id = QueryId::new(self.next_id.fetch_add(1, Ordering::Relaxed));
         let token = CancellationToken::new();
         let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
@@ -368,6 +367,7 @@ impl QueryService {
             token: token.clone(),
             reply: reply_tx,
             reservation,
+            cache,
         };
         self.to_service
             .send(ToService::Submit(Box::new(sub)))
@@ -410,6 +410,8 @@ struct ActiveQuery {
     schema: Arc<Schema>,
     sink: Option<Arc<TraceSink>>,
     reservation: usize,
+    /// Plan-cache outcome for SQL submissions, stamped onto the metrics.
+    cache: Option<PlanCacheOutcome>,
     /// Deadline relative to admission (the context's start).
     deadline: Option<Duration>,
     /// seq -> (op, bytes its stream input charged): enough to release
@@ -631,6 +633,7 @@ impl SchedulerLoop {
             token,
             reply,
             reservation,
+            cache,
         } = sub;
         // The per-query tracker mirrors into the service tracker (charged
         // against the *global* budget first), and the per-query pool caps
@@ -687,6 +690,7 @@ impl SchedulerLoop {
                 schema,
                 sink,
                 reservation,
+                cache,
                 deadline: opts.deadline,
                 in_flight: HashMap::new(),
                 completed: 0,
@@ -737,7 +741,8 @@ impl SchedulerLoop {
             error = Some(q.core.stall_error());
         }
         let wall = q.ctx.elapsed();
-        let (blocks, metrics) = q.core.into_results(wall, self.config.workers);
+        let (blocks, mut metrics) = q.core.into_results(wall, self.config.workers);
+        metrics.plan_cache = q.cache;
         let result = match error {
             None => {
                 let trace = q
@@ -866,7 +871,7 @@ mod tests {
         let err = svc
             .submit_with(
                 join_agg_plan(50),
-                QueryOptions::default().with_reservation(usize::MAX),
+                ExecOptions::default().with_reservation(usize::MAX),
             )
             .unwrap()
             .wait()
@@ -925,7 +930,7 @@ mod tests {
         let doomed = svc
             .submit_with(
                 join_agg_plan(4000),
-                QueryOptions::default().with_deadline(Duration::ZERO),
+                ExecOptions::default().with_deadline(Duration::ZERO),
             )
             .unwrap();
         let survivor = svc.submit(join_agg_plan(200)).unwrap();
@@ -950,7 +955,7 @@ mod tests {
         let offender = svc
             .submit_with(
                 join_agg_plan(2000),
-                QueryOptions::default().with_reservation(600),
+                ExecOptions::default().with_reservation(600),
             )
             .unwrap();
         let sibling = svc.submit(join_agg_plan(200)).unwrap();
@@ -976,7 +981,7 @@ mod tests {
     fn traced_query_stamps_its_id() {
         let svc = small_service(2);
         let h = svc
-            .submit_with(join_agg_plan(100), QueryOptions::default().traced())
+            .submit_with(join_agg_plan(100), ExecOptions::default().traced())
             .unwrap();
         let id = h.id();
         let r = h.wait().unwrap();

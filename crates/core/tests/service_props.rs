@@ -13,7 +13,7 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 use uot_core::{
-    EngineError, FaultKind, FaultPlan, FaultSite, Injection, JoinType, PlanBuilder, QueryOptions,
+    EngineError, ExecOptions, FaultKind, FaultPlan, FaultSite, Injection, JoinType, PlanBuilder,
     QueryPlan, QueryService, ServiceConfig, Source, Uot,
 };
 use uot_expr::{cmp, col, lit, AggSpec, CmpOp};
@@ -146,7 +146,7 @@ proptest! {
     ) {
         quiet_injected_panics();
         let plan = join_agg_plan(&fact, &dim);
-        let opts = QueryOptions::default().with_uot(uot);
+        let opts = ExecOptions::default().with_uot(uot);
         let svc = service();
 
         // Baseline: the query alone on an otherwise idle service.

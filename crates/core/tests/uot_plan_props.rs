@@ -8,9 +8,16 @@
 //! block format (row, column). This is the paper's premise — the UoT spans a
 //! performance spectrum while answers stay fixed — enforced as a property.
 //!
-//! All generated columns are integers so aggregate sums are order-exact
-//! (i64 accumulation); float addition would make cross-schedule comparison
-//! flaky by non-associativity, not by engine bugs.
+//! The fact table carries a float column on purpose: `SUM`/`AVG` over
+//! `Float64` use the exact accumulator (`uot_expr::ExactF64Sum`), so even
+//! float aggregates must be *bit*-identical across schedules — the property
+//! asserts plain equality, no epsilon.
+//!
+//! A second property compiles the equivalent SQL text through the front door
+//! (`uot_core::sql::compile`) and checks the SQL-built plan agrees with the
+//! hand-constructed plan byte-for-byte under every schedule — the
+//! `api_redesign` contract that the SQL surface is a pure re-spelling of the
+//! builder API.
 
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -20,7 +27,7 @@ use uot_core::{
     Engine, EngineConfig, ExecMode, JoinType, PlanBuilder, QueryPlan, Source, TraceConfig, Uot,
 };
 use uot_expr::{cmp, col, lit, AggSpec, CmpOp};
-use uot_storage::{BlockFormat, DataType, Schema, Table, TableBuilder, Value};
+use uot_storage::{BlockFormat, Catalog, DataType, Schema, Table, TableBuilder, Value};
 
 /// Shape of one randomized query: data, predicate, and plan structure.
 #[derive(Debug, Clone)]
@@ -74,23 +81,50 @@ fn arb_spec() -> impl Strategy<Value = PlanSpec> {
         )
 }
 
-fn int_table(name: &str, rows: &[(i32, i32)], rows_per_block: usize) -> Arc<Table> {
-    let s = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int32)]);
-    // 8 bytes per (i32, i32) tuple
-    let mut tb = TableBuilder::new(name, s, BlockFormat::Column, rows_per_block * 8);
+/// Fact table: (k Int32, v Int32, f Float64) with `f = v * 0.1` — an
+/// inexact dyadic so float summation order would show up in the low bits if
+/// aggregation were not exact.
+fn fact_table(rows: &[(i32, i32)], rows_per_block: usize) -> Table {
+    let s = Schema::from_pairs(&[
+        ("k", DataType::Int32),
+        ("v", DataType::Int32),
+        ("f", DataType::Float64),
+    ]);
+    let mut tb = TableBuilder::new("fact", s, BlockFormat::Column, rows_per_block * 16);
     for &(k, v) in rows {
-        tb.append(&[Value::I32(k), Value::I32(v)]).unwrap();
+        tb.append(&[Value::I32(k), Value::I32(v), Value::F64(v as f64 * 0.1)])
+            .unwrap();
     }
-    Arc::new(tb.finish())
+    tb.finish()
 }
 
-/// Build the plan described by `spec`:
+/// Dim table: (dk Int32, p Int32) with payload `p = 10 * dk`.
+fn dim_table(dim_keys: i32, rows_per_block: usize) -> Table {
+    let s = Schema::from_pairs(&[("dk", DataType::Int32), ("p", DataType::Int32)]);
+    let mut tb = TableBuilder::new("dim", s, BlockFormat::Column, rows_per_block * 8);
+    for k in 0..dim_keys {
+        tb.append(&[Value::I32(k), Value::I32(10 * k)]).unwrap();
+    }
+    tb.finish()
+}
+
+/// Catalog holding `spec`'s tables (the SQL path resolves names against it;
+/// the constructor path scans the same `Arc<Table>`s).
+fn catalog_for(spec: &PlanSpec) -> Arc<Catalog> {
+    let c = Catalog::new();
+    c.register(fact_table(&spec.fact, spec.rows_per_block))
+        .unwrap();
+    c.register(dim_table(spec.dim_keys, spec.rows_per_block))
+        .unwrap();
+    c
+}
+
+/// Build the plan described by `spec` over `catalog`'s tables:
 /// `select(fact, k < t)` [`-> probe(build(dim))`] [`-> group-by aggregate`],
 /// then stamp every operator with its randomized UoT override.
-fn build_plan(spec: &PlanSpec) -> QueryPlan {
-    let fact = int_table("fact", &spec.fact, spec.rows_per_block);
-    let dim_rows: Vec<(i32, i32)> = (0..spec.dim_keys).map(|k| (k, 10 * k)).collect();
-    let dim = int_table("dim", &dim_rows, spec.rows_per_block);
+fn build_plan_in(spec: &PlanSpec, catalog: &Catalog) -> QueryPlan {
+    let fact = catalog.get("fact").unwrap();
+    let dim = catalog.get("dim").unwrap();
 
     let mut pb = PlanBuilder::new();
     let mut tail = pb
@@ -101,13 +135,13 @@ fn build_plan(spec: &PlanSpec) -> QueryPlan {
         .unwrap();
     if spec.join {
         let b = pb.build_hash(Source::Table(dim), vec![0], vec![1]).unwrap();
-        // output: [fact k, fact v, dim payload]
+        // output: [fact k, fact v, fact f, dim payload]
         tail = pb
             .probe(
                 Source::Op(tail),
                 b,
                 vec![0],
-                vec![0, 1],
+                vec![0, 1, 2],
                 vec![0],
                 JoinType::Inner,
             )
@@ -118,8 +152,12 @@ fn build_plan(spec: &PlanSpec) -> QueryPlan {
             .aggregate(
                 Source::Op(tail),
                 vec![0],
-                vec![AggSpec::count_star(), AggSpec::sum(col(1))],
-                &["n", "s"],
+                vec![
+                    AggSpec::count_star(),
+                    AggSpec::sum(col(1)),
+                    AggSpec::sum(col(2)),
+                ],
+                &["n", "s", "sf"],
             )
             .unwrap();
     }
@@ -129,6 +167,28 @@ fn build_plan(spec: &PlanSpec) -> QueryPlan {
         plan = plan.with_op_uot(op, spec.uots[op % spec.uots.len()]);
     }
     plan
+}
+
+fn build_plan(spec: &PlanSpec) -> QueryPlan {
+    build_plan_in(spec, &catalog_for(spec))
+}
+
+/// The SQL spelling of `spec`'s query (modulo projection narrowing the
+/// binder applies, which must not change results).
+fn sql_for(spec: &PlanSpec) -> String {
+    let t = spec.threshold;
+    match (spec.join, spec.aggregate) {
+        (false, false) => format!("SELECT k, v, f FROM fact WHERE k < {t}"),
+        (false, true) => format!(
+            "SELECT k, COUNT(*) AS n, SUM(v) AS s, SUM(f) AS sf \
+             FROM fact WHERE k < {t} GROUP BY k"
+        ),
+        (true, false) => format!("SELECT k, v, f, p FROM fact, dim WHERE k = dk AND k < {t}"),
+        (true, true) => format!(
+            "SELECT k, COUNT(*) AS n, SUM(v) AS s, SUM(f) AS sf \
+             FROM fact, dim WHERE k = dk AND k < {t} GROUP BY k"
+        ),
+    }
 }
 
 proptest! {
@@ -191,6 +251,40 @@ proptest! {
             joined.len()
         };
         prop_assert_eq!(reference.unwrap().len(), expected_rows);
+    }
+
+    /// The SQL front door is a re-spelling of the plan-builder API: compiling
+    /// the equivalent SQL text must produce byte-identical results to the
+    /// hand-built plan — including float aggregates, bit for bit — under
+    /// every mode / UoT / temp-format combination.
+    #[test]
+    fn sql_built_plans_match_constructor_plans(spec in arb_spec()) {
+        let catalog = catalog_for(&spec);
+        let sql = sql_for(&spec);
+        for mode in [ExecMode::Serial, ExecMode::Parallel { workers: 2 }] {
+            for default_uot in [Uot::Blocks(1), Uot::Blocks(3), Uot::Table] {
+                for temp_format in [BlockFormat::Row, BlockFormat::Column] {
+                    let cfg = EngineConfig {
+                        mode,
+                        default_uot,
+                        temp_format,
+                        ..EngineConfig::serial()
+                    }
+                    .with_block_bytes(128);
+                    let ctor = Engine::new(cfg.clone())
+                        .execute(build_plan_in(&spec, &catalog))
+                        .unwrap();
+                    let sql_plan = uot_core::sql::compile(&sql, &catalog).unwrap();
+                    let from_sql = Engine::new(cfg).execute(sql_plan).unwrap();
+                    prop_assert_eq!(
+                        from_sql.sorted_rows(),
+                        ctor.sorted_rows(),
+                        "SQL vs constructor divergence under {:?} {} {:?} for `{}`",
+                        mode, default_uot, temp_format, &sql
+                    );
+                }
+            }
+        }
     }
 
     /// Observability must be a pure observer: layering a `TracingObserver`

@@ -7,6 +7,7 @@
 //! pattern Quickstep uses.
 
 use crate::error::ExprError;
+use crate::exact_sum::ExactF64Sum;
 use crate::scalar::ScalarExpr;
 use crate::Result;
 use uot_storage::{ColumnData, DataType, Schema, Value};
@@ -130,10 +131,13 @@ impl AggSpec {
     pub fn init_state(&self, input: &Schema) -> Result<AggState> {
         let kind = match self.func {
             AggFunc::CountStar | AggFunc::Count => StateKind::Count(0),
-            AggFunc::Avg => StateKind::Avg { sum: 0.0, count: 0 },
+            AggFunc::Avg => StateKind::Avg {
+                sum: ExactF64Sum::new(),
+                count: 0,
+            },
             AggFunc::Sum => match self.arg_type(input)? {
                 DataType::Int32 | DataType::Int64 => StateKind::SumI(0),
-                DataType::Float64 => StateKind::SumF(0.0),
+                DataType::Float64 => StateKind::SumF(ExactF64Sum::new()),
                 other => {
                     return Err(ExprError::InvalidType {
                         context: "SUM",
@@ -173,8 +177,11 @@ impl AggSpec {
 enum StateKind {
     Count(u64),
     SumI(i64),
-    SumF(f64),
-    Avg { sum: f64, count: u64 },
+    // Float sums use the exact accumulator so results are bit-identical
+    // regardless of how rows were split into per-work-order partials — query
+    // output must not depend on blocking, UoT, or degree of parallelism.
+    SumF(ExactF64Sum),
+    Avg { sum: ExactF64Sum, count: u64 },
     ExtremeI { value: Option<i64>, is_min: bool },
     ExtremeF { value: Option<f64>, is_min: bool },
 }
@@ -199,20 +206,20 @@ impl AggState {
                 other => return Err(bad("SUM(int)", other)),
             },
             StateKind::SumF(acc) => match col {
-                ColumnData::F64(v) => *acc += v.iter().sum::<f64>(),
+                ColumnData::F64(v) => v.iter().for_each(|&x| acc.add(x)),
                 other => return Err(bad("SUM(float)", other)),
             },
             StateKind::Avg { sum, count } => match col {
                 ColumnData::F64(v) => {
-                    *sum += v.iter().sum::<f64>();
+                    v.iter().for_each(|&x| sum.add(x));
                     *count += v.len() as u64;
                 }
                 ColumnData::I32(v) => {
-                    *sum += v.iter().map(|&x| x as f64).sum::<f64>();
+                    v.iter().for_each(|&x| sum.add(x as f64));
                     *count += v.len() as u64;
                 }
                 ColumnData::I64(v) => {
-                    *sum += v.iter().map(|&x| x as f64).sum::<f64>();
+                    v.iter().for_each(|&x| sum.add(x as f64));
                     *count += v.len() as u64;
                 }
                 other => return Err(bad("AVG", other)),
@@ -272,9 +279,9 @@ impl AggState {
         match (&mut self.kind, &other.kind) {
             (StateKind::Count(a), StateKind::Count(b)) => *a += b,
             (StateKind::SumI(a), StateKind::SumI(b)) => *a += b,
-            (StateKind::SumF(a), StateKind::SumF(b)) => *a += b,
+            (StateKind::SumF(a), StateKind::SumF(b)) => a.merge(b),
             (StateKind::Avg { sum: s1, count: c1 }, StateKind::Avg { sum: s2, count: c2 }) => {
-                *s1 += s2;
+                s1.merge(s2);
                 *c1 += c2;
             }
             (StateKind::ExtremeI { value: a, is_min }, StateKind::ExtremeI { value: b, .. }) => {
@@ -316,12 +323,12 @@ impl AggState {
         match &self.kind {
             StateKind::Count(c) => Value::I64(*c as i64),
             StateKind::SumI(s) => Value::I64(*s),
-            StateKind::SumF(s) => Value::F64(*s),
+            StateKind::SumF(s) => Value::F64(s.value()),
             StateKind::Avg { sum, count } => {
                 if *count == 0 {
                     Value::F64(0.0)
                 } else {
-                    Value::F64(sum / *count as f64)
+                    Value::F64(sum.value() / *count as f64)
                 }
             }
             StateKind::ExtremeI { value, .. } => {

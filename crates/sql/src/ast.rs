@@ -1,0 +1,601 @@
+//! The abstract syntax tree of the supported SELECT dialect.
+//!
+//! Every node carries the [`Span`] of the source text it was parsed from, so
+//! binder diagnostics point at the exact offending fragment. The `Display`
+//! impls render an AST back to canonical SQL text; `parse(ast.to_string())`
+//! reproduces the same AST (the parser round-trip property).
+
+use crate::error::Span;
+use std::fmt;
+
+/// One `SELECT ... [FROM ...] [WHERE ...] [GROUP BY ...] [HAVING ...]
+/// [ORDER BY ...] [LIMIT n]` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// The projection list.
+    pub items: Vec<SelectItem>,
+    /// `FROM` items in source order. Order is meaningful: the first item is
+    /// the streamed (probe) side, every later item joins as a hash-build
+    /// side — the dialect encodes the join tree instead of re-deriving it
+    /// with an optimizer.
+    pub from: Vec<TableRef>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate over the grouped output.
+    pub having: Option<Expr>,
+    /// `ORDER BY` keys over the output columns.
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT n`.
+    pub limit: Option<usize>,
+    /// Span of the whole statement.
+    pub span: Span,
+}
+
+/// One projection-list entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — every column of the current scope, in order.
+    Wildcard {
+        /// Position of the `*`.
+        span: Span,
+    },
+    /// `expr [AS alias]`.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Output column name override.
+        alias: Option<String>,
+    },
+}
+
+/// A `FROM` item: a named base table or a parenthesized derived table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// What is being scanned.
+    pub source: TableSource,
+    /// Binding alias (`nation n1`); defaults to the table name.
+    pub alias: Option<String>,
+    /// Span of the whole item.
+    pub span: Span,
+}
+
+/// The two kinds of `FROM` sources.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableSource {
+    /// A catalog table by (lowercased) name.
+    Named(String),
+    /// `(SELECT ...)` — a derived table, planned recursively.
+    Derived(Box<Select>),
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Key expression: an output name, alias, 1-based position, or an
+    /// expression matching a projection item.
+    pub expr: Expr,
+    /// `DESC`?
+    pub desc: bool,
+}
+
+/// An expression (scalar or boolean — the binder decides by context).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The node.
+    pub kind: ExprKind,
+    /// Source range.
+    pub span: Span,
+}
+
+/// Binary operators, scalar and boolean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinaryOp {
+    fn as_str(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Eq => "=",
+            BinaryOp::Ne => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        }
+    }
+
+    /// Binding strength for `Display` parenthesization (higher binds
+    /// tighter); mirrors the parser's precedence levels.
+    fn precedence(self) -> u8 {
+        match self {
+            BinaryOp::Or => 1,
+            BinaryOp::And => 2,
+            BinaryOp::Eq
+            | BinaryOp::Ne
+            | BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
+            | BinaryOp::Ge => 4,
+            BinaryOp::Add | BinaryOp::Sub => 5,
+            BinaryOp::Mul | BinaryOp::Div => 6,
+        }
+    }
+}
+
+/// Aggregate functions of the dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFuncName {
+    /// `COUNT(*)`
+    CountStar,
+    /// `COUNT(expr)`
+    Count,
+    /// `SUM(expr)`
+    Sum,
+    /// `AVG(expr)`
+    Avg,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+}
+
+impl AggFuncName {
+    /// Lowercase function name (also the default output-column name).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AggFuncName::CountStar | AggFuncName::Count => "count",
+            AggFuncName::Sum => "sum",
+            AggFuncName::Avg => "avg",
+            AggFuncName::Min => "min",
+            AggFuncName::Max => "max",
+        }
+    }
+}
+
+/// Expression nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// `[qualifier.]name` column reference.
+    Column {
+        /// Table alias qualifier.
+        qualifier: Option<String>,
+        /// Column name (lowercased).
+        name: String,
+    },
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `DATE 'yyyy-mm-dd'`, already converted to engine day numbering.
+    Date {
+        /// Days in the engine's epoch encoding.
+        days: i32,
+        /// The original literal text (for display).
+        text: String,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// `NOT expr`.
+    Not(Box<Expr>),
+    /// `expr [NOT] BETWEEN lo AND hi` (inclusive on both ends, per SQL).
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        lo: Box<Expr>,
+        /// Upper bound.
+        hi: Box<Expr>,
+        /// `NOT BETWEEN`?
+        negated: bool,
+    },
+    /// `expr [NOT] IN (literal, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The literal list.
+        list: Vec<Expr>,
+        /// `NOT IN`?
+        negated: bool,
+    },
+    /// `expr [NOT] IN (SELECT ...)` — a semi (or anti) join.
+    InSelect {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The subquery (must project exactly one column).
+        query: Box<Select>,
+        /// `NOT IN`?
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE 'pattern'` (prefix `p%` and containment `%p%`
+    /// patterns only — what the engine has predicates for).
+    Like {
+        /// Tested expression (must be a `Char` column).
+        expr: Box<Expr>,
+        /// The raw pattern.
+        pattern: String,
+        /// `NOT LIKE`?
+        negated: bool,
+    },
+    /// `CASE WHEN cond THEN a ELSE b END` (single branch, `ELSE` required —
+    /// the engine's `Case` expression shape).
+    Case {
+        /// Branch condition.
+        when: Box<Expr>,
+        /// Value when the condition holds.
+        then: Box<Expr>,
+        /// Value otherwise.
+        els: Box<Expr>,
+    },
+    /// An aggregate call.
+    Agg {
+        /// Which aggregate.
+        func: AggFuncName,
+        /// Argument (`None` for `COUNT(*)`).
+        arg: Option<Box<Expr>>,
+    },
+    /// `EXTRACT(YEAR FROM expr)`.
+    ExtractYear(Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand constructor.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// Structural equality ignoring spans — used to match `GROUP BY` /
+    /// `HAVING` / `ORDER BY` expressions against projection items.
+    pub fn same_shape(&self, other: &Expr) -> bool {
+        use ExprKind::*;
+        match (&self.kind, &other.kind) {
+            (
+                Column {
+                    qualifier: q1,
+                    name: n1,
+                },
+                Column {
+                    qualifier: q2,
+                    name: n2,
+                },
+            ) => n1 == n2 && (q1 == q2 || q1.is_none() || q2.is_none()),
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (Date { days: a, .. }, Date { days: b, .. }) => a == b,
+            (
+                Binary {
+                    op: o1,
+                    left: l1,
+                    right: r1,
+                },
+                Binary {
+                    op: o2,
+                    left: l2,
+                    right: r2,
+                },
+            ) => o1 == o2 && l1.same_shape(l2) && r1.same_shape(r2),
+            (Neg(a), Neg(b)) | (Not(a), Not(b)) => a.same_shape(b),
+            (
+                Between {
+                    expr: e1,
+                    lo: l1,
+                    hi: h1,
+                    negated: n1,
+                },
+                Between {
+                    expr: e2,
+                    lo: l2,
+                    hi: h2,
+                    negated: n2,
+                },
+            ) => n1 == n2 && e1.same_shape(e2) && l1.same_shape(l2) && h1.same_shape(h2),
+            (
+                InList {
+                    expr: e1,
+                    list: x1,
+                    negated: n1,
+                },
+                InList {
+                    expr: e2,
+                    list: x2,
+                    negated: n2,
+                },
+            ) => {
+                n1 == n2
+                    && e1.same_shape(e2)
+                    && x1.len() == x2.len()
+                    && x1.iter().zip(x2).all(|(a, b)| a.same_shape(b))
+            }
+            (
+                Like {
+                    expr: e1,
+                    pattern: p1,
+                    negated: n1,
+                },
+                Like {
+                    expr: e2,
+                    pattern: p2,
+                    negated: n2,
+                },
+            ) => n1 == n2 && p1 == p2 && e1.same_shape(e2),
+            (
+                Case {
+                    when: w1,
+                    then: t1,
+                    els: e1,
+                },
+                Case {
+                    when: w2,
+                    then: t2,
+                    els: e2,
+                },
+            ) => w1.same_shape(w2) && t1.same_shape(t2) && e1.same_shape(e2),
+            (Agg { func: f1, arg: a1 }, Agg { func: f2, arg: a2 }) => {
+                f1 == f2
+                    && match (a1, a2) {
+                        (None, None) => true,
+                        (Some(x), Some(y)) => x.same_shape(y),
+                        _ => false,
+                    }
+            }
+            (ExtractYear(a), ExtractYear(b)) => a.same_shape(b),
+            _ => false,
+        }
+    }
+
+    /// Does this expression contain an aggregate call anywhere?
+    pub fn contains_agg(&self) -> bool {
+        use ExprKind::*;
+        match &self.kind {
+            Agg { .. } => true,
+            Column { .. } | Int(_) | Float(_) | Str(_) | Date { .. } => false,
+            Binary { left, right, .. } => left.contains_agg() || right.contains_agg(),
+            Neg(e) | Not(e) | ExtractYear(e) => e.contains_agg(),
+            Between { expr, lo, hi, .. } => {
+                expr.contains_agg() || lo.contains_agg() || hi.contains_agg()
+            }
+            InList { expr, list, .. } => expr.contains_agg() || list.iter().any(Expr::contains_agg),
+            InSelect { expr, .. } => expr.contains_agg(),
+            Like { expr, .. } => expr.contains_agg(),
+            Case { when, then, els } => {
+                when.contains_agg() || then.contains_agg() || els.contains_agg()
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+fn fmt_expr(e: &Expr, parent_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    use ExprKind::*;
+    match &e.kind {
+        Column { qualifier, name } => match qualifier {
+            Some(q) => write!(f, "{q}.{name}"),
+            None => write!(f, "{name}"),
+        },
+        Int(v) => write!(f, "{v}"),
+        Float(v) => {
+            if v.fract() == 0.0 && v.is_finite() {
+                write!(f, "{v:.1}")
+            } else {
+                write!(f, "{v}")
+            }
+        }
+        Str(s) => write!(f, "'{}'", escape(s)),
+        Date { text, .. } => write!(f, "DATE '{text}'"),
+        Binary { op, left, right } => {
+            let prec = op.precedence();
+            let need = prec < parent_prec;
+            if need {
+                write!(f, "(")?;
+            }
+            fmt_expr(left, prec, f)?;
+            write!(f, " {} ", op.as_str())?;
+            // Left-associative: the right operand needs strictly-higher
+            // binding to avoid re-association on reparse.
+            fmt_expr(right, prec + 1, f)?;
+            if need {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Neg(inner) => {
+            write!(f, "-")?;
+            fmt_expr(inner, 7, f)
+        }
+        Not(inner) => {
+            write!(f, "NOT ")?;
+            fmt_expr(inner, 3, f)
+        }
+        Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => {
+            fmt_expr(expr, 5, f)?;
+            write!(f, " {}BETWEEN ", if *negated { "NOT " } else { "" })?;
+            fmt_expr(lo, 5, f)?;
+            write!(f, " AND ")?;
+            fmt_expr(hi, 5, f)
+        }
+        InList {
+            expr,
+            list,
+            negated,
+        } => {
+            fmt_expr(expr, 5, f)?;
+            write!(f, " {}IN (", if *negated { "NOT " } else { "" })?;
+            for (i, item) in list.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_expr(item, 0, f)?;
+            }
+            write!(f, ")")
+        }
+        InSelect {
+            expr,
+            query,
+            negated,
+        } => {
+            fmt_expr(expr, 5, f)?;
+            write!(f, " {}IN ({query})", if *negated { "NOT " } else { "" })
+        }
+        Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            fmt_expr(expr, 5, f)?;
+            write!(
+                f,
+                " {}LIKE '{}'",
+                if *negated { "NOT " } else { "" },
+                escape(pattern)
+            )
+        }
+        Case { when, then, els } => {
+            write!(f, "CASE WHEN ")?;
+            fmt_expr(when, 0, f)?;
+            write!(f, " THEN ")?;
+            fmt_expr(then, 0, f)?;
+            write!(f, " ELSE ")?;
+            fmt_expr(els, 0, f)?;
+            write!(f, " END")
+        }
+        Agg { func, arg } => match (func, arg) {
+            (AggFuncName::CountStar, _) => write!(f, "COUNT(*)"),
+            (_, Some(a)) => {
+                write!(f, "{}(", func.as_str().to_uppercase())?;
+                fmt_expr(a, 0, f)?;
+                write!(f, ")")
+            }
+            (_, None) => write!(f, "{}()", func.as_str().to_uppercase()),
+        },
+        ExtractYear(inner) => {
+            write!(f, "EXTRACT(YEAR FROM ")?;
+            fmt_expr(inner, 0, f)?;
+            write!(f, ")")
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self, 0, f)
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match item {
+                SelectItem::Wildcard { .. } => write!(f, "*")?,
+                SelectItem::Expr { expr, alias } => {
+                    fmt_expr(expr, 0, f)?;
+                    if let Some(a) = alias {
+                        write!(f, " AS {a}")?;
+                    }
+                }
+            }
+        }
+        if !self.from.is_empty() {
+            write!(f, " FROM ")?;
+            for (i, t) in self.from.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                match &t.source {
+                    TableSource::Named(n) => write!(f, "{n}")?,
+                    TableSource::Derived(q) => write!(f, "({q})")?,
+                }
+                if let Some(a) = &t.alias {
+                    write!(f, " {a}")?;
+                }
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE ")?;
+            fmt_expr(w, 0, f)?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_expr(g, 0, f)?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING ")?;
+            fmt_expr(h, 0, f)?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_expr(&o.expr, 0, f)?;
+                if o.desc {
+                    write!(f, " DESC")?;
+                }
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,1747 @@
+//! Name resolution and logical planning: AST → [`Logical`].
+//!
+//! The binder resolves every column reference against the catalog, type
+//! checks expressions, and assembles the left-deep join pipeline the dialect
+//! encodes: the first `FROM` item is the streamed (probe) side, every later
+//! item joins as a hash-build side, and nested derived tables express
+//! arbitrary join trees. All failures are [`PlanError`]s with spans — the
+//! binder never panics on user input.
+
+use crate::ast::{AggFuncName, BinaryOp, Expr, ExprKind, Select, SelectItem, TableSource};
+use crate::error::{PlanError, PlanErrorKind, Result, Span};
+use crate::logical::{JoinKind, Logical, SortSpec};
+use std::sync::Arc;
+use uot_expr::{cmp, col, lit, AggFunc, AggSpec, BinOp, CmpOp, Predicate, ScalarExpr};
+use uot_storage::{Catalog, DataType, Schema, Value};
+
+/// Bind `query` against `catalog`, producing a fully resolved logical plan.
+pub fn bind(query: &Select, catalog: &Catalog) -> Result<Logical> {
+    let plan = bind_select(query, catalog)?;
+    // The physical plan needs at least one operator; wrap a bare scan in an
+    // identity select.
+    Ok(match plan {
+        Logical::Scan { table } => {
+            let schema = table.schema().clone();
+            let projections: Vec<ScalarExpr> = (0..schema.len()).map(col).collect();
+            Logical::Select {
+                input: Box::new(Logical::Scan { table }),
+                predicate: Predicate::True,
+                projections,
+                schema,
+            }
+        }
+        other => other,
+    })
+}
+
+/// One column visible in a scope.
+#[derive(Debug, Clone)]
+struct ScopeCol {
+    /// The table alias this column came from (`None` for derived outputs
+    /// without an alias and post-aggregate columns).
+    qualifier: Option<String>,
+    name: String,
+    dtype: DataType,
+}
+
+/// A resolution context: the columns of one plan's output.
+#[derive(Debug, Clone)]
+struct Scope {
+    cols: Vec<ScopeCol>,
+}
+
+impl Scope {
+    fn from_schema(schema: &Schema, qualifier: Option<&str>) -> Scope {
+        Scope {
+            cols: schema
+                .columns()
+                .iter()
+                .map(|c| ScopeCol {
+                    qualifier: qualifier.map(str::to_string),
+                    name: c.name.clone(),
+                    dtype: c.dtype,
+                })
+                .collect(),
+        }
+    }
+
+    fn schema(&self) -> Arc<Schema> {
+        Schema::from_pairs(
+            &self
+                .cols
+                .iter()
+                .map(|c| (c.name.as_str(), c.dtype))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn resolve(&self, qualifier: Option<&str>, name: &str, span: Span) -> Result<usize> {
+        let matches: Vec<usize> = self
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.name == name
+                    && match qualifier {
+                        Some(q) => c.qualifier.as_deref() == Some(q),
+                        None => true,
+                    }
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.len() {
+            1 => Ok(matches[0]),
+            0 => Err(PlanError::new(
+                PlanErrorKind::UnknownColumn,
+                match qualifier {
+                    Some(q) => format!("unknown column `{q}.{name}`"),
+                    None => format!("unknown column `{name}`"),
+                },
+                span,
+            )),
+            _ => Err(PlanError::new(
+                PlanErrorKind::AmbiguousColumn,
+                format!("column `{name}` matches more than one table; qualify it"),
+                span,
+            )),
+        }
+    }
+}
+
+/// One bound `FROM` item.
+struct Rel {
+    plan: Logical,
+    scope: Scope,
+    alias: Option<String>,
+    span: Span,
+}
+
+/// A WHERE conjunct classified by the rels it touches.
+enum Conjunct<'a> {
+    /// References at most one rel: pushed into that rel's scan select.
+    Local { rel: usize, expr: &'a Expr },
+    /// `a.x = b.y` between two different rels: a hash-join key pair.
+    JoinKey {
+        step: usize,
+        probe: (usize, usize),
+        build_col: usize,
+        span: Span,
+    },
+    /// `expr [NOT] IN (SELECT ...)`: a semi/anti join applied once the left
+    /// column's rel has joined.
+    Semi {
+        app_step: usize,
+        left: (usize, usize),
+        query: &'a Select,
+        negated: bool,
+        span: Span,
+    },
+    /// Anything else spanning several rels: a filter applied once every
+    /// referenced rel has joined.
+    Residual { app_step: usize, expr: &'a Expr },
+}
+
+/// Where a `(rel, col)` pair is used, for column-retention decisions.
+struct Uses {
+    /// Needed in the final output (select list, group/having/order).
+    output: Vec<(usize, usize)>,
+    /// Needed as a join key at the given step.
+    join: Vec<(usize, (usize, usize))>,
+    /// Needed by a residual filter or semi join applied after the given step.
+    apply: Vec<(usize, (usize, usize))>,
+}
+
+impl Uses {
+    /// Must `(rel, col)` survive past the join at `step`?
+    fn retained_after(&self, step: usize, rc: (usize, usize)) -> bool {
+        self.output.contains(&rc)
+            || self.join.iter().any(|&(s, u)| s > step && u == rc)
+            || self.apply.iter().any(|&(s, u)| s >= step && u == rc)
+    }
+
+    /// Is `(rel, col)` used anywhere at all?
+    fn used(&self, rc: (usize, usize)) -> bool {
+        self.output.contains(&rc)
+            || self.join.iter().any(|&(_, u)| u == rc)
+            || self.apply.iter().any(|&(_, u)| u == rc)
+    }
+}
+
+fn bind_select(query: &Select, catalog: &Catalog) -> Result<Logical> {
+    if query.items.is_empty() {
+        return Err(PlanError::new(
+            PlanErrorKind::Parse,
+            "empty select list",
+            query.span,
+        ));
+    }
+    if query.from.is_empty() {
+        return Err(PlanError::new(
+            PlanErrorKind::Unsupported,
+            "queries must have a FROM clause",
+            query.span,
+        ));
+    }
+
+    // ---- FROM: bind every rel ------------------------------------------
+    let mut rels = Vec::new();
+    for t in &query.from {
+        let (plan, alias) = match &t.source {
+            TableSource::Named(name) => {
+                let table = catalog.get(name).map_err(|_| {
+                    PlanError::new(
+                        PlanErrorKind::UnknownTable,
+                        format!("unknown table `{name}`"),
+                        t.span,
+                    )
+                })?;
+                (
+                    Logical::Scan { table },
+                    Some(t.alias.clone().unwrap_or_else(|| name.clone())),
+                )
+            }
+            TableSource::Derived(sub) => (bind_select(sub, catalog)?, t.alias.clone()),
+        };
+        let scope = Scope::from_schema(&plan.schema(), alias.as_deref());
+        rels.push(Rel {
+            plan,
+            scope,
+            alias,
+            span: t.span,
+        });
+    }
+
+    // ---- WHERE: classify conjuncts -------------------------------------
+    let mut conjuncts = Vec::new();
+    if let Some(w) = &query.where_clause {
+        let mut flat = Vec::new();
+        flatten_and(w, &mut flat);
+        for e in flat {
+            conjuncts.push(classify(e, &rels)?);
+        }
+    }
+
+    // ---- column-use bookkeeping ----------------------------------------
+    let mut uses = Uses {
+        output: Vec::new(),
+        join: Vec::new(),
+        apply: Vec::new(),
+    };
+    let record_output = |e: &Expr, uses: &mut Uses| -> Result<()> {
+        let mut cols = Vec::new();
+        collect_columns(e, &mut cols);
+        for (q, n, span) in cols {
+            // Unresolvable names here may be aliases or positions (ORDER BY,
+            // GROUP BY); they are re-resolved in context later. Ambiguity is
+            // fatal now, though — deferring it would drop both candidate
+            // columns and misreport the name as unknown.
+            match resolve_in_rels(&rels, q.as_deref(), n, span) {
+                Ok(rc) => uses.output.push((rc.0, rc.1)),
+                Err(e) if e.kind == PlanErrorKind::AmbiguousColumn => return Err(e),
+                Err(_) => {}
+            }
+        }
+        Ok(())
+    };
+    for item in &query.items {
+        match item {
+            SelectItem::Wildcard { .. } => {
+                for (r, rel) in rels.iter().enumerate() {
+                    for c in 0..rel.scope.cols.len() {
+                        uses.output.push((r, c));
+                    }
+                }
+            }
+            SelectItem::Expr { expr, .. } => record_output(expr, &mut uses)?,
+        }
+    }
+    for g in &query.group_by {
+        record_output(g, &mut uses)?;
+    }
+    if let Some(h) = &query.having {
+        record_output(h, &mut uses)?;
+    }
+    for o in &query.order_by {
+        record_output(&o.expr, &mut uses)?;
+    }
+    for c in &conjuncts {
+        match c {
+            Conjunct::JoinKey {
+                step,
+                probe,
+                build_col,
+                ..
+            } => {
+                uses.join.push((*step, *probe));
+                uses.join.push((*step, (*step, *build_col)));
+            }
+            Conjunct::Semi { app_step, left, .. } => uses.apply.push((*app_step, *left)),
+            Conjunct::Residual { app_step, expr } => {
+                let mut cols = Vec::new();
+                collect_columns(expr, &mut cols);
+                for (q, n, span) in cols {
+                    let rc = resolve_in_rels(&rels, q.as_deref(), n, span)?;
+                    uses.apply.push((*app_step, (rc.0, rc.1)));
+                }
+            }
+            Conjunct::Local { .. } => {}
+        }
+    }
+
+    // ---- per-rel scans: local filter + projection to needed columns ----
+    // proj[r] lists the kept original column indices, in schema order.
+    let mut proj: Vec<Vec<usize>> = Vec::new();
+    for (r, rel) in rels.iter().enumerate() {
+        let mut kept: Vec<usize> = (0..rel.scope.cols.len())
+            .filter(|&c| uses.used((r, c)))
+            .collect();
+        if kept.is_empty() {
+            kept.push(0); // a select needs at least one projection
+        }
+        proj.push(kept);
+    }
+    let mut rel_plans = Vec::new();
+    for (r, rel) in rels.iter().enumerate() {
+        let mut pred = Predicate::True;
+        for c in &conjuncts {
+            if let Conjunct::Local { rel: lr, expr } = c {
+                if *lr == r {
+                    pred = pred.and(bind_pred(expr, &BindCtx::plain(&rel.scope))?);
+                }
+            }
+        }
+        let full = proj[r].len() == rel.scope.cols.len();
+        let plan = if matches!(pred, Predicate::True) && full {
+            rel.plan.clone()
+        } else {
+            let projections: Vec<ScalarExpr> = proj[r].iter().map(|&c| col(c)).collect();
+            let schema = Schema::from_pairs(
+                &proj[r]
+                    .iter()
+                    .map(|&c| (rel.scope.cols[c].name.as_str(), rel.scope.cols[c].dtype))
+                    .collect::<Vec<_>>(),
+            );
+            Logical::Select {
+                input: Box::new(rel.plan.clone()),
+                predicate: pred,
+                projections,
+                schema,
+            }
+        };
+        rel_plans.push(Some(plan));
+    }
+
+    // ---- join pipeline --------------------------------------------------
+    // acc_cols[i] = (rel, original column) behind output column i.
+    let mut acc = rel_plans[0].take().expect("rel 0 plan");
+    let mut acc_cols: Vec<(usize, usize)> = proj[0].iter().map(|&c| (0, c)).collect();
+
+    // Applications (residual filters / semi joins) grouped by step, in
+    // WHERE-clause order.
+    let apply_step = |acc: Logical,
+                      acc_cols: &[(usize, usize)],
+                      step: usize,
+                      rels: &[Rel],
+                      conjuncts: &[Conjunct],
+                      catalog: &Catalog|
+     -> Result<Logical> {
+        let mut plan = acc;
+        for c in conjuncts {
+            match c {
+                Conjunct::Residual { app_step, expr } if *app_step == step => {
+                    let scope = acc_scope(rels, acc_cols);
+                    let pred = bind_pred(expr, &BindCtx::plain(&scope))?;
+                    plan = Logical::Filter {
+                        input: Box::new(plan),
+                        predicate: pred,
+                    };
+                }
+                Conjunct::Semi {
+                    app_step,
+                    left,
+                    query,
+                    negated,
+                    span,
+                } if *app_step == step => {
+                    let sub = bind(query, catalog)?;
+                    let sub_schema = sub.schema();
+                    if sub_schema.len() != 1 {
+                        return Err(PlanError::new(
+                            PlanErrorKind::Unsupported,
+                            format!(
+                                "IN subquery must produce exactly one column, got {}",
+                                sub_schema.len()
+                            ),
+                            *span,
+                        ));
+                    }
+                    let pos = acc_cols
+                        .iter()
+                        .position(|rc| rc == left)
+                        .expect("semi key retained");
+                    let left_ty = rels[left.0].scope.cols[left.1].dtype;
+                    let right_ty = sub_schema.dtype(0);
+                    if left_ty != right_ty {
+                        return Err(PlanError::new(
+                            PlanErrorKind::TypeMismatch,
+                            format!(
+                                "IN subquery compares {} with {}",
+                                left_ty.name(),
+                                right_ty.name()
+                            ),
+                            *span,
+                        ));
+                    }
+                    if !left_ty.hashable() {
+                        return Err(PlanError::new(
+                            PlanErrorKind::TypeMismatch,
+                            format!("{} keys cannot be hashed", left_ty.name()),
+                            *span,
+                        ));
+                    }
+                    let schema = plan.schema();
+                    plan = Logical::Join {
+                        probe: Box::new(plan),
+                        build: Box::new(sub),
+                        probe_keys: vec![pos],
+                        build_keys: vec![0],
+                        probe_out: (0..schema.len()).collect(),
+                        build_payload: vec![],
+                        kind: if *negated {
+                            JoinKind::Anti
+                        } else {
+                            JoinKind::Semi
+                        },
+                        schema,
+                    };
+                }
+                _ => {}
+            }
+        }
+        Ok(plan)
+    };
+
+    acc = apply_step(acc, &acc_cols, 0, &rels, &conjuncts, catalog)?;
+    for step in 1..rels.len() {
+        // Gather this step's key pairs, in WHERE order.
+        let mut probe_keys = Vec::new();
+        let mut build_keys = Vec::new();
+        for c in &conjuncts {
+            if let Conjunct::JoinKey {
+                step: s,
+                probe,
+                build_col,
+                span,
+            } = c
+            {
+                if *s == step {
+                    let p = acc_cols.iter().position(|rc| rc == probe).ok_or_else(|| {
+                        PlanError::new(
+                            PlanErrorKind::Unsupported,
+                            "join key column was not retained (internal)",
+                            *span,
+                        )
+                    })?;
+                    let b = proj[step]
+                        .iter()
+                        .position(|&c| c == *build_col)
+                        .expect("build key projected");
+                    let kty = rels[step].scope.cols[*build_col].dtype;
+                    let pty = rels[probe.0].scope.cols[probe.1].dtype;
+                    if !kty.hashable() || !pty.hashable() {
+                        return Err(PlanError::new(
+                            PlanErrorKind::TypeMismatch,
+                            format!(
+                                "join key of type {} cannot be hashed",
+                                if kty.hashable() {
+                                    pty.name()
+                                } else {
+                                    kty.name()
+                                }
+                            ),
+                            *span,
+                        ));
+                    }
+                    if kty != pty {
+                        return Err(PlanError::new(
+                            PlanErrorKind::TypeMismatch,
+                            format!("join compares {} with {}", pty.name(), kty.name()),
+                            *span,
+                        ));
+                    }
+                    probe_keys.push(p);
+                    build_keys.push(b);
+                }
+            }
+        }
+        if probe_keys.is_empty() {
+            return Err(PlanError::new(
+                PlanErrorKind::Unsupported,
+                format!(
+                    "no equi-join condition connects `{}` to the preceding tables \
+                     (cross joins are not supported)",
+                    rels[step]
+                        .alias
+                        .clone()
+                        .unwrap_or_else(|| format!("FROM item {}", step + 1))
+                ),
+                rels[step].span,
+            ));
+        }
+        // Columns surviving this join.
+        let probe_out: Vec<usize> = (0..acc_cols.len())
+            .filter(|&i| uses.retained_after(step, acc_cols[i]))
+            .collect();
+        let build_payload: Vec<usize> = (0..proj[step].len())
+            .filter(|&i| uses.retained_after(step, (step, proj[step][i])))
+            .collect();
+        let build_plan = rel_plans[step].take().expect("rel plan");
+        let acc_schema = acc.schema();
+        let build_schema = build_plan.schema();
+        let schema = acc_schema.project(&probe_out).join(
+            &build_schema.project(&build_payload),
+            &(0..build_payload.len()).collect::<Vec<_>>(),
+        );
+        let new_cols: Vec<(usize, usize)> = probe_out
+            .iter()
+            .map(|&i| acc_cols[i])
+            .chain(build_payload.iter().map(|&i| (step, proj[step][i])))
+            .collect();
+        acc = Logical::Join {
+            probe: Box::new(acc),
+            build: Box::new(build_plan),
+            probe_keys,
+            build_keys,
+            probe_out,
+            build_payload,
+            kind: JoinKind::Inner,
+            schema,
+        };
+        acc_cols = new_cols;
+        acc = apply_step(acc, &acc_cols, step, &rels, &conjuncts, catalog)?;
+    }
+
+    let scope = acc_scope(&rels, &acc_cols);
+
+    // ---- aggregation or plain projection -------------------------------
+    let mut agg_calls: Vec<&Expr> = Vec::new();
+    for item in &query.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_aggs(expr, &mut agg_calls);
+        }
+    }
+    if let Some(h) = &query.having {
+        collect_aggs(h, &mut agg_calls);
+    }
+    for o in &query.order_by {
+        collect_aggs(&o.expr, &mut agg_calls);
+    }
+    dedup_by_shape(&mut agg_calls);
+
+    let grouped = !query.group_by.is_empty() || !agg_calls.is_empty();
+    let (mut plan, out_names) = if grouped {
+        bind_aggregate(query, acc, &scope, &agg_calls)?
+    } else {
+        bind_projection(query, acc, &scope)?
+    };
+
+    // ---- ORDER BY / LIMIT ----------------------------------------------
+    if !query.order_by.is_empty() {
+        let schema = plan.schema();
+        let mut keys = Vec::new();
+        for o in &query.order_by {
+            let idx = resolve_order_key(&o.expr, &schema, &out_names, query)?;
+            keys.push(SortSpec {
+                col: idx,
+                desc: o.desc,
+            });
+        }
+        plan = Logical::Sort {
+            input: Box::new(plan),
+            keys,
+            limit: query.limit,
+        };
+    } else if let Some(n) = query.limit {
+        plan = Logical::Limit {
+            input: Box::new(plan),
+            n,
+        };
+    }
+    Ok(plan)
+}
+
+/// The scope of the join accumulator: qualifiers and names of the original
+/// rel columns behind each output position.
+fn acc_scope(rels: &[Rel], acc_cols: &[(usize, usize)]) -> Scope {
+    Scope {
+        cols: acc_cols
+            .iter()
+            .map(|&(r, c)| rels[r].scope.cols[c].clone())
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WHERE-clause analysis
+// ---------------------------------------------------------------------------
+
+fn flatten_and<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    if let ExprKind::Binary {
+        op: BinaryOp::And,
+        left,
+        right,
+    } = &e.kind
+    {
+        flatten_and(left, out);
+        flatten_and(right, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Column references of an expression (subqueries excluded — they bind
+/// against their own scopes).
+fn collect_columns<'a>(e: &'a Expr, out: &mut Vec<(&'a Option<String>, &'a str, Span)>) {
+    use ExprKind::*;
+    match &e.kind {
+        Column { qualifier, name } => out.push((qualifier, name, e.span)),
+        Int(_) | Float(_) | Str(_) | Date { .. } => {}
+        Binary { left, right, .. } => {
+            collect_columns(left, out);
+            collect_columns(right, out);
+        }
+        Neg(x) | Not(x) | ExtractYear(x) => collect_columns(x, out),
+        Between { expr, lo, hi, .. } => {
+            collect_columns(expr, out);
+            collect_columns(lo, out);
+            collect_columns(hi, out);
+        }
+        InList { expr, list, .. } => {
+            collect_columns(expr, out);
+            for i in list {
+                collect_columns(i, out);
+            }
+        }
+        InSelect { expr, .. } => collect_columns(expr, out),
+        Like { expr, .. } => collect_columns(expr, out),
+        Case { when, then, els } => {
+            collect_columns(when, out);
+            collect_columns(then, out);
+            collect_columns(els, out);
+        }
+        Agg { arg, .. } => {
+            if let Some(a) = arg {
+                collect_columns(a, out);
+            }
+        }
+    }
+}
+
+fn collect_aggs<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    use ExprKind::*;
+    match &e.kind {
+        Agg { .. } => out.push(e),
+        Column { .. } | Int(_) | Float(_) | Str(_) | Date { .. } => {}
+        Binary { left, right, .. } => {
+            collect_aggs(left, out);
+            collect_aggs(right, out);
+        }
+        Neg(x) | Not(x) | ExtractYear(x) => collect_aggs(x, out),
+        Between { expr, lo, hi, .. } => {
+            collect_aggs(expr, out);
+            collect_aggs(lo, out);
+            collect_aggs(hi, out);
+        }
+        InList { expr, list, .. } => {
+            collect_aggs(expr, out);
+            for i in list {
+                collect_aggs(i, out);
+            }
+        }
+        InSelect { expr, .. } => collect_aggs(expr, out),
+        Like { expr, .. } => collect_aggs(expr, out),
+        Case { when, then, els } => {
+            collect_aggs(when, out);
+            collect_aggs(then, out);
+            collect_aggs(els, out);
+        }
+    }
+}
+
+fn dedup_by_shape(aggs: &mut Vec<&Expr>) {
+    let mut kept: Vec<&Expr> = Vec::new();
+    for a in aggs.iter() {
+        if !kept.iter().any(|k| k.same_shape(a)) {
+            kept.push(a);
+        }
+    }
+    *aggs = kept;
+}
+
+fn resolve_in_rels(
+    rels: &[Rel],
+    qualifier: Option<&str>,
+    name: &str,
+    span: Span,
+) -> Result<(usize, usize, DataType)> {
+    let mut matches = Vec::new();
+    for (r, rel) in rels.iter().enumerate() {
+        for (c, sc) in rel.scope.cols.iter().enumerate() {
+            let q_ok = match qualifier {
+                Some(q) => rel.alias.as_deref() == Some(q),
+                None => true,
+            };
+            if q_ok && sc.name == name {
+                matches.push((r, c, sc.dtype));
+            }
+        }
+    }
+    match matches.len() {
+        1 => Ok(matches[0]),
+        0 => Err(PlanError::new(
+            PlanErrorKind::UnknownColumn,
+            match qualifier {
+                Some(q) => format!("unknown column `{q}.{name}`"),
+                None => format!("unknown column `{name}`"),
+            },
+            span,
+        )),
+        _ => Err(PlanError::new(
+            PlanErrorKind::AmbiguousColumn,
+            format!("column `{name}` matches more than one table; qualify it"),
+            span,
+        )),
+    }
+}
+
+fn classify<'a>(e: &'a Expr, rels: &[Rel]) -> Result<Conjunct<'a>> {
+    if let ExprKind::Agg { .. } = e.kind {
+        return Err(PlanError::new(
+            PlanErrorKind::TypeMismatch,
+            "aggregates are not allowed in WHERE",
+            e.span,
+        ));
+    }
+    // IN (SELECT ...) becomes a semi/anti join.
+    if let ExprKind::InSelect {
+        expr,
+        query,
+        negated,
+    } = &e.kind
+    {
+        let ExprKind::Column { qualifier, name } = &expr.kind else {
+            return Err(PlanError::new(
+                PlanErrorKind::Unsupported,
+                "the left side of IN (SELECT ...) must be a column",
+                expr.span,
+            ));
+        };
+        let (r, c, _) = resolve_in_rels(rels, qualifier.as_deref(), name, expr.span)?;
+        return Ok(Conjunct::Semi {
+            app_step: r,
+            left: (r, c),
+            query,
+            negated: *negated,
+            span: e.span,
+        });
+    }
+    // Which rels does the conjunct touch?
+    let mut cols = Vec::new();
+    collect_columns(e, &mut cols);
+    let mut touched: Vec<usize> = Vec::new();
+    let mut resolved = Vec::new();
+    for (q, n, span) in &cols {
+        let rc = resolve_in_rels(rels, q.as_deref(), n, *span)?;
+        if !touched.contains(&rc.0) {
+            touched.push(rc.0);
+        }
+        resolved.push(rc);
+    }
+    if touched.len() <= 1 {
+        return Ok(Conjunct::Local {
+            rel: touched.first().copied().unwrap_or(0),
+            expr: e,
+        });
+    }
+    // `a.x = b.y` across two rels → join key.
+    if touched.len() == 2 {
+        if let ExprKind::Binary {
+            op: BinaryOp::Eq,
+            left,
+            right,
+        } = &e.kind
+        {
+            if let (ExprKind::Column { .. }, ExprKind::Column { .. }) = (&left.kind, &right.kind) {
+                let (lr, lc, _) = resolved[0];
+                let (rr, rc, _) = resolved[1];
+                // The later-joining rel is the build side of that step.
+                let (step, probe, build_col) = if lr > rr {
+                    (lr, (rr, rc), lc)
+                } else {
+                    (rr, (lr, lc), rc)
+                };
+                return Ok(Conjunct::JoinKey {
+                    step,
+                    probe,
+                    build_col,
+                    span: e.span,
+                });
+            }
+        }
+    }
+    let app_step = touched.iter().copied().max().unwrap_or(0);
+    Ok(Conjunct::Residual { app_step, expr: e })
+}
+
+// ---------------------------------------------------------------------------
+// Expression binding
+// ---------------------------------------------------------------------------
+
+/// Aggregate-aware rewrite context for post-aggregate binding (HAVING, the
+/// select list, ORDER BY): group expressions map to the leading output
+/// columns, aggregate calls to the trailing ones.
+struct AggCtx<'a> {
+    /// The resolved group expressions (alias-substituted AST).
+    group_sources: &'a [Expr],
+    /// The deduplicated aggregate calls.
+    aggs: &'a [&'a Expr],
+}
+
+struct BindCtx<'a> {
+    scope: &'a Scope,
+    agg: Option<AggCtx<'a>>,
+}
+
+impl<'a> BindCtx<'a> {
+    fn plain(scope: &'a Scope) -> Self {
+        BindCtx { scope, agg: None }
+    }
+}
+
+fn bind_scalar(e: &Expr, ctx: &BindCtx) -> Result<ScalarExpr> {
+    // Post-aggregate rewriting first: a group expression or an aggregate
+    // call becomes a positional reference into the aggregate's output.
+    if let Some(agg) = &ctx.agg {
+        if let Some(i) = agg.group_sources.iter().position(|g| g.same_shape(e)) {
+            return Ok(col(i));
+        }
+        if let Some(j) = agg.aggs.iter().position(|a| a.same_shape(e)) {
+            return Ok(col(agg.group_sources.len() + j));
+        }
+    }
+    use ExprKind::*;
+    match &e.kind {
+        Column { qualifier, name } => {
+            let i = ctx.scope.resolve(qualifier.as_deref(), name, e.span)?;
+            Ok(col(i))
+        }
+        Int(v) => Ok(lit(*v)),
+        Float(v) => Ok(lit(*v)),
+        Str(s) => Ok(ScalarExpr::Literal(Value::Str(s.clone()))),
+        Date { days, .. } => Ok(ScalarExpr::Literal(Value::Date(*days))),
+        Binary { op, left, right } => {
+            let bin_op = match op {
+                BinaryOp::Add => BinOp::Add,
+                BinaryOp::Sub => BinOp::Sub,
+                BinaryOp::Mul => BinOp::Mul,
+                BinaryOp::Div => BinOp::Div,
+                _ => {
+                    return Err(PlanError::new(
+                        PlanErrorKind::TypeMismatch,
+                        format!("`{}` is a predicate, not a value", op_text(*op)),
+                        e.span,
+                    ))
+                }
+            };
+            let l = bind_scalar(left, ctx)?;
+            let r = bind_scalar(right, ctx)?;
+            let out = l.bin(bin_op, r);
+            check_scalar_type(&out, ctx, e.span)?;
+            Ok(out)
+        }
+        Neg(inner) => {
+            let x = bind_scalar(inner, ctx)?;
+            let out = lit(0i64).sub(x);
+            check_scalar_type(&out, ctx, e.span)?;
+            Ok(out)
+        }
+        Case { when, then, els } => {
+            let p = bind_pred(when, ctx)?;
+            let t = bind_scalar(then, ctx)?;
+            let f = bind_scalar(els, ctx)?;
+            let out = ScalarExpr::case_when(p, t, f);
+            check_scalar_type(&out, ctx, e.span)?;
+            Ok(out)
+        }
+        ExtractYear(inner) => {
+            let x = bind_scalar(inner, ctx)?;
+            let out = x.year();
+            check_scalar_type(&out, ctx, e.span)?;
+            Ok(out)
+        }
+        Agg { .. } => Err(PlanError::new(
+            PlanErrorKind::TypeMismatch,
+            "aggregate calls are only allowed in the select list, HAVING and ORDER BY \
+             of a grouped query",
+            e.span,
+        )),
+        Not(_) | Between { .. } | InList { .. } | InSelect { .. } | Like { .. } => {
+            Err(PlanError::new(
+                PlanErrorKind::TypeMismatch,
+                "predicate used where a value is expected",
+                e.span,
+            ))
+        }
+    }
+}
+
+fn op_text(op: BinaryOp) -> &'static str {
+    match op {
+        BinaryOp::Eq => "=",
+        BinaryOp::Ne => "<>",
+        BinaryOp::Lt => "<",
+        BinaryOp::Le => "<=",
+        BinaryOp::Gt => ">",
+        BinaryOp::Ge => ">=",
+        BinaryOp::And => "AND",
+        BinaryOp::Or => "OR",
+        BinaryOp::Add => "+",
+        BinaryOp::Sub => "-",
+        BinaryOp::Mul => "*",
+        BinaryOp::Div => "/",
+    }
+}
+
+/// Type check a bound scalar against the context's input schema, converting
+/// engine errors to spanned plan errors. Post-aggregate contexts type check
+/// against the aggregate output schema via the scope.
+fn check_scalar_type(e: &ScalarExpr, ctx: &BindCtx, span: Span) -> Result<DataType> {
+    e.output_type(&ctx.scope.schema())
+        .map_err(|err| PlanError::new(PlanErrorKind::TypeMismatch, err.to_string(), span))
+}
+
+fn bind_pred(e: &Expr, ctx: &BindCtx) -> Result<Predicate> {
+    use ExprKind::*;
+    match &e.kind {
+        Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => Ok(bind_pred(left, ctx)?.and(bind_pred(right, ctx)?)),
+        Binary {
+            op: BinaryOp::Or,
+            left,
+            right,
+        } => Ok(bind_pred(left, ctx)?.or(bind_pred(right, ctx)?)),
+        Binary { op, left, right }
+            if matches!(
+                op,
+                BinaryOp::Eq
+                    | BinaryOp::Ne
+                    | BinaryOp::Lt
+                    | BinaryOp::Le
+                    | BinaryOp::Gt
+                    | BinaryOp::Ge
+            ) =>
+        {
+            bind_comparison(e, *op, left, right, ctx)
+        }
+        Not(inner) => Ok(bind_pred(inner, ctx)?.negate()),
+        Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => {
+            let x = bind_scalar(expr, ctx)?;
+            let l = bind_scalar(lo, ctx)?;
+            let h = bind_scalar(hi, ctx)?;
+            check_comparable(&x, &l, ctx, e.span)?;
+            check_comparable(&x, &h, ctx, e.span)?;
+            let p = cmp(x.clone(), CmpOp::Ge, l).and(cmp(x, CmpOp::Le, h));
+            Ok(if *negated { p.negate() } else { p })
+        }
+        InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let p = bind_in_list(expr, list, ctx, e.span)?;
+            Ok(if *negated { p.negate() } else { p })
+        }
+        Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let c = char_column(expr, ctx)?;
+            let p = bind_like(c, pattern, expr.span)?;
+            Ok(if *negated { p.negate() } else { p })
+        }
+        InSelect { .. } => Err(PlanError::new(
+            PlanErrorKind::Unsupported,
+            "IN (SELECT ...) is only supported as a top-level AND conjunct of WHERE",
+            e.span,
+        )),
+        _ => Err(PlanError::new(
+            PlanErrorKind::TypeMismatch,
+            "expected a boolean predicate",
+            e.span,
+        )),
+    }
+}
+
+/// Resolve `expr` as a `Char` column reference for string predicates.
+fn char_column(expr: &Expr, ctx: &BindCtx) -> Result<usize> {
+    let ExprKind::Column { qualifier, name } = &expr.kind else {
+        return Err(PlanError::new(
+            PlanErrorKind::Unsupported,
+            "string predicates require a plain column on the left",
+            expr.span,
+        ));
+    };
+    let i = ctx.scope.resolve(qualifier.as_deref(), name, expr.span)?;
+    match ctx.scope.cols[i].dtype {
+        DataType::Char(_) => Ok(i),
+        other => Err(PlanError::new(
+            PlanErrorKind::TypeMismatch,
+            format!("string predicate on {} column `{name}`", other.name()),
+            expr.span,
+        )),
+    }
+}
+
+fn bind_like(col_idx: usize, pattern: &str, span: Span) -> Result<Predicate> {
+    let inner = pattern.trim_matches('%');
+    if inner.contains('%') || inner.contains('_') || pattern.contains('_') {
+        return Err(PlanError::new(
+            PlanErrorKind::Unsupported,
+            format!(
+                "LIKE pattern `{pattern}` is not supported; only 'prefix%', \
+                 '%substring%' and exact patterns are"
+            ),
+            span,
+        ));
+    }
+    Ok(
+        if pattern.starts_with('%') && pattern.ends_with('%') && pattern.len() >= 2 {
+            Predicate::StrContains {
+                col: col_idx,
+                needle: inner.to_string(),
+            }
+        } else if pattern.ends_with('%') {
+            Predicate::StrStartsWith {
+                col: col_idx,
+                prefix: inner.to_string(),
+            }
+        } else if pattern.starts_with('%') {
+            return Err(PlanError::new(
+                PlanErrorKind::Unsupported,
+                format!("LIKE pattern `{pattern}` (suffix match) is not supported"),
+                span,
+            ));
+        } else {
+            Predicate::StrEq {
+                col: col_idx,
+                value: pattern.to_string(),
+            }
+        },
+    )
+}
+
+fn bind_in_list(expr: &Expr, list: &[Expr], ctx: &BindCtx, span: Span) -> Result<Predicate> {
+    let all_strings = list.iter().all(|i| matches!(i.kind, ExprKind::Str(_)));
+    if all_strings && !list.is_empty() {
+        let c = char_column(expr, ctx)?;
+        let values = list
+            .iter()
+            .map(|i| match &i.kind {
+                ExprKind::Str(s) => s.clone(),
+                _ => unreachable!("checked all_strings"),
+            })
+            .collect();
+        return Ok(Predicate::StrIn { col: c, values });
+    }
+    // Numeric / date list: a disjunction of equalities.
+    let x = bind_scalar(expr, ctx)?;
+    let mut alts = Vec::new();
+    for item in list {
+        let v = bind_scalar(item, ctx)?;
+        check_comparable(&x, &v, ctx, span)?;
+        alts.push(cmp(x.clone(), CmpOp::Eq, v));
+    }
+    if alts.is_empty() {
+        return Err(PlanError::new(PlanErrorKind::Parse, "empty IN list", span));
+    }
+    Ok(Predicate::Or(alts))
+}
+
+fn bind_comparison(
+    e: &Expr,
+    op: BinaryOp,
+    left: &Expr,
+    right: &Expr,
+    ctx: &BindCtx,
+) -> Result<Predicate> {
+    // `char_col = 'literal'` (either side) lowers to the engine's string
+    // predicates.
+    let str_side = |a: &Expr, b: &Expr| -> Option<(Expr, String)> {
+        if let ExprKind::Str(s) = &b.kind {
+            if matches!(a.kind, ExprKind::Column { .. }) {
+                return Some((a.clone(), s.clone()));
+            }
+        }
+        None
+    };
+    if let Some((col_expr, value)) = str_side(left, right).or_else(|| str_side(right, left)) {
+        if matches!(op, BinaryOp::Eq | BinaryOp::Ne) {
+            // Only if the column really is a string; numeric = 'str' is a
+            // type error reported below.
+            if let ExprKind::Column { qualifier, name } = &col_expr.kind {
+                let i = ctx
+                    .scope
+                    .resolve(qualifier.as_deref(), name, col_expr.span)?;
+                if let DataType::Char(_) = ctx.scope.cols[i].dtype {
+                    let p = Predicate::StrEq { col: i, value };
+                    return Ok(if op == BinaryOp::Ne { p.negate() } else { p });
+                }
+            }
+        }
+        return Err(PlanError::new(
+            PlanErrorKind::TypeMismatch,
+            "strings support only = and <> comparisons",
+            e.span,
+        ));
+    }
+    let cmp_op = match op {
+        BinaryOp::Eq => CmpOp::Eq,
+        BinaryOp::Ne => CmpOp::Ne,
+        BinaryOp::Lt => CmpOp::Lt,
+        BinaryOp::Le => CmpOp::Le,
+        BinaryOp::Gt => CmpOp::Gt,
+        BinaryOp::Ge => CmpOp::Ge,
+        _ => unreachable!("caller filtered"),
+    };
+    let l = bind_scalar(left, ctx)?;
+    let r = bind_scalar(right, ctx)?;
+    check_comparable(&l, &r, ctx, e.span)?;
+    Ok(cmp(l, cmp_op, r))
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation and projection
+// ---------------------------------------------------------------------------
+
+/// Output-column name of a select item: alias, else column name, else the
+/// aggregate function name, else a positional fallback.
+fn item_out_name(expr: &Expr, alias: &Option<String>, idx: usize) -> String {
+    if let Some(a) = alias {
+        return a.clone();
+    }
+    match &expr.kind {
+        ExprKind::Column { name, .. } => name.clone(),
+        ExprKind::Agg { func, .. } => func.as_str().to_string(),
+        _ => format!("col{idx}"),
+    }
+}
+
+fn uniquify(name: String, taken: &[String]) -> String {
+    if !taken.contains(&name) {
+        return name;
+    }
+    let mut n = 2;
+    loop {
+        let cand = format!("{name}_{n}");
+        if !taken.contains(&cand) {
+            return cand;
+        }
+        n += 1;
+    }
+}
+
+fn agg_func_of(name: AggFuncName) -> AggFunc {
+    match name {
+        AggFuncName::CountStar => AggFunc::CountStar,
+        AggFuncName::Count => AggFunc::Count,
+        AggFuncName::Sum => AggFunc::Sum,
+        AggFuncName::Avg => AggFunc::Avg,
+        AggFuncName::Min => AggFunc::Min,
+        AggFuncName::Max => AggFunc::Max,
+    }
+}
+
+/// Plan the grouped/aggregated tail of the query: optional pre-projection,
+/// the aggregate itself, HAVING, and the final projection. Returns the plan
+/// plus the output column names (for ORDER BY resolution).
+fn bind_aggregate(
+    query: &Select,
+    acc: Logical,
+    scope: &Scope,
+    agg_calls: &[&Expr],
+) -> Result<(Logical, Vec<String>)> {
+    for item in &query.items {
+        if let SelectItem::Wildcard { span } = item {
+            return Err(PlanError::new(
+                PlanErrorKind::Unsupported,
+                "`*` cannot be combined with GROUP BY or aggregates",
+                *span,
+            ));
+        }
+    }
+    // Resolve each GROUP BY expression to its source expression: an output
+    // alias or a 1-based position refers back to the select item.
+    let mut group_sources: Vec<Expr> = Vec::new();
+    let mut group_aliases: Vec<Option<String>> = Vec::new();
+    for g in &query.group_by {
+        let (source, alias) = match &g.kind {
+            ExprKind::Int(k) => {
+                let idx = (*k as usize)
+                    .checked_sub(1)
+                    .filter(|i| *i < query.items.len());
+                let Some(i) = idx else {
+                    return Err(PlanError::new(
+                        PlanErrorKind::UnknownColumn,
+                        format!("GROUP BY position {k} is out of range"),
+                        g.span,
+                    ));
+                };
+                let SelectItem::Expr { expr, alias } = &query.items[i] else {
+                    unreachable!("wildcards rejected above")
+                };
+                (expr.clone(), alias.clone())
+            }
+            ExprKind::Column {
+                qualifier: None,
+                name,
+            } => {
+                let aliased = query.items.iter().find_map(|it| match it {
+                    SelectItem::Expr {
+                        expr,
+                        alias: Some(a),
+                    } if a == name => Some((expr.clone(), Some(a.clone()))),
+                    _ => None,
+                });
+                aliased.unwrap_or((g.clone(), None))
+            }
+            _ => (g.clone(), None),
+        };
+        if source.contains_agg() {
+            return Err(PlanError::new(
+                PlanErrorKind::TypeMismatch,
+                "cannot GROUP BY an aggregate",
+                g.span,
+            ));
+        }
+        group_sources.push(source);
+        group_aliases.push(alias);
+    }
+
+    let ctx = BindCtx::plain(scope);
+    let mut group_bound = Vec::new();
+    for (g, src) in query.group_by.iter().zip(&group_sources) {
+        let b = bind_scalar(src, &ctx)?;
+        let t = check_scalar_type(&b, &ctx, g.span)?;
+        if !t.hashable() {
+            return Err(PlanError::new(
+                PlanErrorKind::TypeMismatch,
+                format!("cannot group by a {} expression", t.name()),
+                g.span,
+            ));
+        }
+        group_bound.push(b);
+    }
+
+    // Bind the aggregate arguments over the accumulator scope.
+    let mut arg_bound: Vec<Option<ScalarExpr>> = Vec::new();
+    for a in agg_calls {
+        let ExprKind::Agg { arg, .. } = &a.kind else {
+            unreachable!("collect_aggs only yields Agg nodes")
+        };
+        arg_bound.push(match arg {
+            Some(x) => Some(bind_scalar(x, &ctx)?),
+            None => None,
+        });
+    }
+
+    // If every group key is a bare column, aggregate the accumulator
+    // directly; otherwise materialize keys and arguments in a pre-projection
+    // (e.g. grouping by EXTRACT(YEAR FROM ...)).
+    let all_bare = group_bound.iter().all(|e| e.as_col().is_some());
+    let (agg_input, group_cols, agg_args, group_out_names) = if all_bare {
+        let cols: Vec<usize> = group_bound.iter().map(|e| e.as_col().unwrap()).collect();
+        let names: Vec<String> = cols.iter().map(|&c| scope.cols[c].name.clone()).collect();
+        (acc, cols, arg_bound.clone(), names)
+    } else {
+        let mut projections = group_bound.clone();
+        let mut names: Vec<String> = Vec::new();
+        for (i, (src, alias)) in group_sources.iter().zip(&group_aliases).enumerate() {
+            let name = alias.clone().unwrap_or_else(|| match &src.kind {
+                ExprKind::Column { name, .. } => name.clone(),
+                _ => format!("g{i}"),
+            });
+            names.push(uniquify(name, &names));
+        }
+        let mut args: Vec<Option<ScalarExpr>> = Vec::new();
+        for (j, a) in arg_bound.iter().enumerate() {
+            match a {
+                Some(x) => {
+                    args.push(Some(col(projections.len())));
+                    projections.push(x.clone());
+                    names.push(uniquify(format!("agg{j}"), &names));
+                }
+                None => args.push(None),
+            }
+        }
+        let in_schema = acc.schema();
+        let mut pairs = Vec::new();
+        for (p, n) in projections.iter().zip(&names) {
+            let t = p.output_type(&in_schema).map_err(|e| {
+                PlanError::new(PlanErrorKind::TypeMismatch, e.to_string(), query.span)
+            })?;
+            pairs.push((n.clone(), t));
+        }
+        let schema = Schema::from_pairs(
+            &pairs
+                .iter()
+                .map(|(n, t)| (n.as_str(), *t))
+                .collect::<Vec<_>>(),
+        );
+        let group_names = names[..group_bound.len()].to_vec();
+        let pre = Logical::Select {
+            input: Box::new(acc),
+            predicate: Predicate::True,
+            projections,
+            schema,
+        };
+        let cols: Vec<usize> = (0..group_bound.len()).collect();
+        (pre, cols, args, group_names)
+    };
+
+    // Aggregate output names: select-list aliases when the item is exactly
+    // the aggregate call, the function name otherwise.
+    let mut taken = group_out_names.clone();
+    let mut agg_names = Vec::new();
+    for a in agg_calls {
+        let alias = query.items.iter().find_map(|it| match it {
+            SelectItem::Expr {
+                expr,
+                alias: Some(al),
+            } if expr.same_shape(a) => Some(al.clone()),
+            _ => None,
+        });
+        let ExprKind::Agg { func, .. } = &a.kind else {
+            unreachable!()
+        };
+        let name = uniquify(alias.unwrap_or_else(|| func.as_str().to_string()), &taken);
+        taken.push(name.clone());
+        agg_names.push(name);
+    }
+
+    // Build the AggSpecs and the aggregate's output schema.
+    let in_schema = agg_input.schema();
+    let mut aggs = Vec::new();
+    let mut pairs: Vec<(String, DataType)> = group_cols
+        .iter()
+        .zip(&group_out_names)
+        .map(|(&c, n)| (n.clone(), in_schema.dtype(c)))
+        .collect();
+    for ((a, arg), name) in agg_calls.iter().zip(agg_args).zip(&agg_names) {
+        let ExprKind::Agg { func, .. } = &a.kind else {
+            unreachable!()
+        };
+        let spec = AggSpec {
+            func: agg_func_of(*func),
+            arg,
+        };
+        let t = spec
+            .output_type(&in_schema)
+            .map_err(|e| PlanError::new(PlanErrorKind::TypeMismatch, e.to_string(), a.span))?;
+        pairs.push((name.clone(), t));
+        aggs.push(spec);
+    }
+    let agg_schema = Schema::from_pairs(
+        &pairs
+            .iter()
+            .map(|(n, t)| (n.as_str(), *t))
+            .collect::<Vec<_>>(),
+    );
+    let mut plan = Logical::Aggregate {
+        input: Box::new(agg_input),
+        group_by: group_cols,
+        aggs,
+        agg_names: agg_names.clone(),
+        schema: agg_schema.clone(),
+    };
+
+    // HAVING and the select list bind against the aggregate's output, with
+    // group expressions and aggregate calls rewritten positionally.
+    let post_scope = Scope::from_schema(&agg_schema, None);
+    let post_ctx = BindCtx {
+        scope: &post_scope,
+        agg: Some(AggCtx {
+            group_sources: &group_sources,
+            aggs: agg_calls,
+        }),
+    };
+    if let Some(h) = &query.having {
+        let pred = bind_pred(h, &post_ctx)?;
+        plan = Logical::Filter {
+            input: Box::new(plan),
+            predicate: pred,
+        };
+    }
+
+    let mut projections = Vec::new();
+    let mut out_names = Vec::new();
+    for (i, item) in query.items.iter().enumerate() {
+        let SelectItem::Expr { expr, alias } = item else {
+            unreachable!("wildcards rejected above")
+        };
+        projections.push(bind_scalar(expr, &post_ctx)?);
+        out_names.push(uniquify(item_out_name(expr, alias, i), &out_names));
+    }
+    let identity = projections.len() == agg_schema.len()
+        && projections
+            .iter()
+            .enumerate()
+            .all(|(i, p)| p.as_col() == Some(i))
+        && out_names
+            .iter()
+            .enumerate()
+            .all(|(i, n)| agg_schema.column(i).name == *n);
+    if !identity {
+        let mut pairs = Vec::new();
+        for ((p, n), item) in projections.iter().zip(&out_names).zip(&query.items) {
+            let span = match item {
+                SelectItem::Expr { expr, .. } => expr.span,
+                SelectItem::Wildcard { span } => *span,
+            };
+            let t = p
+                .output_type(&agg_schema)
+                .map_err(|e| PlanError::new(PlanErrorKind::TypeMismatch, e.to_string(), span))?;
+            pairs.push((n.clone(), t));
+        }
+        let schema = Schema::from_pairs(
+            &pairs
+                .iter()
+                .map(|(n, t)| (n.as_str(), *t))
+                .collect::<Vec<_>>(),
+        );
+        plan = Logical::Select {
+            input: Box::new(plan),
+            predicate: Predicate::True,
+            projections,
+            schema,
+        };
+    }
+    Ok((plan, out_names))
+}
+
+/// Plan the ungrouped tail: the final projection over the join accumulator.
+fn bind_projection(query: &Select, acc: Logical, scope: &Scope) -> Result<(Logical, Vec<String>)> {
+    let ctx = BindCtx::plain(scope);
+    let mut projections = Vec::new();
+    let mut out_names = Vec::new();
+    let mut spans = Vec::new();
+    for (i, item) in query.items.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard { span } => {
+                for (c, sc) in scope.cols.iter().enumerate() {
+                    projections.push(col(c));
+                    out_names.push(uniquify(sc.name.clone(), &out_names));
+                    spans.push(*span);
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                projections.push(bind_scalar(expr, &ctx)?);
+                out_names.push(uniquify(item_out_name(expr, alias, i), &out_names));
+                spans.push(expr.span);
+            }
+        }
+    }
+    let in_schema = acc.schema();
+    let identity = projections.len() == in_schema.len()
+        && projections
+            .iter()
+            .enumerate()
+            .all(|(i, p)| p.as_col() == Some(i))
+        && out_names
+            .iter()
+            .enumerate()
+            .all(|(i, n)| in_schema.column(i).name == *n);
+    if identity {
+        return Ok((acc, out_names));
+    }
+    let mut pairs = Vec::new();
+    for ((p, n), span) in projections.iter().zip(&out_names).zip(&spans) {
+        let t = p
+            .output_type(&in_schema)
+            .map_err(|e| PlanError::new(PlanErrorKind::TypeMismatch, e.to_string(), *span))?;
+        pairs.push((n.clone(), t));
+    }
+    let schema = Schema::from_pairs(
+        &pairs
+            .iter()
+            .map(|(n, t)| (n.as_str(), *t))
+            .collect::<Vec<_>>(),
+    );
+    let plan = Logical::Select {
+        input: Box::new(acc),
+        predicate: Predicate::True,
+        projections,
+        schema,
+    };
+    Ok((plan, out_names))
+}
+
+/// Resolve one ORDER BY key against the final output: by name/alias, by
+/// 1-based position, or structurally against a select item.
+fn resolve_order_key(
+    expr: &Expr,
+    schema: &Schema,
+    out_names: &[String],
+    query: &Select,
+) -> Result<usize> {
+    match &expr.kind {
+        ExprKind::Int(k) => {
+            let idx = (*k as usize).checked_sub(1).filter(|i| *i < schema.len());
+            idx.ok_or_else(|| {
+                PlanError::new(
+                    PlanErrorKind::UnknownColumn,
+                    format!("ORDER BY position {k} is out of range"),
+                    expr.span,
+                )
+            })
+        }
+        ExprKind::Column {
+            qualifier: None,
+            name,
+        } => out_names.iter().position(|n| n == name).ok_or_else(|| {
+            PlanError::new(
+                PlanErrorKind::UnknownColumn,
+                format!("ORDER BY column `{name}` is not in the output"),
+                expr.span,
+            )
+        }),
+        _ => {
+            // Structural match against the select items (position == output
+            // column only when no wildcard expanded the list).
+            if query.items.len() == out_names.len() {
+                for (i, item) in query.items.iter().enumerate() {
+                    if let SelectItem::Expr { expr: e, .. } = item {
+                        if e.same_shape(expr) {
+                            return Ok(i);
+                        }
+                    }
+                }
+            }
+            Err(PlanError::new(
+                PlanErrorKind::Unsupported,
+                "ORDER BY must name an output column, a 1-based position, \
+                 or repeat a select-list expression",
+                expr.span,
+            ))
+        }
+    }
+}
+
+/// Both sides must be numbers, or both dates.
+fn check_comparable(l: &ScalarExpr, r: &ScalarExpr, ctx: &BindCtx, span: Span) -> Result<()> {
+    let schema = ctx.scope.schema();
+    let lt = l
+        .output_type(&schema)
+        .map_err(|e| PlanError::new(PlanErrorKind::TypeMismatch, e.to_string(), span))?;
+    let rt = r
+        .output_type(&schema)
+        .map_err(|e| PlanError::new(PlanErrorKind::TypeMismatch, e.to_string(), span))?;
+    let numeric = |t: DataType| matches!(t, DataType::Int32 | DataType::Int64 | DataType::Float64);
+    let ok = (numeric(lt) && numeric(rt)) || (lt == DataType::Date && rt == DataType::Date);
+    if ok {
+        Ok(())
+    } else {
+        Err(PlanError::new(
+            PlanErrorKind::TypeMismatch,
+            format!("cannot compare {} with {}", lt.name(), rt.name()),
+            span,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use uot_storage::{BlockFormat, TableBuilder};
+
+    fn catalog() -> Arc<Catalog> {
+        let c = Catalog::new();
+        let s = Schema::from_pairs(&[
+            ("k", DataType::Int32),
+            ("price", DataType::Float64),
+            ("tag", DataType::Char(4)),
+            ("d", DataType::Date),
+        ]);
+        let mut tb = TableBuilder::new("fact", s, BlockFormat::Column, 1024);
+        for i in 0..20 {
+            tb.append(&[
+                Value::I32(i % 5),
+                Value::F64(i as f64),
+                Value::Str(format!("t{}", i % 3)),
+                Value::Date(100 + i),
+            ])
+            .unwrap();
+        }
+        c.register(tb.finish()).unwrap();
+        let s = Schema::from_pairs(&[("k", DataType::Int32), ("name", DataType::Char(8))]);
+        let mut tb = TableBuilder::new("dim", s, BlockFormat::Column, 1024);
+        for i in 0..5 {
+            tb.append(&[Value::I32(i), Value::Str(format!("n{i}"))])
+                .unwrap();
+        }
+        c.register(tb.finish()).unwrap();
+        c
+    }
+
+    fn plan_of(sql: &str) -> Result<Logical> {
+        bind(&parse(sql).unwrap(), &catalog())
+    }
+
+    #[test]
+    fn binds_filter_projection() {
+        let p = plan_of("SELECT k, price FROM fact WHERE price < 10.0").unwrap();
+        let schema = p.schema();
+        assert_eq!(schema.len(), 2);
+        assert_eq!(schema.column(0).name, "k");
+        assert_eq!(schema.dtype(1), DataType::Float64);
+        assert!(matches!(p, Logical::Select { .. }));
+    }
+
+    #[test]
+    fn binds_join_pipeline() {
+        let p = plan_of(
+            "SELECT name, sum(price) AS total FROM fact, dim \
+             WHERE fact.k = dim.k AND price > 2.0 GROUP BY name",
+        )
+        .unwrap();
+        let schema = p.schema();
+        assert_eq!(schema.column(0).name, "name");
+        assert_eq!(schema.column(1).name, "total");
+        // aggregate over a join over two (filtered) scans
+        assert!(p.node_count() >= 4);
+    }
+
+    #[test]
+    fn semi_join_from_in_subquery() {
+        let p =
+            plan_of("SELECT k FROM dim WHERE k IN (SELECT k FROM fact WHERE price > 3.0)").unwrap();
+        fn has_semi(l: &Logical) -> bool {
+            match l {
+                Logical::Join {
+                    kind: JoinKind::Semi,
+                    ..
+                } => true,
+                Logical::Join { probe, build, .. } => has_semi(probe) || has_semi(build),
+                Logical::Select { input, .. }
+                | Logical::Filter { input, .. }
+                | Logical::Aggregate { input, .. }
+                | Logical::Sort { input, .. }
+                | Logical::Limit { input, .. } => has_semi(input),
+                Logical::Scan { .. } => false,
+            }
+        }
+        assert!(has_semi(&p));
+    }
+
+    #[test]
+    fn unknown_table_and_column_are_spanned_errors() {
+        let e = plan_of("SELECT x FROM nope").unwrap_err();
+        assert_eq!(e.kind, PlanErrorKind::UnknownTable);
+        assert!(e.span.is_some());
+        let e = plan_of("SELECT missing FROM fact").unwrap_err();
+        assert_eq!(e.kind, PlanErrorKind::UnknownColumn);
+        assert!(e.span.is_some());
+        let e = plan_of("SELECT k FROM fact, dim WHERE fact.k = dim.k").unwrap_err();
+        assert_eq!(e.kind, PlanErrorKind::AmbiguousColumn);
+    }
+
+    #[test]
+    fn type_errors_are_spanned() {
+        // float join key cannot be hashed
+        let e = plan_of("SELECT name FROM fact, dim WHERE price = dim.k").unwrap_err();
+        assert_eq!(e.kind, PlanErrorKind::TypeMismatch);
+        assert!(e.span.is_some());
+        // date compared with number
+        let e = plan_of("SELECT k FROM fact WHERE d < 5").unwrap_err();
+        assert_eq!(e.kind, PlanErrorKind::TypeMismatch);
+        // string predicate on numeric column
+        let e = plan_of("SELECT k FROM fact WHERE k = 'x'").unwrap_err();
+        assert_eq!(e.kind, PlanErrorKind::TypeMismatch);
+        // arithmetic on strings
+        let e = plan_of("SELECT tag + 1 FROM fact").unwrap_err();
+        assert_eq!(e.kind, PlanErrorKind::TypeMismatch);
+        // aggregates in WHERE
+        let e = plan_of("SELECT k FROM fact WHERE sum(price) > 1.0").unwrap_err();
+        assert_eq!(e.kind, PlanErrorKind::TypeMismatch);
+    }
+
+    #[test]
+    fn cross_join_rejected() {
+        let e = plan_of("SELECT fact.k FROM fact, dim").unwrap_err();
+        assert_eq!(e.kind, PlanErrorKind::Unsupported);
+        assert!(e.message.contains("equi-join"));
+    }
+
+    #[test]
+    fn group_by_alias_and_position() {
+        for sql in [
+            "SELECT EXTRACT(YEAR FROM d) AS y, count(*) AS n FROM fact GROUP BY y",
+            "SELECT EXTRACT(YEAR FROM d) AS y, count(*) AS n FROM fact GROUP BY 1",
+        ] {
+            let p = plan_of(sql).unwrap();
+            let s = p.schema();
+            assert_eq!(s.column(0).name, "y");
+            assert_eq!(s.dtype(0), DataType::Int32);
+            assert_eq!(s.column(1).name, "n");
+        }
+    }
+
+    #[test]
+    fn order_by_and_limit_shapes() {
+        let p = plan_of("SELECT k, price FROM fact ORDER BY price DESC, 1 LIMIT 3").unwrap();
+        let Logical::Sort { keys, limit, .. } = &p else {
+            panic!("expected sort, got {p:?}")
+        };
+        assert_eq!(limit, &Some(3));
+        assert_eq!(keys[0], SortSpec { col: 1, desc: true });
+        assert_eq!(
+            keys[1],
+            SortSpec {
+                col: 0,
+                desc: false
+            }
+        );
+        let p = plan_of("SELECT k FROM fact LIMIT 7").unwrap();
+        assert!(matches!(p, Logical::Limit { n: 7, .. }));
+    }
+
+    #[test]
+    fn string_predicates_lower_to_engine_forms() {
+        let p =
+            plan_of("SELECT k FROM fact WHERE tag = 't1' OR tag LIKE 't%' OR tag IN ('a', 'b')")
+                .unwrap();
+        let Logical::Select { predicate, .. } = &p else {
+            panic!()
+        };
+        let text = format!("{predicate:?}");
+        assert!(text.contains("StrEq"), "{text}");
+        assert!(text.contains("StrStartsWith"), "{text}");
+        assert!(text.contains("StrIn"), "{text}");
+    }
+
+    #[test]
+    fn bare_scan_gets_wrapped() {
+        let p = plan_of("SELECT * FROM dim").unwrap();
+        assert!(matches!(p, Logical::Select { .. }));
+        assert_eq!(p.schema().len(), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! The compiled-plan cache.
+//!
+//! Compilation (lex → parse → bind → lower) is pure CPU work repeated
+//! verbatim by every client that submits the same statement, so the service
+//! front door caches compiled plans keyed by [`normalize`]d SQL text:
+//! queries differing only in whitespace, letter case or comments share one
+//! entry. The cache is generic over the plan type because the physical plan
+//! lives in the engine crate, which depends on this one.
+
+use crate::lexer::normalize;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Whether a submission's plan came from the cache or was compiled fresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanCacheOutcome {
+    /// The normalized text was already cached.
+    Hit,
+    /// The plan was compiled on this submission (and cached).
+    Miss,
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a cached plan.
+    pub hits: u64,
+    /// Lookups that compiled.
+    pub misses: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent map from normalized SQL text to compiled plans.
+#[derive(Debug)]
+pub struct PlanCache<P> {
+    plans: Mutex<HashMap<String, Arc<P>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+// Manual impl: a derive would needlessly bound `P: Default`.
+impl<P> Default for PlanCache<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> PlanCache<P> {
+    /// Empty cache.
+    pub fn new() -> Self {
+        PlanCache {
+            plans: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `sql` (by normalized text); on a miss, run `compile` and
+    /// cache its result. Compilation failures are returned and not cached —
+    /// a failing statement stays cheap to reject and never poisons the map.
+    /// Generic over the error type so callers that lower further (e.g. to a
+    /// physical plan) can thread their own error through.
+    pub fn get_or_compile<E>(
+        &self,
+        sql: &str,
+        compile: impl FnOnce() -> std::result::Result<P, E>,
+    ) -> std::result::Result<(Arc<P>, PlanCacheOutcome), E> {
+        let key = normalize(sql);
+        if let Some(plan) = self.plans.lock().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((plan, PlanCacheOutcome::Hit));
+        }
+        // Compile outside the lock: a slow compilation must not block other
+        // clients' lookups. Two racing clients may both compile; the second
+        // insert wins and the duplicates are identical.
+        let plan = Arc::new(compile()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.plans.lock().insert(key, plan.clone());
+        Ok((plan, PlanCacheOutcome::Miss))
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.plans.lock().len(),
+        }
+    }
+
+    /// Drop every cached plan (counters are kept).
+    pub fn clear(&self) {
+        self.plans.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{PlanError, PlanErrorKind};
+
+    #[test]
+    fn caches_by_normalized_text() {
+        let cache: PlanCache<u32> = PlanCache::new();
+        let (p1, o1) = cache
+            .get_or_compile("SELECT 1", || Ok::<_, PlanError>(7))
+            .unwrap();
+        let (p2, o2) = cache
+            .get_or_compile("select   1 -- same query", || Ok::<_, PlanError>(8))
+            .unwrap();
+        assert_eq!(o1, PlanCacheOutcome::Miss);
+        assert_eq!(o2, PlanCacheOutcome::Hit);
+        assert_eq!(*p1, 7);
+        assert_eq!(*p2, 7, "hit returns the cached plan, not a recompile");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failures_are_not_cached() {
+        let cache: PlanCache<u32> = PlanCache::new();
+        let fail = || Err(PlanError::spanless(PlanErrorKind::Parse, "boom"));
+        assert!(cache.get_or_compile("bad", fail).is_err());
+        assert_eq!(cache.stats().entries, 0);
+        // Subsequent success still compiles and caches.
+        let (_, o) = cache
+            .get_or_compile("bad", || Ok::<_, PlanError>(1))
+            .unwrap();
+        assert_eq!(o, PlanCacheOutcome::Miss);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache: PlanCache<u32> = PlanCache::new();
+        cache.get_or_compile("a", || Ok::<_, PlanError>(1)).unwrap();
+        cache.get_or_compile("a", || Ok::<_, PlanError>(1)).unwrap();
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+}

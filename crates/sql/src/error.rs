@@ -1,0 +1,177 @@
+//! Planning errors with source positions.
+//!
+//! Every stage of the front door — lexing, parsing, name resolution, type
+//! checking — reports failures as a [`PlanError`] carrying a byte-offset
+//! [`Span`] into the original SQL text, never a panic. The span makes the
+//! errors actionable from a client: `error.snippet(sql)` renders the
+//! offending fragment with a caret line.
+
+use std::fmt;
+
+/// A half-open byte range `start..end` into the SQL text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Which stage of the front door rejected the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanErrorKind {
+    /// The lexer hit a character it cannot tokenize (or an unterminated
+    /// string literal).
+    Lex,
+    /// The parser found a token it did not expect.
+    Parse,
+    /// A `FROM` item names a table the catalog does not know.
+    UnknownTable,
+    /// A column reference resolves to nothing in scope.
+    UnknownColumn,
+    /// An unqualified column name matches more than one table in scope.
+    AmbiguousColumn,
+    /// An expression combines types the engine cannot evaluate.
+    TypeMismatch,
+    /// Syntactically valid SQL outside the supported dialect (e.g. a cross
+    /// join without an equi-join condition, `LIKE` with a leading and
+    /// trailing wildcard pattern the engine has no predicate for).
+    Unsupported,
+}
+
+impl PlanErrorKind {
+    fn label(self) -> &'static str {
+        match self {
+            PlanErrorKind::Lex => "lex error",
+            PlanErrorKind::Parse => "parse error",
+            PlanErrorKind::UnknownTable => "unknown table",
+            PlanErrorKind::UnknownColumn => "unknown column",
+            PlanErrorKind::AmbiguousColumn => "ambiguous column",
+            PlanErrorKind::TypeMismatch => "type mismatch",
+            PlanErrorKind::Unsupported => "unsupported",
+        }
+    }
+}
+
+/// A front-door failure: what went wrong, and where in the SQL text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanError {
+    /// The failing stage.
+    pub kind: PlanErrorKind,
+    /// Human-readable description.
+    pub message: String,
+    /// Where in the SQL text the problem is (`None` only for failures that
+    /// have no single location, e.g. an empty statement).
+    pub span: Option<Span>,
+}
+
+impl PlanError {
+    /// An error anchored at `span`.
+    pub fn new(kind: PlanErrorKind, message: impl Into<String>, span: Span) -> Self {
+        PlanError {
+            kind,
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// An error with no source position.
+    pub fn spanless(kind: PlanErrorKind, message: impl Into<String>) -> Self {
+        PlanError {
+            kind,
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Render the offending fragment of `sql` with a caret line underneath,
+    /// for terminal-friendly diagnostics.
+    pub fn snippet(&self, sql: &str) -> String {
+        let Some(span) = self.span else {
+            return String::new();
+        };
+        let start = span.start.min(sql.len());
+        let end = span.end.clamp(start, sql.len());
+        // The line containing the span start.
+        let line_start = sql[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let line_end = sql[start..]
+            .find('\n')
+            .map(|i| start + i)
+            .unwrap_or(sql.len());
+        let line = &sql[line_start..line_end];
+        let col = start - line_start;
+        let width = (end - start)
+            .max(1)
+            .min(line.len().saturating_sub(col).max(1));
+        format!("{line}\n{}{}", " ".repeat(col), "^".repeat(width))
+    }
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(f, "{} at {span}: {}", self.kind.label(), self.message),
+            None => write!(f, "{}: {}", self.kind.label(), self.message),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Front-door result type.
+pub type Result<T> = std::result::Result<T, PlanError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_span_and_message() {
+        let e = PlanError::new(
+            PlanErrorKind::UnknownColumn,
+            "unknown column `x`",
+            Span::new(7, 8),
+        );
+        let s = e.to_string();
+        assert!(s.contains("7..8"), "{s}");
+        assert!(s.contains("unknown column `x`"), "{s}");
+    }
+
+    #[test]
+    fn snippet_renders_caret() {
+        let sql = "select x from t";
+        let e = PlanError::new(
+            PlanErrorKind::UnknownColumn,
+            "unknown column `x`",
+            Span::new(7, 8),
+        );
+        let snip = e.snippet(sql);
+        assert_eq!(snip, "select x from t\n       ^");
+    }
+
+    #[test]
+    fn span_join_covers_both() {
+        assert_eq!(Span::new(3, 5).to(Span::new(9, 12)), Span::new(3, 12));
+    }
+}

@@ -1,0 +1,318 @@
+//! Hand-rolled lexer: SQL text → spanned tokens.
+//!
+//! Keywords are not distinguished from identifiers here — the parser matches
+//! identifiers case-insensitively against the keyword set, which keeps the
+//! token type small and makes every identifier usable as a column name.
+
+use crate::error::{PlanError, PlanErrorKind, Result, Span};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword, lowercased (SQL identifiers are
+    /// case-insensitive in this dialect; quoting is not supported).
+    Ident(String),
+    /// Numeric literal, verbatim (the parser decides integer vs float).
+    Number(String),
+    /// String literal contents with `''` unescaped to `'`.
+    Str(String),
+    /// Punctuation / operator.
+    Sym(Sym),
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the variants are the punctuation itself
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    Semi,
+}
+
+impl Sym {
+    /// The source text of this symbol.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Sym::LParen => "(",
+            Sym::RParen => ")",
+            Sym::Comma => ",",
+            Sym::Dot => ".",
+            Sym::Star => "*",
+            Sym::Plus => "+",
+            Sym::Minus => "-",
+            Sym::Slash => "/",
+            Sym::Lt => "<",
+            Sym::Le => "<=",
+            Sym::Gt => ">",
+            Sym::Ge => ">=",
+            Sym::Eq => "=",
+            Sym::Ne => "<>",
+            Sym::Semi => ";",
+        }
+    }
+}
+
+/// A token plus its position in the SQL text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Byte range in the source.
+    pub span: Span,
+}
+
+/// Tokenize `sql`. `--` line comments and all whitespace are skipped.
+pub fn lex(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // `--` line comment.
+        if c == b'-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // Identifier / keyword.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let text = sql[start..i].to_ascii_lowercase();
+            out.push(Token {
+                tok: Tok::Ident(text),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Number: digits, optional fraction, optional exponent.
+        if c.is_ascii_digit() || (c == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) {
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'.' {
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j].is_ascii_digit() {
+                    i = j;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            out.push(Token {
+                tok: Tok::Number(sql[start..i].to_string()),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // String literal with '' escaping.
+        if c == b'\'' {
+            i += 1;
+            let mut value = String::new();
+            loop {
+                match bytes.get(i) {
+                    None => {
+                        return Err(PlanError::new(
+                            PlanErrorKind::Lex,
+                            "unterminated string literal",
+                            Span::new(start, sql.len()),
+                        ));
+                    }
+                    Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                        value.push('\'');
+                        i += 2;
+                    }
+                    Some(b'\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        // Advance one whole UTF-8 character.
+                        let ch = sql[i..].chars().next().expect("in-bounds char");
+                        value.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+            }
+            out.push(Token {
+                tok: Tok::Str(value),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Symbols.
+        let (sym, len) = match c {
+            b'(' => (Sym::LParen, 1),
+            b')' => (Sym::RParen, 1),
+            b',' => (Sym::Comma, 1),
+            b'.' => (Sym::Dot, 1),
+            b'*' => (Sym::Star, 1),
+            b'+' => (Sym::Plus, 1),
+            b'-' => (Sym::Minus, 1),
+            b'/' => (Sym::Slash, 1),
+            b';' => (Sym::Semi, 1),
+            b'=' => (Sym::Eq, 1),
+            b'<' => match bytes.get(i + 1) {
+                Some(b'=') => (Sym::Le, 2),
+                Some(b'>') => (Sym::Ne, 2),
+                _ => (Sym::Lt, 1),
+            },
+            b'>' => match bytes.get(i + 1) {
+                Some(b'=') => (Sym::Ge, 2),
+                _ => (Sym::Gt, 1),
+            },
+            b'!' if bytes.get(i + 1) == Some(&b'=') => (Sym::Ne, 2),
+            _ => {
+                return Err(PlanError::new(
+                    PlanErrorKind::Lex,
+                    format!(
+                        "unexpected character `{}`",
+                        &sql[i..].chars().next().unwrap()
+                    ),
+                    Span::new(i, i + 1),
+                ));
+            }
+        };
+        i += len;
+        out.push(Token {
+            tok: Tok::Sym(sym),
+            span: Span::new(start, i),
+        });
+    }
+    Ok(out)
+}
+
+/// Normalize `sql` into the plan-cache key: tokens rejoined with single
+/// spaces, identifiers and keywords lowercased, comments stripped, trailing
+/// semicolons dropped. Two queries that differ only in whitespace, letter
+/// case or comments normalize identically and share one cache entry. If the
+/// text does not even lex, the trimmed original is returned so the error
+/// path still has a stable key.
+pub fn normalize(sql: &str) -> String {
+    let Ok(tokens) = lex(sql) else {
+        return sql.trim().to_string();
+    };
+    let mut out = String::with_capacity(sql.len());
+    for t in &tokens {
+        if t.tok == Tok::Sym(Sym::Semi) {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match &t.tok {
+            Tok::Ident(s) => out.push_str(s),
+            Tok::Number(n) => out.push_str(n),
+            Tok::Str(s) => {
+                out.push('\'');
+                out.push_str(&s.replace('\'', "''"));
+                out.push('\'');
+            }
+            Tok::Sym(sym) => out.push_str(sym.as_str()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<Tok> {
+        lex(sql).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_idents_numbers_strings_symbols() {
+        let toks = kinds("SELECT a, 1.5 FROM t WHERE s = 'it''s' -- c\n;");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("select".into()),
+                Tok::Ident("a".into()),
+                Tok::Sym(Sym::Comma),
+                Tok::Number("1.5".into()),
+                Tok::Ident("from".into()),
+                Tok::Ident("t".into()),
+                Tok::Ident("where".into()),
+                Tok::Ident("s".into()),
+                Tok::Sym(Sym::Eq),
+                Tok::Str("it's".into()),
+                Tok::Sym(Sym::Semi),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let toks = lex("ab <= 'x'").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+        assert_eq!(toks[2].span, Span::new(6, 9));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = kinds("< <= > >= = <> !=");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Sym(Sym::Lt),
+                Tok::Sym(Sym::Le),
+                Tok::Sym(Sym::Gt),
+                Tok::Sym(Sym::Ge),
+                Tok::Sym(Sym::Eq),
+                Tok::Sym(Sym::Ne),
+                Tok::Sym(Sym::Ne),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let e = lex("a @ b").unwrap_err();
+        assert_eq!(e.kind, PlanErrorKind::Lex);
+        assert_eq!(e.span, Some(Span::new(2, 3)));
+        let e = lex("'oops").unwrap_err();
+        assert_eq!(e.kind, PlanErrorKind::Lex);
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn normalize_collapses_case_whitespace_comments() {
+        let a = normalize("SELECT  X\nFROM t -- hi\nWHERE y = 'A b';");
+        let b = normalize("select x from t where y = 'A b'");
+        assert_eq!(a, b);
+        // String literal case is preserved.
+        assert!(a.contains("'A b'"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # uot-sql — the SQL front door
+//!
+//! A hand-rolled SQL frontend for the UoT engine covering exactly the SELECT
+//! dialect the engine executes: projections and scalar expressions over
+//! [`uot_expr`], inner hash joins, semi/anti joins via `IN (SELECT ...)`,
+//! `GROUP BY` aggregates, `HAVING`, `ORDER BY` and `LIMIT`.
+//!
+//! The pipeline is
+//!
+//! ```text
+//! SQL text ──lex──▶ tokens ──parse──▶ AST ──bind──▶ Logical plan
+//!                                     (catalog: name resolution,
+//!                                      type checks, join pipeline)
+//! ```
+//!
+//! and the engine crate lowers the [`Logical`] plan to its physical operator
+//! algebra. Every failure along the way is a [`PlanError`] with a byte-span
+//! into the original text — never a panic.
+//!
+//! The dialect is optimizer-free by design (the paper studies scheduling,
+//! not plan choice): `FROM` order encodes the join tree. The first `FROM`
+//! item is the streamed probe side; each later item becomes a hash-build
+//! side; nested derived tables express deeper trees.
+//!
+//! [`PlanCache`] memoizes compiled plans across submissions keyed by
+//! [`normalize`]d text, with hit/miss counters the service surfaces in its
+//! metrics.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod binder;
+pub mod cache;
+pub mod error;
+pub mod lexer;
+pub mod logical;
+pub mod parser;
+
+pub use ast::Select;
+pub use binder::bind;
+pub use cache::{CacheStats, PlanCache, PlanCacheOutcome};
+pub use error::{PlanError, PlanErrorKind, Result, Span};
+pub use lexer::normalize;
+pub use logical::{JoinKind, Logical, SortSpec};
+pub use parser::parse;
+
+use uot_storage::Catalog;
+
+/// Parse and bind `sql` against `catalog` in one call: text → [`Logical`].
+pub fn plan(sql: &str, catalog: &Catalog) -> Result<Logical> {
+    let ast = parse(sql)?;
+    bind(&ast, catalog)
+}

@@ -1,0 +1,141 @@
+//! The logical plan: what the binder produces and the engine lowers.
+//!
+//! A [`Logical`] tree is fully resolved — every column is a positional index
+//! into its input's schema, every predicate and projection is an engine
+//! expression ([`uot_expr`]) ready to evaluate. Lowering to the physical
+//! operator algebra is a mechanical walk (the `uot-core` crate owns it, since
+//! the physical plan type lives there).
+//!
+//! The dialect is deliberately optimizer-free, mirroring the paper's setup:
+//! the plan shape is encoded in the SQL text itself (`FROM` order picks the
+//! probe side and the build order), so a SQL query and a hand-constructed
+//! plan can be compared operator for operator.
+
+use std::sync::Arc;
+use uot_expr::{AggSpec, Predicate, ScalarExpr};
+use uot_storage::{Schema, Table};
+
+/// Hash-join variants of the dialect. Mirrors the engine's join types
+/// without depending on the engine crate (which depends on this one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Emit probe ⨝ build combinations.
+    Inner,
+    /// `IN (SELECT ...)` — emit probe rows with a match; no build columns.
+    Semi,
+    /// `NOT IN (SELECT ...)` — emit probe rows without a match.
+    Anti,
+}
+
+/// One sort key over the plan's output columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortSpec {
+    /// Output column index.
+    pub col: usize,
+    /// `DESC`?
+    pub desc: bool,
+}
+
+/// A resolved logical plan node.
+#[derive(Debug, Clone)]
+pub enum Logical {
+    /// Scan a base table.
+    Scan {
+        /// The table.
+        table: Arc<Table>,
+    },
+    /// Filter + project in one pass.
+    Select {
+        /// Input plan.
+        input: Box<Logical>,
+        /// Row filter over the *input* columns.
+        predicate: Predicate,
+        /// Output expressions over the input columns.
+        projections: Vec<ScalarExpr>,
+        /// Precomputed output schema (projection names + types).
+        schema: Arc<Schema>,
+    },
+    /// Pure filter (keeps all input columns).
+    Filter {
+        /// Input plan.
+        input: Box<Logical>,
+        /// Row filter.
+        predicate: Predicate,
+    },
+    /// Hash join: stream `probe`, build a hash table over `build`.
+    Join {
+        /// Streamed side.
+        probe: Box<Logical>,
+        /// Hash-table side.
+        build: Box<Logical>,
+        /// Equi-key columns of the probe input.
+        probe_keys: Vec<usize>,
+        /// Equi-key columns of the build input.
+        build_keys: Vec<usize>,
+        /// Probe columns to emit.
+        probe_out: Vec<usize>,
+        /// Build columns to carry as payload and emit (empty for semi/anti).
+        build_payload: Vec<usize>,
+        /// Join variant.
+        kind: JoinKind,
+        /// Precomputed output schema.
+        schema: Arc<Schema>,
+    },
+    /// Hash aggregation with optional grouping.
+    Aggregate {
+        /// Input plan.
+        input: Box<Logical>,
+        /// Grouping columns of the input.
+        group_by: Vec<usize>,
+        /// Aggregates to compute.
+        aggs: Vec<AggSpec>,
+        /// Output names of the aggregate columns.
+        agg_names: Vec<String>,
+        /// Precomputed output schema (group columns, then aggregates).
+        schema: Arc<Schema>,
+    },
+    /// Full sort with optional limit.
+    Sort {
+        /// Input plan.
+        input: Box<Logical>,
+        /// Sort keys, most significant first.
+        keys: Vec<SortSpec>,
+        /// Keep only the first `n` rows if set.
+        limit: Option<usize>,
+    },
+    /// Pass through the first `n` rows.
+    Limit {
+        /// Input plan.
+        input: Box<Logical>,
+        /// Row budget.
+        n: usize,
+    },
+}
+
+impl Logical {
+    /// Output schema of this node.
+    pub fn schema(&self) -> Arc<Schema> {
+        match self {
+            Logical::Scan { table } => table.schema().clone(),
+            Logical::Select { schema, .. }
+            | Logical::Join { schema, .. }
+            | Logical::Aggregate { schema, .. } => schema.clone(),
+            Logical::Filter { input, .. }
+            | Logical::Sort { input, .. }
+            | Logical::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// Number of nodes in the tree (diagnostics).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            Logical::Scan { .. } => 0,
+            Logical::Select { input, .. }
+            | Logical::Filter { input, .. }
+            | Logical::Aggregate { input, .. }
+            | Logical::Sort { input, .. }
+            | Logical::Limit { input, .. } => input.node_count(),
+            Logical::Join { probe, build, .. } => probe.node_count() + build.node_count(),
+        }
+    }
+}

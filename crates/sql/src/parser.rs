@@ -1,0 +1,880 @@
+//! Recursive-descent parser: tokens → [`Select`] AST.
+//!
+//! Precedence, loosest to tightest: `OR`, `AND`, `NOT`, comparisons
+//! (`= <> < <= > >=`, `BETWEEN`, `IN`, `LIKE`), `+ -`, `* /`, unary minus,
+//! primaries. Arithmetic is left-associative, which fixes the evaluation
+//! (and float-summation) order: `a * (1 - d) * (1 + t)` parses as
+//! `(a * (1 - d)) * (1 + t)`.
+
+use crate::ast::{
+    AggFuncName, BinaryOp, Expr, ExprKind, OrderItem, Select, SelectItem, TableRef, TableSource,
+};
+use crate::error::{PlanError, PlanErrorKind, Result, Span};
+use crate::lexer::{lex, Sym, Tok, Token};
+use uot_storage::date_from_ymd;
+
+/// Parse one SELECT statement (an optional trailing `;` is allowed).
+pub fn parse(sql: &str) -> Result<Select> {
+    let tokens = lex(sql)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        eof: sql.len(),
+    };
+    let select = p.parse_select()?;
+    p.eat_sym(Sym::Semi);
+    if let Some(t) = p.peek() {
+        return Err(PlanError::new(
+            PlanErrorKind::Parse,
+            format!("unexpected trailing input `{}`", p.describe(&t.tok)),
+            t.span,
+        ));
+    }
+    Ok(select)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    eof: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> Span {
+        self.peek()
+            .map(|t| t.span)
+            .unwrap_or(Span::new(self.eof, self.eof))
+    }
+
+    fn describe(&self, tok: &Tok) -> String {
+        match tok {
+            Tok::Ident(s) => s.clone(),
+            Tok::Number(n) => n.clone(),
+            Tok::Str(s) => format!("'{s}'"),
+            Tok::Sym(s) => s.as_str().to_string(),
+        }
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> PlanError {
+        PlanError::new(PlanErrorKind::Parse, message, self.here())
+    }
+
+    /// Is the next token the keyword `kw` (case-insensitive)?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token { tok: Tok::Ident(s), .. }) if s == kw)
+    }
+
+    /// Consume the keyword `kw` if present; return whether it was.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Require the keyword `kw`.
+    fn expect_kw(&mut self, kw: &str) -> Result<Span> {
+        if self.at_kw(kw) {
+            let span = self.here();
+            self.pos += 1;
+            Ok(span)
+        } else {
+            Err(self.err_here(format!(
+                "expected `{}`{}",
+                kw.to_uppercase(),
+                match self.peek() {
+                    Some(t) => format!(", found `{}`", self.describe(&t.tok)),
+                    None => ", found end of input".into(),
+                }
+            )))
+        }
+    }
+
+    fn at_sym(&self, sym: Sym) -> bool {
+        matches!(self.peek(), Some(Token { tok: Tok::Sym(s), .. }) if *s == sym)
+    }
+
+    fn eat_sym(&mut self, sym: Sym) -> bool {
+        if self.at_sym(sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: Sym) -> Result<Span> {
+        if self.at_sym(sym) {
+            let span = self.here();
+            self.pos += 1;
+            Ok(span)
+        } else {
+            Err(self.err_here(format!(
+                "expected `{}`{}",
+                sym.as_str(),
+                match self.peek() {
+                    Some(t) => format!(", found `{}`", self.describe(&t.tok)),
+                    None => ", found end of input".into(),
+                }
+            )))
+        }
+    }
+
+    /// An identifier that is not one of the clause keywords.
+    fn ident(&mut self, what: &str) -> Result<(String, Span)> {
+        match self.peek() {
+            Some(Token {
+                tok: Tok::Ident(s),
+                span,
+            }) if !is_reserved(s) => {
+                let out = (s.clone(), *span);
+                self.pos += 1;
+                Ok(out)
+            }
+            Some(t) => {
+                let msg = format!("expected {what}, found `{}`", self.describe(&t.tok));
+                Err(self.err_here(msg))
+            }
+            None => Err(self.err_here(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<Select> {
+        let start = self.expect_kw("select")?;
+        let mut items = Vec::new();
+        loop {
+            if self.at_sym(Sym::Star) {
+                let span = self.here();
+                self.pos += 1;
+                items.push(SelectItem::Wildcard { span });
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident("an alias after AS")?.0)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("from") {
+            loop {
+                from.push(self.parse_table_ref()?);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            let span = self.here();
+            match self.bump() {
+                Some(Token {
+                    tok: Tok::Number(n),
+                    ..
+                }) => Some(n.parse::<usize>().map_err(|_| {
+                    PlanError::new(
+                        PlanErrorKind::Parse,
+                        "LIMIT requires a non-negative integer",
+                        span,
+                    )
+                })?),
+                _ => {
+                    return Err(PlanError::new(
+                        PlanErrorKind::Parse,
+                        "LIMIT requires a non-negative integer",
+                        span,
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        let end = self
+            .tokens
+            .get(self.pos.saturating_sub(1))
+            .map(|t| t.span)
+            .unwrap_or(start);
+        Ok(Select {
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+            span: start.to(end),
+        })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let start = self.here();
+        if self.eat_sym(Sym::LParen) {
+            let sub = self.parse_select()?;
+            let close = self.expect_sym(Sym::RParen)?;
+            self.eat_kw("as");
+            let alias = if matches!(self.peek(), Some(Token { tok: Tok::Ident(s), .. }) if !is_reserved(s))
+            {
+                Some(self.ident("an alias")?.0)
+            } else {
+                None
+            };
+            Ok(TableRef {
+                source: TableSource::Derived(Box::new(sub)),
+                alias,
+                span: start.to(close),
+            })
+        } else {
+            let (name, span) = self.ident("a table name")?;
+            let mut end = span;
+            self.eat_kw("as");
+            let alias = if matches!(self.peek(), Some(Token { tok: Tok::Ident(s), .. }) if !is_reserved(s))
+            {
+                let (a, s) = self.ident("an alias")?;
+                end = s;
+                Some(a)
+            } else {
+                None
+            };
+            Ok(TableRef {
+                source: TableSource::Named(name),
+                alias,
+                span: start.to(end),
+            })
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and()?;
+            let span = left.span.to(right.span);
+            left = Expr::new(
+                ExprKind::Binary {
+                    op: BinaryOp::Or,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+                span,
+            );
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("and") {
+            let right = self.parse_not()?;
+            let span = left.span.to(right.span);
+            left = Expr::new(
+                ExprKind::Binary {
+                    op: BinaryOp::And,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+                span,
+            );
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.at_kw("not") {
+            let start = self.here();
+            self.pos += 1;
+            let inner = self.parse_not()?;
+            let span = start.to(inner.span);
+            return Ok(Expr::new(ExprKind::Not(Box::new(inner)), span));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        // `NOT` here can only begin `NOT BETWEEN` / `NOT IN` / `NOT LIKE`.
+        let negated = if self.at_kw("not")
+            && matches!(self.peek2(), Some(Token { tok: Tok::Ident(s), .. })
+                if s == "between" || s == "in" || s == "like")
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("between") {
+            let lo = self.parse_additive()?;
+            self.expect_kw("and")?;
+            let hi = self.parse_additive()?;
+            let span = left.span.to(hi.span);
+            return Ok(Expr::new(
+                ExprKind::Between {
+                    expr: Box::new(left),
+                    lo: Box::new(lo),
+                    hi: Box::new(hi),
+                    negated,
+                },
+                span,
+            ));
+        }
+        if self.eat_kw("in") {
+            self.expect_sym(Sym::LParen)?;
+            if self.at_kw("select") {
+                let sub = self.parse_select()?;
+                let close = self.expect_sym(Sym::RParen)?;
+                let span = left.span.to(close);
+                return Ok(Expr::new(
+                    ExprKind::InSelect {
+                        expr: Box::new(left),
+                        query: Box::new(sub),
+                        negated,
+                    },
+                    span,
+                ));
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            let close = self.expect_sym(Sym::RParen)?;
+            let span = left.span.to(close);
+            return Ok(Expr::new(
+                ExprKind::InList {
+                    expr: Box::new(left),
+                    list,
+                    negated,
+                },
+                span,
+            ));
+        }
+        if self.eat_kw("like") {
+            let span_start = left.span;
+            match self.bump() {
+                Some(Token {
+                    tok: Tok::Str(pattern),
+                    span,
+                }) => {
+                    return Ok(Expr::new(
+                        ExprKind::Like {
+                            expr: Box::new(left),
+                            pattern,
+                            negated,
+                        },
+                        span_start.to(span),
+                    ));
+                }
+                _ => return Err(self.err_here("LIKE requires a string literal pattern")),
+            }
+        }
+        if negated {
+            return Err(self.err_here("expected BETWEEN, IN or LIKE after NOT"));
+        }
+        let op = match self.peek() {
+            Some(Token {
+                tok: Tok::Sym(Sym::Eq),
+                ..
+            }) => Some(BinaryOp::Eq),
+            Some(Token {
+                tok: Tok::Sym(Sym::Ne),
+                ..
+            }) => Some(BinaryOp::Ne),
+            Some(Token {
+                tok: Tok::Sym(Sym::Lt),
+                ..
+            }) => Some(BinaryOp::Lt),
+            Some(Token {
+                tok: Tok::Sym(Sym::Le),
+                ..
+            }) => Some(BinaryOp::Le),
+            Some(Token {
+                tok: Tok::Sym(Sym::Gt),
+                ..
+            }) => Some(BinaryOp::Gt),
+            Some(Token {
+                tok: Tok::Sym(Sym::Ge),
+                ..
+            }) => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        let Some(op) = op else {
+            return Ok(left);
+        };
+        self.pos += 1;
+        let right = self.parse_additive()?;
+        let span = left.span.to(right.span);
+        Ok(Expr::new(
+            ExprKind::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            },
+            span,
+        ))
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = if self.at_sym(Sym::Plus) {
+                BinaryOp::Add
+            } else if self.at_sym(Sym::Minus) {
+                BinaryOp::Sub
+            } else {
+                break;
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            let span = left.span.to(right.span);
+            left = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+                span,
+            );
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = if self.at_sym(Sym::Star) {
+                BinaryOp::Mul
+            } else if self.at_sym(Sym::Slash) {
+                BinaryOp::Div
+            } else {
+                break;
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            let span = left.span.to(right.span);
+            left = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+                span,
+            );
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.at_sym(Sym::Minus) {
+            let start = self.here();
+            self.pos += 1;
+            let inner = self.parse_unary()?;
+            let span = start.to(inner.span);
+            // Fold negation into numeric literals so `-3` is a literal, not
+            // an expression tree.
+            return Ok(match inner.kind {
+                ExprKind::Int(v) => Expr::new(ExprKind::Int(-v), span),
+                ExprKind::Float(v) => Expr::new(ExprKind::Float(-v), span),
+                _ => Expr::new(ExprKind::Neg(Box::new(inner)), span),
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        let Some(t) = self.peek().cloned() else {
+            return Err(self.err_here("expected an expression, found end of input"));
+        };
+        match t.tok {
+            Tok::Sym(Sym::LParen) => {
+                self.pos += 1;
+                let inner = self.parse_expr()?;
+                self.expect_sym(Sym::RParen)?;
+                Ok(inner)
+            }
+            Tok::Number(n) => {
+                self.pos += 1;
+                if n.contains('.') || n.contains('e') || n.contains('E') {
+                    let v: f64 = n.parse().map_err(|_| {
+                        PlanError::new(PlanErrorKind::Parse, format!("bad number `{n}`"), t.span)
+                    })?;
+                    Ok(Expr::new(ExprKind::Float(v), t.span))
+                } else {
+                    let v: i64 = n.parse().map_err(|_| {
+                        PlanError::new(PlanErrorKind::Parse, format!("bad number `{n}`"), t.span)
+                    })?;
+                    Ok(Expr::new(ExprKind::Int(v), t.span))
+                }
+            }
+            Tok::Str(s) => {
+                self.pos += 1;
+                Ok(Expr::new(ExprKind::Str(s), t.span))
+            }
+            Tok::Ident(word) => match word.as_str() {
+                "date" => {
+                    self.pos += 1;
+                    match self.bump() {
+                        Some(Token {
+                            tok: Tok::Str(text),
+                            span,
+                        }) => {
+                            let full = t.span.to(span);
+                            let days = parse_date(&text).ok_or_else(|| {
+                                PlanError::new(
+                                    PlanErrorKind::Parse,
+                                    format!("bad date literal `{text}` (expected 'yyyy-mm-dd')"),
+                                    span,
+                                )
+                            })?;
+                            Ok(Expr::new(ExprKind::Date { days, text }, full))
+                        }
+                        _ => Err(self.err_here("DATE requires a 'yyyy-mm-dd' string literal")),
+                    }
+                }
+                "case" => {
+                    self.pos += 1;
+                    self.expect_kw("when")?;
+                    let when = self.parse_expr()?;
+                    self.expect_kw("then")?;
+                    let then = self.parse_expr()?;
+                    self.expect_kw("else")?;
+                    let els = self.parse_expr()?;
+                    let end = self.expect_kw("end")?;
+                    Ok(Expr::new(
+                        ExprKind::Case {
+                            when: Box::new(when),
+                            then: Box::new(then),
+                            els: Box::new(els),
+                        },
+                        t.span.to(end),
+                    ))
+                }
+                "extract" => {
+                    self.pos += 1;
+                    self.expect_sym(Sym::LParen)?;
+                    self.expect_kw("year")?;
+                    self.expect_kw("from")?;
+                    let arg = self.parse_expr()?;
+                    let end = self.expect_sym(Sym::RParen)?;
+                    Ok(Expr::new(
+                        ExprKind::ExtractYear(Box::new(arg)),
+                        t.span.to(end),
+                    ))
+                }
+                "count" | "sum" | "avg" | "min" | "max"
+                    if matches!(
+                        self.peek2(),
+                        Some(Token {
+                            tok: Tok::Sym(Sym::LParen),
+                            ..
+                        })
+                    ) =>
+                {
+                    self.pos += 2;
+                    if word == "count" && self.at_sym(Sym::Star) {
+                        self.pos += 1;
+                        let end = self.expect_sym(Sym::RParen)?;
+                        return Ok(Expr::new(
+                            ExprKind::Agg {
+                                func: AggFuncName::CountStar,
+                                arg: None,
+                            },
+                            t.span.to(end),
+                        ));
+                    }
+                    let arg = self.parse_expr()?;
+                    let end = self.expect_sym(Sym::RParen)?;
+                    let func = match word.as_str() {
+                        "count" => AggFuncName::Count,
+                        "sum" => AggFuncName::Sum,
+                        "avg" => AggFuncName::Avg,
+                        "min" => AggFuncName::Min,
+                        _ => AggFuncName::Max,
+                    };
+                    Ok(Expr::new(
+                        ExprKind::Agg {
+                            func,
+                            arg: Some(Box::new(arg)),
+                        },
+                        t.span.to(end),
+                    ))
+                }
+                _ if is_reserved(&word) => {
+                    Err(self.err_here(format!("expected an expression, found keyword `{word}`")))
+                }
+                _ => {
+                    self.pos += 1;
+                    // Qualified column: `alias.column`.
+                    if self.at_sym(Sym::Dot) {
+                        self.pos += 1;
+                        let (name, nspan) = self.ident("a column name after `.`")?;
+                        return Ok(Expr::new(
+                            ExprKind::Column {
+                                qualifier: Some(word),
+                                name,
+                            },
+                            t.span.to(nspan),
+                        ));
+                    }
+                    Ok(Expr::new(
+                        ExprKind::Column {
+                            qualifier: None,
+                            name: word,
+                        },
+                        t.span,
+                    ))
+                }
+            },
+            Tok::Sym(s) => Err(PlanError::new(
+                PlanErrorKind::Parse,
+                format!("expected an expression, found `{}`", s.as_str()),
+                t.span,
+            )),
+        }
+    }
+}
+
+/// Keywords that cannot double as identifiers/aliases in this dialect.
+fn is_reserved(word: &str) -> bool {
+    matches!(
+        word,
+        "select"
+            | "from"
+            | "where"
+            | "group"
+            | "by"
+            | "having"
+            | "order"
+            | "limit"
+            | "and"
+            | "or"
+            | "not"
+            | "in"
+            | "between"
+            | "like"
+            | "as"
+            | "case"
+            | "when"
+            | "then"
+            | "else"
+            | "end"
+            | "asc"
+            | "desc"
+            | "date"
+            | "extract"
+    )
+}
+
+/// `'yyyy-mm-dd'` → engine day number (the same encoding as
+/// [`uot_storage::date_from_ymd`]).
+fn parse_date(text: &str) -> Option<i32> {
+    let mut parts = text.split('-');
+    let y: i32 = parts.next()?.parse().ok()?;
+    let m: u32 = parts.next()?.parse().ok()?;
+    let d: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some(date_from_ymd(y, m, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_statement() {
+        let q = parse(
+            "SELECT l_returnflag, sum(l_extendedprice * (1 - l_discount)) AS revenue \
+             FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' \
+             GROUP BY l_returnflag HAVING count(*) > 3 \
+             ORDER BY revenue DESC LIMIT 10;",
+        )
+        .unwrap();
+        assert_eq!(q.items.len(), 2);
+        assert_eq!(q.from.len(), 1);
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+        assert_eq!(q.order_by.len(), 1);
+        assert!(q.order_by[0].desc);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn arithmetic_is_left_associative() {
+        let q = parse("SELECT a * b * c FROM t").unwrap();
+        let SelectItem::Expr { expr, .. } = &q.items[0] else {
+            panic!("expected expr")
+        };
+        // (a * b) * c
+        let ExprKind::Binary {
+            op: BinaryOp::Mul,
+            left,
+            ..
+        } = &expr.kind
+        else {
+            panic!("expected mul, got {expr:?}")
+        };
+        assert!(matches!(
+            left.kind,
+            ExprKind::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn precedence_and_or_cmp() {
+        let q = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        let w = q.where_clause.unwrap();
+        // OR at the top, AND underneath on the right.
+        let ExprKind::Binary {
+            op: BinaryOp::Or,
+            right,
+            ..
+        } = &w.kind
+        else {
+            panic!("expected OR at root, got {w:?}")
+        };
+        assert!(matches!(
+            right.kind,
+            ExprKind::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn derived_tables_and_subqueries() {
+        let q = parse(
+            "SELECT x FROM (SELECT a AS x FROM t WHERE a > 0) s \
+             WHERE x IN (SELECT b FROM u) AND x NOT IN (1, 2)",
+        )
+        .unwrap();
+        assert!(matches!(q.from[0].source, TableSource::Derived(_)));
+        assert_eq!(q.from[0].alias.as_deref(), Some("s"));
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let texts = [
+            "SELECT a, b + 1 AS c FROM t WHERE a < 10 ORDER BY c DESC LIMIT 5",
+            "SELECT sum(CASE WHEN p LIKE 'PROMO%' THEN e ELSE 0.0 END) AS s FROM t",
+            "SELECT * FROM t WHERE d BETWEEN DATE '1994-01-01' AND DATE '1994-12-31'",
+            "SELECT n.x FROM t n, u WHERE n.x = u.y AND u.z IN ('A', 'B')",
+            "SELECT EXTRACT(YEAR FROM d) AS y, count(*) FROM t GROUP BY y",
+            "SELECT a FROM t WHERE NOT (a = 1 OR a = 2)",
+            "SELECT a - -3 AS k, a * (1 - b) * (1 + c) FROM t",
+        ];
+        for sql in texts {
+            let once = parse(sql).unwrap();
+            let printed = once.to_string();
+            let twice = parse(&printed).unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"));
+            assert!(
+                printed == twice.to_string(),
+                "round-trip mismatch:\n  {printed}\n  {twice}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_not_panics_with_spans() {
+        for bad in [
+            "",
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP",
+            "SELECT a FROM t LIMIT x",
+            "SELECT a b c FROM t",
+            "SELECT (a FROM t",
+            "SELECT a FROM t WHERE a LIKE 5",
+            "SELECT a FROM t WHERE a NOT 5",
+            "SELECT a FROM t WHERE a IN (",
+            "SELECT CASE WHEN a THEN 1 END FROM t",
+            "SELECT a FROM t WHERE d = DATE 'nope'",
+        ] {
+            let e = parse(bad).unwrap_err();
+            assert!(e.span.is_some(), "`{bad}` produced spanless {e}");
+        }
+    }
+
+    #[test]
+    fn date_literals_match_engine_encoding() {
+        let q = parse("SELECT * FROM t WHERE d < DATE '1998-09-02'").unwrap();
+        let w = q.where_clause.unwrap();
+        let ExprKind::Binary { right, .. } = w.kind else {
+            panic!()
+        };
+        let ExprKind::Date { days, .. } = right.kind else {
+            panic!()
+        };
+        assert_eq!(days, date_from_ymd(1998, 9, 2));
+    }
+}

@@ -22,4 +22,4 @@ pub mod schema;
 
 pub use chains::{chain_specs, ChainSpec};
 pub use dbgen::{TpchConfig, TpchDb};
-pub use queries::{all_queries, build_query, build_query_lip, QueryId};
+pub use queries::{all_queries, build_query, build_query_lip, sql_text, QueryId};

@@ -24,7 +24,10 @@ mod q14;
 mod q17;
 mod q18;
 mod q19;
+mod sql;
 pub(crate) mod util;
+
+pub use sql::sql_text;
 
 use crate::dbgen::TpchDb;
 use uot_core::{QueryPlan, Result};

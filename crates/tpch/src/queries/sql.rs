@@ -1,0 +1,241 @@
+//! SQL text for the evaluated TPC-H query subset.
+//!
+//! Each statement is written in the engine's SQL dialect so that compiling
+//! it through the front door (`uot_core::sql::compile`) produces the *same*
+//! physical plan — operator for operator, output column for output column —
+//! as the hand-built constructor in the sibling `qNN` module. The FROM-list
+//! order encodes the join tree (first relation streams as the probe side,
+//! every later relation becomes a hash build), so these texts double as a
+//! readable specification of each plan's shape.
+//!
+//! `crates/tpch/tests/sql_equivalence.rs` asserts byte-identical results
+//! between both paths for every query.
+
+use super::QueryId;
+
+/// The SQL text of `query` in the engine dialect.
+pub fn sql_text(query: QueryId) -> &'static str {
+    match query {
+        QueryId::Q1 => Q01,
+        QueryId::Q3 => Q03,
+        QueryId::Q4 => Q04,
+        QueryId::Q5 => Q05,
+        QueryId::Q6 => Q06,
+        QueryId::Q7 => Q07,
+        QueryId::Q8 => Q08,
+        QueryId::Q9 => Q09,
+        QueryId::Q10 => Q10,
+        QueryId::Q12 => Q12,
+        QueryId::Q14 => Q14,
+        QueryId::Q17 => Q17,
+        QueryId::Q18 => Q18,
+        QueryId::Q19 => Q19,
+    }
+}
+
+const Q01: &str = "\
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (1.0 - l_discount)) AS sum_disc_price,
+       SUM(l_extendedprice * (1.0 - l_discount) * (1.0 + l_tax)) AS sum_charge,
+       AVG(l_quantity) AS avg_qty,
+       AVG(l_extendedprice) AS avg_price,
+       AVG(l_discount) AS avg_disc,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus";
+
+const Q03: &str = "\
+SELECT l_orderkey, o_orderdate, o_shippriority,
+       SUM(l_extendedprice * (1.0 - l_discount)) AS revenue
+FROM lineitem, orders, customer
+WHERE l_orderkey = o_orderkey
+  AND c_custkey = o_custkey
+  AND c_mktsegment = 'BUILDING'
+  AND o_orderdate < DATE '1995-03-15'
+  AND l_shipdate > DATE '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10";
+
+const Q04: &str = "\
+SELECT o_orderpriority, COUNT(*) AS order_count
+FROM orders
+WHERE o_orderdate >= DATE '1993-07-01'
+  AND o_orderdate < DATE '1993-10-01'
+  AND o_orderkey IN
+      (SELECT l_orderkey FROM lineitem WHERE l_commitdate < l_receiptdate)
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority";
+
+const Q05: &str = "\
+SELECT n_name, SUM(l_extendedprice * (1.0 - l_discount)) AS revenue
+FROM lineitem, orders, customer, nation, region, supplier
+WHERE l_orderkey = o_orderkey
+  AND o_custkey = c_custkey
+  AND c_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND s_suppkey = l_suppkey
+  AND s_nationkey = c_nationkey
+  AND o_orderdate >= DATE '1994-01-01'
+  AND o_orderdate < DATE '1995-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC";
+
+const Q06: &str = "\
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01'
+  AND l_shipdate < DATE '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24.0";
+
+const Q07: &str = "\
+SELECT supp_nation, cust_nation, l_year, SUM(volume) AS revenue
+FROM (SELECT n1.n_name AS supp_nation,
+             n2.n_name AS cust_nation,
+             EXTRACT(YEAR FROM l_shipdate) AS l_year,
+             l_extendedprice * (1.0 - l_discount) AS volume
+      FROM lineitem, orders, customer, nation n2, supplier, nation n1
+      WHERE o_orderkey = l_orderkey
+        AND c_custkey = o_custkey
+        AND c_nationkey = n2.n_nationkey
+        AND s_suppkey = l_suppkey
+        AND s_nationkey = n1.n_nationkey
+        AND (n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY'
+             OR n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE')
+        AND l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31') shipping
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY supp_nation, cust_nation, l_year";
+
+const Q08: &str = "\
+SELECT o_year,
+       SUM(CASE WHEN nation = 'BRAZIL' THEN volume ELSE 0.0 END) / SUM(volume)
+           AS mkt_share
+FROM (SELECT EXTRACT(YEAR FROM o_orderdate) AS o_year,
+             l_extendedprice * (1.0 - l_discount) AS volume,
+             n2.n_name AS nation
+      FROM lineitem, part, orders, customer, nation n1, region, supplier,
+           nation n2
+      WHERE p_partkey = l_partkey
+        AND o_orderkey = l_orderkey
+        AND c_custkey = o_custkey
+        AND n1.n_nationkey = c_nationkey
+        AND r_regionkey = n1.n_regionkey
+        AND r_name = 'AMERICA'
+        AND s_suppkey = l_suppkey
+        AND n2.n_nationkey = s_nationkey
+        AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+        AND p_type = 'ECONOMY ANODIZED STEEL') all_nations
+GROUP BY o_year
+ORDER BY o_year";
+
+const Q09: &str = "\
+SELECT n_name, o_year, SUM(amount) AS sum_profit
+FROM (SELECT n_name,
+             EXTRACT(YEAR FROM o_orderdate) AS o_year,
+             l_extendedprice * (1.0 - l_discount)
+                 - ps_supplycost * l_quantity AS amount
+      FROM lineitem, partsupp, part, orders, supplier, nation
+      WHERE ps_partkey = l_partkey
+        AND ps_suppkey = l_suppkey
+        AND p_partkey = l_partkey
+        AND o_orderkey = l_orderkey
+        AND s_suppkey = l_suppkey
+        AND n_nationkey = s_nationkey
+        AND p_name LIKE '%green%') profit
+GROUP BY n_name, o_year
+ORDER BY n_name, o_year DESC";
+
+const Q10: &str = "\
+SELECT o_custkey, revenue, c_name, c_acctbal, c_phone, c_address, c_comment,
+       n_name
+FROM (SELECT o_custkey, SUM(l_extendedprice * (1.0 - l_discount)) AS revenue
+      FROM lineitem, orders
+      WHERE l_orderkey = o_orderkey
+        AND l_returnflag = 'R'
+        AND o_orderdate >= DATE '1993-10-01'
+        AND o_orderdate < DATE '1994-01-01'
+      GROUP BY o_custkey) cust_rev, customer, nation
+WHERE c_custkey = o_custkey
+  AND n_nationkey = c_nationkey
+ORDER BY revenue DESC
+LIMIT 20";
+
+const Q12: &str = "\
+SELECT l_shipmode,
+       SUM(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH')
+                THEN 1 ELSE 0 END) AS high_line_count,
+       SUM(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH')
+                THEN 0 ELSE 1 END) AS low_line_count
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey
+  AND l_shipmode IN ('MAIL', 'SHIP')
+  AND l_commitdate < l_receiptdate
+  AND l_shipdate < l_commitdate
+  AND l_receiptdate >= DATE '1994-01-01'
+  AND l_receiptdate < DATE '1995-01-01'
+GROUP BY l_shipmode
+ORDER BY l_shipmode";
+
+const Q14: &str = "\
+SELECT 100.0 * SUM(CASE WHEN p_type LIKE 'PROMO%'
+                        THEN l_extendedprice * (1.0 - l_discount)
+                        ELSE 0.0 END)
+             / SUM(l_extendedprice * (1.0 - l_discount)) AS promo_share
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND l_shipdate >= DATE '1995-09-01'
+  AND l_shipdate < DATE '1995-10-01'";
+
+const Q17: &str = "\
+SELECT sum_ext / 7.0 AS avg_yearly
+FROM (SELECT SUM(l_extendedprice) AS sum_ext
+      FROM lineitem, part,
+           (SELECT l_partkey AS a_partkey, AVG(l_quantity) AS avg_qty
+            FROM lineitem, part
+            WHERE p_partkey = l_partkey
+              AND p_brand = 'Brand#23'
+              AND p_container = 'MED BOX'
+            GROUP BY l_partkey) pq
+      WHERE p_partkey = l_partkey
+        AND p_brand = 'Brand#23'
+        AND p_container = 'MED BOX'
+        AND a_partkey = l_partkey
+        AND l_quantity < 0.2 * avg_qty) t";
+
+const Q18: &str = "\
+SELECT o_custkey, o_orderkey, o_orderdate, o_totalprice, sum_qty, c_name
+FROM orders,
+     (SELECT l_orderkey, SUM(l_quantity) AS sum_qty
+      FROM lineitem
+      GROUP BY l_orderkey
+      HAVING SUM(l_quantity) > 140.0) big,
+     customer
+WHERE l_orderkey = o_orderkey
+  AND c_custkey = o_custkey
+ORDER BY o_totalprice DESC, o_orderdate
+LIMIT 100";
+
+const Q19: &str = "\
+SELECT SUM(l_extendedprice * (1.0 - l_discount)) AS revenue
+FROM lineitem, part
+WHERE p_partkey = l_partkey
+  AND l_shipmode IN ('AIR', 'AIR REG')
+  AND l_shipinstruct = 'DELIVER IN PERSON'
+  AND (p_brand = 'Brand#12'
+       AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+       AND l_quantity BETWEEN 1.0 AND 11.0
+       AND p_size BETWEEN 1 AND 5
+       OR p_brand = 'Brand#23'
+       AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+       AND l_quantity BETWEEN 10.0 AND 20.0
+       AND p_size BETWEEN 1 AND 10
+       OR p_brand = 'Brand#34'
+       AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+       AND l_quantity BETWEEN 20.0 AND 30.0
+       AND p_size BETWEEN 1 AND 15)";

@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 use uot::engine::obs::merged_chrome_trace_json;
-use uot::engine::{QueryOptions, QueryService, ServiceConfig, Uot};
+use uot::engine::{ExecOptions, QueryService, ServiceConfig, Uot};
 use uot::storage::BlockFormat;
 use uot::tpch::{build_query, QueryId as TpchQuery, TpchConfig, TpchDb};
 
@@ -56,7 +56,7 @@ fn main() {
             let plan = build_query(q, &db).expect("plan builds");
             let offset = epoch.elapsed();
             let handle = service
-                .submit_with(plan, QueryOptions::default().traced())
+                .submit_with(plan, ExecOptions::default().traced())
                 .expect("service accepts");
             (q, handle, offset, Instant::now())
         })

@@ -1,19 +1,22 @@
-//! Quickstart: build two small tables, run a select → probe → aggregate
-//! query at both ends of the UoT spectrum, and look at the metrics.
+//! Quickstart: build two small tables, register them in a catalog, and run
+//! one SQL statement at both ends of the UoT spectrum through the engine's
+//! primary API — `execute_sql` — then look at the metrics and the plan
+//! cache.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use std::sync::Arc;
 use uot::prelude::*;
-use uot_core::{JoinType, PlanBuilder, Source};
-use uot_expr::{cmp, col, lit, AggSpec, CmpOp};
+use uot_core::{Engine, ExecOptions};
+use uot_storage::Catalog;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build a dimension table (100 products) and a fact table (50k sales),
-    //    both stored as 4 KB column-store blocks.
-    let products = {
+    //    both stored as 4 KB column-store blocks, and register them so SQL
+    //    can resolve names against a catalog.
+    let catalog = Catalog::new();
+    {
         let schema = Schema::from_pairs(&[
             ("product_id", DataType::Int32),
             ("name", DataType::Char(16)),
@@ -27,9 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Value::F64(5.0 + i as f64),
             ])?;
         }
-        Arc::new(tb.finish())
-    };
-    let sales = {
+        catalog.register(tb.finish())?;
+    }
+    {
         let schema = Schema::from_pairs(&[
             ("product_id", DataType::Int32),
             ("quantity", DataType::Int32),
@@ -43,51 +46,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Value::Date(date_from_ymd(1995, 1, 1) + i % 365),
             ])?;
         }
-        Arc::new(tb.finish())
-    };
+        catalog.register(tb.finish())?;
+    }
 
-    // 2. A plan: sales in Q1'95, joined to products, total quantity per join.
-    //    The builder validates schemas and wiring eagerly.
-    let plan = {
-        let mut pb = PlanBuilder::new();
-        let build = pb.build_hash(Source::Table(products), vec![0], vec![2])?;
-        let filtered = pb.select(
-            Source::Table(sales),
-            cmp(
-                col(2),
-                CmpOp::Lt,
-                lit(Value::Date(date_from_ymd(1995, 4, 1))),
-            ),
-            vec![col(0), col(1)],
-            &["product_id", "quantity"],
-        )?;
-        let joined = pb.probe(
-            Source::Op(filtered),
-            build,
-            vec![0],
-            vec![0, 1],
-            vec![0],
-            JoinType::Inner,
-        )?;
-        let agg = pb.aggregate(
-            Source::Op(joined),
-            vec![],
-            vec![AggSpec::count_star(), AggSpec::sum(col(1))],
-            &["sales", "units"],
-        )?;
-        pb.build(agg)?
-    };
+    // 2. One SQL statement: sales in Q1'95, joined to products, totals.
+    //    There is no optimizer (the paper studies scheduling, not plan
+    //    choice): FROM order encodes the join tree — `sales`, first, streams
+    //    through the probe side; `products` is hash-built.
+    let sql = "SELECT COUNT(*) AS sales, SUM(s.quantity) AS units \
+               FROM sales AS s, products AS p \
+               WHERE s.product_id = p.product_id AND s.day < DATE '1995-04-01'";
 
-    // 3. Run it at both UoT extremes. Same answer, different schedules.
+    // 3. Run it at both UoT extremes on one engine. Same answer, different
+    //    schedules — and the second run reuses the cached physical plan.
+    let engine =
+        Engine::new(EngineConfig::parallel(2).with_block_bytes(4096)).with_catalog(catalog);
     for uot in [Uot::LOW, Uot::HIGH] {
-        let engine = uot_core::Engine::new(
-            EngineConfig::parallel(2)
-                .with_block_bytes(4096)
-                .with_uot(uot),
-        );
-        let result = engine.execute(plan.clone().with_uniform_uot(uot))?;
+        let result = engine.execute_sql_with(sql, ExecOptions::default().with_uot(uot))?;
         println!("--- {uot} ---");
-        println!("result rows: {:?}", result.rows());
+        println!(
+            "result rows: {:?} (plan {})",
+            result.rows(),
+            match result.metrics.plan_cache {
+                Some(PlanCacheOutcome::Hit) => "served from cache",
+                _ => "compiled from SQL",
+            }
+        );
         println!(
             "wall time: {:?}, work orders: {}, peak temp memory: {} KB",
             result.metrics.wall_time,
@@ -103,5 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
+    let stats = engine.plan_cache_stats();
+    println!(
+        "plan cache: {} hit / {} miss over {} distinct statement(s)",
+        stats.hits, stats.misses, stats.entries
+    );
     Ok(())
 }

@@ -8,6 +8,7 @@
 //! |---|---|---|
 //! | [`storage`] | `uot-storage` | blocks (row/column), block pool, catalog |
 //! | [`expr`] | `uot-expr` | scalar expressions, predicates, aggregates |
+//! | [`sql`] | `uot-sql` | SQL lexer/parser/binder, logical plan, plan cache |
 //! | [`engine`] | `uot-core` | UoT abstraction, work orders, operators, scheduler |
 //! | [`model`] | `uot-model` | the paper's analytical cost & memory models |
 //! | [`cachesim`] | `uot-cachesim` | cache-hierarchy simulator with prefetcher |
@@ -21,15 +22,17 @@ pub use uot_cachesim as cachesim;
 pub use uot_core as engine;
 pub use uot_expr as expr;
 pub use uot_model as model;
+pub use uot_sql as sql;
 pub use uot_storage as storage;
 pub use uot_tpch as tpch;
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use uot_core::{
-        CancellationToken, DegradePolicy, Engine, EngineConfig, EngineError, ExecMode, FaultKind,
-        FaultPlan, FaultSite, Injection, QueryHandle, QueryId, QueryOptions, QueryPlan,
-        QueryResult, QueryService, ServiceConfig, Trace, TraceConfig, Uot,
+        CacheStats, CancellationToken, DegradePolicy, Engine, EngineConfig, EngineError, ExecMode,
+        ExecOptions, FaultKind, FaultPlan, FaultSite, Injection, PlanCacheOutcome, PlanError,
+        QueryHandle, QueryId, QueryPlan, QueryResult, QueryService, ServiceConfig, Trace,
+        TraceConfig, Uot,
     };
     pub use uot_storage::{
         date_from_ymd, BlockFormat, Catalog, DataType, Schema, Table, TableBuilder, Value,
