@@ -1,8 +1,10 @@
 //! Concurrent-clients benchmark: N closed-loop clients firing a mixed TPC-H
 //! workload at one [`QueryService`] through the SQL front door — one shared
 //! worker pool, one shared memory budget, one shared plan cache — reporting
-//! per-query latency (p50/p99), throughput, and the compile-vs-cached
-//! latency split for the two UoT extremes the paper contrasts everywhere.
+//! per-query latency (p50/p99), throughput, the compile-vs-cached
+//! latency split for the two UoT extremes the paper contrasts everywhere,
+//! and how many stream pipelines ran fused (push-based, UoT -> 0) versus
+//! staged through transfer edges.
 //!
 //! Every client submits SQL text (`uot_tpch::sql_text`), so repeated rounds
 //! of the same statement exercise the service-wide [`PlanCache`]: the first
@@ -63,6 +65,12 @@ struct RunStats {
     compiled: Vec<Duration>,
     /// Latencies of submissions served from the plan cache.
     cached: Vec<Duration>,
+    /// Stream pipelines executed as fused push-based loops, summed over
+    /// every submission.
+    fused_pipelines: usize,
+    /// Stream pipelines executed via staged transfer edges, summed over
+    /// every submission.
+    staged_pipelines: usize,
 }
 
 /// Drive `clients` closed-loop clients for `rounds` rounds each against one
@@ -71,7 +79,7 @@ struct RunStats {
 /// records whether its plan came from the shared cache.
 fn drive(service: &QueryService, clients: usize, rounds: usize) -> RunStats {
     let started = Instant::now();
-    let samples: Vec<(Duration, PlanCacheOutcome)> = std::thread::scope(|s| {
+    let samples: Vec<(Duration, PlanCacheOutcome, usize, usize)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 s.spawn(move || {
@@ -88,7 +96,12 @@ fn drive(service: &QueryService, clients: usize, rounds: usize) -> RunStats {
                             .metrics
                             .plan_cache
                             .expect("SQL submissions always report a cache outcome");
-                        lat.push((t0.elapsed(), outcome));
+                        lat.push((
+                            t0.elapsed(),
+                            outcome,
+                            result.metrics.fused_pipelines,
+                            result.metrics.staged_pipelines,
+                        ));
                     }
                     lat
                 })
@@ -100,17 +113,17 @@ fn drive(service: &QueryService, clients: usize, rounds: usize) -> RunStats {
             .collect()
     });
     let wall = started.elapsed();
-    let mut sorted: Vec<Duration> = samples.iter().map(|&(d, _)| d).collect();
+    let mut sorted: Vec<Duration> = samples.iter().map(|&(d, _, _, _)| d).collect();
     sorted.sort_unstable();
     let mut compiled: Vec<Duration> = samples
         .iter()
-        .filter(|(_, o)| *o == PlanCacheOutcome::Miss)
-        .map(|&(d, _)| d)
+        .filter(|(_, o, _, _)| *o == PlanCacheOutcome::Miss)
+        .map(|&(d, _, _, _)| d)
         .collect();
     let mut cached: Vec<Duration> = samples
         .iter()
-        .filter(|(_, o)| *o == PlanCacheOutcome::Hit)
-        .map(|&(d, _)| d)
+        .filter(|(_, o, _, _)| *o == PlanCacheOutcome::Hit)
+        .map(|&(d, _, _, _)| d)
         .collect();
     compiled.sort_unstable();
     cached.sort_unstable();
@@ -121,6 +134,8 @@ fn drive(service: &QueryService, clients: usize, rounds: usize) -> RunStats {
         queries: sorted.len(),
         compiled,
         cached,
+        fused_pipelines: samples.iter().map(|&(_, _, f, _)| f).sum(),
+        staged_pipelines: samples.iter().map(|&(_, _, _, s)| s).sum(),
     }
 }
 
@@ -166,6 +181,8 @@ fn main() {
             "hit",
             "p50 compile ms",
             "p50 cached ms",
+            "fused",
+            "staged",
         ],
     );
     for (label, uot) in [("low (1 block)", Uot::LOW), ("high (table)", Uot::Table)] {
@@ -218,6 +235,8 @@ fn main() {
             format!("{:.0}%", 100.0 * cache.hit_rate()),
             ms(percentile(&stats.compiled, 0.50)),
             ms(percentile(&stats.cached, 0.50)),
+            stats.fused_pipelines.to_string(),
+            stats.staged_pipelines.to_string(),
         ]);
     }
     table.emit();

@@ -18,7 +18,7 @@
 pub mod report;
 
 use std::time::Duration;
-use uot_core::{Engine, EngineConfig, QueryPlan, QueryResult, Uot};
+use uot_core::{Engine, EngineConfig, FusionPolicy, QueryPlan, QueryResult, Uot};
 use uot_storage::BlockFormat;
 use uot_tpch::{TpchConfig, TpchDb};
 
@@ -74,11 +74,16 @@ pub fn make_db(block_bytes: usize, format: BlockFormat) -> TpchDb {
     )
 }
 
-/// Engine config for an experiment run.
+/// Engine config for an experiment run. Pins [`FusionPolicy::Never`]: the
+/// paper's experiments measure the *staged* transfer spectrum (work orders,
+/// per-operator tasks, edge staging), which fused pipelines would fold into
+/// chain heads. `fig7_fused` — the UoT → 0 extension — overrides the policy
+/// explicitly on every config it builds.
 pub fn engine_config(block_bytes: usize, uot: Uot, workers: usize) -> EngineConfig {
     EngineConfig::parallel(workers)
         .with_block_bytes(block_bytes)
         .with_uot(uot)
+        .with_fusion(FusionPolicy::Never)
 }
 
 /// The paper's measurement protocol: mean of the best 3 of `runs` runs.

@@ -4,6 +4,7 @@ use crate::cancel::CancellationToken;
 use crate::error::EngineError;
 use crate::exec_options::ExecOptions;
 use crate::fault::FaultPlan;
+use crate::fusion::FusionPolicy;
 use crate::metrics::{Degradation, QueryMetrics};
 use crate::obs::{CompositeObserver, TracingObserver};
 use crate::plan::{OperatorKind, QueryPlan};
@@ -88,6 +89,11 @@ pub struct EngineConfig {
     /// into a per-query [`Trace`] returned on [`QueryResult::trace`]. `None`
     /// (the default) leaves the untraced fast path untouched.
     pub trace: Option<TraceConfig>,
+    /// Fused-pipeline policy: whether eligible select/probe/aggregate chains
+    /// run as single push-based loops (UoT -> 0) instead of staging blocks
+    /// on their interior transfer edges. [`FusionPolicy::Auto`] (the
+    /// default) asks the cost model per pipeline.
+    pub fusion: FusionPolicy,
 }
 
 impl Default for EngineConfig {
@@ -108,6 +114,7 @@ impl Default for EngineConfig {
             degrade: DegradePolicy::Off,
             deadline: None,
             trace: None,
+            fusion: FusionPolicy::Auto,
         }
     }
 }
@@ -162,6 +169,12 @@ impl EngineConfig {
     /// Builder-style setter for the per-query deadline.
     pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
         self.deadline = deadline;
+        self
+    }
+
+    /// Builder-style setter for the fused-pipeline policy.
+    pub fn with_fusion(mut self, fusion: FusionPolicy) -> Self {
+        self.fusion = fusion;
         self
     }
 
@@ -306,6 +319,9 @@ impl Engine {
         if opts.trace && cfg.trace.is_none() {
             cfg.trace = Some(TraceConfig::default());
         }
+        if let Some(fusion) = opts.fusion {
+            cfg.fusion = fusion;
+        }
         (cfg, plan)
     }
 
@@ -413,13 +429,28 @@ impl Engine {
         faults: Arc<FaultPlan>,
     ) -> Result<QueryResult> {
         let from = self.config.default_uot.normalized();
-        match self.execute_once(plan.clone(), from, token.clone(), faults.clone()) {
+        match self.execute_once(
+            plan.clone(),
+            from,
+            self.config.fusion,
+            token.clone(),
+            faults.clone(),
+        ) {
             Err(e) if is_budget_error(&e) && self.config.degrade == DegradePolicy::LowerUot => {
                 let Some(to) = from.degrade() else {
                     // Already at the lowest UoT: nothing left to shed.
                     return Err(e);
                 };
-                let mut result = self.execute_once(plan.with_uniform_uot(to), to, token, faults)?;
+                // The retry runs under memory pressure: re-plan with fusion
+                // off so the degraded UoT actually governs every edge and no
+                // fused loop allocates gather scratch on the hot path.
+                let mut result = self.execute_once(
+                    plan.with_uniform_uot(to),
+                    to,
+                    FusionPolicy::Never,
+                    token,
+                    faults,
+                )?;
                 result.metrics.degradations.push(Degradation { from, to });
                 // The retry's trace starts fresh; prepend the degradation so
                 // a trace reader sees why this attempt ran at a lower UoT.
@@ -444,6 +475,7 @@ impl Engine {
         &self,
         plan: QueryPlan,
         uot: Uot,
+        fusion: FusionPolicy,
         token: CancellationToken,
         faults: Arc<FaultPlan>,
     ) -> Result<QueryResult> {
@@ -470,7 +502,14 @@ impl Engine {
         if let Some(sink) = &sink {
             ctx = ctx.with_trace(sink.clone());
         }
-        let ctx = Arc::new(ctx);
+        let fusion_state = crate::fusion::plan_fusion(
+            &ctx.plan,
+            fusion,
+            self.config.mode.workers(),
+            self.config.block_bytes,
+            uot.normalized(),
+        );
+        let ctx = Arc::new(ctx.with_fusion(fusion_state));
         let sched = SchedulerConfig {
             mode: self.config.mode,
             default_uot: uot.normalized(),
@@ -693,7 +732,8 @@ mod tests {
             .with_temp_format(BlockFormat::Column)
             .with_memory_budget(Some(4096))
             .with_degrade(DegradePolicy::LowerUot)
-            .with_deadline(Some(Duration::from_secs(5)));
+            .with_deadline(Some(Duration::from_secs(5)))
+            .with_fusion(FusionPolicy::Always);
         assert_eq!(c.block_bytes, 512);
         assert_eq!(c.default_uot, Uot::Table);
         assert_eq!(c.temp_format, BlockFormat::Column);
@@ -701,6 +741,8 @@ mod tests {
         assert_eq!(c.memory_budget, Some(4096));
         assert_eq!(c.degrade, DegradePolicy::LowerUot);
         assert_eq!(c.deadline, Some(Duration::from_secs(5)));
+        assert_eq!(c.fusion, FusionPolicy::Always);
+        assert_eq!(EngineConfig::default().fusion, FusionPolicy::Auto);
         let c = EngineConfig::parallel(7);
         assert_eq!(c.mode, ExecMode::Parallel { workers: 7 });
     }
@@ -724,10 +766,13 @@ mod tests {
 
     #[test]
     fn budget_exceeded_names_the_operator() {
+        // Fusion off: the budget trips via Table-UoT *staging*, which a
+        // fused select->aggregate loop would bypass entirely.
         let cfg = EngineConfig::serial()
             .with_uot(Uot::Table)
             .with_block_bytes(96)
-            .with_memory_budget(Some(600));
+            .with_memory_budget(Some(600))
+            .with_fusion(FusionPolicy::Never);
         let err = Engine::new(cfg)
             .execute(wide_then_narrow_plan())
             .unwrap_err();
@@ -756,7 +801,8 @@ mod tests {
             .with_uot(Uot::Table)
             .with_block_bytes(96)
             .with_memory_budget(Some(600))
-            .with_degrade(DegradePolicy::LowerUot);
+            .with_degrade(DegradePolicy::LowerUot)
+            .with_fusion(FusionPolicy::Never);
         let r = Engine::new(cfg).execute(wide_then_narrow_plan()).unwrap();
         assert_eq!(r.rows(), vec![vec![Value::I64(200)]]);
         assert_eq!(
@@ -773,12 +819,45 @@ mod tests {
         let cfg = EngineConfig::serial()
             .with_uot(Uot::Table)
             .with_block_bytes(96)
-            .with_memory_budget(Some(600));
+            .with_memory_budget(Some(600))
+            .with_fusion(FusionPolicy::Never);
         assert_eq!(cfg.degrade, DegradePolicy::Off);
         let err = Engine::new(cfg)
             .execute(wide_then_narrow_plan())
             .unwrap_err();
         assert!(matches!(err, crate::EngineError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn budget_retry_replans_without_fusion() {
+        use crate::fault::{FaultKind, FaultSite, Injection};
+        // Deterministic budget pressure: a synthetic BudgetExceeded on the
+        // first work order (the fused pipeline's head) forces the LowerUot
+        // retry. The retry must re-plan with FusionPolicy::Never so the
+        // degraded UoT actually governs every edge — visible as zero fused
+        // pipelines in the final metrics.
+        let cfg = EngineConfig::serial()
+            .with_uot(Uot::Table)
+            .with_degrade(DegradePolicy::LowerUot);
+        let faults = Arc::new(FaultPlan::new(vec![Injection {
+            site: FaultSite::WorkOrderExec,
+            kind: FaultKind::Error,
+            nth: 1,
+        }]));
+        let r = Engine::new(cfg.clone())
+            .execute_with_faults(wide_then_narrow_plan(), faults)
+            .unwrap();
+        assert_eq!(r.rows(), vec![vec![Value::I64(200)]]);
+        assert_eq!(r.metrics.degradations.len(), 1);
+        assert_eq!(
+            r.metrics.fused_pipelines, 0,
+            "budget-degraded retry must not fuse"
+        );
+        assert!(r.metrics.staged_pipelines > 0);
+        // Control: the same config without pressure fuses the pipeline.
+        let r = Engine::new(cfg).execute(wide_then_narrow_plan()).unwrap();
+        assert_eq!(r.rows(), vec![vec![Value::I64(200)]]);
+        assert!(r.metrics.fused_pipelines > 0, "auto policy should fuse");
     }
 
     #[test]

@@ -17,8 +17,10 @@
 //! | `uot` | uniform UoT override | uniform UoT override |
 //! | `trace` | enables tracing for this run | enables tracing for this query |
 //! | `faults` | deterministic fault plan | deterministic fault plan |
+//! | `fusion` | overrides `EngineConfig::fusion` | overrides `ServiceConfig::fusion` |
 
 use crate::fault::FaultPlan;
+use crate::fusion::FusionPolicy;
 use crate::uot::Uot;
 use std::sync::Arc;
 use std::time::Duration;
@@ -43,6 +45,9 @@ pub struct ExecOptions {
     pub trace: bool,
     /// Deterministic fault plan (test harness).
     pub faults: Option<Arc<FaultPlan>>,
+    /// Fused-pipeline policy override for this query (the owner's default
+    /// when `None`).
+    pub fusion: Option<FusionPolicy>,
 }
 
 impl ExecOptions {
@@ -75,6 +80,12 @@ impl ExecOptions {
         self.faults = Some(faults);
         self
     }
+
+    /// Builder-style setter for the fused-pipeline policy.
+    pub fn with_fusion(mut self, fusion: FusionPolicy) -> Self {
+        self.fusion = Some(fusion);
+        self
+    }
 }
 
 /// Former name of [`ExecOptions`], kept for source compatibility.
@@ -95,12 +106,14 @@ mod tests {
             .with_deadline(Duration::from_secs(2))
             .with_uot(Uot::Table)
             .traced()
-            .with_faults(Arc::new(FaultPlan::empty()));
+            .with_faults(Arc::new(FaultPlan::empty()))
+            .with_fusion(FusionPolicy::Never);
         assert_eq!(o.reservation, Some(4096));
         assert_eq!(o.deadline, Some(Duration::from_secs(2)));
         assert_eq!(o.uot, Some(Uot::Table));
         assert!(o.trace);
         assert!(o.faults.is_some());
+        assert_eq!(o.fusion, Some(FusionPolicy::Never));
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod engine;
 pub mod error;
 pub mod exec_options;
 pub mod fault;
+pub mod fusion;
 pub mod hash_table;
 pub mod metrics;
 pub mod obs;
@@ -63,6 +64,7 @@ pub use exec_options::ExecOptions;
 #[allow(deprecated)]
 pub use exec_options::QueryOptions;
 pub use fault::{FaultKind, FaultPlan, FaultSite, Injection};
+pub use fusion::{FusedChain, FusionPolicy, FusionState};
 pub use hash_table::{JoinHashTable, PayloadRef, ProbeMatch, ProbeSession};
 pub use metrics::{Degradation, OperatorMetrics, QueryMetrics, TaskRecord};
 pub use obs::{CompositeObserver, TracingObserver};

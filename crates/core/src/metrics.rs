@@ -115,6 +115,10 @@ pub struct QueryMetrics {
     /// cache ([`PlanCacheOutcome::Hit`]) or was compiled fresh. `None` when
     /// the query was submitted as a pre-built plan.
     pub plan_cache: Option<PlanCacheOutcome>,
+    /// Stream pipelines executed as fused push-based loops (UoT -> 0).
+    pub fused_pipelines: usize,
+    /// Stream pipelines executed via staged transfer edges.
+    pub staged_pipelines: usize,
 }
 
 impl QueryMetrics {

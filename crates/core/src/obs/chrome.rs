@@ -230,6 +230,28 @@ fn emit_trace(trace: &Trace, offset: Duration, out: &mut Vec<String>) {
                     "{}".into(),
                 ));
             }
+            TraceEventKind::PipelineFused {
+                pipeline,
+                head,
+                tail,
+                ops,
+                batches,
+                rows,
+                elapsed_us,
+            } => {
+                out.push(instant(
+                    &format!(
+                        "fused {}..{}",
+                        trace.op_name(head),
+                        trace.op_name(tail)
+                    ),
+                    label,
+                    e.t,
+                    format!(
+                        r#"{{"pipeline":{pipeline},"ops":{ops},"batches":{batches},"rows":{rows},"elapsed_us":{elapsed_us}}}"#
+                    ),
+                ));
+            }
             TraceEventKind::FaultInjected { site, kind, op } => {
                 out.push(instant(
                     &format!("fault {:?} at {}", site, trace.op_name(op)),

@@ -264,6 +264,30 @@ pub fn prometheus_snapshot(trace: &Trace) -> String {
                 1.0,
                 false,
             ),
+            TraceEventKind::PipelineFused {
+                head, rows, ops, ..
+            } => {
+                let label = format!("head=\"{}\"", esc(&trace.op_name(head)));
+                add(
+                    &mut families,
+                    "uot_fused_pipelines_total",
+                    "Pipelines executed as fused push-based loops, by head operator.",
+                    "counter",
+                    label.clone(),
+                    1.0,
+                    false,
+                );
+                add(
+                    &mut families,
+                    "uot_fused_rows_total",
+                    "Rows pushed through fused pipeline loops, by head operator.",
+                    "counter",
+                    label,
+                    rows as f64,
+                    false,
+                );
+                let _ = ops;
+            }
             TraceEventKind::FaultInjected { site, kind, .. } => add(
                 &mut families,
                 "uot_faults_injected_total",

@@ -73,10 +73,22 @@ pub fn execute_work_order_contained(
     let result = match std::panic::catch_unwind(AssertUnwindSafe(|| execute_work_order(ctx, wo))) {
         Ok(result) => attach_op_context(ctx, wo.op, result),
         Err(payload) => {
-            let op = ctx.plan.op(wo.op);
+            // A panic inside a fused loop is attributed to the whole
+            // pipeline: the chain label names every member, since the
+            // faulting operator could be any of them.
+            let fused = matches!(wo.kind, WorkKind::Stream { .. })
+                .then(|| ctx.fusion.chain_for_head(wo.op))
+                .flatten();
+            let (op_name, kind) = match fused {
+                Some(chain) => (chain.label.clone(), "fused-pipeline".to_string()),
+                None => {
+                    let op = ctx.plan.op(wo.op);
+                    (op.name.clone(), op.kind.kind_label().to_string())
+                }
+            };
             Err(EngineError::WorkOrderPanic {
-                op: op.name.clone(),
-                kind: op.kind.kind_label().to_string(),
+                op: op_name,
+                kind,
                 payload: panic_payload_message(payload.as_ref()),
             })
         }
@@ -146,6 +158,13 @@ fn attach_op_context(
 pub fn execute_work_order(ctx: &ExecContext, wo: &WorkOrder) -> Result<Vec<StorageBlock>> {
     ctx.check_cancelled()?;
     apply_fault(ctx, FaultSite::WorkOrderExec, wo.op)?;
+    // A stream work order on a fused-chain head pushes its block through the
+    // whole chain in one loop; the staged per-operator path is bypassed.
+    if let WorkKind::Stream { block } = &wo.kind {
+        if let Some(chain) = ctx.fusion.chain_for_head(wo.op) {
+            return crate::fusion::execute_fused(ctx, chain, block);
+        }
+    }
     let op = ctx.plan.op(wo.op);
     match (&op.kind, &wo.kind) {
         (OperatorKind::Select { .. }, WorkKind::Stream { block }) => {

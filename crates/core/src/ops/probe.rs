@@ -54,12 +54,29 @@ fn probe_spec<'a>(ctx: &'a ExecContext, op: usize) -> Result<ProbeSpec<'a>> {
     }
 }
 
-/// Run one probe work order (batched path). Returns completed output blocks.
+/// Run one probe work order (staged batched path). Returns completed output
+/// blocks.
 pub fn execute(
     ctx: &ExecContext,
     op: usize,
     block: &Arc<StorageBlock>,
 ) -> Result<Vec<StorageBlock>> {
+    match apply(ctx, op, block)? {
+        None => Ok(Vec::new()),
+        Some(virt) => crate::ops::write_output(ctx, op, &virt),
+    }
+}
+
+/// Probe one block and assemble the join output as a virtual block — `None`
+/// when no row matches. Shared by the staged [`execute`] (which routes the
+/// result through the output buffer) and the fused pipeline loop (which
+/// pushes it straight into the next chain member). Scratch buffers come from
+/// the context's pooled [`Scratch`](crate::state::Scratch) either way.
+pub(crate) fn apply(
+    ctx: &ExecContext,
+    op: usize,
+    block: &Arc<StorageBlock>,
+) -> Result<Option<StorageBlock>> {
     let spec = probe_spec(ctx, op)?;
     let ht = ctx.hash_table(spec.build);
     let out_schema = ctx.plan.op(op).out_schema.clone();
@@ -117,10 +134,9 @@ pub fn execute(
     drop(session);
     ctx.put_scratch(scratch);
     if builders.first().map(|b| b.is_empty()).unwrap_or(true) {
-        return Ok(Vec::new());
+        return Ok(None);
     }
-    let virt = into_virtual_block(out_schema, builders)?;
-    crate::ops::write_output(ctx, op, &virt)
+    Ok(Some(into_virtual_block(out_schema, builders)?))
 }
 
 /// Row-at-a-time reference implementation of the probe (the pre-vectorized

@@ -12,12 +12,30 @@ use crate::Result;
 use std::sync::Arc;
 use uot_storage::{ColumnBlock, ColumnData, StorageBlock};
 
-/// Run one select work order. Returns completed output blocks.
+/// Run one select work order (staged path). Returns completed output blocks.
 pub fn execute(
     ctx: &ExecContext,
     op: usize,
     block: &Arc<StorageBlock>,
 ) -> Result<Vec<StorageBlock>> {
+    match apply(ctx, op, block)? {
+        None => Ok(Vec::new()),
+        Some(virt) => crate::ops::write_output(ctx, op, &virt),
+    }
+}
+
+/// Evaluate the select over one block and return the surviving rows as a
+/// virtual block — `None` when nothing survives. This is the transform both
+/// paths share: the staged [`execute`] writes the result through the
+/// operator's output buffer; a fused pipeline pushes it straight into the
+/// next chain member. When every row survives and every projection is an
+/// identity column reference, the input block is passed through untouched
+/// (zero copy).
+pub(crate) fn apply(
+    ctx: &ExecContext,
+    op: usize,
+    block: &Arc<StorageBlock>,
+) -> Result<Option<Arc<StorageBlock>>> {
     let (predicate, projections, lip) = match &ctx.plan.op(op).kind {
         OperatorKind::Select {
             predicate,
@@ -70,10 +88,21 @@ pub fn execute(
     }
     let selected = bitmap.count_ones();
     if selected == 0 {
-        return Ok(Vec::new());
+        return Ok(None);
     }
     let out_schema = ctx.plan.op(op).out_schema.clone();
     let all = selected == block.num_rows();
+    // Identity fast path: a pure pass-through (all rows, bare column refs in
+    // order, full width) reuses the input block instead of re-gathering it.
+    if all
+        && projections.len() == block.schema().len()
+        && projections
+            .iter()
+            .enumerate()
+            .all(|(i, p)| p.as_col() == Some(i))
+    {
+        return Ok(Some(block.clone()));
+    }
     let rows: Vec<usize> = if all {
         Vec::new() // not needed on the all-rows path
     } else {
@@ -91,7 +120,7 @@ pub fn execute(
         .collect::<std::result::Result<_, _>>()
         .map_err(EngineError::from)?;
     let virt = StorageBlock::Column(ColumnBlock::from_columns(out_schema, cols, selected)?);
-    crate::ops::write_output(ctx, op, &virt)
+    Ok(Some(Arc::new(virt)))
 }
 
 #[cfg(test)]

@@ -377,6 +377,8 @@ impl<O: SchedulerObserver + MetricsCarrier> SchedulerCore<O> {
             workers,
             degradations: Vec::new(),
             plan_cache: None,
+            fused_pipelines: self.ctx.fusion.fused_count(),
+            staged_pipelines: self.ctx.fusion.staged_count(),
         };
         self.release_resources();
         (self.result_blocks, metrics)
@@ -451,6 +453,18 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
     /// Number of work orders waiting in the ready queues.
     pub fn ready_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Scheduling waits gating operator `op`'s stream input. For a fused-
+    /// chain head this sums `waiting_on` across every chain member: the head
+    /// must not start pushing batches until all build sides and LIP filter
+    /// sources the chain probes against are finished. Everywhere else it is
+    /// just the operator's own count.
+    fn chain_waits(&self, op: OpId) -> usize {
+        match self.ctx.fusion.chain_for_head(op) {
+            Some(chain) => chain.ops.iter().map(|&m| self.states[m].waiting_on).sum(),
+            None => self.states[op].waiting_on,
+        }
     }
 
     /// Blocks staged on operator `op`'s input edge (its stream producer's
@@ -539,7 +553,13 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
             }
         }
         self.observer.work_order_completed(wo, record);
-        self.route_output(wo.op, produced);
+        // A fused chain's output leaves from its *tail*: the blocks skip every
+        // interior edge and land directly on the tail's outgoing edge.
+        let route = match (&wo.kind, self.ctx.fusion.chain_for_head(wo.op)) {
+            (WorkKind::Stream { .. }, Some(chain)) => chain.tail(),
+            _ => wo.op,
+        };
+        self.route_output(route, produced);
         self.check_completion(wo.op)
     }
 
@@ -630,7 +650,7 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
             self.ctx.runtimes[op].collected.lock().extend(blocks);
             return;
         }
-        if self.states[op].waiting_on > 0 {
+        if self.chain_waits(op) > 0 {
             self.states[op].pending.extend(blocks);
             return;
         }
@@ -712,6 +732,22 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
         }
         self.states[op].finished = true;
         self.unfinished -= 1;
+        // A fused chain is complete when its tail finishes; its accumulated
+        // per-batch stats become one trace event for the whole pipeline.
+        if let Some(chain) = self.ctx.fusion.chain_for_tail(op) {
+            self.ctx.trace_event(|| {
+                use std::sync::atomic::Ordering::Relaxed;
+                crate::trace::TraceEventKind::PipelineFused {
+                    pipeline: chain.id,
+                    head: chain.head(),
+                    tail: chain.tail(),
+                    ops: chain.ops.len(),
+                    batches: chain.stats.batches.load(Relaxed),
+                    rows: chain.stats.rows.load(Relaxed),
+                    elapsed_us: chain.stats.elapsed_ns.load(Relaxed) / 1000,
+                }
+            });
+        }
         self.observer.operator_finished(op);
         self.on_producer_finished(op)
     }
@@ -726,10 +762,16 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
         for Dependent { op, multiplicity } in dependents {
             self.states[op].waiting_on = self.states[op].waiting_on.saturating_sub(multiplicity);
             if self.states[op].waiting_on == 0 {
-                let pending: Vec<Arc<StorageBlock>> =
-                    std::mem::take(&mut self.states[op].pending).into();
-                for b in pending {
-                    self.push_stream_work(op, b);
+                // Blocks gated on this dependency are parked at `op` itself
+                // or, when `op` sits inside a fused chain, at the chain's
+                // head — and release only once *every* member's waits clear.
+                let gate = self.ctx.fusion.head_of_member(op).unwrap_or(op);
+                if self.chain_waits(gate) == 0 {
+                    let pending: Vec<Arc<StorageBlock>> =
+                        std::mem::take(&mut self.states[gate].pending).into();
+                    for b in pending {
+                        self.push_stream_work(gate, b);
+                    }
                 }
                 self.check_completion(op)?;
             }

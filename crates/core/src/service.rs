@@ -80,6 +80,9 @@ pub struct ServiceConfig {
     pub temp_format: BlockFormat,
     /// Default unit of transfer for every edge without an override.
     pub default_uot: Uot,
+    /// Default fused-pipeline policy (per-query override via
+    /// [`ExecOptions::fusion`]).
+    pub fusion: crate::fusion::FusionPolicy,
     /// Optional per-operator concurrency cap (applies within each query).
     pub max_dop_per_op: Option<usize>,
     /// Shards per join hash table.
@@ -107,6 +110,7 @@ impl Default for ServiceConfig {
             block_bytes: 128 * 1024,
             temp_format: BlockFormat::Row,
             default_uot: Uot::LOW,
+            fusion: crate::fusion::FusionPolicy::Auto,
             max_dop_per_op: None,
             hash_table_shards: 64,
             pool_reuse: true,
@@ -665,12 +669,20 @@ impl SchedulerLoop {
         if let Some(sink) = &sink {
             ctx = ctx.with_trace(sink.clone());
         }
-        let ctx = Arc::new(ctx);
+        let uot = opts.uot.unwrap_or(self.config.default_uot).normalized();
+        let fusion_state = crate::fusion::plan_fusion(
+            &ctx.plan,
+            opts.fusion.unwrap_or(self.config.fusion),
+            self.config.workers,
+            self.config.block_bytes,
+            uot,
+        );
+        let ctx = Arc::new(ctx.with_fusion(fusion_state));
         let sched = SchedulerConfig {
             mode: ExecMode::Parallel {
                 workers: self.config.workers,
             },
-            default_uot: opts.uot.unwrap_or(self.config.default_uot).normalized(),
+            default_uot: uot,
             max_dop_per_op: self.config.max_dop_per_op,
             deadline: opts.deadline,
         };
@@ -948,6 +960,9 @@ mod tests {
             default_reservation: 8 << 20,
             default_uot: Uot::Table,
             block_bytes: 96,
+            // Fusion off: the overflow below relies on Table-UoT staging,
+            // which a fused pipeline would bypass.
+            fusion: crate::fusion::FusionPolicy::Never,
             ..Default::default()
         })
         .unwrap();

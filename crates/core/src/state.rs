@@ -119,6 +119,10 @@ pub struct ExecContext {
     /// Which query this context belongs to: [`QueryId::SOLO`] for standalone
     /// `Engine` runs, a service-assigned id under a `QueryService`.
     pub query: crate::query_id::QueryId,
+    /// Per-query fusion plan: which pipelines run as fused push-based loops.
+    /// The default (empty) state fuses nothing — every direct-context test
+    /// and staged run keeps the historical path.
+    pub fusion: crate::fusion::FusionState,
     /// Query start, for the `after` field of cancellation errors.
     started: Instant,
 }
@@ -233,6 +237,7 @@ impl ExecContext {
             faults: Arc::new(FaultPlan::empty()),
             trace: None,
             query: crate::query_id::QueryId::SOLO,
+            fusion: crate::fusion::FusionState::default(),
             started: Instant::now(),
         })
     }
@@ -254,6 +259,13 @@ impl ExecContext {
     /// Attach a fault-injection plan (builder-style; chaos tests only).
     pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attach a fusion plan (builder-style): chains recorded in it execute
+    /// as fused push-based loops instead of staged transfers.
+    pub fn with_fusion(mut self, fusion: crate::fusion::FusionState) -> Self {
+        self.fusion = fusion;
         self
     }
 

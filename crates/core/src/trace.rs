@@ -135,6 +135,25 @@ pub enum TraceEventKind {
         /// UoT of the retry.
         to: Uot,
     },
+    /// A fused pipeline ran to completion: every batch of the chain's input
+    /// was pushed through the fused loop with zero blocks staged on interior
+    /// edges. Emitted when the chain's tail operator finishes.
+    PipelineFused {
+        /// Pipeline id (index into the query's fused-chain list).
+        pipeline: usize,
+        /// Head operator (received the staged input).
+        head: OpId,
+        /// Tail operator (owned the output).
+        tail: OpId,
+        /// Number of operators fused into the loop.
+        ops: usize,
+        /// Input batches pushed through the loop.
+        batches: usize,
+        /// Input rows pushed through the loop.
+        rows: usize,
+        /// Summed wall time inside the fused loop, microseconds.
+        elapsed_us: u64,
+    },
     /// A deterministic fault fired at an injection site.
     FaultInjected {
         /// The site that fired.
@@ -160,6 +179,7 @@ impl TraceEventKind {
             | TraceEventKind::OperatorFinished { op }
             | TraceEventKind::PoolAlloc { op, .. }
             | TraceEventKind::FaultInjected { op, .. } => Some(op),
+            TraceEventKind::PipelineFused { head, .. } => Some(head),
             TraceEventKind::EdgeStaged { producer, .. }
             | TraceEventKind::TransferFlushed { producer, .. } => Some(producer),
             TraceEventKind::PoolFree { .. } | TraceEventKind::Degraded { .. } => None,
@@ -181,6 +201,7 @@ impl TraceEventKind {
             TraceEventKind::PoolAlloc { .. } => "pool_alloc",
             TraceEventKind::PoolFree { .. } => "pool_free",
             TraceEventKind::Degraded { .. } => "degrade",
+            TraceEventKind::PipelineFused { .. } => "fused",
             TraceEventKind::FaultInjected { .. } => "fault",
         }
     }
@@ -436,6 +457,17 @@ mod tests {
             .label(),
             "degrade"
         );
+        let fused = TraceEventKind::PipelineFused {
+            pipeline: 0,
+            head: 1,
+            tail: 3,
+            ops: 3,
+            batches: 12,
+            rows: 480,
+            elapsed_us: 250,
+        };
+        assert_eq!(fused.op(), Some(1));
+        assert_eq!(fused.label(), "fused");
     }
 
     #[test]

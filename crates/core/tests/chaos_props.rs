@@ -355,6 +355,67 @@ proptest! {
     }
 }
 
+/// Panic containment inside a *fused* pipeline: the `WorkOrderPanic` names
+/// the whole chain (its label lists every member operator) with kind
+/// `"fused-pipeline"`, since the faulting operator could be any member of
+/// the fused loop — and the tracker still returns to zero.
+#[test]
+fn fused_pipeline_panic_names_the_chain() {
+    quiet_injected_panics();
+    let s = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)]);
+    let mut tb = TableBuilder::new("fused_chaos", s, BlockFormat::Column, 48);
+    for i in 0..60 {
+        tb.append(&[Value::I32(i % 20), Value::I64(i as i64)])
+            .unwrap();
+    }
+    let t = Arc::new(tb.finish());
+    let mut pb = PlanBuilder::new();
+    let sel = pb
+        .filter(Source::Table(t), cmp(col(0), CmpOp::Lt, lit(15i32)))
+        .unwrap();
+    let agg = pb
+        .aggregate(
+            Source::Op(sel),
+            vec![0],
+            vec![AggSpec::count_star(), AggSpec::sum(col(1))],
+            &["n", "sv"],
+        )
+        .unwrap();
+    let plan = Arc::new(pb.build(agg).unwrap());
+
+    let faults = Arc::new(FaultPlan::new(vec![Injection {
+        site: FaultSite::WorkOrderExec,
+        kind: FaultKind::Panic,
+        nth: 1, // the first work order is the fused chain's head
+    }]));
+    let tracker = MemoryTracker::new();
+    let pool = BlockPool::new(tracker.clone());
+    let fusion = uot_core::fusion::plan_fusion(
+        &plan,
+        uot_core::FusionPolicy::Always,
+        1,
+        128,
+        Uot::Blocks(1),
+    );
+    assert_eq!(fusion.fused_count(), 1, "select->aggregate must fuse");
+    let ctx = Arc::new(
+        ExecContext::new(plan, pool, BlockFormat::Row, 128, 4)
+            .unwrap()
+            .with_faults(faults)
+            .with_fusion(fusion),
+    );
+    let err = run(ctx, SchedulerConfig::default()).unwrap_err();
+    match err {
+        EngineError::WorkOrderPanic { op, kind, payload } => {
+            assert_eq!(kind, "fused-pipeline");
+            assert!(op.contains('+'), "chain label names every member: {op}");
+            assert!(payload.contains("injected"), "{payload}");
+        }
+        other => panic!("expected WorkOrderPanic, got {other}"),
+    }
+    assert_eq!(tracker.current_bytes(), 0, "fused panic path must not leak");
+}
+
 /// Invariant 4: a contained panic leaves the shared `BlockPool` (and its
 /// tracker) fully usable — the next query on the *same pool* succeeds and
 /// accounting stays exact.

@@ -63,6 +63,9 @@ fn run(plan: QueryPlan, mode: ExecMode, uot: Uot) -> uot_core::QueryResult {
         mode,
         default_uot: uot,
         block_bytes: 1024,
+        // Staged execution: these tests assert per-operator produced_rows /
+        // input_blocks arithmetic, which fused pipelines fold into the tail.
+        fusion: uot_core::FusionPolicy::Never,
         ..Default::default()
     })
     .execute(plan)

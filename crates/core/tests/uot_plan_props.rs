@@ -24,7 +24,8 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use uot_core::trace::TraceEventKind;
 use uot_core::{
-    Engine, EngineConfig, ExecMode, JoinType, PlanBuilder, QueryPlan, Source, TraceConfig, Uot,
+    Engine, EngineConfig, ExecMode, FusionPolicy, JoinType, PlanBuilder, QueryPlan, Source,
+    TraceConfig, Uot,
 };
 use uot_expr::{cmp, col, lit, AggSpec, CmpOp};
 use uot_storage::{BlockFormat, Catalog, DataType, Schema, Table, TableBuilder, Value};
@@ -347,6 +348,49 @@ proptest! {
                 }
                 prop_assert_eq!(&dispatched, &terminal, "unmatched dispatch/terminal events");
                 prop_assert_eq!(dispatched.len(), tm.tasks.len());
+            }
+        }
+    }
+
+    /// Fusion is a *schedule* decision, never a *result* decision: forcing
+    /// every eligible pipeline through the fused push-based loop
+    /// (`FusionPolicy::Always`) must produce byte-identical rows to fully
+    /// staged execution (`FusionPolicy::Never`) under every mode / UoT /
+    /// temp-format combination. `ExactF64Sum` makes plain `==` valid even
+    /// for float aggregates — no epsilon.
+    #[test]
+    fn fused_and_staged_results_are_byte_identical(spec in arb_spec()) {
+        for mode in [ExecMode::Serial, ExecMode::Parallel { workers: 2 }] {
+            for default_uot in [Uot::Blocks(1), Uot::Blocks(3), Uot::Table] {
+                for temp_format in [BlockFormat::Row, BlockFormat::Column] {
+                    let cfg = EngineConfig {
+                        mode,
+                        default_uot,
+                        temp_format,
+                        ..EngineConfig::serial()
+                    }
+                    .with_block_bytes(128);
+                    let fused = Engine::new(cfg.clone().with_fusion(FusionPolicy::Always))
+                        .execute(build_plan(&spec))
+                        .unwrap();
+                    let staged = Engine::new(cfg.with_fusion(FusionPolicy::Never))
+                        .execute(build_plan(&spec))
+                        .unwrap();
+                    prop_assert_eq!(
+                        fused.sorted_rows(),
+                        staged.sorted_rows(),
+                        "fused vs staged divergence under {:?} {} {:?}",
+                        mode, default_uot, temp_format
+                    );
+                    // The policies must actually differ in how they ran:
+                    // Never fuses nothing, and Always fuses the whole
+                    // select->probe/aggregate chain whenever one exists (a
+                    // lone select is a single-op pipeline, nothing to fuse).
+                    prop_assert_eq!(staged.metrics.fused_pipelines, 0);
+                    if spec.join || spec.aggregate {
+                        prop_assert!(fused.metrics.fused_pipelines > 0);
+                    }
+                }
             }
         }
     }

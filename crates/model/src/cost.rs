@@ -148,6 +148,31 @@ impl CostParams {
                 + p1p * (self.m_l3 + self.rr_l3 + self.w_mem))
     }
 
+    /// Extra work of the **fused** (UoT→0) strategy: the pipeline's
+    /// operators run as one push-based loop, so no intermediate UoT is ever
+    /// written out or read back. What remains is per-UoT instruction-cache
+    /// pressure from the larger fused loop body (one `IC`, not the staged
+    /// path's two context switches) and the chance that the chain's resident
+    /// state — `resident_bytes` of hash tables and Bloom filters shared by
+    /// every batch — no longer fits L3 alongside the working set:
+    /// `N·(IC + p_f·M_L3)` with `p_f = min(1, (B·T + resident)/|L3|)`.
+    pub fn fused_extra_cost(&self, resident_bytes: f64) -> f64 {
+        let p_f = ((self.uot_bytes * self.threads + resident_bytes) / self.l3_bytes).min(1.0);
+        self.n_uots * (self.ic + p_f * self.m_l3)
+    }
+
+    /// Does fusing a pipeline with `resident_bytes` of chain-resident state
+    /// beat the *better* of the two staged strategies? In-memory this is
+    /// almost always yes — the fused loop skips both the write-out/re-read
+    /// of the high-UoT path and the context-switch/eviction churn of the
+    /// low-UoT path — which matches the push-fusion literature; the value of
+    /// the estimate is that it stays honest when the resident state grows
+    /// past L3 and per-batch re-fetches start to bite.
+    pub fn fusion_wins(&self, resident_bytes: f64) -> bool {
+        let staged_best = self.high_uot_extra_cost().min(self.low_uot_extra_cost());
+        self.fused_extra_cost(resident_bytes) <= staged_best
+    }
+
     /// Equation 1: the cost ratio non-pipelining / pipelining, with the
     /// instruction-cache term dropped (the paper drops it for large UoTs and
     /// it is negligible at any multi-kilobyte UoT):
@@ -303,6 +328,45 @@ mod tests {
         assert!(high > 1e9, "high-UoT extra should be ~seconds: {high} ns");
         assert!(low < 1e6, "low-UoT extra should be <1 ms: {low} ns");
         assert!(high / low > 1000.0);
+    }
+
+    #[test]
+    fn fused_beats_both_staged_strategies_in_memory() {
+        // UoT→0: with cache-resident hash state the fused loop drops both
+        // the high-UoT write/re-read and the low-UoT switching costs.
+        for uot_kb in [32.0, 128.0, 512.0] {
+            for threads in [1, 4, 8] {
+                let p = params(uot_kb, threads);
+                let resident = 2.0 * 1024.0 * 1024.0; // 2 MB of hash tables
+                assert!(
+                    p.fusion_wins(resident),
+                    "fusion should win at B={uot_kb}KB T={threads}"
+                );
+                assert!(p.fused_extra_cost(resident) < p.high_uot_extra_cost());
+                assert!(p.fused_extra_cost(resident) < p.low_uot_extra_cost());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_cost_grows_with_resident_state_and_saturates() {
+        let p = params(128.0, 8);
+        let small = p.fused_extra_cost(0.0);
+        let big = p.fused_extra_cost(20.0 * 1024.0 * 1024.0);
+        assert!(small < big, "resident state must make fusion dearer");
+        // Past L3, p_f clamps at 1: the cost stops growing.
+        let over = p.fused_extra_cost(200.0 * 1024.0 * 1024.0);
+        let way_over = p.fused_extra_cost(2000.0 * 1024.0 * 1024.0);
+        assert_eq!(over, way_over);
+        assert_eq!(over, p.n_uots * (p.ic + p.m_l3));
+    }
+
+    #[test]
+    fn fused_cost_scales_linearly_in_n() {
+        let a = CostParams::derive(HardwareProfile::haswell(), 128.0 * 1024.0, 8, 100);
+        let b = CostParams::derive(HardwareProfile::haswell(), 128.0 * 1024.0, 8, 200);
+        let r = 1024.0 * 1024.0;
+        assert!((b.fused_extra_cost(r) / a.fused_extra_cost(r) - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -21,12 +21,23 @@ fn chains_build_and_run_under_both_uots() {
     let chains = chain_specs(&db).unwrap();
     assert!(chains.len() >= 7);
     for spec in &chains {
-        let low = Engine::new(EngineConfig::serial().with_uot(Uot::LOW))
-            .execute(spec.plan.clone().with_uniform_uot(Uot::LOW))
-            .unwrap();
-        let high = Engine::new(EngineConfig::serial().with_uot(Uot::HIGH))
-            .execute(spec.plan.clone().with_uniform_uot(Uot::HIGH))
-            .unwrap();
+        // Staged execution: the per-operator work-order assertions below
+        // count probe/select work orders, which fused pipelines fold into
+        // the chain head.
+        let low = Engine::new(
+            EngineConfig::serial()
+                .with_uot(Uot::LOW)
+                .with_fusion(uot_core::FusionPolicy::Never),
+        )
+        .execute(spec.plan.clone().with_uniform_uot(Uot::LOW))
+        .unwrap();
+        let high = Engine::new(
+            EngineConfig::serial()
+                .with_uot(Uot::HIGH)
+                .with_fusion(uot_core::FusionPolicy::Never),
+        )
+        .execute(spec.plan.clone().with_uniform_uot(Uot::HIGH))
+        .unwrap();
         assert_eq!(
             low.sorted_rows(),
             high.sorted_rows(),

@@ -35,10 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A memory budget between the pipelined and blocking footprints: the
     //    blocking run trips it, and the error names the operator that asked.
     let budget = 600;
+    // Staged execution: under the default FusionPolicy::Auto this
+    // filter -> aggregate chain would run as one fused loop that never
+    // stages a block, so the budget would never trip.
     let strict = Engine::new(
         EngineConfig::serial()
             .with_block_bytes(96)
             .with_uot(Uot::Table)
+            .with_fusion(FusionPolicy::Never)
             .with_memory_budget(Some(budget)),
     );
     let err = strict.execute(wide_then_narrow(200)?).unwrap_err();
@@ -50,6 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         EngineConfig::serial()
             .with_block_bytes(96)
             .with_uot(Uot::Table)
+            .with_fusion(FusionPolicy::Never)
             .with_memory_budget(Some(budget))
             .with_degrade(DegradePolicy::LowerUot),
     );

@@ -86,6 +86,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 op.avg_task_time()
             );
         }
+        // Under the default FusionPolicy::Auto the select -> probe -> agg
+        // chain runs as one fused push-based loop (UoT -> 0), so the probe
+        // reports no work orders of its own: its work happened inside the
+        // chain head's tasks. Set FusionPolicy::Never to see every operator
+        // schedule its own staged work orders.
+        println!(
+            "fused pipelines: {} (staged: {})",
+            result.metrics.fused_pipelines, result.metrics.staged_pipelines,
+        );
     }
     let stats = engine.plan_cache_stats();
     println!(
