@@ -26,7 +26,7 @@
 
 use std::time::{Duration, Instant};
 use uot_bench::{ms, workers, ReportTable};
-use uot_core::{ExecOptions, PlanCacheOutcome, QueryService, ServiceConfig, Uot};
+use uot_core::{DegradePolicy, ExecOptions, PlanCacheOutcome, QueryService, ServiceConfig, Uot};
 use uot_storage::BlockFormat;
 use uot_tpch::{sql_text, QueryId as TpchQuery, TpchConfig, TpchDb};
 
@@ -71,23 +71,41 @@ struct RunStats {
     /// Stream pipelines executed via staged transfer edges, summed over
     /// every submission.
     staged_pipelines: usize,
+    /// Bytes written to the disk spill tier, summed over every submission.
+    spilled_bytes: usize,
+    /// Submissions that degraded instead of failing their budget: spilled
+    /// to disk, or retried at a lower UoT.
+    degraded_queries: usize,
 }
 
 /// Drive `clients` closed-loop clients for `rounds` rounds each against one
 /// service; every client walks the mix starting at its own offset so distinct
 /// plan shapes are in flight simultaneously. Each submission is SQL text and
 /// records whether its plan came from the shared cache.
-fn drive(service: &QueryService, clients: usize, rounds: usize) -> RunStats {
+/// One submission's contribution to the report.
+struct Sample {
+    latency: Duration,
+    outcome: PlanCacheOutcome,
+    fused: usize,
+    staged: usize,
+    spilled_bytes: usize,
+    degraded: bool,
+}
+
+fn drive(service: &QueryService, clients: usize, rounds: usize, opts: &ExecOptions) -> RunStats {
     let started = Instant::now();
-    let samples: Vec<(Duration, PlanCacheOutcome, usize, usize)> = std::thread::scope(|s| {
+    let samples: Vec<Sample> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
+                let opts = opts.clone();
                 s.spawn(move || {
                     let mut lat = Vec::with_capacity(rounds);
                     for r in 0..rounds {
                         let q = MIX[(c + r) % MIX.len()];
                         let t0 = Instant::now();
-                        let handle = service.submit_sql(sql_text(q)).expect("service accepts");
+                        let handle = service
+                            .submit_sql_with(sql_text(q), opts.clone())
+                            .expect("service accepts");
                         let result = handle
                             .wait()
                             .unwrap_or_else(|e| panic!("client {c} {} failed: {e}", q.label()));
@@ -96,12 +114,15 @@ fn drive(service: &QueryService, clients: usize, rounds: usize) -> RunStats {
                             .metrics
                             .plan_cache
                             .expect("SQL submissions always report a cache outcome");
-                        lat.push((
-                            t0.elapsed(),
+                        lat.push(Sample {
+                            latency: t0.elapsed(),
                             outcome,
-                            result.metrics.fused_pipelines,
-                            result.metrics.staged_pipelines,
-                        ));
+                            fused: result.metrics.fused_pipelines,
+                            staged: result.metrics.staged_pipelines,
+                            spilled_bytes: result.metrics.spilled_bytes,
+                            degraded: result.metrics.spill_events > 0
+                                || !result.metrics.degradations.is_empty(),
+                        });
                     }
                     lat
                 })
@@ -113,17 +134,17 @@ fn drive(service: &QueryService, clients: usize, rounds: usize) -> RunStats {
             .collect()
     });
     let wall = started.elapsed();
-    let mut sorted: Vec<Duration> = samples.iter().map(|&(d, _, _, _)| d).collect();
+    let mut sorted: Vec<Duration> = samples.iter().map(|s| s.latency).collect();
     sorted.sort_unstable();
     let mut compiled: Vec<Duration> = samples
         .iter()
-        .filter(|(_, o, _, _)| *o == PlanCacheOutcome::Miss)
-        .map(|&(d, _, _, _)| d)
+        .filter(|s| s.outcome == PlanCacheOutcome::Miss)
+        .map(|s| s.latency)
         .collect();
     let mut cached: Vec<Duration> = samples
         .iter()
-        .filter(|(_, o, _, _)| *o == PlanCacheOutcome::Hit)
-        .map(|&(d, _, _, _)| d)
+        .filter(|s| s.outcome == PlanCacheOutcome::Hit)
+        .map(|s| s.latency)
         .collect();
     compiled.sort_unstable();
     cached.sort_unstable();
@@ -134,8 +155,10 @@ fn drive(service: &QueryService, clients: usize, rounds: usize) -> RunStats {
         queries: sorted.len(),
         compiled,
         cached,
-        fused_pipelines: samples.iter().map(|&(_, _, f, _)| f).sum(),
-        staged_pipelines: samples.iter().map(|&(_, _, _, s)| s).sum(),
+        fused_pipelines: samples.iter().map(|s| s.fused).sum(),
+        staged_pipelines: samples.iter().map(|s| s.staged).sum(),
+        spilled_bytes: samples.iter().map(|s| s.spilled_bytes).sum(),
+        degraded_queries: samples.iter().filter(|s| s.degraded).count(),
     }
 }
 
@@ -183,21 +206,36 @@ fn main() {
             "p50 cached ms",
             "fused",
             "staged",
+            "spilled B",
+            "degraded",
         ],
     );
-    for (label, uot) in [("low (1 block)", Uot::LOW), ("high (table)", Uot::Table)] {
+    // The third row re-runs the low-UoT mix with DegradePolicy::Spill and a
+    // reservation 16x below the comfortable default: queries that outgrow it
+    // degrade to their per-query disk tier (the `spilled B` / `degraded`
+    // columns) instead of failing admission-sized. The reservation must still
+    // cover the non-evictable floor — in-flight transferred blocks and hash
+    // table shards — so at smoke scale the spill columns may legitimately
+    // read zero; `tpch_spill` is the harness that forces them nonzero.
+    let configs = [
+        ("low (1 block)", Uot::LOW, 16usize << 20, DegradePolicy::Off),
+        ("high (table)", Uot::Table, 16 << 20, DegradePolicy::Off),
+        ("low + spill", Uot::LOW, 1 << 20, DegradePolicy::Spill),
+    ];
+    for (label, uot, reservation, degrade) in configs {
         let service = QueryService::start(ServiceConfig {
             workers: workers(),
             block_bytes,
             default_uot: uot,
             memory_budget: 256 << 20,
-            default_reservation: 16 << 20,
+            default_reservation: reservation,
+            degrade,
             catalog: db.catalog().clone(),
             ..Default::default()
         })
         .expect("service starts");
 
-        let stats = drive(&service, clients, rounds);
+        let stats = drive(&service, clients, rounds, &ExecOptions::default());
 
         // Cache-effectiveness invariants: each distinct statement compiles at
         // most a handful of times (racing first submissions may duplicate a
@@ -237,6 +275,8 @@ fn main() {
             ms(percentile(&stats.cached, 0.50)),
             stats.fused_pipelines.to_string(),
             stats.staged_pipelines.to_string(),
+            stats.spilled_bytes.to_string(),
+            format!("{}/{}", stats.degraded_queries, stats.queries),
         ]);
     }
     table.emit();

@@ -27,7 +27,7 @@ use crate::plan::OpId;
 use crate::query_id::QueryId;
 use crate::uot::Uot;
 use std::sync::Arc;
-use uot_storage::StorageBlock;
+use uot_storage::{SpillSlot, StorageBlock};
 
 /// Where an operator's output goes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,14 +41,21 @@ pub enum EdgeDest {
 }
 
 /// What the scheduler should do with freshly produced blocks.
+///
+/// Stream edges stage blocks wrapped in [`SpillSlot`]s: while a block sits
+/// below the UoT threshold it is *cold* — the only live reference is the
+/// slot's — and the block pool may evict it to the disk spill tier under
+/// memory pressure. The scheduler resolves slots back into blocks (faulting
+/// spilled ones in) at transfer time.
 #[derive(Debug)]
 pub enum TransferAction {
     /// Append to the query result set.
     Emit(Vec<Arc<StorageBlock>>),
-    /// The UoT threshold was reached: transfer these blocks to the consumer.
-    Transfer(Vec<Arc<StorageBlock>>),
-    /// Still accumulating below the threshold; nothing to deliver.
-    Hold,
+    /// The UoT threshold was reached: transfer these slots to the consumer.
+    Transfer(Vec<Arc<SpillSlot>>),
+    /// Still accumulating below the threshold. Carries the slots staged by
+    /// *this* call so the scheduler can register them as eviction victims.
+    Hold(Vec<Arc<SpillSlot>>),
     /// Materialization edge: park these blocks at the producer for the
     /// consuming join.
     Materialize(Vec<Arc<StorageBlock>>),
@@ -60,8 +67,9 @@ pub struct TransferEdge {
     dest: EdgeDest,
     /// Accumulation threshold in blocks (`usize::MAX` for [`Uot::Table`]).
     threshold: usize,
-    /// Blocks staged on this edge, below the threshold.
-    staged: Vec<Arc<StorageBlock>>,
+    /// Blocks staged on this edge, below the threshold — each wrapped in a
+    /// [`SpillSlot`] so the pool's second tier can evict cold ones.
+    staged: Vec<Arc<SpillSlot>>,
     /// Bytes of tracked blocks parked for bulk consumption downstream of
     /// this edge; released when the consumer finishes.
     collected_bytes: usize,
@@ -140,28 +148,31 @@ impl TransferEdge {
         self.threshold
     }
 
-    /// Stage freshly produced blocks and decide what to do with them.
-    pub fn stage(&mut self, blocks: Vec<Arc<StorageBlock>>) -> TransferAction {
+    /// Stage freshly produced blocks and decide what to do with them. `tag`
+    /// identifies the producing operator; spill trace events carry it.
+    pub fn stage(&mut self, blocks: Vec<Arc<StorageBlock>>, tag: usize) -> TransferAction {
         if blocks.is_empty() {
-            return TransferAction::Hold;
+            return TransferAction::Hold(Vec::new());
         }
         match self.dest {
             EdgeDest::Sink => TransferAction::Emit(blocks),
             EdgeDest::Materialize(_) => TransferAction::Materialize(blocks),
             EdgeDest::Stream(_) => {
-                self.staged.extend(blocks);
+                let fresh: Vec<Arc<SpillSlot>> =
+                    blocks.into_iter().map(|b| SpillSlot::new(b, tag)).collect();
+                self.staged.extend(fresh.iter().cloned());
                 if self.staged.len() >= self.threshold {
                     TransferAction::Transfer(std::mem::take(&mut self.staged))
                 } else {
-                    TransferAction::Hold
+                    TransferAction::Hold(fresh)
                 }
             }
         }
     }
 
     /// Flush a partial accumulation (producer finished before the threshold
-    /// was reached). Returns the staged blocks; empty for non-stream edges.
-    pub fn flush(&mut self) -> Vec<Arc<StorageBlock>> {
+    /// was reached). Returns the staged slots; empty for non-stream edges.
+    pub fn flush(&mut self) -> Vec<Arc<SpillSlot>> {
         std::mem::take(&mut self.staged)
     }
 
@@ -193,11 +204,17 @@ mod tests {
     #[test]
     fn threshold_accumulates_then_transfers() {
         let mut e = TransferEdge::stream(7, Uot::Blocks(3));
-        assert!(matches!(e.stage(vec![block(1)]), TransferAction::Hold));
-        assert!(matches!(e.stage(vec![block(1)]), TransferAction::Hold));
+        assert!(matches!(
+            e.stage(vec![block(1)], 0),
+            TransferAction::Hold(_)
+        ));
+        assert!(matches!(
+            e.stage(vec![block(1)], 0),
+            TransferAction::Hold(_)
+        ));
         assert_eq!(e.staged_len(), 2);
-        match e.stage(vec![block(1)]) {
-            TransferAction::Transfer(blocks) => assert_eq!(blocks.len(), 3),
+        match e.stage(vec![block(1)], 0) {
+            TransferAction::Transfer(slots) => assert_eq!(slots.len(), 3),
             other => panic!("expected transfer, got {other:?}"),
         }
         assert_eq!(e.staged_len(), 0);
@@ -206,8 +223,8 @@ mod tests {
     #[test]
     fn oversized_batch_transfers_at_once() {
         let mut e = TransferEdge::stream(1, Uot::Blocks(2));
-        match e.stage(vec![block(1), block(1), block(1)]) {
-            TransferAction::Transfer(blocks) => assert_eq!(blocks.len(), 3),
+        match e.stage(vec![block(1), block(1), block(1)], 0) {
+            TransferAction::Transfer(slots) => assert_eq!(slots.len(), 3),
             other => panic!("expected transfer, got {other:?}"),
         }
     }
@@ -216,7 +233,10 @@ mod tests {
     fn table_uot_holds_until_flush() {
         let mut e = TransferEdge::stream(2, Uot::Table);
         for _ in 0..50 {
-            assert!(matches!(e.stage(vec![block(1)]), TransferAction::Hold));
+            assert!(matches!(
+                e.stage(vec![block(1)], 0),
+                TransferAction::Hold(_)
+            ));
         }
         assert_eq!(e.staged_len(), 50);
         let flushed = e.flush();
@@ -227,10 +247,12 @@ mod tests {
     #[test]
     fn partial_flush_on_producer_finish() {
         let mut e = TransferEdge::stream(2, Uot::Blocks(4));
-        assert!(matches!(
-            e.stage(vec![block(1), block(1)]),
-            TransferAction::Hold
-        ));
+        match e.stage(vec![block(1), block(1)], 0) {
+            TransferAction::Hold(fresh) => {
+                assert_eq!(fresh.len(), 2, "hold reports the newly staged slots")
+            }
+            other => panic!("expected hold, got {other:?}"),
+        }
         let flushed = e.flush();
         assert_eq!(flushed.len(), 2, "partial accumulation must flush");
         assert!(e.flush().is_empty(), "second flush is empty");
@@ -239,7 +261,7 @@ mod tests {
     #[test]
     fn materialization_edge_bypasses_staging() {
         let mut e = TransferEdge::materialize(4);
-        match e.stage(vec![block(1), block(1)]) {
+        match e.stage(vec![block(1), block(1)], 0) {
             TransferAction::Materialize(blocks) => assert_eq!(blocks.len(), 2),
             other => panic!("expected materialize, got {other:?}"),
         }
@@ -251,7 +273,7 @@ mod tests {
     #[test]
     fn sink_edge_emits_immediately() {
         let mut e = TransferEdge::sink();
-        match e.stage(vec![block(2)]) {
+        match e.stage(vec![block(2)], 0) {
             TransferAction::Emit(blocks) => assert_eq!(blocks.len(), 1),
             other => panic!("expected emit, got {other:?}"),
         }
@@ -261,7 +283,10 @@ mod tests {
     #[test]
     fn empty_batch_is_a_noop() {
         let mut e = TransferEdge::stream(0, Uot::Blocks(1));
-        assert!(matches!(e.stage(Vec::new()), TransferAction::Hold));
+        match e.stage(Vec::new(), 0) {
+            TransferAction::Hold(fresh) => assert!(fresh.is_empty()),
+            other => panic!("expected hold, got {other:?}"),
+        }
         assert_eq!(e.staged_len(), 0);
     }
 
@@ -285,8 +310,21 @@ mod tests {
     fn blocks_zero_behaves_like_one() {
         let mut e = TransferEdge::stream(1, Uot::Blocks(0));
         assert!(matches!(
-            e.stage(vec![block(1)]),
+            e.stage(vec![block(1)], 0),
             TransferAction::Transfer(_)
         ));
+    }
+
+    #[test]
+    fn staged_slots_resolve_back_to_their_blocks() {
+        let mut e = TransferEdge::stream(1, Uot::Blocks(2));
+        assert!(matches!(
+            e.stage(vec![block(3)], 9),
+            TransferAction::Hold(_)
+        ));
+        let slots = e.flush();
+        assert_eq!(slots.len(), 1);
+        let b = slots[0].take(None).unwrap();
+        assert_eq!(b.num_rows(), 3);
     }
 }

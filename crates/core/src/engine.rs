@@ -26,7 +26,9 @@ pub use crate::scheduler::ExecMode;
 ///
 /// A lower UoT drains intermediates sooner (the paper's Section VI footprint
 /// argument), so degrading the transfer unit is the natural first response
-/// to memory pressure.
+/// to memory pressure. [`DegradePolicy::Spill`] goes further: it arms a
+/// disk-backed second tier up front, so a working set beyond the budget
+/// degrades to out-of-core execution instead of a terminal error.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DegradePolicy {
     /// Surface [`EngineError::BudgetExceeded`] to the caller (default).
@@ -35,6 +37,13 @@ pub enum DegradePolicy {
     /// Retry once with the default UoT halved toward [`Uot::LOW`]; the
     /// degradation is recorded in [`QueryMetrics::degradations`].
     LowerUot,
+    /// Arm the disk spill tier: cold staged edge blocks evict to temp files
+    /// under pressure (faulting back in at transfer time), joins whose build
+    /// side is estimated past the budget run as grace/partitioned hash joins,
+    /// and fusion is disabled so every edge stays evictable. If the budget
+    /// still trips, fall back to one [`DegradePolicy::LowerUot`]-style retry
+    /// (spill is tried *before* lowering the UoT).
+    Spill,
 }
 
 /// Structured-tracing knobs (see [`EngineConfig::tracing`]).
@@ -322,6 +331,9 @@ impl Engine {
         if let Some(fusion) = opts.fusion {
             cfg.fusion = fusion;
         }
+        if let Some(degrade) = opts.degrade {
+            cfg.degrade = degrade;
+        }
         (cfg, plan)
     }
 
@@ -436,7 +448,13 @@ impl Engine {
             token.clone(),
             faults.clone(),
         ) {
-            Err(e) if is_budget_error(&e) && self.config.degrade == DegradePolicy::LowerUot => {
+            Err(e)
+                if is_budget_error(&e)
+                    && matches!(
+                        self.config.degrade,
+                        DegradePolicy::LowerUot | DegradePolicy::Spill
+                    ) =>
+            {
                 let Some(to) = from.degrade() else {
                     // Already at the lowest UoT: nothing left to shed.
                     return Err(e);
@@ -481,7 +499,10 @@ impl Engine {
     ) -> Result<QueryResult> {
         self.validate(&plan)?;
         let tracker = MemoryTracker::new();
-        let pool = BlockPool::with_budget(tracker, self.config.memory_budget.unwrap_or(usize::MAX));
+        let pool = BlockPool::with_budget(
+            tracker.clone(),
+            self.config.memory_budget.unwrap_or(usize::MAX),
+        );
         pool.set_reuse_enabled(self.config.pool_reuse);
         let plan = Arc::new(plan);
         let schema = plan.result_schema().clone();
@@ -490,6 +511,19 @@ impl Engine {
             .trace
             .as_ref()
             .map(|tc| TraceSink::new(tc.capacity));
+        // Spill only makes sense against a finite budget: with no budget the
+        // pool never feels pressure and the tier would just be dead weight.
+        let spill_enabled =
+            self.config.degrade == DegradePolicy::Spill && self.config.memory_budget.is_some();
+        if spill_enabled {
+            let store = uot_storage::SpillStore::new(None, tracker.clone())?;
+            store.set_observer(crate::spill::EngineSpillHook::new(
+                Some(faults.clone()),
+                sink.clone(),
+                tracker.clone(),
+            ));
+            pool.enable_spill(store);
+        }
         let mut ctx = ExecContext::new(
             plan,
             pool,
@@ -502,6 +536,17 @@ impl Engine {
         if let Some(sink) = &sink {
             ctx = ctx.with_trace(sink.clone());
         }
+        if spill_enabled {
+            ctx.plan_grace(self.config.memory_budget.unwrap_or(usize::MAX));
+        }
+        // With the spill tier armed, fused chains would pin their interior
+        // blocks and hash tables resident (nothing stages, nothing evicts);
+        // fall back to staged execution so every edge stays evictable.
+        let fusion = if spill_enabled {
+            FusionPolicy::Never
+        } else {
+            fusion
+        };
         let fusion_state = crate::fusion::plan_fusion(
             &ctx.plan,
             fusion,
@@ -811,6 +856,107 @@ mod tests {
                 from: Uot::Table,
                 to: Uot::Blocks(1),
             }]
+        );
+    }
+
+    /// A join whose build side (200 rows of payload) dwarfs a tight budget:
+    /// the shape the spill tier exists for.
+    fn big_join_plan() -> QueryPlan {
+        let dim = table("spill_dim", 200);
+        let fact = table("spill_fact", 400);
+        let mut pb = PlanBuilder::new();
+        let b = pb.build_hash(Source::Table(dim), vec![0], vec![1]).unwrap();
+        let p = pb
+            .probe(
+                Source::Table(fact),
+                b,
+                vec![0],
+                vec![0, 1],
+                vec![0],
+                JoinType::Inner,
+            )
+            .unwrap();
+        pb.build(p).unwrap()
+    }
+
+    #[test]
+    fn spill_completes_byte_identical_where_budget_alone_fails() {
+        let reference = Engine::new(EngineConfig::serial())
+            .execute(big_join_plan())
+            .unwrap()
+            .sorted_rows();
+        assert_eq!(reference.len(), 200, "fact keys 0..200 match a dim row");
+        let tight = EngineConfig::serial()
+            .with_uot(Uot::Table)
+            .with_block_bytes(96)
+            .with_memory_budget(Some(4096))
+            .with_fusion(FusionPolicy::Never);
+        // Without spill the same budget is terminal...
+        let err = Engine::new(tight.clone())
+            .execute(big_join_plan())
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::EngineError::BudgetExceeded { .. }),
+            "{err:?}"
+        );
+        // ...and with it the run degrades to out-of-core and matches the
+        // unbudgeted result byte for byte, with spill traffic in the trace.
+        let r = Engine::new(
+            tight
+                .with_degrade(DegradePolicy::Spill)
+                .tracing(TraceConfig::default()),
+        )
+        .execute(big_join_plan())
+        .unwrap();
+        assert_eq!(r.sorted_rows(), reference);
+        assert!(r.metrics.spill_events > 0, "{:?}", r.metrics);
+        assert!(r.metrics.spilled_bytes > 0);
+        let trace = r.trace.unwrap();
+        assert!(trace.count(|k| matches!(k, TraceEventKind::SpillOut { .. })) > 0);
+        assert!(trace.count(|k| matches!(k, TraceEventKind::SpillIn { .. })) > 0);
+    }
+
+    #[test]
+    fn spill_parallel_matches_serial() {
+        let reference = Engine::new(EngineConfig::serial())
+            .execute(big_join_plan())
+            .unwrap()
+            .sorted_rows();
+        let cfg = EngineConfig::parallel(4)
+            .with_uot(Uot::Table)
+            .with_block_bytes(96)
+            .with_memory_budget(Some(4096))
+            .with_degrade(DegradePolicy::Spill);
+        let r = Engine::new(cfg).execute(big_join_plan()).unwrap();
+        assert_eq!(r.sorted_rows(), reference);
+    }
+
+    #[test]
+    fn spill_without_budget_is_a_plain_run() {
+        let cfg = EngineConfig::serial().with_degrade(DegradePolicy::Spill);
+        let r = Engine::new(cfg).execute(big_join_plan()).unwrap();
+        assert_eq!(r.num_rows(), 200);
+        assert_eq!(r.metrics.spill_events, 0, "no budget, no pressure");
+    }
+
+    #[test]
+    fn spill_keeps_table_uot_by_evicting_staged_blocks() {
+        // Same shape as `budget_exceeded_names_the_operator`: under
+        // `Uot::Table` the filter's 25 staged output blocks blow the 600-byte
+        // budget. With the spill tier armed they evict to disk instead, and
+        // the flush faults them back in.
+        let cfg = EngineConfig::serial()
+            .with_uot(Uot::Table)
+            .with_block_bytes(96)
+            .with_memory_budget(Some(600))
+            .with_degrade(DegradePolicy::Spill)
+            .with_fusion(FusionPolicy::Never);
+        let r = Engine::new(cfg).execute(wide_then_narrow_plan()).unwrap();
+        assert_eq!(r.rows(), vec![vec![Value::I64(200)]]);
+        assert!(r.metrics.spill_events > 0, "{:?}", r.metrics);
+        assert!(
+            r.metrics.degradations.is_empty(),
+            "spill succeeded on the first attempt, no UoT retry"
         );
     }
 

@@ -18,7 +18,9 @@
 //! | `trace` | enables tracing for this run | enables tracing for this query |
 //! | `faults` | deterministic fault plan | deterministic fault plan |
 //! | `fusion` | overrides `EngineConfig::fusion` | overrides `ServiceConfig::fusion` |
+//! | `degrade` | overrides `EngineConfig::degrade` | overrides `ServiceConfig::degrade` |
 
+use crate::engine::DegradePolicy;
 use crate::fault::FaultPlan;
 use crate::fusion::FusionPolicy;
 use crate::uot::Uot;
@@ -48,6 +50,10 @@ pub struct ExecOptions {
     /// Fused-pipeline policy override for this query (the owner's default
     /// when `None`).
     pub fusion: Option<FusionPolicy>,
+    /// Budget-degradation policy override for this query (the owner's
+    /// default when `None`). [`DegradePolicy::Spill`](crate::engine::DegradePolicy::Spill)
+    /// arms the disk spill tier for this query alone.
+    pub degrade: Option<DegradePolicy>,
 }
 
 impl ExecOptions {
@@ -86,6 +92,12 @@ impl ExecOptions {
         self.fusion = Some(fusion);
         self
     }
+
+    /// Builder-style setter for the budget-degradation policy.
+    pub fn with_degrade(mut self, degrade: DegradePolicy) -> Self {
+        self.degrade = Some(degrade);
+        self
+    }
 }
 
 /// Former name of [`ExecOptions`], kept for source compatibility.
@@ -107,13 +119,15 @@ mod tests {
             .with_uot(Uot::Table)
             .traced()
             .with_faults(Arc::new(FaultPlan::empty()))
-            .with_fusion(FusionPolicy::Never);
+            .with_fusion(FusionPolicy::Never)
+            .with_degrade(DegradePolicy::Spill);
         assert_eq!(o.reservation, Some(4096));
         assert_eq!(o.deadline, Some(Duration::from_secs(2)));
         assert_eq!(o.uot, Some(Uot::Table));
         assert!(o.trace);
         assert!(o.faults.is_some());
         assert_eq!(o.fusion, Some(FusionPolicy::Never));
+        assert_eq!(o.degrade, Some(DegradePolicy::Spill));
     }
 
     #[test]

@@ -28,14 +28,20 @@ pub enum FaultSite {
     PoolAlloc,
     /// A transfer edge flushing staged blocks to its consumer.
     TransferFlush,
+    /// Serializing a block out to the disk spill tier.
+    SpillWrite,
+    /// Faulting a spilled block back in from the disk tier.
+    SpillRead,
 }
 
 impl FaultSite {
     /// All sites, for schedule enumeration in tests.
-    pub const ALL: [FaultSite; 3] = [
+    pub const ALL: [FaultSite; 5] = [
         FaultSite::WorkOrderExec,
         FaultSite::PoolAlloc,
         FaultSite::TransferFlush,
+        FaultSite::SpillWrite,
+        FaultSite::SpillRead,
     ];
 
     fn index(self) -> usize {
@@ -43,6 +49,8 @@ impl FaultSite {
             FaultSite::WorkOrderExec => 0,
             FaultSite::PoolAlloc => 1,
             FaultSite::TransferFlush => 2,
+            FaultSite::SpillWrite => 3,
+            FaultSite::SpillRead => 4,
         }
     }
 }
@@ -82,7 +90,7 @@ pub struct Injection {
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     injections: Vec<Injection>,
-    hits: [AtomicUsize; 3],
+    hits: [AtomicUsize; 5],
 }
 
 impl FaultPlan {
@@ -175,5 +183,27 @@ mod tests {
             p.check(FaultSite::TransferFlush),
             Some(FaultKind::Delay(Duration::from_millis(1)))
         );
+    }
+
+    #[test]
+    fn spill_sites_count_like_the_others() {
+        assert_eq!(FaultSite::ALL.len(), 5);
+        let p = FaultPlan::new(vec![
+            Injection {
+                site: FaultSite::SpillWrite,
+                kind: FaultKind::Error,
+                nth: 2,
+            },
+            Injection {
+                site: FaultSite::SpillRead,
+                kind: FaultKind::Error,
+                nth: 1,
+            },
+        ]);
+        assert_eq!(p.check(FaultSite::SpillWrite), None);
+        assert_eq!(p.check(FaultSite::SpillRead), Some(FaultKind::Error));
+        assert_eq!(p.check(FaultSite::SpillWrite), Some(FaultKind::Error));
+        assert_eq!(p.hits(FaultSite::SpillWrite), 2);
+        assert_eq!(p.hits(FaultSite::SpillRead), 1);
     }
 }

@@ -48,6 +48,7 @@ pub mod plan;
 pub mod query_id;
 pub mod scheduler;
 pub mod service;
+pub mod spill;
 pub mod sql;
 pub mod state;
 pub mod topology;
@@ -77,6 +78,7 @@ pub use scheduler::{
     FailedQuery, MetricsObserver, NoopObserver, SchedulerConfig, SchedulerCore, SchedulerObserver,
 };
 pub use service::{QueryHandle, QueryService, ServiceConfig};
+pub use spill::EngineSpillHook;
 pub use sql::{compile, lower};
 pub use topology::{Dependent, PlanTopology};
 pub use trace::{Trace, TraceEvent, TraceEventKind, TraceSink, DEFAULT_TRACE_CAPACITY};

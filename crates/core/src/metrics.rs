@@ -119,6 +119,15 @@ pub struct QueryMetrics {
     pub fused_pipelines: usize,
     /// Stream pipelines executed via staged transfer edges.
     pub staged_pipelines: usize,
+    /// Blocks evicted to the disk spill tier (0 without
+    /// [`DegradePolicy::Spill`](crate::engine::DegradePolicy) or without
+    /// memory pressure).
+    pub spill_events: usize,
+    /// Cumulative tracked bytes moved out to the disk tier.
+    pub spilled_bytes: usize,
+    /// Deepest grace-join re-partitioning recursion taken (0 = every
+    /// partition fit on the first pass).
+    pub respill_depth: usize,
 }
 
 impl QueryMetrics {

@@ -252,6 +252,22 @@ fn emit_trace(trace: &Trace, offset: Duration, out: &mut Vec<String>) {
                     ),
                 ));
             }
+            TraceEventKind::SpillOut { op, bytes, in_use }
+            | TraceEventKind::SpillIn { op, bytes, in_use } => {
+                out.push(instant(
+                    &format!("{} {}", label, trace.op_name(op)),
+                    label,
+                    e.t,
+                    format!(r#"{{"bytes":{bytes},"op":{op}}}"#),
+                ));
+                // Spill moves resident bytes, so refresh the pool counter too.
+                out.push(format!(
+                    r#"{{"name":"pool_in_use","ph":"C","ts":{:.3},"pid":{},"args":{{"bytes":{}}}}}"#,
+                    us(e.t + offset),
+                    pid,
+                    in_use
+                ));
+            }
             TraceEventKind::FaultInjected { site, kind, op } => {
                 out.push(instant(
                     &format!("fault {:?} at {}", site, trace.op_name(op)),

@@ -288,6 +288,36 @@ pub fn prometheus_snapshot(trace: &Trace) -> String {
                 );
                 let _ = ops;
             }
+            TraceEventKind::SpillOut { op, bytes, .. } => {
+                let op_label = format!("op=\"{}\"", esc(&trace.op_name(op)));
+                add(
+                    &mut families,
+                    "uot_spill_events_total",
+                    "Blocks evicted to the disk spill tier, by operator.",
+                    "counter",
+                    op_label.clone(),
+                    1.0,
+                    false,
+                );
+                add(
+                    &mut families,
+                    "uot_spilled_bytes_total",
+                    "Bytes written to the disk spill tier, by operator.",
+                    "counter",
+                    op_label,
+                    bytes as f64,
+                    false,
+                );
+            }
+            TraceEventKind::SpillIn { op, bytes, .. } => add(
+                &mut families,
+                "uot_spill_restored_bytes_total",
+                "Bytes faulted back in from the disk spill tier, by operator.",
+                "counter",
+                format!("op=\"{}\"", esc(&trace.op_name(op))),
+                bytes as f64,
+                false,
+            ),
             TraceEventKind::FaultInjected { site, kind, .. } => add(
                 &mut families,
                 "uot_faults_injected_total",

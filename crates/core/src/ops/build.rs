@@ -27,11 +27,30 @@ pub fn execute(
     let mut scratch = ctx.take_scratch();
     ctx.key_extractor(op)
         .extract_block(block, &mut scratch.keys);
-    ctx.hash_table(op)
-        .insert_batch(block, &scratch.keys, payload_cols);
     if let Some(bloom) = ctx.runtimes[op].bloom.as_ref() {
         bloom.insert_hashes(scratch.keys.hashes());
     }
+    // Under a grace join the shared hash table stays empty: rows route into
+    // hash partitions (spilling as they fill) and the per-partition tables
+    // are built during finalize instead. The Bloom filter still sees every
+    // key, so probe-side pre-filtering keeps working.
+    if let Some(g) = ctx.grace.get(&op) {
+        let schema = ctx.plan.input_schema(op);
+        let res = crate::ops::grace::partition_stream(
+            ctx,
+            g,
+            &g.build,
+            block,
+            scratch.keys.hashes(),
+            op,
+            &schema,
+        );
+        ctx.put_scratch(scratch);
+        res?;
+        return Ok(Vec::new());
+    }
+    ctx.hash_table(op)
+        .insert_batch(block, &scratch.keys, payload_cols);
     ctx.put_scratch(scratch);
     Ok(Vec::new())
 }

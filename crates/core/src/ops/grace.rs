@@ -1,0 +1,538 @@
+//! Grace (partitioned, out-of-core) hash join.
+//!
+//! When [`ExecContext::plan_grace`](crate::state::ExecContext::plan_grace)
+//! decides a join's build side will not fit the memory budget, the build and
+//! probe operators stop building/probing a monolithic hash table. Instead
+//! their stream work orders call [`partition_stream`]: rows are hashed and
+//! routed into per-partition buffers, with full buffers spilled to the disk
+//! tier immediately, so each side's resident footprint is bounded by
+//! `nparts × block_bytes`. Once both inputs are fully partitioned the
+//! scheduler dispatches one `FinalizeJoin` work order, handled by
+//! [`finalize`]: partitions are joined one at a time — restore the build
+//! partition, build a small hash table, stream the probe partition through
+//! it — and a partition whose build side still exceeds the budget is split
+//! again on deeper hash bits (bounded recursion; past the bound it is built
+//! anyway, trading a bounded overshoot for completion).
+//!
+//! Hash-partitioning is total: every row's key lands in exactly one
+//! partition, so inner, semi and anti joins all stay correct per-partition.
+
+use crate::error::EngineError;
+use crate::hash_table::JoinHashTable;
+use crate::plan::OperatorKind;
+use crate::state::{ExecContext, GraceJoinState, GraceSide};
+use crate::Result;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use uot_storage::{Schema, SpillStore, SpilledHandle, StorageBlock, StorageError};
+
+/// Recursion bound for re-partitioning a partition that still does not fit.
+/// Past this depth the partition is built anyway: with the level-0 fan-out
+/// already sized to the budget, two extra halvings make a residual overshoot
+/// small and bounded, which beats failing the query.
+const MAX_RESPILL_DEPTH: usize = 2;
+
+/// First hash bit used for re-partitioning (level-0 partition bits start at
+/// 32; respill level `d` splits on bit `40 + 8·d`).
+const RESPILL_SHIFT_BASE: usize = 40;
+
+/// One block of a partition: resident in memory (tracker-charged) or spilled
+/// to the disk tier (a temp file).
+enum PartBlock {
+    Mem(StorageBlock),
+    Disk(SpilledHandle),
+}
+
+impl PartBlock {
+    /// Bring the block into memory (restoring from disk charges the
+    /// tracker).
+    fn into_mem(self, store: &SpillStore) -> Result<StorageBlock> {
+        match self {
+            PartBlock::Mem(b) => Ok(b),
+            PartBlock::Disk(h) => store.restore(h).map_err(EngineError::from),
+        }
+    }
+
+    /// Release the block without using it: pool-discard resident blocks,
+    /// delete spilled files.
+    fn discard(self, ctx: &ExecContext, store: &SpillStore) {
+        match self {
+            PartBlock::Mem(b) => ctx.pool.discard(b),
+            PartBlock::Disk(h) => store.discard(h),
+        }
+    }
+}
+
+/// Route one input block's rows into a grace side's partitions. Called from
+/// build and probe *stream* work orders (under grace, neither touches the
+/// shared hash table). `hashes` are the block's key hashes, already computed
+/// by the caller (which also feeds the Bloom filter from them); `tag` is the
+/// partitioning operator, for spill-event attribution.
+pub(crate) fn partition_stream(
+    ctx: &ExecContext,
+    g: &GraceJoinState,
+    side: &Mutex<GraceSide>,
+    block: &Arc<StorageBlock>,
+    hashes: &[u64],
+    tag: usize,
+    schema: &Arc<Schema>,
+) -> Result<()> {
+    let store = ctx
+        .pool
+        .spill_store()
+        .ok_or_else(|| EngineError::Internal("grace join without a spill store".into()))?;
+    // The other side of the join, for checkout pressure relief: its open
+    // buffers are cold once this side is streaming (build and probe phases
+    // are serialized by the scheduler) and can be spilled to make room.
+    let other = if std::ptr::eq(side, &g.build) {
+        &g.probe
+    } else {
+        &g.build
+    };
+    let rows = block.all_rows();
+    let mut side = side.lock();
+    for (row, hash) in rows.iter().zip(hashes) {
+        let p = g.partition_of(*hash);
+        append_row(ctx, &store, &mut side, other, p, row, tag, schema)?;
+    }
+    Ok(())
+}
+
+/// Spill every open (partially filled) partition buffer of `side` to the
+/// disk tier, releasing its tracked bytes.
+fn spill_open(store: &SpillStore, side: &mut GraceSide, tag: usize) -> Result<()> {
+    for p in 0..side.open.len() {
+        if let Some(b) = side.open[p].take() {
+            side.spilled[p].push(store.spill_block(&b, tag)?);
+        }
+    }
+    Ok(())
+}
+
+/// Check out a fresh partition buffer. A budget refusal is not terminal
+/// here: the open partition buffers (ours and the idle other side's) are
+/// exactly the memory the refusal is about, so spill them and retry once.
+fn checkout_part(
+    ctx: &ExecContext,
+    store: &SpillStore,
+    side: &mut GraceSide,
+    other: &Mutex<GraceSide>,
+    tag: usize,
+    schema: &Arc<Schema>,
+) -> Result<StorageBlock> {
+    match ctx.pool.checkout(schema, ctx.temp_format, ctx.block_bytes) {
+        Ok(b) => return Ok(b),
+        Err(StorageError::BudgetExceeded { .. }) => {}
+        Err(e) => return Err(e.into()),
+    }
+    spill_open(store, side, tag)?;
+    // Locking the other side here cannot cycle: build and probe phases are
+    // serialized by the scheduler, and every partitioner of the active phase
+    // acquires its own side's lock (held by our caller) before this point —
+    // so no thread can hold `other` while wanting `side`.
+    spill_open(store, &mut other.lock(), tag)?;
+    ctx.pool
+        .checkout(schema, ctx.temp_format, ctx.block_bytes)
+        .map_err(Into::into)
+}
+
+/// Append one row to partition `p`, spilling the open buffer when it fills.
+/// On error the partially filled state stays in the side — scheduler
+/// teardown releases it.
+#[allow(clippy::too_many_arguments)]
+fn append_row(
+    ctx: &ExecContext,
+    store: &SpillStore,
+    side: &mut GraceSide,
+    other: &Mutex<GraceSide>,
+    p: usize,
+    row: &[uot_storage::Value],
+    tag: usize,
+    schema: &Arc<Schema>,
+) -> Result<()> {
+    loop {
+        if side.open[p].is_none() {
+            side.open[p] = Some(checkout_part(ctx, store, side, other, tag, schema)?);
+        }
+        let b = side.open[p].as_mut().expect("just set");
+        if b.append_row(row)? {
+            if b.is_full() {
+                let full = side.open[p].take().expect("present");
+                side.spilled[p].push(store.spill_block(&full, tag)?);
+            }
+            return Ok(());
+        }
+        // Full before the append fit: spill it and retry on a fresh block.
+        let full = side.open[p].take().expect("present");
+        side.spilled[p].push(store.spill_block(&full, tag)?);
+    }
+}
+
+/// The `FinalizeJoin` work order: join every partition pair, returning the
+/// completed output blocks. On any error everything still held — queued
+/// partitions, restored blocks, produced output — is released first, so the
+/// tracker drains and no temp file outlives the query.
+pub fn finalize(ctx: &ExecContext, op: usize) -> Result<Vec<StorageBlock>> {
+    let g = ctx
+        .grace
+        .get(&op)
+        .expect("finalize-join dispatched only for grace probes")
+        .clone();
+    let store = ctx
+        .pool
+        .spill_store()
+        .ok_or_else(|| EngineError::Internal("grace join without a spill store".into()))?;
+    let payload_cols = match &ctx.plan.op(g.build_op).kind {
+        OperatorKind::BuildHash { payload_cols, .. } => payload_cols.clone(),
+        other => {
+            return Err(EngineError::Internal(format!(
+                "grace build op is a {}",
+                other.kind_label()
+            )))
+        }
+    };
+    let build_schema = ctx.plan.input_schema(g.build_op);
+    let probe_schema = ctx.plan.input_schema(op);
+    let budget = ctx.pool.budget().unwrap_or(usize::MAX);
+
+    // Drain both sides into a worklist of (depth, build, probe) partitions.
+    let mut work: Vec<(usize, Vec<PartBlock>, Vec<PartBlock>)> = Vec::new();
+    {
+        let mut bs = g.build.lock();
+        let mut ps = g.probe.lock();
+        // Under a budget, park every leftover open buffer on disk first:
+        // queued partitions would otherwise hold up to `2 × nparts` resident
+        // blocks for the whole finalize — a baseline that can exceed the
+        // budget on its own and starve every per-partition checkout. (On a
+        // failed spill the sides keep their state; scheduler teardown
+        // releases it.)
+        if budget != usize::MAX {
+            spill_open(&store, &mut bs, g.build_op)?;
+            spill_open(&store, &mut ps, op)?;
+        }
+        for p in 0..g.nparts {
+            let mut b: Vec<PartBlock> = bs.spilled[p].drain(..).map(PartBlock::Disk).collect();
+            if let Some(blk) = bs.open[p].take() {
+                b.push(PartBlock::Mem(blk));
+            }
+            let mut pr: Vec<PartBlock> = ps.spilled[p].drain(..).map(PartBlock::Disk).collect();
+            if let Some(blk) = ps.open[p].take() {
+                pr.push(PartBlock::Mem(blk));
+            }
+            if b.is_empty() && pr.is_empty() {
+                continue;
+            }
+            work.push((0, b, pr));
+        }
+    }
+
+    let mut out: Vec<StorageBlock> = Vec::new();
+    // Output blocks parked on disk under pressure, restored at return.
+    let mut out_disk: Vec<SpilledHandle> = Vec::new();
+    let fail = |e: EngineError,
+                work: &mut Vec<(usize, Vec<PartBlock>, Vec<PartBlock>)>,
+                out: &mut Vec<StorageBlock>,
+                out_disk: &mut Vec<SpilledHandle>| {
+        for (_, b, p) in work.drain(..) {
+            for x in b {
+                x.discard(ctx, &store);
+            }
+            for x in p {
+                x.discard(ctx, &store);
+            }
+        }
+        for b in out.drain(..) {
+            ctx.pool.discard(b);
+        }
+        for h in out_disk.drain(..) {
+            store.discard(h);
+        }
+        e
+    };
+    while let Some((depth, build, probe)) = work.pop() {
+        if let Err(e) = join_partition(
+            ctx,
+            &g,
+            &store,
+            op,
+            depth,
+            build,
+            probe,
+            budget,
+            &payload_cols,
+            &build_schema,
+            &probe_schema,
+            &mut out,
+            &mut out_disk,
+            &mut work,
+        ) {
+            return Err(fail(e, &mut work, &mut out, &mut out_disk));
+        }
+    }
+    // Restore parked output. The charge is unconditional (the storage tier's
+    // documented transient-overshoot path): these blocks leave the operator
+    // as its result either way, and downstream consumption drains them.
+    let mut parked = out_disk.into_iter();
+    while let Some(h) = parked.next() {
+        match store.restore(h) {
+            Ok(b) => out.push(b),
+            Err(e) => {
+                for rest in parked {
+                    store.discard(rest);
+                }
+                for b in out.drain(..) {
+                    ctx.pool.discard(b);
+                }
+                return Err(e.into());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Park accumulated output on disk while tracked bytes sit above a quarter
+/// of the budget, leaving headroom for the next checkout or hash table. A
+/// failed spill is side-effect free: the block goes back into `out` and the
+/// error is returned for the caller's cleanup path.
+fn park_out(
+    ctx: &ExecContext,
+    store: &Arc<SpillStore>,
+    op: usize,
+    budget: usize,
+    out: &mut Vec<StorageBlock>,
+    out_disk: &mut Vec<SpilledHandle>,
+) -> Result<()> {
+    while budget != usize::MAX && ctx.pool.tracker().current_bytes() > budget / 4 {
+        let Some(b) = out.pop() else { break };
+        match store.spill_block(&b, op) {
+            Ok(h) => out_disk.push(h),
+            Err(e) => {
+                out.push(b);
+                return Err(e.into());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Join one partition pair: restore the build side, build a hash table (or
+/// re-partition when it still exceeds the budget), stream the probe side
+/// through it. Owns its inputs and releases them on every path.
+#[allow(clippy::too_many_arguments)]
+fn join_partition(
+    ctx: &ExecContext,
+    g: &GraceJoinState,
+    store: &Arc<SpillStore>,
+    op: usize,
+    depth: usize,
+    build: Vec<PartBlock>,
+    probe: Vec<PartBlock>,
+    budget: usize,
+    payload_cols: &[usize],
+    build_schema: &Arc<Schema>,
+    probe_schema: &Arc<Schema>,
+    out: &mut Vec<StorageBlock>,
+    out_disk: &mut Vec<SpilledHandle>,
+    work: &mut Vec<(usize, Vec<PartBlock>, Vec<PartBlock>)>,
+) -> Result<()> {
+    if let Err(e) = ctx.check_cancelled() {
+        for x in build {
+            x.discard(ctx, store);
+        }
+        for x in probe {
+            x.discard(ctx, store);
+        }
+        return Err(e);
+    }
+
+    // Restore the whole build partition (the hash table needs all of it).
+    let mut build_blocks: Vec<StorageBlock> = Vec::with_capacity(build.len());
+    let mut build_iter = build.into_iter();
+    while let Some(pb) = build_iter.next() {
+        match pb.into_mem(store) {
+            Ok(b) => build_blocks.push(b),
+            Err(e) => {
+                for b in build_blocks {
+                    ctx.pool.discard(b);
+                }
+                for x in build_iter {
+                    x.discard(ctx, store);
+                }
+                for x in probe {
+                    x.discard(ctx, store);
+                }
+                return Err(e);
+            }
+        }
+    }
+
+    // Still over budget? Split both sides on a deeper hash bit and requeue —
+    // unless the recursion bound is hit, in which case build anyway (bounded
+    // overshoot beats a terminal failure).
+    let build_bytes: usize = build_blocks.iter().map(|b| b.allocated_bytes()).sum();
+    if depth < MAX_RESPILL_DEPTH && build_bytes > budget / 2 {
+        store.note_respill(depth + 1);
+        let shift = RESPILL_SHIFT_BASE + 8 * depth;
+        let build_parts: Vec<PartBlock> = build_blocks.into_iter().map(PartBlock::Mem).collect();
+        let (b0, b1) = match split(ctx, store, g.build_op, build_schema, build_parts, shift) {
+            Ok(v) => v,
+            Err(e) => {
+                for x in probe {
+                    x.discard(ctx, store);
+                }
+                return Err(e);
+            }
+        };
+        let (p0, p1) = match split(ctx, store, op, probe_schema, probe, shift) {
+            Ok(v) => v,
+            Err(e) => {
+                for x in b0.into_iter().chain(b1) {
+                    x.discard(ctx, store);
+                }
+                return Err(e);
+            }
+        };
+        work.push((depth + 1, b1, p1));
+        work.push((depth + 1, b0, p0));
+        return Ok(());
+    }
+
+    // Build this partition's hash table and release the input blocks. One
+    // shard, not the engine's concurrent-build shard count: a partition is
+    // built and probed by this single work order, and the per-shard fixed
+    // overhead would otherwise dwarf a tight budget.
+    let ht = JoinHashTable::new(ctx.plan.op(g.build_op).out_schema.clone(), 1);
+    let tracker = ctx.pool.tracker();
+    let mut scratch = ctx.take_scratch();
+    for b in build_blocks {
+        let b = Arc::new(b);
+        ctx.key_extractor(g.build_op)
+            .extract_block(&b, &mut scratch.keys);
+        ht.insert_batch(&b, &scratch.keys, payload_cols);
+        tracker.free(b.allocated_bytes());
+    }
+    ctx.put_scratch(scratch);
+    ht.sync_tracker(tracker);
+
+    // Stream the probe partition through it, one block at a time.
+    let mut probe_iter = probe.into_iter();
+    while let Some(pb) = probe_iter.next() {
+        let block = match pb.into_mem(store) {
+            Ok(b) => Arc::new(b),
+            Err(e) => {
+                ht.release_tracker(tracker);
+                for x in probe_iter {
+                    x.discard(ctx, store);
+                }
+                return Err(e);
+            }
+        };
+        let produced = crate::ops::probe::apply_with(ctx, op, &block, &ht).and_then(|v| match v {
+            Some(virt) => crate::ops::write_output(ctx, op, &virt),
+            None => Ok(Vec::new()),
+        });
+        tracker.free(block.allocated_bytes());
+        drop(block);
+        // Park output as it is produced, not just between partitions: a
+        // skewed partition can emit more result bytes than the budget while
+        // its hash table is still resident.
+        let relieved = match produced {
+            Ok(blocks) => {
+                out.extend(blocks);
+                park_out(ctx, store, op, budget, out, out_disk)
+            }
+            Err(e) => Err(e),
+        };
+        if let Err(e) = relieved {
+            ht.release_tracker(tracker);
+            for x in probe_iter {
+                x.discard(ctx, store);
+            }
+            return Err(e);
+        }
+    }
+    ht.release_tracker(tracker);
+    Ok(())
+}
+
+/// Split one side of a partition in two on hash bit `shift`, spilling full
+/// output blocks. The key operator `key_op`'s extractor re-hashes the rows
+/// (partition files hold that operator's input schema). Consumes `input`;
+/// on error every block still held — input, open buffers, finished halves —
+/// is released.
+fn split(
+    ctx: &ExecContext,
+    store: &Arc<SpillStore>,
+    key_op: usize,
+    schema: &Arc<Schema>,
+    input: Vec<PartBlock>,
+    shift: usize,
+) -> Result<(Vec<PartBlock>, Vec<PartBlock>)> {
+    let mut input = VecDeque::from(input);
+    let mut open: [Option<StorageBlock>; 2] = [None, None];
+    let mut done: [Vec<PartBlock>; 2] = [Vec::new(), Vec::new()];
+    let mut scratch = ctx.take_scratch();
+    let tracker = ctx.pool.tracker().clone();
+    let mut run = || -> Result<()> {
+        while let Some(pb) = input.pop_front() {
+            let block = Arc::new(pb.into_mem(store)?);
+            ctx.key_extractor(key_op)
+                .extract_block(&block, &mut scratch.keys);
+            let rows = block.all_rows();
+            for (row, h) in rows.iter().zip(scratch.keys.hashes()) {
+                let half = ((h >> shift) & 1) as usize;
+                loop {
+                    if open[half].is_none() {
+                        open[half] = Some(ctx.pool.checkout(
+                            schema,
+                            ctx.temp_format,
+                            ctx.block_bytes,
+                        )?);
+                    }
+                    let b = open[half].as_mut().expect("just set");
+                    if b.append_row(row)? {
+                        if b.is_full() {
+                            let full = open[half].take().expect("present");
+                            done[half].push(PartBlock::Disk(store.spill_block(&full, key_op)?));
+                        }
+                        break;
+                    }
+                    let full = open[half].take().expect("present");
+                    done[half].push(PartBlock::Disk(store.spill_block(&full, key_op)?));
+                }
+            }
+            tracker.free(block.allocated_bytes());
+        }
+        Ok(())
+    };
+    let result = run();
+    ctx.put_scratch(scratch);
+    match result {
+        Ok(()) => {
+            let [o0, o1] = open;
+            let [mut d0, mut d1] = done;
+            if let Some(b) = o0 {
+                d0.push(PartBlock::Mem(b));
+            }
+            if let Some(b) = o1 {
+                d1.push(PartBlock::Mem(b));
+            }
+            Ok((d0, d1))
+        }
+        Err(e) => {
+            for b in open.into_iter().flatten() {
+                ctx.pool.discard(b);
+            }
+            for half in done {
+                for x in half {
+                    x.discard(ctx, store);
+                }
+            }
+            for x in input {
+                x.discard(ctx, store);
+            }
+            Err(e)
+        }
+    }
+}

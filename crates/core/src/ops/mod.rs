@@ -9,6 +9,7 @@
 pub mod aggregate;
 pub mod build;
 pub mod builders;
+pub mod grace;
 pub mod limit;
 pub mod nlj;
 pub mod probe;
@@ -176,6 +177,7 @@ pub fn execute_work_order(ctx: &ExecContext, wo: &WorkOrder) -> Result<Vec<Stora
         (OperatorKind::Probe { .. }, WorkKind::Stream { block }) => {
             probe::execute(ctx, wo.op, block)
         }
+        (OperatorKind::Probe { .. }, WorkKind::FinalizeJoin) => grace::finalize(ctx, wo.op),
         (OperatorKind::Aggregate { .. }, WorkKind::Stream { block }) => {
             aggregate::execute_block(ctx, wo.op, block)
         }

@@ -61,6 +61,26 @@ pub fn execute(
     op: usize,
     block: &Arc<StorageBlock>,
 ) -> Result<Vec<StorageBlock>> {
+    // Under a grace join probe rows are only partitioned here; the actual
+    // probing happens partition-by-partition in the finalize-join work order.
+    if let Some(g) = ctx.grace.get(&op) {
+        let mut scratch = ctx.take_scratch();
+        ctx.key_extractor(op)
+            .extract_block(block, &mut scratch.keys);
+        let schema = ctx.plan.input_schema(op);
+        let res = crate::ops::grace::partition_stream(
+            ctx,
+            g,
+            &g.probe,
+            block,
+            scratch.keys.hashes(),
+            op,
+            &schema,
+        );
+        ctx.put_scratch(scratch);
+        res?;
+        return Ok(Vec::new());
+    }
     match apply(ctx, op, block)? {
         None => Ok(Vec::new()),
         Some(virt) => crate::ops::write_output(ctx, op, &virt),
@@ -78,7 +98,19 @@ pub(crate) fn apply(
     block: &Arc<StorageBlock>,
 ) -> Result<Option<StorageBlock>> {
     let spec = probe_spec(ctx, op)?;
-    let ht = ctx.hash_table(spec.build);
+    apply_with(ctx, op, block, ctx.hash_table(spec.build))
+}
+
+/// [`apply`] against an explicit hash table instead of the shared one — the
+/// grace-join finalize path builds a table per partition and probes each
+/// partition's blocks through it.
+pub(crate) fn apply_with(
+    ctx: &ExecContext,
+    op: usize,
+    block: &Arc<StorageBlock>,
+    ht: &crate::hash_table::JoinHashTable,
+) -> Result<Option<StorageBlock>> {
+    let spec = probe_spec(ctx, op)?;
     let out_schema = ctx.plan.op(op).out_schema.clone();
     let mut builders = make_builders(&out_schema);
     let n_probe_cols = spec.probe_out_cols.len();

@@ -41,7 +41,7 @@ use crate::Result;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use uot_storage::StorageBlock;
+use uot_storage::{SpillSlot, StorageBlock};
 
 /// How work orders are driven.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -365,6 +365,12 @@ impl<O: SchedulerObserver + MetricsCarrier> SchedulerCore<O> {
             .collect();
         // Metrics (pool stats, peak) are captured *before* the release below
         // so teardown bookkeeping does not pollute them.
+        let spill = self
+            .ctx
+            .pool
+            .spill_store()
+            .map(|s| s.stats())
+            .unwrap_or_default();
         let metrics = QueryMetrics {
             query: self.ctx.query,
             wall_time,
@@ -379,6 +385,9 @@ impl<O: SchedulerObserver + MetricsCarrier> SchedulerCore<O> {
             plan_cache: None,
             fused_pipelines: self.ctx.fusion.fused_count(),
             staged_pipelines: self.ctx.fusion.staged_count(),
+            spill_events: spill.spill_events,
+            spilled_bytes: spill.spilled_bytes,
+            respill_depth: spill.respill_depth,
         };
         self.release_resources();
         (self.result_blocks, metrics)
@@ -559,7 +568,7 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
             (WorkKind::Stream { .. }, Some(chain)) => chain.tail(),
             _ => wo.op,
         };
-        self.route_output(route, produced);
+        self.route_output(route, produced)?;
         self.check_completion(wo.op)
     }
 
@@ -591,9 +600,13 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
     /// Route blocks produced by `producer` along its transfer edge: straight
     /// to the result set (sink), parked at the producer (NLJ materialization
     /// bypass), or staged against the consumer edge's UoT threshold.
-    fn route_output(&mut self, producer: OpId, produced: Vec<StorageBlock>) {
+    ///
+    /// Fallible: staged slots may have been evicted to the spill tier, and
+    /// faulting them back in at transfer time can hit a disk error (or an
+    /// injected `SpillRead` fault).
+    fn route_output(&mut self, producer: OpId, produced: Vec<StorageBlock>) -> Result<()> {
         if produced.is_empty() {
-            return;
+            return Ok(());
         }
         self.observer.blocks_produced(
             producer,
@@ -601,10 +614,14 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
             produced.iter().map(|b| b.num_rows()).sum(),
         );
         let blocks: Vec<Arc<StorageBlock>> = produced.into_iter().map(Arc::new).collect();
-        match self.edges[producer].stage(blocks) {
-            TransferAction::Hold => {
-                // Only stream edges hold sub-threshold accumulations; report
-                // the new occupancy for UoT-occupancy timelines.
+        match self.edges[producer].stage(blocks, producer) {
+            TransferAction::Hold(fresh) => {
+                // Newly staged slots are cold until the edge flushes: offer
+                // them to the pool as eviction victims, then report the new
+                // occupancy for UoT-occupancy timelines.
+                for slot in &fresh {
+                    self.ctx.pool.register_victim(slot);
+                }
                 let edge = &self.edges[producer];
                 if let Some(consumer) = edge.consumer() {
                     self.observer.edge_staged(
@@ -616,8 +633,9 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
                 }
             }
             TransferAction::Emit(blocks) => self.result_blocks.extend(blocks),
-            TransferAction::Transfer(blocks) => {
+            TransferAction::Transfer(slots) => {
                 let consumer = self.edges[producer].consumer().expect("stream edge");
+                let blocks = self.resolve_slots(slots)?;
                 self.observer
                     .transfer_flushed(producer, consumer, &blocks, false);
                 self.transfer_in(consumer, blocks);
@@ -631,6 +649,32 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
                 self.ctx.runtimes[producer].collected.lock().extend(blocks);
             }
         }
+        Ok(())
+    }
+
+    /// Turn staged slots back into blocks, faulting spilled ones in. On
+    /// failure, every block already resolved and every slot not yet resolved
+    /// is released so teardown accounting stays exact.
+    fn resolve_slots(&self, slots: Vec<Arc<SpillSlot>>) -> Result<Vec<Arc<StorageBlock>>> {
+        let store = self.ctx.pool.spill_store();
+        let tracker = self.ctx.pool.tracker();
+        let mut blocks = Vec::with_capacity(slots.len());
+        let mut iter = slots.into_iter();
+        while let Some(slot) = iter.next() {
+            match slot.take(store.as_deref()) {
+                Ok(b) => blocks.push(b),
+                Err(e) => {
+                    for b in &blocks {
+                        tracker.free(b.allocated_bytes());
+                    }
+                    for rest in iter {
+                        rest.discard(tracker, store.as_deref());
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(blocks)
     }
 
     /// Deliver transferred blocks to `op`: collected for sorts, queued for
@@ -684,14 +728,18 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
         {
             return Ok(());
         }
+        let is_grace_probe = matches!(self.plan().op(op).kind, OperatorKind::Probe { .. })
+            && self.ctx.grace.contains_key(&op);
         let needs_finalize = matches!(
             self.plan().op(op).kind,
             OperatorKind::Aggregate { .. } | OperatorKind::Sort { .. }
-        );
+        ) || is_grace_probe;
         if needs_finalize && !self.states[op].finalize_dispatched {
             self.states[op].finalize_dispatched = true;
             self.states[op].outstanding += 1;
-            let kind = if matches!(self.plan().op(op).kind, OperatorKind::Sort { .. }) {
+            let kind = if is_grace_probe {
+                WorkKind::FinalizeJoin
+            } else if matches!(self.plan().op(op).kind, OperatorKind::Sort { .. }) {
                 WorkKind::FinalizeSort
             } else {
                 WorkKind::FinalizeAggregate
@@ -709,7 +757,7 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
         // Flush partially filled output blocks, route them, mark finished.
         if self.ctx.runtimes[op].output.is_some() {
             let flushed = self.ctx.output(op).flush();
-            self.route_output(op, flushed);
+            self.route_output(op, flushed)?;
         }
         // A finished build's hash table now has its final size: fold it into
         // the temporary-memory accounting so peak footprints include |H_i|
@@ -784,22 +832,24 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
         let staged = self.edges[producer].flush();
         if !staged.is_empty() {
             // The `transfer_flush` fault site fires here (only when a flush
-            // actually moves blocks). On injection the popped blocks are
+            // actually moves blocks). On injection the popped slots are
             // released before erroring so teardown accounting stays exact.
             if let Err(e) = self.transfer_fault(producer) {
-                for b in &staged {
-                    self.ctx.pool.tracker().free(b.allocated_bytes());
+                let store = self.ctx.pool.spill_store();
+                for slot in &staged {
+                    slot.discard(self.ctx.pool.tracker(), store.as_deref());
                 }
                 return Err(e);
             }
+            let blocks = self.resolve_slots(staged)?;
             // Observed *after* the fault site ran: the event carries the
             // block count/bytes that actually moved (a delayed flush still
             // transfers everything; an erroring one never reaches here), not
             // the pre-fault staging level.
             self.observer
-                .transfer_flushed(producer, consumer, &staged, true);
+                .transfer_flushed(producer, consumer, &blocks, true);
+            self.transfer_in(consumer, blocks);
         }
-        self.transfer_in(consumer, staged);
 
         // Stream edge: mark the consumer's producer done.
         if self.plan().topology().stream_parent(consumer) == Some(producer) {
@@ -812,6 +862,12 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
     /// containment boundary, so an injected `Panic` here degrades to an
     /// error rather than unwinding the whole driver. `producer` is the
     /// flushing operator, recorded as the fault's attribution in the trace.
+    ///
+    /// The error carries the same operator/query/occupancy attribution as a
+    /// budget trip on the operator allocation path (`requested: 0` is the
+    /// injected-fault convention — no real allocation was asked for), so
+    /// callers and diagnostics never need to special-case where a budget
+    /// failure surfaced.
     fn transfer_fault(&self, producer: OpId) -> Result<()> {
         match self.ctx.faults.check(FaultSite::TransferFlush) {
             None => Ok(()),
@@ -822,9 +878,20 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
                         kind,
                         op: producer,
                     });
-                Err(EngineError::Internal(
-                    "injected fault at transfer flush".into(),
-                ))
+                let tracker = self.ctx.pool.tracker();
+                let in_use = tracker.current_bytes();
+                let budget = self.ctx.pool.budget().unwrap_or(0);
+                let (global_in_use, global_budget) =
+                    tracker.parent_usage().unwrap_or((in_use, budget));
+                Err(EngineError::BudgetExceeded {
+                    op: self.plan().op(producer).name.clone(),
+                    query: self.ctx.query,
+                    requested: 0,
+                    in_use,
+                    budget,
+                    global_in_use,
+                    global_budget,
+                })
             }
             Some(kind @ FaultKind::Delay(d)) => {
                 self.ctx
@@ -865,15 +932,41 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
                 }
             }
         }
+        let store = self.ctx.pool.spill_store();
         for edge in &mut self.edges {
-            // Staged blocks are operator outputs — always charged.
-            for b in edge.flush() {
-                tracker.free(b.allocated_bytes());
+            // Staged slots hold operator outputs — always charged (resident)
+            // or spilled (a temp file to delete); discard handles both.
+            for slot in edge.flush() {
+                slot.discard(&tracker, store.as_deref());
             }
             // Idempotent: already 0 for edges drained by check_completion.
             let parked = edge.take_collected();
             if parked > 0 {
                 tracker.free(parked);
+            }
+        }
+        // Grace-join partitions that never reached (or only partially
+        // reached) the finalize step: open buffers are pool blocks, spilled
+        // runs are temp files. Each state is keyed twice (build + probe op);
+        // tear it down once, from the probe key.
+        for (key, grace) in &self.ctx.grace {
+            if *key != grace.probe_op {
+                continue;
+            }
+            for side in [&grace.build, &grace.probe] {
+                let mut side = side.lock();
+                for open in side.open.iter_mut() {
+                    if let Some(b) = open.take() {
+                        self.ctx.pool.discard(b);
+                    }
+                }
+                for part in side.spilled.iter_mut() {
+                    for h in part.drain(..) {
+                        if let Some(store) = &store {
+                            store.discard(h);
+                        }
+                    }
+                }
             }
         }
         for rt in &self.ctx.runtimes {

@@ -83,6 +83,13 @@ pub struct ServiceConfig {
     /// Default fused-pipeline policy (per-query override via
     /// [`ExecOptions::fusion`]).
     pub fusion: crate::fusion::FusionPolicy,
+    /// Default budget-degradation policy (per-query override via
+    /// [`ExecOptions::degrade`]).
+    /// [`DegradePolicy::Spill`](crate::engine::DegradePolicy::Spill) arms a
+    /// per-query disk spill tier against the query's own reservation, so a
+    /// query that outgrows it degrades to out-of-core execution instead of
+    /// failing with [`EngineError::BudgetExceeded`].
+    pub degrade: crate::engine::DegradePolicy,
     /// Optional per-operator concurrency cap (applies within each query).
     pub max_dop_per_op: Option<usize>,
     /// Shards per join hash table.
@@ -111,6 +118,7 @@ impl Default for ServiceConfig {
             temp_format: BlockFormat::Row,
             default_uot: Uot::LOW,
             fusion: crate::fusion::FusionPolicy::Auto,
+            degrade: crate::engine::DegradePolicy::Off,
             max_dop_per_op: None,
             hash_table_shards: 64,
             pool_reuse: true,
@@ -643,12 +651,33 @@ impl SchedulerLoop {
         // against the *global* budget first), and the per-query pool caps
         // this query at its own reservation.
         let tracker = MemoryTracker::with_parent(self.tracker.clone(), self.config.memory_budget);
-        let pool = BlockPool::with_budget(tracker, reservation);
+        let pool = BlockPool::with_budget(tracker.clone(), reservation);
         pool.set_reuse_enabled(self.config.pool_reuse);
         let plan = Arc::new(plan);
         let schema = plan.result_schema().clone();
         let sink = (self.config.trace || opts.trace)
             .then(|| TraceSink::for_query(self.config.trace_capacity, id));
+        // Spill mode gives this query a private disk tier charged against its
+        // own tracker: evicted bytes come off the reservation (and thus the
+        // global budget), so only resident bytes count toward admission.
+        let degrade = opts.degrade.unwrap_or(self.config.degrade);
+        let spill_enabled = degrade == crate::engine::DegradePolicy::Spill;
+        if spill_enabled {
+            match uot_storage::SpillStore::new(None, tracker.clone()) {
+                Ok(store) => {
+                    store.set_observer(crate::spill::EngineSpillHook::new(
+                        opts.faults.clone(),
+                        sink.clone(),
+                        tracker.clone(),
+                    ));
+                    pool.enable_spill(store);
+                }
+                Err(e) => {
+                    let _ = reply.send(Err(e.into()));
+                    return;
+                }
+            }
+        }
         let ctx = match ExecContext::new(
             plan,
             pool,
@@ -669,10 +698,21 @@ impl SchedulerLoop {
         if let Some(sink) = &sink {
             ctx = ctx.with_trace(sink.clone());
         }
+        if spill_enabled {
+            ctx.plan_grace(reservation);
+        }
         let uot = opts.uot.unwrap_or(self.config.default_uot).normalized();
+        // Fused chains hold their intermediate state in registers and stack —
+        // nothing the pool can evict — so spill mode pins every edge to the
+        // staged path.
+        let fusion_policy = if spill_enabled {
+            crate::fusion::FusionPolicy::Never
+        } else {
+            opts.fusion.unwrap_or(self.config.fusion)
+        };
         let fusion_state = crate::fusion::plan_fusion(
             &ctx.plan,
-            opts.fusion.unwrap_or(self.config.fusion),
+            fusion_policy,
             self.config.workers,
             self.config.block_bytes,
             uot,
@@ -990,6 +1030,58 @@ mod tests {
         }
         assert_eq!(sibling.wait().unwrap().rows()[0][0], Value::I64(20));
         assert_eq!(svc.memory_in_use(), 0);
+    }
+
+    /// A filter whose Table-UoT staging dwarfs a small reservation, feeding
+    /// an aggregate (the spill-friendly consumer: streaming work orders hold
+    /// no output blocks, so the flushed transfer drains as it is consumed).
+    fn select_agg_plan(rows: i32) -> QueryPlan {
+        let fact = table("fact", rows);
+        let mut pb = PlanBuilder::new();
+        let s = pb
+            .filter(Source::Table(fact), cmp(col(0), CmpOp::Lt, lit(100i32)))
+            .unwrap();
+        let a = pb
+            .aggregate(Source::Op(s), vec![], vec![AggSpec::count_star()], &["n"])
+            .unwrap();
+        pb.build(a).unwrap()
+    }
+
+    #[test]
+    fn spill_lets_an_overcommitted_query_complete() {
+        // A 600-byte reservation the Table-UoT staging must overflow — the
+        // same wall per_query_budget_fails_only_the_offender hits — but with
+        // DegradePolicy::Spill the staged blocks evict to this query's disk
+        // tier and the query completes, while an unrelated sibling runs
+        // untouched on its own reservation.
+        let svc = QueryService::start(ServiceConfig {
+            workers: 2,
+            memory_budget: 64 << 20,
+            default_reservation: 8 << 20,
+            default_uot: Uot::Table,
+            block_bytes: 96,
+            fusion: crate::fusion::FusionPolicy::Never,
+            ..Default::default()
+        })
+        .unwrap();
+        let spilled = svc
+            .submit_with(
+                select_agg_plan(2000),
+                ExecOptions::default()
+                    .with_reservation(600)
+                    .with_degrade(crate::engine::DegradePolicy::Spill),
+            )
+            .unwrap();
+        let sibling = svc.submit(join_agg_plan(200)).unwrap();
+        let r = spilled.wait().unwrap();
+        assert_eq!(r.rows()[0][0], Value::I64(100));
+        assert!(
+            r.metrics.spill_events > 0,
+            "a 600-byte reservation under Table UoT must evict staged blocks"
+        );
+        assert_eq!(sibling.wait().unwrap().rows()[0][0], Value::I64(20));
+        assert_eq!(svc.memory_in_use(), 0, "resident bytes must drain");
+        svc.shutdown();
     }
 
     #[test]

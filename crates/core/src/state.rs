@@ -21,9 +21,65 @@ use std::sync::Arc;
 use std::time::Instant;
 use uot_expr::AggState;
 use uot_storage::{
-    hash_key::FxBuildHasher, BlockFormat, BlockPool, HashKey, KeyBatch, KeyExtractor, StorageBlock,
-    Value,
+    hash_key::FxBuildHasher, BlockFormat, BlockPool, HashKey, KeyBatch, KeyExtractor,
+    SpilledHandle, StorageBlock, Value,
 };
+
+/// One side (build or probe) of a grace hash join, partitioned by hash radix.
+///
+/// Each partition has at most one *open* block accumulating rows in memory;
+/// full blocks are spilled to disk immediately, so the resident footprint of
+/// a grace side is bounded by `nparts × block_bytes` regardless of input
+/// size.
+#[derive(Debug, Default)]
+pub struct GraceSide {
+    /// Per-partition open (partially filled) block, if any.
+    pub open: Vec<Option<StorageBlock>>,
+    /// Per-partition spilled full blocks.
+    pub spilled: Vec<Vec<SpilledHandle>>,
+}
+
+impl GraceSide {
+    /// Empty side with `nparts` partitions.
+    pub fn with_parts(nparts: usize) -> Self {
+        GraceSide {
+            open: (0..nparts).map(|_| None).collect(),
+            spilled: (0..nparts).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+/// Shared state of one grace (partitioned, out-of-core) hash join.
+///
+/// Present in [`ExecContext::grace`] — keyed by **both** the build and the
+/// probe operator id — when [`ExecContext::plan_grace`] decided the build
+/// side will not fit the memory budget. The build and probe operators then
+/// partition their inputs into [`GraceSide`]s instead of building/probing a
+/// monolithic hash table, and a `FinalizeJoin` work order joins the
+/// partitions one at a time.
+#[derive(Debug)]
+pub struct GraceJoinState {
+    /// The `BuildHash` operator feeding this join.
+    pub build_op: usize,
+    /// The `Probe` operator.
+    pub probe_op: usize,
+    /// Partition count (power of two).
+    pub nparts: usize,
+    /// Partitioned build input.
+    pub build: Mutex<GraceSide>,
+    /// Partitioned probe input.
+    pub probe: Mutex<GraceSide>,
+}
+
+impl GraceJoinState {
+    /// Partition index for a 64-bit key hash. Uses bits 32.. so it stays
+    /// disjoint from both the hash table's shard bits (top 16) and its
+    /// in-shard slot bits (bottom), making sub-partitioning on deeper bits
+    /// meaningful during recursive respill.
+    pub fn partition_of(&self, hash: u64) -> usize {
+        (hash >> 32) as usize & (self.nparts - 1)
+    }
+}
 
 /// One group's accumulated state in a hash aggregation.
 #[derive(Debug, Clone)]
@@ -101,6 +157,12 @@ pub struct ExecContext {
     /// Format of temporary blocks (the paper: row store regardless of base
     /// table format; configurable here).
     pub temp_format: BlockFormat,
+    /// Capacity of temporary blocks in bytes (grace-join partition buffers
+    /// check out blocks of this size).
+    pub block_bytes: usize,
+    /// Shard count for join hash tables (grace partitions build their
+    /// per-partition tables with the same setting).
+    pub hash_table_shards: usize,
     /// Per-operator key extractor, compiled once at context build: build
     /// keys, probe keys, or group-by keys depending on the operator kind.
     extractors: Vec<Option<KeyExtractor>>,
@@ -123,6 +185,10 @@ pub struct ExecContext {
     /// The default (empty) state fuses nothing — every direct-context test
     /// and staged run keeps the historical path.
     pub fusion: crate::fusion::FusionState,
+    /// Grace hash-join state, keyed by both the build and the probe operator
+    /// id. Empty unless [`plan_grace`](Self::plan_grace) decided some build
+    /// side exceeds the memory budget.
+    pub grace: HashMap<usize, Arc<GraceJoinState>>,
     /// Query start, for the `after` field of cancellation errors.
     started: Instant,
 }
@@ -230,6 +296,8 @@ impl ExecContext {
             pool,
             runtimes,
             temp_format,
+            block_bytes,
+            hash_table_shards,
             extractors,
             lip_groups,
             scratch: Mutex::new(Vec::new()),
@@ -238,8 +306,54 @@ impl ExecContext {
             trace: None,
             query: crate::query_id::QueryId::SOLO,
             fusion: crate::fusion::FusionState::default(),
+            grace: HashMap::new(),
             started: Instant::now(),
         })
+    }
+
+    /// Decide which hash joins must run as grace (partitioned, out-of-core)
+    /// joins under `budget` bytes of memory. Called once before execution
+    /// when the spill tier is enabled.
+    ///
+    /// The build-side size estimate walks the build's stream source down to
+    /// its base table and assumes every row survives with 2× expansion for
+    /// hash-table overhead — deliberately pessimistic, since choosing grace
+    /// for a join that would have fit costs one extra disk round-trip while
+    /// the opposite choice aborts the query. A join goes grace when its
+    /// estimate exceeds half the budget; the partition count doubles until a
+    /// single partition's share fits a quarter of the budget (capped at 64).
+    pub fn plan_grace(&mut self, budget: usize) {
+        for (id, op) in self.plan.ops().iter().enumerate() {
+            let OperatorKind::Probe { build, .. } = &op.kind else {
+                continue;
+            };
+            let build_op = *build;
+            let mut src = self.plan.op(build_op).kind.stream_source();
+            let base_rows = loop {
+                match src {
+                    Source::Table(t) => break t.num_rows(),
+                    Source::Op(s) => src = self.plan.op(*s).kind.stream_source(),
+                }
+            };
+            let width = self.plan.input_schema(build_op).tuple_width().max(8);
+            let est = base_rows * width * 2;
+            if est <= budget / 2 {
+                continue;
+            }
+            let mut nparts = 2usize;
+            while est / nparts > budget / 4 && nparts < 64 {
+                nparts *= 2;
+            }
+            let state = Arc::new(GraceJoinState {
+                build_op,
+                probe_op: id,
+                nparts,
+                build: Mutex::new(GraceSide::with_parts(nparts)),
+                probe: Mutex::new(GraceSide::with_parts(nparts)),
+            });
+            self.grace.insert(build_op, state.clone());
+            self.grace.insert(id, state);
+        }
     }
 
     /// Attribute this context to `query` (builder-style; the service sets

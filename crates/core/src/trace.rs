@@ -154,6 +154,25 @@ pub enum TraceEventKind {
         /// Summed wall time inside the fused loop, microseconds.
         elapsed_us: u64,
     },
+    /// A block was evicted from the RAM tier to the disk spill tier.
+    SpillOut {
+        /// Operator the spilled block belongs to (the staging producer for
+        /// edge blocks, the build/probe operator for grace partitions).
+        op: OpId,
+        /// Tracked bytes released to the disk tier.
+        bytes: usize,
+        /// Tracker bytes in use after the eviction.
+        in_use: usize,
+    },
+    /// A spilled block was faulted back in from the disk tier.
+    SpillIn {
+        /// Operator the restored block belongs to.
+        op: OpId,
+        /// Tracked bytes re-charged by the fault-in.
+        bytes: usize,
+        /// Tracker bytes in use after the fault-in.
+        in_use: usize,
+    },
     /// A deterministic fault fired at an injection site.
     FaultInjected {
         /// The site that fired.
@@ -178,6 +197,8 @@ impl TraceEventKind {
             | TraceEventKind::BlocksProduced { op, .. }
             | TraceEventKind::OperatorFinished { op }
             | TraceEventKind::PoolAlloc { op, .. }
+            | TraceEventKind::SpillOut { op, .. }
+            | TraceEventKind::SpillIn { op, .. }
             | TraceEventKind::FaultInjected { op, .. } => Some(op),
             TraceEventKind::PipelineFused { head, .. } => Some(head),
             TraceEventKind::EdgeStaged { producer, .. }
@@ -202,6 +223,8 @@ impl TraceEventKind {
             TraceEventKind::PoolFree { .. } => "pool_free",
             TraceEventKind::Degraded { .. } => "degrade",
             TraceEventKind::PipelineFused { .. } => "fused",
+            TraceEventKind::SpillOut { .. } => "spill_out",
+            TraceEventKind::SpillIn { .. } => "spill_in",
             TraceEventKind::FaultInjected { .. } => "fault",
         }
     }
@@ -468,6 +491,20 @@ mod tests {
         };
         assert_eq!(fused.op(), Some(1));
         assert_eq!(fused.label(), "fused");
+        let out = TraceEventKind::SpillOut {
+            op: 2,
+            bytes: 4096,
+            in_use: 1024,
+        };
+        assert_eq!(out.op(), Some(2));
+        assert_eq!(out.label(), "spill_out");
+        let back = TraceEventKind::SpillIn {
+            op: 2,
+            bytes: 4096,
+            in_use: 5120,
+        };
+        assert_eq!(back.op(), Some(2));
+        assert_eq!(back.label(), "spill_in");
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub enum WorkKind {
     FinalizeAggregate,
     /// Sort all collected input and emit the result blocks.
     FinalizeSort,
+    /// Grace hash join: process the spilled build/probe partitions one at a
+    /// time and emit the joined result blocks.
+    FinalizeJoin,
 }
 
 /// One schedulable unit of work.
@@ -56,6 +59,7 @@ impl WorkOrder {
             }
             WorkKind::FinalizeAggregate => format!("{q}op{} finalize-agg", self.op),
             WorkKind::FinalizeSort => format!("{q}op{} finalize-sort", self.op),
+            WorkKind::FinalizeJoin => format!("{q}op{} finalize-join", self.op),
         }
     }
 }

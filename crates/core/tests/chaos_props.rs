@@ -206,6 +206,99 @@ proptest! {
         );
     }
 
+    /// Spill-tier chaos: with the disk tier armed under a tight budget,
+    /// injected `SpillWrite`/`SpillRead` faults (the serializer failing, a
+    /// spilled block failing to fault back in) surface as clean errors of
+    /// the expected shapes — never a hang, an abort, a leaked tracker byte
+    /// or an orphaned temp file. Grace-join partitioning is exercised too:
+    /// `plan_grace` arms for dim sides whose estimate crosses the budget.
+    #[test]
+    fn spill_fault_schedules_never_hang_or_leak(
+        fact in arb_table("spillchaos_fact", 40),
+        dim in arb_table("spillchaos_dim", 15),
+        write_site in any::<bool>(),
+        kind_ix in 0usize..3,
+        nth in 1usize..12,
+        budget in prop_oneof![Just(600usize), Just(1200), Just(4096)],
+        parallel in any::<bool>(),
+    ) {
+        quiet_injected_panics();
+        let site = if write_site { FaultSite::SpillWrite } else { FaultSite::SpillRead };
+        let kind = match kind_ix {
+            0 => FaultKind::Panic,
+            1 => FaultKind::Error,
+            _ => FaultKind::Delay(Duration::from_millis(1)),
+        };
+        let nth = 1 + (nth - 1 + chaos_seed()) % 16;
+        let faults = Arc::new(FaultPlan::new(vec![Injection { site, kind, nth }]));
+
+        let tracker = MemoryTracker::new();
+        let pool = BlockPool::with_budget(tracker.clone(), budget);
+        let store = uot_storage::SpillStore::new(None, tracker.clone()).unwrap();
+        store.set_observer(uot_core::spill::EngineSpillHook::new(
+            Some(faults.clone()),
+            None,
+            tracker.clone(),
+        ));
+        pool.enable_spill(store.clone());
+        // Table UoT + one hash-table shard: staging must outgrow the budget
+        // (forcing evictions) without the per-shard fixed overhead eating it.
+        let mut ctx = ExecContext::new(
+            Arc::new(join_agg_plan(fact, dim, Uot::Table)),
+            pool,
+            BlockFormat::Row,
+            96,
+            1,
+        )
+        .unwrap()
+        .with_faults(faults);
+        ctx.plan_grace(budget);
+        let ctx = Arc::new(ctx);
+        let config = SchedulerConfig {
+            mode: if parallel {
+                ExecMode::Parallel { workers: 2 }
+            } else {
+                ExecMode::Serial
+            },
+            default_uot: Uot::Table,
+            ..Default::default()
+        };
+
+        let outcome = run_with_watchdog(move || {
+            let observer = MetricsObserver::new(&ctx.plan);
+            match run_query(ctx, config, observer) {
+                Ok((blocks, _metrics)) => Ok(blocks.len()),
+                Err(failed) => Err(failed.error),
+            }
+        });
+
+        // A tight budget can legitimately fail the query even without the
+        // injection firing, so (unlike the exec-site test) a Delay schedule
+        // is not guaranteed Ok — only the error *shapes* are constrained.
+        match &outcome {
+            Ok(_) => {}
+            Err(EngineError::WorkOrderPanic { payload, .. }) => {
+                prop_assert!(payload.contains("injected"), "{}", payload);
+            }
+            Err(EngineError::BudgetExceeded { .. })
+            | Err(EngineError::Storage(_))
+            | Err(EngineError::Internal(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error shape: {}", other),
+        }
+        prop_assert_eq!(
+            tracker.current_bytes(),
+            0,
+            "leak after {:?}/{:?} nth={} budget={} parallel={}",
+            site, kind, nth, budget, parallel
+        );
+        prop_assert_eq!(
+            store.live_files(),
+            0,
+            "orphaned spill files after {:?}/{:?} nth={} budget={}",
+            site, kind, nth, budget
+        );
+    }
+
     /// Invariant 3: an installed-but-empty fault plan changes nothing — same
     /// result blocks, bit-identical rows in the same order (serial driver).
     #[test]

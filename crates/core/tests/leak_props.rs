@@ -6,13 +6,42 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
+use std::time::Duration;
 use uot_core::scheduler::{run, ExecMode};
 use uot_core::state::ExecContext;
-use uot_core::{JoinType, PlanBuilder, QueryPlan, SchedulerConfig, SortKey, Source, Uot};
+use uot_core::{
+    CancellationToken, FaultKind, FaultPlan, FaultSite, Injection, JoinType, PlanBuilder,
+    QueryPlan, SchedulerConfig, SortKey, Source, Uot,
+};
 use uot_expr::{cmp, col, lit, AggSpec, CmpOp, Predicate};
 use uot_storage::{
-    BlockFormat, BlockPool, DataType, MemoryTracker, Schema, Table, TableBuilder, Value,
+    BlockFormat, BlockPool, DataType, MemoryTracker, Schema, SpillStore, Table, TableBuilder, Value,
 };
+
+/// Silence the default panic hook for *injected* panics only (they are
+/// expected and contained); anything else still prints normally.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("injected"))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains("injected"))
+                })
+                .unwrap_or(false);
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
 
 fn arb_table(name: &'static str, max_rows: usize) -> impl Strategy<Value = Arc<Table>> {
     (
@@ -136,6 +165,100 @@ proptest! {
             0,
             "shape={} uot={} fmt={:?} bytes={} parallel={}",
             shape, uot, fmt, block_bytes, parallel
+        );
+    }
+
+    /// Spill-tier teardown: with the disk tier armed under a tight budget,
+    /// every exit path — success, cancellation, deadline, a contained panic,
+    /// an injected spill-write or spill-read failure — leaves the tracker at
+    /// zero, no live spill files, and the temp directory itself deleted.
+    #[test]
+    fn spill_teardown_deletes_temp_files_and_drains_tracker(
+        fact in arb_table("spill_leak_fact", 50),
+        dim in arb_table("spill_leak_dim", 15),
+        exit in 0usize..6,
+        budget in prop_oneof![Just(600usize), Just(1200), Just(4096)],
+        nth in 1usize..10,
+        parallel in any::<bool>(),
+    ) {
+        quiet_injected_panics();
+        let faults = match exit {
+            3 => FaultPlan::new(vec![Injection {
+                site: FaultSite::WorkOrderExec,
+                kind: FaultKind::Panic,
+                nth,
+            }]),
+            4 => FaultPlan::new(vec![Injection {
+                site: FaultSite::SpillWrite,
+                kind: FaultKind::Error,
+                nth,
+            }]),
+            5 => FaultPlan::new(vec![Injection {
+                site: FaultSite::SpillRead,
+                kind: FaultKind::Error,
+                nth,
+            }]),
+            _ => FaultPlan::empty(),
+        };
+        let faults = Arc::new(faults);
+
+        let tracker = MemoryTracker::new();
+        let pool = BlockPool::with_budget(tracker.clone(), budget);
+        let store = SpillStore::new(None, tracker.clone()).unwrap();
+        store.set_observer(uot_core::spill::EngineSpillHook::new(
+            Some(faults.clone()),
+            None,
+            tracker.clone(),
+        ));
+        pool.enable_spill(store.clone());
+        let spill_dir = store.dir().to_path_buf();
+
+        let plan = plan_of(0, fact, dim).with_uniform_uot(Uot::Table);
+        let mut ctx = ExecContext::new(Arc::new(plan), pool, BlockFormat::Row, 96, 1)
+            .unwrap()
+            .with_faults(faults);
+        ctx.plan_grace(budget);
+        let token = CancellationToken::new();
+        if exit == 1 {
+            token.cancel();
+        }
+        let ctx = Arc::new(ctx.with_cancellation(token));
+        let config = SchedulerConfig {
+            mode: if parallel {
+                ExecMode::Parallel { workers: 2 }
+            } else {
+                ExecMode::Serial
+            },
+            default_uot: Uot::Table,
+            deadline: (exit == 2).then_some(Duration::ZERO),
+            ..Default::default()
+        };
+
+        // Any outcome is legal (a tight budget may fail even the no-fault
+        // paths); the invariants under test are purely about teardown.
+        let outcome = run(ctx, config);
+        let blocks = outcome.ok().map(|(blocks, _)| blocks);
+        drop(blocks);
+
+        prop_assert_eq!(
+            tracker.current_bytes(),
+            0,
+            "tracker leak: exit={} budget={} nth={} parallel={}",
+            exit, budget, nth, parallel
+        );
+        prop_assert_eq!(
+            store.live_files(),
+            0,
+            "orphaned spill files: exit={} budget={} nth={}",
+            exit, budget, nth
+        );
+        // The scheduler and context are gone; ours is the last store handle,
+        // and dropping it must remove the temp directory from disk.
+        drop(store);
+        prop_assert!(
+            !spill_dir.exists(),
+            "spill dir survived teardown: exit={} {:?}",
+            exit, spill_dir
         );
     }
 }

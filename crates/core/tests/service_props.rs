@@ -13,8 +13,8 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 use uot_core::{
-    EngineError, ExecOptions, FaultKind, FaultPlan, FaultSite, Injection, JoinType, PlanBuilder,
-    QueryPlan, QueryService, ServiceConfig, Source, Uot,
+    EngineError, ExecOptions, FaultKind, FaultPlan, FaultSite, FusionPolicy, Injection, JoinType,
+    PlanBuilder, QueryPlan, QueryService, ServiceConfig, Source, Uot,
 };
 use uot_expr::{cmp, col, lit, AggSpec, CmpOp};
 use uot_storage::{BlockFormat, DataType, Schema, Table, TableBuilder, Value};
@@ -129,6 +129,68 @@ fn service() -> QueryService {
         ..Default::default()
     })
     .expect("service starts")
+}
+
+/// A fixed (non-proptest) table for the deterministic regression tests.
+fn fixed_table(name: &'static str, n: i32) -> Arc<Table> {
+    let schema = Schema::from_pairs(&[("k", DataType::Int32), ("v", DataType::Int64)]);
+    let mut tb = TableBuilder::new(
+        name,
+        schema.clone(),
+        BlockFormat::Column,
+        schema.tuple_width() * 4,
+    );
+    for i in 0..n {
+        tb.append(&[Value::I32(i % 25), Value::I64(i as i64)])
+            .unwrap();
+    }
+    Arc::new(tb.finish())
+}
+
+/// Regression: a budget error surfacing from the *transfer-flush* path (the
+/// scheduler flushing a staged edge) must carry the same operator, query and
+/// occupancy attribution as one raised on the operator allocation path, so
+/// diagnostics never need to care where the failure surfaced.
+#[test]
+fn transfer_flush_budget_error_carries_full_attribution() {
+    let fact = fixed_table("tf_fact", 60);
+    let dim = fixed_table("tf_dim", 10);
+    let svc = service();
+    let faults = Arc::new(FaultPlan::new(vec![Injection {
+        site: FaultSite::TransferFlush,
+        kind: FaultKind::Error,
+        nth: 1,
+    }]));
+    let handle = svc
+        .submit_with(
+            join_agg_plan(&fact, &dim),
+            ExecOptions::default()
+                .with_uot(Uot::Table)
+                // Fusion off: a fused select->probe chain bypasses the
+                // staged edge, and the flush site would never fire.
+                .with_fusion(FusionPolicy::Never)
+                .with_faults(faults),
+        )
+        .unwrap();
+    let id = handle.id();
+    match handle.wait().unwrap_err() {
+        EngineError::BudgetExceeded {
+            op,
+            query,
+            requested,
+            budget,
+            global_budget,
+            ..
+        } => {
+            assert!(!op.is_empty(), "flush failure must name the flushing op");
+            assert_eq!(query, id, "flush failure must name the query");
+            assert_eq!(requested, 0, "injected-fault convention");
+            assert_eq!(budget, 4 << 20, "per-query reservation");
+            assert_eq!(global_budget, 64 << 20, "service-wide budget");
+        }
+        other => panic!("expected BudgetExceeded from transfer flush, got {other}"),
+    }
+    assert_eq!(svc.memory_in_use(), 0, "failed flush must not leak");
 }
 
 proptest! {

@@ -61,6 +61,13 @@ pub enum StorageError {
         /// The process-wide budget (equals `budget` for a standalone pool).
         global_budget: usize,
     },
+    /// An I/O failure in the disk spill tier (writing an evicted block or
+    /// faulting one back in). Carries the rendered cause instead of the
+    /// `std::io::Error` so the error type stays `Clone`/`Eq`.
+    SpillIo {
+        /// What failed, with the path and OS error rendered in.
+        detail: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -107,6 +114,7 @@ impl fmt::Display for StorageError {
                 }
                 Ok(())
             }
+            StorageError::SpillIo { detail } => write!(f, "spill I/O failure: {detail}"),
         }
     }
 }
@@ -158,6 +166,12 @@ mod tests {
         assert!(e.to_string().contains("global"));
         assert!(e.to_string().contains("120000"));
         assert!(e.to_string().contains("131072"));
+
+        let e = StorageError::SpillIo {
+            detail: "writing /tmp/x/3.blk: disk full".into(),
+        };
+        assert!(e.to_string().contains("spill I/O failure"));
+        assert!(e.to_string().contains("disk full"));
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod key_batch;
 pub mod pool;
 pub mod row_block;
 pub mod schema;
+pub mod spill;
 pub mod table;
 pub mod types;
 pub mod value;
@@ -44,6 +45,7 @@ pub use key_batch::{KeyBatch, KeyExtractor};
 pub use pool::{BlockPool, MemoryTracker, PoolStats};
 pub use row_block::RowBlock;
 pub use schema::{Column, Schema};
+pub use spill::{SpillIo, SpillObserver, SpillSlot, SpillStats, SpillStore, SpilledHandle};
 pub use table::{Table, TableBuilder};
 pub use types::{date_from_ymd, date_to_ymd, format_date, DataType};
 pub use value::Value;

@@ -12,9 +12,10 @@
 
 use crate::block::{BlockFormat, StorageBlock};
 use crate::schema::Schema;
+use crate::spill::{SpillSlot, SpillStore};
 use crate::Result;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -159,6 +160,12 @@ pub struct BlockPool {
     reused: AtomicUsize,
     returned: AtomicUsize,
     discarded: AtomicUsize,
+    /// Optional disk tier. With a store installed, a checkout that would
+    /// exceed the budget evicts cold registered victims instead of failing.
+    spill: Mutex<Option<Arc<SpillStore>>>,
+    /// Eviction candidates, coldest first (registration order). Slots that
+    /// were meanwhile taken or spilled are skipped and dropped lazily.
+    victims: Mutex<VecDeque<Arc<SpillSlot>>>,
 }
 
 // PoolKey's manual Debug via the map would be noisy; keep the derive happy.
@@ -189,7 +196,52 @@ impl BlockPool {
             reused: AtomicUsize::new(0),
             returned: AtomicUsize::new(0),
             discarded: AtomicUsize::new(0),
+            spill: Mutex::new(None),
+            victims: Mutex::new(VecDeque::new()),
         })
+    }
+
+    /// Install the disk tier: checkouts past the budget now evict cold
+    /// registered victims ([`BlockPool::register_victim`]) and retry before
+    /// surfacing [`StorageError::BudgetExceeded`](crate::StorageError::BudgetExceeded).
+    pub fn enable_spill(&self, store: Arc<SpillStore>) {
+        *self.spill.lock() = Some(store);
+    }
+
+    /// The installed disk tier, if any.
+    pub fn spill_store(&self) -> Option<Arc<SpillStore>> {
+        self.spill.lock().clone()
+    }
+
+    /// Offer a staged block as an eviction candidate. No-op without a spill
+    /// tier. Registration order is the eviction order (coldest first).
+    pub fn register_victim(&self, slot: &Arc<SpillSlot>) {
+        if self.spill.lock().is_some() {
+            self.victims.lock().push_back(slot.clone());
+        }
+    }
+
+    /// Release RAM by draining idle free-list blocks, then evicting the
+    /// coldest spillable victim. Returns the bytes released (`0` = nothing
+    /// left to reclaim). Errors only on a spill-I/O failure.
+    fn reclaim_some(&self, store: &SpillStore) -> Result<usize> {
+        let freed = self.drain_free_lists();
+        if freed > 0 {
+            return Ok(freed);
+        }
+        loop {
+            let slot = match self.victims.lock().pop_front() {
+                Some(s) => s,
+                None => return Ok(0),
+            };
+            let freed = slot.try_evict(store)?;
+            if freed > 0 {
+                // Still staged, now on disk: keep it known so teardown paths
+                // that walk the scheduler's edges find it there.
+                return Ok(freed);
+            }
+            // Taken or already spilled: drop it and keep looking.
+        }
     }
 
     /// Change the allocation budget (`None` = unlimited). Takes effect for
@@ -239,7 +291,15 @@ impl BlockPool {
         let b = StorageBlock::new(schema.clone(), format, capacity_bytes)?;
         let bytes = b.allocated_bytes();
         let budget = self.budget.load(Ordering::Relaxed);
-        if !self.tracker.try_alloc(bytes, budget) {
+        while !self.tracker.try_alloc(bytes, budget) {
+            // Second tier: push cold staged blocks out to disk and retry.
+            // Each round either releases bytes or proves nothing is left to
+            // reclaim, so the loop terminates.
+            if let Some(store) = self.spill_store() {
+                if self.reclaim_some(&store)? > 0 {
+                    continue;
+                }
+            }
             // `b` was never charged; dropping it here leaves accounting
             // untouched, so a failed checkout is side-effect free.
             let in_use = self.tracker.current_bytes();
@@ -284,15 +344,20 @@ impl BlockPool {
         drop(block);
     }
 
-    /// Release every pooled free block (e.g. at the end of a query).
-    pub fn drain_free_lists(&self) {
+    /// Release every pooled free block (e.g. at the end of a query, or as
+    /// the cheapest reclaim step under memory pressure). Returns the bytes
+    /// released.
+    pub fn drain_free_lists(&self) -> usize {
         let mut free = self.free.lock();
+        let mut freed = 0;
         for (_, list) in free.drain() {
             for b in list {
                 self.discarded.fetch_add(1, Ordering::Relaxed);
+                freed += b.allocated_bytes();
                 self.tracker.free(b.allocated_bytes());
             }
         }
+        freed
     }
 
     /// Snapshot of the pool counters.
@@ -579,6 +644,62 @@ mod tests {
             other => panic!("expected BudgetExceeded, got {other:?}"),
         }
         global.free(6000);
+    }
+
+    #[test]
+    fn checkout_under_pressure_drains_free_lists_first() {
+        let t = MemoryTracker::new();
+        let p = BlockPool::with_budget(t.clone(), 4096);
+        let store = crate::spill::SpillStore::new(None, t.clone()).unwrap();
+        p.enable_spill(store);
+        // Fill the budget with idle returned blocks...
+        let blocks: Vec<_> = (0..2)
+            .map(|_| p.checkout(&schema(), BlockFormat::Row, 2048).unwrap())
+            .collect();
+        for b in blocks {
+            p.give_back(b);
+        }
+        assert_eq!(t.current_bytes(), 4096);
+        // ...then a differently-shaped checkout must succeed by reclaiming
+        // them instead of failing.
+        let b = p.checkout(&schema(), BlockFormat::Column, 4096).unwrap();
+        assert!(t.current_bytes() <= 4096);
+        p.discard(b);
+        assert_eq!(t.current_bytes(), 0);
+    }
+
+    #[test]
+    fn checkout_under_pressure_evicts_registered_victims() {
+        let t = MemoryTracker::new();
+        let p = BlockPool::with_budget(t.clone(), 4096);
+        let store = crate::spill::SpillStore::new(None, t.clone()).unwrap();
+        p.enable_spill(store.clone());
+        p.set_reuse_enabled(false); // keep the free lists out of the picture
+        let staged = Arc::new(p.checkout(&schema(), BlockFormat::Row, 2048).unwrap());
+        let slot = crate::spill::SpillSlot::new(staged, 5);
+        p.register_victim(&slot);
+        // A full-budget checkout forces the staged block out to disk.
+        let b = p.checkout(&schema(), BlockFormat::Row, 4096).unwrap();
+        assert!(slot.is_spilled());
+        assert_eq!(store.stats().spill_events, 1);
+        assert_eq!(t.current_bytes(), b.allocated_bytes());
+        // The staged data is intact behind the slot.
+        let back = slot.take(Some(&store)).unwrap();
+        assert_eq!(back.num_rows(), 0);
+        t.free(back.allocated_bytes());
+        p.discard(b);
+        assert_eq!(t.current_bytes(), 0);
+    }
+
+    #[test]
+    fn without_spill_tier_pressure_still_fails_cleanly() {
+        let t = MemoryTracker::new();
+        let p = BlockPool::with_budget(t.clone(), 1024);
+        assert!(matches!(
+            p.checkout(&schema(), BlockFormat::Row, 2048),
+            Err(crate::StorageError::BudgetExceeded { .. })
+        ));
+        assert_eq!(t.current_bytes(), 0);
     }
 
     #[test]

@@ -1,0 +1,705 @@
+//! The disk-backed second tier of the block pool.
+//!
+//! A [`SpillStore`] turns a terminal `BudgetExceeded` into graceful
+//! degradation: when the RAM tier is full, cold blocks are serialized to
+//! per-query temp files (fixed-width row encoding, the same layout a
+//! [`RowBlock`](crate::RowBlock) tuple uses) and their bytes are released
+//! from the [`MemoryTracker`]; a later read faults the block back in and
+//! re-charges exactly the bytes it releases on consumption, so the "tracker
+//! drains to zero" teardown invariant is unchanged.
+//!
+//! Two kinds of state live in the second tier:
+//!
+//! * **Eviction victims** — staged transfer-edge blocks wrapped in a
+//!   [`SpillSlot`]. The pool evicts the coldest registered slot when an
+//!   allocation would exceed the budget ([`BlockPool::checkout`]
+//!   (crate::BlockPool::checkout) retries after each eviction).
+//! * **Grace-join partitions** — the engine spills build/probe partition
+//!   blocks eagerly through [`SpillStore::spill_block`] and restores them
+//!   one partition at a time.
+//!
+//! The store owns a unique directory under the OS temp dir (or a caller
+//! override); dropping the store removes the directory, so no teardown path
+//! can leak temp files. All I/O is observable through a [`SpillObserver`] —
+//! the engine installs an adapter that injects deterministic faults
+//! (chaos tests) and records `SpillOut`/`SpillIn` trace events.
+
+use crate::block::{BlockFormat, StorageBlock};
+use crate::error::StorageError;
+use crate::pool::MemoryTracker;
+use crate::schema::Schema;
+use crate::types::DataType;
+use crate::Result;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Which direction a spill I/O goes — fault-injection sites key off this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillIo {
+    /// Serializing a block out to a temp file.
+    Write,
+    /// Faulting a spilled block back in.
+    Read,
+}
+
+/// Observation and fault-injection hook for spill I/O.
+///
+/// `before_io` runs before each write/read; returning `Err(detail)` aborts
+/// the I/O with [`StorageError::SpillIo`] (the engine's chaos harness uses
+/// this for deterministic I/O failures). `spilled`/`restored` fire after a
+/// successful I/O — the engine records trace events there. `tag` is an
+/// opaque attribution id chosen by the caller (the engine passes the
+/// operator id that owns the block).
+pub trait SpillObserver: Send + Sync {
+    /// Called before each spill I/O; `Err(detail)` aborts it.
+    fn before_io(&self, _io: SpillIo, _tag: usize) -> std::result::Result<(), String> {
+        Ok(())
+    }
+    /// A block of `bytes` tracked bytes moved to the disk tier.
+    fn spilled(&self, _tag: usize, _bytes: usize) {}
+    /// A block of `bytes` tracked bytes was faulted back in.
+    fn restored(&self, _tag: usize, _bytes: usize) {}
+}
+
+/// Counters describing second-tier activity, surfaced in `QueryMetrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Blocks written to the disk tier.
+    pub spill_events: usize,
+    /// Cumulative tracked bytes moved out to disk.
+    pub spilled_bytes: usize,
+    /// Cumulative tracked bytes faulted back in.
+    pub restored_bytes: usize,
+    /// Deepest grace-join re-partitioning recursion observed (0 = no
+    /// partition ever had to be split again).
+    pub respill_depth: usize,
+}
+
+/// Descriptor of one spilled block: everything needed to rebuild it, minus
+/// the tuple bytes, which live in the store's temp file `id`.
+#[derive(Debug, Clone)]
+pub struct SpilledHandle {
+    id: usize,
+    schema: Arc<Schema>,
+    format: BlockFormat,
+    capacity_bytes: usize,
+    rows: usize,
+    /// Tracker bytes the resident block held (re-charged on restore).
+    tracked_bytes: usize,
+    tag: usize,
+}
+
+impl SpilledHandle {
+    /// Tracker bytes the block will charge when faulted back in.
+    pub fn tracked_bytes(&self) -> usize {
+        self.tracked_bytes
+    }
+
+    /// Rows in the spilled block.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+/// A disk-backed block store tied to one query's memory tracker.
+#[derive(Debug)]
+pub struct SpillStore {
+    dir: PathBuf,
+    tracker: Arc<MemoryTracker>,
+    next_id: AtomicUsize,
+    spill_events: AtomicUsize,
+    spilled_bytes: AtomicUsize,
+    restored_bytes: AtomicUsize,
+    respill_depth: AtomicUsize,
+    live: Mutex<HashSet<usize>>,
+    observer: Mutex<Option<Arc<dyn SpillObserver>>>,
+}
+
+impl std::fmt::Debug for dyn SpillObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SpillObserver")
+    }
+}
+
+static STORE_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+impl SpillStore {
+    /// Create a store with a unique directory under `base` (the OS temp dir
+    /// when `None`), metering restores through `tracker`.
+    pub fn new(base: Option<&Path>, tracker: Arc<MemoryTracker>) -> Result<Arc<Self>> {
+        let base = base
+            .map(Path::to_path_buf)
+            .unwrap_or_else(std::env::temp_dir);
+        let unique = format!(
+            "uot-spill-{}-{}",
+            std::process::id(),
+            STORE_COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let dir = base.join(unique);
+        std::fs::create_dir_all(&dir).map_err(|e| StorageError::SpillIo {
+            detail: format!("creating spill dir {}: {e}", dir.display()),
+        })?;
+        Ok(Arc::new(SpillStore {
+            dir,
+            tracker,
+            next_id: AtomicUsize::new(0),
+            spill_events: AtomicUsize::new(0),
+            spilled_bytes: AtomicUsize::new(0),
+            restored_bytes: AtomicUsize::new(0),
+            respill_depth: AtomicUsize::new(0),
+            live: Mutex::new(HashSet::new()),
+            observer: Mutex::new(None),
+        }))
+    }
+
+    /// Install the observation/fault hook (the engine's adapter).
+    pub fn set_observer(&self, observer: Arc<dyn SpillObserver>) {
+        *self.observer.lock() = Some(observer);
+    }
+
+    /// The directory holding this store's temp files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Snapshot of the spill counters.
+    pub fn stats(&self) -> SpillStats {
+        SpillStats {
+            spill_events: self.spill_events.load(Ordering::Relaxed),
+            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
+            restored_bytes: self.restored_bytes.load(Ordering::Relaxed),
+            respill_depth: self.respill_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of spilled blocks currently on disk (leak tests).
+    pub fn live_files(&self) -> usize {
+        self.live.lock().len()
+    }
+
+    /// Record that a grace join re-partitioned at recursion `depth`.
+    pub fn note_respill(&self, depth: usize) {
+        self.respill_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn path_of(&self, id: usize) -> PathBuf {
+        self.dir.join(format!("{id}.blk"))
+    }
+
+    /// Serialize `block` to a temp file and release its tracked bytes.
+    ///
+    /// On any failure the tracker is untouched and the block stays usable —
+    /// a failed spill is side-effect free, like a failed checkout.
+    pub fn spill_block(&self, block: &StorageBlock, tag: usize) -> Result<SpilledHandle> {
+        let observer = self.observer.lock().clone();
+        if let Some(o) = &observer {
+            o.before_io(SpillIo::Write, tag)
+                .map_err(|detail| StorageError::SpillIo { detail })?;
+        }
+        let mut buf = Vec::with_capacity(block.num_rows() * block.schema().tuple_width());
+        encode_block(block, &mut buf);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let path = self.path_of(id);
+        std::fs::write(&path, &buf).map_err(|e| StorageError::SpillIo {
+            detail: format!("writing {}: {e}", path.display()),
+        })?;
+        self.live.lock().insert(id);
+        let tracked_bytes = block.allocated_bytes();
+        self.spill_events.fetch_add(1, Ordering::Relaxed);
+        self.spilled_bytes
+            .fetch_add(tracked_bytes, Ordering::Relaxed);
+        self.tracker.free(tracked_bytes);
+        if let Some(o) = &observer {
+            o.spilled(tag, tracked_bytes);
+        }
+        Ok(SpilledHandle {
+            id,
+            schema: block.schema().clone(),
+            format: block.format(),
+            capacity_bytes: block.allocated_bytes(),
+            rows: block.num_rows(),
+            tracked_bytes,
+            tag,
+        })
+    }
+
+    /// Fault a spilled block back in, re-charging its tracked bytes, and
+    /// delete its temp file. The handle is consumed either way — on error the
+    /// file is still removed (the data is unrecoverable; keeping the file
+    /// would leak it).
+    pub fn restore(&self, handle: SpilledHandle) -> Result<StorageBlock> {
+        let path = self.path_of(handle.id);
+        let result = self.restore_inner(&handle, &path);
+        let _ = std::fs::remove_file(&path);
+        self.live.lock().remove(&handle.id);
+        result
+    }
+
+    fn restore_inner(&self, handle: &SpilledHandle, path: &Path) -> Result<StorageBlock> {
+        let observer = self.observer.lock().clone();
+        if let Some(o) = &observer {
+            o.before_io(SpillIo::Read, handle.tag)
+                .map_err(|detail| StorageError::SpillIo { detail })?;
+        }
+        let bytes = std::fs::read(path).map_err(|e| StorageError::SpillIo {
+            detail: format!("reading {}: {e}", path.display()),
+        })?;
+        let block = decode_block(
+            handle.schema.clone(),
+            handle.format,
+            handle.capacity_bytes,
+            handle.rows,
+            &bytes,
+        )?;
+        // The fault-in is charged unconditionally (not `try_alloc`): the
+        // caller is about to consume the block, and refusing the charge here
+        // would deadlock the spill path against the very pressure it exists
+        // to relieve. Transient overshoot is bounded by one block.
+        self.tracker.alloc(handle.tracked_bytes);
+        self.restored_bytes
+            .fetch_add(handle.tracked_bytes, Ordering::Relaxed);
+        if let Some(o) = &observer {
+            o.restored(handle.tag, handle.tracked_bytes);
+        }
+        Ok(block)
+    }
+
+    /// Delete a spilled block without restoring it (query teardown). Its
+    /// tracked bytes were already released at spill time, so accounting is
+    /// untouched.
+    pub fn discard(&self, handle: SpilledHandle) {
+        let _ = std::fs::remove_file(self.path_of(handle.id));
+        self.live.lock().remove(&handle.id);
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// One staged block that the pool may transparently move between tiers.
+///
+/// A slot starts `Resident`, may be evicted to `Spilled` by the pool under
+/// pressure, and ends `Taken` when its consumer claims the block with
+/// [`SpillSlot::take`]. The eviction guard requires the slot to be the sole
+/// owner of the block `Arc`, so a block another component still references
+/// can never be spilled out from under it.
+#[derive(Debug)]
+pub struct SpillSlot {
+    state: Mutex<SlotState>,
+    tag: usize,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    Resident(Arc<StorageBlock>),
+    Spilled(SpilledHandle),
+    Taken,
+}
+
+impl SpillSlot {
+    /// Wrap a freshly produced block, attributed to operator `tag`.
+    pub fn new(block: Arc<StorageBlock>, tag: usize) -> Arc<Self> {
+        Arc::new(SpillSlot {
+            state: Mutex::new(SlotState::Resident(block)),
+            tag,
+        })
+    }
+
+    /// The attribution tag (operator id) this slot was created with.
+    pub fn tag(&self) -> usize {
+        self.tag
+    }
+
+    /// Rows in the block, resident or spilled (`0` once taken).
+    pub fn rows(&self) -> usize {
+        match &*self.state.lock() {
+            SlotState::Resident(b) => b.num_rows(),
+            SlotState::Spilled(h) => h.rows(),
+            SlotState::Taken => 0,
+        }
+    }
+
+    /// Tracked bytes currently held in RAM by this slot.
+    pub fn resident_bytes(&self) -> usize {
+        match &*self.state.lock() {
+            SlotState::Resident(b) => b.allocated_bytes(),
+            _ => 0,
+        }
+    }
+
+    /// Is the block currently on the disk tier?
+    pub fn is_spilled(&self) -> bool {
+        matches!(&*self.state.lock(), SlotState::Spilled(_))
+    }
+
+    /// Claim the block, faulting it back in from `store` if it was evicted.
+    /// A slot can be taken exactly once.
+    pub fn take(&self, store: Option<&SpillStore>) -> Result<Arc<StorageBlock>> {
+        let mut state = self.state.lock();
+        match std::mem::replace(&mut *state, SlotState::Taken) {
+            SlotState::Resident(b) => Ok(b),
+            SlotState::Spilled(handle) => {
+                let store = store.ok_or_else(|| StorageError::SpillIo {
+                    detail: "spilled slot taken without a spill store".into(),
+                })?;
+                store.restore(handle).map(Arc::new)
+            }
+            SlotState::Taken => Err(StorageError::SpillIo {
+                detail: "spill slot already taken".into(),
+            }),
+        }
+    }
+
+    /// Drop the block without consuming it, releasing tracked bytes of a
+    /// resident block from `tracker` and deleting a spilled one's temp file
+    /// (query teardown). Idempotent.
+    pub fn discard(&self, tracker: &MemoryTracker, store: Option<&SpillStore>) {
+        let mut state = self.state.lock();
+        match std::mem::replace(&mut *state, SlotState::Taken) {
+            SlotState::Resident(b) => tracker.free(b.allocated_bytes()),
+            SlotState::Spilled(handle) => {
+                if let Some(store) = store {
+                    store.discard(handle);
+                }
+            }
+            SlotState::Taken => {}
+        }
+    }
+
+    /// Try to move a resident block to the disk tier. Returns the tracked
+    /// bytes released — `0` when the slot is not evictable (already spilled,
+    /// taken, or its block is shared). Errors only on spill I/O failure, in
+    /// which case the slot is left resident and untouched.
+    pub(crate) fn try_evict(&self, store: &SpillStore) -> Result<usize> {
+        let mut state = self.state.lock();
+        let block = match &*state {
+            SlotState::Resident(b) if Arc::strong_count(b) == 1 => b.clone(),
+            _ => return Ok(0),
+        };
+        // `block` is a second Arc; drop the guard's view only after the spill
+        // succeeds so a failed write leaves the slot resident.
+        let handle = store.spill_block(&block, self.tag)?;
+        let bytes = handle.tracked_bytes();
+        *state = SlotState::Spilled(handle);
+        Ok(bytes)
+    }
+}
+
+/// Serialize every row of `block` as fixed-width tuples (the row-store
+/// encoding), appending to `out`. Char columns are copied as raw padded
+/// bytes — never through [`Value`](crate::Value), which trims padding.
+fn encode_block(block: &StorageBlock, out: &mut Vec<u8>) {
+    match block {
+        StorageBlock::Row(b) => {
+            for row in 0..b.num_rows() {
+                out.extend_from_slice(b.tuple_bytes(row));
+            }
+        }
+        StorageBlock::Column(b) => {
+            let schema = b.schema().clone();
+            for row in 0..b.num_rows() {
+                for col in 0..schema.len() {
+                    match schema.dtype(col) {
+                        DataType::Int32 => out.extend_from_slice(&b.i32_at(row, col).to_le_bytes()),
+                        DataType::Date => out.extend_from_slice(&b.date_at(row, col).to_le_bytes()),
+                        DataType::Int64 => out.extend_from_slice(&b.i64_at(row, col).to_le_bytes()),
+                        DataType::Float64 => {
+                            out.extend_from_slice(&b.f64_at(row, col).to_le_bytes())
+                        }
+                        DataType::Char(_) => out.extend_from_slice(b.char_at(row, col)),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rebuild a block from its fixed-width tuple encoding.
+fn decode_block(
+    schema: Arc<Schema>,
+    format: BlockFormat,
+    capacity_bytes: usize,
+    rows: usize,
+    bytes: &[u8],
+) -> Result<StorageBlock> {
+    let w = schema.tuple_width();
+    if bytes.len() != rows * w {
+        return Err(StorageError::SpillIo {
+            detail: format!(
+                "spill file holds {} bytes, expected {} ({} rows of {} bytes)",
+                bytes.len(),
+                rows * w,
+                rows,
+                w
+            ),
+        });
+    }
+    let mut block = StorageBlock::new(schema.clone(), format, capacity_bytes)?;
+    for row in 0..rows {
+        let tuple = &bytes[row * w..(row + 1) * w];
+        match &mut block {
+            StorageBlock::Row(b) => {
+                b.append_tuple_bytes(tuple);
+            }
+            StorageBlock::Column(b) => {
+                for col in 0..schema.len() {
+                    let off = schema.offset(col);
+                    match schema.dtype(col) {
+                        DataType::Int32 | DataType::Date => {
+                            let v = i32::from_le_bytes(tuple[off..off + 4].try_into().unwrap());
+                            match schema.dtype(col) {
+                                DataType::Date => b.raw_push_i32(col, v),
+                                _ => b.raw_push_i32(col, v),
+                            }
+                        }
+                        DataType::Int64 => b.raw_push_i64(
+                            col,
+                            i64::from_le_bytes(tuple[off..off + 8].try_into().unwrap()),
+                        ),
+                        DataType::Float64 => b.raw_push_f64(
+                            col,
+                            f64::from_le_bytes(tuple[off..off + 8].try_into().unwrap()),
+                        ),
+                        DataType::Char(n) => b.raw_push_char(col, &tuple[off..off + n as usize]),
+                    }
+                }
+                b.finish_raw_row();
+            }
+        }
+    }
+    Ok(block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn schema() -> Arc<Schema> {
+        Schema::from_pairs(&[
+            ("k", DataType::Int32),
+            ("v", DataType::Float64),
+            ("tag", DataType::Char(4)),
+            ("d", DataType::Date),
+            ("big", DataType::Int64),
+        ])
+    }
+
+    fn filled(format: BlockFormat, n: i32) -> StorageBlock {
+        let mut b = StorageBlock::new(schema(), format, 4096).unwrap();
+        for i in 0..n {
+            b.append_row(&[
+                Value::I32(i),
+                Value::F64(i as f64 * 0.5),
+                Value::Str(format!("t{i}")), // padded: raw bytes must survive
+                Value::Date(7000 + i),
+                Value::I64(i as i64 * 3),
+            ])
+            .unwrap();
+        }
+        b
+    }
+
+    #[test]
+    fn spill_and_restore_round_trips_both_formats() {
+        for format in [BlockFormat::Row, BlockFormat::Column] {
+            let t = MemoryTracker::new();
+            let store = SpillStore::new(None, t.clone()).unwrap();
+            let block = filled(format, 9);
+            let bytes = block.allocated_bytes();
+            t.alloc(bytes); // simulate the pool charge
+            let expected = block.all_rows();
+
+            let handle = store.spill_block(&block, 3).unwrap();
+            assert_eq!(t.current_bytes(), 0, "spill releases the charge");
+            assert_eq!(store.live_files(), 1);
+            drop(block);
+
+            let back = store.restore(handle).unwrap();
+            assert_eq!(t.current_bytes(), bytes, "restore re-charges");
+            assert_eq!(back.all_rows(), expected, "{format:?}");
+            assert_eq!(back.format(), format);
+            assert_eq!(store.live_files(), 0, "restore deletes the file");
+            t.free(bytes);
+        }
+    }
+
+    #[test]
+    fn char_padding_survives_the_round_trip() {
+        // "t1" in Char(4) is stored as "t1  "; a Value round-trip would trim.
+        let t = MemoryTracker::new();
+        let store = SpillStore::new(None, t.clone()).unwrap();
+        let block = filled(BlockFormat::Column, 2);
+        t.alloc(block.allocated_bytes());
+        let raw: Vec<u8> = block.char_at(1, 2).to_vec();
+        assert_eq!(&raw, b"t1  ");
+        let handle = store.spill_block(&block, 0).unwrap();
+        let back = store.restore(handle).unwrap();
+        assert_eq!(back.char_at(1, 2), b"t1  ");
+    }
+
+    #[test]
+    fn stats_and_drop_cleanup() {
+        let t = MemoryTracker::new();
+        let dir;
+        {
+            let store = SpillStore::new(None, t.clone()).unwrap();
+            dir = store.dir().to_path_buf();
+            let b1 = filled(BlockFormat::Row, 4);
+            let b2 = filled(BlockFormat::Column, 4);
+            t.alloc(b1.allocated_bytes() + b2.allocated_bytes());
+            let h1 = store.spill_block(&b1, 0).unwrap();
+            let _h2 = store.spill_block(&b2, 1).unwrap();
+            let s = store.stats();
+            assert_eq!(s.spill_events, 2);
+            assert_eq!(s.spilled_bytes, b1.allocated_bytes() + b2.allocated_bytes());
+            assert_eq!(store.live_files(), 2);
+            let _ = store.restore(h1).unwrap();
+            assert_eq!(store.stats().restored_bytes, b1.allocated_bytes());
+            store.note_respill(2);
+            store.note_respill(1);
+            assert_eq!(store.stats().respill_depth, 2);
+            assert!(dir.exists());
+            t.free(b1.allocated_bytes()); // restore charged it
+        }
+        assert!(!dir.exists(), "drop removes the spill directory");
+        assert_eq!(t.current_bytes(), 0);
+    }
+
+    #[test]
+    fn discard_deletes_without_recharging() {
+        let t = MemoryTracker::new();
+        let store = SpillStore::new(None, t.clone()).unwrap();
+        let block = filled(BlockFormat::Row, 3);
+        t.alloc(block.allocated_bytes());
+        let handle = store.spill_block(&block, 0).unwrap();
+        assert_eq!(t.current_bytes(), 0);
+        store.discard(handle);
+        assert_eq!(store.live_files(), 0);
+        assert_eq!(t.current_bytes(), 0);
+    }
+
+    struct FailWrites;
+    impl SpillObserver for FailWrites {
+        fn before_io(&self, io: SpillIo, _tag: usize) -> std::result::Result<(), String> {
+            match io {
+                SpillIo::Write => Err("injected write failure".into()),
+                SpillIo::Read => Ok(()),
+            }
+        }
+    }
+
+    #[test]
+    fn failed_spill_is_side_effect_free() {
+        let t = MemoryTracker::new();
+        let store = SpillStore::new(None, t.clone()).unwrap();
+        store.set_observer(Arc::new(FailWrites));
+        let block = filled(BlockFormat::Row, 3);
+        t.alloc(block.allocated_bytes());
+        let before = t.current_bytes();
+        let err = store.spill_block(&block, 0).unwrap_err();
+        assert!(matches!(err, StorageError::SpillIo { .. }));
+        assert!(err.to_string().contains("injected write failure"));
+        assert_eq!(t.current_bytes(), before, "tracker untouched");
+        assert_eq!(store.live_files(), 0);
+        assert_eq!(store.stats().spill_events, 0);
+        t.free(before);
+    }
+
+    struct FailReads;
+    impl SpillObserver for FailReads {
+        fn before_io(&self, io: SpillIo, _tag: usize) -> std::result::Result<(), String> {
+            match io {
+                SpillIo::Read => Err("injected read failure".into()),
+                SpillIo::Write => Ok(()),
+            }
+        }
+    }
+
+    #[test]
+    fn failed_restore_still_cleans_the_file() {
+        let t = MemoryTracker::new();
+        let store = SpillStore::new(None, t.clone()).unwrap();
+        let block = filled(BlockFormat::Row, 3);
+        t.alloc(block.allocated_bytes());
+        let handle = store.spill_block(&block, 0).unwrap();
+        store.set_observer(Arc::new(FailReads));
+        let err = store.restore(handle).unwrap_err();
+        assert!(matches!(err, StorageError::SpillIo { .. }));
+        assert_eq!(store.live_files(), 0, "file removed even on failure");
+        assert_eq!(t.current_bytes(), 0, "failed restore charges nothing");
+    }
+
+    #[test]
+    fn slot_lifecycle_resident_evict_take() {
+        let t = MemoryTracker::new();
+        let store = SpillStore::new(None, t.clone()).unwrap();
+        let block = filled(BlockFormat::Column, 5);
+        let bytes = block.allocated_bytes();
+        t.alloc(bytes);
+        let expected = block.all_rows();
+        let slot = SpillSlot::new(Arc::new(block), 7);
+        assert_eq!(slot.tag(), 7);
+        assert_eq!(slot.rows(), 5);
+        assert_eq!(slot.resident_bytes(), bytes);
+        assert!(!slot.is_spilled());
+
+        let freed = slot.try_evict(&store).unwrap();
+        assert_eq!(freed, bytes);
+        assert!(slot.is_spilled());
+        assert_eq!(slot.resident_bytes(), 0);
+        assert_eq!(slot.rows(), 5, "rows visible while spilled");
+        assert_eq!(t.current_bytes(), 0);
+        // Second eviction attempt is a no-op.
+        assert_eq!(slot.try_evict(&store).unwrap(), 0);
+
+        let back = slot.take(Some(&store)).unwrap();
+        assert_eq!(back.all_rows(), expected);
+        assert_eq!(t.current_bytes(), bytes);
+        assert!(slot.take(Some(&store)).is_err(), "taken exactly once");
+        t.free(bytes);
+    }
+
+    #[test]
+    fn shared_blocks_are_not_evictable() {
+        let t = MemoryTracker::new();
+        let store = SpillStore::new(None, t.clone()).unwrap();
+        let block = Arc::new(filled(BlockFormat::Row, 2));
+        let extra_ref = block.clone();
+        let slot = SpillSlot::new(block, 0);
+        assert_eq!(slot.try_evict(&store).unwrap(), 0, "shared: not evictable");
+        drop(extra_ref);
+        assert!(slot.try_evict(&store).unwrap() > 0);
+    }
+
+    #[test]
+    fn slot_discard_handles_both_tiers() {
+        let t = MemoryTracker::new();
+        let store = SpillStore::new(None, t.clone()).unwrap();
+        // Resident slot: discard frees tracked bytes.
+        let b = filled(BlockFormat::Row, 2);
+        let bytes = b.allocated_bytes();
+        t.alloc(bytes);
+        let slot = SpillSlot::new(Arc::new(b), 0);
+        slot.discard(&t, Some(&store));
+        assert_eq!(t.current_bytes(), 0);
+        // Spilled slot: discard deletes the file, accounting untouched.
+        let b = filled(BlockFormat::Row, 2);
+        t.alloc(b.allocated_bytes());
+        let slot = SpillSlot::new(Arc::new(b), 0);
+        slot.try_evict(&store).unwrap();
+        assert_eq!(store.live_files(), 1);
+        slot.discard(&t, Some(&store));
+        assert_eq!(store.live_files(), 0);
+        assert_eq!(t.current_bytes(), 0);
+        // Discard is idempotent.
+        slot.discard(&t, Some(&store));
+        assert_eq!(t.current_bytes(), 0);
+    }
+}
