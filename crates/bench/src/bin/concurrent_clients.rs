@@ -26,7 +26,10 @@
 
 use std::time::{Duration, Instant};
 use uot_bench::{ms, workers, ReportTable};
-use uot_core::{DegradePolicy, ExecOptions, PlanCacheOutcome, QueryService, ServiceConfig, Uot};
+use uot_core::obs::hub::bucket_index;
+use uot_core::{
+    DegradePolicy, ExecOptions, HubHistogram, PlanCacheOutcome, QueryService, ServiceConfig, Uot,
+};
 use uot_storage::BlockFormat;
 use uot_tpch::{sql_text, QueryId as TpchQuery, TpchConfig, TpchDb};
 
@@ -199,6 +202,8 @@ fn main() {
             "queries",
             "p50 ms",
             "p99 ms",
+            "hub p50 ms",
+            "hub p99 ms",
             "qps",
             "compiled",
             "hit",
@@ -237,6 +242,26 @@ fn main() {
 
         let stats = drive(&service, clients, rounds, &ExecOptions::default());
 
+        // Cross-check the hand-rolled percentiles against the service's
+        // always-on MetricsHub histogram. The hub measures submit-to-finalize
+        // on the scheduler thread and its log-bucketed histogram reports each
+        // quantile as its bucket's upper bound, so the two figures must land
+        // in the same (or an adjacent) bucket — both use the same
+        // round((n-1)*q) rank rule.
+        let snap = service.hub_snapshot();
+        let latency = snap.histogram(HubHistogram::QueryLatencyUs);
+        assert_eq!(latency.count, stats.queries as u64);
+        let hub_p50 = latency.quantile(0.50);
+        let hub_p99 = latency.quantile(0.99);
+        for (name, hub, hand) in [("p50", hub_p50, stats.p50), ("p99", hub_p99, stats.p99)] {
+            let (a, b) = (bucket_index(hub), bucket_index(hand.as_micros() as u64));
+            assert!(
+                a.abs_diff(b) <= 1,
+                "{label} {name}: hub bucket {a} ({hub} us) vs client bucket {b} ({} us)",
+                hand.as_micros()
+            );
+        }
+
         // Cache-effectiveness invariants: each distinct statement compiles at
         // most a handful of times (racing first submissions may duplicate a
         // compile), and with more submissions than statements there must be
@@ -268,6 +293,8 @@ fn main() {
             stats.queries.to_string(),
             ms(stats.p50),
             ms(stats.p99),
+            format!("{:.2}", hub_p50 as f64 / 1e3),
+            format!("{:.2}", hub_p99 as f64 / 1e3),
             format!("{:.1}", stats.qps),
             stats.compiled.len().to_string(),
             format!("{:.0}%", 100.0 * cache.hit_rate()),

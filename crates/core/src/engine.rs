@@ -6,7 +6,9 @@ use crate::exec_options::ExecOptions;
 use crate::fault::FaultPlan;
 use crate::fusion::FusionPolicy;
 use crate::metrics::{Degradation, QueryMetrics};
-use crate::obs::{CompositeObserver, TracingObserver};
+use crate::obs::hub::{HubCounter, HubHistogram, HubObserver, MaybeHubObserver, MetricsHub};
+use crate::obs::observer::MaybeTracingObserver;
+use crate::obs::{CompositeObserver, ExplainAnalyze, TracingObserver};
 use crate::plan::{OperatorKind, QueryPlan};
 use crate::scheduler::{run_query, MetricsObserver, SchedulerConfig};
 use crate::state::ExecContext;
@@ -103,6 +105,11 @@ pub struct EngineConfig {
     /// on their interior transfer edges. [`FusionPolicy::Auto`] (the
     /// default) asks the cost model per pipeline.
     pub fusion: FusionPolicy,
+    /// Always-on live metrics: when set, every execution streams its
+    /// scheduler events into this [`MetricsHub`] (counters + log-bucketed
+    /// histograms) in addition to the per-query [`QueryMetrics`]. `None`
+    /// (the default) keeps the untraced fast path observer-free.
+    pub hub: Option<Arc<MetricsHub>>,
 }
 
 impl Default for EngineConfig {
@@ -124,6 +131,7 @@ impl Default for EngineConfig {
             deadline: None,
             trace: None,
             fusion: FusionPolicy::Auto,
+            hub: None,
         }
     }
 }
@@ -187,6 +195,13 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style setter for the live metrics hub: every execution under
+    /// this config streams its scheduler events into `hub`.
+    pub fn with_hub(mut self, hub: Arc<MetricsHub>) -> Self {
+        self.hub = Some(hub);
+        self
+    }
+
     /// Enable structured tracing: every execution records a [`Trace`]
     /// (returned on [`QueryResult::trace`]) that the exporters under
     /// [`crate::obs`] turn into Chrome `trace_event` JSON, Prometheus-style
@@ -210,6 +225,10 @@ pub struct QueryResult {
     /// The structured trace, when the engine was configured with
     /// [`EngineConfig::tracing`].
     pub trace: Option<Trace>,
+    /// The executed plan annotated with measured per-operator and per-edge
+    /// statistics (`EXPLAIN ANALYZE`). Always present: it is a pure fold of
+    /// the plan and the metrics, computed after execution.
+    pub explain: Option<ExplainAnalyze>,
 }
 
 impl QueryResult {
@@ -416,7 +435,25 @@ impl Engine {
     }
 
     /// [`Self::execute_sql`] with per-run [`ExecOptions`].
+    ///
+    /// `EXPLAIN ANALYZE <stmt>` is handled here: the inner statement runs
+    /// normally (same plan cache, same options), then the result rows are
+    /// replaced by the rendered [`ExplainAnalyze`] tree. The real metrics,
+    /// trace and [`QueryResult::explain`] stay attached.
     pub fn execute_sql_with(&self, sql: &str, opts: ExecOptions) -> Result<QueryResult> {
+        if let Some(inner) = uot_sql::strip_explain_analyze(sql) {
+            let mut result = self.execute_sql_plain(inner, opts)?;
+            if let Some(ex) = &result.explain {
+                let (schema, blocks) = ex.result_blocks();
+                result.schema = schema;
+                result.blocks = blocks;
+            }
+            return Ok(result);
+        }
+        self.execute_sql_plain(sql, opts)
+    }
+
+    fn execute_sql_plain(&self, sql: &str, opts: ExecOptions) -> Result<QueryResult> {
         let catalog = self.catalog.as_ref().ok_or_else(|| {
             EngineError::Config(
                 "engine has no catalog to resolve SQL against; use Engine::with_catalog".into(),
@@ -435,6 +472,30 @@ impl Engine {
     /// exactly one retry at a degraded (halved-toward-[`Uot::LOW`]) UoT with
     /// the degradation recorded in the metrics.
     fn execute_governed(
+        &self,
+        plan: QueryPlan,
+        token: CancellationToken,
+        faults: Arc<FaultPlan>,
+    ) -> Result<QueryResult> {
+        let result = self.execute_governed_inner(plan, token, faults);
+        if let Some(hub) = &self.config.hub {
+            hub.add(HubCounter::QueriesSubmitted, 1);
+            match &result {
+                Ok(r) => {
+                    hub.add(HubCounter::QueriesCompleted, 1);
+                    hub.record(
+                        HubHistogram::QueryLatencyUs,
+                        r.metrics.wall_time.as_micros() as u64,
+                    );
+                }
+                Err(EngineError::Cancelled { .. }) => hub.add(HubCounter::QueriesCancelled, 1),
+                Err(_) => hub.add(HubCounter::QueriesFailed, 1),
+            }
+        }
+        result
+    }
+
+    fn execute_governed_inner(
         &self,
         plan: QueryPlan,
         token: CancellationToken,
@@ -517,10 +578,12 @@ impl Engine {
             self.config.degrade == DegradePolicy::Spill && self.config.memory_budget.is_some();
         if spill_enabled {
             let store = uot_storage::SpillStore::new(None, tracker.clone())?;
-            store.set_observer(crate::spill::EngineSpillHook::new(
+            store.set_observer(crate::spill::EngineSpillHook::with_telemetry(
                 Some(faults.clone()),
                 sink.clone(),
                 tracker.clone(),
+                self.config.hub.clone(),
+                None,
             ));
             pool.enable_spill(store);
         }
@@ -561,25 +624,35 @@ impl Engine {
             max_dop_per_op: self.config.max_dop_per_op,
             deadline: self.config.deadline,
         };
-        let (blocks, metrics) = match &sink {
-            // Untraced: the default metrics observer, no composition.
-            None => crate::scheduler::run(ctx.clone(), sched)?,
-            // Traced: metrics + tracing fan-out through one observer stack.
-            Some(sink) => {
-                let observer = CompositeObserver::new(
-                    MetricsObserver::new(&ctx.plan),
-                    TracingObserver::new(sink.clone()),
-                );
-                run_query(ctx.clone(), sched, observer).map_err(|f| f.error)?
-            }
+        let (blocks, metrics) = if sink.is_none() && self.config.hub.is_none() {
+            // Untraced, no hub: the default metrics observer, no composition.
+            crate::scheduler::run(ctx.clone(), sched)?
+        } else {
+            // Metrics + hub + tracing fan out through one observer stack;
+            // absent layers are `None` and cost a branch per event.
+            let hub = self
+                .config
+                .hub
+                .as_ref()
+                .map(|hub| HubObserver::new(hub.clone(), tracker.clone()));
+            let observer = CompositeObserver::new(
+                MetricsObserver::new(&ctx.plan),
+                CompositeObserver::new(
+                    MaybeHubObserver(hub),
+                    MaybeTracingObserver(sink.clone().map(TracingObserver::new)),
+                ),
+            );
+            run_query(ctx.clone(), sched, observer).map_err(|f| f.error)?
         };
         let trace =
             sink.map(|s| s.finish(ctx.plan.ops().iter().map(|op| op.name.clone()).collect()));
+        let explain = Some(ExplainAnalyze::build(&ctx.plan, &metrics));
         Ok(QueryResult {
             schema,
             blocks,
             metrics,
             trace,
+            explain,
         })
     }
 }

@@ -67,8 +67,13 @@ pub use exec_options::QueryOptions;
 pub use fault::{FaultKind, FaultPlan, FaultSite, Injection};
 pub use fusion::{FusedChain, FusionPolicy, FusionState};
 pub use hash_table::{JoinHashTable, PayloadRef, ProbeMatch, ProbeSession};
-pub use metrics::{Degradation, OperatorMetrics, QueryMetrics, TaskRecord};
-pub use obs::{CompositeObserver, TracingObserver};
+pub use metrics::{Degradation, EdgeMetrics, OperatorMetrics, QueryMetrics, TaskRecord};
+pub use obs::{
+    prometheus_from_hub, prometheus_snapshot, prometheus_snapshot_merged, CompositeObserver,
+    ExplainAnalyze, HistogramSnapshot, HubCounter, HubHistogram, HubObserver, HubSnapshot,
+    IntrospectionServer, LiveQuery, LiveRegistry, MetricsHub, ServerState, TracingObserver,
+    WatchdogConfig,
+};
 pub use plan::{
     JoinType, LipFilter, OpId, Operator, OperatorKind, PlanBuilder, QueryPlan, SortKey, Source,
 };
@@ -81,7 +86,9 @@ pub use service::{QueryHandle, QueryService, ServiceConfig};
 pub use spill::EngineSpillHook;
 pub use sql::{compile, lower};
 pub use topology::{Dependent, PlanTopology};
-pub use trace::{Trace, TraceEvent, TraceEventKind, TraceSink, DEFAULT_TRACE_CAPACITY};
+pub use trace::{
+    Trace, TraceEvent, TraceEventKind, TraceSink, WatchdogKind, DEFAULT_TRACE_CAPACITY,
+};
 pub use uot::Uot;
 // Frontend types callers of the SQL entry points interact with directly.
 pub use uot_sql::{CacheStats, PlanCacheOutcome, PlanError, PlanErrorKind};

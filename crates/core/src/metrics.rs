@@ -58,10 +58,14 @@ pub struct OperatorMetrics {
     pub task_times: Vec<Duration>,
     /// Input blocks consumed.
     pub input_blocks: usize,
+    /// Input rows consumed (rows in transferred blocks).
+    pub input_rows: usize,
     /// Output blocks produced (completed + flushed partials).
     pub produced_blocks: usize,
     /// Output rows produced.
     pub produced_rows: usize,
+    /// Output bytes produced (allocated bytes of completed blocks).
+    pub produced_bytes: usize,
     /// Rows dropped by LIP Bloom filters at this operator (selects only).
     pub lip_pruned_rows: usize,
 }
@@ -86,6 +90,44 @@ impl OperatorMetrics {
     }
 }
 
+/// Live-accumulated statistics of one transfer edge, indexed by its
+/// producer operator. The per-edge half of `EXPLAIN ANALYZE`: occupancy,
+/// stall and flush behavior of the UoT staging machinery.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeMetrics {
+    /// Consumer side of the edge (`None` for the sink edge).
+    pub consumer: Option<OpId>,
+    /// The edge's UoT threshold in blocks (`usize::MAX` = whole table).
+    pub threshold: usize,
+    /// Staging events observed (block batches held below the threshold).
+    pub stalls: usize,
+    /// Highest staged occupancy observed, blocks.
+    pub max_staged: usize,
+    /// Sum of staged occupancies over staging events (mean = `/ stalls`).
+    pub sum_staged: usize,
+    /// Threshold-triggered transfers.
+    pub flushes: usize,
+    /// End-of-producer partial flushes.
+    pub partial_flushes: usize,
+    /// Blocks moved across the edge.
+    pub blocks: usize,
+    /// Rows moved across the edge.
+    pub rows: usize,
+    /// Bytes moved across the edge.
+    pub bytes: usize,
+}
+
+impl EdgeMetrics {
+    /// Mean staged occupancy over staging events; zero when none occurred.
+    pub fn mean_staged(&self) -> f64 {
+        if self.stalls == 0 {
+            0.0
+        } else {
+            self.sum_staged as f64 / self.stalls as f64
+        }
+    }
+}
+
 /// Metrics for one query execution.
 #[derive(Debug, Clone, Default)]
 pub struct QueryMetrics {
@@ -96,6 +138,8 @@ pub struct QueryMetrics {
     pub wall_time: Duration,
     /// Per-operator aggregates, indexed by [`OpId`].
     pub ops: Vec<OperatorMetrics>,
+    /// Per-edge transfer statistics, indexed by producer [`OpId`].
+    pub edges: Vec<EdgeMetrics>,
     /// The full task log (chronological by start time).
     pub tasks: Vec<TaskRecord>,
     /// Peak bytes of temporary storage (pool blocks + hash tables).

@@ -1,0 +1,766 @@
+//! The always-on metrics hub: live service telemetry without trace replay.
+//!
+//! [`TraceSink`](crate::trace::TraceSink) speaks only after a query finishes
+//! — it buffers events and folds them post-hoc. The [`MetricsHub`] is the
+//! complementary *live* surface: a set of sharded, lock-free counters and
+//! log-bucketed (HDR-style) histograms updated **online** from
+//! [`SchedulerObserver`](crate::scheduler::SchedulerObserver) and
+//! [`SpillObserver`](uot_storage::SpillObserver) events, cheap enough to
+//! leave on for every query. The `/metrics` endpoint and the adaptive-UoT
+//! roadmap both read the same snapshot.
+//!
+//! ## Histogram bucketing
+//!
+//! Values 0..8 map to exact unit buckets; larger values map to one of four
+//! sub-buckets per power of two (two mantissa bits), so every bucket's width
+//! is at most 25% of its lower bound. 252 buckets cover the full `u64`
+//! range. Recording is three relaxed atomic adds on a shard picked by the
+//! calling thread's id; a snapshot folds the shards.
+
+use crate::metrics::TaskRecord;
+use crate::plan::OpId;
+use crate::scheduler::SchedulerObserver;
+use crate::work_order::WorkOrder;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use uot_storage::{MemoryTracker, StorageBlock};
+
+/// Monotonic event counters the hub maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum HubCounter {
+    /// Queries submitted to the service (before admission).
+    QueriesSubmitted,
+    /// Queries that finished successfully.
+    QueriesCompleted,
+    /// Queries that finished with an error (other than cancellation).
+    QueriesFailed,
+    /// Queries cancelled (explicitly or by deadline).
+    QueriesCancelled,
+    /// Submissions parked in the admission queue.
+    AdmissionQueued,
+    /// Submissions rejected at admission.
+    AdmissionRejected,
+    /// Work orders completed.
+    WorkOrders,
+    /// Output blocks produced by operators.
+    BlocksProduced,
+    /// Output rows produced by operators.
+    RowsProduced,
+    /// Edge flushes (threshold-triggered transfers).
+    Transfers,
+    /// End-of-producer flushes of partial accumulations.
+    PartialTransfers,
+    /// Blocks moved across transfer edges.
+    TransferBlocks,
+    /// Bytes moved across transfer edges.
+    TransferBytes,
+    /// Blocks evicted to the disk spill tier.
+    SpillEvents,
+    /// Bytes written to the disk spill tier.
+    SpilledBytes,
+    /// Bytes faulted back in from the spill tier.
+    SpillRestoredBytes,
+    /// Watchdog flags raised for stalled transfer edges.
+    WatchdogStalledEdges,
+    /// Watchdog flags raised for queries near their deadline.
+    WatchdogDeadline,
+}
+
+/// Names and help strings, indexed by `HubCounter as usize`. Counter names
+/// follow the Prometheus convention: every counter carries a `_total`
+/// suffix.
+pub(crate) const COUNTERS: &[(&str, &str)] = &[
+    ("uot_hub_queries_submitted_total", "Queries submitted"),
+    ("uot_hub_queries_completed_total", "Queries that succeeded"),
+    ("uot_hub_queries_failed_total", "Queries that failed"),
+    ("uot_hub_queries_cancelled_total", "Queries cancelled"),
+    (
+        "uot_hub_admission_queued_total",
+        "Submissions parked in the admission queue",
+    ),
+    (
+        "uot_hub_admission_rejected_total",
+        "Submissions rejected at admission",
+    ),
+    ("uot_hub_work_orders_total", "Work orders completed"),
+    ("uot_hub_blocks_produced_total", "Output blocks produced"),
+    ("uot_hub_rows_produced_total", "Output rows produced"),
+    (
+        "uot_hub_transfers_total",
+        "Threshold-triggered edge flushes",
+    ),
+    (
+        "uot_hub_partial_transfers_total",
+        "End-of-producer partial flushes",
+    ),
+    (
+        "uot_hub_transfer_blocks_total",
+        "Blocks moved across transfer edges",
+    ),
+    (
+        "uot_hub_transfer_bytes_total",
+        "Bytes moved across transfer edges",
+    ),
+    ("uot_hub_spill_events_total", "Blocks evicted to disk"),
+    ("uot_hub_spilled_bytes_total", "Bytes spilled to disk"),
+    (
+        "uot_hub_spill_restored_bytes_total",
+        "Bytes restored from disk",
+    ),
+    (
+        "uot_hub_watchdog_stalled_edges_total",
+        "Watchdog flags for stalled transfer edges",
+    ),
+    (
+        "uot_hub_watchdog_deadline_total",
+        "Watchdog flags for queries near their deadline",
+    ),
+];
+
+/// The distributions the hub tracks as log-bucketed histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum HubHistogram {
+    /// Submit-to-result latency per query, microseconds.
+    QueryLatencyUs,
+    /// Submit-to-admission wait per query, microseconds.
+    AdmissionWaitUs,
+    /// Work-order service time, microseconds.
+    WorkOrderServiceUs,
+    /// Transfer-edge occupancy after each staging event, blocks.
+    EdgeOccupancyBlocks,
+    /// Pool-resident bytes sampled at each work-order completion.
+    PoolResidencyBytes,
+    /// Bytes per spill write.
+    SpillVolumeBytes,
+}
+
+/// Names and help strings, indexed by `HubHistogram as usize`.
+pub(crate) const HISTOGRAMS: &[(&str, &str)] = &[
+    (
+        "uot_hub_query_latency_us",
+        "Submit-to-result query latency (us)",
+    ),
+    ("uot_hub_admission_wait_us", "Submit-to-admission wait (us)"),
+    (
+        "uot_hub_work_order_service_us",
+        "Work-order service time (us)",
+    ),
+    (
+        "uot_hub_edge_occupancy_blocks",
+        "Edge occupancy after staging (blocks)",
+    ),
+    (
+        "uot_hub_pool_residency_bytes",
+        "Pool-resident bytes at work-order completion",
+    ),
+    ("uot_hub_spill_volume_bytes", "Bytes per spill write"),
+];
+
+const NUM_COUNTERS: usize = COUNTERS.len();
+const NUM_HISTOGRAMS: usize = HISTOGRAMS.len();
+const SHARDS: usize = 8;
+
+/// Total buckets: 8 exact unit buckets plus 4 sub-buckets for each of the 61
+/// octaves `2^3 ..= 2^63`.
+pub const HIST_BUCKETS: usize = 252;
+
+/// Bucket index of `v` (see the module docs for the mapping).
+pub fn bucket_index(v: u64) -> usize {
+    if v < 8 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as u64;
+        let sub = (v >> (msb - 2)) & 3;
+        (8 + (msb - 3) * 4 + sub) as usize
+    }
+}
+
+/// Half-open value range `[lo, hi)` covered by bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < 8 {
+        (i as u64, i as u64 + 1)
+    } else {
+        let octave = ((i - 8) / 4) as u32;
+        let sub = ((i - 8) % 4) as u64;
+        let width = 1u64 << (octave + 1);
+        let lo = (1u64 << (octave + 3)) + sub * width;
+        (lo, lo.saturating_add(width))
+    }
+}
+
+/// One shard's histogram: relaxed atomic bucket counts plus count and sum.
+#[derive(Debug)]
+struct ShardHistogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl ShardHistogram {
+    fn new() -> Self {
+        ShardHistogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        // Count last with Release so a snapshot that Acquire-loads the count
+        // sees at least that many bucket/sum updates.
+        self.count.fetch_add(1, Ordering::Release);
+    }
+}
+
+#[derive(Debug)]
+struct HubShard {
+    counters: [AtomicU64; NUM_COUNTERS],
+    hists: Vec<ShardHistogram>,
+}
+
+impl HubShard {
+    fn new() -> Self {
+        HubShard {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: (0..NUM_HISTOGRAMS).map(|_| ShardHistogram::new()).collect(),
+        }
+    }
+}
+
+/// Sharded live metrics: counters plus log-bucketed histograms (module
+/// docs). One hub serves a whole [`QueryService`](crate::service::QueryService)
+/// — or a whole [`Engine`](crate::engine::Engine) when installed via
+/// [`EngineConfig::hub`](crate::engine::EngineConfig::hub) — across every
+/// query it runs.
+#[derive(Debug)]
+pub struct MetricsHub {
+    shards: Vec<HubShard>,
+}
+
+impl Default for MetricsHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        MetricsHub {
+            shards: (0..SHARDS).map(|_| HubShard::new()).collect(),
+        }
+    }
+
+    fn shard(&self) -> &HubShard {
+        // The shard key is a hash of the thread id — computed once per
+        // thread and cached in a TLS cell, because `thread::current()`
+        // clones an `Arc` and hashing it on every counter bump would
+        // dominate the cost of the bump itself.
+        thread_local! {
+            static SHARD_KEY: std::cell::Cell<usize> =
+                const { std::cell::Cell::new(usize::MAX) };
+        }
+        let key = SHARD_KEY.with(|c| {
+            let v = c.get();
+            if v != usize::MAX {
+                return v;
+            }
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            let v = h.finish() as usize;
+            c.set(v);
+            v
+        });
+        &self.shards[key % self.shards.len()]
+    }
+
+    /// Add `delta` to a counter.
+    pub fn add(&self, c: HubCounter, delta: u64) {
+        self.shard().counters[c as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Record one observation into a histogram.
+    pub fn record(&self, h: HubHistogram, v: u64) {
+        self.shard().hists[h as usize].record(v);
+    }
+
+    /// Bulk-merge locally accumulated deltas into the calling thread's
+    /// shard, draining them to zero. The batched path behind
+    /// [`HubObserver`]: one pass over the non-zero entries instead of an
+    /// atomic RMW per event. Keeps the snapshot ordering invariant — every
+    /// histogram's buckets and sum land before its count (`Release`), so a
+    /// concurrent [`snapshot`](Self::snapshot) never sees a count the
+    /// buckets can't cover.
+    pub fn absorb(&self, counters: &mut [u64; NUM_COUNTERS], hists: &mut [HistogramSnapshot]) {
+        let shard = self.shard();
+        for (local, shared) in counters.iter_mut().zip(shard.counters.iter()) {
+            if *local > 0 {
+                shared.fetch_add(*local, Ordering::Relaxed);
+                *local = 0;
+            }
+        }
+        for (local, shared) in hists.iter_mut().zip(shard.hists.iter()) {
+            if local.count == 0 {
+                continue;
+            }
+            for (b, sb) in local.buckets.iter_mut().zip(shared.buckets.iter()) {
+                if *b > 0 {
+                    sb.fetch_add(*b, Ordering::Relaxed);
+                    *b = 0;
+                }
+            }
+            shared.sum.fetch_add(local.sum, Ordering::Relaxed);
+            shared.count.fetch_add(local.count, Ordering::Release);
+            local.sum = 0;
+            local.count = 0;
+        }
+    }
+
+    /// Fold every shard into a point-in-time snapshot. Recording may
+    /// continue concurrently; the snapshot never loses or double-counts an
+    /// event that completed before the call, and never includes a partial
+    /// bucket increment without eventually including its count.
+    pub fn snapshot(&self) -> HubSnapshot {
+        let mut counters = [0u64; NUM_COUNTERS];
+        let mut hists: Vec<HistogramSnapshot> = (0..NUM_HISTOGRAMS)
+            .map(|_| HistogramSnapshot::empty())
+            .collect();
+        for shard in &self.shards {
+            for (acc, c) in counters.iter_mut().zip(shard.counters.iter()) {
+                *acc += c.load(Ordering::Relaxed);
+            }
+            for (acc, h) in hists.iter_mut().zip(shard.hists.iter()) {
+                acc.count += h.count.load(Ordering::Acquire);
+                acc.sum += h.sum.load(Ordering::Relaxed);
+                for (b, sb) in acc.buckets.iter_mut().zip(h.buckets.iter()) {
+                    *b += sb.load(Ordering::Relaxed);
+                }
+            }
+        }
+        HubSnapshot { counters, hists }
+    }
+}
+
+/// A point-in-time fold of every [`MetricsHub`] shard.
+#[derive(Debug, Clone)]
+pub struct HubSnapshot {
+    counters: [u64; NUM_COUNTERS],
+    hists: Vec<HistogramSnapshot>,
+}
+
+impl HubSnapshot {
+    /// The current value of `c`.
+    pub fn counter(&self, c: HubCounter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// The folded histogram for `h`.
+    pub fn histogram(&self, h: HubHistogram) -> &HistogramSnapshot {
+        &self.hists[h as usize]
+    }
+
+    /// Merge `other` into `self` (counters add, histograms add bucketwise) —
+    /// for aggregating hubs across services or processes.
+    pub fn merge(&mut self, other: &HubSnapshot) {
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.hists.iter_mut().zip(other.hists.iter()) {
+            a.merge(b);
+        }
+    }
+
+    /// Iterate `(name, help, value)` over every counter.
+    pub(crate) fn counter_rows(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, &'static str, u64)> + '_ {
+        COUNTERS
+            .iter()
+            .zip(self.counters.iter())
+            .map(|(&(name, help), &v)| (name, help, v))
+    }
+
+    /// Iterate `(name, help, histogram)` over every histogram.
+    pub(crate) fn histogram_rows(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, &'static str, &HistogramSnapshot)> + '_ {
+        HISTOGRAMS
+            .iter()
+            .zip(self.hists.iter())
+            .map(|(&(name, help), h)| (name, help, h))
+    }
+}
+
+/// One folded log-bucketed histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Per-bucket observation counts ([`bucket_bounds`] gives the ranges).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty histogram.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; HIST_BUCKETS],
+        }
+    }
+
+    /// Add `other`'s observations to `self`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Record one observation (serial reference path; the concurrent path
+    /// is [`MetricsHub::record`]).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) as the largest value mapping to the
+    /// bucket that holds the rank-`round(q * (count-1))` observation — the
+    /// same rank rule the bench harness's exact percentiles use, so the two
+    /// always land in the same bucket when fed the same observations.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum > rank {
+                return bucket_bounds(i).1 - 1;
+            }
+        }
+        bucket_bounds(HIST_BUCKETS - 1).1 - 1
+    }
+}
+
+/// [`SchedulerObserver`] layer feeding a [`MetricsHub`] (and, inside the
+/// service, the live per-query registry) online — no trace replay.
+///
+/// Events are accumulated in plain (non-atomic) local counters — the
+/// observer is owned by one scheduler loop — and pushed to the shared hub
+/// every [`FLUSH_EVERY`] events and on drop. The batching keeps the hub's
+/// per-event cost off the dispatch hot path entirely; a `/metrics` scrape
+/// can lag the newest handful of events of an in-flight query by design.
+#[derive(Debug)]
+pub struct HubObserver {
+    hub: Arc<MetricsHub>,
+    /// The query's memory tracker, sampled for pool-residency observations.
+    tracker: Arc<MemoryTracker>,
+    /// Live per-query status updated alongside the hub (service runs only).
+    /// Live updates are *not* batched: they are a handful of relaxed stores
+    /// the watchdog and `/queries` need promptly.
+    live: Option<Arc<crate::obs::live::LiveQuery>>,
+    /// Locally accumulated counter deltas, flushed in bulk.
+    local_counters: [u64; NUM_COUNTERS],
+    /// Locally accumulated histogram observations, flushed in bulk.
+    local_hists: Vec<HistogramSnapshot>,
+    /// Events since the last flush.
+    pending: u32,
+}
+
+/// Observer events accumulated locally between pushes to the shared hub.
+const FLUSH_EVERY: u32 = 64;
+
+impl HubObserver {
+    /// Observer recording into `hub`; `tracker` is the query's own memory
+    /// tracker (pool residency is sampled from it at each work-order
+    /// completion).
+    pub fn new(hub: Arc<MetricsHub>, tracker: Arc<MemoryTracker>) -> Self {
+        HubObserver {
+            hub,
+            tracker,
+            live: None,
+            local_counters: [0; NUM_COUNTERS],
+            local_hists: (0..NUM_HISTOGRAMS)
+                .map(|_| HistogramSnapshot::empty())
+                .collect(),
+            pending: 0,
+        }
+    }
+
+    /// Also mirror progress into a live registry entry.
+    pub fn with_live(mut self, live: Arc<crate::obs::live::LiveQuery>) -> Self {
+        self.live = Some(live);
+        self
+    }
+
+    #[inline]
+    fn bump(&mut self, c: HubCounter, delta: u64) {
+        self.local_counters[c as usize] += delta;
+    }
+
+    #[inline]
+    fn note(&mut self, h: HubHistogram, v: u64) {
+        self.local_hists[h as usize].record(v);
+    }
+
+    #[inline]
+    fn tick(&mut self) {
+        self.pending += 1;
+        if self.pending >= FLUSH_EVERY {
+            self.flush();
+        }
+    }
+
+    /// Push the locally accumulated deltas to the shared hub now. Called
+    /// automatically every [`FLUSH_EVERY`] events and on drop.
+    pub fn flush(&mut self) {
+        if self.pending == 0 {
+            return;
+        }
+        self.pending = 0;
+        self.hub
+            .absorb(&mut self.local_counters, &mut self.local_hists);
+    }
+}
+
+impl Drop for HubObserver {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl SchedulerObserver for HubObserver {
+    fn work_order_dispatched(&mut self, _wo: &WorkOrder) {
+        if let Some(live) = &self.live {
+            live.on_dispatched();
+        }
+    }
+
+    fn work_order_completed(&mut self, _wo: &WorkOrder, record: TaskRecord) {
+        self.bump(HubCounter::WorkOrders, 1);
+        self.note(
+            HubHistogram::WorkOrderServiceUs,
+            record.duration().as_micros() as u64,
+        );
+        self.note(
+            HubHistogram::PoolResidencyBytes,
+            self.tracker.current_bytes() as u64,
+        );
+        if let Some(live) = &self.live {
+            live.on_completed();
+        }
+        self.tick();
+    }
+
+    fn blocks_produced(&mut self, _op: OpId, blocks: usize, rows: usize, _bytes: usize) {
+        self.bump(HubCounter::BlocksProduced, blocks as u64);
+        self.bump(HubCounter::RowsProduced, rows as u64);
+        if let Some(live) = &self.live {
+            live.on_rows(rows);
+        }
+        self.tick();
+    }
+
+    fn edge_staged(&mut self, producer: OpId, consumer: OpId, staged: usize, threshold: usize) {
+        self.note(HubHistogram::EdgeOccupancyBlocks, staged as u64);
+        if let Some(live) = &self.live {
+            live.on_edge_staged(producer, consumer, staged, threshold);
+        }
+        self.tick();
+    }
+
+    fn transfer_flushed(
+        &mut self,
+        producer: OpId,
+        _consumer: OpId,
+        blocks: &[Arc<StorageBlock>],
+        partial: bool,
+    ) {
+        self.bump(
+            if partial {
+                HubCounter::PartialTransfers
+            } else {
+                HubCounter::Transfers
+            },
+            1,
+        );
+        self.bump(HubCounter::TransferBlocks, blocks.len() as u64);
+        self.bump(
+            HubCounter::TransferBytes,
+            blocks.iter().map(|b| b.allocated_bytes() as u64).sum(),
+        );
+        if let Some(live) = &self.live {
+            live.on_edge_flushed(producer);
+        }
+        self.tick();
+    }
+}
+
+/// A hub layer that may be absent, mirroring
+/// [`MaybeTracingObserver`](crate::obs::MaybeTracingObserver): the engine
+/// composes one concrete observer stack whether or not a hub is installed,
+/// and an absent layer costs one branch per event.
+#[derive(Debug, Default)]
+pub struct MaybeHubObserver(pub Option<HubObserver>);
+
+impl SchedulerObserver for MaybeHubObserver {
+    fn work_order_dispatched(&mut self, wo: &WorkOrder) {
+        if let Some(h) = &mut self.0 {
+            h.work_order_dispatched(wo);
+        }
+    }
+
+    fn work_order_completed(&mut self, wo: &WorkOrder, record: TaskRecord) {
+        if let Some(h) = &mut self.0 {
+            h.work_order_completed(wo, record);
+        }
+    }
+
+    fn blocks_produced(&mut self, op: OpId, blocks: usize, rows: usize, bytes: usize) {
+        if let Some(h) = &mut self.0 {
+            h.blocks_produced(op, blocks, rows, bytes);
+        }
+    }
+
+    fn blocks_transferred(&mut self, op: OpId, blocks: &[Arc<StorageBlock>]) {
+        if let Some(h) = &mut self.0 {
+            h.blocks_transferred(op, blocks);
+        }
+    }
+
+    fn edge_staged(&mut self, producer: OpId, consumer: OpId, staged: usize, threshold: usize) {
+        if let Some(h) = &mut self.0 {
+            h.edge_staged(producer, consumer, staged, threshold);
+        }
+    }
+
+    fn transfer_flushed(
+        &mut self,
+        producer: OpId,
+        consumer: OpId,
+        blocks: &[Arc<StorageBlock>],
+        partial: bool,
+    ) {
+        if let Some(h) = &mut self.0 {
+            h.transfer_flushed(producer, consumer, blocks, partial);
+        }
+    }
+
+    fn operator_finished(&mut self, op: OpId) {
+        if let Some(h) = &mut self.0 {
+            h.operator_finished(op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_exhaustive_and_monotonic() {
+        // Every bucket's bounds round-trip through bucket_index, and bounds
+        // tile the value range without gaps or overlaps.
+        let mut prev_hi = 0u64;
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(
+                lo,
+                prev_hi,
+                "bucket {i} must start where {} ended",
+                i.max(1) - 1
+            );
+            assert!(hi > lo);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi - 1), i);
+            prev_hi = hi;
+        }
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_width_is_within_a_quarter_of_lower_bound() {
+        for i in 8..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(
+                (hi - lo) * 4 <= lo,
+                "bucket {i} [{lo},{hi}) wider than 25% of its lower bound"
+            );
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot_round_trip() {
+        let hub = MetricsHub::new();
+        hub.add(HubCounter::WorkOrders, 3);
+        hub.add(HubCounter::WorkOrders, 2);
+        for v in [0u64, 1, 7, 8, 100, 1_000_000] {
+            hub.record(HubHistogram::QueryLatencyUs, v);
+        }
+        let snap = hub.snapshot();
+        assert_eq!(snap.counter(HubCounter::WorkOrders), 5);
+        let h = snap.histogram(HubHistogram::QueryLatencyUs);
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1_000_116);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn quantile_matches_exact_rank_bucket() {
+        let hub = MetricsHub::new();
+        let mut values: Vec<u64> = (0..1000).map(|i| i * 37 % 9973).collect();
+        for &v in &values {
+            hub.record(HubHistogram::WorkOrderServiceUs, v);
+        }
+        values.sort_unstable();
+        let snap = hub.snapshot();
+        let h = snap.histogram(HubHistogram::WorkOrderServiceUs);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let rank = ((values.len() - 1) as f64 * q).round() as usize;
+            assert_eq!(
+                bucket_index(h.quantile(q)),
+                bucket_index(values[rank]),
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let a = MetricsHub::new();
+        let b = MetricsHub::new();
+        a.record(HubHistogram::SpillVolumeBytes, 10);
+        b.record(HubHistogram::SpillVolumeBytes, 10);
+        b.record(HubHistogram::SpillVolumeBytes, 99);
+        b.add(HubCounter::SpillEvents, 2);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.counter(HubCounter::SpillEvents), 2);
+        let h = s.histogram(HubHistogram::SpillVolumeBytes);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 119);
+        assert_eq!(h.buckets[bucket_index(10)], 2);
+        assert_eq!(h.buckets[bucket_index(99)], 1);
+    }
+}

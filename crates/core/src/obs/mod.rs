@@ -22,11 +22,22 @@
 //! nothing here runs on the execution fast path.
 
 pub mod chrome;
+pub mod explain;
+pub mod http;
+pub mod hub;
+pub mod live;
 pub mod observer;
 pub mod prometheus;
 pub mod timeline;
 
 pub use chrome::{chrome_trace_json, merged_chrome_trace_json};
+pub use explain::ExplainAnalyze;
+pub use http::{IntrospectionServer, ServerState};
+pub use hub::{
+    HistogramSnapshot, HubCounter, HubHistogram, HubObserver, HubSnapshot, MaybeHubObserver,
+    MetricsHub,
+};
+pub use live::{LiveQuery, LiveRegistry, WatchdogConfig};
 pub use observer::{CompositeObserver, MaybeTracingObserver, TracingObserver};
-pub use prometheus::prometheus_snapshot;
+pub use prometheus::{prometheus_from_hub, prometheus_snapshot, prometheus_snapshot_merged};
 pub use timeline::{operator_task_times, operator_time_shares, uot_timelines, EdgeTimeline};

@@ -48,7 +48,7 @@ impl SchedulerObserver for TracingObserver {
         });
     }
 
-    fn blocks_produced(&mut self, op: OpId, blocks: usize, rows: usize) {
+    fn blocks_produced(&mut self, op: OpId, blocks: usize, rows: usize, _bytes: usize) {
         self.sink
             .record(TraceEventKind::BlocksProduced { op, blocks, rows });
     }
@@ -115,12 +115,12 @@ impl<A: SchedulerObserver, B: SchedulerObserver> SchedulerObserver for Composite
         self.second.work_order_completed(wo, record);
     }
 
-    fn blocks_produced(&mut self, op: OpId, blocks: usize, rows: usize) {
-        self.first.blocks_produced(op, blocks, rows);
-        self.second.blocks_produced(op, blocks, rows);
+    fn blocks_produced(&mut self, op: OpId, blocks: usize, rows: usize, bytes: usize) {
+        self.first.blocks_produced(op, blocks, rows, bytes);
+        self.second.blocks_produced(op, blocks, rows, bytes);
     }
 
-    fn blocks_transferred(&mut self, op: OpId, blocks: usize) {
+    fn blocks_transferred(&mut self, op: OpId, blocks: &[Arc<StorageBlock>]) {
         self.first.blocks_transferred(op, blocks);
         self.second.blocks_transferred(op, blocks);
     }
@@ -178,13 +178,13 @@ impl SchedulerObserver for MaybeTracingObserver {
         }
     }
 
-    fn blocks_produced(&mut self, op: OpId, blocks: usize, rows: usize) {
+    fn blocks_produced(&mut self, op: OpId, blocks: usize, rows: usize, bytes: usize) {
         if let Some(t) = &mut self.0 {
-            t.blocks_produced(op, blocks, rows);
+            t.blocks_produced(op, blocks, rows, bytes);
         }
     }
 
-    fn blocks_transferred(&mut self, op: OpId, blocks: usize) {
+    fn blocks_transferred(&mut self, op: OpId, blocks: &[Arc<StorageBlock>]) {
         if let Some(t) = &mut self.0 {
             t.blocks_transferred(op, blocks);
         }

@@ -1,14 +1,22 @@
-//! Prometheus text-exposition snapshot of a finished trace.
+//! Prometheus text-exposition snapshots.
 //!
 //! A [`Trace`] is a timeline; monitoring wants totals and last-known gauges.
 //! [`prometheus_snapshot`] folds the timeline into the standard text format
 //! (`# HELP` / `# TYPE` / `name{labels} value`): work-order and transfer
-//! counters, pool-occupancy gauges, per-worker busy time, fault counts. The
-//! output is parseable by any Prometheus scraper or `promtool check
-//! metrics`, but is produced offline — nothing here touches the execution
-//! fast path.
+//! counters, pool-occupancy gauges, per-worker busy time, fault counts.
+//! [`prometheus_snapshot_merged`] does the same over the traces of many
+//! queries at once, emitting each `# TYPE`/`# HELP` header exactly once per
+//! family and attributing samples with a `query` label — concatenating
+//! per-query snapshots would duplicate the headers, which the exposition
+//! format forbids. Both are produced offline from frozen traces.
+//!
+//! [`prometheus_from_hub`] is the *live* counterpart: it renders a
+//! [`HubSnapshot`](crate::obs::hub::HubSnapshot) — counters plus real
+//! Prometheus histograms (`_bucket{le=...}`/`_sum`/`_count`) — and backs the
+//! service's `/metrics` endpoint.
 
-use crate::trace::{Trace, TraceEventKind};
+use crate::obs::hub::{bucket_bounds, HubSnapshot};
+use crate::trace::{Trace, TraceEventKind, WatchdogKind};
 use std::collections::BTreeMap;
 use std::fmt::Write;
 
@@ -55,6 +63,38 @@ fn add(
 
 /// Fold `trace` into a Prometheus text-exposition snapshot.
 pub fn prometheus_snapshot(trace: &Trace) -> String {
+    render(fold(trace))
+}
+
+/// Fold many traces (one per query) into **one** snapshot: every
+/// `# TYPE`/`# HELP` header appears exactly once per metric family, and each
+/// sample carries a `query="qN"` label attributing it to its source trace.
+pub fn prometheus_snapshot_merged(traces: &[&Trace]) -> String {
+    let mut merged: Families = BTreeMap::new();
+    for trace in traces {
+        let query = trace.query.to_string();
+        for (name, fam) in fold(trace) {
+            let target = merged.entry(name).or_insert_with(|| Family {
+                help: fam.help,
+                kind: fam.kind,
+                samples: BTreeMap::new(),
+            });
+            for (labels, v) in fam.samples {
+                let labels = if labels.is_empty() {
+                    format!("query=\"{}\"", esc(&query))
+                } else {
+                    format!("query=\"{}\",{labels}", esc(&query))
+                };
+                // Labels are disjoint across queries, so counter-add vs.
+                // gauge-set is moot here; add keeps it total-preserving.
+                *target.samples.entry(labels).or_insert(0.0) += v;
+            }
+        }
+    }
+    render(merged)
+}
+
+fn fold(trace: &Trace) -> Families {
     let mut families: Families = BTreeMap::new();
 
     for e in &trace.events {
@@ -323,13 +363,37 @@ pub fn prometheus_snapshot(trace: &Trace) -> String {
                 "uot_faults_injected_total",
                 "Deterministic faults fired, by site and kind.",
                 "counter",
-                format!("site=\"{site:?}\",kind=\"{kind:?}\""),
+                format!(
+                    "site=\"{}\",kind=\"{}\"",
+                    esc(&format!("{site:?}")),
+                    esc(&format!("{kind:?}"))
+                ),
                 1.0,
                 false,
             ),
+            TraceEventKind::Watchdog { kind, producer, .. } => {
+                let labels = match kind {
+                    WatchdogKind::StalledEdge => format!(
+                        "kind=\"stalled_edge\",producer=\"{}\"",
+                        esc(&trace.op_name(producer))
+                    ),
+                    WatchdogKind::DeadlineNear => "kind=\"deadline_near\"".to_string(),
+                };
+                add(
+                    &mut families,
+                    "uot_watchdog_flags_total",
+                    "Anomalies flagged by the service watchdog, by kind.",
+                    "counter",
+                    labels,
+                    1.0,
+                    false,
+                );
+            }
         }
     }
 
+    // Proper counters (added, never set): a merged export must sum them
+    // across traces instead of keeping the last query's value.
     add(
         &mut families,
         "uot_trace_events_total",
@@ -337,7 +401,7 @@ pub fn prometheus_snapshot(trace: &Trace) -> String {
         "counter",
         String::new(),
         trace.len() as f64,
-        true,
+        false,
     );
     add(
         &mut families,
@@ -346,9 +410,12 @@ pub fn prometheus_snapshot(trace: &Trace) -> String {
         "counter",
         String::new(),
         trace.dropped as f64,
-        true,
+        false,
     );
+    families
+}
 
+fn render(families: Families) -> String {
     let mut out = String::new();
     for (name, fam) in &families {
         let _ = writeln!(out, "# HELP {name} {}", fam.help);
@@ -360,6 +427,42 @@ pub fn prometheus_snapshot(trace: &Trace) -> String {
                 let _ = writeln!(out, "{name}{{{labels}}} {value}");
             }
         }
+    }
+    out
+}
+
+/// Render a live [`HubSnapshot`] in Prometheus text-exposition format:
+/// every hub counter as a `counter` family (all carry the `_total` suffix),
+/// every hub distribution as a real Prometheus `histogram` —
+/// `name_bucket{le="..."}` samples with cumulative counts (empty buckets are
+/// skipped; `+Inf` always present), plus `name_sum` and `name_count`.
+pub fn prometheus_from_hub(snap: &HubSnapshot) -> String {
+    let mut out = String::new();
+    for (name, help, value) in snap.counter_rows() {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, help, h) in snap.histogram_rows() {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cum = 0u64;
+        for (i, &b) in h.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            cum += b;
+            // Buckets are half-open [lo, hi) over integers, so `hi - 1` is
+            // the inclusive upper bound Prometheus' `le` expects.
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cum}",
+                bucket_bounds(i).1 - 1
+            );
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
     }
     out
 }
@@ -423,5 +526,125 @@ mod tests {
         let text = prometheus_snapshot(&Trace::default());
         assert!(text.contains("uot_trace_events_total 0"));
         assert!(!text.contains("uot_work_orders_total{"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let trace = Trace {
+            events: vec![TraceEvent {
+                t: Duration::ZERO,
+                kind: TraceEventKind::OperatorFinished { op: 0 },
+            }],
+            op_names: vec!["weird\"name\\with\nnewline".into()],
+            dropped: 0,
+            query: crate::query_id::QueryId::SOLO,
+        };
+        let text = prometheus_snapshot(&trace);
+        assert!(
+            text.contains(r#"op="weird\"name\\with\nnewline""#),
+            "{text}"
+        );
+        assert!(
+            !text.contains("with\nnewline"),
+            "raw newline leaked into a label value"
+        );
+    }
+
+    #[test]
+    fn merged_export_emits_each_header_once_with_query_labels() {
+        let mk = |q: u64| Trace {
+            events: vec![TraceEvent {
+                t: Duration::ZERO,
+                kind: TraceEventKind::WorkOrderFinished {
+                    seq: 0,
+                    op: 0,
+                    worker: 0,
+                    start: Duration::ZERO,
+                    end: Duration::from_micros(3),
+                },
+            }],
+            op_names: vec!["select(t)".into()],
+            dropped: 0,
+            query: crate::query_id::QueryId::new(q),
+        };
+        let (a, b) = (mk(1), mk(2));
+        let text = prometheus_snapshot_merged(&[&a, &b]);
+        assert_eq!(
+            text.matches("# TYPE uot_work_orders_total counter").count(),
+            1,
+            "{text}"
+        );
+        assert_eq!(
+            text.matches("# HELP uot_work_orders_total").count(),
+            1,
+            "{text}"
+        );
+        assert!(text.contains(r#"uot_work_orders_total{query="q1",op="select(t)"} 1"#));
+        assert!(text.contains(r#"uot_work_orders_total{query="q2",op="select(t)"} 1"#));
+        // The per-trace totals are proper counters: one sample per query,
+        // not one last-writer-wins value.
+        assert!(text.contains(r#"uot_trace_events_total{query="q1"} 1"#));
+        assert!(text.contains(r#"uot_trace_events_total{query="q2"} 1"#));
+    }
+
+    #[test]
+    fn watchdog_events_fold_into_flag_counters() {
+        let trace = Trace {
+            events: vec![
+                TraceEvent {
+                    t: Duration::ZERO,
+                    kind: TraceEventKind::Watchdog {
+                        kind: WatchdogKind::StalledEdge,
+                        producer: 0,
+                        consumer: 1,
+                        waited_us: 1000,
+                    },
+                },
+                TraceEvent {
+                    t: Duration::ZERO,
+                    kind: TraceEventKind::Watchdog {
+                        kind: WatchdogKind::DeadlineNear,
+                        producer: 0,
+                        consumer: 0,
+                        waited_us: 5000,
+                    },
+                },
+            ],
+            op_names: vec!["select(t)".into(), "agg".into()],
+            dropped: 0,
+            query: crate::query_id::QueryId::SOLO,
+        };
+        let text = prometheus_snapshot(&trace);
+        assert!(text.contains("# TYPE uot_watchdog_flags_total counter"));
+        assert!(text
+            .contains(r#"uot_watchdog_flags_total{kind="stalled_edge",producer="select(t)"} 1"#));
+        assert!(text.contains(r#"uot_watchdog_flags_total{kind="deadline_near"} 1"#));
+    }
+
+    #[test]
+    fn hub_snapshot_renders_counters_and_histograms() {
+        use crate::obs::hub::{HubCounter, HubHistogram, MetricsHub};
+        let hub = MetricsHub::new();
+        hub.add(HubCounter::WorkOrders, 4);
+        for v in [3u64, 3, 100] {
+            hub.record(HubHistogram::WorkOrderServiceUs, v);
+        }
+        let text = prometheus_from_hub(&hub.snapshot());
+        assert!(text.contains("# TYPE uot_hub_work_orders_total counter"));
+        assert!(text.contains("uot_hub_work_orders_total 4"));
+        assert!(text.contains("# TYPE uot_hub_work_order_service_us histogram"));
+        // Cumulative buckets: the two 3s fill le="3", the 100 lands above.
+        assert!(text.contains(r#"uot_hub_work_order_service_us_bucket{le="3"} 2"#));
+        assert!(text.contains(r#"uot_hub_work_order_service_us_bucket{le="+Inf"} 3"#));
+        assert!(text.contains("uot_hub_work_order_service_us_sum 106"));
+        assert!(text.contains("uot_hub_work_order_service_us_count 3"));
+        // Every counter family carries the _total suffix.
+        for line in text.lines().filter(|l| l.starts_with("# TYPE")) {
+            let mut parts = line.split_whitespace().skip(2);
+            let (name, kind) = (parts.next().unwrap(), parts.next().unwrap());
+            if kind == "counter" {
+                assert!(name.ends_with("_total"), "counter without _total: {name}");
+            }
+        }
     }
 }

@@ -30,7 +30,7 @@
 use crate::edge::{TransferAction, TransferEdge};
 use crate::error::EngineError;
 use crate::fault::{FaultKind, FaultSite};
-use crate::metrics::{OperatorMetrics, QueryMetrics, TaskRecord};
+use crate::metrics::{EdgeMetrics, OperatorMetrics, QueryMetrics, TaskRecord};
 use crate::ops::execute_work_order_contained;
 use crate::plan::{OpId, OperatorKind, QueryPlan};
 use crate::state::ExecContext;
@@ -125,10 +125,12 @@ pub trait SchedulerObserver {
     fn work_order_dispatched(&mut self, _wo: &WorkOrder) {}
     /// A work order finished executing.
     fn work_order_completed(&mut self, _wo: &WorkOrder, _record: TaskRecord) {}
-    /// An operator produced output blocks (completed or flushed).
-    fn blocks_produced(&mut self, _op: OpId, _blocks: usize, _rows: usize) {}
-    /// Blocks were transferred to an operator's input.
-    fn blocks_transferred(&mut self, _op: OpId, _blocks: usize) {}
+    /// An operator produced output blocks (completed or flushed). `bytes`
+    /// is their summed allocated size.
+    fn blocks_produced(&mut self, _op: OpId, _blocks: usize, _rows: usize, _bytes: usize) {}
+    /// Blocks were transferred to an operator's input. The observer gets the
+    /// block slice itself so it can sum rows/bytes only if it wants them.
+    fn blocks_transferred(&mut self, _op: OpId, _blocks: &[Arc<StorageBlock>]) {}
     /// A transfer edge accumulated output below its UoT threshold; `staged`
     /// is the occupancy after staging.
     fn edge_staged(&mut self, _producer: OpId, _consumer: OpId, _staged: usize, _threshold: usize) {
@@ -169,6 +171,7 @@ impl SchedulerObserver for NoopObserver {}
 #[derive(Debug)]
 pub struct MetricsObserver {
     op_metrics: Vec<OperatorMetrics>,
+    edge_metrics: Vec<EdgeMetrics>,
     tasks: Vec<TaskRecord>,
 }
 
@@ -185,6 +188,7 @@ impl MetricsObserver {
                     ..Default::default()
                 })
                 .collect(),
+            edge_metrics: vec![EdgeMetrics::default(); plan.len()],
             tasks: Vec::new(),
         }
     }
@@ -206,13 +210,43 @@ impl SchedulerObserver for MetricsObserver {
         self.tasks.push(record);
     }
 
-    fn blocks_produced(&mut self, op: OpId, blocks: usize, rows: usize) {
+    fn blocks_produced(&mut self, op: OpId, blocks: usize, rows: usize, bytes: usize) {
         self.op_metrics[op].produced_blocks += blocks;
         self.op_metrics[op].produced_rows += rows;
+        self.op_metrics[op].produced_bytes += bytes;
     }
 
-    fn blocks_transferred(&mut self, op: OpId, blocks: usize) {
-        self.op_metrics[op].input_blocks += blocks;
+    fn blocks_transferred(&mut self, op: OpId, blocks: &[Arc<StorageBlock>]) {
+        self.op_metrics[op].input_blocks += blocks.len();
+        self.op_metrics[op].input_rows += blocks.iter().map(|b| b.num_rows()).sum::<usize>();
+    }
+
+    fn edge_staged(&mut self, producer: OpId, consumer: OpId, staged: usize, threshold: usize) {
+        let e = &mut self.edge_metrics[producer];
+        e.consumer = Some(consumer);
+        e.threshold = threshold;
+        e.stalls += 1;
+        e.max_staged = e.max_staged.max(staged);
+        e.sum_staged += staged;
+    }
+
+    fn transfer_flushed(
+        &mut self,
+        producer: OpId,
+        consumer: OpId,
+        blocks: &[Arc<StorageBlock>],
+        partial: bool,
+    ) {
+        let e = &mut self.edge_metrics[producer];
+        e.consumer = Some(consumer);
+        if partial {
+            e.partial_flushes += 1;
+        } else {
+            e.flushes += 1;
+        }
+        e.blocks += blocks.len();
+        e.rows += blocks.iter().map(|b| b.num_rows()).sum::<usize>();
+        e.bytes += blocks.iter().map(|b| b.allocated_bytes()).sum::<usize>();
     }
 }
 
@@ -352,6 +386,7 @@ impl<O: SchedulerObserver + MetricsCarrier> SchedulerCore<O> {
         let mut tasks = std::mem::take(&mut self.observer.metrics().tasks);
         tasks.sort_by_key(|t| t.start);
         let mut op_metrics = std::mem::take(&mut self.observer.metrics().op_metrics);
+        let edge_metrics = std::mem::take(&mut self.observer.metrics().edge_metrics);
         for (m, rt) in op_metrics.iter_mut().zip(&self.ctx.runtimes) {
             m.lip_pruned_rows = rt.lip_pruned.load(std::sync::atomic::Ordering::Relaxed);
         }
@@ -375,6 +410,7 @@ impl<O: SchedulerObserver + MetricsCarrier> SchedulerCore<O> {
             query: self.ctx.query,
             wall_time,
             ops: op_metrics,
+            edges: edge_metrics,
             tasks,
             peak_temp_bytes: self.ctx.pool.tracker().peak_bytes(),
             pool: self.ctx.pool.stats(),
@@ -612,6 +648,7 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
             producer,
             produced.len(),
             produced.iter().map(|b| b.num_rows()).sum(),
+            produced.iter().map(|b| b.allocated_bytes()).sum(),
         );
         let blocks: Vec<Arc<StorageBlock>> = produced.into_iter().map(Arc::new).collect();
         match self.edges[producer].stage(blocks, producer) {
@@ -683,7 +720,7 @@ impl<O: SchedulerObserver> SchedulerCore<O> {
         if blocks.is_empty() {
             return;
         }
-        self.observer.blocks_transferred(op, blocks.len());
+        self.observer.blocks_transferred(op, &blocks);
         if matches!(self.plan().op(op).kind, OperatorKind::Sort { .. }) {
             // Sort input parks in bulk; intermediate (tracked) blocks are
             // charged to the incoming edge until the sort finishes.

@@ -36,8 +36,12 @@ use crate::engine::QueryResult;
 use crate::error::EngineError;
 use crate::exec_options::ExecOptions;
 use crate::metrics::TaskRecord;
+use crate::obs::hub::{HubCounter, HubHistogram, HubObserver};
 use crate::obs::observer::MaybeTracingObserver;
-use crate::obs::{CompositeObserver, TracingObserver};
+use crate::obs::{
+    CompositeObserver, ExplainAnalyze, HubSnapshot, IntrospectionServer, LiveQuery, LiveRegistry,
+    MetricsHub, ServerState, TracingObserver, WatchdogConfig,
+};
 use crate::ops::execute_work_order_contained;
 use crate::plan::{OpId, OperatorKind, QueryPlan};
 use crate::query_id::QueryId;
@@ -49,15 +53,17 @@ use crate::work_order::{WorkKind, WorkOrder};
 use crate::Result;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use uot_sql::{CacheStats, PlanCache, PlanCacheOutcome};
 use uot_storage::{BlockFormat, BlockPool, Catalog, MemoryTracker, Schema, StorageBlock};
 
-/// The per-query observer stack: metrics always, tracing when enabled.
-/// One concrete type so every query's [`SchedulerCore`] is the same type.
-type ServiceObserver = CompositeObserver<MetricsObserver, MaybeTracingObserver>;
+/// The per-query observer stack: metrics always, the live hub always,
+/// tracing when enabled. One concrete type so every query's
+/// [`SchedulerCore`] is the same type.
+type ServiceObserver =
+    CompositeObserver<MetricsObserver, CompositeObserver<HubObserver, MaybeTracingObserver>>;
 
 /// Service-wide configuration: the shared worker pool, the global memory
 /// budget admission control carves reservations from, and the per-query
@@ -103,6 +109,14 @@ pub struct ServiceConfig {
     /// Catalog [`QueryService::submit_sql`] resolves table names against
     /// (empty by default; plan-based submissions never consult it).
     pub catalog: Arc<Catalog>,
+    /// HTTP introspection endpoint: `Some(port)` binds `127.0.0.1:port`
+    /// (0 = ephemeral, see [`QueryService::http_addr`]) serving `/metrics`,
+    /// `/queries` and `/healthz`. `None` (the default) runs no server.
+    pub http_port: Option<u16>,
+    /// The watchdog thread flagging stalled edges and deadline-threatened
+    /// queries (enabled by default; it costs one registry scan per
+    /// [`WatchdogConfig::poll_interval`]).
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for ServiceConfig {
@@ -125,6 +139,8 @@ impl Default for ServiceConfig {
             trace: false,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             catalog: Catalog::new(),
+            http_port: None,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -206,6 +222,12 @@ struct Submission {
     /// Plan-cache outcome when the query arrived as SQL (`None` for
     /// pre-built plans); stamped onto the final metrics.
     cache: Option<PlanCacheOutcome>,
+    /// Submission time — the hub's latency and admission-wait histograms
+    /// both count from here.
+    submitted: Instant,
+    /// `EXPLAIN ANALYZE` submission: deliver the rendered plan tree as the
+    /// result rows instead of the statement's own output.
+    explain: bool,
 }
 
 /// A finished work order reported back by a worker.
@@ -247,6 +269,14 @@ pub struct QueryService {
     /// Compiled plans shared by every [`QueryService::submit_sql`] client,
     /// keyed by normalized SQL text.
     plan_cache: PlanCache<QueryPlan>,
+    /// Always-on live metrics, shared with every query's observer stack.
+    hub: Arc<MetricsHub>,
+    /// Live registry behind `/queries` and the watchdog.
+    registry: Arc<LiveRegistry>,
+    /// The HTTP introspection endpoint, when configured.
+    http: Option<IntrospectionServer>,
+    watchdog: Option<std::thread::JoinHandle<()>>,
+    watchdog_stop: Arc<AtomicBool>,
 }
 
 impl QueryService {
@@ -255,6 +285,8 @@ impl QueryService {
     pub fn start(config: ServiceConfig) -> Result<Self> {
         config.validate()?;
         let tracker = MemoryTracker::new();
+        let hub = Arc::new(MetricsHub::new());
+        let registry = Arc::new(LiveRegistry::new());
         let (to_service, service_rx) = crossbeam::channel::unbounded::<ToService>();
         let (work_tx, work_rx) = crossbeam::channel::unbounded::<ToWorker>();
         let mut workers = Vec::with_capacity(config.workers);
@@ -293,8 +325,49 @@ impl QueryService {
             pending: VecDeque::new(),
             reserved: 0,
             draining: false,
+            hub: hub.clone(),
+            registry: registry.clone(),
         };
         let scheduler = std::thread::spawn(move || loop_state.run(service_rx));
+        let http = match config.http_port {
+            None => None,
+            Some(port) => Some(
+                IntrospectionServer::start(
+                    port,
+                    Arc::new(ServerState {
+                        hub: hub.clone(),
+                        registry: registry.clone(),
+                        tracker: tracker.clone(),
+                        started: Instant::now(),
+                    }),
+                )
+                .map_err(|e| {
+                    EngineError::Config(format!("introspection endpoint bind failed: {e}"))
+                })?,
+            ),
+        };
+        let watchdog_stop = Arc::new(AtomicBool::new(false));
+        let watchdog = if config.watchdog.enabled {
+            let (stop, hub, registry, wd) = (
+                watchdog_stop.clone(),
+                hub.clone(),
+                registry.clone(),
+                config.watchdog,
+            );
+            Some(
+                std::thread::Builder::new()
+                    .name("uot-watchdog".into())
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            std::thread::sleep(wd.poll_interval);
+                            registry.watchdog_pass(&hub, wd.stall_timeout, wd.deadline_fraction);
+                        }
+                    })
+                    .expect("spawn watchdog thread"),
+            )
+        } else {
+            None
+        };
         Ok(QueryService {
             to_service,
             scheduler: Some(scheduler),
@@ -303,6 +376,11 @@ impl QueryService {
             tracker,
             config,
             plan_cache: PlanCache::new(),
+            hub,
+            registry,
+            http,
+            watchdog,
+            watchdog_stop,
         })
     }
 
@@ -323,6 +401,30 @@ impl QueryService {
         self.tracker.current_bytes()
     }
 
+    /// The always-on live metrics hub (counters + histograms across every
+    /// query this service has run).
+    pub fn hub(&self) -> &Arc<MetricsHub> {
+        &self.hub
+    }
+
+    /// A consistent-enough point-in-time copy of the hub (see
+    /// [`MetricsHub::snapshot`]).
+    pub fn hub_snapshot(&self) -> HubSnapshot {
+        self.hub.snapshot()
+    }
+
+    /// The live query registry (`/queries` reads it; tests can too).
+    pub fn registry(&self) -> &Arc<LiveRegistry> {
+        &self.registry
+    }
+
+    /// Bound address of the HTTP introspection endpoint — the actual port
+    /// when [`ServiceConfig::http_port`] was `Some(0)`; `None` when no
+    /// endpoint was configured.
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http.as_ref().map(|s| s.addr())
+    }
+
     /// Submit a SQL statement with default [`ExecOptions`] — the primary
     /// front door: compile (or fetch from the plan cache), then run.
     pub fn submit_sql(&self, sql: &str) -> Result<QueryHandle> {
@@ -336,11 +438,19 @@ impl QueryService {
     /// frontend failures return [`EngineError::Sql`] immediately instead of
     /// through the handle. [`QueryMetrics::plan_cache`](crate::metrics::QueryMetrics::plan_cache)
     /// on the result records whether this submission hit the cache.
+    /// `EXPLAIN ANALYZE <stmt>` submissions execute the inner statement
+    /// normally (same plan cache, same options) and deliver the rendered
+    /// [`ExplainAnalyze`] tree as the result rows; the real metrics, trace
+    /// and [`QueryResult::explain`] stay attached.
     pub fn submit_sql_with(&self, sql: &str, opts: ExecOptions) -> Result<QueryHandle> {
+        let (sql, explain) = match uot_sql::strip_explain_analyze(sql) {
+            Some(inner) => (inner, true),
+            None => (sql, false),
+        };
         let (plan, outcome) = self
             .plan_cache
             .get_or_compile(sql, || crate::sql::compile(sql, &self.config.catalog))?;
-        self.submit_inner((*plan).clone(), opts, Some(outcome))
+        self.submit_inner((*plan).clone(), opts, Some(outcome), explain)
     }
 
     /// Counters of the shared SQL plan cache.
@@ -359,7 +469,7 @@ impl QueryService {
     /// admission (or rejection), execution and teardown happen on the service
     /// threads, and the outcome is delivered through [`QueryHandle::wait`].
     pub fn submit_with(&self, plan: QueryPlan, opts: ExecOptions) -> Result<QueryHandle> {
-        self.submit_inner(plan, opts, None)
+        self.submit_inner(plan, opts, None, false)
     }
 
     fn submit_inner(
@@ -367,11 +477,13 @@ impl QueryService {
         plan: QueryPlan,
         opts: ExecOptions,
         cache: Option<PlanCacheOutcome>,
+        explain: bool,
     ) -> Result<QueryHandle> {
         let id = QueryId::new(self.next_id.fetch_add(1, Ordering::Relaxed));
         let token = CancellationToken::new();
         let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
         let reservation = opts.reservation.unwrap_or(self.config.default_reservation);
+        self.hub.add(HubCounter::QueriesSubmitted, 1);
         let sub = Submission {
             id,
             plan,
@@ -380,6 +492,8 @@ impl QueryService {
             reply: reply_tx,
             reservation,
             cache,
+            submitted: Instant::now(),
+            explain,
         };
         self.to_service
             .send(ToService::Submit(Box::new(sub)))
@@ -405,6 +519,13 @@ impl QueryService {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        self.watchdog_stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.watchdog.take() {
+            let _ = h.join();
+        }
+        if let Some(mut server) = self.http.take() {
+            server.shutdown();
+        }
     }
 }
 
@@ -426,6 +547,12 @@ struct ActiveQuery {
     cache: Option<PlanCacheOutcome>,
     /// Deadline relative to admission (the context's start).
     deadline: Option<Duration>,
+    /// Submission time (the hub's end-to-end latency histogram).
+    submitted: Instant,
+    /// Deliver the rendered `EXPLAIN ANALYZE` tree as the result rows.
+    explain: bool,
+    /// This query's live-registry record.
+    live: Arc<LiveQuery>,
     /// seq -> (op, bytes its stream input charged): enough to release
     /// resources and attribute losses even if a work order body is lost.
     in_flight: HashMap<usize, (OpId, usize)>,
@@ -447,6 +574,10 @@ struct SchedulerLoop {
     /// Sum of active reservations, ≤ `config.memory_budget`.
     reserved: usize,
     draining: bool,
+    /// The service's always-on metrics hub.
+    hub: Arc<MetricsHub>,
+    /// The service's live query registry.
+    registry: Arc<LiveRegistry>,
 }
 
 impl SchedulerLoop {
@@ -497,6 +628,9 @@ impl SchedulerLoop {
                 if q.ctx.elapsed() >= d {
                     q.ctx.cancel.cancel();
                 }
+            }
+            if q.ctx.cancel.is_cancelled() {
+                q.live.set_cancelling();
             }
         }
     }
@@ -586,14 +720,17 @@ impl SchedulerLoop {
 
     fn handle_submit(&mut self, sub: Box<Submission>) {
         if self.draining {
+            self.hub.add(HubCounter::QueriesFailed, 1);
             let _ = sub.reply.send(Err(EngineError::ServiceShutdown));
             return;
         }
         if let Err(e) = validate_plan(&sub.plan, &self.config) {
+            self.hub.add(HubCounter::QueriesFailed, 1);
             let _ = sub.reply.send(Err(e));
             return;
         }
         if sub.reservation == 0 || sub.reservation > self.config.memory_budget {
+            self.hub.add(HubCounter::AdmissionRejected, 1);
             let _ = sub.reply.send(Err(EngineError::AdmissionRejected {
                 query: sub.id,
                 reservation: sub.reservation,
@@ -607,8 +744,11 @@ impl SchedulerLoop {
         if self.pending.is_empty() && self.reserved + sub.reservation <= self.config.memory_budget {
             self.activate(*sub);
         } else if self.pending.len() < self.config.max_queued {
+            self.hub.add(HubCounter::AdmissionQueued, 1);
+            self.registry.enqueue(sub.id, sub.reservation);
             self.pending.push_back(sub);
         } else {
+            self.hub.add(HubCounter::AdmissionRejected, 1);
             let _ = sub.reply.send(Err(EngineError::AdmissionRejected {
                 query: sub.id,
                 reservation: sub.reservation,
@@ -624,6 +764,7 @@ impl SchedulerLoop {
         while let Some(front) = self.pending.front() {
             if self.draining {
                 let sub = self.pending.pop_front().expect("front exists");
+                self.registry.remove(sub.id);
                 let _ = sub.reply.send(Err(EngineError::ServiceShutdown));
                 continue;
             }
@@ -646,7 +787,13 @@ impl SchedulerLoop {
             reply,
             reservation,
             cache,
+            submitted,
+            explain,
         } = sub;
+        self.hub.record(
+            HubHistogram::AdmissionWaitUs,
+            submitted.elapsed().as_micros() as u64,
+        );
         // The per-query tracker mirrors into the service tracker (charged
         // against the *global* budget first), and the per-query pool caps
         // this query at its own reservation.
@@ -657,6 +804,18 @@ impl SchedulerLoop {
         let schema = plan.result_schema().clone();
         let sink = (self.config.trace || opts.trace)
             .then(|| TraceSink::for_query(self.config.trace_capacity, id));
+        // The query's live record: progress, occupancy and spill activity
+        // stream into it from the observer stack and the spill hook, and the
+        // HTTP endpoint and watchdog read it concurrently.
+        let live = LiveQuery::new(
+            id,
+            plan.ops()[plan.sink()].name.clone(),
+            reservation,
+            opts.deadline,
+            tracker.clone(),
+            sink.clone(),
+            plan.len(),
+        );
         // Spill mode gives this query a private disk tier charged against its
         // own tracker: evicted bytes come off the reservation (and thus the
         // global budget), so only resident bytes count toward admission.
@@ -665,14 +824,18 @@ impl SchedulerLoop {
         if spill_enabled {
             match uot_storage::SpillStore::new(None, tracker.clone()) {
                 Ok(store) => {
-                    store.set_observer(crate::spill::EngineSpillHook::new(
+                    store.set_observer(crate::spill::EngineSpillHook::with_telemetry(
                         opts.faults.clone(),
                         sink.clone(),
                         tracker.clone(),
+                        Some(self.hub.clone()),
+                        Some(live.clone()),
                     ));
                     pool.enable_spill(store);
                 }
                 Err(e) => {
+                    self.registry.remove(id);
+                    self.hub.add(HubCounter::QueriesFailed, 1);
                     let _ = reply.send(Err(e.into()));
                     return;
                 }
@@ -687,6 +850,8 @@ impl SchedulerLoop {
         ) {
             Ok(c) => c,
             Err(e) => {
+                self.registry.remove(id);
+                self.hub.add(HubCounter::QueriesFailed, 1);
                 let _ = reply.send(Err(e));
                 return;
             }
@@ -728,11 +893,15 @@ impl SchedulerLoop {
         };
         let observer = CompositeObserver::new(
             MetricsObserver::new(&ctx.plan),
-            MaybeTracingObserver(sink.clone().map(TracingObserver::new)),
+            CompositeObserver::new(
+                HubObserver::new(self.hub.clone(), tracker).with_live(live.clone()),
+                MaybeTracingObserver(sink.clone().map(TracingObserver::new)),
+            ),
         );
         let core = SchedulerCore::with_observer(ctx.clone(), sched, observer);
         self.reserved += reservation;
         self.order.push_back(id);
+        self.registry.admit(live.clone());
         self.active.insert(
             id,
             ActiveQuery {
@@ -744,6 +913,9 @@ impl SchedulerLoop {
                 reservation,
                 cache,
                 deadline: opts.deadline,
+                submitted,
+                explain,
+                live,
                 in_flight: HashMap::new(),
                 completed: 0,
                 first_error: None,
@@ -795,16 +967,35 @@ impl SchedulerLoop {
         let wall = q.ctx.elapsed();
         let (blocks, mut metrics) = q.core.into_results(wall, self.config.workers);
         metrics.plan_cache = q.cache;
+        self.registry.remove(id);
+        match &error {
+            None => self.hub.add(HubCounter::QueriesCompleted, 1),
+            Some(EngineError::Cancelled { .. }) => self.hub.add(HubCounter::QueriesCancelled, 1),
+            Some(_) => self.hub.add(HubCounter::QueriesFailed, 1),
+        }
+        self.hub.record(
+            HubHistogram::QueryLatencyUs,
+            q.submitted.elapsed().as_micros() as u64,
+        );
         let result = match error {
             None => {
                 let trace = q
                     .sink
                     .map(|s| s.finish(q.ctx.plan.ops().iter().map(|op| op.name.clone()).collect()));
+                let explain = ExplainAnalyze::build(&q.ctx.plan, &metrics);
+                // An EXPLAIN ANALYZE submission delivers the rendered tree
+                // as its rows; everything measured stays attached.
+                let (schema, blocks) = if q.explain {
+                    explain.result_blocks()
+                } else {
+                    (q.schema, blocks)
+                };
                 Ok(QueryResult {
-                    schema: q.schema,
+                    schema,
                     blocks,
                     metrics,
                     trace,
+                    explain: Some(explain),
                 })
             }
             Some(e) => Err(crate::scheduler::finalize_error(e, wall, q.completed)),

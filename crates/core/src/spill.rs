@@ -9,6 +9,8 @@
 //! engine mechanism.
 
 use crate::fault::{FaultKind, FaultPlan, FaultSite};
+use crate::obs::hub::{HubCounter, HubHistogram, MetricsHub};
+use crate::obs::live::LiveQuery;
 use crate::trace::{TraceEventKind, TraceSink};
 use std::sync::Arc;
 use uot_storage::{MemoryTracker, SpillIo, SpillObserver};
@@ -19,6 +21,8 @@ pub struct EngineSpillHook {
     faults: Option<Arc<FaultPlan>>,
     trace: Option<Arc<TraceSink>>,
     tracker: Arc<MemoryTracker>,
+    hub: Option<Arc<MetricsHub>>,
+    live: Option<Arc<LiveQuery>>,
 }
 
 impl EngineSpillHook {
@@ -33,6 +37,27 @@ impl EngineSpillHook {
             faults,
             trace,
             tracker,
+            hub: None,
+            live: None,
+        })
+    }
+
+    /// Build the hook with live-telemetry mirrors: spill I/O updates `hub`
+    /// counters/histograms and the query's live registry entry as it
+    /// happens, in addition to the trace.
+    pub fn with_telemetry(
+        faults: Option<Arc<FaultPlan>>,
+        trace: Option<Arc<TraceSink>>,
+        tracker: Arc<MemoryTracker>,
+        hub: Option<Arc<MetricsHub>>,
+        live: Option<Arc<LiveQuery>>,
+    ) -> Arc<Self> {
+        Arc::new(EngineSpillHook {
+            faults,
+            trace,
+            tracker,
+            hub,
+            live,
         })
     }
 }
@@ -85,6 +110,14 @@ impl SpillObserver for EngineSpillHook {
                 in_use: self.tracker.current_bytes(),
             });
         }
+        if let Some(hub) = &self.hub {
+            hub.add(HubCounter::SpillEvents, 1);
+            hub.add(HubCounter::SpilledBytes, bytes as u64);
+            hub.record(HubHistogram::SpillVolumeBytes, bytes as u64);
+        }
+        if let Some(live) = &self.live {
+            live.on_spill();
+        }
     }
 
     fn restored(&self, tag: usize, bytes: usize) {
@@ -94,6 +127,9 @@ impl SpillObserver for EngineSpillHook {
                 bytes,
                 in_use: self.tracker.current_bytes(),
             });
+        }
+        if let Some(hub) = &self.hub {
+            hub.add(HubCounter::SpillRestoredBytes, bytes as u64);
         }
     }
 }

@@ -183,6 +183,29 @@ pub enum TraceEventKind {
         /// pool-allocation sites, the flushing producer for transfer sites.
         op: OpId,
     },
+    /// The service watchdog flagged an anomaly on a live query.
+    Watchdog {
+        /// What was flagged.
+        kind: WatchdogKind,
+        /// Edge producer for stalled-edge flags (0 for deadline flags).
+        producer: OpId,
+        /// Edge consumer for stalled-edge flags (0 for deadline flags).
+        consumer: OpId,
+        /// How long the edge had been stalled, or the query's elapsed time
+        /// for deadline flags — microseconds.
+        waited_us: u64,
+    },
+}
+
+/// What the service watchdog flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogKind {
+    /// A transfer edge has held staged blocks unchanged past the stall
+    /// timeout — the consumer is not draining it.
+    StalledEdge,
+    /// A query's elapsed time crossed the configured fraction of its
+    /// deadline and is likely to be cancelled soon.
+    DeadlineNear,
 }
 
 impl TraceEventKind {
@@ -203,7 +226,14 @@ impl TraceEventKind {
             TraceEventKind::PipelineFused { head, .. } => Some(head),
             TraceEventKind::EdgeStaged { producer, .. }
             | TraceEventKind::TransferFlushed { producer, .. } => Some(producer),
-            TraceEventKind::PoolFree { .. } | TraceEventKind::Degraded { .. } => None,
+            TraceEventKind::Watchdog {
+                kind: WatchdogKind::StalledEdge,
+                producer,
+                ..
+            } => Some(producer),
+            TraceEventKind::PoolFree { .. }
+            | TraceEventKind::Degraded { .. }
+            | TraceEventKind::Watchdog { .. } => None,
         }
     }
 
@@ -226,6 +256,7 @@ impl TraceEventKind {
             TraceEventKind::SpillOut { .. } => "spill_out",
             TraceEventKind::SpillIn { .. } => "spill_in",
             TraceEventKind::FaultInjected { .. } => "fault",
+            TraceEventKind::Watchdog { .. } => "watchdog",
         }
     }
 }
@@ -505,6 +536,21 @@ mod tests {
         };
         assert_eq!(back.op(), Some(2));
         assert_eq!(back.label(), "spill_in");
+        let stalled = TraceEventKind::Watchdog {
+            kind: WatchdogKind::StalledEdge,
+            producer: 4,
+            consumer: 5,
+            waited_us: 1_000_000,
+        };
+        assert_eq!(stalled.op(), Some(4), "stalled edge attributed to producer");
+        assert_eq!(stalled.label(), "watchdog");
+        let near = TraceEventKind::Watchdog {
+            kind: WatchdogKind::DeadlineNear,
+            producer: 0,
+            consumer: 0,
+            waited_us: 800_000,
+        };
+        assert_eq!(near.op(), None, "deadline flags are query-level");
     }
 
     #[test]

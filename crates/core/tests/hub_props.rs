@@ -1,0 +1,223 @@
+//! Property and concurrency tests for the always-on [`MetricsHub`].
+//!
+//! The hub shards its counters and histogram buckets by thread to keep the
+//! hot path contention-free; [`HubSnapshot`] folds the shards back together.
+//! These tests pin the contract that makes that sharding invisible:
+//!
+//! 1. Recording any workload from any number of threads and then folding
+//!    yields exactly the same histogram (count, sum, every bucket) as a
+//!    serial [`HistogramSnapshot`] built with `record()` — the single-shard
+//!    reference implementation.
+//! 2. Snapshots taken *while* recorders are running never over-count and
+//!    are monotone: the hub may miss in-flight increments but it never
+//!    invents them, so a scraper always sees a consistent past.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use uot_core::obs::hub::{bucket_bounds, bucket_index, HIST_BUCKETS};
+use uot_core::{HistogramSnapshot, HubCounter, HubHistogram, MetricsHub};
+
+/// Values stay below 2^44 so a 512-element workload cannot overflow the
+/// u64 `sum` accumulator; the range still exercises ~44 of the 63 octaves.
+fn observation() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        0u64..16,                // the exact low buckets
+        1u64..(1 << 20),         // mid octaves
+        (1u64 << 20)..(1 << 44), // high octaves
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sharded recording + fold == serial reference, exactly.
+    #[test]
+    fn sharded_histogram_matches_serial_reference(
+        values in proptest::collection::vec(observation(), 0..512),
+        threads in 1usize..5,
+    ) {
+        let mut reference = HistogramSnapshot::empty();
+        for &v in &values {
+            reference.record(v);
+        }
+
+        let hub = MetricsHub::new();
+        // Chunk the workload across real threads so the observations land in
+        // different shards (shard choice hashes the thread id).
+        std::thread::scope(|s| {
+            for chunk in values.chunks(values.len().div_ceil(threads).max(1)) {
+                let hub = &hub;
+                s.spawn(move || {
+                    for &v in chunk {
+                        hub.record(HubHistogram::QueryLatencyUs, v);
+                    }
+                });
+            }
+        });
+
+        let snap = hub.snapshot();
+        let folded = snap.histogram(HubHistogram::QueryLatencyUs);
+        prop_assert_eq!(folded.count, reference.count);
+        prop_assert_eq!(folded.sum, reference.sum);
+        prop_assert_eq!(&folded.buckets[..], &reference.buckets[..]);
+    }
+
+    /// Counter adds distribute over threads: the folded total is the serial
+    /// sum no matter how the deltas are interleaved.
+    #[test]
+    fn sharded_counters_sum_exactly(
+        deltas in proptest::collection::vec(0u64..(1 << 32), 0..256),
+        threads in 1usize..5,
+    ) {
+        let expected: u64 = deltas.iter().sum();
+        let hub = MetricsHub::new();
+        std::thread::scope(|s| {
+            for chunk in deltas.chunks(deltas.len().div_ceil(threads).max(1)) {
+                let hub = &hub;
+                s.spawn(move || {
+                    for &d in chunk {
+                        hub.add(HubCounter::TransferBytes, d);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(hub.snapshot().counter(HubCounter::TransferBytes), expected);
+    }
+
+    /// Merging per-shard-style partial snapshots is associative with
+    /// recording: split a workload arbitrarily, record each part into its
+    /// own hub, merge the snapshots — same fold as one hub seeing it all.
+    #[test]
+    fn snapshot_merge_matches_single_hub(
+        values in proptest::collection::vec(observation(), 0..256),
+        split in 0usize..=256,
+    ) {
+        let cut = split.min(values.len());
+        let whole = MetricsHub::new();
+        let (a, b) = (MetricsHub::new(), MetricsHub::new());
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(HubHistogram::SpillVolumeBytes, v);
+            whole.add(HubCounter::SpillEvents, 1);
+            let part = if i < cut { &a } else { &b };
+            part.record(HubHistogram::SpillVolumeBytes, v);
+            part.add(HubCounter::SpillEvents, 1);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let lone = whole.snapshot();
+        prop_assert_eq!(merged.counter(HubCounter::SpillEvents), lone.counter(HubCounter::SpillEvents));
+        let (m, l) = (
+            merged.histogram(HubHistogram::SpillVolumeBytes),
+            lone.histogram(HubHistogram::SpillVolumeBytes),
+        );
+        prop_assert_eq!(m.count, l.count);
+        prop_assert_eq!(m.sum, l.sum);
+        prop_assert_eq!(&m.buckets[..], &l.buckets[..]);
+    }
+
+    /// Every value lands in a bucket whose bounds contain it, and the
+    /// bucket index is monotone in the value — the invariant the quantile
+    /// estimator and the bench's same-bucket assertion both lean on.
+    #[test]
+    fn bucket_index_is_consistent_and_monotone(a in any::<u64>(), b in any::<u64>()) {
+        for v in [a, b] {
+            let i = bucket_index(v);
+            prop_assert!(i < HIST_BUCKETS);
+            let (lo, hi) = bucket_bounds(i);
+            prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} = [{lo}, {hi}]");
+        }
+        if a <= b {
+            prop_assert!(bucket_index(a) <= bucket_index(b));
+        } else {
+            prop_assert!(bucket_index(b) <= bucket_index(a));
+        }
+    }
+}
+
+/// Live scraping: snapshots racing with recorders never over-count, counts
+/// are monotone across successive snapshots, and the post-join fold is
+/// exact. This is the `/metrics` endpoint's consistency story.
+#[test]
+fn concurrent_snapshots_are_monotone_and_final_fold_is_exact() {
+    const RECORDERS: u64 = 4;
+    const PER_THREAD: u64 = 50_000;
+
+    let hub = Arc::new(MetricsHub::new());
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for _ in 0..RECORDERS {
+            let hub = hub.clone();
+            workers.push(s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    hub.add(HubCounter::WorkOrders, 1);
+                    hub.record(HubHistogram::WorkOrderServiceUs, i % 4096);
+                }
+            }));
+        }
+
+        let scraper = {
+            let (hub, done) = (hub.clone(), done.clone());
+            s.spawn(move || {
+                let cap = RECORDERS * PER_THREAD;
+                let mut last_count = 0u64;
+                let mut last_counter = 0u64;
+                let mut scrapes = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let snap = hub.snapshot();
+                    let c = snap.counter(HubCounter::WorkOrders);
+                    assert!(
+                        c >= last_counter,
+                        "counter went backwards: {last_counter} -> {c}"
+                    );
+                    assert!(c <= cap, "counter over-counted: {c} > {cap}");
+                    last_counter = c;
+
+                    let h = snap.histogram(HubHistogram::WorkOrderServiceUs);
+                    assert!(h.count >= last_count, "histogram count went backwards");
+                    assert!(
+                        h.count <= cap,
+                        "histogram over-counted: {} > {cap}",
+                        h.count
+                    );
+                    last_count = h.count;
+                    // Each shard publishes buckets before bumping `count`
+                    // and the fold reads `count` first, so the bucket total
+                    // can only ever run ahead of the count — never behind.
+                    let staged: u64 = h.buckets.iter().sum();
+                    assert!(
+                        staged >= h.count,
+                        "bucket total {staged} fell behind count {}",
+                        h.count
+                    );
+                    scrapes += 1;
+                }
+                scrapes
+            })
+        };
+
+        for w in workers {
+            w.join().expect("recorder thread panicked");
+        }
+        done.store(true, Ordering::Release);
+        let scrapes = scraper.join().expect("scraper thread panicked");
+        assert!(scrapes > 0, "scraper never ran");
+    });
+
+    let snap = hub.snapshot();
+    let total = RECORDERS * PER_THREAD;
+    assert_eq!(snap.counter(HubCounter::WorkOrders), total);
+    let h = snap.histogram(HubHistogram::WorkOrderServiceUs);
+    assert_eq!(h.count, total);
+    let per_thread_sum: u64 = (0..PER_THREAD).map(|i| i % 4096).sum();
+    assert_eq!(h.sum, RECORDERS * per_thread_sum);
+    assert_eq!(h.buckets.iter().sum::<u64>(), total);
+    // Spot-check placement: every observation was < 4096, so nothing may
+    // sit above bucket_index(4095).
+    let top = bucket_index(4095);
+    assert!(h.buckets[top + 1..].iter().all(|&b| b == 0));
+}

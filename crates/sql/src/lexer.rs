@@ -73,6 +73,23 @@ pub struct Token {
     pub span: Span,
 }
 
+/// If `sql` is `EXPLAIN ANALYZE <stmt>`, return the inner statement text
+/// (byte slice of `sql`, comments and spacing preserved). `None` for any
+/// other statement — including a bare `EXPLAIN ANALYZE` with nothing after
+/// it, which falls through to the parser for a proper error.
+pub fn strip_explain_analyze(sql: &str) -> Option<&str> {
+    let tokens = lex(sql).ok()?;
+    match tokens.as_slice() {
+        [a, b, rest @ ..] if !rest.is_empty() => {
+            let (Tok::Ident(x), Tok::Ident(y)) = (&a.tok, &b.tok) else {
+                return None;
+            };
+            (x == "explain" && y == "analyze").then(|| &sql[rest[0].span.start..])
+        }
+        _ => None,
+    }
+}
+
 /// Tokenize `sql`. `--` line comments and all whitespace are skipped.
 pub fn lex(sql: &str) -> Result<Vec<Token>> {
     let bytes = sql.as_bytes();
@@ -314,5 +331,22 @@ mod tests {
         assert_eq!(a, b);
         // String literal case is preserved.
         assert!(a.contains("'A b'"));
+    }
+
+    #[test]
+    fn strip_explain_analyze_recognizes_the_prefix() {
+        assert_eq!(
+            strip_explain_analyze("EXPLAIN ANALYZE SELECT 1 FROM t"),
+            Some("SELECT 1 FROM t")
+        );
+        assert_eq!(
+            strip_explain_analyze("  explain\n-- c\n  Analyze select x from t"),
+            Some("select x from t")
+        );
+        assert_eq!(strip_explain_analyze("SELECT 1 FROM t"), None);
+        assert_eq!(strip_explain_analyze("EXPLAIN SELECT 1 FROM t"), None);
+        // A bare prefix is not stripped: the parser reports the error.
+        assert_eq!(strip_explain_analyze("EXPLAIN ANALYZE"), None);
+        assert_eq!(strip_explain_analyze("'explain' analyze select 1"), None);
     }
 }

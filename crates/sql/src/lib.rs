@@ -40,7 +40,7 @@ pub use ast::Select;
 pub use binder::bind;
 pub use cache::{CacheStats, PlanCache, PlanCacheOutcome};
 pub use error::{PlanError, PlanErrorKind, Result, Span};
-pub use lexer::normalize;
+pub use lexer::{normalize, strip_explain_analyze};
 pub use logical::{JoinKind, Logical, SortSpec};
 pub use parser::parse;
 

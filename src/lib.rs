@@ -30,9 +30,10 @@ pub use uot_tpch as tpch;
 pub mod prelude {
     pub use uot_core::{
         CacheStats, CancellationToken, DegradePolicy, Engine, EngineConfig, EngineError, ExecMode,
-        ExecOptions, FaultKind, FaultPlan, FaultSite, FusionPolicy, Injection, PlanCacheOutcome,
-        PlanError, QueryHandle, QueryId, QueryPlan, QueryResult, QueryService, ServiceConfig,
-        Trace, TraceConfig, Uot,
+        ExecOptions, ExplainAnalyze, FaultKind, FaultPlan, FaultSite, FusionPolicy, HubCounter,
+        HubHistogram, HubSnapshot, Injection, MetricsHub, PlanCacheOutcome, PlanError, QueryHandle,
+        QueryId, QueryPlan, QueryResult, QueryService, ServiceConfig, Trace, TraceConfig, Uot,
+        WatchdogConfig,
     };
     pub use uot_storage::{
         date_from_ymd, BlockFormat, Catalog, DataType, Schema, Table, TableBuilder, Value,
